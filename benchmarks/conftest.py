@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates its paper artifact (table/figure) and writes the
+rendered report to ``benchmarks/out/`` so the reproduction evidence persists
+beyond the pytest-benchmark timing table.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    """Directory collecting the regenerated tables and figures."""
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def save_report(out_dir):
+    """Write (and echo) a rendered report artifact."""
+
+    def _save(name: str, text: str) -> Path:
+        path = out_dir / name
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+        return path
+
+    return _save

@@ -1,0 +1,15 @@
+"""Bench E6/E7: the decomposition, ordering, and placement ablations."""
+
+from repro.experiments import ablation_report, decomposition_ablation
+
+
+def test_regenerate_ablations(benchmark, save_report):
+    text = benchmark.pedantic(ablation_report, rounds=1, iterations=1)
+    save_report("ablations.txt", text)
+    assert "E6" in text
+
+
+def test_equal_decomposition_cost(benchmark):
+    """Time the N=1200 decomposition comparison (three simulated runs)."""
+    ab = benchmark.pedantic(decomposition_ablation, rounds=1, iterations=1)
+    assert ab.equal_worse_than_balanced

@@ -1,0 +1,27 @@
+"""Benches E11/E12: cost-model accuracy and decision sensitivity."""
+
+from repro.experiments import (
+    accuracy_report,
+    model_accuracy,
+    sensitivity_analysis,
+    sensitivity_report,
+)
+
+
+def test_regenerate_model_accuracy(benchmark, save_report):
+    cells = benchmark.pedantic(model_accuracy, rounds=1, iterations=1)
+    save_report("accuracy.txt", accuracy_report(cells))
+    import numpy as np
+
+    mape = np.mean([abs(c.error) for c in cells])
+    assert mape < 0.20
+
+
+def test_regenerate_sensitivity(benchmark, save_report):
+    results = benchmark.pedantic(
+        lambda: sensitivity_analysis(trials=20), rounds=1, iterations=1
+    )
+    save_report("sensitivity.txt", sensitivity_report(results))
+    by_eps = {r.epsilon: r for r in results}
+    assert by_eps[0.05].decision_changed == 0
+    assert by_eps[0.4].max_regret < 0.15

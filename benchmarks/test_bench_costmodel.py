@@ -1,0 +1,56 @@
+"""Bench E4: the offline calibration pass — fit quality and cost.
+
+Times the full §3 benchmarking + fitting pipeline on the simulated testbed
+and saves the fitted-vs-published constants comparison.
+"""
+
+from repro.benchmarking import Workbench, build_cost_database
+from repro.experiments import calibration_report
+from repro.hardware.presets import paper_testbed
+from repro.spmd import Topology
+
+
+def test_offline_calibration_runtime(benchmark, save_report):
+    """Time the full sweep+fit (the offline phase the paper amortizes)."""
+    workbench = Workbench(lambda: paper_testbed())
+
+    def calibrate():
+        return build_cost_database(
+            workbench,
+            clusters=["sparc2", "ipc"],
+            topologies=[Topology.ONE_D],
+            p_values=(2, 3, 4, 6),
+            b_values=(240, 1200, 2400, 4800),
+            cycles=4,
+        )
+
+    db = benchmark.pedantic(calibrate, rounds=1, iterations=1)
+    for fn in db.comm.values():
+        assert fn.r_squared > 0.95
+    save_report("costmodel.txt", calibration_report())
+
+
+def test_single_microbenchmark_runtime(benchmark):
+    """Time one topology microbenchmark point (p=4, b=2400, 4 cycles)."""
+    from repro.benchmarking import measure_cycle_time
+
+    workbench = Workbench(lambda: paper_testbed())
+    t = benchmark(
+        lambda: measure_cycle_time(
+            workbench, {"sparc2": 4}, Topology.ONE_D, 2400, cycles=4
+        )
+    )
+    assert t > 0
+
+
+def test_eq1_fit_runtime(benchmark):
+    """Time the least-squares fit itself (trivially cheap)."""
+    from repro.benchmarking import fit_comm_cost
+
+    samples = [
+        (p, b, 0.5 + 1.1 * p + b * (0.001 + 0.002 * p))
+        for p in (2, 3, 4, 6)
+        for b in (240, 1200, 2400, 4800)
+    ]
+    fn = benchmark(lambda: fit_comm_cost("c", "1-D", samples))
+    assert fn.r_squared > 0.999

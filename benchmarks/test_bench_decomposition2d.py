@@ -1,0 +1,69 @@
+"""Bench E10: 1-D row vs 2-D block decomposition (topology vocabulary).
+
+Compares per-task communication volume and simulated elapsed time of the
+two decompositions on a homogeneous 6-processor set across problem sizes —
+the structural reason the paper's topology set includes 2-D.
+"""
+
+from repro.apps.stencil import run_stencil
+from repro.apps.stencil2d import border_bytes_1d, border_bytes_2d, run_stencil_2d
+from repro.experiments import format_table
+from repro.hardware.presets import paper_testbed
+from repro.mmps import MMPS
+from repro.model import PartitionVector
+
+
+def run_pair(n, iterations=5):
+    net = paper_testbed()
+    mmps = MMPS(net)
+    procs = list(net.cluster("sparc2"))
+    oned = run_stencil(
+        mmps, procs, PartitionVector([n // 6] * 6), n, iterations=iterations
+    )
+    net2 = paper_testbed()
+    twod = run_stencil_2d(
+        MMPS(net2), list(net2.cluster("sparc2")), n, iterations=iterations
+    )
+    oned_bytes = max(ctx.endpoint.stats.bytes_sent for ctx in oned.run.contexts)
+    twod_bytes = max(twod.bytes_sent_per_task)
+    return oned.elapsed_ms, twod.elapsed_ms, oned_bytes, twod_bytes
+
+
+def test_regenerate_decomposition_comparison(benchmark, save_report):
+    def build():
+        rows = []
+        for n in (120, 360, 720):
+            oned_ms, twod_ms, oned_b, twod_b = run_pair(n)
+            rows.append(
+                [
+                    n,
+                    f"{oned_ms:.0f}",
+                    f"{twod_ms:.0f}",
+                    oned_b,
+                    twod_b,
+                    f"{border_bytes_1d(n)}",
+                    f"{border_bytes_2d(n, 6)}",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    save_report(
+        "decomposition2d.txt",
+        format_table(
+            [
+                "N",
+                "1-D ms",
+                "2-D ms",
+                "1-D max bytes",
+                "2-D max bytes",
+                "1-D bytes/cycle",
+                "2-D bytes/cycle",
+            ],
+            rows,
+            title="E10: row vs block decomposition, 6 Sparc2s, 5 iterations",
+        ),
+    )
+    # The 2-D layout always moves fewer bytes per task.
+    for row in rows:
+        assert row[4] < row[3]

@@ -1,0 +1,44 @@
+"""Bench E3: regenerate Fig 3 — the T_c vs processors curve.
+
+Produces the estimated and simulated curves for each problem size and times
+the estimator sweep (the cost of plotting the curve at runtime).
+"""
+
+import pytest
+
+from repro.experiments import fig3_report, fitted_cost_database, p_ideal, tc_curve
+
+
+@pytest.mark.parametrize("n", [60, 300, 1200])
+def test_curve_sweep_runtime(benchmark, n):
+    db = fitted_cost_database()  # warm the cache outside the timer
+    points = benchmark(lambda: tc_curve(n, overlap=False, db=db))
+    assert len(points) == 12
+
+
+def test_regenerate_fig3(benchmark, save_report):
+    def build():
+        sections = []
+        for n in (60, 300, 1200):
+            sections.append(fig3_report(n, overlap=False))
+        return "\n\n".join(sections)
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    save_report("fig3.txt", text)
+    assert "p_ideal" in text
+
+
+def test_p_ideal_shifts_right_with_n(benchmark, save_report):
+    def build():
+        rows, totals = [], []
+        for n in (60, 300, 600, 1200):
+            ideal = p_ideal(tc_curve(n, overlap=False))
+            rows.append(
+                f"N={n:5d}: p_ideal=({ideal.p1},{ideal.p2}) T_c={ideal.t_cycle_ms:.2f} ms"
+            )
+            totals.append(ideal.total_processors)
+        return rows, totals
+
+    rows, totals = benchmark.pedantic(build, rounds=1, iterations=1)
+    save_report("fig3_p_ideal.txt", "Fig 3 companion: p_ideal vs problem size\n" + "\n".join(rows))
+    assert totals == sorted(totals)

@@ -1,0 +1,18 @@
+"""Bench E15: decision quality across every application, both models."""
+
+from repro.experiments.multiapp import decision_quality, multiapp_report
+
+
+def test_regenerate_multiapp_quality(benchmark, save_report):
+    rows = benchmark.pedantic(decision_quality, rounds=1, iterations=1)
+    save_report("multiapp.txt", multiapp_report(rows))
+    # Across apps, the mean prediction gap stays moderate for both models,
+    # and the stencil family is exact.
+    import numpy as np
+
+    dominant = np.mean([r.dominant_gap for r in rows])
+    extended = np.mean([r.extended_gap for r in rows])
+    assert dominant < 0.15
+    assert extended < 0.15
+    stencil_rows = [r for r in rows if r.app.startswith(("stencil", "sten-2"))]
+    assert all(r.dominant_gap == 0.0 for r in stencil_rows)

@@ -1,0 +1,108 @@
+"""Bench E5: the O(K log2 P) partitioning-overhead claim.
+
+Counts Eq 3/6 recomputations for the real testbed and for synthetic larger
+networks (the paper's K=5, P=20 example included), and times the estimator's
+single evaluation.
+"""
+
+from repro.apps.stencil import stencil_computation
+from repro.experiments import paper_cost_database, format_table
+from repro.experiments.calibration import fitted_cost_database
+from repro.hardware.presets import SPARC2, IPC, SUN3, HP9000, RS6000
+from repro.hardware.network import HeterogeneousNetwork
+from repro.benchmarking.costfuncs import CommCostFunction, LinearByteCost
+from repro.benchmarking.database import CostDatabase
+from repro.partition import (
+    gather_available_resources,
+    overhead_report,
+    partition,
+)
+
+
+def five_cluster_network():
+    """The paper's K=5, P=20 worst-case example."""
+    net = HeterogeneousNetwork()
+    for name, spec, count in (
+        ("rs6000", RS6000, 4),
+        ("hp", HP9000, 4),
+        ("sparc2", SPARC2, 4),
+        ("ipc", IPC, 4),
+        ("sun3", SUN3, 4),
+    ):
+        net.add_cluster(name, spec, count)
+    net.validate()
+    return net
+
+
+def synthetic_db(clusters):
+    """A plausible Eq 1 database for arbitrary cluster names."""
+    db = CostDatabase()
+    for i, name in enumerate(clusters):
+        scale = 1.0 + 0.3 * i
+        db.add_comm(
+            CommCostFunction(name, "1-D", 0.0, 1.0 * scale, 0.0005, 0.0015 * scale)
+        )
+    for i, a in enumerate(clusters):
+        for b in clusters[i + 1 :]:
+            db.add_router(LinearByteCost(a, b, "router", 0.1, 0.0008))
+    return db
+
+
+def test_testbed_overhead_within_bounds(benchmark, save_report):
+    res = gather_available_resources(five_cluster_network())
+    db = synthetic_db([r.name for r in res])
+    comp = stencil_computation(600, overlap=False)
+    decision = benchmark(lambda: partition(comp, res, db))
+    report = overhead_report(5, 20, decision.evaluations)
+    rows = [
+        ["clusters K", report.n_clusters],
+        ["processors P", report.total_processors],
+        ["measured T_c evaluations", report.evaluations],
+        ["paper bound K*log2(P)", f"{report.paper_bound:.1f}"],
+        ["rigorous bound 2K(ceil(log2 P)+1)", report.search_bound],
+        ["within bound", "yes" if report.within_bound else "no"],
+    ]
+    save_report(
+        "overhead.txt",
+        format_table(["quantity", "value"], rows, title="E5: partitioning overhead (K=5, P=20)"),
+    )
+    assert report.within_bound
+
+
+def test_two_cluster_overhead(benchmark, save_report):
+    from repro.hardware.presets import paper_testbed
+
+    res = gather_available_resources(paper_testbed())
+    db = paper_cost_database()
+
+    def build():
+        lines = []
+        for n in (60, 300, 600, 1200):
+            d = partition(stencil_computation(n, overlap=False), res, db)
+            rep = overhead_report(2, 12, d.evaluations)
+            lines.append(
+                f"N={n:5d}: {d.evaluations} evaluations "
+                f"(paper K*log2 P = {rep.paper_bound:.1f}, bound {rep.search_bound})"
+            )
+            assert rep.within_bound
+        return lines
+
+    lines = benchmark.pedantic(build, rounds=1, iterations=1)
+    save_report("overhead_testbed.txt", "E5: K=2, P=12 testbed\n" + "\n".join(lines))
+
+
+def test_single_estimate_cost(benchmark):
+    """One T_c evaluation: the unit the K·log2P bound multiplies."""
+    from repro.hardware.presets import paper_testbed
+    from repro.partition import CycleEstimator, ProcessorConfiguration, order_by_power
+
+    res = order_by_power(gather_available_resources(paper_testbed()))
+    db = fitted_cost_database()
+    comp = stencil_computation(600, overlap=False)
+
+    def one_eval():
+        est = CycleEstimator(comp, db)
+        return est.t_cycle(ProcessorConfiguration(res, (6, 4)))
+
+    t = benchmark(one_eval)
+    assert t > 0

@@ -1,0 +1,9 @@
+"""Bench E14: speedup and heterogeneity-aware efficiency per application."""
+
+from repro.experiments import speedup_report
+
+
+def test_regenerate_speedup_tables(benchmark, save_report):
+    text = benchmark.pedantic(speedup_report, rounds=1, iterations=1)
+    save_report("speedup.txt", text)
+    assert "stencil" in text and "gauss" in text and "nbody" in text

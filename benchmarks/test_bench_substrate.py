@@ -1,0 +1,66 @@
+"""Substrate microbenchmarks: kernel event rate, message rate, stencil rate.
+
+Not a paper artifact — these keep the simulator's own performance honest so
+the table-regeneration benches stay fast.
+"""
+
+from repro.hardware.presets import paper_testbed
+from repro.mmps import MMPS
+from repro.sim import Simulator
+
+
+def test_kernel_event_throughput(benchmark):
+    """Process 10k timeout events."""
+
+    def run():
+        sim = Simulator()
+
+        def body():
+            for _ in range(10_000):
+                yield sim.timeout(1.0)
+
+        sim.run_process(body())
+        return sim.now
+
+    now = benchmark(run)
+    assert now == 10_000.0
+
+
+def test_mmps_message_throughput(benchmark):
+    """200 reliable 1 KB messages between two hosts."""
+
+    def run():
+        net = paper_testbed()
+        mmps = MMPS(net)
+        a = mmps.endpoint(net.processor(0))
+        b = mmps.endpoint(net.processor(1))
+
+        def sender():
+            for i in range(200):
+                yield from a.send(b.proc, 1024, tag=str(i))
+
+        def receiver():
+            for i in range(200):
+                yield from b.recv()
+            return b.stats.messages_received
+
+        net.sim.process(sender())
+        return net.sim.run_process(receiver())
+
+    assert benchmark(run) == 200
+
+
+def test_stencil_cycle_throughput(benchmark):
+    """One N=300 (6,0) STEN-1 run: the Table 2 inner loop unit."""
+    from repro.apps.stencil import run_stencil
+    from repro.model import PartitionVector
+
+    def run():
+        net = paper_testbed()
+        mmps = MMPS(net)
+        procs = list(net.cluster("sparc2"))
+        return run_stencil(
+            mmps, procs, PartitionVector([50] * 6), 300, iterations=10
+        ).elapsed_ms
+
+    assert benchmark(run) > 0

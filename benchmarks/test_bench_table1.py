@@ -1,0 +1,45 @@
+"""Bench E1: regenerate Table 1 and time the runtime partitioner.
+
+The timing target is the paper's key runtime claim — partitioning overhead
+"easily tolerated" (hundreds of microseconds against elapsed times of
+hundreds to thousands of ms).
+"""
+
+import pytest
+
+from repro.apps.stencil import stencil_computation
+from repro.experiments import fitted_cost_database, paper_cost_database, table1_report
+from repro.hardware.presets import paper_testbed
+from repro.partition import gather_available_resources, partition
+
+
+@pytest.fixture(scope="module")
+def resources():
+    return gather_available_resources(paper_testbed())
+
+
+@pytest.fixture(scope="module")
+def paper_db():
+    return paper_cost_database()
+
+
+@pytest.mark.parametrize("n", [60, 300, 600, 1200])
+@pytest.mark.parametrize("variant", ["STEN-1", "STEN-2"])
+def test_partitioner_runtime(benchmark, resources, paper_db, variant, n):
+    """Time one full partitioning decision (the paper's runtime overhead)."""
+    comp = stencil_computation(n, overlap=(variant == "STEN-2"))
+    decision = benchmark(lambda: partition(comp, resources, paper_db))
+    assert decision.config.total >= 1
+
+
+def test_regenerate_table1(benchmark, save_report):
+    """Regenerate Table 1 under both cost databases and save the artifact."""
+
+    def build():
+        paper = table1_report(paper_cost_database(), source="paper")
+        fitted = table1_report(fitted_cost_database(), source="fitted")
+        return paper + "\n\n" + fitted
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    save_report("table1.txt", text)
+    assert "Table 1" in text

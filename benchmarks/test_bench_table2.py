@@ -1,0 +1,25 @@
+"""Bench E2: regenerate Table 2 — the full measured-elapsed-time grid.
+
+Runs all 56 simulated executions (2 variants x 4 sizes x 7 configurations,
+10 iterations each), marks the partitioner's predicted minimum per row, and
+checks the paper's central claim on this substrate.
+"""
+
+from repro.experiments import reproduce_table2, table2_report
+
+
+def test_regenerate_table2(benchmark, save_report):
+    repro = benchmark.pedantic(reproduce_table2, rounds=1, iterations=1)
+    text = table2_report(repro)
+    hits = repro.prediction_hits()
+    text += f"\n\nprediction hits: {hits}/{repro.rows_count()} rows"
+    save_report("table2.txt", text)
+    assert hits >= 6
+
+
+def test_single_cell_simulation_speed(benchmark):
+    """Throughput probe: one N=600 (6,6) STEN-1 execution."""
+    from repro.experiments import simulate_elapsed
+
+    elapsed = benchmark(lambda: simulate_elapsed(False, 600, 6, 6))
+    assert elapsed > 0

@@ -1,0 +1,35 @@
+"""Bench artifact: execution timelines for the Fig 3 regions."""
+
+from repro.apps.stencil import run_stencil
+from repro.experiments import ascii_timeline
+from repro.hardware.presets import paper_testbed
+from repro.mmps import MMPS
+from repro.partition import balanced_partition_vector
+
+
+def run_case(n, p1, p2, iterations=5):
+    net = paper_testbed()
+    mmps = MMPS(net)
+    procs = list(net.cluster("sparc2"))[:p1] + list(net.cluster("ipc"))[:p2]
+    vec = balanced_partition_vector([0.3] * p1 + [0.6] * p2, n)
+    return run_stencil(mmps, procs, vec, n, iterations=iterations)
+
+
+def test_regenerate_timelines(benchmark, save_report):
+    def build():
+        sections = []
+        for n, p1, p2, label in (
+            (60, 6, 6, "region B: too many processors, tasks drown in comm"),
+            (1200, 6, 6, "well-fed: compute dominates"),
+        ):
+            result = run_case(n, p1, p2)
+            sections.append(
+                ascii_timeline(
+                    result.run, title=f"STEN-1 N={n} on ({p1},{p2}) - {label}"
+                )
+            )
+        return "\n\n".join(sections)
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    save_report("timelines.txt", text)
+    assert "#" in text and "~" in text

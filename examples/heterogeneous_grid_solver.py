@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Scenario: iteratively smooth a measured field on whatever machines are free.
+
+A lab has two workstation clusters; some nodes are busy with other users'
+work.  The runtime partitioner sees only the *available* nodes (threshold
+policy, §3), picks a configuration, and the numeric result is verified
+against a sequential solver — demonstrating that heterogeneous, load-aware
+decomposition changes the timing but never the answer.
+
+Run:  python examples/heterogeneous_grid_solver.py
+"""
+
+import numpy as np
+
+from repro import MMPS, gather_available_resources, partition, paper_testbed
+from repro.apps import run_stencil, sequential_stencil, stencil_computation
+from repro.experiments import fitted_cost_database
+
+
+def main() -> None:
+    n, iterations = 120, 8
+    rng = np.random.default_rng(7)
+    field = rng.normal(size=(n, n))  # the "measured" noisy field
+
+    # Three of the Sparc2s and one IPC are busy with other users.
+    network = paper_testbed()
+    network.cluster("sparc2").manager.observe_loads([0.0, 0.0, 0.0, 0.6, 0.8, 0.9])
+    network.cluster("ipc").manager.observe_loads([0.0, 0.0, 0.0, 0.0, 0.0, 0.7])
+    resources = gather_available_resources(network)
+    for res in resources:
+        print(f"cluster {res.name:8s}: {res.n_available} of {len(res.cluster)} nodes free")
+
+    computation = stencil_computation(n, overlap=True, cycles=iterations)
+    decision = partition(computation, resources, fitted_cost_database())
+    print(f"\npartitioner chose: {decision.describe()}")
+    print(f"rows per task:     {list(decision.vector)}")
+
+    # Execute numerically on the chosen nodes; messages carry real rows.
+    mmps = MMPS(network)
+    result = run_stencil(
+        mmps,
+        decision.config.processors(),
+        decision.vector,
+        n,
+        iterations=iterations,
+        overlap=True,
+        initial_grid=field,
+    )
+    expected = sequential_stencil(field, iterations)
+    np.testing.assert_allclose(result.grid, expected, rtol=1e-12, atol=1e-12)
+    print(f"\nsimulated elapsed: {result.elapsed_ms:.0f} ms")
+    print("distributed result matches the sequential solver bit-for-bit tolerance.")
+
+    # Contrast: if we had naively used *all twelve* nodes including busy
+    # ones treated as free, the loaded stragglers would gate every cycle.
+    loaded = paper_testbed()
+    all_procs = list(loaded.processors())
+    from repro import balanced_partition_vector
+
+    naive_vec = balanced_partition_vector([0.3] * 6 + [0.6] * 6, n)
+    naive = run_stencil(
+        MMPS(loaded), all_procs, naive_vec, n, iterations=iterations, overlap=True
+    )
+    print(
+        f"for reference, all 12 nodes (if they were free): {naive.elapsed_ms:.0f} ms "
+        "- at this small N, more nodes are not better."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Scenario: a campus metasystem — multicomputer, workstations, two hops.
+
+The paper's §7 closes with metasystems: "machines of different classes such
+as multicomputers and workstations together", which requires "relaxing the
+assumptions about the network model".  This example builds exactly that —
+a fast multicomputer on an 80 Mb/s interconnect next to a Sparc2 cluster on
+office ethernet, plus a third cluster two router hops away — fits cost
+functions end to end on the multi-hop fabric, and compares the paper's
+prefix heuristic with the general local-search partitioner.
+
+Run:  python examples/metasystem_campus.py
+"""
+
+from repro.benchmarking import Workbench, build_cost_database
+from repro.hardware import HeterogeneousNetwork, RouterParams
+from repro.hardware.presets import (
+    ETHERNET_10MBPS,
+    IPC,
+    MULTICOMPUTER_LINK,
+    MULTICOMPUTER_NODE,
+    SPARC2,
+)
+from repro.apps import stencil_computation
+from repro.partition import (
+    gather_available_resources,
+    general_partition,
+    partition,
+)
+from repro.spmd import Topology
+
+
+def build_campus() -> HeterogeneousNetwork:
+    net = HeterogeneousNetwork(
+        ethernet=ETHERNET_10MBPS, auto_router=False
+    )
+    net.add_cluster("meiko", MULTICOMPUTER_NODE, 8, ethernet=MULTICOMPUTER_LINK)
+    net.add_cluster("sparc2", SPARC2, 6)
+    net.add_cluster("ipc", IPC, 6)
+    net.add_router("machine-room", RouterParams(per_byte_ms=0.0008, per_frame_ms=0.8))
+    net.add_router("backbone", RouterParams(per_byte_ms=0.0010, per_frame_ms=1.2))
+    net.connect("machine-room", "meiko")
+    net.connect("machine-room", "sparc2")
+    net.connect("backbone", "sparc2")
+    net.connect("backbone", "ipc")
+    net.validate(strict=False)  # unequal bandwidths + two hops: metasystem mode
+    return net
+
+
+def main() -> None:
+    from repro.experiments import network_diagram
+
+    net = build_campus()
+    print(network_diagram(net))
+    print("\nfabric routes:")
+    for a, b in (("meiko", "sparc2"), ("meiko", "ipc")):
+        route = net.fabric.route(f"segment:{a}", f"segment:{b}")
+        print(f"  {a:8s} -> {b:8s}: {route.hops} hop(s)")
+
+    print("\nfitting cost functions on the fabric (offline phase)...")
+    workbench = Workbench(build_campus)
+    db = build_cost_database(
+        workbench,
+        clusters=["meiko", "sparc2", "ipc"],
+        topologies=[Topology.ONE_D],
+        p_values=(2, 4, 6),
+        b_values=(240, 1200, 2400, 4800),
+        cycles=3,
+    )
+    for (name, _topo), fn in sorted(db.comm.items()):
+        print(f"  T_comm[{name:7s}]: R^2={fn.r_squared:.4f}")
+    print(f"  1-hop penalty (meiko<->sparc2, b=2400): "
+          f"{db.router_cost('meiko', 'sparc2', 2400):.2f} ms")
+    print(f"  2-hop penalty (meiko<->ipc,    b=2400): "
+          f"{db.router_cost('meiko', 'ipc', 2400):.2f} ms")
+
+    resources = gather_available_resources(net)
+    for n in (300, 1200, 4800):
+        comp = stencil_computation(n, overlap=True)
+        prefix = partition(comp, resources, db)
+        general = general_partition(comp, resources, db)
+        print(f"\nN={n}:")
+        print(f"  prefix heuristic : {prefix.describe()}")
+        print(f"  general search   : {general.describe()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Scenario: all-pairs particle interactions over a ring pipeline.
+
+The paper's PDU is deliberately more general than a matrix row — "a
+collection of particles in a particle simulation".  Here each task owns a
+slice of particles sized by the partition vector (Eq 3: the 2x-faster
+Sparc2s get 2x the particles), blocks circulate around a ring, and the
+per-particle potentials are verified against a direct all-pairs oracle.
+
+Run:  python examples/particle_ring.py
+"""
+
+import numpy as np
+
+from repro import MMPS, gather_available_resources, partition, paper_testbed
+from repro.apps import nbody_computation, reference_potentials, run_nbody
+from repro.benchmarking import Workbench, build_cost_database
+from repro.spmd import Topology
+
+
+def main() -> None:
+    num_particles, steps = 240, 2
+    rng = np.random.default_rng(3)
+    positions = np.sort(rng.random(num_particles) * 1000.0)
+
+    workbench = Workbench(lambda: paper_testbed())
+    cost_db = build_cost_database(
+        workbench,
+        clusters=["sparc2", "ipc"],
+        topologies=[Topology.RING],
+        p_values=(2, 3, 4, 6),
+        b_values=(64, 512, 1024, 1920),
+        cycles=3,
+    )
+
+    network = paper_testbed()
+    resources = gather_available_resources(network)
+    decision = partition(nbody_computation(num_particles, steps), resources, cost_db)
+    print(f"partitioner chose: {decision.describe()}")
+    print(f"particles per task: {list(decision.vector)}")
+    sparc_share = decision.vector[0]
+    ipc_ranks = decision.config.counts_by_name().get("ipc", 0)
+    if ipc_ranks:
+        ipc_share = decision.vector[decision.config.counts_by_name()["sparc2"]]
+        print(
+            f"Eq 3 balance: each Sparc2 holds {sparc_share}, each IPC {ipc_share} "
+            f"(ratio ~{sparc_share / ipc_share:.1f}, matching the 2x speed ratio)"
+        )
+
+    mmps = MMPS(network)
+    result = run_nbody(
+        mmps,
+        decision.config.processors(),
+        decision.vector,
+        positions,
+        steps=steps,
+    )
+    np.testing.assert_allclose(
+        result.potentials, reference_potentials(positions), rtol=1e-9
+    )
+    print(f"simulated elapsed: {result.elapsed_ms:.0f} ms over {steps} steps")
+    print("potentials match the direct all-pairs reference.")
+
+
+if __name__ == "__main__":
+    main()

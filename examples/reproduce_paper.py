@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper in one run.
+
+Prints, in order: the E4 calibration comparison, Table 1 (paper constants
+and fitted constants), Table 2 with predicted/simulated minima, the Fig 3
+curves, and the ablations.  The same artifacts are produced (and persisted)
+by ``pytest benchmarks/ --benchmark-only``.
+
+Run:  python examples/reproduce_paper.py      (~30 s)
+"""
+
+from repro.experiments import (
+    ablation_report,
+    calibration_report,
+    fig3_report,
+    fitted_cost_database,
+    paper_cost_database,
+    table1_report,
+    table2_report,
+)
+
+
+def main() -> None:
+    print(calibration_report())
+    print()
+    print(table1_report(paper_cost_database(), source="paper"))
+    print()
+    print(table1_report(fitted_cost_database(), source="fitted"))
+    print()
+    print(table2_report())
+    print()
+    for n in (60, 300, 1200):
+        print(fig3_report(n))
+        print()
+    print(ablation_report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""Data parallel applications used in the evaluation.
+
+Paper applications:
+
+* :mod:`repro.apps.stencil` — the §6 five-point stencil (STEN-1/STEN-2);
+* :mod:`repro.apps.gauss` — Gaussian elimination with partial pivoting
+  (the non-uniform-complexity application §6 mentions).
+
+Suite extensions (each verified against a sequential oracle):
+
+* :mod:`repro.apps.nbody` — ring-pipelined particles (non-matrix PDUs);
+* :mod:`repro.apps.heat` — convergence-driven relaxation (two comm phases);
+* :mod:`repro.apps.sor` — red-black SOR (two exchanges per iteration);
+* :mod:`repro.apps.powermethod` — dominant eigenvalue via ring all-gather;
+* :mod:`repro.apps.stencil2d` — 2-D block decomposition (TWO_D topology);
+* :mod:`repro.apps.stencil_dynamic` — §7's dynamic repartitioning.
+"""
+
+from repro.apps.sor import run_sor, sequential_sor, sor_computation
+from repro.apps.powermethod import (
+    PowerProblem,
+    PowerResult,
+    power_computation,
+    reference_dominant_eigenvalue,
+    run_power_method,
+)
+from repro.apps.heat import (
+    HeatProblem,
+    HeatResult,
+    heat_computation,
+    run_heat,
+    sequential_heat,
+)
+from repro.apps.stencil2d import (
+    Stencil2DResult,
+    block_bounds,
+    border_bytes_1d,
+    border_bytes_2d,
+    run_stencil_2d,
+)
+from repro.apps.stencil_dynamic import (
+    DynamicStencilResult,
+    LoadEvent,
+    apply_load_schedule,
+    run_stencil_dynamic,
+)
+from repro.apps.gauss import (
+    GaussProblem,
+    GaussResult,
+    gauss_computation,
+    run_gauss,
+    weighted_row_owners,
+)
+from repro.apps.nbody import (
+    NBodyProblem,
+    NBodyResult,
+    nbody_computation,
+    reference_potentials,
+    run_nbody,
+)
+from repro.apps.stencil import (
+    BYTES_PER_POINT,
+    OPS_PER_POINT,
+    StencilProblem,
+    StencilResult,
+    run_stencil,
+    sequential_stencil,
+    stencil_computation,
+)
+
+__all__ = [
+    "run_sor",
+    "sequential_sor",
+    "sor_computation",
+    "PowerProblem",
+    "PowerResult",
+    "power_computation",
+    "reference_dominant_eigenvalue",
+    "run_power_method",
+    "HeatProblem",
+    "HeatResult",
+    "heat_computation",
+    "run_heat",
+    "sequential_heat",
+    "Stencil2DResult",
+    "block_bounds",
+    "border_bytes_1d",
+    "border_bytes_2d",
+    "run_stencil_2d",
+    "DynamicStencilResult",
+    "LoadEvent",
+    "apply_load_schedule",
+    "run_stencil_dynamic",
+    "GaussProblem",
+    "GaussResult",
+    "gauss_computation",
+    "run_gauss",
+    "weighted_row_owners",
+    "NBodyProblem",
+    "NBodyResult",
+    "nbody_computation",
+    "reference_potentials",
+    "run_nbody",
+    "BYTES_PER_POINT",
+    "OPS_PER_POINT",
+    "StencilProblem",
+    "StencilResult",
+    "run_stencil",
+    "sequential_stencil",
+    "stencil_computation",
+]

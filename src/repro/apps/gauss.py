@@ -1,0 +1,277 @@
+"""Gaussian elimination with partial pivoting (paper §6's second application).
+
+The paper reports "success applying the method to Gaussian elimination with
+partial pivoting, an application that has *non-uniform* computational and
+communication complexity".  This module provides that application:
+
+* PDU = one row of the augmented ``N x (N+1)`` system;
+* tasks hold rows assigned *round-robin weighted by the partition vector*
+  (interleaving keeps remaining work balanced as elimination shrinks the
+  active set — the standard distribution for GE);
+* each elimination step: local pivot candidate search, an all-reduce to pick
+  the global pivot, a **broadcast** of the pivot row (the paper's
+  bandwidth-limited topology), then local elimination;
+* back substitution happens on rank 0 after a gather.
+
+Annotations use per-cycle *averages* (the complexity is non-uniform across
+the N cycles): eliminating column ``k`` touches ``N-k-1`` rows of length
+``N-k+1``, so the average work per PDU per cycle is about ``N`` operations
+and the average broadcast message is about ``2N`` bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.hardware.processor import Processor
+from repro.mmps.system import MMPS
+from repro.model.computation import DataParallelComputation
+from repro.model.phases import CommunicationPhase, ComputationPhase
+from repro.model.vector import PartitionVector
+from repro.spmd.collectives import allreduce, broadcast
+from repro.spmd.runtime import RunResult, SPMDRun
+from repro.spmd.topology import Topology
+
+__all__ = [
+    "GaussProblem",
+    "gauss_computation",
+    "run_gauss",
+    "weighted_row_owners",
+    "FLOAT_BYTES",
+]
+
+#: 8-byte matrix elements (double precision, unlike the stencil's floats).
+FLOAT_BYTES = 8
+
+
+@dataclass(frozen=True)
+class GaussProblem:
+    """Problem parameters for an ``N x N`` dense system."""
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ValueError(f"system must be at least 2x2, got N={self.n}")
+
+
+def gauss_computation(n: int) -> DataParallelComputation:
+    """Annotations for GE with partial pivoting — *non-uniform* complexity.
+
+    One cycle per elimination step (``I = N``).  At step ``k`` each of the
+    ``N-k-1`` still-active rows does ``2·(N-k+1)`` ops, i.e. per owned PDU
+    ``2·(N-k+1)·(N-k-1)/N`` on average — supplied exactly through the
+    per-cycle callbacks; the scalar annotations carry the cycle-averaged
+    values (``2N/3`` ops per PDU, ``4(N+2)`` bytes) for the ``T_c``-based
+    search.  The pivot-row broadcast at step ``k`` moves ``8·(N-k+2)``
+    bytes.
+    """
+    problem = GaussProblem(n)
+
+    def comp_at_cycle(p: GaussProblem, k: int) -> float:
+        remaining = max(p.n - k - 1, 0)
+        return 2.0 * (p.n - k + 1) * remaining / p.n
+
+    def comm_at_cycle(p: GaussProblem, k: int) -> float:
+        return float(FLOAT_BYTES * (p.n - k + 2))
+
+    return DataParallelComputation(
+        name="GAUSS",
+        problem=problem,
+        num_pdus=lambda p: p.n,
+        computation_phases=[
+            ComputationPhase(
+                "eliminate",
+                complexity=lambda p: 2.0 * p.n / 3.0,
+                op_kind="fp",
+                per_cycle_complexity=comp_at_cycle,
+            )
+        ],
+        communication_phases=[
+            CommunicationPhase(
+                "pivot-broadcast",
+                topology=Topology.BROADCAST,
+                complexity=lambda p: FLOAT_BYTES * (p.n + 2) / 2.0,
+                per_cycle_complexity=comm_at_cycle,
+            )
+        ],
+        cycles=n,
+    )
+
+
+def weighted_row_owners(vector: PartitionVector, n: int) -> np.ndarray:
+    """Row → owning rank, interleaved proportionally to the partition vector.
+
+    Deals rows card-style: each round, every rank with remaining quota takes
+    one row, ranks with larger ``A_i`` keep drawing after the others run out
+    — preserving exact counts while interleaving ownership through the
+    matrix so the active set stays balanced as elimination proceeds.
+    """
+    if vector.total != n:
+        raise PartitionError(f"vector covers {vector.total} rows but N={n}")
+    remaining = list(vector)
+    owners = np.empty(n, dtype=int)
+    row = 0
+    while row < n:
+        progressed = False
+        for rank, quota in enumerate(remaining):
+            if quota > 0 and row < n:
+                owners[row] = rank
+                remaining[rank] -= 1
+                row += 1
+                progressed = True
+        if not progressed:  # pragma: no cover - guarded by vector.total check
+            raise PartitionError("row dealing stalled")
+    return owners
+
+
+@dataclass
+class GaussResult:
+    """Outcome of one distributed GE execution."""
+
+    run: RunResult
+    solution: Optional[np.ndarray]
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Completion time of the factorization + solve."""
+        return self.run.elapsed_ms
+
+
+def run_gauss(
+    mmps: MMPS,
+    processors: Sequence[Processor],
+    vector: PartitionVector,
+    n: int,
+    *,
+    matrix: Optional[np.ndarray] = None,
+    rhs: Optional[np.ndarray] = None,
+    back_substitution: str = "distributed",
+) -> GaussResult:
+    """Execute distributed GE with partial pivoting.
+
+    With ``matrix``/``rhs`` given, runs numerically and returns the solution
+    vector (compare against ``numpy.linalg.solve``); otherwise runs in pure
+    timing mode with a synthetic well-conditioned system.
+
+    ``back_substitution`` selects the solve phase:
+
+    * ``"distributed"`` (default) — pivot-row owners compute their ``x_k``
+      in reverse pivot order and broadcast each value (N small broadcasts);
+    * ``"root"`` — rank 0, which collected every broadcast pivot row during
+      elimination, back-substitutes locally.
+    """
+    if back_substitution not in ("distributed", "root"):
+        raise PartitionError(
+            f"unknown back_substitution mode {back_substitution!r}"
+        )
+    if len(list(vector)) != len(processors):
+        raise PartitionError(
+            f"vector has {vector.size} entries for {len(processors)} processors"
+        )
+    numeric = matrix is not None
+    if numeric:
+        if matrix.shape != (n, n):
+            raise ValueError(f"matrix must be {n}x{n}, got {matrix.shape}")
+        if rhs is None or rhs.shape != (n,):
+            raise ValueError("numeric mode needs rhs of shape (n,)")
+        augmented = np.column_stack([matrix.astype(np.float64), rhs.astype(np.float64)])
+    else:
+        rng = np.random.default_rng(0)
+        augmented = rng.random((n, n + 1)) + np.column_stack(
+            [np.eye(n) * n, np.zeros(n)]
+        )
+    owners = weighted_row_owners(vector, n)
+    row_bytes = FLOAT_BYTES * (n + 2)  # row + rhs + pivot metadata
+
+    def body(ctx):
+        mine = {int(r): augmented[r].copy() for r in np.where(owners == ctx.rank)[0]}
+        pivoted: set[int] = set()
+        step_owner: list[int] = []          # owner rank per elimination step
+        my_steps: dict[int, np.ndarray] = {}  # step -> pivot row (if I own it)
+        for k in range(n):
+            # -- local pivot search over not-yet-pivoted owned rows ------------
+            active = [r for r in mine if r not in pivoted]
+            yield from ctx.compute(2 * len(active), kind="fp")
+            best_val, best_row = -1.0, -1
+            for r in active:
+                v = abs(float(mine[r][k]))
+                if v > best_val:
+                    best_val, best_row = v, r
+            # -- global argmax via allreduce -----------------------------------
+            winner = yield from allreduce(
+                ctx, 24, (best_val, best_row, ctx.rank), lambda a, b: max(a, b),
+                tag=f"pivot{k}",
+            )
+            _pv, pivot_row, owner = winner
+            if pivot_row < 0:
+                raise PartitionError(f"no pivot candidate at step {k}")
+            # -- broadcast the pivot row (bandwidth-limited topology) -----------
+            payload = mine[pivot_row].copy() if ctx.rank == owner else None
+            pivot_data = yield from broadcast(
+                ctx, row_bytes, value=payload, root=owner, tag=f"row{k}"
+            )
+            pivoted.add(pivot_row)
+            # -- eliminate column k from remaining owned rows --------------------
+            remaining = [r for r in mine if r not in pivoted]
+            width = n + 1 - k
+            yield from ctx.compute(2 * width * len(remaining), kind="fp")
+            pivot_val = pivot_data[k]
+            if pivot_val == 0.0:
+                raise PartitionError(f"singular system at step {k}")
+            for r in remaining:
+                factor = mine[r][k] / pivot_val
+                mine[r][k:] -= factor * pivot_data[k:]
+                mine[r][k] = 0.0
+            step_owner.append(owner)
+            if ctx.rank == owner:
+                my_steps[k] = pivot_data
+            if ctx.rank == 0 and back_substitution == "root":
+                # Rank 0 keeps the broadcast pivot rows: stacked in pivot
+                # order they form the (row-permuted) upper-triangular system.
+                mine_pivots[pivot_row] = pivot_data
+                pivot_order.append(pivot_row)
+
+        if back_substitution == "root":
+            # -- gather-free root solve: rank 0 already has every pivot row ----
+            if ctx.rank != 0:
+                return None
+            yield from ctx.compute(n * n, kind="fp")
+            upper = np.vstack([mine_pivots[r] for r in pivot_order])
+            x = np.zeros(n)
+            for i in range(n - 1, -1, -1):
+                x[i] = (upper[i][-1] - upper[i][i + 1 : n] @ x[i + 1 : n]) / upper[i][i]
+            return x
+
+        # -- distributed back substitution: reverse pivot order ------------------
+        x = np.zeros(n)
+        for k in range(n - 1, -1, -1):
+            owner = step_owner[k]
+            if ctx.rank == owner:
+                row = my_steps[k]
+                yield from ctx.compute(2 * (n - k), kind="fp")
+                value = (row[-1] - row[k + 1 : n] @ x[k + 1 : n]) / row[k]
+            else:
+                value = None
+            value = yield from broadcast(
+                ctx, FLOAT_BYTES, value=value, root=owner, tag=f"x{k}"
+            )
+            x[k] = value
+        return x
+
+    mine_pivots: dict[int, np.ndarray] = {}
+    pivot_order: list[int] = []
+    run = SPMDRun(mmps, processors, body, Topology.BROADCAST)
+    result = run.execute()
+    if back_substitution == "root":
+        solution = result.task_values[0]
+    else:
+        # Every rank returns the full solution; they must agree.
+        solution = result.task_values[0]
+        for other in result.task_values[1:]:
+            assert np.array_equal(other, solution)
+    return GaussResult(run=result, solution=solution)

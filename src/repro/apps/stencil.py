@@ -1,0 +1,298 @@
+"""The canonical evaluation application: an NxN five-point stencil (§4, §6).
+
+Two implementations, exactly as the paper evaluates:
+
+* **STEN-1** — border exchange, then grid computation (no overlap);
+* **STEN-2** — border transmission overlapped with the grid computation
+  (asynchronous sends, interior rows computed while borders are in flight,
+  boundary rows finished after the receives).
+
+The PDU is one grid row; tasks form a 1-D topology; annotations follow §4:
+``num_PDUs = N``, computational complexity ``5N`` fp ops per PDU,
+communication complexity ``4N`` bytes per message (4-byte grid points).
+
+Both a *timing* mode (abstract byte/op costs only) and a *numeric* mode
+(real NumPy rows ride the messages; results verified against a sequential
+solver) are provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.hardware.processor import Processor
+from repro.mmps.system import MMPS
+from repro.model.computation import DataParallelComputation
+from repro.model.phases import CommunicationPhase, ComputationPhase
+from repro.model.vector import PartitionVector
+from repro.spmd.runtime import RunResult, SPMDRun
+from repro.spmd.topology import Topology
+
+__all__ = [
+    "StencilProblem",
+    "stencil_computation",
+    "run_stencil",
+    "sequential_stencil",
+    "BYTES_PER_POINT",
+    "OPS_PER_POINT",
+]
+
+#: 4-byte grid points (the paper's assumption).
+BYTES_PER_POINT = 4
+#: Five-point update: 4 adds + 1 multiply per grid point.
+OPS_PER_POINT = 5
+
+
+@dataclass(frozen=True)
+class StencilProblem:
+    """Problem parameters the annotation callbacks close over."""
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 3:
+            raise ValueError(f"stencil grid must be at least 3x3, got N={self.n}")
+
+
+def stencil_computation(
+    n: int, *, overlap: bool, cycles: int = 10
+) -> DataParallelComputation:
+    """The §4 annotations for STEN-1 (``overlap=False``) or STEN-2.
+
+    num_PDUs = N; computational complexity = 5N fp ops; topology 1-D;
+    communication complexity = 4N bytes.
+    """
+    problem = StencilProblem(n)
+    return DataParallelComputation(
+        name="STEN-2" if overlap else "STEN-1",
+        problem=problem,
+        num_pdus=lambda p: p.n,
+        computation_phases=[
+            ComputationPhase(
+                "grid-update", complexity=lambda p: OPS_PER_POINT * p.n, op_kind="fp"
+            )
+        ],
+        communication_phases=[
+            CommunicationPhase(
+                "border-exchange",
+                topology=Topology.ONE_D,
+                complexity=lambda p: BYTES_PER_POINT * p.n,
+                overlap="grid-update" if overlap else None,
+            )
+        ],
+        cycles=cycles,
+    )
+
+
+def sequential_stencil(grid: np.ndarray, iterations: int) -> np.ndarray:
+    """Reference Jacobi sweep: interior points become the 4-neighbour mean.
+
+    The outer boundary is held fixed (Dirichlet).  Vectorized NumPy; the
+    oracle for the distributed numeric mode.
+    """
+    if grid.ndim != 2 or grid.shape[0] != grid.shape[1]:
+        raise ValueError(f"grid must be square 2-D, got shape {grid.shape}")
+    current = grid.astype(np.float64, copy=True)
+    for _ in range(iterations):
+        nxt = current.copy()
+        nxt[1:-1, 1:-1] = 0.25 * (
+            current[:-2, 1:-1]
+            + current[2:, 1:-1]
+            + current[1:-1, :-2]
+            + current[1:-1, 2:]
+        )
+        current = nxt
+    return current
+
+
+def _stencil_body(
+    n: int,
+    iterations: int,
+    counts: Sequence[int],
+    overlap: bool,
+    subgrids: Optional[list[np.ndarray]],
+    include_distribution: bool = False,
+):
+    """Build the task body shared by STEN-1/STEN-2, timing or numeric mode."""
+    starts = np.concatenate([[0], np.cumsum(counts)]).astype(int)
+    border_bytes = BYTES_PER_POINT * n
+
+    def body(ctx):
+        rows = counts[ctx.rank]
+        if include_distribution and ctx.size > 1:
+            # T_startup: rank 0 holds the initial grid and ships each task
+            # its block of rows before the iterations begin (the cost the
+            # paper's Table 2 timings deliberately exclude).
+            if ctx.rank == 0:
+                for other in range(1, ctx.size):
+                    yield from ctx.isend(
+                        other, BYTES_PER_POINT * n * counts[other], tag="dist"
+                    )
+            else:
+                yield from ctx.recv(from_rank=0, tag="dist")
+        ctx.mark_cycle()  # distribution/startup boundary
+        local = subgrids[ctx.rank] if subgrids is not None else None
+        north = ctx.rank - 1 if ctx.rank > 0 else None
+        south = ctx.rank + 1 if ctx.rank < ctx.size - 1 else None
+        for _ in range(iterations):
+            # -- communication phase: send current borders -----------------------
+            if north is not None:
+                payload = local[1].copy() if local is not None else None
+                yield from ctx.isend(north, border_bytes, tag="south", payload=payload)
+            if south is not None:
+                payload = local[-2].copy() if local is not None else None
+                yield from ctx.isend(south, border_bytes, tag="north", payload=payload)
+
+            # Jacobi double buffer: reads come from `old`, writes go to `local`.
+            old = local.copy() if local is not None else None
+
+            def receive_borders():
+                if north is not None:
+                    msg = yield from ctx.recv(from_rank=north, tag="north")
+                    if old is not None:
+                        old[0] = msg.payload
+                if south is not None:
+                    msg = yield from ctx.recv(from_rank=south, tag="south")
+                    if old is not None:
+                        old[-1] = msg.payload
+
+            if not overlap:
+                # STEN-1: finish the whole exchange, then compute all rows.
+                yield from receive_borders()
+                yield from ctx.compute(OPS_PER_POINT * n * rows)
+                if local is not None:
+                    _jacobi_rows(old, local, n, starts[ctx.rank], first=1, last=rows)
+            else:
+                # STEN-2: interior rows (which need no halo) overlap with the
+                # border transmission; halo-dependent rows finish afterwards.
+                interior = max(rows - 2, 0)
+                yield from ctx.compute(OPS_PER_POINT * n * interior)
+                if local is not None and interior > 0:
+                    _jacobi_rows(old, local, n, starts[ctx.rank], first=2, last=rows - 1)
+                yield from receive_borders()
+                boundary = rows - interior
+                yield from ctx.compute(OPS_PER_POINT * n * boundary)
+                if local is not None:
+                    _jacobi_rows(old, local, n, starts[ctx.rank], first=1, last=1)
+                    if rows > 1:
+                        _jacobi_rows(old, local, n, starts[ctx.rank], first=rows, last=rows)
+            ctx.mark_cycle()
+        return ctx.cycle_times()
+
+    return body
+
+
+def _jacobi_rows(
+    old: np.ndarray, new: np.ndarray, n: int, global_start: int, first: int, last: int
+) -> None:
+    """Jacobi-update local rows ``first..last`` (1-based within the halo block).
+
+    Reads exclusively from ``old`` (pre-iteration values, including received
+    halo rows); writes into ``new``.  Rows and columns on the global grid
+    boundary are Dirichlet-fixed and skipped.
+    """
+    lo = max(first, 1)
+    hi = min(last, old.shape[0] - 2)
+    for k in range(lo, hi + 1):
+        gk = global_start + (k - 1)  # global row index
+        if gk == 0 or gk == n - 1:
+            continue  # fixed global boundary row
+        new[k, 1:-1] = 0.25 * (
+            old[k - 1, 1:-1] + old[k + 1, 1:-1] + old[k, :-2] + old[k, 2:]
+        )
+
+
+@dataclass
+class StencilResult:
+    """Outcome of one stencil execution."""
+
+    run: RunResult
+    grid: Optional[np.ndarray]
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Completion time *excluding* startup (the paper's Table 2 metric).
+
+        Tasks mark the startup/iteration boundary; the iteration time runs
+        from the last task crossing that boundary to run completion.
+        """
+        start = max(ctx.cycle_marks[0] for ctx in self.run.contexts)
+        return self.run.end_ms - start
+
+    @property
+    def startup_ms(self) -> float:
+        """The ``T_startup`` component: time until every task holds its data."""
+        return max(ctx.cycle_marks[0] for ctx in self.run.contexts) - self.run.start_ms
+
+    @property
+    def total_ms(self) -> float:
+        """``T_elapsed = I·T_c + T_startup`` — the whole run."""
+        return self.run.elapsed_ms
+
+
+def run_stencil(
+    mmps: MMPS,
+    processors: Sequence[Processor],
+    vector: PartitionVector,
+    n: int,
+    *,
+    iterations: int = 10,
+    overlap: bool = False,
+    initial_grid: Optional[np.ndarray] = None,
+    include_distribution: bool = False,
+) -> StencilResult:
+    """Execute STEN-1/STEN-2 over the given configuration and partition.
+
+    With ``initial_grid`` supplied, runs in numeric mode: the grid is
+    scattered by rows per the partition vector, border rows ride the
+    messages, and the reassembled result is returned for verification.
+
+    ``elapsed_ms`` excludes the initial distribution, matching the paper's
+    "these timings do not include the initial grid distribution"; with
+    ``include_distribution=True`` rank 0 actually ships every task its rows
+    first, and the cost appears in ``startup_ms`` / ``total_ms``
+    (``T_elapsed = I·T_c + T_startup``).
+    """
+    counts = list(vector)
+    if len(counts) != len(processors):
+        raise PartitionError(
+            f"partition vector has {len(counts)} entries for {len(processors)} processors"
+        )
+    if vector.total != n:
+        raise PartitionError(f"vector covers {vector.total} rows but N={n}")
+    if any(c < 1 for c in counts):
+        raise PartitionError(
+            "every chosen processor needs at least one row; "
+            f"got {counts} (drop zero-count processors from the configuration)"
+        )
+    subgrids: Optional[list[np.ndarray]] = None
+    if initial_grid is not None:
+        if initial_grid.shape != (n, n):
+            raise ValueError(f"initial grid must be {n}x{n}, got {initial_grid.shape}")
+        subgrids = []
+        start = 0
+        for count in counts:
+            # Halo row above and below the owned band.
+            block = np.zeros((count + 2, n), dtype=np.float64)
+            block[1:-1] = initial_grid[start : start + count]
+            if start > 0:
+                block[0] = initial_grid[start - 1]
+            if start + count < n:
+                block[-1] = initial_grid[start + count]
+            subgrids.append(block)
+            start += count
+
+    body = _stencil_body(
+        n, iterations, counts, overlap, subgrids, include_distribution
+    )
+    run = SPMDRun(mmps, processors, body, Topology.ONE_D)
+    result = run.execute()
+
+    grid = None
+    if subgrids is not None:
+        grid = np.vstack([block[1:-1] for block in subgrids])
+    return StencilResult(run=result, grid=grid)

@@ -1,0 +1,76 @@
+"""Persisting the offline benchmarking phase to disk.
+
+The paper's cost functions are "constructed offline" once per installation;
+a production runtime loads them rather than re-benchmarking at every start.
+:func:`load_or_build` implements that contract with a fingerprint guard: if
+the stored fingerprint (e.g. a hash of the network description and sweep
+parameters) differs, the cache is considered stale and rebuilt.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.benchmarking.database import CostDatabase
+from repro.errors import FittingError
+
+__all__ = ["load_or_build", "save_database", "load_database"]
+
+
+def save_database(
+    db: CostDatabase, path: Union[str, Path], *, fingerprint: str = ""
+) -> Path:
+    """Write a database (plus fingerprint) to ``path``."""
+    path = Path(path)
+    payload = {"fingerprint": fingerprint, "database": json.loads(db.to_json())}
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def load_database(
+    path: Union[str, Path], *, expected_fingerprint: Optional[str] = None
+) -> CostDatabase:
+    """Read a database back; raises :class:`FittingError` on any mismatch."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise FittingError(f"no cost database at {path}") from None
+    except json.JSONDecodeError as exc:
+        raise FittingError(f"corrupt cost database at {path}: {exc}") from exc
+    if not isinstance(payload, dict) or "database" not in payload:
+        raise FittingError(f"{path} is not a cost-database cache file")
+    if (
+        expected_fingerprint is not None
+        and payload.get("fingerprint", "") != expected_fingerprint
+    ):
+        raise FittingError(
+            f"stale cost database at {path}: fingerprint "
+            f"{payload.get('fingerprint', '')!r} != {expected_fingerprint!r}"
+        )
+    return CostDatabase.from_json(json.dumps(payload["database"]))
+
+
+def load_or_build(
+    path: Union[str, Path],
+    builder: Callable[[], CostDatabase],
+    *,
+    fingerprint: str = "",
+    refresh: bool = False,
+) -> CostDatabase:
+    """Load the cached database, or run the offline phase and cache it.
+
+    ``fingerprint`` should change whenever the network or the sweep
+    parameters do; a mismatch (or ``refresh=True``) triggers a rebuild.
+    """
+    path = Path(path)
+    if not refresh and path.exists():
+        try:
+            return load_database(path, expected_fingerprint=fingerprint)
+        except FittingError:
+            pass  # stale or corrupt: fall through to rebuild
+    db = builder()
+    save_database(db, path, fingerprint=fingerprint)
+    return db

@@ -1,0 +1,107 @@
+"""Least-squares fitting of the cost-function constants.
+
+The paper derives Eq 1's constants by benchmarking "different p and b
+values".  We do the same: collect ``(p, b, t)`` samples from the simulated
+topology benchmarks and solve the linear system with the design matrix
+``[1, p, b, b·p]``.  Router and coercion penalties are fitted as
+``a + s·b`` from ``(b, t)`` samples.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.benchmarking.costfuncs import CommCostFunction, LinearByteCost
+from repro.errors import FittingError
+
+__all__ = ["fit_comm_cost", "fit_linear_byte_cost", "r_squared"]
+
+
+def r_squared(observed: np.ndarray, predicted: np.ndarray) -> float:
+    """Coefficient of determination; 1.0 for a perfect fit.
+
+    Degenerate case: if the observations have no variance, returns 1.0 when
+    the predictions match them and 0.0 otherwise.
+    """
+    observed = np.asarray(observed, dtype=float)
+    predicted = np.asarray(predicted, dtype=float)
+    ss_res = float(np.sum((observed - predicted) ** 2))
+    ss_tot = float(np.sum((observed - observed.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res < 1e-12 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def fit_comm_cost(
+    cluster: str,
+    topology: str,
+    samples: Sequence[tuple[int, float, float]],
+    *,
+    abs_bandwidth_quirk: bool = True,
+) -> CommCostFunction:
+    """Fit Eq 1 constants from ``(p, b, t_ms)`` samples.
+
+    Requires at least 4 samples spanning more than one ``p`` and ``b`` value,
+    otherwise the design matrix is rank deficient.
+    """
+    if len(samples) < 4:
+        raise FittingError(
+            f"need at least 4 samples to fit Eq 1, got {len(samples)}"
+        )
+    p = np.array([s[0] for s in samples], dtype=float)
+    b = np.array([s[1] for s in samples], dtype=float)
+    t = np.array([s[2] for s in samples], dtype=float)
+    if np.unique(p).size < 2 or np.unique(b).size < 2:
+        raise FittingError(
+            "Eq 1 fit needs variation in both p and b "
+            f"(got {np.unique(p).size} p values, {np.unique(b).size} b values)"
+        )
+    design = np.column_stack([np.ones_like(p), p, b, b * p])
+    coeffs, _res, rank, _sv = np.linalg.lstsq(design, t, rcond=None)
+    if rank < 4:
+        raise FittingError(f"rank-deficient Eq 1 design matrix (rank {rank})")
+    predicted = design @ coeffs
+    return CommCostFunction(
+        cluster=cluster,
+        topology=topology,
+        c1=float(coeffs[0]),
+        c2=float(coeffs[1]),
+        c3=float(coeffs[2]),
+        c4=float(coeffs[3]),
+        abs_bandwidth_quirk=abs_bandwidth_quirk,
+        r_squared=r_squared(t, predicted),
+        n_samples=len(samples),
+    )
+
+
+def fit_linear_byte_cost(
+    src: str,
+    dst: str,
+    kind: str,
+    samples: Sequence[tuple[float, float]],
+) -> LinearByteCost:
+    """Fit ``a + s·b`` from ``(b, t_ms)`` samples (router/coercion penalties)."""
+    if len(samples) < 2:
+        raise FittingError(
+            f"need at least 2 samples to fit a per-byte cost, got {len(samples)}"
+        )
+    b = np.array([s[0] for s in samples], dtype=float)
+    t = np.array([s[1] for s in samples], dtype=float)
+    if np.unique(b).size < 2:
+        raise FittingError("per-byte fit needs at least two distinct b values")
+    design = np.column_stack([np.ones_like(b), b])
+    coeffs, _res, rank, _sv = np.linalg.lstsq(design, t, rcond=None)
+    if rank < 2:
+        raise FittingError(f"rank-deficient per-byte design matrix (rank {rank})")
+    predicted = design @ coeffs
+    return LinearByteCost(
+        src=src,
+        dst=dst,
+        kind=kind,
+        intercept_ms=float(coeffs[0]),
+        slope_ms_per_byte=float(coeffs[1]),
+        r_squared=r_squared(t, predicted),
+        n_samples=len(samples),
+    )

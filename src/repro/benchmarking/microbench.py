@@ -1,0 +1,165 @@
+"""Topology-specific communication microbenchmarks (paper §3).
+
+"A set of very accurate message cost functions [can] be constructed for each
+cluster type by benchmarking a set of topology-specific communication
+programs."  Each benchmark instantiates tasks over a chosen processor set,
+runs warm-up plus measured synchronous communication cycles, and reports the
+average per-cycle elapsed time — precisely the quantity Eq 1 models.
+
+Every measurement runs on a *fresh* simulated network built by the supplied
+factory, so measurements never perturb each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.errors import FittingError
+from repro.hardware.network import HeterogeneousNetwork
+from repro.mmps.system import MMPS
+from repro.spmd.runtime import SPMDRun
+from repro.spmd.topology import Topology
+
+__all__ = ["Workbench", "CycleSample", "measure_cycle_time", "sweep_cluster", "measure_crossing_penalty"]
+
+#: Builds a fresh network for one measurement.
+NetworkFactory = Callable[[], HeterogeneousNetwork]
+#: Builds the message system under test over a fresh network.
+MMPSFactory = Callable[[HeterogeneousNetwork], MMPS]
+
+
+@dataclass(frozen=True)
+class CycleSample:
+    """One benchmark observation: ``p`` processors, ``b`` bytes, ``t_ms``/cycle."""
+
+    p: int
+    b: int
+    t_ms: float
+
+
+class Workbench:
+    """Factory pair producing a fresh (network, MMPS) per measurement."""
+
+    def __init__(
+        self,
+        network_factory: NetworkFactory,
+        mmps_factory: Optional[MMPSFactory] = None,
+    ) -> None:
+        self.network_factory = network_factory
+        self.mmps_factory = mmps_factory or (lambda net: MMPS(net))
+
+    def fresh(self) -> tuple[HeterogeneousNetwork, MMPS]:
+        """A brand-new simulated environment."""
+        net = self.network_factory()
+        return net, self.mmps_factory(net)
+
+
+def _comm_cycles_body(nbytes: int, cycles: int, warmup: int):
+    """Task body: warm-up cycles then measured exchange cycles."""
+
+    def body(ctx):
+        for _ in range(warmup):
+            yield from ctx.exchange(nbytes, tag="warm")
+        ctx.mark_cycle()
+        for _ in range(cycles):
+            yield from ctx.exchange(nbytes, tag="bench")
+        ctx.mark_cycle()
+        marks = ctx.cycle_marks
+        return (marks[-1] - marks[0]) / cycles
+
+    return body
+
+
+def measure_cycle_time(
+    workbench: Workbench,
+    cluster_counts: dict[str, int],
+    topology: Topology,
+    nbytes: int,
+    *,
+    cycles: int = 5,
+    warmup: int = 1,
+) -> float:
+    """Average per-cycle cost for one processor configuration and size.
+
+    ``cluster_counts`` maps cluster names to processor counts; processors
+    are taken cluster-contiguously in the given order.  The result is the
+    *maximum* over tasks of their measured mean cycle time, matching the
+    paper's synchronous-cost observation (all roughly equal, governed by the
+    worst).
+    """
+    if cycles < 1:
+        raise FittingError("need at least one measured cycle")
+    net, mmps = workbench.fresh()
+    processors = []
+    for name, count in cluster_counts.items():
+        cluster = net.cluster(name)
+        if count > len(cluster):
+            raise FittingError(
+                f"cluster {name!r} has {len(cluster)} nodes, {count} requested"
+            )
+        processors.extend(cluster.processors[:count])
+    if len(processors) < 2:
+        return 0.0  # a lone processor has no communication cost
+    run = SPMDRun(mmps, processors, _comm_cycles_body(nbytes, cycles, warmup), topology)
+    result = run.execute()
+    return max(result.task_values)
+
+
+def sweep_cluster(
+    workbench: Workbench,
+    cluster: str,
+    topology: Topology,
+    p_values: Sequence[int],
+    b_values: Sequence[int],
+    *,
+    cycles: int = 5,
+    warmup: int = 1,
+) -> list[CycleSample]:
+    """The paper's offline sweep: measure every (p, b) grid point.
+
+    Returns samples suitable for :func:`repro.benchmarking.fitting.fit_comm_cost`.
+    """
+    samples = []
+    for p in p_values:
+        if p < 2:
+            raise FittingError("sweep p values must be >= 2 (p=1 has no comm)")
+        for b in b_values:
+            t = measure_cycle_time(
+                workbench, {cluster: p}, topology, b, cycles=cycles, warmup=warmup
+            )
+            samples.append(CycleSample(p=p, b=b, t_ms=t))
+    return samples
+
+
+def measure_crossing_penalty(
+    workbench: Workbench,
+    cluster_a: str,
+    cluster_b: str,
+    b_values: Sequence[int],
+    *,
+    cycles: int = 5,
+    warmup: int = 1,
+) -> list[tuple[int, float]]:
+    """Extra per-cycle cost of a cross-router pair vs an intra-cluster pair.
+
+    For each message size, measures a two-task 1-D exchange within
+    ``cluster_a`` and one spanning the router into ``cluster_b``; the
+    difference isolates the router (plus any coercion) penalty as a function
+    of ``b``.  Returns ``(b, penalty_ms)`` samples for the linear fit.
+    """
+    samples = []
+    for b in b_values:
+        t_intra = measure_cycle_time(
+            workbench, {cluster_a: 2}, Topology.ONE_D, b, cycles=cycles, warmup=warmup
+        )
+        t_cross = measure_cycle_time(
+            workbench,
+            {cluster_a: 1, cluster_b: 1},
+            Topology.ONE_D,
+            b,
+            cycles=cycles,
+            warmup=warmup,
+        )
+        samples.append((b, t_cross - t_intra))
+    return samples

@@ -1,0 +1,105 @@
+"""Instruction-rate benchmarking (the paper's ``S_i`` measurement).
+
+The paper obtained ``S_i ≈ 0.3`` µs (Sparc2) and ``0.6`` µs (IPC) as "an
+average obtained by benchmarking several floating point operations".  We
+reproduce that methodology on the simulated nodes: time a known operation
+count on one processor of each cluster and divide.  On an unloaded node the
+measurement recovers the spec exactly; under load it recovers the
+effective (load-adjusted) rate, which is what the general partitioning model
+wants to feed into Eq 4.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.benchmarking.costfuncs import LinearByteCost
+from repro.benchmarking.fitting import fit_linear_byte_cost
+from repro.benchmarking.microbench import Workbench
+from repro.hardware.processor import OpKind
+from repro.units import msec_to_usec
+
+__all__ = [
+    "benchmark_instruction_rate",
+    "benchmark_all_clusters",
+    "benchmark_coercion_cost",
+]
+
+
+def benchmark_instruction_rate(
+    workbench: Workbench,
+    cluster: str,
+    *,
+    kind: OpKind = "fp",
+    ops_per_trial: int = 1_000_000,
+    trials: int = 3,
+    load_adjusted: bool = False,
+) -> float:
+    """Measured µs/op of one node of ``cluster`` (the paper's ``S_i``).
+
+    Runs ``trials`` timed loops of ``ops_per_trial`` operations on a fresh
+    simulated node each time and averages.
+    """
+    if trials < 1 or ops_per_trial < 1:
+        raise ValueError("trials and ops_per_trial must be positive")
+    total_usec = 0.0
+    for _ in range(trials):
+        net, _mmps = workbench.fresh()
+        proc = net.cluster(cluster).processors[0]
+
+        def body():
+            start = net.sim.now
+            duration = proc.compute_time_ms(ops_per_trial, kind, load_adjusted=load_adjusted)
+            yield net.sim.timeout(duration)
+            return net.sim.now - start
+
+        elapsed_ms = net.sim.run_process(body())
+        total_usec += msec_to_usec(elapsed_ms)
+    return total_usec / (trials * ops_per_trial)
+
+
+def benchmark_all_clusters(
+    workbench: Workbench,
+    clusters: Sequence[str],
+    *,
+    kind: OpKind = "fp",
+    ops_per_trial: int = 1_000_000,
+    trials: int = 3,
+) -> dict[str, float]:
+    """``S_i`` for every listed cluster, as a name→µs/op mapping."""
+    return {
+        name: benchmark_instruction_rate(
+            workbench, name, kind=kind, ops_per_trial=ops_per_trial, trials=trials
+        )
+        for name in clusters
+    }
+
+
+def benchmark_coercion_cost(
+    workbench: Workbench,
+    src_cluster: str,
+    dst_cluster: str,
+    b_values: Sequence[int] = (256, 1024, 2400, 4800),
+) -> LinearByteCost:
+    """Measure ``T_coerce[C_i, C_j](b)`` by timing conversions locally.
+
+    The paper benchmarks coercion offline like any other cost.  The real
+    MMPS would time its XDR decode routine on the destination host; here we
+    time the message layer's conversion path for messages of each size on a
+    destination-cluster node, and fit the per-byte penalty.  Returns a zero
+    function when the two clusters share a data format.
+    """
+    samples = []
+    for b in b_values:
+        net, mmps = workbench.fresh()
+        src_spec = net.cluster(src_cluster).spec
+        dst_proc = net.cluster(dst_cluster).processors[0]
+        cost = mmps.coercion.cost_ms(src_spec.data_format, dst_proc.spec, b)
+
+        def convert(cost_ms=cost):
+            start = net.sim.now
+            yield net.sim.timeout(cost_ms)
+            return net.sim.now - start
+
+        samples.append((b, net.sim.run_process(convert())))
+    return fit_linear_byte_cost(src_cluster, dst_cluster, "coerce", samples)

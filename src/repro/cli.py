@@ -1,0 +1,196 @@
+"""Command-line interface: regenerate the paper's artifacts.
+
+::
+
+    python -m repro table1            # partitioning decisions (Table 1)
+    python -m repro table2            # elapsed-time grid + stars (Table 2)
+    python -m repro fig3 --n 300      # the T_c(P) curve
+    python -m repro calibrate         # fitted vs published cost functions
+    python -m repro ablations         # decomposition/ordering/placement
+    python -m repro all -o report.txt # everything, also written to a file
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional, Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def _table1(args) -> str:
+    from repro.experiments import fitted_cost_database, paper_cost_database, table1_report
+
+    if args.source == "paper":
+        return table1_report(paper_cost_database(), source="paper")
+    if args.source == "fitted":
+        return table1_report(fitted_cost_database(), source="fitted")
+    return (
+        table1_report(paper_cost_database(), source="paper")
+        + "\n\n"
+        + table1_report(fitted_cost_database(), source="fitted")
+    )
+
+
+def _table2(args) -> str:
+    from repro.experiments import reproduce_table2, table2_report
+
+    repro_ = reproduce_table2()
+    text = table2_report(repro_)
+    return text + f"\n\nprediction hits: {repro_.prediction_hits()}/{repro_.rows_count()} rows"
+
+
+def _fig3(args) -> str:
+    from repro.experiments import fig3_report
+
+    sizes = [args.n] if args.n else [60, 300, 1200]
+    return "\n\n".join(fig3_report(n, overlap=args.overlap) for n in sizes)
+
+
+def _calibrate(args) -> str:
+    from repro.experiments import calibration_report
+
+    return calibration_report()
+
+
+def _ablations(args) -> str:
+    from repro.experiments import ablation_report
+
+    return ablation_report()
+
+
+def _accuracy(args) -> str:
+    from repro.experiments import accuracy_report
+
+    return accuracy_report()
+
+
+def _sensitivity(args) -> str:
+    from repro.experiments import sensitivity_report
+
+    return sensitivity_report()
+
+
+def _timeline(args) -> str:
+    from repro.apps.stencil import run_stencil
+    from repro.experiments import ascii_timeline
+    from repro.hardware.presets import paper_testbed
+    from repro.mmps import MMPS
+    from repro.partition import balanced_partition_vector
+
+    net = paper_testbed()
+    mmps = MMPS(net)
+    p1, p2 = args.p1, args.p2
+    procs = list(net.cluster("sparc2"))[:p1] + list(net.cluster("ipc"))[:p2]
+    vec = balanced_partition_vector([0.3] * p1 + [0.6] * p2, args.n)
+    result = run_stencil(
+        mmps, procs, vec, args.n, iterations=args.iterations, overlap=args.overlap
+    )
+    variant = "STEN-2" if args.overlap else "STEN-1"
+    return ascii_timeline(
+        result.run, title=f"{variant} N={args.n} on ({p1},{p2})"
+    )
+
+
+def _speedup(args) -> str:
+    from repro.experiments import speedup_report
+
+    return speedup_report()
+
+
+def _multiapp(args) -> str:
+    from repro.experiments.multiapp import multiapp_report
+
+    return multiapp_report()
+
+
+def _all(args) -> str:
+    sections = [
+        _calibrate(args),
+        _table1(argparse.Namespace(source="both")),
+        _table2(args),
+        _fig3(argparse.Namespace(n=None, overlap=False)),
+        _ablations(args),
+        _accuracy(args),
+        _sensitivity(args),
+        _speedup(args),
+    ]
+    return "\n\n".join(sections)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The :mod:`argparse` command tree (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce Weissman & Grimshaw (HPDC 1994): tables, figures, calibration.",
+    )
+    parser.add_argument(
+        "-o", "--output", metavar="FILE", help="also write the report to FILE"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p1 = sub.add_parser("table1", help="Table 1: partitioning decisions")
+    p1.add_argument(
+        "--source",
+        choices=("paper", "fitted", "both"),
+        default="both",
+        help="which cost functions drive the partitioner",
+    )
+    p1.set_defaults(func=_table1)
+
+    p2 = sub.add_parser("table2", help="Table 2: simulated elapsed-time grid")
+    p2.set_defaults(func=_table2)
+
+    p3 = sub.add_parser("fig3", help="Fig 3: the T_c(P) curve")
+    p3.add_argument("--n", type=int, default=None, help="problem size (default: 60, 300, 1200)")
+    p3.add_argument("--overlap", action="store_true", help="use STEN-2 instead of STEN-1")
+    p3.set_defaults(func=_fig3)
+
+    p4 = sub.add_parser("calibrate", help="offline cost-function fitting report")
+    p4.set_defaults(func=_calibrate)
+
+    p5 = sub.add_parser("ablations", help="decomposition/ordering/placement ablations")
+    p5.set_defaults(func=_ablations)
+
+    p6 = sub.add_parser("all", help="every artifact in one report")
+    p6.set_defaults(func=_all)
+
+    p7 = sub.add_parser("accuracy", help="E11: cost-model accuracy grid")
+    p7.set_defaults(func=_accuracy)
+
+    p8 = sub.add_parser("sensitivity", help="E12: decision sensitivity to constant error")
+    p8.set_defaults(func=_sensitivity)
+
+    p10 = sub.add_parser("speedup", help="E14: speedup/efficiency per application")
+    p10.set_defaults(func=_speedup)
+
+    p11 = sub.add_parser("multiapp", help="E15: decision quality across all applications")
+    p11.set_defaults(func=_multiapp)
+
+    p9 = sub.add_parser("timeline", help="ASCII Gantt of one stencil run")
+    p9.add_argument("--n", type=int, default=300)
+    p9.add_argument("--p1", type=int, default=6, help="Sparc2 count")
+    p9.add_argument("--p2", type=int, default=0, help="IPC count")
+    p9.add_argument("--iterations", type=int, default=5)
+    p9.add_argument("--overlap", action="store_true")
+    p9.set_defaults(func=_timeline)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    func: Callable = args.func
+    text = func(args)
+    print(text)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"\n[written to {args.output}]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

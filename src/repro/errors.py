@@ -1,0 +1,85 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while letting
+programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "DeadlineExceededError",
+    "DeadlockError",
+    "NetworkModelError",
+    "TopologyError",
+    "AnnotationError",
+    "PartitionError",
+    "FittingError",
+    "MessagingError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class SimulationError(ReproError):
+    """A violation of the discrete-event kernel's protocol.
+
+    Examples: triggering an event twice, yielding a non-event from a process
+    generator, or scheduling with a negative delay.
+    """
+
+
+class DeadlineExceededError(ReproError):
+    """An SPMD run was cancelled because it hit its wall-clock deadline.
+
+    Raised by :meth:`repro.spmd.SPMDRun.execute` when ``deadline_ms`` is set
+    and the tasks have not all completed in time; every live task is
+    interrupted before the error propagates.
+    """
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while a waited-on process was still pending.
+
+    Raised by :meth:`repro.sim.Simulator.run_process` when the simulation can
+    make no further progress but the driving process has not finished —
+    typically a blocking receive whose matching send never happens.
+    """
+
+
+class NetworkModelError(ReproError):
+    """The network description violates the model assumptions of Section 3.
+
+    The partitioning method assumes segments of equal bandwidth, one
+    homogeneous cluster per segment, and single-router (one hop) connectivity.
+    :class:`repro.hardware.HeterogeneousNetwork` validates these on
+    construction and raises this error on violation.
+    """
+
+
+class TopologyError(ReproError):
+    """An invalid communication-topology request.
+
+    Examples: asking for the neighbours of a rank outside ``[0, size)`` or
+    building a 2-D topology with a non-rectangular task count.
+    """
+
+
+class AnnotationError(ReproError):
+    """A data-parallel program's callback annotations are missing or invalid."""
+
+
+class PartitionError(ReproError):
+    """The partitioner could not produce a valid processor configuration."""
+
+
+class FittingError(ReproError):
+    """Cost-function fitting failed (degenerate design matrix, no samples)."""
+
+
+class MessagingError(ReproError):
+    """An MMPS message-layer protocol violation (bad address, closed port)."""

@@ -1,0 +1,103 @@
+"""Experiment harnesses reproducing the paper's tables and figures.
+
+* :mod:`repro.experiments.paper` — the published constants and table data;
+* :mod:`repro.experiments.table1` — partitioning decisions (Table 1);
+* :mod:`repro.experiments.table2` — measured elapsed times (Table 2);
+* :mod:`repro.experiments.fig3` — the T_c(P) curve (Fig 3);
+* :mod:`repro.experiments.calibration` — simulator-fitted cost functions;
+* :mod:`repro.experiments.ablations` — decomposition/ordering/placement
+  ablations;
+* :mod:`repro.experiments.report` — ASCII table rendering.
+"""
+
+from repro.experiments.accuracy import AccuracyCell, accuracy_report, model_accuracy
+from repro.experiments.sensitivity import (
+    SensitivityResult,
+    perturb_database,
+    sensitivity_analysis,
+    sensitivity_report,
+)
+from repro.experiments.ablations import (
+    ablation_report,
+    decomposition_ablation,
+    ordering_ablation,
+    placement_ablation,
+)
+from repro.experiments.calibration import (
+    calibration_report,
+    fitted_cost_database,
+    measured_instruction_rates,
+)
+from repro.experiments.fig3 import (
+    fig3_report,
+    is_unimodal,
+    p_ideal,
+    prefix_configs,
+    simulated_curve,
+    tc_curve,
+)
+from repro.experiments.paper import (
+    ITERATIONS,
+    PROBLEM_SIZES,
+    TABLE1,
+    TABLE2,
+    TABLE2_CONFIGS,
+    paper_cost_database,
+)
+from repro.experiments.report import format_bar_chart, format_table
+from repro.experiments.table1 import reproduce_table1, table1_report
+from repro.experiments.speedup import (
+    SpeedupPoint,
+    equivalent_processors,
+    speedup_curve,
+    speedup_report,
+)
+from repro.experiments.diagram import network_diagram
+from repro.experiments.timeline import ascii_timeline
+from repro.experiments.table2 import (
+    reproduce_table2,
+    simulate_elapsed,
+    table2_report,
+)
+
+__all__ = [
+    "AccuracyCell",
+    "accuracy_report",
+    "model_accuracy",
+    "SensitivityResult",
+    "perturb_database",
+    "sensitivity_analysis",
+    "sensitivity_report",
+    "ablation_report",
+    "decomposition_ablation",
+    "ordering_ablation",
+    "placement_ablation",
+    "calibration_report",
+    "fitted_cost_database",
+    "measured_instruction_rates",
+    "fig3_report",
+    "is_unimodal",
+    "p_ideal",
+    "prefix_configs",
+    "simulated_curve",
+    "tc_curve",
+    "ITERATIONS",
+    "PROBLEM_SIZES",
+    "TABLE1",
+    "TABLE2",
+    "TABLE2_CONFIGS",
+    "paper_cost_database",
+    "format_bar_chart",
+    "format_table",
+    "reproduce_table1",
+    "table1_report",
+    "ascii_timeline",
+    "network_diagram",
+    "SpeedupPoint",
+    "equivalent_processors",
+    "speedup_curve",
+    "speedup_report",
+    "reproduce_table2",
+    "simulate_elapsed",
+    "table2_report",
+]

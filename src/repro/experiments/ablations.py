@@ -1,0 +1,182 @@
+"""Experiments E6/E7: ablations of the design choices DESIGN.md calls out.
+
+* **Decomposition** (E6): balanced Eq 3 vs equal split at N=1200 on all 12
+  processors, plus the 6-Sparc2 comparison — reproducing the paper's
+  "using 6 Sparc2's results in a smaller elapsed time (3984 vs 4157)" point.
+* **Ordering** (E7): power-first cluster ordering vs slow-first.
+* **Placement**: contiguous vs interleaved task placement on a 1-D topology
+  (the paper's "only one task in each cluster needs to communicate across
+  the router" motivation made measurable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.apps.stencil import run_stencil, stencil_computation
+from repro.benchmarking import CostDatabase
+from repro.experiments.calibration import fitted_cost_database
+from repro.experiments.paper import EQUAL_DECOMPOSITION_N1200, ITERATIONS
+from repro.experiments.report import format_table
+from repro.hardware.presets import paper_testbed
+from repro.mmps import MMPS
+from repro.model import PartitionVector
+from repro.partition import (
+    balanced_partition_vector,
+    equal_shares,
+    gather_available_resources,
+    order_by_power,
+    partition,
+)
+from repro.spmd import interleaved_placement
+
+__all__ = [
+    "DecompositionAblation",
+    "decomposition_ablation",
+    "ordering_ablation",
+    "placement_ablation",
+    "ablation_report",
+]
+
+
+@dataclass(frozen=True)
+class DecompositionAblation:
+    """Simulated elapsed times for the N=1200 decomposition comparison."""
+
+    variant: str
+    balanced_12_ms: float
+    equal_12_ms: float
+    six_sparc2_ms: float
+    paper_equal_ms: float
+
+    @property
+    def equal_worse_than_balanced(self) -> bool:
+        """The §6 claim: equal decomposition loses to balanced."""
+        return self.equal_12_ms > self.balanced_12_ms
+
+    @property
+    def six_beats_equal_twelve(self) -> bool:
+        """The stronger §6 claim: 6 balanced Sparc2s beat 12 equal ones."""
+        return self.six_sparc2_ms < self.equal_12_ms
+
+
+def _run(n, overlap, procs_spec, vector, iterations=ITERATIONS, placement=None):
+    net = paper_testbed()
+    mmps = MMPS(net)
+    p1, p2 = procs_spec
+    procs = list(net.cluster("sparc2"))[:p1] + list(net.cluster("ipc"))[:p2]
+    result = run_stencil(
+        mmps, procs, vector, n, iterations=iterations, overlap=overlap
+    )
+    return result.elapsed_ms
+
+
+def decomposition_ablation(n: int = 1200, *, overlap: bool = False) -> DecompositionAblation:
+    """E6: balanced vs equal decomposition vs the 6-Sparc2 configuration."""
+    variant = "STEN-2" if overlap else "STEN-1"
+    balanced = balanced_partition_vector([0.3] * 6 + [0.6] * 6, n)
+    equal = equal_shares(12, n)
+    six = balanced_partition_vector([0.3] * 6, n)
+    return DecompositionAblation(
+        variant=variant,
+        balanced_12_ms=_run(n, overlap, (6, 6), balanced),
+        equal_12_ms=_run(n, overlap, (6, 6), equal),
+        six_sparc2_ms=_run(n, overlap, (6, 0), six),
+        paper_equal_ms=EQUAL_DECOMPOSITION_N1200[variant],
+    )
+
+
+def ordering_ablation(
+    n: int = 60, *, overlap: bool = False, db: Optional[CostDatabase] = None
+) -> dict[str, float]:
+    """E7: heuristic T_c under power-first vs slow-first cluster ordering."""
+    db = db or fitted_cost_database()
+    net = paper_testbed()
+    resources = gather_available_resources(net)
+    comp = stencil_computation(n, overlap=overlap)
+    power = partition(comp, resources, db)
+    slow_first = partition(
+        comp, resources, db, cluster_order=list(reversed(order_by_power(resources)))
+    )
+    return {
+        "power-first T_c (ms)": power.t_cycle_ms,
+        "slow-first T_c (ms)": slow_first.t_cycle_ms,
+        "power-first config": power.describe(),
+        "slow-first config": slow_first.describe(),
+    }
+
+
+def placement_ablation(n: int = 600, *, overlap: bool = False) -> dict[str, float]:
+    """Contiguous vs interleaved placement, simulated on (6, 6)."""
+    vector = balanced_partition_vector([0.3] * 6 + [0.6] * 6, n)
+    results = {}
+    for name, strategy in (("contiguous", None), ("interleaved", interleaved_placement)):
+        net = paper_testbed()
+        mmps = MMPS(net)
+        procs = list(net.cluster("sparc2")) + list(net.cluster("ipc"))
+        if strategy is None:
+            elapsed = run_stencil(
+                mmps, procs, vector, n, iterations=ITERATIONS, overlap=overlap
+            ).elapsed_ms
+        else:
+            placed = strategy(procs)
+            # Re-balance the vector for the new rank->processor speeds.
+            rates = [p.spec.fp_usec_per_op for p in placed]
+            revec = balanced_partition_vector(rates, n)
+            elapsed = run_stencil(
+                mmps, placed, revec, n, iterations=ITERATIONS, overlap=overlap
+            ).elapsed_ms
+        results[name] = elapsed
+    return results
+
+
+def ablation_report() -> str:
+    """All ablations as one formatted report."""
+    sections = []
+    rows = []
+    for overlap in (False, True):
+        ab = decomposition_ablation(overlap=overlap)
+        rows.append(
+            [
+                ab.variant,
+                f"{ab.balanced_12_ms:.0f}",
+                f"{ab.equal_12_ms:.0f}",
+                f"{ab.six_sparc2_ms:.0f}",
+                f"{ab.paper_equal_ms:.0f}",
+                "yes" if ab.equal_worse_than_balanced else "no",
+                "yes" if ab.six_beats_equal_twelve else "no",
+            ]
+        )
+    sections.append(
+        format_table(
+            [
+                "variant",
+                "balanced(6+6)",
+                "equal(6+6)",
+                "balanced(6+0)",
+                "paper equal",
+                "equal worse?",
+                "6 beats equal-12?",
+            ],
+            rows,
+            title="E6: decomposition ablation, N=1200 (simulated elapsed ms)",
+        )
+    )
+    ordering = ordering_ablation()
+    sections.append(
+        format_table(
+            ["quantity", "value"],
+            [[k, v] for k, v in ordering.items()],
+            title="E7: cluster-ordering ablation, STEN-1 N=60",
+        )
+    )
+    placement = placement_ablation()
+    sections.append(
+        format_table(
+            ["placement", "elapsed ms"],
+            [[k, f"{v:.0f}"] for k, v in placement.items()],
+            title="placement ablation, STEN-1 N=600 on (6,6)",
+        )
+    )
+    return "\n\n".join(sections)

@@ -1,0 +1,126 @@
+"""Experiment E11: cost-model accuracy across the whole Table 2 grid.
+
+The paper's method stands on its estimates being *good enough to rank
+configurations*.  This experiment quantifies more: for every (variant, N,
+configuration) cell, compare the estimator's predicted elapsed time
+(``I·T_c``, fitted cost database) against the simulated measurement, and
+report per-variant error statistics.
+
+The paper never publishes this table — only the minima markers — so this is
+the reproduction's own model-validation artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.apps.stencil import stencil_computation
+from repro.benchmarking import CostDatabase
+from repro.experiments.calibration import fitted_cost_database
+from repro.experiments.paper import ITERATIONS, PROBLEM_SIZES, TABLE2_CONFIGS
+from repro.experiments.report import format_table
+from repro.experiments.table2 import simulate_elapsed
+from repro.hardware.presets import paper_testbed
+from repro.partition import (
+    CycleEstimator,
+    ProcessorConfiguration,
+    gather_available_resources,
+    order_by_power,
+)
+
+__all__ = ["AccuracyCell", "model_accuracy", "accuracy_report"]
+
+
+@dataclass(frozen=True)
+class AccuracyCell:
+    """Predicted vs simulated elapsed time for one grid cell."""
+
+    variant: str
+    n: int
+    p1: int
+    p2: int
+    predicted_ms: float
+    simulated_ms: float
+
+    @property
+    def error(self) -> float:
+        """Signed relative error of the prediction."""
+        return (self.predicted_ms - self.simulated_ms) / self.simulated_ms
+
+
+def model_accuracy(
+    db: Optional[CostDatabase] = None,
+    *,
+    sizes: Sequence[int] = PROBLEM_SIZES,
+    configs: Sequence[tuple[int, int]] = TABLE2_CONFIGS,
+    iterations: int = ITERATIONS,
+) -> list[AccuracyCell]:
+    """Predict and simulate every cell; returns the comparison."""
+    db = db or fitted_cost_database()
+    resources = order_by_power(gather_available_resources(paper_testbed()))
+    cells = []
+    for variant, overlap in (("STEN-1", False), ("STEN-2", True)):
+        for n in sizes:
+            comp = stencil_computation(n, overlap=overlap, cycles=iterations)
+            estimator = CycleEstimator(comp, db)
+            for cfg in configs:
+                predicted = estimator.t_elapsed(
+                    ProcessorConfiguration(resources, cfg)
+                )
+                simulated = simulate_elapsed(overlap, n, *cfg, iterations=iterations)
+                cells.append(
+                    AccuracyCell(
+                        variant=variant,
+                        n=n,
+                        p1=cfg[0],
+                        p2=cfg[1],
+                        predicted_ms=predicted,
+                        simulated_ms=simulated,
+                    )
+                )
+    return cells
+
+
+def accuracy_report(cells: Optional[list[AccuracyCell]] = None) -> str:
+    """Per-variant error statistics plus the worst cells."""
+    cells = cells if cells is not None else model_accuracy()
+    rows = []
+    for variant in ("STEN-1", "STEN-2"):
+        sub = [c for c in cells if c.variant == variant]
+        errors = np.array([c.error for c in sub])
+        rows.append(
+            [
+                variant,
+                len(sub),
+                f"{100 * np.mean(np.abs(errors)):.1f}%",
+                f"{100 * np.median(np.abs(errors)):.1f}%",
+                f"{100 * np.max(np.abs(errors)):.1f}%",
+                f"{100 * np.mean(errors):+.1f}%",
+            ]
+        )
+    table = format_table(
+        ["variant", "cells", "MAPE", "median |err|", "max |err|", "bias"],
+        rows,
+        title="E11: cost-model accuracy — predicted I*T_c vs simulated elapsed",
+    )
+    worst = sorted(cells, key=lambda c: -abs(c.error))[:5]
+    worst_rows = [
+        [
+            c.variant,
+            c.n,
+            f"({c.p1},{c.p2})",
+            f"{c.predicted_ms:.0f}",
+            f"{c.simulated_ms:.0f}",
+            f"{100 * c.error:+.0f}%",
+        ]
+        for c in worst
+    ]
+    worst_table = format_table(
+        ["variant", "N", "config", "predicted", "simulated", "error"],
+        worst_rows,
+        title="worst predicted cells",
+    )
+    return table + "\n\n" + worst_table

@@ -1,0 +1,103 @@
+"""Experiment E4: the offline calibration pass on the simulated testbed.
+
+Runs the paper's §3 methodology end-to-end on the simulated network —
+topology microbenchmarks over a (p, b) grid, Eq 1 least-squares fits, router
+penalty measurement, instruction-rate benchmarking — and reports the fitted
+constants next to the paper's published ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.benchmarking import (
+    CostDatabase,
+    Workbench,
+    benchmark_all_clusters,
+    build_cost_database,
+)
+from repro.experiments.paper import PAPER_S_USEC, paper_cost_database
+from repro.experiments.report import format_table
+from repro.hardware.presets import paper_testbed
+from repro.spmd.topology import Topology
+
+__all__ = ["fitted_cost_database", "measured_instruction_rates", "calibration_report"]
+
+#: Default calibration sweep (covers the paper's b = 4N range for all sizes).
+CALIBRATION_P = (2, 3, 4, 6)
+CALIBRATION_B = (240, 1200, 2400, 4800)
+
+
+@lru_cache(maxsize=4)
+def fitted_cost_database(seed: int = 0, cycles: int = 4) -> CostDatabase:
+    """The simulator-fitted cost database for the paper testbed (cached).
+
+    Deterministic for a fixed seed, so caching is sound; fitting takes a few
+    hundred simulated runs.
+    """
+    workbench = Workbench(lambda: paper_testbed(seed=seed))
+    return build_cost_database(
+        workbench,
+        clusters=["sparc2", "ipc"],
+        topologies=[Topology.ONE_D],
+        p_values=CALIBRATION_P,
+        b_values=CALIBRATION_B,
+        cycles=cycles,
+    )
+
+
+def measured_instruction_rates(seed: int = 0) -> dict[str, float]:
+    """The S_i benchmarking pass (paper: 0.3 µs Sparc2, 0.6 µs IPC)."""
+    workbench = Workbench(lambda: paper_testbed(seed=seed))
+    return benchmark_all_clusters(
+        workbench, ["sparc2", "ipc"], ops_per_trial=1_000_000, trials=3
+    )
+
+
+@dataclass(frozen=True)
+class CalibrationRow:
+    """One fitted function vs its published counterpart."""
+
+    name: str
+    fitted: str
+    paper: str
+    r_squared: float
+
+
+def calibration_report(seed: int = 0) -> str:
+    """Human-readable comparison of fitted vs published constants."""
+    fitted = fitted_cost_database(seed)
+    paper = paper_cost_database()
+    rows = []
+    for key in sorted(fitted.comm):
+        f = fitted.comm[key]
+        p = paper.comm.get(key)
+        rows.append(
+            [
+                f"T_comm[{key[0]}, {key[1]}]",
+                f"{f.c1:+.3f} {f.c2:+.3f}p + b({f.c3:+.5f} {f.c4:+.5f}p)",
+                f"{p.c1:+.3f} {p.c2:+.3f}p + b({p.c3:+.5f} {p.c4:+.5f}p)" if p else "-",
+                f"{f.r_squared:.4f}",
+            ]
+        )
+    for key in sorted(fitted.router):
+        f = fitted.router[key]
+        rows.append(
+            [
+                f"T_router[{key[0]}, {key[1]}]",
+                f"{f.intercept_ms:+.3f} + {f.slope_ms_per_byte:.5f}b",
+                "+0.000 + 0.00060b",
+                f"{f.r_squared:.4f}",
+            ]
+        )
+    rates = measured_instruction_rates(seed)
+    for name, s in sorted(rates.items()):
+        rows.append(
+            [f"S[{name}] (usec/op)", f"{s:.3f}", f"{PAPER_S_USEC[name]:.3f}", "1.0000"]
+        )
+    return format_table(
+        ["quantity", "fitted (simulated testbed)", "paper (published)", "R^2"],
+        rows,
+        title="E4: offline calibration — fitted cost functions vs paper",
+    )

@@ -1,0 +1,46 @@
+"""ASCII network diagrams — the Fig 1 analogue for any built network.
+
+Renders the cluster/segment/router structure so examples and docs can show
+the topology a scenario runs on::
+
+    [ sparc2: 6 x Sparc2 @ 0.30us/flop ]===(10 Mb/s)===+
+                                                       |  <router>
+    [ ipc: 6 x IPC @ 0.60us/flop ]===(10 Mb/s)=========+
+"""
+
+from __future__ import annotations
+
+from repro.hardware.network import HeterogeneousNetwork
+
+__all__ = ["network_diagram"]
+
+
+def network_diagram(network: HeterogeneousNetwork) -> str:
+    """One line per cluster, grouped under the router(s) that serve them."""
+    lines = []
+    routers = network.fabric.routers
+    cluster_lines = {}
+    for cluster in network.clusters:
+        bw = cluster.segment.params.bandwidth_bps / 1e6
+        desc = (
+            f"[ {cluster.name}: {len(cluster)} x {cluster.spec.name} "
+            f"@ {cluster.spec.fp_usec_per_op:.2f}us/flop ]===({bw:g} Mb/s)"
+        )
+        cluster_lines[cluster.segment.name] = desc
+    width = max(len(v) for v in cluster_lines.values())
+    for name, router in sorted(routers.items()):
+        attached = [s for s in router.segments if s in cluster_lines]
+        if not attached:
+            continue
+        for i, seg in enumerate(attached):
+            pad = "=" * (width - len(cluster_lines[seg]))
+            joiner = "+" if i < len(attached) else "+"
+            suffix = f"  <{name}>" if i == 0 else ""
+            lines.append(f"{cluster_lines[seg]}{pad}{joiner}{suffix}")
+        lines.append("")
+    if not lines:
+        for seg, desc in cluster_lines.items():
+            lines.append(desc)
+    while lines and lines[-1] == "":
+        lines.pop()
+    return "\n".join(lines)

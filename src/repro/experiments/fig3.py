@@ -1,0 +1,128 @@
+"""Experiment E3: reproduce Fig 3 — the canonical T_c vs processors curve.
+
+Sweeps the estimator along the heuristic's prefix path (Sparc2s first, then
+IPCs) for a fixed problem size and verifies the two regions the paper draws:
+region A (too few processors: granularity-limited, T_c falling) and region B
+(too many: communication-limited, T_c rising), with ``p_ideal`` at the
+minimum.  Also exposes the *simulated* curve for the same path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.apps.stencil import stencil_computation
+from repro.benchmarking import CostDatabase
+from repro.experiments.calibration import fitted_cost_database
+from repro.experiments.report import format_bar_chart
+from repro.experiments.table2 import simulate_elapsed
+from repro.hardware.presets import paper_testbed
+from repro.partition import (
+    CycleEstimator,
+    ProcessorConfiguration,
+    gather_available_resources,
+    order_by_power,
+)
+
+__all__ = ["CurvePoint", "tc_curve", "simulated_curve", "fig3_report", "prefix_configs"]
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """One point of the Fig 3 curve."""
+
+    total_processors: int
+    p1: int
+    p2: int
+    t_cycle_ms: float
+
+
+def prefix_configs(max_p1: int = 6, max_p2: int = 6) -> list[tuple[int, int]]:
+    """The prefix path: (1,0)..(max_p1,0), then (max_p1,1)..(max_p1,max_p2)."""
+    path = [(p, 0) for p in range(1, max_p1 + 1)]
+    path += [(max_p1, p) for p in range(1, max_p2 + 1)]
+    return path
+
+
+def tc_curve(
+    n: int,
+    *,
+    overlap: bool = False,
+    db: Optional[CostDatabase] = None,
+    cycles: int = 10,
+) -> list[CurvePoint]:
+    """The estimated T_c(P) curve along the prefix path."""
+    db = db or fitted_cost_database()
+    net = paper_testbed()
+    resources = order_by_power(gather_available_resources(net))
+    comp = stencil_computation(n, overlap=overlap, cycles=cycles)
+    estimator = CycleEstimator(comp, db)
+    points = []
+    for p1, p2 in prefix_configs():
+        cfg = ProcessorConfiguration(resources, (p1, p2))
+        points.append(
+            CurvePoint(
+                total_processors=p1 + p2, p1=p1, p2=p2, t_cycle_ms=estimator.t_cycle(cfg)
+            )
+        )
+    return points
+
+
+def simulated_curve(
+    n: int,
+    *,
+    overlap: bool = False,
+    iterations: int = 10,
+    configs: Optional[Sequence[tuple[int, int]]] = None,
+) -> list[CurvePoint]:
+    """The simulated per-cycle time along the same path (elapsed / cycles)."""
+    points = []
+    for p1, p2 in configs or prefix_configs():
+        elapsed = simulate_elapsed(overlap, n, p1, p2, iterations=iterations)
+        points.append(
+            CurvePoint(
+                total_processors=p1 + p2,
+                p1=p1,
+                p2=p2,
+                t_cycle_ms=elapsed / iterations,
+            )
+        )
+    return points
+
+
+def p_ideal(points: Sequence[CurvePoint]) -> CurvePoint:
+    """The curve's minimum — the paper's ``p_ideal``."""
+    return min(points, key=lambda p: p.t_cycle_ms)
+
+
+def is_unimodal(points: Sequence[CurvePoint], tolerance: float = 1e-9) -> bool:
+    """Whether the curve falls then rises (single minimum), the Fig 3 shape."""
+    values = [p.t_cycle_ms for p in points]
+    k = values.index(min(values))
+    falling = all(values[i] >= values[i + 1] - tolerance for i in range(k))
+    rising = all(values[i] <= values[i + 1] + tolerance for i in range(k, len(values) - 1))
+    return falling and rising
+
+
+def fig3_report(n: int = 300, *, overlap: bool = False) -> str:
+    """ASCII rendering of the estimated and simulated curves."""
+    est = tc_curve(n, overlap=overlap)
+    sim = simulated_curve(n, overlap=overlap)
+    labels = [f"({p.p1},{p.p2})" for p in est]
+    ideal = p_ideal(est)
+    chart_est = format_bar_chart(
+        labels,
+        [p.t_cycle_ms for p in est],
+        title=f"E3/Fig 3: estimated T_c (ms/cycle), N={n}, "
+        f"{'STEN-2' if overlap else 'STEN-1'} — p_ideal=({ideal.p1},{ideal.p2})",
+        mark=est.index(ideal),
+    )
+    sim_ideal = p_ideal(sim)
+    chart_sim = format_bar_chart(
+        labels,
+        [p.t_cycle_ms for p in sim],
+        title=f"simulated T_c (ms/cycle) — minimum at ({sim_ideal.p1},{sim_ideal.p2})",
+        mark=sim.index(sim_ideal),
+    )
+    return chart_est + "\n\n" + chart_sim

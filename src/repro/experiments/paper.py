@@ -1,0 +1,207 @@
+"""The paper's published §6 measurements: constants, Table 1, Table 2.
+
+This module pins down everything the paper reports numerically so that the
+reproduction can be checked both ways:
+
+* :func:`paper_cost_database` — the published fitted cost functions
+  (Eq 1 constants for both clusters, the router slope) and instruction
+  rates, used to replicate the paper's *predictions* exactly;
+* :data:`TABLE1` / :data:`TABLE2` — the printed tables, used by
+  EXPERIMENTS.md comparisons and the bench harnesses.
+
+Units follow the paper: milliseconds, bytes, µs/op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.benchmarking.costfuncs import CommCostFunction, LinearByteCost
+from repro.benchmarking.database import CostDatabase
+
+__all__ = [
+    "PAPER_S_USEC",
+    "paper_cost_database",
+    "Table1Row",
+    "TABLE1",
+    "TABLE1_N60_CORRECTED",
+    "Table2Cell",
+    "TABLE2",
+    "TABLE2_CONFIGS",
+    "PROBLEM_SIZES",
+    "ITERATIONS",
+    "EQUAL_DECOMPOSITION_N1200",
+]
+
+#: The paper's measured instruction rates (µs per floating point op).
+PAPER_S_USEC = {"sparc2": 0.3, "ipc": 0.6}
+
+#: Problem sizes evaluated in §6.
+PROBLEM_SIZES = (60, 300, 600, 1200)
+
+#: Iteration count used for Table 2 timings.
+ITERATIONS = 10
+
+
+def paper_cost_database() -> CostDatabase:
+    """The §6 published cost functions, exactly as printed.
+
+    ``T_comm[C1, 1-D] ≈ (-.0055 + .00283·P1)·b + 1.1·P1``
+    ``T_comm[C2, 1-D] ≈ (-.0123 + .00457·P2)·b + 1.9·P2``
+    ``T_router[C1, C2] ≈ .0006·b``
+
+    with the absolute-value quirk on the bandwidth coefficient and the §6
+    composition (no extra router station in the per-cluster ``p``).
+    """
+    db = CostDatabase(router_extra_station=False)
+    db.add_comm(
+        CommCostFunction(
+            cluster="sparc2",
+            topology="1-D",
+            c1=0.0,
+            c2=1.1,
+            c3=-0.0055,
+            c4=0.00283,
+            abs_bandwidth_quirk=True,
+        )
+    )
+    db.add_comm(
+        CommCostFunction(
+            cluster="ipc",
+            topology="1-D",
+            c1=0.0,
+            c2=1.9,
+            c3=-0.0123,
+            c4=0.00457,
+            abs_bandwidth_quirk=True,
+        )
+    )
+    db.add_router(
+        LinearByteCost(
+            src="sparc2",
+            dst="ipc",
+            kind="router",
+            intercept_ms=0.0,
+            slope_ms_per_byte=0.0006,
+        )
+    )
+    return db
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One Table 1 entry: the partitioning decision for a problem size."""
+
+    variant: str
+    n: int
+    p1: int
+    p2: int
+    a1: int
+    a2: int
+
+
+#: Table 1 exactly as printed.  NOTE: the N=60 row appears to have its
+#: STEN-1/STEN-2 entries swapped relative to Table 2's predicted-minimum
+#: stars and the cost model itself — see TABLE1_N60_CORRECTED and DESIGN.md.
+TABLE1 = (
+    Table1Row("STEN-1", 60, 1, 0, 60, 0),
+    Table1Row("STEN-1", 300, 6, 0, 50, 0),
+    Table1Row("STEN-1", 600, 6, 4, 75, 38),
+    Table1Row("STEN-1", 1200, 6, 6, 171, 86),
+    Table1Row("STEN-2", 60, 2, 0, 30, 0),
+    Table1Row("STEN-2", 300, 6, 2, 43, 21),
+    Table1Row("STEN-2", 600, 6, 6, 67, 33),
+    Table1Row("STEN-2", 1200, 6, 6, 171, 86),
+)
+
+#: Table 1 with the N=60 rows swapped to be consistent with Table 2's stars
+#: (STEN-1 minimum at 2 Sparc2s, STEN-2 minimum at 1).
+TABLE1_N60_CORRECTED = tuple(
+    row
+    if row.n != 60
+    else Table1Row(row.variant, 60, *(2, 0, 30, 0) if row.variant == "STEN-1" else (1, 0, 60, 0))
+    for row in TABLE1
+)
+
+
+@dataclass(frozen=True)
+class Table2Cell:
+    """A measured elapsed time (ms) for one configuration and variant."""
+
+    variant: str
+    n: int
+    p1: int
+    p2: int
+    elapsed_ms: float
+    predicted_minimum: bool = False
+
+
+#: The seven processor configurations of Table 2's columns, as (P1, P2).
+TABLE2_CONFIGS = ((1, 0), (2, 0), (4, 0), (6, 0), (6, 2), (6, 4), (6, 6))
+
+#: Table 2 exactly as printed (elapsed ms, 10 iterations; * = predicted min).
+TABLE2 = (
+    # N=60
+    Table2Cell("STEN-1", 60, 1, 0, 55),
+    Table2Cell("STEN-1", 60, 2, 0, 52, predicted_minimum=True),
+    Table2Cell("STEN-1", 60, 4, 0, 75),
+    Table2Cell("STEN-1", 60, 6, 0, 78),
+    Table2Cell("STEN-1", 60, 6, 2, 86),
+    Table2Cell("STEN-1", 60, 6, 4, 96),
+    Table2Cell("STEN-1", 60, 6, 6, 98),
+    Table2Cell("STEN-2", 60, 1, 0, 55, predicted_minimum=True),
+    Table2Cell("STEN-2", 60, 2, 0, 56),
+    Table2Cell("STEN-2", 60, 4, 0, 70),
+    Table2Cell("STEN-2", 60, 6, 0, 71),
+    Table2Cell("STEN-2", 60, 6, 2, 82),
+    Table2Cell("STEN-2", 60, 6, 4, 88),
+    Table2Cell("STEN-2", 60, 6, 6, 90),
+    # N=300
+    Table2Cell("STEN-1", 300, 1, 0, 1346),
+    Table2Cell("STEN-1", 300, 2, 0, 753),
+    Table2Cell("STEN-1", 300, 4, 0, 439),
+    Table2Cell("STEN-1", 300, 6, 0, 337, predicted_minimum=True),
+    Table2Cell("STEN-1", 300, 6, 2, 338),
+    Table2Cell("STEN-1", 300, 6, 4, 346),
+    Table2Cell("STEN-1", 300, 6, 6, 361),
+    Table2Cell("STEN-2", 300, 1, 0, 1346),
+    Table2Cell("STEN-2", 300, 2, 0, 709),
+    Table2Cell("STEN-2", 300, 4, 0, 394),
+    Table2Cell("STEN-2", 300, 6, 0, 313),
+    Table2Cell("STEN-2", 300, 6, 2, 266, predicted_minimum=True),
+    Table2Cell("STEN-2", 300, 6, 4, 268),
+    Table2Cell("STEN-2", 300, 6, 6, 278),
+    # N=600
+    Table2Cell("STEN-1", 600, 1, 0, 5535),
+    Table2Cell("STEN-1", 600, 2, 0, 2862),
+    Table2Cell("STEN-1", 600, 4, 0, 1511),
+    Table2Cell("STEN-1", 600, 6, 0, 1117),
+    Table2Cell("STEN-1", 600, 6, 2, 1059),
+    Table2Cell("STEN-1", 600, 6, 4, 985, predicted_minimum=True),
+    Table2Cell("STEN-1", 600, 6, 6, 1099),
+    Table2Cell("STEN-2", 600, 1, 0, 5535),
+    Table2Cell("STEN-2", 600, 2, 0, 2797),
+    Table2Cell("STEN-2", 600, 4, 0, 1453),
+    Table2Cell("STEN-2", 600, 6, 0, 1019),
+    Table2Cell("STEN-2", 600, 6, 2, 943),
+    Table2Cell("STEN-2", 600, 6, 4, 894),
+    Table2Cell("STEN-2", 600, 6, 6, 822, predicted_minimum=True),
+    # N=1200
+    Table2Cell("STEN-1", 1200, 1, 0, 21985),
+    Table2Cell("STEN-1", 1200, 2, 0, 11038),
+    Table2Cell("STEN-1", 1200, 4, 0, 5699),
+    Table2Cell("STEN-1", 1200, 6, 0, 3984),
+    Table2Cell("STEN-1", 1200, 6, 2, 3758),
+    Table2Cell("STEN-1", 1200, 6, 4, 3604),
+    Table2Cell("STEN-1", 1200, 6, 6, 3088, predicted_minimum=True),
+    Table2Cell("STEN-2", 1200, 1, 0, 21985),
+    Table2Cell("STEN-2", 1200, 2, 0, 10972),
+    Table2Cell("STEN-2", 1200, 4, 0, 5554),
+    Table2Cell("STEN-2", 1200, 6, 0, 3770),
+    Table2Cell("STEN-2", 1200, 6, 2, 3398),
+    Table2Cell("STEN-2", 1200, 6, 4, 3230),
+    Table2Cell("STEN-2", 1200, 6, 6, 2822, predicted_minimum=True),
+)
+
+#: The N=1200 parenthetical: elapsed with an equal (100 rows each) split.
+EQUAL_DECOMPOSITION_N1200 = {"STEN-1": 4157.0, "STEN-2": 3443.0}

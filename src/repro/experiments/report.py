@@ -1,0 +1,68 @@
+"""ASCII rendering for experiment reports.
+
+The benches print the same rows the paper's tables report; this module keeps
+the formatting in one place (simple monospace tables and a crude horizontal
+bar chart for Fig 3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+__all__ = ["format_table", "format_bar_chart"]
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Monospace table with a header rule, sized to the widest cell."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(headers)} headers: {row}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    labels: Sequence[Any],
+    values: Sequence[float],
+    *,
+    width: int = 50,
+    title: Optional[str] = None,
+    mark: Optional[int] = None,
+) -> str:
+    """Horizontal bars scaled to the max value; ``mark`` flags one row (*)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not values:
+        return title or ""
+    peak = max(values)
+    label_w = max(len(str(l)) for l in labels)
+    lines = [title] if title else []
+    for i, (label, value) in enumerate(zip(labels, values)):
+        bar = "#" * max(1, round(value / peak * width)) if peak > 0 else ""
+        star = " *" if mark == i else ""
+        lines.append(f"{str(label).rjust(label_w)} | {bar} {value:.2f}{star}")
+    return "\n".join(lines)

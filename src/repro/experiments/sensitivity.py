@@ -1,0 +1,151 @@
+"""Experiment E12: sensitivity of decisions to cost-function error.
+
+How wrong can the fitted constants be before the partitioner starts making
+materially worse choices?  Each trial multiplies every Eq 1 constant (and
+the router slope) by independent random factors in ``[1-eps, 1+eps]``,
+reruns the partitioner, and scores the chosen configuration under the
+*unperturbed* model.  Reported per perturbation level: how often the
+decision changed, and the worst/mean *regret* (extra ``T_c`` relative to
+the unperturbed optimum).
+
+A small regret at ±20% supports the paper's implicit robustness claim: the
+method needs cost functions that *rank* configurations correctly, not
+perfect ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.apps.stencil import stencil_computation
+from repro.benchmarking import CostDatabase
+from repro.benchmarking.costfuncs import CommCostFunction, LinearByteCost
+from repro.experiments.calibration import fitted_cost_database
+from repro.experiments.report import format_table
+from repro.hardware.presets import paper_testbed
+from repro.partition import (
+    CycleEstimator,
+    ProcessorConfiguration,
+    gather_available_resources,
+    order_by_power,
+    partition,
+)
+
+__all__ = ["perturb_database", "SensitivityResult", "sensitivity_analysis", "sensitivity_report"]
+
+
+def perturb_database(
+    db: CostDatabase, epsilon: float, rng: np.random.Generator
+) -> CostDatabase:
+    """A copy of ``db`` with every constant scaled by U[1-eps, 1+eps]."""
+    if not 0.0 <= epsilon < 1.0:
+        raise ValueError(f"epsilon must be in [0, 1), got {epsilon}")
+
+    def factor() -> float:
+        return float(rng.uniform(1.0 - epsilon, 1.0 + epsilon))
+
+    out = CostDatabase(router_extra_station=db.router_extra_station)
+    for fn in db.comm.values():
+        out.add_comm(
+            CommCostFunction(
+                cluster=fn.cluster,
+                topology=fn.topology,
+                c1=fn.c1 * factor(),
+                c2=fn.c2 * factor(),
+                c3=fn.c3 * factor(),
+                c4=fn.c4 * factor(),
+                abs_bandwidth_quirk=fn.abs_bandwidth_quirk,
+            )
+        )
+    for fn in db.router.values():
+        out.add_router(
+            LinearByteCost(
+                src=fn.src,
+                dst=fn.dst,
+                kind=fn.kind,
+                intercept_ms=fn.intercept_ms * factor(),
+                slope_ms_per_byte=fn.slope_ms_per_byte * factor(),
+            )
+        )
+    for fn in db.coerce.values():
+        out.add_coerce(fn)
+    return out
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Decision stability under one perturbation level."""
+
+    epsilon: float
+    trials: int
+    decision_changed: int
+    mean_regret: float
+    max_regret: float
+
+
+def sensitivity_analysis(
+    db: Optional[CostDatabase] = None,
+    *,
+    n: int = 600,
+    overlap: bool = False,
+    epsilons: Sequence[float] = (0.05, 0.1, 0.2, 0.4),
+    trials: int = 20,
+    seed: int = 0,
+) -> list[SensitivityResult]:
+    """Run the perturbation study for one workload."""
+    db = db or fitted_cost_database()
+    rng = np.random.default_rng(seed)
+    resources = gather_available_resources(paper_testbed())
+    ordered = order_by_power(resources)
+    comp = stencil_computation(n, overlap=overlap)
+    truth = CycleEstimator(comp, db)
+    baseline = partition(comp, resources, db)
+    baseline_t = truth.t_cycle(
+        ProcessorConfiguration(ordered, tuple(baseline.config.counts))
+    )
+    results = []
+    for epsilon in epsilons:
+        changed = 0
+        regrets = []
+        for _ in range(trials):
+            noisy = perturb_database(db, epsilon, rng)
+            decision = partition(comp, resources, noisy)
+            counts = tuple(decision.config.counts)
+            true_t = truth.t_cycle(ProcessorConfiguration(ordered, counts))
+            regret = (true_t - baseline_t) / baseline_t
+            regrets.append(max(regret, 0.0))
+            if decision.counts_by_name() != baseline.counts_by_name():
+                changed += 1
+        results.append(
+            SensitivityResult(
+                epsilon=epsilon,
+                trials=trials,
+                decision_changed=changed,
+                mean_regret=float(np.mean(regrets)),
+                max_regret=float(np.max(regrets)),
+            )
+        )
+    return results
+
+
+def sensitivity_report(results: Optional[list[SensitivityResult]] = None) -> str:
+    """Formatted sensitivity table."""
+    results = results if results is not None else sensitivity_analysis()
+    rows = [
+        [
+            f"±{100 * r.epsilon:.0f}%",
+            r.trials,
+            f"{r.decision_changed}/{r.trials}",
+            f"{100 * r.mean_regret:.2f}%",
+            f"{100 * r.max_regret:.2f}%",
+        ]
+        for r in results
+    ]
+    return format_table(
+        ["perturbation", "trials", "decision changed", "mean regret", "max regret"],
+        rows,
+        title="E12: decision sensitivity to cost-constant error (STEN-1, N=600)",
+    )

@@ -1,0 +1,137 @@
+"""Experiment E14: speedup and efficiency across the applications.
+
+The classic parallel-evaluation artifact the paper leaves implicit in
+Table 2.  For heterogeneous configurations, raw processor count is the
+wrong denominator — six Sparc2s plus six half-speed IPCs are nine Sparc2
+*equivalents* — so efficiency is normalized by equivalent processing power:
+
+    ``equiv(P) = Σ_i S_ref / S_i``      (S_ref = the fastest cluster's rate)
+    ``efficiency = speedup / equiv(P)``
+
+An efficiency near 1.0 therefore means the configuration extracts all the
+compute its processors physically have, regardless of their mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.apps.gauss import run_gauss
+from repro.apps.nbody import run_nbody
+from repro.apps.stencil import run_stencil
+from repro.experiments.report import format_table
+from repro.hardware.presets import paper_testbed
+from repro.mmps import MMPS
+from repro.partition import balanced_partition_vector
+
+__all__ = ["SpeedupPoint", "speedup_curve", "speedup_report", "equivalent_processors"]
+
+#: Default configurations swept, as (sparc2, ipc) counts.
+DEFAULT_CONFIGS = ((1, 0), (2, 0), (4, 0), (6, 0), (6, 2), (6, 6))
+
+
+def equivalent_processors(p1: int, p2: int, *, s_ref: float = 0.3, s_slow: float = 0.6) -> float:
+    """Sparc2-equivalent processing power of a (P1, P2) configuration."""
+    return p1 + p2 * (s_ref / s_slow)
+
+
+@dataclass(frozen=True)
+class SpeedupPoint:
+    """One configuration's timing relative to the sequential run."""
+
+    p1: int
+    p2: int
+    elapsed_ms: float
+    speedup: float
+    equivalent: float
+
+    @property
+    def efficiency(self) -> float:
+        """Speedup per Sparc2-equivalent processor."""
+        return self.speedup / self.equivalent
+
+
+def _run_app(app: str, n: int, p1: int, p2: int, iterations: int) -> float:
+    net = paper_testbed()
+    mmps = MMPS(net)
+    procs = list(net.cluster("sparc2"))[:p1] + list(net.cluster("ipc"))[:p2]
+    rates = [0.3] * p1 + [0.6] * p2
+    if app == "stencil":
+        vec = balanced_partition_vector(rates, n)
+        return run_stencil(mmps, procs, vec, n, iterations=iterations).elapsed_ms
+    if app == "stencil-overlap":
+        vec = balanced_partition_vector(rates, n)
+        return run_stencil(
+            mmps, procs, vec, n, iterations=iterations, overlap=True
+        ).elapsed_ms
+    if app == "gauss":
+        vec = balanced_partition_vector(rates, n)
+        return run_gauss(mmps, procs, vec, n).elapsed_ms
+    if app == "nbody":
+        positions = np.linspace(0.0, 100.0, n)
+        vec = balanced_partition_vector(rates, n)
+        return run_nbody(mmps, procs, vec, positions, steps=iterations).elapsed_ms
+    raise ValueError(f"unknown app {app!r}")
+
+
+def speedup_curve(
+    app: str,
+    n: int,
+    *,
+    configs: Sequence[tuple[int, int]] = DEFAULT_CONFIGS,
+    iterations: int = 10,
+) -> list[SpeedupPoint]:
+    """Elapsed/speedup/efficiency for each configuration of one app."""
+    base = _run_app(app, n, 1, 0, iterations)
+    points = []
+    for p1, p2 in configs:
+        elapsed = base if (p1, p2) == (1, 0) else _run_app(app, n, p1, p2, iterations)
+        points.append(
+            SpeedupPoint(
+                p1=p1,
+                p2=p2,
+                elapsed_ms=elapsed,
+                speedup=base / elapsed,
+                equivalent=equivalent_processors(p1, p2),
+            )
+        )
+    return points
+
+
+def speedup_report(
+    cases: Optional[Sequence[tuple[str, int, int]]] = None,
+) -> str:
+    """The E14 artifact: one block per (app, N) case.
+
+    ``cases`` is a sequence of (app, n, iterations).
+    """
+    cases = cases or (
+        ("stencil", 1200, 10),
+        ("stencil-overlap", 1200, 10),
+        ("gauss", 384, 1),
+        ("nbody", 1200, 3),
+    )
+    sections = []
+    for app, n, iterations in cases:
+        points = speedup_curve(app, n, iterations=iterations)
+        rows = [
+            [
+                f"({p.p1},{p.p2})",
+                f"{p.elapsed_ms:.0f}",
+                f"{p.speedup:.2f}",
+                f"{p.equivalent:.1f}",
+                f"{100 * p.efficiency:.0f}%",
+            ]
+            for p in points
+        ]
+        sections.append(
+            format_table(
+                ["config", "elapsed ms", "speedup", "equiv procs", "efficiency"],
+                rows,
+                title=f"E14: {app}, N={n}",
+            )
+        )
+    return "\n\n".join(sections)

@@ -1,0 +1,133 @@
+"""Experiment E1: reproduce Table 1 — the partitioning decisions.
+
+Two modes:
+
+* ``source="paper"`` — run the partitioner against the *published* cost
+  functions and instruction rates, replicating the paper's own predictions
+  (exact for STEN-2; STEN-1 deviations are near-ties documented in
+  EXPERIMENTS.md);
+* ``source="fitted"`` — run against the simulator-fitted database, the
+  configuration the simulated Table 2 validates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.apps.stencil import stencil_computation
+from repro.benchmarking import CostDatabase
+from repro.experiments.paper import PROBLEM_SIZES, TABLE1, paper_cost_database
+from repro.experiments.report import format_table
+from repro.hardware.presets import paper_testbed
+from repro.partition import (
+    balanced_shares,
+    gather_available_resources,
+    partition,
+)
+
+__all__ = ["Table1Result", "reproduce_table1", "table1_report"]
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """One reproduced Table 1 row next to the printed one."""
+
+    variant: str
+    n: int
+    p1: int
+    p2: int
+    a1: int
+    a2: int
+    t_cycle_ms: float
+    evaluations: int
+    paper_p1: int
+    paper_p2: int
+    paper_a1: int
+    paper_a2: int
+
+    @property
+    def config_matches_paper(self) -> bool:
+        """Whether the chosen (P1, P2) equals the printed row."""
+        return (self.p1, self.p2) == (self.paper_p1, self.paper_p2)
+
+
+def _per_cluster_a(decision) -> tuple[int, int]:
+    """Table 1's A columns: the rounded per-processor share per cluster."""
+    config = decision.config
+    rates = config.per_processor_rates("fp")
+    if not rates:
+        return 0, 0
+    num_pdus = decision.vector.total
+    shares = balanced_shares(rates, num_pdus)
+    a = []
+    offset = 0
+    for res, count in zip(config.resources, config.counts):
+        a.append(round(shares[offset]) if count > 0 else 0)
+        offset += count
+    while len(a) < 2:
+        a.append(0)
+    return a[0], a[1]
+
+
+def reproduce_table1(
+    db: Optional[CostDatabase] = None,
+    *,
+    sizes=PROBLEM_SIZES,
+    cycles: int = 10,
+) -> list[Table1Result]:
+    """Run the partitioner for every (variant, N); defaults to paper constants."""
+    db = db or paper_cost_database()
+    net = paper_testbed()
+    resources = gather_available_resources(net)
+    results = []
+    for variant, overlap in (("STEN-1", False), ("STEN-2", True)):
+        for n in sizes:
+            comp = stencil_computation(n, overlap=overlap, cycles=cycles)
+            decision = partition(comp, resources, db)
+            counts = decision.counts_by_name()
+            a1, a2 = _per_cluster_a(decision)
+            paper_row = next(
+                r for r in TABLE1 if r.variant == variant and r.n == n
+            )
+            results.append(
+                Table1Result(
+                    variant=variant,
+                    n=n,
+                    p1=counts.get("sparc2", 0),
+                    p2=counts.get("ipc", 0),
+                    a1=a1,
+                    a2=a2,
+                    t_cycle_ms=decision.t_cycle_ms,
+                    evaluations=decision.evaluations,
+                    paper_p1=paper_row.p1,
+                    paper_p2=paper_row.p2,
+                    paper_a1=paper_row.a1,
+                    paper_a2=paper_row.a2,
+                )
+            )
+    return results
+
+
+def table1_report(db: Optional[CostDatabase] = None, *, source: str = "paper") -> str:
+    """Formatted Table 1 reproduction."""
+    results = reproduce_table1(db)
+    rows = []
+    for r in results:
+        rows.append(
+            [
+                r.variant,
+                r.n,
+                f"({r.p1},{r.p2})",
+                f"({r.a1},{r.a2})",
+                f"{r.t_cycle_ms:.2f}",
+                f"({r.paper_p1},{r.paper_p2})",
+                f"({r.paper_a1},{r.paper_a2})",
+                "yes" if r.config_matches_paper else "no",
+            ]
+        )
+    return format_table(
+        ["variant", "N", "(P1,P2)", "(A1,A2)", "T_c ms", "paper (P1,P2)", "paper (A1,A2)", "match"],
+        rows,
+        title=f"E1: Table 1 — partitioning decisions ({source} cost functions)",
+    )

@@ -1,0 +1,85 @@
+"""ASCII execution timelines (Gantt view) of SPMD runs.
+
+Turns per-task activity intervals into a monospace chart:
+
+::
+
+    rank 0 sparc2 |####~~####~~####~~| 72% compute
+    rank 1 sparc2 |####~~####~~####~~| 71% compute
+    rank 2 ipc    |######~~######~~..| 78% compute
+
+``#`` compute, ``~`` blocked in communication, ``.`` idle/waiting.  The
+chart makes the paper's Fig 3 regions tangible: region A shows long ``#``
+runs everywhere; region B shows tasks drowning in ``~`` and ``.``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.spmd.runtime import RunResult
+
+__all__ = ["ascii_timeline"]
+
+_GLYPHS = {"compute": "#", "send": "~", "recv": "~"}
+
+
+def _row(ctx, start: float, end: float, width: int) -> str:
+    """One task's bar: the dominant activity per time bucket."""
+    span = end - start
+    if span <= 0:
+        return "." * width
+    # Accumulate per-bucket occupancy per kind.
+    compute = [0.0] * width
+    comm = [0.0] * width
+    for kind, a, b in ctx.activity:
+        target = compute if kind == "compute" else comm
+        lo = max(a, start)
+        hi = min(b, end)
+        if hi <= lo:
+            continue
+        first = int((lo - start) / span * width)
+        last = min(int((hi - start) / span * width), width - 1)
+        for bucket in range(first, last + 1):
+            b_lo = start + bucket * span / width
+            b_hi = b_lo + span / width
+            target[bucket] += max(0.0, min(hi, b_hi) - max(lo, b_lo))
+    chars = []
+    bucket_span = span / width
+    for i in range(width):
+        if compute[i] <= 1e-12 and comm[i] <= 1e-12:
+            chars.append(".")
+        elif compute[i] >= comm[i]:
+            chars.append("#")
+        else:
+            chars.append("~")
+        # A bucket more than half idle still shows its dominant activity;
+        # fully idle buckets read as '.' — enough resolution for the chart.
+        _ = bucket_span
+    return "".join(chars)
+
+
+def ascii_timeline(
+    result: RunResult,
+    *,
+    width: int = 72,
+    title: Optional[str] = None,
+) -> str:
+    """Render one run as an ASCII Gantt chart."""
+    if width < 10:
+        raise ValueError(f"width must be at least 10, got {width}")
+    start, end = result.start_ms, result.end_ms
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"t = {start:.1f} .. {end:.1f} ms   (# compute, ~ communication, . idle)"
+    )
+    label_w = max(
+        len(f"rank {ctx.rank} {ctx.processor.spec.name}") for ctx in result.contexts
+    )
+    for ctx, util in zip(result.contexts, result.compute_utilization()):
+        label = f"rank {ctx.rank} {ctx.processor.spec.name}".ljust(label_w)
+        bar = _row(ctx, start, end, width)
+        lines.append(f"{label} |{bar}| {100 * util:.0f}% compute")
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Simulated heterogeneous workstation hardware.
+
+The paper's §3 network model: homogeneous :class:`Cluster`\\ s of
+:class:`Processor`\\ s on private-bandwidth :class:`EthernetSegment`\\ s joined
+by a :class:`Router`, assembled and validated by
+:class:`HeterogeneousNetwork`.  Era-calibrated machine types live in
+:mod:`repro.hardware.presets`.
+"""
+
+from repro.hardware.cluster import Cluster, ClusterInfo, ClusterManager
+from repro.hardware.network import HeterogeneousNetwork
+from repro.hardware.processor import OpKind, Processor, ProcessorSpec
+from repro.hardware.router import Router, RouterParams
+from repro.hardware.routing import Route, RoutingFabric
+from repro.hardware.segment import EthernetParams, EthernetSegment
+
+__all__ = [
+    "Cluster",
+    "ClusterInfo",
+    "ClusterManager",
+    "HeterogeneousNetwork",
+    "OpKind",
+    "Processor",
+    "ProcessorSpec",
+    "Router",
+    "RouterParams",
+    "Route",
+    "RoutingFabric",
+    "EthernetParams",
+    "EthernetSegment",
+]

@@ -1,0 +1,127 @@
+"""Clusters and cluster managers.
+
+A *cluster* is a homogeneous group of processors on one segment (paper §3).
+Each cluster designates a :class:`ClusterManager` that stores the segment
+bandwidth, node counts, and instruction speeds, monitors per-node load, and
+applies the threshold availability policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.hardware.processor import OpKind, Processor, ProcessorSpec
+from repro.hardware.segment import EthernetSegment
+
+__all__ = ["Cluster", "ClusterManager", "ClusterInfo"]
+
+#: Default load threshold below which a node counts as available (paper §3:
+#: "the threshold can be made sufficiently small").
+DEFAULT_AVAILABILITY_THRESHOLD = 0.05
+
+
+@dataclass(frozen=True)
+class ClusterInfo:
+    """The manager's advertised state, as enumerated in the paper:
+
+    *bandwidth (bits/sec)*, *processor nodes (total, available)*, and
+    *instruction speed (integer, floating point)*.
+    """
+
+    cluster_name: str
+    bandwidth_bps: float
+    total_nodes: int
+    available_nodes: int
+    int_usec_per_op: float
+    fp_usec_per_op: float
+
+
+class Cluster:
+    """A homogeneous group of processors sharing one segment."""
+
+    def __init__(
+        self,
+        name: str,
+        spec: ProcessorSpec,
+        processors: Sequence[Processor],
+        segment: EthernetSegment,
+    ) -> None:
+        if not processors:
+            raise ValueError(f"cluster {name!r} needs at least one processor")
+        for proc in processors:
+            if proc.spec != spec:
+                raise ValueError(
+                    f"cluster {name!r} must be homogeneous; "
+                    f"{proc!r} has spec {proc.spec.name!r} != {spec.name!r}"
+                )
+        self.name = name
+        self.spec = spec
+        self.processors = list(processors)
+        self.segment = segment
+        for rank, proc in enumerate(self.processors):
+            proc.cluster_name = name
+            proc.rank_in_cluster = rank
+        self.manager = ClusterManager(self)
+
+    def __len__(self) -> int:
+        return len(self.processors)
+
+    def __iter__(self):
+        return iter(self.processors)
+
+    def instruction_rate(self, kind: OpKind = "fp") -> float:
+        """The cluster's ``S_i`` in µs/op (smaller = faster)."""
+        return self.spec.usec_per_op(kind)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Cluster {self.name!r} {len(self.processors)}x{self.spec.name}>"
+
+
+class ClusterManager:
+    """The designated resource manager of one cluster (shaded node, Fig 1).
+
+    Monitors node load and answers availability queries under the threshold
+    policy.  The cooperative cross-cluster gathering step lives in
+    :mod:`repro.partition.available`; this class is one participant.
+    """
+
+    def __init__(self, cluster: Cluster, threshold: float = DEFAULT_AVAILABILITY_THRESHOLD) -> None:
+        if not 0.0 <= threshold < 1.0:
+            raise ValueError(f"threshold must be in [0, 1), got {threshold}")
+        self.cluster = cluster
+        self.threshold = threshold
+        #: Query counter — lets tests assert the cooperative algorithm's cost.
+        self.queries_served = 0
+
+    def available_processors(self) -> list[Processor]:
+        """Nodes currently under the load threshold, in cluster-rank order."""
+        self.queries_served += 1
+        return [p for p in self.cluster.processors if p.is_available(self.threshold)]
+
+    def available_count(self) -> int:
+        """Number of available nodes (the paper's ``N_i``)."""
+        return len(self.available_processors())
+
+    def observe_loads(self, loads: Iterable[float]) -> None:
+        """Bulk-update node loads (e.g. from a monitoring sweep)."""
+        loads = list(loads)
+        if len(loads) != len(self.cluster.processors):
+            raise ValueError(
+                f"expected {len(self.cluster.processors)} loads, got {len(loads)}"
+            )
+        for proc, load in zip(self.cluster.processors, loads):
+            proc.set_load(load)
+
+    def info(self) -> ClusterInfo:
+        """The advertised cluster state (paper §3 bullet list)."""
+        return ClusterInfo(
+            cluster_name=self.cluster.name,
+            bandwidth_bps=self.cluster.segment.params.bandwidth_bps,
+            total_nodes=len(self.cluster.processors),
+            available_nodes=len(
+                [p for p in self.cluster.processors if p.is_available(self.threshold)]
+            ),
+            int_usec_per_op=self.cluster.spec.int_usec_per_op,
+            fp_usec_per_op=self.cluster.spec.fp_usec_per_op,
+        )

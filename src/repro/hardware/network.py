@@ -1,0 +1,229 @@
+"""The heterogeneous network: clusters on segments joined by a router.
+
+:class:`HeterogeneousNetwork` assembles and validates the paper's §3 model:
+
+* every segment has the same communication bandwidth,
+* each segment hosts exactly one homogeneous cluster,
+* every pair of segments is joined by a single router (one hop max).
+
+It also provides the physical frame-transfer primitive that the MMPS
+message layer builds on: :meth:`transfer_frame` moves one already-fragmented
+frame from a source processor to a destination processor, paying segment
+contention and (if the clusters differ) router costs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import NetworkModelError
+from repro.hardware.cluster import Cluster
+from repro.hardware.processor import OpKind, Processor, ProcessorSpec
+from repro.hardware.router import Router, RouterParams
+from repro.hardware.segment import EthernetParams, EthernetSegment
+from repro.sim import RandomStreams, Simulator, Tracer
+from repro.sim.process import ProcessGenerator
+
+__all__ = ["HeterogeneousNetwork"]
+
+
+class HeterogeneousNetwork:
+    """A simulated network of heterogeneous workstation clusters.
+
+    Examples
+    --------
+    >>> from repro.hardware.presets import SPARC2, IPC
+    >>> net = HeterogeneousNetwork(seed=1)
+    >>> sparc = net.add_cluster("sparc2", SPARC2, count=6)
+    >>> ipc = net.add_cluster("ipc", IPC, count=6)
+    >>> net.validate()
+    >>> [c.name for c in net.clusters]
+    ['sparc2', 'ipc']
+    """
+
+    def __init__(
+        self,
+        sim: Optional[Simulator] = None,
+        *,
+        seed: int = 0,
+        ethernet: Optional[EthernetParams] = None,
+        router_params: Optional[RouterParams] = None,
+        trace: bool = False,
+        auto_router: bool = True,
+    ) -> None:
+        from repro.hardware.routing import RoutingFabric
+
+        self.sim = sim or Simulator()
+        self.streams = RandomStreams(seed)
+        self.default_ethernet = ethernet or EthernetParams()
+        self.default_router_params = router_params
+        self.tracer = Tracer(lambda: self.sim.now, enabled=trace)
+        self._clusters: dict[str, Cluster] = {}
+        self._cluster_order: list[str] = []
+        self._segments: dict[str, EthernetSegment] = {}
+        self._next_proc_id = 0
+        self.fabric = RoutingFabric()
+        #: With ``auto_router=True`` (the §3 model) one shared router joins
+        #: every segment; ``False`` lets callers build multi-hop fabrics via
+        #: :meth:`add_router` / :meth:`connect`.
+        self.auto_router = auto_router
+        self.router = Router(self.sim, params=router_params)
+        self.fabric.add_router(self.router)
+
+    # -- construction ---------------------------------------------------------
+
+    def add_cluster(
+        self,
+        name: str,
+        spec: ProcessorSpec,
+        count: int,
+        *,
+        ethernet: Optional[EthernetParams] = None,
+    ) -> Cluster:
+        """Create a segment holding ``count`` nodes of ``spec`` named ``name``."""
+        if name in self._clusters:
+            raise NetworkModelError(f"duplicate cluster name {name!r}")
+        if count < 1:
+            raise NetworkModelError(f"cluster {name!r} needs at least one node")
+        params = ethernet or self.default_ethernet
+        segment = EthernetSegment(
+            self.sim,
+            name=f"segment:{name}",
+            params=params,
+            rng=self.streams.get(f"ethernet.{name}"),
+        )
+        processors = []
+        for _ in range(count):
+            processors.append(Processor(proc_id=self._next_proc_id, spec=spec))
+            self._next_proc_id += 1
+        cluster = Cluster(name, spec, processors, segment)
+        self._clusters[name] = cluster
+        self._cluster_order.append(name)
+        self._segments[segment.name] = segment
+        self.fabric.add_segment(segment)
+        if self.auto_router:
+            self.fabric.connect(self.router.name, segment.name)
+        return cluster
+
+    def add_router(self, name: str, params: Optional[RouterParams] = None) -> Router:
+        """Add an extra router for a multi-hop fabric (``auto_router=False``)."""
+        router = Router(self.sim, name=name, params=params or self.default_router_params)
+        self.fabric.add_router(router)
+        return router
+
+    def connect(self, router_name: str, cluster_name: str) -> None:
+        """Attach a router port to a cluster's segment."""
+        cluster = self.cluster(cluster_name)
+        self.fabric.connect(router_name, cluster.segment.name)
+
+    def validate(self, *, strict: bool = True) -> None:
+        """Check the network model assumptions; raise :class:`NetworkModelError`.
+
+        ``strict=True`` enforces the full §3 model (equal segment
+        bandwidths).  ``strict=False`` is the *metasystem* relaxation the
+        paper's §7 anticipates — machine classes with different interconnect
+        speeds (multicomputers next to workstations).  The cost machinery
+        tolerates this because Eq 1 functions are fitted per cluster on its
+        own segment; only the equal-bandwidth simplification of the
+        partitioning analysis is given up.
+        """
+        if not self._clusters:
+            raise NetworkModelError("network has no clusters")
+        bandwidths = {
+            cluster.segment.params.bandwidth_bps for cluster in self._clusters.values()
+        }
+        if strict and len(bandwidths) > 1:
+            raise NetworkModelError(
+                f"segments must have equal bandwidth, got {sorted(bandwidths)} "
+                "(pass strict=False for a metasystem-style network)"
+            )
+        # Homogeneity within a cluster is enforced by Cluster.__init__;
+        # one-cluster-per-segment is enforced by construction.  Every pair
+        # of segments must be routable, and — in the strict §3 model —
+        # within a single hop ("messages will travel one hop at most").
+        max_hops = self.fabric.max_hops() if len(self._clusters) > 1 else 0
+        if strict and max_hops > 1:
+            raise NetworkModelError(
+                f"strict model allows one router hop, fabric needs {max_hops} "
+                "(pass strict=False for a multi-hop fabric)"
+            )
+
+    # -- lookup -----------------------------------------------------------------
+
+    @property
+    def clusters(self) -> list[Cluster]:
+        """Clusters in creation order."""
+        return [self._clusters[name] for name in self._cluster_order]
+
+    def cluster(self, name: str) -> Cluster:
+        """Look a cluster up by name."""
+        try:
+            return self._clusters[name]
+        except KeyError:
+            raise NetworkModelError(f"no cluster named {name!r}") from None
+
+    def clusters_by_power(self, kind: OpKind = "fp") -> list[Cluster]:
+        """Clusters ordered fastest-first by instruction rate (paper §5)."""
+        return sorted(self.clusters, key=lambda c: c.instruction_rate(kind))
+
+    def processors(self) -> Iterator[Processor]:
+        """All processors, cluster by cluster in creation order."""
+        for name in self._cluster_order:
+            yield from self._clusters[name].processors
+
+    def processor(self, proc_id: int) -> Processor:
+        """Look a processor up by global id."""
+        for proc in self.processors():
+            if proc.proc_id == proc_id:
+                return proc
+        raise NetworkModelError(f"no processor with id {proc_id}")
+
+    def total_processors(self) -> int:
+        """Total node count across clusters."""
+        return sum(len(c) for c in self.clusters)
+
+    def crosses_router(self, src: Processor, dst: Processor) -> bool:
+        """Whether a message between the two nodes passes through the router."""
+        return src.cluster_name != dst.cluster_name
+
+    # -- physical transfer ---------------------------------------------------------
+
+    def path_mtu(self, src: Processor, dst: Processor) -> int:
+        """Smallest link MTU along the route between two processors."""
+        route = self.fabric.route(
+            self._clusters[src.cluster_name].segment.name,
+            self._clusters[dst.cluster_name].segment.name,
+        )
+        return route.min_mtu()
+
+    def transfer_frame(self, src: Processor, dst: Processor, payload_bytes: int) -> ProcessGenerator:
+        """Move one frame from ``src`` to ``dst``; completes at delivery.
+
+        Pays source-segment contention, then — for each router on the route
+        — store-and-forward delay plus contention on the next segment.
+        Host CPU costs (protocol processing, coercion) belong to the MMPS
+        layer above.
+        """
+        route = self.fabric.route(
+            self._clusters[src.cluster_name].segment.name,
+            self._clusters[dst.cluster_name].segment.name,
+        )
+        yield from route.segments[0].transmit_frame(payload_bytes)
+        for router, segment in zip(route.routers, route.segments[1:]):
+            self.tracer.record(
+                "router",
+                "forward",
+                via=router.name,
+                src=src.proc_id,
+                dst=dst.proc_id,
+                nbytes=payload_bytes,
+            )
+            yield from router.forward_frame(payload_bytes, segment.name)
+        self.tracer.record(
+            "deliver", "frame", src=src.proc_id, dst=dst.proc_id, nbytes=payload_bytes
+        )
+        return self.sim.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        desc = ", ".join(f"{len(c)}x{c.spec.name}" for c in self.clusters)
+        return f"<HeterogeneousNetwork [{desc}]>"

@@ -1,0 +1,193 @@
+"""Era-calibrated processor specs and canonical network presets.
+
+Instruction rates follow the paper where given (§6: ``S_i ≈ 0.3`` µs/flop for
+the Sun4 Sparc2 and ``0.6`` µs/flop for the Sun4 IPC, from benchmarking
+several floating point operations) and period-plausible figures for the other
+machine types named in Fig 1.  ``comm_speed_factor`` scales protocol-stack
+CPU costs relative to a Sparc2-class host, reproducing the observation that
+faster processors communicate faster on identical segments.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.network import HeterogeneousNetwork
+from repro.hardware.processor import ProcessorSpec
+from repro.hardware.router import RouterParams
+from repro.hardware.segment import EthernetParams
+
+__all__ = [
+    "SPARC2",
+    "IPC",
+    "SUN3",
+    "HP9000",
+    "RS6000",
+    "I860",
+    "MULTICOMPUTER_NODE",
+    "ETHERNET_10MBPS",
+    "MULTICOMPUTER_LINK",
+    "PAPER_ROUTER",
+    "paper_testbed",
+    "metasystem_network",
+    "mixed_format_network",
+    "three_cluster_network",
+]
+
+#: Sun4 SPARCstation 2 — the paper's fast cluster (S_i ≈ 0.3 µs/flop).
+SPARC2 = ProcessorSpec(
+    name="Sparc2",
+    fp_usec_per_op=0.3,
+    int_usec_per_op=0.05,
+    data_format="xdr-be",
+    comm_speed_factor=1.0,
+)
+
+#: Sun4 IPC — the paper's slow cluster (S_i ≈ 0.6 µs/flop, ≈ 2x slower).
+#: The protocol path is markedly slower than the Sparc2's (the paper's
+#: fitted C2 constants are ~1.6-1.7x the C1 ones at equal p and b).
+IPC = ProcessorSpec(
+    name="IPC",
+    fp_usec_per_op=0.6,
+    int_usec_per_op=0.08,
+    data_format="xdr-be",
+    comm_speed_factor=2.4,
+)
+
+#: Sun3 — an older generation, markedly slower at both compute and comms.
+SUN3 = ProcessorSpec(
+    name="Sun3",
+    fp_usec_per_op=2.5,
+    int_usec_per_op=0.4,
+    data_format="xdr-be",
+    comm_speed_factor=3.5,
+)
+
+#: HP 9000/700-class PA-RISC workstation (Fig 1's "HP" cluster).
+HP9000 = ProcessorSpec(
+    name="HP9000",
+    fp_usec_per_op=0.2,
+    int_usec_per_op=0.04,
+    data_format="xdr-be",
+    comm_speed_factor=0.8,
+)
+
+#: IBM RS/6000 (Fig 1's third cluster) — strong floating point for the era.
+RS6000 = ProcessorSpec(
+    name="RS6000",
+    fp_usec_per_op=0.15,
+    int_usec_per_op=0.04,
+    data_format="xdr-be",
+    comm_speed_factor=0.7,
+)
+
+#: A little-endian machine type; talking to the others costs coercion.
+I860 = ProcessorSpec(
+    name="i860",
+    fp_usec_per_op=0.25,
+    int_usec_per_op=0.06,
+    data_format="ieee-le",
+    comm_speed_factor=1.0,
+)
+
+#: Shared 10 Mb/s ethernet, the paper testbed's segment type.  The per-frame
+#: acquisition latency models CSMA/CD deference and interrupt dispatch on a
+#: busy shared segment; it is what gives the fitted Eq 1 its per-processor
+#: latency term (the paper's c2 ≈ 1.1-1.9 ms/proc).
+ETHERNET_10MBPS = EthernetParams(
+    bandwidth_bps=10_000_000.0,
+    mtu_bytes=1472,
+    frame_overhead_bytes=58,
+    acquisition_latency_ms=0.15,
+    jitter=0.0,
+)
+
+#: Router costs: a per-byte penalty near the paper's measured
+#: T_router ≈ 0.0006·b plus an early-90s store-and-forward frame latency.
+PAPER_ROUTER = RouterParams(per_byte_ms=0.0008, per_frame_ms=0.8)
+
+
+def paper_testbed(
+    *, seed: int = 0, trace: bool = False, jitter: float = 0.0
+) -> HeterogeneousNetwork:
+    """The §6 evaluation network: 6 Sparc2's + 6 IPC's, two segments, router.
+
+    Returns a validated :class:`HeterogeneousNetwork` whose first cluster is
+    the Sparc2 segment (cluster ``C1`` in the paper's notation) and whose
+    second is the IPC segment (``C2``).  ``jitter`` adds multiplicative
+    per-frame channel noise (std-dev fraction) for UDP-style
+    non-determinism studies; the default is the exact deterministic model.
+    """
+    ethernet = ETHERNET_10MBPS
+    if jitter > 0.0:
+        ethernet = EthernetParams(
+            bandwidth_bps=ETHERNET_10MBPS.bandwidth_bps,
+            mtu_bytes=ETHERNET_10MBPS.mtu_bytes,
+            frame_overhead_bytes=ETHERNET_10MBPS.frame_overhead_bytes,
+            acquisition_latency_ms=ETHERNET_10MBPS.acquisition_latency_ms,
+            jitter=jitter,
+        )
+    net = HeterogeneousNetwork(
+        seed=seed, ethernet=ethernet, router_params=PAPER_ROUTER, trace=trace
+    )
+    net.add_cluster("sparc2", SPARC2, count=6)
+    net.add_cluster("ipc", IPC, count=6)
+    net.validate()
+    return net
+
+
+#: A multicomputer node class (iPSC/Meiko-era): strong CPU, and a much
+#: faster private interconnect than office ethernet.
+MULTICOMPUTER_NODE = ProcessorSpec(
+    name="mc-node",
+    fp_usec_per_op=0.12,
+    int_usec_per_op=0.03,
+    data_format="xdr-be",
+    comm_speed_factor=0.4,
+)
+
+#: The multicomputer's internal interconnect (80 Mb/s, low per-frame cost).
+MULTICOMPUTER_LINK = EthernetParams(
+    bandwidth_bps=80_000_000.0,
+    mtu_bytes=4096,
+    frame_overhead_bytes=32,
+    acquisition_latency_ms=0.02,
+    jitter=0.0,
+)
+
+
+def metasystem_network(*, seed: int = 0, trace: bool = False) -> HeterogeneousNetwork:
+    """A §7 metasystem: a multicomputer next to a workstation cluster.
+
+    Violates the strict equal-bandwidth assumption (80 vs 10 Mb/s), so it
+    validates only with ``strict=False`` — the relaxation the paper's
+    future work calls for.
+    """
+    net = HeterogeneousNetwork(
+        seed=seed, ethernet=ETHERNET_10MBPS, router_params=PAPER_ROUTER, trace=trace
+    )
+    net.add_cluster("meiko", MULTICOMPUTER_NODE, count=8, ethernet=MULTICOMPUTER_LINK)
+    net.add_cluster("sparc2", SPARC2, count=6)
+    net.validate(strict=False)
+    return net
+
+
+def mixed_format_network(*, seed: int = 0, trace: bool = False) -> HeterogeneousNetwork:
+    """Sparc2s next to little-endian i860s: crossing costs coercion (§3)."""
+    net = HeterogeneousNetwork(
+        seed=seed, ethernet=ETHERNET_10MBPS, router_params=PAPER_ROUTER, trace=trace
+    )
+    net.add_cluster("sparc2", SPARC2, count=6)
+    net.add_cluster("i860", I860, count=6)
+    net.validate()
+    return net
+
+
+def three_cluster_network(*, seed: int = 0, trace: bool = False) -> HeterogeneousNetwork:
+    """Fig 1's example: Sun4, HP, and RS/6000 clusters on three segments."""
+    net = HeterogeneousNetwork(
+        seed=seed, ethernet=ETHERNET_10MBPS, router_params=PAPER_ROUTER, trace=trace
+    )
+    net.add_cluster("sun4", SPARC2, count=4)
+    net.add_cluster("hp", HP9000, count=4)
+    net.add_cluster("rs6000", RS6000, count=4)
+    net.validate()
+    return net

@@ -1,0 +1,127 @@
+"""Processor models: specifications and per-node runtime state.
+
+A :class:`ProcessorSpec` captures the *type* information the paper's cluster
+manager stores — instruction speed for integer and floating point work
+(expressed as the paper's ``S_i``: microseconds per operation) and the node's
+native data format (used for coercion-cost decisions).  A :class:`Processor`
+is one concrete node with mutable load state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+from repro.units import ops_time_ms
+
+__all__ = ["OpKind", "ProcessorSpec", "Processor"]
+
+#: Kind of operation for instruction-rate lookups.
+OpKind = Literal["fp", "int"]
+
+
+@dataclass(frozen=True)
+class ProcessorSpec:
+    """Immutable description of a processor type.
+
+    Parameters
+    ----------
+    name:
+        Type name (``"Sparc2"``, ``"IPC"``...).
+    fp_usec_per_op:
+        Average floating-point instruction time in µs — the paper's ``S_i``.
+    int_usec_per_op:
+        Average integer instruction time in µs.
+    data_format:
+        Wire/data representation tag.  Messages between processors with
+        different formats incur a per-byte coercion cost (paper §3).
+    comm_speed_factor:
+        Relative CPU cost multiplier for protocol processing (send/receive
+        software paths).  1.0 means "as fast as the reference (Sparc2-class)
+        host"; slower processors get larger factors, reproducing the paper's
+        observation that "communication is faster on a cluster of Sun4's
+        than on a cluster of Sun3's".
+    """
+
+    name: str
+    fp_usec_per_op: float
+    int_usec_per_op: float
+    data_format: str = "xdr-be"
+    comm_speed_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.fp_usec_per_op <= 0 or self.int_usec_per_op <= 0:
+            raise ValueError(f"instruction rates must be positive: {self}")
+        if self.comm_speed_factor <= 0:
+            raise ValueError(f"comm_speed_factor must be positive: {self}")
+
+    def usec_per_op(self, kind: OpKind = "fp") -> float:
+        """Instruction time in µs for the given operation kind."""
+        if kind == "fp":
+            return self.fp_usec_per_op
+        if kind == "int":
+            return self.int_usec_per_op
+        raise ValueError(f"unknown operation kind: {kind!r}")
+
+    def relative_power(self, other: "ProcessorSpec", kind: OpKind = "fp") -> float:
+        """How many times faster ``self`` is than ``other`` (>1 == faster)."""
+        return other.usec_per_op(kind) / self.usec_per_op(kind)
+
+
+@dataclass
+class Processor:
+    """One workstation node: a spec plus mutable load state.
+
+    ``load`` is the fraction of CPU consumed by other users' work (0 = idle).
+    The cluster manager's threshold policy treats nodes with
+    ``load <= threshold`` as available and *equal* (paper §3); the general
+    case scales instruction time by ``1 / (1 - load)``.
+    """
+
+    proc_id: int
+    spec: ProcessorSpec
+    cluster_name: str = ""
+    load: float = 0.0
+    #: Index of this node within its cluster, assigned by the cluster.
+    rank_in_cluster: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        self._check_load(self.load)
+
+    @staticmethod
+    def _check_load(load: float) -> None:
+        if not 0.0 <= load < 1.0:
+            raise ValueError(f"load must be in [0, 1), got {load}")
+
+    def set_load(self, load: float) -> None:
+        """Update the externally-imposed load fraction."""
+        self._check_load(load)
+        self.load = load
+
+    def is_available(self, threshold: float) -> bool:
+        """Threshold availability policy (paper §3)."""
+        return self.load <= threshold
+
+    def effective_usec_per_op(self, kind: OpKind = "fp", *, load_adjusted: bool = False) -> float:
+        """Instruction time, optionally inflated by current sharing load.
+
+        With ``load_adjusted=False`` (the paper's simplifying assumption) all
+        available processors of a type are equal; with ``True`` the rate is
+        scaled to reflect the CPU share left to us.
+        """
+        base = self.spec.usec_per_op(kind)
+        if load_adjusted and self.load > 0.0:
+            return base / (1.0 - self.load)
+        return base
+
+    def compute_time_ms(
+        self, ops: float, kind: OpKind = "fp", *, load_adjusted: bool = False
+    ) -> float:
+        """Wall time in ms to execute ``ops`` operations on this node."""
+        return ops_time_ms(ops, self.effective_usec_per_op(kind, load_adjusted=load_adjusted))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Processor #{self.proc_id} {self.spec.name} "
+            f"cluster={self.cluster_name!r} load={self.load:.2f}>"
+        )

@@ -1,0 +1,89 @@
+"""Router model: store-and-forward between two segments.
+
+The paper's empirical finding (§3) is that "the router may be treated as an
+additional station that contends for the ethernet channel plus internal
+router delay", with the delay a *per byte* penalty.  We model exactly that:
+a forwarded frame pays an internal latency plus per-byte processing inside
+the router, then contends for the destination segment's channel like any
+other station.  Contention on the source segment was already paid by the
+original transmission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim import Simulator
+from repro.sim.process import ProcessGenerator
+from repro.hardware.segment import EthernetSegment
+
+__all__ = ["RouterParams", "Router"]
+
+
+@dataclass(frozen=True)
+class RouterParams:
+    """Forwarding costs of a router.
+
+    ``per_byte_ms`` is the paper's ``T_router`` slope (their measured value
+    for the Sparc2/IPC testbed was ≈ 0.0006 ms/byte); ``per_frame_ms`` is a
+    small fixed lookup/queueing cost per frame.
+    """
+
+    per_byte_ms: float = 0.0006
+    per_frame_ms: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.per_byte_ms < 0 or self.per_frame_ms < 0:
+            raise ValueError("router costs must be non-negative")
+
+    def forward_delay_ms(self, payload_bytes: int) -> float:
+        """Internal router delay for one frame (excludes re-transmission)."""
+        return self.per_frame_ms + self.per_byte_ms * payload_bytes
+
+
+class Router:
+    """A store-and-forward router joining every pair of attached segments.
+
+    One router object connecting all segments is equivalent, under the
+    paper's one-hop assumption, to a single router between every pair.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "router", params: RouterParams | None = None) -> None:
+        self.sim = sim
+        self.name = name
+        self.params = params or RouterParams()
+        self._segments: dict[str, EthernetSegment] = {}
+        self.frames_forwarded = 0
+        self.bytes_forwarded = 0
+
+    def attach(self, segment: EthernetSegment) -> None:
+        """Connect a segment to this router."""
+        if segment.name in self._segments:
+            raise ValueError(f"segment {segment.name!r} already attached to {self.name!r}")
+        self._segments[segment.name] = segment
+
+    @property
+    def segments(self) -> tuple[str, ...]:
+        """Names of attached segments."""
+        return tuple(self._segments)
+
+    def connects(self, seg_a: str, seg_b: str) -> bool:
+        """Whether this router joins the two named segments."""
+        return seg_a in self._segments and seg_b in self._segments and seg_a != seg_b
+
+    def forward_frame(self, payload_bytes: int, dst_segment: str) -> ProcessGenerator:
+        """Forward one already-received frame onto ``dst_segment``.
+
+        Pays the internal router delay, then contends for the destination
+        channel.  To be ``yield from``-ed by the network's transfer process.
+        """
+        segment = self._segments.get(dst_segment)
+        if segment is None:
+            raise ValueError(f"router {self.name!r} not attached to {dst_segment!r}")
+        yield self.sim.timeout(self.params.forward_delay_ms(payload_bytes))
+        yield from segment.transmit_frame(payload_bytes)
+        self.frames_forwarded += 1
+        self.bytes_forwarded += payload_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Router {self.name!r} segments={list(self._segments)}>"

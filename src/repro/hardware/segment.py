@@ -1,0 +1,122 @@
+"""Ethernet segment model: a private shared channel with FIFO arbitration.
+
+The paper's essential property of a segment is *private bandwidth*: all
+stations on the segment (workstations plus the router port) share one
+channel.  We model the channel as a capacity-1 FIFO resource; a frame holds
+the channel for its serialization time.  When ``p`` stations offer frames
+concurrently — exactly what a synchronous communication cycle does — each
+frame queues behind the others, so the per-cycle cost grows linearly in
+``p``: the paper's "offered load is linear in p on ethernet".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.sim import Resource, Simulator
+from repro.sim.process import ProcessGenerator
+from repro.units import transmission_time_ms
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+__all__ = ["EthernetParams", "EthernetSegment"]
+
+
+@dataclass(frozen=True)
+class EthernetParams:
+    """Physical/protocol parameters of a segment.
+
+    Defaults approximate mid-90s 10BASE ethernet as seen by a UDP stack:
+    1500-byte MTU frames, ~34 bytes of link headers plus the 20+8 bytes of
+    IP/UDP headers and interframe gap folded into ``frame_overhead_bytes``,
+    and a small fixed medium-acquisition latency per frame.
+    """
+
+    bandwidth_bps: float = 10_000_000.0
+    mtu_bytes: int = 1472  # UDP payload per frame on a 1500-byte MTU link
+    frame_overhead_bytes: int = 58
+    acquisition_latency_ms: float = 0.005
+    #: Multiplicative jitter (std-dev fraction) on frame times; 0 = exact.
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.mtu_bytes <= 0:
+            raise ValueError("mtu must be positive")
+        if self.frame_overhead_bytes < 0 or self.acquisition_latency_ms < 0:
+            raise ValueError("overheads must be non-negative")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def frame_time_ms(self, payload_bytes: int) -> float:
+        """Channel occupancy of one frame carrying ``payload_bytes``."""
+        if payload_bytes > self.mtu_bytes:
+            raise ValueError(
+                f"payload {payload_bytes} exceeds MTU {self.mtu_bytes}; fragment first"
+            )
+        wire_bytes = payload_bytes + self.frame_overhead_bytes
+        return self.acquisition_latency_ms + transmission_time_ms(wire_bytes, self.bandwidth_bps)
+
+
+class EthernetSegment:
+    """One private-bandwidth network segment.
+
+    Stations transmit by running :meth:`transmit_frame` as (part of) a
+    simulated process; the call completes when the frame has fully cleared
+    the channel.  Delivery to the destination NIC is the caller's concern
+    (see :class:`repro.hardware.network.HeterogeneousNetwork`).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        params: EthernetParams | None = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.params = params or EthernetParams()
+        self._channel = Resource(sim, capacity=1)
+        self._rng = rng
+        # Cumulative statistics, useful for utilization-style assertions.
+        self.frames_carried = 0
+        self.bytes_carried = 0
+        self.busy_time_ms = 0.0
+
+    @property
+    def queue_length(self) -> int:
+        """Frames currently waiting for the channel."""
+        return self._channel.queue_length
+
+    def _jittered(self, t: float) -> float:
+        if self.params.jitter <= 0.0 or self._rng is None:
+            return t
+        factor = 1.0 + self.params.jitter * float(self._rng.standard_normal())
+        return t * max(factor, 0.1)
+
+    def transmit_frame(self, payload_bytes: int) -> ProcessGenerator:
+        """Occupy the channel for one frame of ``payload_bytes``.
+
+        A generator to be ``yield from``-ed inside a simulated process.
+        Returns the simulated time at which the frame cleared the channel.
+        """
+        hold = self._jittered(self.params.frame_time_ms(payload_bytes))
+        grant = self._channel.request()
+        yield grant
+        try:
+            yield self.sim.timeout(hold)
+        finally:
+            self._channel.release()
+        self.frames_carried += 1
+        self.bytes_carried += payload_bytes
+        self.busy_time_ms += hold
+        return self.sim.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<EthernetSegment {self.name!r} {self.params.bandwidth_bps/1e6:.0f} Mb/s>"

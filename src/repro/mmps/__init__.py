@@ -1,0 +1,23 @@
+"""MMPS — reliable heterogeneous message passing over simulated UDP.
+
+A behavioural reproduction of the paper's message substrate [5]: message
+fragmentation to the segment MTU, loss injection, acknowledgement and
+retransmission, cross-format coercion costs, and asynchronous sends that let
+applications overlap communication with computation.
+"""
+
+from repro.mmps.coercion import CoercionPolicy
+from repro.mmps.message import Datagram, Message
+from repro.mmps.params import HostCostParams
+from repro.mmps.system import MMPS, Endpoint, EndpointStats, MMPS_HEADER_BYTES
+
+__all__ = [
+    "CoercionPolicy",
+    "Datagram",
+    "Message",
+    "HostCostParams",
+    "MMPS",
+    "Endpoint",
+    "EndpointStats",
+    "MMPS_HEADER_BYTES",
+]

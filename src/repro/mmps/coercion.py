@@ -1,0 +1,41 @@
+"""Data-format coercion costs (the paper's ``T_coerce``).
+
+When communicating processors support different data formats, a per-message
+coercion cost linear in the message size must be paid (paper §3).  We charge
+it on the receiving host — the convention of XDR-style "decode on receipt" —
+scaled by that host's protocol-processing speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.processor import ProcessorSpec
+
+__all__ = ["CoercionPolicy"]
+
+
+@dataclass(frozen=True)
+class CoercionPolicy:
+    """Per-byte conversion cost between differing data formats.
+
+    ``usec_per_byte`` is the reference-host cost of converting one byte
+    (byte-swap plus bounds/representation fixups); a host with
+    ``comm_speed_factor`` ``f`` pays ``f`` times that.
+    """
+
+    usec_per_byte: float = 0.4
+
+    def __post_init__(self) -> None:
+        if self.usec_per_byte < 0:
+            raise ValueError("coercion cost must be non-negative")
+
+    def required(self, src_format: str, dst_format: str) -> bool:
+        """Whether messages between these formats need conversion."""
+        return src_format != dst_format
+
+    def cost_ms(self, src_format: str, dst_spec: ProcessorSpec, nbytes: int) -> float:
+        """Coercion time on the receiving host, in ms (0 if formats match)."""
+        if not self.required(src_format, dst_spec.data_format):
+            return 0.0
+        return self.usec_per_byte * dst_spec.comm_speed_factor * nbytes / 1000.0

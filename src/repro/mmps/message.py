@@ -1,0 +1,94 @@
+"""Message and datagram value types for the MMPS layer.
+
+MMPS (the paper's Modular Message Passing System [5]) is a *reliable*
+message system built on UDP datagrams.  A :class:`Message` is what tasks
+exchange; it is fragmented into :class:`Datagram`\\ s no larger than the
+segment MTU for transmission and reassembled at the receiver.
+
+Timing is driven entirely by ``nbytes``; ``payload`` optionally carries real
+data (e.g. NumPy border rows) so applications can verify numerics on top of
+the simulated timeline.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["Message", "Datagram", "next_message_id"]
+
+_message_counter = itertools.count(1)
+
+
+def next_message_id() -> int:
+    """Globally unique, monotonically increasing message id."""
+    return next(_message_counter)
+
+
+@dataclass(frozen=True)
+class Message:
+    """One application-level message.
+
+    Attributes
+    ----------
+    src, dst:
+        Global processor ids of sender and receiver.
+    nbytes:
+        Authoritative size for all cost accounting.
+    tag:
+        Application demultiplexing key (e.g. ``"north"``/``"south"``).
+    payload:
+        Optional real data riding along for value-level verification.
+    src_format:
+        Sender's native data format; receivers compare against their own to
+        decide whether coercion cost applies.
+    seq:
+        Per-(src, dst) channel sequence number.  MMPS delivers messages of a
+        pair **in send order** (pairwise FIFO, like MPI): without it, a
+        lost-and-retransmitted message could be overtaken by a later one and
+        applications would observe reordering under packet loss.
+    """
+
+    src: int
+    dst: int
+    nbytes: int
+    tag: str = ""
+    payload: Any = None
+    src_format: str = "xdr-be"
+    seq: int = 0
+    msg_id: int = field(default_factory=next_message_id)
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError(f"message nbytes must be non-negative, got {self.nbytes}")
+
+
+@dataclass(frozen=True)
+class Datagram:
+    """One UDP-sized fragment of a message (or an acknowledgement).
+
+    ``frag_index``/``frag_count`` drive reassembly; ``nbytes`` is the wire
+    payload carried by this fragment.  Acks are small datagrams flowing
+    receiver→sender with ``is_ack=True`` and ``msg_id`` of the acked message.
+    """
+
+    msg_id: int
+    src: int
+    dst: int
+    frag_index: int
+    frag_count: int
+    nbytes: int
+    is_ack: bool = False
+    message: Optional[Message] = None  # carried on the final fragment
+
+    #: Wire size of an acknowledgement datagram.
+    ACK_BYTES = 32
+
+    def __post_init__(self) -> None:
+        if self.frag_count < 1 or not 0 <= self.frag_index < self.frag_count:
+            raise ValueError(
+                f"bad fragment indices: {self.frag_index}/{self.frag_count}"
+            )
+        if self.nbytes < 0:
+            raise ValueError("datagram nbytes must be non-negative")

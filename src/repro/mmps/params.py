@@ -1,0 +1,80 @@
+"""Tunable cost parameters of the MMPS protocol stack.
+
+These model the *host-side* software path of an early-90s UDP stack: a fixed
+per-message cost (system call, header construction, scheduling), a per-byte
+copy cost (user ↔ kernel ↔ NIC copies), and a smaller per-datagram cost for
+fragmentation/interrupt handling.  All host costs scale with the processor
+type's ``comm_speed_factor``, so slower machines communicate more slowly on
+an identical segment — matching the paper's Sun4-vs-Sun3 remark and the
+different fitted constants of the Sparc2 and IPC clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.processor import ProcessorSpec
+
+__all__ = ["HostCostParams"]
+
+
+@dataclass(frozen=True)
+class HostCostParams:
+    """Host protocol-processing costs (reference-host milliseconds)."""
+
+    send_per_message_ms: float = 0.75
+    send_per_byte_ms: float = 0.00050
+    send_per_datagram_ms: float = 0.12
+    recv_per_message_ms: float = 0.75
+    recv_per_byte_ms: float = 0.00060
+    recv_per_datagram_ms: float = 0.12
+    #: Sender-side cost to initiate an asynchronous send.  The user→stack
+    #: copy is synchronous even for async sends (only the wire time
+    #: overlaps), so the per-byte part matches the blocking send path.
+    async_init_per_message_ms: float = 0.35
+    async_init_per_byte_ms: float = 0.00050
+    #: How long a sender waits for an ack before retransmitting.
+    retransmit_timeout_ms: float = 60.0
+    #: Give up after this many retransmissions of one message.
+    max_retries: int = 20
+
+    def __post_init__(self) -> None:
+        numeric = (
+            self.send_per_message_ms,
+            self.send_per_byte_ms,
+            self.send_per_datagram_ms,
+            self.recv_per_message_ms,
+            self.recv_per_byte_ms,
+            self.recv_per_datagram_ms,
+            self.async_init_per_message_ms,
+            self.async_init_per_byte_ms,
+        )
+        if any(v < 0 for v in numeric):
+            raise ValueError("host costs must be non-negative")
+        if self.retransmit_timeout_ms <= 0:
+            raise ValueError("retransmit timeout must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+
+    def send_cost_ms(self, spec: ProcessorSpec, nbytes: int, ndatagrams: int) -> float:
+        """Synchronous send-path CPU time on a host of type ``spec``."""
+        raw = (
+            self.send_per_message_ms
+            + self.send_per_byte_ms * nbytes
+            + self.send_per_datagram_ms * ndatagrams
+        )
+        return raw * spec.comm_speed_factor
+
+    def async_init_cost_ms(self, spec: ProcessorSpec, nbytes: int) -> float:
+        """Inline CPU time to launch an asynchronous send."""
+        raw = self.async_init_per_message_ms + self.async_init_per_byte_ms * nbytes
+        return raw * spec.comm_speed_factor
+
+    def recv_cost_ms(self, spec: ProcessorSpec, nbytes: int, ndatagrams: int) -> float:
+        """Receive-path CPU time on a host of type ``spec``."""
+        raw = (
+            self.recv_per_message_ms
+            + self.recv_per_byte_ms * nbytes
+            + self.recv_per_datagram_ms * ndatagrams
+        )
+        return raw * spec.comm_speed_factor

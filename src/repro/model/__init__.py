@@ -1,0 +1,30 @@
+"""The data parallel computation model (paper §4).
+
+PDU domains (:class:`PDUSpace`), annotated computation/communication phases
+(:class:`ComputationPhase`, :class:`CommunicationPhase`), the program bundle
+(:class:`DataParallelComputation`), and the partition vector
+(:class:`PartitionVector`) with sum-preserving integer rounding.
+"""
+
+from repro.model.computation import DataParallelComputation
+from repro.model.pdu import PDUKind, PDUSpace, Region
+from repro.model.phases import (
+    Annotatable,
+    CommunicationPhase,
+    ComputationPhase,
+    evaluate_annotation,
+)
+from repro.model.vector import PartitionVector, round_preserving_sum
+
+__all__ = [
+    "DataParallelComputation",
+    "PDUKind",
+    "PDUSpace",
+    "Region",
+    "Annotatable",
+    "CommunicationPhase",
+    "ComputationPhase",
+    "evaluate_annotation",
+    "PartitionVector",
+    "round_preserving_sum",
+]

@@ -1,0 +1,85 @@
+"""Primitive data units (PDUs) and the decomposable data domain.
+
+The *PDU* is the smallest unit of data decomposition (paper §4): a matrix
+row, column, block, or a bag of particles.  The partitioning algorithm
+manipulates PDUs purely in the abstract — it only needs their count — while
+the implementation maps a :class:`~repro.model.vector.PartitionVector` back
+onto concrete regions.  :class:`PDUSpace` provides that mapping for the
+common regular cases.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["PDUKind", "PDUSpace", "Region"]
+
+
+class PDUKind(str, enum.Enum):
+    """What one PDU is, for documentation and region arithmetic."""
+
+    ROW = "row"
+    COLUMN = "column"
+    BLOCK = "block"
+    PARTICLES = "particles"
+    ABSTRACT = "abstract"
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous run of PDUs owned by one task: ``[start, start+count)``."""
+
+    start: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.count < 0:
+            raise ValueError(f"invalid region: start={self.start} count={self.count}")
+
+    @property
+    def stop(self) -> int:
+        """One past the last owned PDU index."""
+        return self.start + self.count
+
+    def indices(self) -> range:
+        """The PDU indices in this region."""
+        return range(self.start, self.stop)
+
+
+@dataclass(frozen=True)
+class PDUSpace:
+    """A decomposable data domain of ``num_pdus`` primitive units.
+
+    For a dense ``N x N`` grid decomposed by rows (the paper's stencil),
+    ``PDUSpace(num_pdus=N, kind=PDUKind.ROW)``; the partition vector then
+    maps directly onto contiguous row blocks (Fig 2).
+    """
+
+    num_pdus: int
+    kind: PDUKind = PDUKind.ABSTRACT
+
+    def __post_init__(self) -> None:
+        if self.num_pdus < 1:
+            raise ValueError(f"domain needs at least one PDU, got {self.num_pdus}")
+
+    def regions(self, counts: Sequence[int]) -> list[Region]:
+        """Contiguous regions for per-task PDU counts (block decomposition).
+
+        ``counts`` must sum to ``num_pdus`` — the partition-vector invariant
+        ``ΣA_i = num_PDUs``.
+        """
+        total = sum(counts)
+        if total != self.num_pdus:
+            raise ValueError(
+                f"partition covers {total} PDUs but the domain has {self.num_pdus}"
+            )
+        if any(c < 0 for c in counts):
+            raise ValueError(f"negative PDU count in {counts}")
+        regions = []
+        start = 0
+        for count in counts:
+            regions.append(Region(start=start, count=count))
+            start += count
+        return regions

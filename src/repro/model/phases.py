@@ -1,0 +1,151 @@
+"""Phase annotations: the callback-provided program description (paper §4).
+
+A data parallel computation is a sequence of alternating computation and
+communication phases.  The partitioning algorithm never inspects the code —
+it consumes *annotations*:
+
+Computation phase
+    ``num_PDUs`` and the *computational complexity* (operations executed per
+    PDU per cycle).
+
+Communication phase
+    the *topology*, the *communication complexity* (bytes per message per
+    cycle), and optionally the name of a computation phase the communication
+    is overlapped with.
+
+Annotations may be constants or callbacks invoked with the problem instance,
+mirroring the paper's runtime callbacks that "may depend on problem
+parameters such as the problem size (e.g. N)".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Union
+
+from repro.errors import AnnotationError
+from repro.hardware.processor import OpKind
+from repro.spmd.topology import Topology
+
+__all__ = ["Annotatable", "evaluate_annotation", "ComputationPhase", "CommunicationPhase"]
+
+#: An annotation value: a number, or a callback of the problem instance.
+Annotatable = Union[float, int, Callable[[Any], float]]
+
+
+def evaluate_annotation(value: Annotatable, problem: Any) -> float:
+    """Resolve an annotation to a number, invoking the callback if needed."""
+    if callable(value):
+        result = value(problem)
+    else:
+        result = value
+    try:
+        result = float(result)
+    except (TypeError, ValueError) as exc:
+        raise AnnotationError(f"annotation evaluated to non-numeric {result!r}") from exc
+    if result < 0:
+        raise AnnotationError(f"annotation evaluated to negative value {result}")
+    return result
+
+
+#: A per-cycle annotation: callback of (problem, cycle index) -> value.
+PerCycleCallback = Callable[[Any, int], float]
+
+
+@dataclass(frozen=True)
+class ComputationPhase:
+    """One computation phase and its annotations.
+
+    ``complexity`` is the per-PDU, per-cycle operation count; ``op_kind``
+    selects which instruction rate (fp/int) applies in Eq 4.  Applications
+    with *non-uniform* complexity (the paper's Gaussian elimination) may
+    additionally provide ``per_cycle_complexity(problem, cycle)``; the
+    estimator then sums exact per-cycle costs for ``T_elapsed`` instead of
+    multiplying the average by the cycle count.
+    """
+
+    name: str
+    complexity: Annotatable
+    op_kind: OpKind = "fp"
+    per_cycle_complexity: Optional[PerCycleCallback] = None
+
+    def complexity_value(self, problem: Any) -> float:
+        """Average operations per PDU per cycle for this problem instance."""
+        return evaluate_annotation(self.complexity, problem)
+
+    def complexity_at_cycle(self, problem: Any, cycle: int) -> float:
+        """Operations per PDU in one specific cycle (falls back to average)."""
+        if self.per_cycle_complexity is None:
+            return self.complexity_value(problem)
+        value = float(self.per_cycle_complexity(problem, cycle))
+        if value < 0:
+            raise AnnotationError(
+                f"per-cycle complexity negative at cycle {cycle}: {value}"
+            )
+        return value
+
+
+@dataclass(frozen=True)
+class CommunicationPhase:
+    """One communication phase and its annotations.
+
+    ``complexity`` is the bytes transmitted per message per cycle (each task
+    sends one message to each topology neighbour per cycle).  ``overlap``
+    names the computation phase this phase is overlapped with, if any.
+    ``per_cycle_complexity`` optionally gives exact per-cycle message sizes
+    for non-uniform communication.
+    """
+
+    name: str
+    topology: Topology
+    complexity: Annotatable
+    overlap: Optional[str] = None
+    per_cycle_complexity: Optional[PerCycleCallback] = None
+    #: The paper's "b ... may depend on A_i in some cases": message size as
+    #: a function of (problem, per-processor PDU shares).  A ring all-gather
+    #: circulating each task's block is the canonical case — fewer
+    #: processors mean bigger blocks.  When provided, the estimator prefers
+    #: this over the scalar ``complexity``.
+    per_config_complexity: Optional[Callable[[Any, list[float]], float]] = None
+    #: How many times the pattern repeats within one cycle.  The paper's
+    #: model assumes "a single communication to each neighboring task during
+    #: a single cycle"; collectives break that — a ring all-gather runs
+    #: ``P-1`` rounds per iteration, an all-reduce two tree passes.  A
+    #: number, or a callable of (problem, total processors).
+    rounds: Union[float, int, Callable[[Any, int], float]] = 1.0
+
+    def rounds_value(self, problem: Any, total_processors: int) -> float:
+        """Pattern repetitions per cycle for a configuration of this size."""
+        if callable(self.rounds):
+            value = float(self.rounds(problem, total_processors))
+        else:
+            value = float(self.rounds)
+        if value < 0:
+            raise AnnotationError(f"rounds evaluated to negative value {value}")
+        return value
+
+    def complexity_value(self, problem: Any) -> float:
+        """Average bytes per message per cycle for this problem instance."""
+        return evaluate_annotation(self.complexity, problem)
+
+    def complexity_for_shares(self, problem: Any, shares: list[float]) -> float:
+        """Bytes per message under a concrete decomposition (falls back)."""
+        if self.per_config_complexity is None:
+            return self.complexity_value(problem)
+        value = float(self.per_config_complexity(problem, shares))
+        if value < 0:
+            raise AnnotationError(
+                f"per-config complexity negative for shares {shares}: {value}"
+            )
+        return value
+
+    def complexity_at_cycle(self, problem: Any, cycle: int) -> float:
+        """Bytes per message in one specific cycle (falls back to average)."""
+        if self.per_cycle_complexity is None:
+            return self.complexity_value(problem)
+        value = float(self.per_cycle_complexity(problem, cycle))
+        if value < 0:
+            raise AnnotationError(
+                f"per-cycle complexity negative at cycle {cycle}: {value}"
+            )
+        return value

@@ -1,0 +1,109 @@
+"""Synthetic workload generation for robustness testing.
+
+Random — but *valid* — data parallel computations and networks, used to fuzz
+the partitioning pipeline: whatever the annotations and cluster mix, the
+partitioner must produce a configuration within bounds, a partition vector
+summing exactly to ``num_PDUs``, and an estimate consistent with Eq 4-6.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.benchmarking.costfuncs import CommCostFunction, LinearByteCost
+from repro.benchmarking.database import CostDatabase
+from repro.hardware.network import HeterogeneousNetwork
+from repro.hardware.processor import ProcessorSpec
+from repro.model.computation import DataParallelComputation
+from repro.model.phases import CommunicationPhase, ComputationPhase
+from repro.spmd.topology import Topology
+
+__all__ = ["random_network", "random_cost_database", "random_computation"]
+
+_TOPOLOGIES = (Topology.ONE_D, Topology.RING, Topology.TWO_D, Topology.TREE, Topology.BROADCAST)
+
+
+def random_network(rng: np.random.Generator) -> HeterogeneousNetwork:
+    """A random 1-4 cluster network with era-plausible processor specs."""
+    net = HeterogeneousNetwork(seed=int(rng.integers(0, 2**31)))
+    n_clusters = int(rng.integers(1, 5))
+    for i in range(n_clusters):
+        spec = ProcessorSpec(
+            name=f"type{i}",
+            fp_usec_per_op=float(rng.uniform(0.1, 3.0)),
+            int_usec_per_op=float(rng.uniform(0.02, 0.5)),
+            comm_speed_factor=float(rng.uniform(0.5, 3.0)),
+        )
+        net.add_cluster(f"c{i}", spec, count=int(rng.integers(1, 9)))
+    net.validate()
+    return net
+
+
+def random_cost_database(
+    network: HeterogeneousNetwork, rng: np.random.Generator
+) -> CostDatabase:
+    """Plausible fitted functions for every cluster/topology/pair."""
+    db = CostDatabase()
+    names = [c.name for c in network.clusters]
+    for name in names:
+        scale = float(rng.uniform(0.5, 3.0))
+        for topo in _TOPOLOGIES:
+            db.add_comm(
+                CommCostFunction(
+                    cluster=name,
+                    topology=str(topo),
+                    c1=float(rng.uniform(0.0, 2.0)),
+                    c2=float(rng.uniform(0.05, 2.0)) * scale,
+                    c3=float(rng.uniform(-0.005, 0.005)),
+                    c4=float(rng.uniform(0.0002, 0.005)) * scale,
+                )
+            )
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            db.add_router(
+                LinearByteCost(
+                    a, b, "router",
+                    intercept_ms=float(rng.uniform(0.0, 2.0)),
+                    slope_ms_per_byte=float(rng.uniform(0.0002, 0.003)),
+                )
+            )
+    return db
+
+
+def random_computation(
+    rng: np.random.Generator, *, topology: Optional[Topology] = None
+) -> DataParallelComputation:
+    """A random annotated computation (1-3 phases each way, maybe overlap)."""
+    n_comp = int(rng.integers(1, 4))
+    comp_phases = [
+        ComputationPhase(
+            f"comp{i}",
+            complexity=float(rng.uniform(1.0, 10_000.0)),
+            op_kind="fp" if rng.random() < 0.8 else "int",
+        )
+        for i in range(n_comp)
+    ]
+    n_comm = int(rng.integers(0, 3))
+    comm_phases = []
+    for i in range(n_comm):
+        overlap = None
+        if rng.random() < 0.4:
+            overlap = comp_phases[int(rng.integers(0, n_comp))].name
+        comm_phases.append(
+            CommunicationPhase(
+                f"comm{i}",
+                topology=topology or _TOPOLOGIES[int(rng.integers(0, len(_TOPOLOGIES)))],
+                complexity=float(rng.uniform(1.0, 50_000.0)),
+                overlap=overlap,
+            )
+        )
+    return DataParallelComputation(
+        name="synthetic",
+        problem=None,
+        num_pdus=int(rng.integers(1, 100_000)),
+        computation_phases=comp_phases,
+        communication_phases=comm_phases,
+        cycles=int(rng.integers(1, 1000)),
+    )

@@ -1,0 +1,132 @@
+"""One-call partitioning: discover, calibrate (cached), decide, explain.
+
+:func:`advise` wraps the full pipeline a downstream user wants behind a
+single call — gather available processors, obtain cost functions (fitting
+them on first use and caching to disk keyed by a network fingerprint),
+run the chosen partitioner, and attach a human-readable explanation of
+*why* the configuration won.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.benchmarking.cache import load_or_build
+from repro.benchmarking.database import CostDatabase, build_cost_database
+from repro.benchmarking.microbench import Workbench
+from repro.errors import PartitionError
+from repro.hardware.network import HeterogeneousNetwork
+from repro.model.computation import DataParallelComputation
+from repro.partition.available import gather_available_resources
+from repro.partition.general import general_partition
+from repro.partition.heuristic import PartitionDecision, partition
+
+__all__ = ["advise", "network_fingerprint", "explain_decision"]
+
+
+def network_fingerprint(network: HeterogeneousNetwork) -> str:
+    """A stable digest of everything the cost functions depend on."""
+    parts = []
+    for cluster in network.clusters:
+        spec = cluster.spec
+        seg = cluster.segment.params
+        parts.append(
+            f"{cluster.name}:{len(cluster)}:{spec.name}:{spec.fp_usec_per_op}:"
+            f"{spec.comm_speed_factor}:{spec.data_format}:"
+            f"{seg.bandwidth_bps}:{seg.mtu_bytes}:{seg.acquisition_latency_ms}"
+        )
+    for name, router in sorted(network.fabric.routers.items()):
+        parts.append(f"{name}:{router.params.per_byte_ms}:{router.params.per_frame_ms}")
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()[:16]
+
+
+def explain_decision(decision: PartitionDecision) -> str:
+    """A short narrative of the decision and the search that produced it."""
+    est = decision.estimate
+    lines = [
+        f"decision: {decision.config.describe()}  (method: {decision.method})",
+        f"  T_comp    = {est.t_comp_ms:10.2f} ms/cycle  (Eq 4, load balanced)",
+        f"  T_comm    = {est.t_comm_ms:10.2f} ms/cycle  (fitted topology cost)",
+        f"  T_overlap = {est.t_overlap_ms:10.2f} ms/cycle",
+        f"  T_c       = {est.t_cycle_ms:10.2f} ms/cycle -> "
+        f"T_elapsed ~= {decision.t_elapsed_ms:.0f} ms",
+        f"  partition vector: {list(decision.vector)} "
+        f"(sums to {decision.vector.total})",
+        f"  search evaluated {decision.evaluations} configurations:",
+    ]
+    seen = {}
+    for desc, t in decision.trace:
+        seen[desc] = t  # memoized duplicates collapse to the last value
+    for desc, t in sorted(seen.items(), key=lambda kv: kv[1]):
+        marker = " <= chosen" if desc == decision.config.describe() else ""
+        lines.append(f"    {desc:28s} T_c = {t:10.2f} ms{marker}")
+    return "\n".join(lines)
+
+
+def advise(
+    network_factory: Callable[[], HeterogeneousNetwork],
+    computation: DataParallelComputation,
+    *,
+    cost_db: Optional[CostDatabase] = None,
+    cache_path: Optional[Union[str, Path]] = None,
+    method: str = "heuristic",
+    load_adjusted: bool = False,
+    calibration_cycles: int = 3,
+) -> tuple[PartitionDecision, str]:
+    """Partition ``computation`` for the network ``network_factory`` builds.
+
+    Returns ``(decision, explanation)``.
+
+    Parameters
+    ----------
+    network_factory:
+        Zero-argument builder; calibration needs fresh instances, and the
+        decision is made against one live instance's manager state.
+    cost_db:
+        Pre-fitted functions; when omitted, the offline phase runs for the
+        computation's dominant topology (and is cached at ``cache_path``
+        keyed by :func:`network_fingerprint`).
+    method:
+        ``"heuristic"`` (the paper's), ``"scan"`` (robust), or
+        ``"general"`` (unrestricted local search).
+    """
+    if method not in ("heuristic", "scan", "general"):
+        raise PartitionError(f"unknown advise method {method!r}")
+    network = network_factory()
+    comm_phase = computation.dominant_communication_phase()
+    if cost_db is None:
+        topologies = [comm_phase.topology] if comm_phase is not None else []
+
+        def builder() -> CostDatabase:
+            if not topologies:
+                return CostDatabase()
+            workbench = Workbench(network_factory)
+            return build_cost_database(
+                workbench,
+                clusters=[c.name for c in network.clusters],
+                topologies=topologies,
+                cycles=calibration_cycles,
+            )
+
+        if cache_path is not None:
+            cost_db = load_or_build(
+                cache_path,
+                builder,
+                fingerprint=network_fingerprint(network)
+                + ":" + ",".join(str(t) for t in topologies),
+            )
+        else:
+            cost_db = builder()
+    resources = gather_available_resources(network, load_adjusted=load_adjusted)
+    if method == "general":
+        decision = general_partition(computation, resources, cost_db)
+    else:
+        decision = partition(
+            computation,
+            resources,
+            cost_db,
+            search="binary" if method == "heuristic" else "scan",
+        )
+    return decision, explain_decision(decision)

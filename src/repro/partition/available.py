@@ -1,0 +1,105 @@
+"""Gathering the available processors (paper §5, first step).
+
+"Before partitioning can be done, the available processors N_i within each
+cluster C_i have to be known.  A cooperative algorithm is run by each cluster
+manager that determines the available processors."  The tech-report details
+are not in the paper; we implement the observable contract: each manager
+applies its threshold policy and reports its available nodes, and the
+gathering sweep costs one round of manager queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cluster import Cluster
+from repro.hardware.network import HeterogeneousNetwork
+from repro.hardware.processor import OpKind, Processor
+
+__all__ = ["ClusterResources", "gather_available_resources"]
+
+
+@dataclass(frozen=True)
+class ClusterResources:
+    """One cluster's schedulable state, as the partitioner sees it.
+
+    Two availability policies (paper §3):
+
+    * **threshold** (``load_adjusted=False``, the paper's simplification):
+      only nodes under the manager's load threshold appear, and all are
+      treated as equal;
+    * **load-adjusted** (``load_adjusted=True``, the paper's "general
+      case"): *every* node appears, "with the associated instruction speed
+      adjusted to reflect current load" — Eq 3 then hands loaded nodes
+      proportionally fewer PDUs.
+    """
+
+    cluster: Cluster
+    available: tuple[Processor, ...]
+    load_adjusted: bool = False
+
+    @property
+    def name(self) -> str:
+        """Cluster name."""
+        return self.cluster.name
+
+    @property
+    def n_available(self) -> int:
+        """The paper's ``N_i``."""
+        return len(self.available)
+
+    def instruction_rate(self, kind: OpKind = "fp") -> float:
+        """The cluster's nominal ``S_i`` (µs per op; smaller = faster).
+
+        Used for cluster *ordering*; per-processor effective rates (which
+        may differ under load adjustment) come from :meth:`rate_of`.
+        """
+        return self.cluster.instruction_rate(kind)
+
+    def rate_of(self, proc: Processor, kind: OpKind = "fp") -> float:
+        """The effective ``S_i`` of one node under the active policy."""
+        return proc.effective_usec_per_op(kind, load_adjusted=self.load_adjusted)
+
+    def take(self, count: int) -> list[Processor]:
+        """The ``count`` best available nodes.
+
+        Under the threshold policy, cluster-rank order (all equal); under
+        load adjustment, least-loaded first so a partial allocation uses the
+        fastest effective processors.
+        """
+        if count < 0 or count > self.n_available:
+            raise ValueError(
+                f"cluster {self.name!r} has {self.n_available} available, "
+                f"{count} requested"
+            )
+        return list(self.available[:count])
+
+
+def gather_available_resources(
+    network: HeterogeneousNetwork,
+    *,
+    load_adjusted: bool = False,
+) -> list[ClusterResources]:
+    """One cooperative sweep: every manager reports its schedulable nodes.
+
+    With ``load_adjusted=False`` (default, the paper's evaluation setting),
+    managers apply the threshold policy and equal-speed assumption.  With
+    ``True``, all nodes are offered with load-scaled effective rates,
+    least-loaded first.
+
+    Returns resources in the network's cluster creation order; the
+    partitioner re-orders by processor power itself (paper §5).
+    """
+    resources = []
+    for cluster in network.clusters:
+        if load_adjusted:
+            nodes = sorted(cluster.processors, key=lambda p: (p.load, p.rank_in_cluster))
+            available = tuple(nodes)
+        else:
+            available = tuple(cluster.manager.available_processors())
+        resources.append(
+            ClusterResources(
+                cluster=cluster, available=available, load_adjusted=load_adjusted
+            )
+        )
+    return resources

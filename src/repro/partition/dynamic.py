@@ -1,0 +1,107 @@
+"""Dynamic repartitioning under load imbalance (paper §7 future work).
+
+"A strategy to handle load imbalance due to processor sharing is also the
+subject of future work.  One possibility is to dynamically recompute the
+partition vector in the event of load imbalance."  This module implements
+that possibility:
+
+* :func:`detect_imbalance` — trip when the measured per-PDU times diverge;
+* :func:`rebalance_counts` — a *measured* Eq 3: new shares proportional to
+  observed per-PDU speed (1/τ_i), so external load shows up exactly as a
+  slower effective ``S_i``;
+* :func:`transfer_plan` — which contiguous rows move between which ranks to
+  morph the old block decomposition into the new one (the data-movement
+  bill the runtime must pay).
+
+The SPMD integration lives in :func:`repro.apps.stencil_dynamic.run_stencil_dynamic`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.model.vector import PartitionVector, round_preserving_sum
+
+__all__ = ["detect_imbalance", "rebalance_counts", "transfer_plan", "moved_pdus"]
+
+
+def detect_imbalance(
+    per_pdu_times_ms: Sequence[float], *, threshold: float = 1.25
+) -> bool:
+    """Whether measured per-PDU times diverge beyond ``threshold``.
+
+    ``per_pdu_times_ms[i]`` is task i's observed compute time per owned PDU
+    per cycle over the last epoch.  Under the balanced decomposition these
+    are proportional to the effective ``S_i``; a ratio above the threshold
+    means some node slowed down (external load) or sped up (load removed).
+    """
+    if not per_pdu_times_ms:
+        raise PartitionError("no measurements")
+    times = np.asarray(per_pdu_times_ms, dtype=float)
+    if np.any(times <= 0):
+        raise PartitionError(f"non-positive per-PDU time in {times.tolist()}")
+    if threshold <= 1.0:
+        raise PartitionError(f"threshold must exceed 1.0, got {threshold}")
+    return float(times.max() / times.min()) > threshold
+
+
+def rebalance_counts(
+    old_counts: Sequence[int], per_pdu_times_ms: Sequence[float]
+) -> PartitionVector:
+    """Recompute the partition vector from *measured* per-PDU speeds.
+
+    Eq 3 with the measured ``τ_i`` standing in for ``S_i``:
+    ``A_i' ∝ (1/τ_i)``, integerized sum-preservingly.  Tasks that were
+    slowed by external load hand PDUs to the others.
+    """
+    counts = list(old_counts)
+    if len(counts) != len(per_pdu_times_ms):
+        raise PartitionError(
+            f"{len(counts)} counts but {len(per_pdu_times_ms)} measurements"
+        )
+    total = sum(counts)
+    times = np.asarray(per_pdu_times_ms, dtype=float)
+    if np.any(times <= 0):
+        raise PartitionError("non-positive per-PDU time")
+    speeds = 1.0 / times
+    shares = speeds / speeds.sum() * total
+    return PartitionVector(round_preserving_sum(shares.tolist(), total))
+
+
+def transfer_plan(
+    old_counts: Sequence[int], new_counts: Sequence[int]
+) -> dict[tuple[int, int], int]:
+    """Rows each rank must send to each other rank, for contiguous blocks.
+
+    Both decompositions are contiguous by rank order; the plan is the
+    pairwise intersection of old and new ownership intervals.  Returns
+    ``{(src, dst): n_pdus}`` with only non-zero, src≠dst entries — every
+    rank can compute the same plan locally from the two count vectors, so
+    no extra coordination is needed.
+    """
+    if len(old_counts) != len(new_counts):
+        raise PartitionError("rank count changed between decompositions")
+    if sum(old_counts) != sum(new_counts):
+        raise PartitionError(
+            f"totals differ: {sum(old_counts)} vs {sum(new_counts)}"
+        )
+    old_bounds = np.concatenate([[0], np.cumsum(old_counts)])
+    new_bounds = np.concatenate([[0], np.cumsum(new_counts)])
+    plan: dict[tuple[int, int], int] = {}
+    for src in range(len(old_counts)):
+        for dst in range(len(new_counts)):
+            if src == dst:
+                continue
+            lo = max(old_bounds[src], new_bounds[dst])
+            hi = min(old_bounds[src + 1], new_bounds[dst + 1])
+            if hi > lo:
+                plan[(src, dst)] = int(hi - lo)
+    return plan
+
+
+def moved_pdus(plan: dict[tuple[int, int], int]) -> int:
+    """Total PDUs changing owner under a transfer plan."""
+    return sum(plan.values())

@@ -1,0 +1,257 @@
+"""The paper's partitioning heuristic (§5) and search-based oracles.
+
+The heuristic orders clusters by processor power (fastest first), then
+considers them in order, keeping all previously chosen clusters fully
+allocated — communication locality and processor power outrank extra
+bandwidth.  Within a cluster it locates the minimum of the unimodal
+``T_c(p)`` curve (Fig 3) by binary search.  If the best count within a
+cluster leaves that cluster partially used, the search stops: later clusters
+are only reachable once the current one is saturated.
+
+Two oracles validate the heuristic:
+
+* :func:`prefix_scan_partition` — linear scan of the same restricted
+  (cluster-prefix) configuration space;
+* :func:`exhaustive_partition` — every combination of per-cluster counts,
+  the unrestricted optimum of the estimator's objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Callable, Optional, Sequence
+
+from repro.errors import PartitionError
+from repro.model.vector import PartitionVector
+from repro.partition.available import ClusterResources
+from repro.partition.config import ProcessorConfiguration
+from repro.partition.estimator import CycleEstimate, CycleEstimator
+
+__all__ = [
+    "PartitionDecision",
+    "partition",
+    "prefix_scan_partition",
+    "exhaustive_partition",
+    "order_by_power",
+]
+
+
+@dataclass(frozen=True)
+class PartitionDecision:
+    """The partitioner's output: configuration, vector, and estimates."""
+
+    config: ProcessorConfiguration
+    vector: PartitionVector
+    estimate: CycleEstimate
+    t_elapsed_ms: float
+    evaluations: int
+    method: str
+    trace: tuple[tuple[str, float], ...] = field(default=())
+
+    @property
+    def t_cycle_ms(self) -> float:
+        """The minimized per-cycle estimate."""
+        return self.estimate.t_cycle_ms
+
+    def counts_by_name(self) -> dict[str, int]:
+        """Chosen ``P_i`` per cluster."""
+        return self.config.counts_by_name()
+
+    def describe(self) -> str:
+        """Readable summary, e.g. ``sparc2:6+ipc:2 T_c=26.6ms``."""
+        return f"{self.config.describe()} T_c={self.t_cycle_ms:.2f}ms"
+
+
+def order_by_power(
+    resources: Sequence[ClusterResources], kind: str = "fp"
+) -> list[ClusterResources]:
+    """Clusters fastest-first by instruction rate; drops empty clusters."""
+    usable = [r for r in resources if r.n_available > 0]
+    return sorted(usable, key=lambda r: r.instruction_rate(kind))  # type: ignore[arg-type]
+
+
+def _argmin_unimodal(
+    f: Callable[[int], float], lo: int, hi: int
+) -> int:
+    """Minimum of a unimodal integer function on [lo, hi] by binary search.
+
+    Compares ``f(mid)`` with ``f(mid+1)`` and discards the half that cannot
+    contain the minimum — the iterative algorithm the paper describes for
+    locating ``p_ideal`` on the Fig 3 curve.
+    """
+    if lo > hi:
+        raise PartitionError(f"empty search interval [{lo}, {hi}]")
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if f(mid) <= f(mid + 1):
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def _argmin_scan(f: Callable[[int], float], lo: int, hi: int) -> int:
+    """Minimum of an arbitrary integer function on [lo, hi] by linear scan.
+
+    The paper's single-minimum assumption "may not hold due to architecture
+    or message-system protocol characteristics"; this is the robust search
+    for that more general case (O(N_i) evaluations instead of O(log N_i)).
+    """
+    if lo > hi:
+        raise PartitionError(f"empty search interval [{lo}, {hi}]")
+    best, best_val = lo, f(lo)
+    for p in range(lo + 1, hi + 1):
+        val = f(p)
+        if val < best_val:
+            best, best_val = p, val
+    return best
+
+
+def partition(
+    computation,
+    resources: Sequence[ClusterResources],
+    cost_db,
+    *,
+    startup_ms: float = 0.0,
+    cluster_order: Optional[Sequence[ClusterResources]] = None,
+    search: str = "binary",
+) -> PartitionDecision:
+    """Run the paper's heuristic; returns the chosen decision.
+
+    Parameters
+    ----------
+    computation:
+        The annotated :class:`~repro.model.DataParallelComputation`.
+    resources:
+        Available processors per cluster (from
+        :func:`~repro.partition.available.gather_available_resources`).
+    cost_db:
+        Fitted :class:`~repro.benchmarking.CostDatabase`.
+    cluster_order:
+        Override the power ordering (used by ordering ablations).
+    search:
+        ``"binary"`` — the paper's O(log) search assuming a single minimum
+        per cluster (Fig 3); ``"scan"`` — the robust per-cluster linear scan
+        for cost curves with multiple minima (the paper's noted future
+        work).  Both keep the cluster-ordered locality structure.
+    """
+    if search not in ("binary", "scan"):
+        raise PartitionError(f"unknown search mode {search!r}")
+    estimator = CycleEstimator(computation, cost_db, startup_ms=startup_ms)
+    ordered = (
+        list(cluster_order)
+        if cluster_order is not None
+        else order_by_power(resources, estimator.op_kind)
+    )
+    if not ordered:
+        raise PartitionError("no available processors in any cluster")
+
+    counts = [0] * len(ordered)
+    trace: list[tuple[str, float]] = []
+    argmin = _argmin_unimodal if search == "binary" else _argmin_scan
+
+    def cost_with(index: int, p: int) -> float:
+        cfg = ProcessorConfiguration(ordered, counts[:index] + [p] + counts[index + 1 :])
+        t = estimator.t_cycle(cfg)
+        trace.append((cfg.describe(), t))
+        return t
+
+    for k, res in enumerate(ordered):
+        lo = 1 if k == 0 else 0  # at least one processor overall
+        best_p = argmin(lambda p: cost_with(k, p), lo, res.n_available)
+        counts[k] = best_p
+        if best_p < res.n_available:
+            # This cluster is not saturated: locality says stop here.
+            break
+
+    config = ProcessorConfiguration(ordered, counts)
+    estimate = estimator.estimate(config)
+    return PartitionDecision(
+        config=config,
+        vector=estimator.partition_vector(config),
+        estimate=estimate,
+        t_elapsed_ms=estimator.t_elapsed(config),
+        evaluations=estimator.evaluations,
+        method=f"heuristic-{search}",
+        trace=tuple(trace),
+    )
+
+
+def _best_of(
+    estimator: CycleEstimator,
+    configs: Sequence[ProcessorConfiguration],
+    method: str,
+) -> PartitionDecision:
+    if not configs:
+        raise PartitionError("no candidate configurations")
+    best: Optional[ProcessorConfiguration] = None
+    best_t = float("inf")
+    trace = []
+    for cfg in configs:
+        t = estimator.t_cycle(cfg)
+        trace.append((cfg.describe(), t))
+        if t < best_t:
+            best, best_t = cfg, t
+    assert best is not None
+    return PartitionDecision(
+        config=best,
+        vector=estimator.partition_vector(best),
+        estimate=estimator.estimate(best),
+        t_elapsed_ms=estimator.t_elapsed(best),
+        evaluations=estimator.evaluations,
+        method=method,
+        trace=tuple(trace),
+    )
+
+
+def prefix_scan_partition(
+    computation,
+    resources: Sequence[ClusterResources],
+    cost_db,
+    *,
+    startup_ms: float = 0.0,
+) -> PartitionDecision:
+    """Linear scan of the cluster-prefix space the heuristic searches.
+
+    Candidates: p processors of cluster 1 (p = 1..N₁); then N₁ plus
+    p of cluster 2; and so on.  The oracle for the binary search.
+    """
+    estimator = CycleEstimator(computation, cost_db, startup_ms=startup_ms)
+    ordered = order_by_power(resources, estimator.op_kind)
+    if not ordered:
+        raise PartitionError("no available processors in any cluster")
+    configs = []
+    prefix = [0] * len(ordered)
+    for k, res in enumerate(ordered):
+        # p=0 duplicates the previous stage's saturated prefix, so start at 1.
+        for p in range(1, res.n_available + 1):
+            configs.append(
+                ProcessorConfiguration(ordered, prefix[:k] + [p] + prefix[k + 1 :])
+            )
+        prefix[k] = res.n_available
+    return _best_of(estimator, configs, "prefix-scan")
+
+
+def exhaustive_partition(
+    computation,
+    resources: Sequence[ClusterResources],
+    cost_db,
+    *,
+    startup_ms: float = 0.0,
+) -> PartitionDecision:
+    """Minimum of the objective over *all* per-cluster count combinations.
+
+    Exponential in the cluster count — an oracle for small networks only.
+    """
+    estimator = CycleEstimator(computation, cost_db, startup_ms=startup_ms)
+    ordered = order_by_power(resources, estimator.op_kind)
+    if not ordered:
+        raise PartitionError("no available processors in any cluster")
+    ranges = [range(0, r.n_available + 1) for r in ordered]
+    configs = [
+        ProcessorConfiguration(ordered, combo)
+        for combo in product(*ranges)
+        if sum(combo) >= 1
+    ]
+    return _best_of(estimator, configs, "exhaustive")

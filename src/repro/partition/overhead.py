@@ -1,0 +1,67 @@
+"""Partitioning-overhead accounting (the paper's ``O(K·log₂P)`` claim, §5).
+
+"This algorithm requires that Equations 3 and 6 are recomputed K·log₂P times
+worst case, where K is the number of clusters and P is the total number of
+processors."  The estimator counts its ``T_c`` evaluations; this module
+provides the paper's bound (with the binary-search constant made explicit)
+and a comparison report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["paper_bound", "search_bound", "OverheadReport", "overhead_report"]
+
+
+def paper_bound(n_clusters: int, total_processors: int) -> float:
+    """The paper's quoted worst case: ``K · log₂(P)`` recomputations."""
+    if n_clusters < 1 or total_processors < 1:
+        raise ValueError("need at least one cluster and one processor")
+    if total_processors == 1:
+        return float(n_clusters)
+    return n_clusters * math.log2(total_processors)
+
+
+def search_bound(n_clusters: int, total_processors: int) -> int:
+    """A rigorous bound for our binary search: ``2·K·(⌈log₂P⌉ + 1)``.
+
+    Each binary-search step compares two points (f(mid), f(mid+1)); with
+    memoization some repeat, but 2 per step bounds fresh evaluations.
+    """
+    if n_clusters < 1 or total_processors < 1:
+        raise ValueError("need at least one cluster and one processor")
+    return 2 * n_clusters * (math.ceil(math.log2(max(total_processors, 2))) + 1)
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """Measured evaluations vs the analytic bounds."""
+
+    n_clusters: int
+    total_processors: int
+    evaluations: int
+    paper_bound: float
+    search_bound: int
+    #: Floating point work per evaluation is proportional to K (Eq 3's loop).
+    flops_estimate: int
+
+    @property
+    def within_bound(self) -> bool:
+        """Whether measured evaluations respect the rigorous bound."""
+        return self.evaluations <= self.search_bound
+
+
+def overhead_report(
+    n_clusters: int, total_processors: int, evaluations: int
+) -> OverheadReport:
+    """Build the comparison report for one partitioning run."""
+    return OverheadReport(
+        n_clusters=n_clusters,
+        total_processors=total_processors,
+        evaluations=evaluations,
+        paper_bound=paper_bound(n_clusters, total_processors),
+        search_bound=search_bound(n_clusters, total_processors),
+        flops_estimate=evaluations * n_clusters,
+    )

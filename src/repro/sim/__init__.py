@@ -1,0 +1,36 @@
+"""Discrete-event simulation kernel.
+
+The substrate on which the heterogeneous workstation network is simulated:
+a deterministic event queue (:class:`Simulator`), generator-based processes
+(:class:`Process`), composable events (:class:`Event`, :class:`Timeout`,
+:class:`AllOf`, :class:`AnyOf`), queued resources (:class:`Resource`,
+:class:`Store`), named random streams (:class:`RandomStreams`) and tracing
+(:class:`Tracer`).
+
+The kernel is intentionally tiny — the paper's method needs only FIFO
+causality, blocking waits, and determinism for repeatable benchmarking.
+"""
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.kernel import Simulator
+from repro.sim.process import Interrupt, Process, ProcessGenerator
+from repro.sim.resources import Resource, Store
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import NULL_TRACER, TraceRecord, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Timeout",
+    "Simulator",
+    "Interrupt",
+    "Process",
+    "ProcessGenerator",
+    "Resource",
+    "Store",
+    "RandomStreams",
+    "Tracer",
+    "TraceRecord",
+    "NULL_TRACER",
+]

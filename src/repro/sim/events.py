@@ -1,0 +1,242 @@
+"""Event primitives for the discrete-event kernel.
+
+An :class:`Event` is a one-shot occurrence on the simulated timeline.  It
+starts *pending*, becomes *triggered* when given an outcome
+(:meth:`Event.succeed` / :meth:`Event.fail`), and becomes *processed* once the
+kernel has run its callbacks.  Processes (see :mod:`repro.sim.process`) wait
+on events by ``yield``-ing them.
+
+The design follows the classic generator-coroutine kernel style (SimPy,
+adapted and trimmed): callbacks are invoked *by the kernel* in timestamp
+order, never synchronously from ``succeed``, which keeps causality intact.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.kernel import Simulator
+
+__all__ = ["Event", "Timeout", "AllOf", "AnyOf", "PENDING", "TRIGGERED", "PROCESSED"]
+
+PENDING = "pending"
+TRIGGERED = "triggered"
+PROCESSED = "processed"
+
+
+class Event:
+    """A one-shot outcome on the simulated timeline.
+
+    Parameters
+    ----------
+    sim:
+        The owning :class:`~repro.sim.kernel.Simulator`.
+
+    Notes
+    -----
+    * ``succeed``/``fail`` may be called exactly once; a second call raises
+      :class:`~repro.errors.SimulationError`.
+    * Callbacks added after the event has been processed are scheduled to run
+      at the current simulated time (zero-delay), preserving "you never miss
+      an event you subscribe to" semantics needed by processes that yield an
+      already-completed event.
+    """
+
+    __slots__ = ("sim", "_state", "_ok", "_value", "_callbacks", "_defused")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._state = PENDING
+        self._ok: bool = True
+        self._value: Any = None
+        self._callbacks: list[Callable[["Event"], None]] = []
+        # A failed event whose exception nobody consumed should crash the
+        # simulation; waiting on the event "defuses" it.
+        self._defused = False
+
+    # -- state inspection ---------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """One of ``pending`` / ``triggered`` / ``processed``."""
+        return self._state
+
+    @property
+    def triggered(self) -> bool:
+        """Whether an outcome has been assigned (callbacks may not have run)."""
+        return self._state != PENDING
+
+    @property
+    def processed(self) -> bool:
+        """Whether the kernel has already run this event's callbacks."""
+        return self._state == PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded. Only meaningful once triggered."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception.
+
+        Raises
+        ------
+        SimulationError
+            If the event has not been triggered yet.
+        """
+        if self._state == PENDING:
+            raise SimulationError("event value read before it was triggered")
+        return self._value
+
+    # -- outcome assignment --------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Assign a success outcome and enqueue callback processing."""
+        self._trigger(ok=True, value=value)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Assign a failure outcome carrying ``exception``."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._trigger(ok=False, value=exception)
+        return self
+
+    def _trigger(self, *, ok: bool, value: Any) -> None:
+        if self._state != PENDING:
+            raise SimulationError(f"event triggered twice: {self!r}")
+        self._state = TRIGGERED
+        self._ok = ok
+        self._value = value
+        self.sim._enqueue(0.0, self)
+
+    # -- callbacks ------------------------------------------------------------
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event is processed.
+
+        If the event was already processed the callback is scheduled to run
+        at the current simulated time instead of being silently dropped.
+        """
+        if self._state == PROCESSED:
+            self.sim._enqueue_call(0.0, fn, self)
+        else:
+            self._callbacks.append(fn)
+
+    def _process(self) -> None:
+        """Kernel hook: run callbacks. Called exactly once, in time order."""
+        if self._state == PROCESSED:  # pragma: no cover - kernel invariant
+            raise SimulationError(f"event processed twice: {self!r}")
+        self._state = PROCESSED
+        callbacks, self._callbacks = self._callbacks, []
+        if not self._ok and not callbacks and not self._defused:
+            # Nobody is listening to a failure: surface it loudly.
+            raise self._value
+        for fn in callbacks:
+            fn(self)
+
+    def defuse(self) -> None:
+        """Mark a failure as handled so an unwaited failure doesn't crash."""
+        self._defused = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} state={self._state} ok={self._ok}>"
+
+
+class Timeout(Event):
+    """An event that succeeds after a fixed simulated delay.
+
+    Created via :meth:`repro.sim.Simulator.timeout`; the delay must be
+    non-negative.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = float(delay)
+        self._state = TRIGGERED
+        self._ok = True
+        self._value = value
+        sim._enqueue(self.delay, self)
+
+
+class _Condition(Event):
+    """Shared machinery for :class:`AllOf` / :class:`AnyOf`."""
+
+    __slots__ = ("_events", "_pending_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._events = tuple(events)
+        for ev in self._events:
+            if ev.sim is not sim:
+                raise SimulationError("condition mixes events from different simulators")
+        self._pending_count = len(self._events)
+        if not self._events:
+            self.succeed(())
+            return
+        for ev in self._events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _child_failed(self, event: Event) -> None:
+        event.defuse()
+        if self._state == PENDING:
+            self.fail(event.value)
+
+
+class AllOf(_Condition):
+    """Succeeds when *all* child events have succeeded.
+
+    The value is a tuple of the children's values in construction order.
+    Fails as soon as any child fails.
+    """
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if not event.ok:
+            self._child_failed(event)
+            return
+        self._pending_count -= 1
+        if self._pending_count == 0 and self._state == PENDING:
+            self.succeed(tuple(ev.value for ev in self._events))
+
+
+class AnyOf(_Condition):
+    """Succeeds when the *first* child event succeeds.
+
+    The value is a ``(event, value)`` pair identifying the winner.  Fails only
+    if a child fails before any succeeds.
+    """
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if not event.ok:
+            self._child_failed(event)
+            return
+        if self._state == PENDING:
+            self.succeed((event, event.value))
+
+
+def _ensure_event(obj: Any) -> Event:
+    """Validate that a process yielded an :class:`Event`."""
+    if not isinstance(obj, Event):
+        raise SimulationError(
+            f"process yielded {obj!r}; processes may only yield Event instances"
+        )
+    return obj
+
+
+# Re-exported for the process module without creating an import cycle.
+ensure_event: Optional[Callable[[Any], Event]] = _ensure_event

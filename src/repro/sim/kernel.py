@@ -1,0 +1,158 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` owns the simulated clock and a priority queue of pending
+event processings.  Entries at equal timestamps are processed in insertion
+(FIFO) order, which makes simulations deterministic for a fixed seed and
+construction order — a property the cost-function fitting relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process, ProcessGenerator
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """A deterministic discrete-event simulator with a millisecond clock.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> def hello():
+    ...     yield sim.timeout(5.0)
+    ...     return sim.now
+    >>> proc = sim.process(hello())
+    >>> sim.run()
+    >>> proc.value
+    5.0
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0  # insertion counter for FIFO tie-breaking
+        self._running = False
+
+    # -- clock ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    # -- event construction ----------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh pending :class:`Event` owned by this simulator."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` ms from now with ``value``."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: ProcessGenerator, name: str | None = None) -> Process:
+        """Start a generator as a simulated process."""
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """An event succeeding when all ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """An event succeeding when the first of ``events`` succeeds."""
+        return AnyOf(self, events)
+
+    # -- scheduling internals ---------------------------------------------------
+
+    def _enqueue(self, delay: float, event: Event, priority: int = 0) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative scheduling delay: {delay}")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def _enqueue_call(self, delay: float, fn: Callable[[Event], None], event: Event) -> None:
+        """Schedule a bare callback (used for late subscriptions)."""
+        shim = Event(self)
+        shim.add_callback(lambda _ev: fn(event))
+        shim._state = "triggered"
+        shim._ok = True
+        shim._value = None
+        self._enqueue(delay, shim)
+
+    # -- execution ----------------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next event. Raises ``IndexError`` when empty."""
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - heap invariant
+            raise SimulationError("time ran backwards")
+        self._now = when
+        event._process()
+
+    def peek(self) -> float:
+        """Timestamp of the next pending event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains, or until simulated time ``until``.
+
+        With ``until`` given, the clock is advanced to exactly ``until`` even
+        if no event fires at that instant, mirroring the common kernel
+        convention and making repeated bounded runs composable.
+        """
+        if self._running:
+            raise SimulationError("run() called re-entrantly")
+        self._running = True
+        try:
+            if until is None:
+                while self._queue:
+                    self.step()
+                return
+            if until < self._now:
+                raise SimulationError(f"run(until={until}) is in the past (now={self._now})")
+            while self._queue and self._queue[0][0] <= until:
+                self.step()
+            self._now = until
+        finally:
+            self._running = False
+
+    def run_process(self, proc_or_gen: Process | ProcessGenerator) -> Any:
+        """Run the simulation until the given process completes; return its value.
+
+        Raises
+        ------
+        DeadlockError
+            If the event queue drains while the process is still pending.
+        BaseException
+            Re-raises the process's own exception if its body raised.
+        """
+        proc = proc_or_gen if isinstance(proc_or_gen, Process) else self.process(proc_or_gen)
+        proc.defuse()
+        if self._running:
+            raise SimulationError("run_process() called re-entrantly")
+        self._running = True
+        try:
+            while self._queue and not proc.triggered:
+                self.step()
+            # Drain same-timestamp stragglers so the process gets processed.
+            while self._queue and self._queue[0][0] <= self._now:
+                self.step()
+        finally:
+            self._running = False
+        if not proc.triggered:
+            raise DeadlockError(
+                f"simulation deadlocked at t={self._now:.6f} ms waiting for "
+                f"process {proc.name!r}"
+            )
+        if not proc.ok:
+            raise proc.value
+        return proc.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator now={self._now:.6f} ms, {len(self._queue)} queued>"

@@ -1,0 +1,161 @@
+"""Generator-based simulated processes.
+
+A *process* is a Python generator that ``yield``-s :class:`~repro.sim.events.Event`
+instances; the kernel resumes the generator with the event's value once the
+event fires (or throws the event's exception into the generator if the event
+failed).  The :class:`Process` object is itself an :class:`Event` that
+succeeds with the generator's return value, so processes can wait on each
+other simply by yielding them.
+
+Processes may also be :meth:`interrupted <Process.interrupt>`: an
+:class:`Interrupt` is thrown into the generator at the current simulated
+time, abandoning whatever event it was waiting on — the building block for
+timeouts, cancellation, and failure injection.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.errors import ReproError, SimulationError
+from repro.sim.events import PENDING, Event, _ensure_event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+__all__ = ["Process", "ProcessGenerator", "Interrupt"]
+
+#: The type a process body must have: a generator yielding events.
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Interrupt(ReproError):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    ``cause`` carries whatever the interrupter passed (a reason string, an
+    object, ``None``).
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(f"process interrupted (cause={cause!r})")
+        self.cause = cause
+
+
+class Process(Event):
+    """A running simulated activity; also an event others may wait on.
+
+    Created via :meth:`repro.sim.Simulator.process`.  The wrapped generator is
+    started at the current simulated time (via a zero-delay event, so creation
+    itself never advances the generator synchronously).
+    """
+
+    __slots__ = ("_gen", "name", "_waiting_on", "_wait_token")
+
+    def __init__(self, sim: "Simulator", gen: ProcessGenerator, name: str | None = None) -> None:
+        if not hasattr(gen, "send") or not hasattr(gen, "throw"):
+            raise SimulationError(f"Process needs a generator, got {gen!r}")
+        super().__init__(sim)
+        self._gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._waiting_on: Event | None = None
+        self._wait_token = 0
+        start = Event(sim)
+        self._register(start)
+        start.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the generator has not yet finished."""
+        return self._state == PENDING
+
+    # -- wait registration -------------------------------------------------------
+
+    def _register(self, target: Event) -> None:
+        """Subscribe to ``target`` with a staleness token.
+
+        An interrupt bumps the token, so a wake-up from an abandoned wait
+        (the event firing later) is ignored instead of double-resuming.
+        """
+        token = self._wait_token
+        target.add_callback(lambda ev: self._resume(ev, token))
+
+    # -- execution ------------------------------------------------------------------
+
+    def _resume(self, trigger: Event, token: int) -> None:
+        """Advance the generator as far as it will go at this instant."""
+        if token != self._wait_token or not self.is_alive:
+            return  # stale wake-up after an interrupt, or already finished
+        self._waiting_on = None
+        event: Event | None = trigger
+        while event is not None:
+            if event.ok:
+                action, payload = "send", event.value
+            else:
+                event.defuse()
+                action, payload = "throw", event.value
+            target = self._step(action, payload)
+            if target is None:
+                return
+            if target.processed:
+                event = target  # already done: loop immediately with it
+                continue
+            self._waiting_on = target
+            self._register(target)
+            return
+
+    def _step(self, action: str, payload: Any) -> Optional[Event]:
+        """One send/throw into the generator; returns the next awaited event."""
+        try:
+            if action == "send":
+                target = self._gen.send(payload)
+            else:
+                target = self._gen.throw(payload)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return None
+        except BaseException as exc:
+            # The process body raised: the Process event fails.  If nobody
+            # waits on this process, Event._process re-raises, surfacing
+            # crashes by default.
+            self.fail(exc)
+            return None
+        target = _ensure_event(target)
+        if target.sim is not self.sim:
+            raise SimulationError(
+                f"process {self.name!r} yielded an event from another simulator"
+            )
+        return target
+
+    # -- interruption -----------------------------------------------------------------
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The process abandons the event it was waiting on (a later firing of
+        that event is ignored) and resumes inside its ``except Interrupt``
+        handler — or fails with the interrupt if it has none.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        self._wait_token += 1  # invalidate the pending wake-up
+        self._waiting_on = None
+        exc = Interrupt(cause)
+        shim = Event(self.sim)
+        shim.add_callback(lambda _ev: self._deliver_interrupt(exc))
+        shim.succeed(None)
+
+    def _deliver_interrupt(self, exc: Interrupt) -> None:
+        if not self.is_alive:
+            return  # finished before the interrupt was processed
+        target = self._step("throw", exc)
+        if target is None:
+            return
+        if target.processed:
+            # Resume immediately with the already-completed event.
+            self._resume(target, self._wait_token)
+            return
+        self._waiting_on = target
+        self._register(target)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name!r} state={self._state}>"

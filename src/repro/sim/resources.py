@@ -1,0 +1,126 @@
+"""Queued resources for the kernel: semaphores and item stores.
+
+Two primitives cover everything the network substrate needs:
+
+* :class:`Resource` — a counted semaphore with a FIFO wait queue.  A shared
+  ethernet channel is ``Resource(sim, capacity=1)``: transmissions serialize,
+  and contention (the paper's "offered load is linear in p") emerges from the
+  queueing delay seen by ``p`` stations offering frames concurrently.
+* :class:`Store` — an unbounded FIFO of items with blocking ``get``; used for
+  mailboxes and the router's forwarding queue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Deque, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+__all__ = ["Resource", "Store"]
+
+
+class Resource:
+    """A counted resource with FIFO granting.
+
+    ``request()`` returns an event that succeeds when a unit is granted; the
+    holder must call ``release()`` exactly once per grant.  Units are granted
+    strictly in request order, which keeps channel arbitration fair and the
+    simulation deterministic.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"Resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently granted units."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a unit."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Ask for one unit; the returned event fires when granted."""
+        ev = Event(self.sim)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed(self)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Return one unit, waking the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without a matching request()")
+        if self._waiters:
+            # Hand the unit straight to the next waiter; _in_use unchanged.
+            self._waiters.popleft().succeed(self)
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """An unbounded FIFO of items with blocking retrieval.
+
+    ``put`` never blocks.  ``get`` returns an event that fires with the oldest
+    item once one is available; pending gets are served in request order.
+    An optional ``filter`` on ``get`` retrieves the oldest *matching* item —
+    used by mailboxes for source-selective receives.
+    """
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[tuple[Event, Optional[Callable[[Any], bool]]]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit an item, satisfying the oldest compatible pending get."""
+        self._items.append(item)
+        self._dispatch()
+
+    def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> Event:
+        """An event firing with the oldest item satisfying ``predicate``."""
+        ev = Event(self.sim)
+        self._getters.append((ev, predicate))
+        self._dispatch()
+        return ev
+
+    def _dispatch(self) -> None:
+        """Match waiting getters against stored items (FIFO on both sides)."""
+        made_progress = True
+        while made_progress and self._getters and self._items:
+            made_progress = False
+            for gi, (ev, predicate) in enumerate(self._getters):
+                idx = self._find(predicate)
+                if idx is None:
+                    continue
+                item = self._items[idx]
+                del self._items[idx]
+                del self._getters[gi]
+                ev.succeed(item)
+                made_progress = True
+                break
+
+    def _find(self, predicate: Optional[Callable[[Any], bool]]) -> Optional[int]:
+        if predicate is None:
+            return 0 if self._items else None
+        for i, item in enumerate(self._items):
+            if predicate(item):
+                return i
+        return None

@@ -1,0 +1,88 @@
+"""Lightweight event tracing for simulations.
+
+A :class:`Tracer` collects ``(time, category, message, fields)`` records.
+Tracing is off by default and costs a single attribute check per call, so
+instrumentation can stay in hot paths.  Categories let tests assert on a
+single subsystem's activity (e.g. only ``"router"`` records).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+__all__ = ["TraceRecord", "Tracer", "NULL_TRACER"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace line: what happened, when, and structured details."""
+
+    time: float
+    category: str
+    message: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def format(self) -> str:
+        """Human-readable single-line rendering."""
+        extra = " ".join(f"{k}={v}" for k, v in sorted(self.fields.items()))
+        return f"[{self.time:12.4f} ms] {self.category:<12} {self.message}" + (
+            f" ({extra})" if extra else ""
+        )
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` entries when enabled.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch; when ``False`` (default) :meth:`record` is a no-op.
+    max_records:
+        Optional bound; the oldest records are dropped once exceeded, so a
+        long benchmark run with tracing accidentally on cannot exhaust memory.
+    clock:
+        Zero-argument callable returning the current simulated time; usually
+        ``lambda: sim.now``.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        *,
+        enabled: bool = False,
+        max_records: Optional[int] = None,
+    ) -> None:
+        self._clock = clock
+        self.enabled = enabled
+        self.max_records = max_records
+        self._records: list[TraceRecord] = []
+
+    def record(self, category: str, message: str, **fields: Any) -> None:
+        """Append a record if tracing is enabled."""
+        if not self.enabled:
+            return
+        self._records.append(TraceRecord(self._clock(), category, message, fields))
+        if self.max_records is not None and len(self._records) > self.max_records:
+            del self._records[: len(self._records) - self.max_records]
+
+    @property
+    def records(self) -> tuple[TraceRecord, ...]:
+        """All collected records, oldest first."""
+        return tuple(self._records)
+
+    def by_category(self, category: str) -> Iterator[TraceRecord]:
+        """Iterate over records of a single category."""
+        return (r for r in self._records if r.category == category)
+
+    def clear(self) -> None:
+        """Drop all collected records."""
+        self._records.clear()
+
+
+def _zero_clock() -> float:
+    return 0.0
+
+
+#: A disabled tracer usable as a default argument.
+NULL_TRACER = Tracer(_zero_clock, enabled=False)

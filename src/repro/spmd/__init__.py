@@ -1,0 +1,53 @@
+"""SPMD runtime over the simulated network.
+
+The paper's §4 computation model: identical tasks, one per processor, each
+computing on its region of the data domain and exchanging messages in a
+regular synchronous topology.  :class:`SPMDRun` drives a set of task bodies;
+:class:`TaskContext` provides the in-task API; :mod:`repro.spmd.collectives`
+adds broadcast/reduce on top.
+"""
+
+from repro.spmd.collectives import (
+    allgather,
+    allreduce,
+    barrier,
+    broadcast,
+    gather,
+    reduce,
+    scatter,
+    tree_broadcast,
+)
+from repro.spmd.placement import (
+    PlacementStrategy,
+    contiguous_placement,
+    cross_cluster_pairs,
+    interleaved_placement,
+    random_placement,
+)
+from repro.spmd.runtime import RunResult, SPMDRun, TaskBody
+from repro.spmd.task import TaskContext
+from repro.spmd.topology import Topology, grid_shape, max_neighbor_degree, neighbors
+
+__all__ = [
+    "allgather",
+    "allreduce",
+    "barrier",
+    "broadcast",
+    "tree_broadcast",
+    "gather",
+    "scatter",
+    "reduce",
+    "PlacementStrategy",
+    "contiguous_placement",
+    "cross_cluster_pairs",
+    "interleaved_placement",
+    "random_placement",
+    "RunResult",
+    "SPMDRun",
+    "TaskBody",
+    "TaskContext",
+    "Topology",
+    "grid_shape",
+    "max_neighbor_degree",
+    "neighbors",
+]

@@ -1,0 +1,93 @@
+"""Task-placement strategies (paper §6 and tech report [11]).
+
+Placement maps task ranks onto the chosen processors.  For a 1-D topology the
+paper uses the simple contiguous strategy — tasks fill the fast cluster, then
+the next, so exactly one neighbour pair communicates across the router.  An
+interleaved strategy is provided as the pathological baseline for ablation:
+it maximizes cross-router neighbour pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.hardware.processor import Processor
+
+__all__ = [
+    "PlacementStrategy",
+    "contiguous_placement",
+    "interleaved_placement",
+    "random_placement",
+    "cross_cluster_pairs",
+]
+
+#: A placement takes the configuration's processors (already ordered by the
+#: partitioner: fast cluster first) and returns the rank→processor mapping.
+PlacementStrategy = Callable[[Sequence[Processor]], list[Processor]]
+
+
+def contiguous_placement(processors: Sequence[Processor]) -> list[Processor]:
+    """Ranks follow the given cluster-contiguous processor order (the default).
+
+    With processors listed cluster by cluster, neighbouring ranks land in the
+    same cluster except at cluster boundaries — the placement the paper uses
+    so "only one task in each cluster needs to communicate across the router".
+    """
+    return list(processors)
+
+
+def interleaved_placement(processors: Sequence[Processor]) -> list[Processor]:
+    """Round-robin ranks across clusters — the adversarial placement.
+
+    Used in ablations to show placement matters: for a 1-D topology nearly
+    every neighbour pair crosses the router.
+    """
+    by_cluster: dict[str, list[Processor]] = {}
+    for proc in processors:
+        by_cluster.setdefault(proc.cluster_name, []).append(proc)
+    queues = list(by_cluster.values())
+    result: list[Processor] = []
+    i = 0
+    while len(result) < len(processors):
+        queue = queues[i % len(queues)]
+        if queue:
+            result.append(queue.pop(0))
+        i += 1
+    return result
+
+
+def random_placement(rng: np.random.Generator) -> PlacementStrategy:
+    """A placement strategy that shuffles ranks with ``rng``."""
+
+    def place(processors: Sequence[Processor]) -> list[Processor]:
+        order = rng.permutation(len(processors))
+        return [processors[i] for i in order]
+
+    return place
+
+
+def cross_cluster_pairs(
+    placement: Sequence[Processor], neighbor_fn: Callable[[int], list[int]]
+) -> int:
+    """Count neighbour pairs whose endpoints live in different clusters.
+
+    ``neighbor_fn(rank)`` must return the topology neighbours of ``rank``.
+    Each unordered pair is counted once.
+    """
+    if not placement:
+        raise TopologyError("placement is empty")
+    seen: set[tuple[int, int]] = set()
+    for rank, proc in enumerate(placement):
+        for other in neighbor_fn(rank):
+            pair = (min(rank, other), max(rank, other))
+            if pair in seen:
+                continue
+            seen.add(pair)
+    crossings = 0
+    for a, b in seen:
+        if placement[a].cluster_name != placement[b].cluster_name:
+            crossings += 1
+    return crossings

@@ -1,0 +1,158 @@
+"""Task-side SPMD programming interface.
+
+A task body is a generator function ``body(ctx)`` receiving a
+:class:`TaskContext`.  The context exposes the paper's model operations:
+
+* ``compute(ops)`` — a computation phase of so many abstract operations;
+* ``send`` / ``isend`` / ``recv`` — MMPS messaging addressed *by rank*;
+* ``exchange(nbytes)`` — one full synchronous communication cycle: an
+  asynchronous send to each topology neighbour followed by a blocking
+  receive from each (exactly the paper's benchmarked cycle);
+* ``mark_cycle()`` — record a per-cycle timestamp for analysis.
+
+All operations are generators: use ``yield from ctx.op(...)`` inside bodies.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional, Sequence
+
+from repro.errors import TopologyError
+from repro.hardware.processor import OpKind, Processor
+from repro.mmps.system import Endpoint
+from repro.sim import Event
+from repro.sim.process import ProcessGenerator
+from repro.spmd.topology import Topology, neighbors
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.spmd.runtime import SPMDRun
+
+__all__ = ["TaskContext"]
+
+
+class TaskContext:
+    """Everything rank ``rank`` needs to run its piece of the computation."""
+
+    def __init__(
+        self,
+        run: "SPMDRun",
+        rank: int,
+        placement: Sequence[Processor],
+        endpoint: Endpoint,
+        topology: Topology,
+    ) -> None:
+        self.run = run
+        self.rank = rank
+        self.size = len(placement)
+        self._placement = list(placement)
+        self.endpoint = endpoint
+        self.topology = topology
+        self.sim = endpoint.sim
+        #: Timestamps recorded by mark_cycle(), for per-cycle analysis.
+        self.cycle_marks: list[float] = []
+        #: Total simulated time this task spent in compute().
+        self.compute_time_ms = 0.0
+        #: Total simulated time this task was *blocked* in communication
+        #: operations (send/isend initiation, recv wait + processing).
+        self.comm_time_ms = 0.0
+        #: Activity intervals (kind, start_ms, end_ms) with kind in
+        #: {"compute", "send", "recv"} — raw material for timelines.
+        self.activity: list[tuple[str, float, float]] = []
+
+    # -- identity -------------------------------------------------------------
+
+    @property
+    def processor(self) -> Processor:
+        """The node this task runs on."""
+        return self._placement[self.rank]
+
+    def processor_of(self, rank: int) -> Processor:
+        """The node a peer rank runs on."""
+        if not 0 <= rank < self.size:
+            raise TopologyError(f"rank {rank} out of range for size {self.size}")
+        return self._placement[rank]
+
+    def neighbors(self) -> list[int]:
+        """This rank's topology neighbours for the current cycle."""
+        return neighbors(self.topology, self.rank, self.size)
+
+    # -- phases ---------------------------------------------------------------
+
+    def compute(self, ops: float, kind: OpKind = "fp") -> ProcessGenerator:
+        """A computation phase of ``ops`` operations on this node.
+
+        Honours the node's current sharing load: a node at load 0.5 computes
+        at half speed, so running on "available but busy" processors costs
+        what it would in reality (the §3 general case).
+        """
+        duration = self.processor.compute_time_ms(ops, kind, load_adjusted=True)
+        self.compute_time_ms += duration
+        start = self.sim.now
+        yield self.sim.timeout(duration)
+        if duration > 0:
+            self.activity.append(("compute", start, self.sim.now))
+
+    def send(
+        self, to_rank: int, nbytes: int, tag: str = "", payload: Any = None
+    ) -> ProcessGenerator:
+        """Blocking send to a peer rank."""
+        start = self.sim.now
+        yield from self.endpoint.send(self.processor_of(to_rank), nbytes, tag, payload)
+        self.comm_time_ms += self.sim.now - start
+        self.activity.append(("send", start, self.sim.now))
+
+    def isend(
+        self, to_rank: int, nbytes: int, tag: str = "", payload: Any = None
+    ) -> ProcessGenerator:
+        """Asynchronous send; returns a completion event (see MMPS.isend)."""
+        start = self.sim.now
+        done = yield from self.endpoint.isend(
+            self.processor_of(to_rank), nbytes, tag, payload
+        )
+        self.comm_time_ms += self.sim.now - start
+        self.activity.append(("send", start, self.sim.now))
+        return done
+
+    def recv(self, from_rank: Optional[int] = None, tag: Optional[str] = None) -> ProcessGenerator:
+        """Blocking receive, optionally selective on peer rank and tag."""
+        src = self.processor_of(from_rank) if from_rank is not None else None
+        start = self.sim.now
+        msg = yield from self.endpoint.recv(src=src, tag=tag)
+        self.comm_time_ms += self.sim.now - start
+        self.activity.append(("recv", start, self.sim.now))
+        return msg
+
+    def exchange(
+        self, nbytes: int, tag: str = "xchg", payloads: Optional[dict[int, Any]] = None
+    ) -> ProcessGenerator:
+        """One synchronous communication cycle with all topology neighbours.
+
+        Asynchronous sends to every neighbour, then blocking receives from
+        every neighbour — the cycle the paper's cost functions are fitted to.
+        Returns received messages keyed by neighbour rank.
+        """
+        payloads = payloads or {}
+        for other in self.neighbors():
+            yield from self.isend(other, nbytes, tag=tag, payload=payloads.get(other))
+        received: dict[int, Any] = {}
+        for other in self.neighbors():
+            msg = yield from self.recv(from_rank=other, tag=tag)
+            received[other] = msg
+        return received
+
+    def mark_cycle(self) -> None:
+        """Record the current simulated time as a cycle boundary."""
+        self.cycle_marks.append(self.sim.now)
+
+    def cycle_times(self) -> list[float]:
+        """Durations between consecutive cycle marks."""
+        return [b - a for a, b in zip(self.cycle_marks, self.cycle_marks[1:])]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TaskContext rank={self.rank}/{self.size} on {self.processor!r}>"
+
+
+def wait_all(ctx: TaskContext, events: Sequence[Event]) -> ProcessGenerator:
+    """Wait for a batch of completion events (e.g. from isend)."""
+    if events:
+        yield ctx.sim.all_of(events)

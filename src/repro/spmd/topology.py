@@ -1,0 +1,125 @@
+"""Synchronous communication topologies (paper §3/§4).
+
+The partitioning method restricts applications to a common set of regular,
+*synchronous* patterns — 1-D, 2-D, tree, ring, and broadcast — for which
+topology-specific cost functions can be benchmarked offline.  This module
+defines the topology vocabulary and the neighbour structure each implies.
+
+"Synchronous" means all tasks participate in the communication at the same
+logical time: during one cycle each task sends one message to every
+neighbour, then receives one from each.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+from repro.errors import TopologyError
+
+__all__ = ["Topology", "neighbors", "max_neighbor_degree", "grid_shape"]
+
+
+class Topology(str, enum.Enum):
+    """The paper's restricted set of communication topologies."""
+
+    ONE_D = "1-D"
+    RING = "ring"
+    TWO_D = "2-D"
+    TREE = "tree"
+    BROADCAST = "broadcast"
+
+    @property
+    def bandwidth_limited(self) -> bool:
+        """Whether the pattern consumes bandwidth linear in *total* processors.
+
+        The paper singles out broadcast: its offered load grows with the
+        total processor count no matter how processors are spread over
+        segments, so extra segments buy no locality benefit (§3, Eq 2
+        discussion).
+        """
+        return self is Topology.BROADCAST
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def _check_rank(rank: int, size: int) -> None:
+    if size < 1:
+        raise TopologyError(f"topology size must be >= 1, got {size}")
+    if not 0 <= rank < size:
+        raise TopologyError(f"rank {rank} out of range for size {size}")
+
+
+def grid_shape(size: int) -> tuple[int, int]:
+    """Near-square (rows, cols) factorization used by the 2-D topology."""
+    if size < 1:
+        raise TopologyError(f"grid needs at least one task, got {size}")
+    rows = int(math.isqrt(size))
+    while size % rows != 0:
+        rows -= 1
+    return rows, size // rows
+
+
+def neighbors(topology: Topology, rank: int, size: int) -> list[int]:
+    """Ranks that ``rank`` exchanges messages with during one cycle.
+
+    The relation is symmetric for 1-D, ring, 2-D, and tree.  For broadcast
+    the root (rank 0) sends to everyone and everyone else communicates with
+    the root only.
+    """
+    _check_rank(rank, size)
+    if size == 1:
+        return []
+    if topology is Topology.ONE_D:
+        result = []
+        if rank > 0:
+            result.append(rank - 1)
+        if rank < size - 1:
+            result.append(rank + 1)
+        return result
+    if topology is Topology.RING:
+        if size == 2:
+            return [1 - rank]
+        return sorted({(rank - 1) % size, (rank + 1) % size})
+    if topology is Topology.TWO_D:
+        rows, cols = grid_shape(size)
+        r, c = divmod(rank, cols)
+        result = []
+        if r > 0:
+            result.append(rank - cols)
+        if c > 0:
+            result.append(rank - 1)
+        if c < cols - 1:
+            result.append(rank + 1)
+        if r < rows - 1:
+            result.append(rank + cols)
+        return result
+    if topology is Topology.TREE:
+        result = []
+        if rank > 0:
+            result.append((rank - 1) // 2)
+        for child in (2 * rank + 1, 2 * rank + 2):
+            if child < size:
+                result.append(child)
+        return result
+    if topology is Topology.BROADCAST:
+        if rank == 0:
+            return list(range(1, size))
+        return [0]
+    raise TopologyError(f"unknown topology: {topology!r}")  # pragma: no cover
+
+
+def max_neighbor_degree(topology: Topology, size: int) -> int:
+    """The largest neighbour count any rank has — bounds per-cycle messages."""
+    if size <= 1:
+        return 0
+    if topology is Topology.ONE_D:
+        return 1 if size == 2 else 2
+    if topology is Topology.RING:
+        return 1 if size == 2 else 2
+    if topology is Topology.BROADCAST:
+        return size - 1
+    if topology in (Topology.TWO_D, Topology.TREE):
+        return max(len(neighbors(topology, rank, size)) for rank in range(size))
+    raise TopologyError(f"unknown topology: {topology!r}")  # pragma: no cover

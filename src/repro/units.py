@@ -1,0 +1,84 @@
+"""Unit conventions and conversion helpers.
+
+The library uses one consistent set of units, chosen to match the paper:
+
+====================  =======================================================
+Quantity              Unit
+====================  =======================================================
+simulated time        milliseconds (``float``)
+message / data size   bytes (``int``)
+network bandwidth     bits per second
+instruction rate      microseconds **per operation** (the paper's ``S_i``;
+                      *smaller is faster*)
+computational work    abstract operations (integer or floating point)
+====================  =======================================================
+
+Keeping the instruction rate in µs/op mirrors the paper's Section 6 where
+``S_i ≈ 0.3`` µs for the Sparc2 and ``0.6`` µs for the IPC, and makes
+Eq 4 (``T_comp = S_i · complexity · A_i``) read exactly as printed once the
+microsecond→millisecond factor is applied.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MS_PER_SECOND",
+    "US_PER_MS",
+    "BITS_PER_BYTE",
+    "usec_to_msec",
+    "msec_to_usec",
+    "seconds_to_msec",
+    "msec_to_seconds",
+    "transmission_time_ms",
+    "ops_time_ms",
+]
+
+MS_PER_SECOND = 1_000.0
+US_PER_MS = 1_000.0
+BITS_PER_BYTE = 8
+
+
+def usec_to_msec(usec: float) -> float:
+    """Convert microseconds to milliseconds."""
+    return usec / US_PER_MS
+
+
+def msec_to_usec(msec: float) -> float:
+    """Convert milliseconds to microseconds."""
+    return msec * US_PER_MS
+
+
+def seconds_to_msec(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds * MS_PER_SECOND
+
+
+def msec_to_seconds(msec: float) -> float:
+    """Convert milliseconds to seconds."""
+    return msec / MS_PER_SECOND
+
+
+def transmission_time_ms(nbytes: int, bandwidth_bps: float) -> float:
+    """Time to clock ``nbytes`` onto a link of ``bandwidth_bps``.
+
+    Pure serialization delay; propagation and per-frame overheads are modelled
+    separately by :class:`repro.hardware.EthernetSegment`.
+    """
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+    if bandwidth_bps <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+    return seconds_to_msec(nbytes * BITS_PER_BYTE / bandwidth_bps)
+
+
+def ops_time_ms(ops: float, usec_per_op: float) -> float:
+    """Time for ``ops`` operations at ``usec_per_op`` (the paper's Eq 4 core).
+
+    ``usec_per_op`` is the paper's ``S_i``: microseconds per operation,
+    smaller meaning a faster processor.
+    """
+    if ops < 0:
+        raise ValueError(f"ops must be non-negative, got {ops}")
+    if usec_per_op <= 0:
+        raise ValueError(f"usec_per_op must be positive, got {usec_per_op}")
+    return usec_to_msec(ops * usec_per_op)

@@ -1,0 +1,158 @@
+"""Tests for distributed Gaussian elimination with partial pivoting."""
+
+import numpy as np
+import pytest
+
+from repro.apps.gauss import (
+    gauss_computation,
+    run_gauss,
+    weighted_row_owners,
+)
+from repro.errors import PartitionError
+from repro.hardware.presets import paper_testbed
+from repro.mmps import MMPS
+from repro.model import PartitionVector
+from repro.partition import balanced_partition_vector
+from repro.spmd import Topology
+
+
+def setup(n_sparc=3, n_ipc=0):
+    net = paper_testbed()
+    mmps = MMPS(net)
+    procs = list(net.cluster("sparc2"))[:n_sparc] + list(net.cluster("ipc"))[:n_ipc]
+    return net, mmps, procs
+
+
+def well_conditioned(n, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.random((n, n)) + n * np.eye(n)
+    b = rng.random(n)
+    return a, b
+
+
+def test_annotations_broadcast_topology():
+    comp = gauss_computation(100)
+    assert comp.dominant_communication_phase().topology is Topology.BROADCAST
+    assert comp.cycles == 100
+    assert comp.num_pdus_value() == 100
+
+
+def test_weighted_row_owners_counts_and_interleaving():
+    vec = PartitionVector([4, 2])
+    owners = weighted_row_owners(vec, 6)
+    assert list(owners) == [0, 1, 0, 1, 0, 0]
+    assert (owners == 0).sum() == 4
+    assert (owners == 1).sum() == 2
+
+
+def test_weighted_row_owners_validates_total():
+    with pytest.raises(PartitionError):
+        weighted_row_owners(PartitionVector([3, 2]), 6)
+
+
+def test_solution_matches_numpy_homogeneous():
+    n = 12
+    a, b = well_conditioned(n, seed=1)
+    net, mmps, procs = setup(n_sparc=3)
+    vec = PartitionVector([4, 4, 4])
+    result = run_gauss(mmps, procs, vec, n, matrix=a, rhs=b)
+    np.testing.assert_allclose(result.solution, np.linalg.solve(a, b), rtol=1e-9)
+
+
+def test_solution_matches_numpy_heterogeneous():
+    n = 15
+    a, b = well_conditioned(n, seed=2)
+    net, mmps, procs = setup(n_sparc=2, n_ipc=2)
+    vec = balanced_partition_vector([0.3, 0.3, 0.6, 0.6], n)
+    result = run_gauss(mmps, procs, vec, n, matrix=a, rhs=b)
+    np.testing.assert_allclose(result.solution, np.linalg.solve(a, b), rtol=1e-9)
+
+
+def test_solution_single_processor():
+    n = 8
+    a, b = well_conditioned(n, seed=3)
+    net, mmps, procs = setup(n_sparc=1)
+    result = run_gauss(mmps, procs, PartitionVector([n]), n, matrix=a, rhs=b)
+    np.testing.assert_allclose(result.solution, np.linalg.solve(a, b), rtol=1e-9)
+
+
+def test_pivoting_actually_used():
+    """A matrix needing row swaps (zero on the diagonal) still solves."""
+    n = 6
+    a = np.eye(n)[::-1] * 3.0 + 0.1  # anti-diagonal dominant
+    b = np.arange(n, dtype=float) + 1
+    net, mmps, procs = setup(n_sparc=2)
+    vec = PartitionVector([3, 3])
+    result = run_gauss(mmps, procs, vec, n, matrix=a, rhs=b)
+    np.testing.assert_allclose(result.solution, np.linalg.solve(a, b), rtol=1e-9)
+
+
+def test_timing_mode_runs_without_matrix():
+    net, mmps, procs = setup(n_sparc=3)
+    result = run_gauss(mmps, procs, PartitionVector([4, 4, 4]), 12)
+    assert result.elapsed_ms > 0
+    assert result.solution is not None
+
+
+def test_nonuniform_complexity_visible_in_compute_time():
+    """Later cycles do less elimination work than early ones."""
+    n = 20
+    net, mmps, procs = setup(n_sparc=1)
+    a, b = well_conditioned(n, seed=4)
+    result = run_gauss(mmps, procs, PartitionVector([n]), n, matrix=a, rhs=b)
+    # With one task, total compute time must reflect the triangular sum
+    # of elimination work, far below n * (work of the first cycle).
+    ctx = result.run.contexts[0]
+    first_cycle_ops = 2 * (n + 1) * (n - 1)
+    upper_bound_uniform = n * first_cycle_ops * 0.3 / 1000.0
+    assert ctx.compute_time_ms < 0.7 * upper_bound_uniform
+
+
+def test_vector_size_mismatch():
+    net, mmps, procs = setup(n_sparc=2)
+    with pytest.raises(PartitionError, match="entries"):
+        run_gauss(mmps, procs, PartitionVector([12]), 12)
+
+
+def test_distributed_back_substitution_matches_numpy():
+    n = 18
+    a, b = well_conditioned(n, seed=8)
+    net, mmps, procs = setup(n_sparc=3, n_ipc=1)
+    vec = balanced_partition_vector([0.3, 0.3, 0.3, 0.6], n)
+    result = run_gauss(
+        mmps, procs, vec, n, matrix=a, rhs=b, back_substitution="distributed"
+    )
+    np.testing.assert_allclose(result.solution, np.linalg.solve(a, b), rtol=1e-9)
+
+
+def test_root_and_distributed_solutions_agree():
+    n = 12
+    a, b = well_conditioned(n, seed=9)
+    solutions = {}
+    for mode in ("root", "distributed"):
+        net, mmps, procs = setup(n_sparc=3)
+        result = run_gauss(
+            mmps, procs, PartitionVector([4, 4, 4]), n,
+            matrix=a, rhs=b, back_substitution=mode,
+        )
+        solutions[mode] = result.solution
+    np.testing.assert_allclose(solutions["root"], solutions["distributed"], rtol=1e-12)
+
+
+def test_unknown_back_substitution_mode_rejected():
+    net, mmps, procs = setup(n_sparc=2)
+    with pytest.raises(PartitionError, match="back_substitution"):
+        run_gauss(mmps, procs, PartitionVector([6, 6]), 12, back_substitution="magic")
+
+
+def test_distributed_back_substitution_costs_more_comm():
+    """N extra tiny broadcasts show up in elapsed time on multiple nodes."""
+    n = 40
+    elapsed = {}
+    for mode in ("root", "distributed"):
+        net, mmps, procs = setup(n_sparc=4)
+        result = run_gauss(
+            mmps, procs, PartitionVector([10] * 4), n, back_substitution=mode
+        )
+        elapsed[mode] = result.elapsed_ms
+    assert elapsed["distributed"] > elapsed["root"]

@@ -1,0 +1,136 @@
+"""Tests for the convergence-driven heat app and the 2-D block stencil."""
+
+import numpy as np
+import pytest
+
+from repro.apps.heat import heat_computation, run_heat, sequential_heat
+from repro.apps.stencil2d import (
+    block_bounds,
+    border_bytes_1d,
+    border_bytes_2d,
+    run_stencil_2d,
+)
+from repro.errors import PartitionError
+from repro.hardware.presets import paper_testbed
+from repro.mmps import MMPS
+from repro.model import PartitionVector
+from repro.spmd import Topology
+
+
+def setup(n_sparc=4, n_ipc=0):
+    net = paper_testbed()
+    mmps = MMPS(net)
+    procs = list(net.cluster("sparc2"))[:n_sparc] + list(net.cluster("ipc"))[:n_ipc]
+    return net, mmps, procs
+
+
+# ----------------------------------------------------------------- heat app
+
+
+def test_heat_annotations_dominant_phase_is_borders():
+    comp = heat_computation(300)
+    dom = comp.dominant_communication_phase()
+    assert dom.name == "borders"
+    assert dom.topology is Topology.ONE_D
+    # The residual all-reduce exists but is not dominant.
+    names = [p.name for p in comp.communication_phases]
+    assert "residual" in names
+
+
+def test_heat_numeric_matches_sequential_including_iteration_count():
+    n, tol = 24, 1e-3
+    grid = np.random.default_rng(3).random((n, n))
+    expected_grid, expected_iters = sequential_heat(grid, tol)
+    net, mmps, procs = setup(n_sparc=3)
+    result = run_heat(
+        mmps, procs, PartitionVector([8, 8, 8]), n, tol=tol, initial_grid=grid
+    )
+    assert result.iterations == expected_iters
+    np.testing.assert_allclose(result.grid, expected_grid, rtol=1e-12, atol=1e-12)
+
+
+def test_heat_heterogeneous_partition_converges_identically():
+    n, tol = 30, 1e-3
+    grid = np.random.default_rng(5).random((n, n))
+    expected_grid, expected_iters = sequential_heat(grid, tol)
+    net, mmps, procs = setup(n_sparc=2, n_ipc=2)
+    from repro.partition import balanced_partition_vector
+
+    vec = balanced_partition_vector([0.3, 0.3, 0.6, 0.6], n)
+    result = run_heat(mmps, procs, vec, n, tol=tol, initial_grid=grid)
+    assert result.iterations == expected_iters
+    np.testing.assert_allclose(result.grid, expected_grid, rtol=1e-12)
+
+
+def test_heat_timing_mode_converges_by_synthetic_residual():
+    net, mmps, procs = setup(n_sparc=4)
+    result = run_heat(mmps, procs, PartitionVector([25] * 4), 100, tol=1e-3)
+    # 0.5**k < 1e-3 at k=10.
+    assert result.iterations == 10
+    assert result.elapsed_ms > 0
+
+
+def test_heat_respects_max_iterations():
+    net, mmps, procs = setup(n_sparc=2)
+    result = run_heat(
+        mmps, procs, PartitionVector([50, 50]), 100, tol=1e-30, max_iterations=7
+    )
+    assert result.iterations == 7
+
+
+def test_heat_validation():
+    net, mmps, procs = setup(n_sparc=2)
+    with pytest.raises(PartitionError):
+        run_heat(mmps, procs, PartitionVector([100]), 100)
+
+
+# ----------------------------------------------------------------- 2-D stencil
+
+
+def test_block_bounds_cover_domain():
+    bounds = block_bounds(10, 3)
+    assert bounds == [(0, 4), (4, 7), (7, 10)]
+    with pytest.raises(PartitionError):
+        block_bounds(3, 5)
+
+
+def test_border_bytes_2d_less_than_1d_for_many_processors():
+    n = 1200
+    assert border_bytes_2d(n, 16) < border_bytes_1d(n)
+    # With one processor-row the 2-D layout degenerates toward 1-D volume.
+    assert border_bytes_2d(n, 2) >= border_bytes_1d(n) // 2
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 6])
+def test_stencil2d_numeric_matches_sequential(p):
+    from repro.apps.stencil import sequential_stencil
+
+    n, iters = 18, 3
+    grid = np.random.default_rng(p).random((n, n))
+    net, mmps, procs = setup(n_sparc=p)
+    result = run_stencil_2d(mmps, procs, n, iterations=iters, initial_grid=grid)
+    np.testing.assert_allclose(
+        result.grid, sequential_stencil(grid, iters), rtol=1e-12, atol=1e-12
+    )
+
+
+def test_stencil2d_rejects_heterogeneous_sets():
+    net, mmps, procs = setup(n_sparc=2, n_ipc=2)
+    with pytest.raises(PartitionError, match="homogeneous"):
+        run_stencil_2d(mmps, procs, 12)
+
+
+def test_stencil2d_sends_fewer_bytes_than_1d_at_scale():
+    """The classic decomposition result on a 12-task grid."""
+    from repro.apps.stencil import run_stencil
+    from repro.model import PartitionVector
+
+    n, iters = 240, 5
+    net, mmps, procs = setup(n_sparc=6, n_ipc=0)
+    # 1-D run over the same 6 homogeneous processors:
+    oned = run_stencil(mmps, procs, PartitionVector([40] * 6), n, iterations=iters)
+    oned_bytes = [ctx.endpoint.stats.bytes_sent for ctx in oned.run.contexts]
+
+    net2, mmps2, procs2 = setup(n_sparc=6, n_ipc=0)
+    twod = run_stencil_2d(mmps2, procs2, n, iterations=iters)
+    assert max(twod.bytes_sent_per_task) < max(oned_bytes)

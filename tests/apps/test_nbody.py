@@ -1,0 +1,81 @@
+"""Tests for the ring-pipelined particle application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.nbody import (
+    nbody_computation,
+    reference_potentials,
+    run_nbody,
+)
+from repro.errors import PartitionError
+from repro.hardware.presets import paper_testbed
+from repro.mmps import MMPS
+from repro.model import PartitionVector
+from repro.partition import balanced_partition_vector
+from repro.spmd import Topology
+
+
+def setup(n_sparc=4, n_ipc=0):
+    net = paper_testbed()
+    mmps = MMPS(net)
+    procs = list(net.cluster("sparc2"))[:n_sparc] + list(net.cluster("ipc"))[:n_ipc]
+    return net, mmps, procs
+
+
+def test_annotations_ring_topology():
+    comp = nbody_computation(64, steps=3)
+    assert comp.dominant_communication_phase().topology is Topology.RING
+    assert comp.cycles == 3
+    assert comp.num_pdus_value() == 64
+
+
+def test_potentials_match_reference_homogeneous():
+    positions = np.linspace(0.0, 10.0, 24) ** 1.3
+    net, mmps, procs = setup(n_sparc=4)
+    vec = PartitionVector([6, 6, 6, 6])
+    result = run_nbody(mmps, procs, vec, positions)
+    np.testing.assert_allclose(result.potentials, reference_potentials(positions), rtol=1e-9)
+
+
+def test_potentials_match_reference_heterogeneous():
+    rng = np.random.default_rng(5)
+    positions = rng.random(30) * 100
+    net, mmps, procs = setup(n_sparc=2, n_ipc=2)
+    vec = balanced_partition_vector([0.3, 0.3, 0.6, 0.6], 30)
+    result = run_nbody(mmps, procs, vec, positions)
+    np.testing.assert_allclose(result.potentials, reference_potentials(positions), rtol=1e-9)
+
+
+def test_single_processor():
+    positions = np.arange(10, dtype=float)
+    net, mmps, procs = setup(n_sparc=1)
+    result = run_nbody(mmps, procs, PartitionVector([10]), positions)
+    np.testing.assert_allclose(result.potentials, reference_potentials(positions), rtol=1e-12)
+
+
+def test_two_processors_ring_of_two():
+    positions = np.arange(8, dtype=float) * 2.5
+    net, mmps, procs = setup(n_sparc=2)
+    result = run_nbody(mmps, procs, PartitionVector([4, 4]), positions)
+    np.testing.assert_allclose(result.potentials, reference_potentials(positions), rtol=1e-9)
+
+
+def test_steps_scale_elapsed_time():
+    positions = np.arange(16, dtype=float)
+    net, mmps, procs = setup(n_sparc=4)
+    r1 = run_nbody(mmps, procs, PartitionVector([4] * 4), positions, steps=1)
+    net2, mmps2, procs2 = setup(n_sparc=4)
+    r3 = run_nbody(mmps2, procs2, PartitionVector([4] * 4), positions, steps=3)
+    # Pipelining across steps amortizes the first-step fill, so the scaling
+    # is slightly sublinear; it must stay within [2x, 3.2x].
+    assert 2 * r1.elapsed_ms < r3.elapsed_ms < 3.2 * r1.elapsed_ms
+
+
+def test_validation():
+    positions = np.arange(10, dtype=float)
+    net, mmps, procs = setup(n_sparc=2)
+    with pytest.raises(PartitionError, match="covers"):
+        run_nbody(mmps, procs, PartitionVector([4, 4]), positions)
+    with pytest.raises(PartitionError, match="at least one"):
+        run_nbody(mmps, procs, PartitionVector([10, 0]), positions)

@@ -1,0 +1,112 @@
+"""Tests for the allgather collective and the power-method application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.powermethod import (
+    power_computation,
+    reference_dominant_eigenvalue,
+    run_power_method,
+)
+from repro.errors import PartitionError
+from repro.hardware.presets import paper_testbed
+from repro.mmps import MMPS
+from repro.model import PartitionVector
+from repro.partition import balanced_partition_vector
+from repro.spmd import SPMDRun, Topology, allgather
+
+
+def setup(n_sparc=4, n_ipc=0):
+    net = paper_testbed()
+    mmps = MMPS(net)
+    procs = list(net.cluster("sparc2"))[:n_sparc] + list(net.cluster("ipc"))[:n_ipc]
+    return net, mmps, procs
+
+
+def spd_matrix(n, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.random((n, n))
+    return (a + a.T) / 2 + n * np.eye(n)
+
+
+# ---------------------------------------------------------------- allgather
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 5, 8])
+def test_allgather_collects_all_values(size):
+    def body(ctx):
+        values = yield from allgather(ctx, 64, f"v{ctx.rank}")
+        return values
+
+    n_sparc = min(size, 6)
+    net, mmps, procs = setup(n_sparc=n_sparc, n_ipc=size - n_sparc)
+    run = SPMDRun(mmps, procs, body, Topology.RING)
+    result = run.execute()
+    expected = [f"v{r}" for r in range(size)]
+    assert all(v == expected for v in result.task_values)
+
+
+def test_allgather_each_block_crosses_each_link_once():
+    """Ring optimality: total messages = size * (size - 1)."""
+    def body(ctx):
+        yield from allgather(ctx, 256, ctx.rank)
+
+    net, mmps, procs = setup(n_sparc=5)
+    run = SPMDRun(mmps, procs, body, Topology.RING)
+    result = run.execute()
+    total_msgs = sum(ctx.endpoint.stats.messages_sent for ctx in result.contexts)
+    assert total_msgs == 5 * 4
+
+
+# ---------------------------------------------------------------- power method
+
+
+def test_annotations():
+    comp = power_computation(100)
+    assert comp.dominant_communication_phase().topology is Topology.RING
+    assert comp.dominant_computation_phase().complexity_value(comp.problem) == 200.0
+
+
+def test_eigenvalue_matches_numpy_homogeneous():
+    n = 24
+    a = spd_matrix(n, seed=1)
+    net, mmps, procs = setup(n_sparc=4)
+    result = run_power_method(mmps, procs, PartitionVector([6, 6, 6, 6]), a)
+    assert result.eigenvalue == pytest.approx(reference_dominant_eigenvalue(a), rel=1e-7)
+    assert result.iterations < 200
+
+
+def test_eigenvalue_matches_numpy_heterogeneous():
+    n = 30
+    a = spd_matrix(n, seed=2)
+    net, mmps, procs = setup(n_sparc=2, n_ipc=2)
+    vec = balanced_partition_vector([0.3, 0.3, 0.6, 0.6], n)
+    result = run_power_method(mmps, procs, vec, a)
+    assert result.eigenvalue == pytest.approx(reference_dominant_eigenvalue(a), rel=1e-7)
+
+
+def test_single_processor():
+    n = 12
+    a = spd_matrix(n, seed=3)
+    net, mmps, procs = setup(n_sparc=1)
+    result = run_power_method(mmps, procs, PartitionVector([n]), a)
+    assert result.eigenvalue == pytest.approx(reference_dominant_eigenvalue(a), rel=1e-7)
+
+
+def test_iteration_bound_respected():
+    n = 16
+    a = spd_matrix(n, seed=4)
+    net, mmps, procs = setup(n_sparc=2)
+    result = run_power_method(
+        mmps, procs, PartitionVector([8, 8]), a, tol=1e-300, max_iterations=9
+    )
+    assert result.iterations == 9
+
+
+def test_validation():
+    net, mmps, procs = setup(n_sparc=2)
+    a = spd_matrix(10)
+    with pytest.raises(PartitionError, match="covers"):
+        run_power_method(mmps, procs, PartitionVector([4, 4]), a)
+    with pytest.raises(PartitionError, match="entries"):
+        run_power_method(mmps, procs, PartitionVector([10]), a)

@@ -1,0 +1,100 @@
+"""Tests for the red-black SOR application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.sor import run_sor, sequential_sor, sor_computation
+from repro.apps.stencil import run_stencil, sequential_stencil
+from repro.errors import PartitionError
+from repro.hardware.presets import paper_testbed
+from repro.mmps import MMPS
+from repro.model import PartitionVector
+from repro.partition import balanced_partition_vector
+
+
+def setup(n_sparc=3, n_ipc=0):
+    net = paper_testbed()
+    mmps = MMPS(net)
+    procs = list(net.cluster("sparc2"))[:n_sparc] + list(net.cluster("ipc"))[:n_ipc]
+    return net, mmps, procs
+
+
+def test_annotations_have_two_comm_phases():
+    comp = sor_computation(300)
+    assert len(comp.communication_phases) == 2
+    assert comp.dominant_communication_phase().complexity_value(comp.problem) == 1200
+
+
+def test_sequential_sor_reduces_residual():
+    grid = np.random.default_rng(0).random((16, 16))
+    out = sequential_sor(grid, 30, omega=1.5)
+    # Interior approaches the harmonic solution: variance shrinks.
+    assert out[1:-1, 1:-1].var() < grid[1:-1, 1:-1].var()
+    # Boundary is held fixed.
+    np.testing.assert_array_equal(out[0], grid[0])
+    np.testing.assert_array_equal(out[-1], grid[-1])
+    np.testing.assert_array_equal(out[:, 0], grid[:, 0])
+    np.testing.assert_array_equal(out[:, -1], grid[:, -1])
+
+
+def test_sor_converges_faster_than_jacobi():
+    """Classic result: SOR (ω≈1.5) beats Jacobi on residual decay."""
+    grid = np.random.default_rng(1).random((20, 20))
+    iters = 25
+
+    def residual(g):
+        interior = 0.25 * (g[:-2, 1:-1] + g[2:, 1:-1] + g[1:-1, :-2] + g[1:-1, 2:])
+        return float(np.abs(interior - g[1:-1, 1:-1]).max())
+
+    jac = sequential_stencil(grid, iters)
+    sor = sequential_sor(grid, iters, omega=1.5)
+    assert residual(sor) < residual(jac)
+
+
+@pytest.mark.parametrize("counts", [[8, 8, 8], [12, 8, 4]])
+def test_distributed_matches_sequential(counts):
+    n, iters = 24, 4
+    grid = np.random.default_rng(2).random((n, n))
+    net, mmps, procs = setup(n_sparc=3)
+    result = run_sor(
+        mmps, procs, PartitionVector(counts), n, iterations=iters, initial_grid=grid
+    )
+    np.testing.assert_allclose(
+        result.grid, sequential_sor(grid, iters), rtol=1e-12, atol=1e-14
+    )
+
+
+def test_distributed_heterogeneous_partition():
+    n, iters = 30, 3
+    grid = np.random.default_rng(3).random((n, n))
+    net, mmps, procs = setup(n_sparc=2, n_ipc=2)
+    vec = balanced_partition_vector([0.3, 0.3, 0.6, 0.6], n)
+    result = run_sor(mmps, procs, vec, n, iterations=iters, initial_grid=grid)
+    np.testing.assert_allclose(result.grid, sequential_sor(grid, iters), rtol=1e-12)
+
+
+def test_single_processor():
+    n = 12
+    grid = np.random.default_rng(4).random((n, n))
+    net, mmps, procs = setup(n_sparc=1)
+    result = run_sor(mmps, procs, PartitionVector([n]), n, iterations=3, initial_grid=grid)
+    np.testing.assert_allclose(result.grid, sequential_sor(grid, 3), rtol=1e-12)
+
+
+def test_two_exchanges_cost_more_than_one():
+    """SOR's per-iteration comm is twice the Jacobi stencil's."""
+    n = 300
+    net, mmps, procs = setup(n_sparc=4)
+    vec = PartitionVector([75] * 4)
+    sor = run_sor(mmps, procs, vec, n, iterations=5)
+    net2, mmps2, procs2 = setup(n_sparc=4)
+    jac = run_stencil(mmps2, procs2, PartitionVector([75] * 4), n, iterations=5)
+    sor_msgs = sum(c.endpoint.stats.messages_sent for c in sor.run.contexts)
+    jac_msgs = sum(c.endpoint.stats.messages_sent for c in jac.run.contexts)
+    assert sor_msgs == 2 * jac_msgs
+
+
+def test_validation():
+    net, mmps, procs = setup(n_sparc=2)
+    with pytest.raises(PartitionError, match="covers"):
+        run_sor(mmps, procs, PartitionVector([5, 5]), 30)

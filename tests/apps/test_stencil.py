@@ -1,0 +1,150 @@
+"""Tests for the STEN-1/STEN-2 stencil application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.stencil import (
+    run_stencil,
+    sequential_stencil,
+    stencil_computation,
+)
+from repro.errors import PartitionError
+from repro.hardware.presets import paper_testbed
+from repro.mmps import MMPS
+from repro.model import PartitionVector
+from repro.partition import balanced_partition_vector
+
+
+def setup(n_sparc=4, n_ipc=0):
+    net = paper_testbed()
+    mmps = MMPS(net)
+    procs = list(net.cluster("sparc2"))[:n_sparc] + list(net.cluster("ipc"))[:n_ipc]
+    return net, mmps, procs
+
+
+def rates(n_sparc, n_ipc):
+    return [0.3] * n_sparc + [0.6] * n_ipc
+
+
+def random_grid(n, seed=0):
+    return np.random.default_rng(seed).random((n, n))
+
+
+def test_annotations_match_paper():
+    comp = stencil_computation(600, overlap=False)
+    assert comp.num_pdus_value() == 600
+    assert comp.dominant_computation_phase().complexity_value(comp.problem) == 3000
+    assert comp.dominant_communication_phase().complexity_value(comp.problem) == 2400
+    assert comp.cycles == 10
+
+
+def test_sequential_stencil_fixed_boundary():
+    grid = random_grid(8)
+    out = sequential_stencil(grid, 3)
+    assert np.array_equal(out[0], grid[0])
+    assert np.array_equal(out[-1], grid[-1])
+    assert np.array_equal(out[:, 0], grid[:, 0])
+    assert not np.array_equal(out[1:-1, 1:-1], grid[1:-1, 1:-1])
+
+
+def test_sequential_stencil_converges_toward_mean():
+    """Jacobi smoothing: variance of the interior decreases."""
+    grid = random_grid(16, seed=3)
+    out = sequential_stencil(grid, 50)
+    assert out[1:-1, 1:-1].var() < grid[1:-1, 1:-1].var()
+
+
+@pytest.mark.parametrize("overlap", [False, True])
+def test_numeric_matches_sequential_homogeneous(overlap):
+    n, iters = 24, 4
+    net, mmps, procs = setup(n_sparc=4)
+    vec = PartitionVector([6, 6, 6, 6])
+    grid = random_grid(n, seed=1)
+    result = run_stencil(
+        mmps, procs, vec, n, iterations=iters, overlap=overlap, initial_grid=grid
+    )
+    expected = sequential_stencil(grid, iters)
+    np.testing.assert_allclose(result.grid, expected, rtol=1e-12, atol=1e-12)
+
+
+@pytest.mark.parametrize("overlap", [False, True])
+def test_numeric_matches_sequential_heterogeneous(overlap):
+    """Unequal row counts (Eq 3 balance) still compute the right answer."""
+    n, iters = 30, 3
+    net, mmps, procs = setup(n_sparc=4, n_ipc=2)
+    vec = balanced_partition_vector(rates(4, 2), n)
+    assert vec.total == n
+    grid = random_grid(n, seed=2)
+    result = run_stencil(
+        mmps, procs, vec, n, iterations=iters, overlap=overlap, initial_grid=grid
+    )
+    expected = sequential_stencil(grid, iters)
+    np.testing.assert_allclose(result.grid, expected, rtol=1e-12, atol=1e-12)
+
+
+def test_numeric_single_processor():
+    n = 12
+    net, mmps, procs = setup(n_sparc=1)
+    grid = random_grid(n, seed=5)
+    result = run_stencil(
+        mmps, procs, PartitionVector([n]), n, iterations=2, overlap=False, initial_grid=grid
+    )
+    np.testing.assert_allclose(result.grid, sequential_stencil(grid, 2), rtol=1e-12)
+
+
+def test_numeric_single_row_per_task():
+    """Tasks owning one row exercise the boundary==interior edge case."""
+    n = 6
+    net, mmps, procs = setup(n_sparc=6)
+    vec = PartitionVector([1] * 6)
+    grid = random_grid(n, seed=7)
+    for overlap in (False, True):
+        result = run_stencil(
+            mmps, procs, vec, n, iterations=3, overlap=overlap, initial_grid=grid
+        )
+        np.testing.assert_allclose(result.grid, sequential_stencil(grid, 3), rtol=1e-12)
+
+
+def test_sten2_faster_than_sten1():
+    """Overlap must reduce simulated elapsed time (Table 2's global pattern)."""
+    n = 300
+    elapsed = {}
+    for overlap in (False, True):
+        net, mmps, procs = setup(n_sparc=6)
+        vec = PartitionVector([50] * 6)
+        result = run_stencil(mmps, procs, vec, n, iterations=10, overlap=overlap)
+        elapsed[overlap] = result.elapsed_ms
+    assert elapsed[True] < elapsed[False]
+
+
+def test_elapsed_scales_with_iterations():
+    n = 60
+    net, mmps, procs = setup(n_sparc=2)
+    vec = PartitionVector([30, 30])
+    r5 = run_stencil(mmps, procs, vec, n, iterations=5)
+    net2, mmps2, procs2 = setup(n_sparc=2)
+    r10 = run_stencil(mmps2, procs2, PartitionVector([30, 30]), n, iterations=10)
+    assert r10.elapsed_ms == pytest.approx(2 * r5.elapsed_ms, rel=0.1)
+
+
+def test_validation_errors():
+    net, mmps, procs = setup(n_sparc=2)
+    with pytest.raises(PartitionError, match="entries"):
+        run_stencil(mmps, procs, PartitionVector([60]), 60)
+    with pytest.raises(PartitionError, match="covers"):
+        run_stencil(mmps, procs, PartitionVector([30, 20]), 60)
+    with pytest.raises(PartitionError, match="at least one row"):
+        run_stencil(mmps, procs, PartitionVector([60, 0]), 60)
+    with pytest.raises(ValueError, match="initial grid"):
+        run_stencil(
+            mmps, procs, PartitionVector([30, 30]), 60,
+            initial_grid=np.zeros((3, 3)),
+        )
+
+
+def test_per_cycle_times_recorded():
+    net, mmps, procs = setup(n_sparc=3)
+    result = run_stencil(mmps, procs, PartitionVector([20, 20, 20]), 60, iterations=4)
+    times = result.run.task_values
+    assert all(len(t) == 4 for t in times)
+    assert all(all(x > 0 for x in t) for t in times)

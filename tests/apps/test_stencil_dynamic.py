@@ -1,0 +1,103 @@
+"""Tests for the dynamically repartitioned stencil (paper §7 future work)."""
+
+import pytest
+
+from repro.apps.stencil_dynamic import (
+    LoadEvent,
+    apply_load_schedule,
+    run_stencil_dynamic,
+)
+from repro.errors import PartitionError
+from repro.hardware.presets import paper_testbed
+from repro.mmps import MMPS
+from repro.model import PartitionVector
+
+
+def setup(n_sparc=4, events=()):
+    net = paper_testbed()
+    apply_load_schedule(net, events)
+    mmps = MMPS(net)
+    procs = list(net.cluster("sparc2"))[:n_sparc]
+    return net, mmps, procs
+
+
+def test_no_load_no_repartitions():
+    net, mmps, procs = setup(4)
+    result = run_stencil_dynamic(
+        mmps, procs, PartitionVector([75] * 4), 300, iterations=15, epoch=5
+    )
+    assert result.repartitions == 0
+    assert result.rows_moved == 0
+    assert result.vectors == [[75, 75, 75, 75]]
+
+
+def test_injected_load_triggers_repartition_and_sheds_rows():
+    # Processor 1 picks up a 50% competing job early in the run.
+    events = [LoadEvent(at_ms=10.0, proc_id=1, load=0.5)]
+    net, mmps, procs = setup(4, events)
+    result = run_stencil_dynamic(
+        mmps, procs, PartitionVector([75] * 4), 300, iterations=20, epoch=5
+    )
+    assert result.repartitions >= 1
+    final = result.vectors[-1]
+    assert final[1] < 75  # the loaded node shed rows
+    assert sum(final) == 300
+    assert result.rows_moved > 0
+
+
+def test_dynamic_beats_static_under_load():
+    """The point of the strategy: repartitioning recovers lost time."""
+    events = [LoadEvent(at_ms=10.0, proc_id=1, load=0.6)]
+    elapsed = {}
+    for enabled in (True, False):
+        net, mmps, procs = setup(4, [LoadEvent(e.at_ms, e.proc_id, e.load) for e in events])
+        result = run_stencil_dynamic(
+            mmps,
+            procs,
+            PartitionVector([150] * 4),
+            600,
+            iterations=30,
+            epoch=5,
+            enabled=enabled,
+        )
+        elapsed[enabled] = result.elapsed_ms
+    assert elapsed[True] < elapsed[False] * 0.92
+
+
+def test_load_removal_rebalances_back():
+    """Load appearing then disappearing: rows flow away and back."""
+    events = [
+        LoadEvent(at_ms=10.0, proc_id=0, load=0.5),
+        LoadEvent(at_ms=800.0, proc_id=0, load=0.0),
+    ]
+    net, mmps, procs = setup(3, events)
+    result = run_stencil_dynamic(
+        mmps, procs, PartitionVector([100] * 3), 300, iterations=40, epoch=5,
+        imbalance_threshold=1.2,
+    )
+    assert result.repartitions >= 2
+    shrunk = min(v[0] for v in result.vectors)
+    assert shrunk < 100
+    assert result.vectors[-1][0] > shrunk  # grew back after the load left
+
+
+def test_overlap_variant_runs():
+    events = [LoadEvent(at_ms=5.0, proc_id=2, load=0.4)]
+    net, mmps, procs = setup(4, events)
+    result = run_stencil_dynamic(
+        mmps, procs, PartitionVector([75] * 4), 300, iterations=15, epoch=5,
+        overlap=True,
+    )
+    assert result.elapsed_ms > 0
+
+
+def test_validation():
+    net, mmps, procs = setup(2)
+    with pytest.raises(PartitionError, match="entries"):
+        run_stencil_dynamic(mmps, procs, PartitionVector([300]), 300)
+    with pytest.raises(PartitionError, match="covers"):
+        run_stencil_dynamic(mmps, procs, PartitionVector([100, 100]), 300)
+    with pytest.raises(PartitionError, match="epoch"):
+        run_stencil_dynamic(
+            mmps, procs, PartitionVector([150, 150]), 300, epoch=0
+        )

@@ -1,0 +1,96 @@
+"""Tests for the cost-database disk cache."""
+
+import json
+
+import pytest
+
+from repro.benchmarking import CostDatabase
+from repro.benchmarking.cache import load_database, load_or_build, save_database
+from repro.benchmarking.costfuncs import CommCostFunction
+from repro.errors import FittingError
+
+
+def sample_db():
+    db = CostDatabase()
+    db.add_comm(CommCostFunction("c", "1-D", 0.1, 0.2, 0.001, 0.002))
+    return db
+
+
+def test_save_load_roundtrip(tmp_path):
+    path = tmp_path / "costs.json"
+    save_database(sample_db(), path, fingerprint="v1")
+    restored = load_database(path, expected_fingerprint="v1")
+    assert restored.comm_cost("c", "1-D", 100, 3) == pytest.approx(
+        sample_db().comm_cost("c", "1-D", 100, 3)
+    )
+
+
+def test_fingerprint_mismatch_rejected(tmp_path):
+    path = tmp_path / "costs.json"
+    save_database(sample_db(), path, fingerprint="v1")
+    with pytest.raises(FittingError, match="stale"):
+        load_database(path, expected_fingerprint="v2")
+    # Without an expectation, any fingerprint loads.
+    load_database(path)
+
+
+def test_missing_and_corrupt_files(tmp_path):
+    with pytest.raises(FittingError, match="no cost database"):
+        load_database(tmp_path / "absent.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(FittingError, match="corrupt"):
+        load_database(bad)
+    not_cache = tmp_path / "other.json"
+    not_cache.write_text(json.dumps({"something": 1}))
+    with pytest.raises(FittingError, match="not a cost-database"):
+        load_database(not_cache)
+
+
+def test_load_or_build_builds_once(tmp_path):
+    path = tmp_path / "costs.json"
+    calls = []
+
+    def builder():
+        calls.append(1)
+        return sample_db()
+
+    db1 = load_or_build(path, builder, fingerprint="net-v1")
+    db2 = load_or_build(path, builder, fingerprint="net-v1")
+    assert len(calls) == 1
+    assert db2.comm_cost("c", "1-D", 100, 3) == db1.comm_cost("c", "1-D", 100, 3)
+
+
+def test_load_or_build_rebuilds_on_new_fingerprint(tmp_path):
+    path = tmp_path / "costs.json"
+    calls = []
+
+    def builder():
+        calls.append(1)
+        return sample_db()
+
+    load_or_build(path, builder, fingerprint="v1")
+    load_or_build(path, builder, fingerprint="v2")
+    assert len(calls) == 2
+
+
+def test_load_or_build_refresh_forces_rebuild(tmp_path):
+    path = tmp_path / "costs.json"
+    calls = []
+
+    def builder():
+        calls.append(1)
+        return sample_db()
+
+    load_or_build(path, builder)
+    load_or_build(path, builder, refresh=True)
+    assert len(calls) == 2
+
+
+def test_load_or_build_recovers_from_corrupt_cache(tmp_path):
+    path = tmp_path / "costs.json"
+    path.write_text("garbage")
+    db = load_or_build(path, sample_db)
+    assert db.comm_cost("c", "1-D", 100, 3) > 0
+    # And the cache is now healthy.
+    load_database(path)

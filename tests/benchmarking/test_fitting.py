@@ -1,0 +1,127 @@
+"""Tests for least-squares fitting of Eq 1 and per-byte cost functions."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarking import fit_comm_cost, fit_linear_byte_cost, r_squared
+from repro.errors import FittingError
+
+
+def synth_samples(c1, c2, c3, c4, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    samples = []
+    for p in (2, 3, 4, 5, 6):
+        for b in (64, 256, 1024, 2400, 4800):
+            t = c1 + c2 * p + b * (c3 + c4 * p)
+            if noise:
+                t += float(rng.normal(0, noise))
+            samples.append((p, b, t))
+    return samples
+
+
+def test_exact_recovery_of_constants():
+    fn = fit_comm_cost("c", "1-D", synth_samples(0.5, 1.1, -0.0055, 0.00283))
+    assert fn.c1 == pytest.approx(0.5, abs=1e-9)
+    assert fn.c2 == pytest.approx(1.1, abs=1e-9)
+    assert fn.c3 == pytest.approx(-0.0055, abs=1e-9)
+    assert fn.c4 == pytest.approx(0.00283, abs=1e-9)
+    assert fn.r_squared == pytest.approx(1.0)
+
+
+def test_noisy_fit_close_and_r2_high():
+    fn = fit_comm_cost("c", "1-D", synth_samples(1.0, 0.8, 0.001, 0.002, noise=0.5, seed=3))
+    assert fn.c2 == pytest.approx(0.8, rel=0.5)
+    assert fn.c4 == pytest.approx(0.002, rel=0.2)
+    assert fn.r_squared > 0.95
+
+
+def test_too_few_samples_rejected():
+    with pytest.raises(FittingError, match="at least 4"):
+        fit_comm_cost("c", "1-D", [(2, 64, 1.0), (3, 64, 1.5), (2, 128, 2.0)])
+
+
+def test_no_variation_rejected():
+    flat_p = [(2, b, 1.0) for b in (64, 128, 256, 512)]
+    with pytest.raises(FittingError, match="variation"):
+        fit_comm_cost("c", "1-D", flat_p)
+    flat_b = [(p, 64, 1.0) for p in (2, 3, 4, 5)]
+    with pytest.raises(FittingError, match="variation"):
+        fit_comm_cost("c", "1-D", flat_b)
+
+
+def test_eq1_evaluation_matches_paper_sparc2():
+    """Evaluate the paper's published Sparc2 1-D function at Table-like points."""
+    from repro.benchmarking import CommCostFunction
+
+    fn = CommCostFunction(
+        cluster="sparc2", topology="1-D", c1=0.0, c2=1.1, c3=-0.0055, c4=0.00283
+    )
+    # P1=6, b=4800: (-.0055+.01698)*4800 + 6.6 = 55.1 + 6.6
+    assert fn.evaluate(4800, 6) == pytest.approx(61.704, abs=0.01)
+
+
+def test_abs_bandwidth_quirk():
+    from repro.benchmarking import CommCostFunction
+
+    # The paper's IPC fit at P2=2 has a negative per-byte coefficient.
+    fn = CommCostFunction(
+        cluster="ipc", topology="1-D", c1=0.0, c2=1.9, c3=-0.0123, c4=0.00457
+    )
+    coeff = -0.0123 + 0.00457 * 2  # negative
+    assert coeff < 0
+    assert fn.evaluate(1000, 2) == pytest.approx(1.9 * 2 + 1000 * abs(coeff))
+    no_quirk = CommCostFunction(
+        cluster="ipc",
+        topology="1-D",
+        c1=0.0,
+        c2=1.9,
+        c3=-0.0123,
+        c4=0.00457,
+        abs_bandwidth_quirk=False,
+    )
+    assert no_quirk.evaluate(1000, 2) < fn.evaluate(1000, 2)
+
+
+def test_single_processor_costs_nothing():
+    from repro.benchmarking import CommCostFunction
+
+    fn = CommCostFunction("c", "1-D", c1=5.0, c2=1.0, c3=0.01, c4=0.001)
+    assert fn.evaluate(1000, 1) == 0.0
+    assert fn.evaluate(1000, 0) == 0.0
+
+
+def test_negative_bytes_rejected():
+    from repro.benchmarking import CommCostFunction
+
+    fn = CommCostFunction("c", "1-D", c1=0, c2=0, c3=0.01, c4=0)
+    with pytest.raises(ValueError):
+        fn.evaluate(-1, 2)
+
+
+def test_linear_byte_fit_exact():
+    samples = [(b, 0.05 + 0.0006 * b) for b in (100, 500, 1000, 2000)]
+    fn = fit_linear_byte_cost("a", "b", "router", samples)
+    assert fn.intercept_ms == pytest.approx(0.05, abs=1e-9)
+    assert fn.slope_ms_per_byte == pytest.approx(0.0006, abs=1e-12)
+    assert fn.evaluate(4800) == pytest.approx(0.05 + 2.88)
+
+
+def test_linear_byte_fit_needs_two_b_values():
+    with pytest.raises(FittingError):
+        fit_linear_byte_cost("a", "b", "router", [(100, 1.0)])
+    with pytest.raises(FittingError):
+        fit_linear_byte_cost("a", "b", "router", [(100, 1.0), (100, 1.1)])
+
+
+def test_r_squared_degenerate_cases():
+    assert r_squared(np.array([1.0, 1.0]), np.array([1.0, 1.0])) == 1.0
+    assert r_squared(np.array([1.0, 1.0]), np.array([2.0, 2.0])) == 0.0
+
+
+def test_costfunc_json_roundtrip():
+    from repro.benchmarking import CommCostFunction, LinearByteCost
+
+    fn = CommCostFunction("c", "ring", 1.0, 2.0, 3.0, 4.0, r_squared=0.99, n_samples=25)
+    assert CommCostFunction.from_dict(fn.as_dict()) == fn
+    lb = LinearByteCost("a", "b", "coerce", 0.1, 0.002, r_squared=0.98, n_samples=4)
+    assert LinearByteCost.from_dict(lb.as_dict()) == lb

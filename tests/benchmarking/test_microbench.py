@@ -1,0 +1,81 @@
+"""Tests for topology microbenchmarks on the simulated network."""
+
+import pytest
+
+from repro.benchmarking import (
+    Workbench,
+    measure_crossing_penalty,
+    measure_cycle_time,
+    sweep_cluster,
+)
+from repro.errors import FittingError
+from repro.hardware.presets import paper_testbed
+from repro.spmd import Topology
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return Workbench(lambda: paper_testbed())
+
+
+def test_cycle_time_positive_and_repeatable(bench):
+    t1 = measure_cycle_time(bench, {"sparc2": 4}, Topology.ONE_D, 1024, cycles=3)
+    t2 = measure_cycle_time(bench, {"sparc2": 4}, Topology.ONE_D, 1024, cycles=3)
+    assert t1 > 0
+    assert t1 == pytest.approx(t2)  # deterministic substrate
+
+
+def test_cycle_time_grows_with_bytes(bench):
+    small = measure_cycle_time(bench, {"sparc2": 4}, Topology.ONE_D, 240, cycles=3)
+    big = measure_cycle_time(bench, {"sparc2": 4}, Topology.ONE_D, 4800, cycles=3)
+    assert big > small
+
+
+def test_cycle_time_grows_with_processors(bench):
+    few = measure_cycle_time(bench, {"sparc2": 2}, Topology.ONE_D, 2400, cycles=3)
+    many = measure_cycle_time(bench, {"sparc2": 6}, Topology.ONE_D, 2400, cycles=3)
+    assert many > few
+
+
+def test_ipc_cluster_slower_than_sparc2(bench):
+    """The paper: comm is faster on faster hosts over identical segments."""
+    sparc = measure_cycle_time(bench, {"sparc2": 4}, Topology.ONE_D, 2400, cycles=3)
+    ipc = measure_cycle_time(bench, {"ipc": 4}, Topology.ONE_D, 2400, cycles=3)
+    assert ipc > sparc
+
+
+def test_single_processor_zero_cost(bench):
+    assert measure_cycle_time(bench, {"sparc2": 1}, Topology.ONE_D, 2400) == 0.0
+
+
+def test_count_exceeding_cluster_rejected(bench):
+    with pytest.raises(FittingError, match="requested"):
+        measure_cycle_time(bench, {"sparc2": 7}, Topology.ONE_D, 100)
+
+
+def test_broadcast_costlier_than_one_d(bench):
+    """Broadcast's offered load grows with total p: costlier per cycle."""
+    one_d = measure_cycle_time(bench, {"sparc2": 6}, Topology.ONE_D, 2400, cycles=3)
+    bcast = measure_cycle_time(bench, {"sparc2": 6}, Topology.BROADCAST, 2400, cycles=3)
+    assert bcast > one_d
+
+
+def test_sweep_produces_full_grid(bench):
+    samples = sweep_cluster(
+        bench, "sparc2", Topology.ONE_D, (2, 4), (256, 1024), cycles=2
+    )
+    assert len(samples) == 4
+    assert {(s.p, s.b) for s in samples} == {(2, 256), (2, 1024), (4, 256), (4, 1024)}
+    assert all(s.t_ms > 0 for s in samples)
+
+
+def test_sweep_rejects_p_of_one(bench):
+    with pytest.raises(FittingError):
+        sweep_cluster(bench, "sparc2", Topology.ONE_D, (1, 2), (256,))
+
+
+def test_crossing_penalty_positive_and_growing(bench):
+    samples = measure_crossing_penalty(bench, "sparc2", "ipc", (256, 2400, 4800), cycles=3)
+    penalties = [t for _b, t in samples]
+    assert all(t > 0 for t in penalties)
+    assert penalties[-1] > penalties[0]  # per-byte component visible

@@ -1,0 +1,87 @@
+"""Tests for the model-accuracy (E11) and sensitivity (E12) experiments."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    accuracy_report,
+    model_accuracy,
+    perturb_database,
+    sensitivity_analysis,
+    sensitivity_report,
+)
+from repro.experiments.calibration import fitted_cost_database
+
+
+@pytest.fixture(scope="module")
+def cells():
+    # A reduced grid keeps the test fast while covering both variants.
+    return model_accuracy(sizes=(300, 1200), configs=((2, 0), (6, 0), (6, 6)))
+
+
+def test_every_cell_has_positive_times(cells):
+    assert len(cells) == 2 * 2 * 3
+    for c in cells:
+        assert c.predicted_ms > 0 and c.simulated_ms > 0
+
+
+def test_model_accuracy_within_claimed_bounds(cells):
+    """The §3 'fairly accurate' claim, quantified: MAPE under 20%."""
+    errors = np.array([abs(c.error) for c in cells])
+    assert errors.mean() < 0.20
+    assert errors.max() < 0.45
+
+
+def test_sequential_cells_are_tightest(cells):
+    """No communication → the compute-only model is nearly exact."""
+    seq = [c for c in cells if (c.p1, c.p2) == (2, 0) and c.n == 1200]
+    for c in seq:
+        assert abs(c.error) < 0.06
+
+
+def test_accuracy_report_renders(cells):
+    text = accuracy_report(cells)
+    assert "MAPE" in text and "worst predicted" in text
+
+
+def test_perturb_database_scales_constants():
+    db = fitted_cost_database()
+    noisy = perturb_database(db, 0.2, np.random.default_rng(0))
+    base = db.comm[("sparc2", "1-D")]
+    pert = noisy.comm[("sparc2", "1-D")]
+    assert pert.c2 != base.c2
+    assert 0.79 <= pert.c2 / base.c2 <= 1.21
+    # Quirk flag and composition mode preserved.
+    assert pert.abs_bandwidth_quirk == base.abs_bandwidth_quirk
+    assert noisy.router_extra_station == db.router_extra_station
+
+
+def test_perturb_epsilon_zero_is_identity_valued():
+    db = fitted_cost_database()
+    same = perturb_database(db, 0.0, np.random.default_rng(1))
+    fn, fn2 = db.comm[("ipc", "1-D")], same.comm[("ipc", "1-D")]
+    assert fn2.c1 == pytest.approx(fn.c1)
+    assert fn2.c4 == pytest.approx(fn.c4)
+
+
+def test_perturb_validates_epsilon():
+    db = fitted_cost_database()
+    with pytest.raises(ValueError):
+        perturb_database(db, 1.0, np.random.default_rng(0))
+
+
+def test_sensitivity_decisions_stable_at_small_noise():
+    results = sensitivity_analysis(epsilons=(0.05,), trials=8, seed=3)
+    assert results[0].decision_changed == 0
+    assert results[0].max_regret == 0.0
+
+
+def test_sensitivity_regret_stays_bounded_at_large_noise():
+    results = sensitivity_analysis(epsilons=(0.3,), trials=10, seed=7)
+    # Even badly mis-fitted constants cost under 10% T_c regret.
+    assert results[0].max_regret < 0.10
+
+
+def test_sensitivity_report_renders():
+    text = sensitivity_report(sensitivity_analysis(epsilons=(0.1,), trials=4))
+    assert "E12" in text and "regret" in text

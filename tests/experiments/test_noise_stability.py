@@ -1,0 +1,39 @@
+"""Tests for the noise-robustness study of Table 2's minima."""
+
+import pytest
+
+from repro.experiments.table2 import noisy_minimum_stability, simulate_elapsed
+
+
+def test_jitter_changes_elapsed_but_bounded():
+    clean = simulate_elapsed(False, 300, 4, 0)
+    noisy = simulate_elapsed(False, 300, 4, 0, seed=3, jitter=0.05)
+    assert noisy != pytest.approx(clean, rel=1e-9)
+    assert noisy == pytest.approx(clean, rel=0.10)
+
+
+def test_seeds_vary_noisy_runs():
+    a = simulate_elapsed(False, 300, 4, 0, seed=1, jitter=0.05)
+    b = simulate_elapsed(False, 300, 4, 0, seed=2, jitter=0.05)
+    assert a != b
+
+
+def test_minimum_stable_under_noise_large_n():
+    """At N=1200 the (6,6) minimum survives 5% channel jitter every seed."""
+    stats = noisy_minimum_stability(
+        False, 1200, configs=((6, 0), (6, 4), (6, 6)), jitter=0.05,
+        seeds=(1, 2, 3), iterations=5,
+    )
+    assert stats["mean_minimum"] == (6, 6)
+    assert stats["wins"][(6, 6)] == 3
+
+
+def test_stats_shapes():
+    stats = noisy_minimum_stability(
+        True, 300, configs=((2, 0), (6, 0)), jitter=0.05, seeds=(1, 2), iterations=3
+    )
+    assert set(stats["mean"]) == {(2, 0), (6, 0)}
+    assert all(len(v) == 2 for v in stats["samples"].values())
+    assert sum(stats["wins"].values()) == 2
+    for cfg in stats["mean"]:
+        assert stats["std"][cfg] >= 0

@@ -1,0 +1,49 @@
+"""Tests for the ASCII report renderer."""
+
+import pytest
+
+from repro.experiments.report import format_bar_chart, format_table
+
+
+def test_format_table_basic():
+    out = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]])
+    lines = out.splitlines()
+    assert lines[0].split("|")[0].strip() == "a"
+    assert "2.50" in out
+    assert "30" in out
+    assert set(lines[1]) <= {"-", "+"}
+
+
+def test_format_table_title():
+    out = format_table(["x"], [[1]], title="My Title")
+    assert out.splitlines()[0] == "My Title"
+
+
+def test_format_table_row_length_checked():
+    with pytest.raises(ValueError, match="cells"):
+        format_table(["a", "b"], [[1]])
+
+
+def test_format_table_widths_accommodate_long_cells():
+    out = format_table(["h"], [["very-long-cell-content"]])
+    header, rule, row = out.splitlines()
+    assert len(header) == len(rule) == len(row)
+
+
+def test_bar_chart_scales_and_marks():
+    out = format_bar_chart(["a", "b"], [10.0, 5.0], width=10, mark=0)
+    lines = out.splitlines()
+    assert lines[0].count("#") == 10
+    assert lines[1].count("#") == 5
+    assert lines[0].endswith("*")
+    assert not lines[1].endswith("*")
+
+
+def test_bar_chart_mismatched_lengths():
+    with pytest.raises(ValueError):
+        format_bar_chart(["a"], [1.0, 2.0])
+
+
+def test_bar_chart_zero_values():
+    out = format_bar_chart(["a"], [0.0])
+    assert "0.00" in out

@@ -1,0 +1,55 @@
+"""Tests for the speedup/efficiency experiment (E14)."""
+
+import pytest
+
+from repro.experiments import equivalent_processors, speedup_curve, speedup_report
+
+
+def test_equivalent_processors():
+    assert equivalent_processors(6, 0) == pytest.approx(6.0)
+    assert equivalent_processors(6, 6) == pytest.approx(9.0)
+    assert equivalent_processors(0, 6) == pytest.approx(3.0)
+
+
+def test_stencil_speedup_monotone_for_large_n():
+    points = speedup_curve("stencil", 1200, configs=((1, 0), (2, 0), (4, 0), (6, 0)), iterations=5)
+    speedups = [p.speedup for p in points]
+    assert speedups[0] == pytest.approx(1.0)
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > 4.5  # near-linear on 6 nodes at N=1200
+
+
+def test_stencil_efficiency_reasonable_on_full_network():
+    points = speedup_curve("stencil", 1200, configs=((6, 6),), iterations=5)
+    p = points[0]
+    assert p.equivalent == pytest.approx(9.0)
+    assert 0.6 < p.efficiency <= 1.05
+
+
+def test_overlap_improves_efficiency():
+    cfg = ((6, 6),)
+    plain = speedup_curve("stencil", 1200, configs=cfg, iterations=5)[0]
+    over = speedup_curve("stencil-overlap", 1200, configs=cfg, iterations=5)[0]
+    assert over.elapsed_ms < plain.elapsed_ms
+
+
+def test_gauss_efficiency_collapses():
+    """Bandwidth-limited broadcast: GE efficiency far below the stencil's."""
+    ge = speedup_curve("gauss", 384, configs=((6, 0),), iterations=1)[0]
+    st = speedup_curve("stencil", 1200, configs=((6, 0),), iterations=5)[0]
+    assert ge.efficiency < 0.5 * st.efficiency
+
+
+def test_nbody_speedup_positive():
+    points = speedup_curve("nbody", 240, configs=((1, 0), (4, 0)), iterations=1)
+    assert points[1].speedup > 1.5
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(ValueError, match="unknown app"):
+        speedup_curve("fft", 100)
+
+
+def test_report_renders():
+    text = speedup_report(cases=(("stencil", 300, 3),))
+    assert "E14" in text and "efficiency" in text

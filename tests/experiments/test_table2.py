@@ -1,0 +1,94 @@
+"""Tests for the Table 2 reproduction (E2) — the paper's headline claims."""
+
+import pytest
+
+from repro.experiments import reproduce_table2, table2_report
+from repro.experiments.paper import TABLE2_CONFIGS
+
+
+@pytest.fixture(scope="module")
+def repro():
+    return reproduce_table2()
+
+
+def cell(repro, variant, n, cfg):
+    return next(
+        c for c in repro.row(variant, n) if (c.p1, c.p2) == cfg
+    )
+
+
+def test_all_cells_simulated(repro):
+    assert len(repro.cells) == 2 * 4 * 7
+    assert all(c.elapsed_ms > 0 for c in repro.cells)
+
+
+def test_sten2_never_slower_than_sten1(repro):
+    """Overlap helps in every cell (the paper: 'STEN-2 outperforms STEN-1
+    for all problem sizes')."""
+    for n in (60, 300, 600, 1200):
+        for cfg in TABLE2_CONFIGS:
+            s1 = cell(repro, "STEN-1", n, cfg).elapsed_ms
+            s2 = cell(repro, "STEN-2", n, cfg).elapsed_ms
+            assert s2 <= s1 * 1.01, (n, cfg)
+
+
+def test_large_problems_use_more_processors(repro):
+    """At N=1200 elapsed decreases monotonically along the Sparc2 prefix and
+    the full 12-processor configuration wins."""
+    for variant in ("STEN-1", "STEN-2"):
+        row = {(c.p1, c.p2): c.elapsed_ms for c in repro.row(variant, 1200)}
+        assert row[(1, 0)] > row[(2, 0)] > row[(4, 0)] > row[(6, 0)]
+        assert min(row, key=row.get) == (6, 6)
+
+
+def test_small_problem_prefers_few_processors(repro):
+    """At N=60 the minimum stays within a handful of Sparc2s and adding
+    IPCs always hurts (granularity region B of Fig 3)."""
+    for variant in ("STEN-1", "STEN-2"):
+        row = {(c.p1, c.p2): c.elapsed_ms for c in repro.row(variant, 60)}
+        best = min(row, key=row.get)
+        assert best[1] == 0 and best[0] <= 4
+        assert row[(6, 2)] > row[(6, 0)]
+        assert row[(6, 6)] > row[(6, 0)]
+
+
+def test_prediction_matches_simulated_minimum_in_most_rows(repro):
+    """The paper's central claim, on our substrate: the partitioner's
+    predicted configuration is the measured minimum.  We require at least
+    6 of 8 rows (the misses are documented near-ties, see EXPERIMENTS.md).
+    """
+    assert repro.prediction_hits() >= 6, repro.prediction_hits()
+
+
+def test_predicted_config_is_always_near_optimal(repro):
+    """Even when the predicted column isn't the exact minimum, it is within
+    15% of it — mispredictions are ties, not blunders."""
+    for variant in ("STEN-1", "STEN-2"):
+        for n in (60, 300, 600, 1200):
+            row = repro.row(variant, n)
+            best = min(c.elapsed_ms for c in row)
+            predicted = next(c for c in row if c.predicted_minimum)
+            assert predicted.elapsed_ms <= best * 1.15, (variant, n)
+
+
+def test_elapsed_within_factor_two_of_paper(repro):
+    """Absolute magnitudes land near the paper's measurements (same era
+    parameters), not merely the same ordering."""
+    for c in repro.cells:
+        assert c.paper_elapsed_ms is not None
+        ratio = c.elapsed_ms / c.paper_elapsed_ms
+        assert 0.4 < ratio < 2.0, (c.variant, c.n, (c.p1, c.p2), ratio)
+
+
+def test_sequential_column_matches_paper_closely(repro):
+    """The 1-Sparc2 column is pure computation: it must be within 5%."""
+    for variant in ("STEN-1", "STEN-2"):
+        for n in (300, 600, 1200):
+            c = cell(repro, variant, n, (1, 0))
+            assert c.elapsed_ms == pytest.approx(c.paper_elapsed_ms, rel=0.05)
+
+
+def test_report_renders(repro):
+    text = table2_report(repro)
+    assert "STEN-1" in text and "*" in text and "!" in text
+    assert "paper" in text

@@ -1,0 +1,67 @@
+"""Tests for ProcessorSpec and Processor load/availability semantics."""
+
+import pytest
+
+from repro.hardware import Processor, ProcessorSpec
+from repro.hardware.presets import IPC, SPARC2
+
+
+def test_paper_instruction_rates():
+    assert SPARC2.fp_usec_per_op == pytest.approx(0.3)
+    assert IPC.fp_usec_per_op == pytest.approx(0.6)
+
+
+def test_relative_power_sparc2_vs_ipc():
+    # The paper: "the Sparc2's are about 2 times faster than the IPC's".
+    assert SPARC2.relative_power(IPC) == pytest.approx(2.0)
+    assert IPC.relative_power(SPARC2) == pytest.approx(0.5)
+
+
+def test_usec_per_op_kinds():
+    spec = ProcessorSpec("X", fp_usec_per_op=1.0, int_usec_per_op=0.25)
+    assert spec.usec_per_op("fp") == 1.0
+    assert spec.usec_per_op("int") == 0.25
+    with pytest.raises(ValueError):
+        spec.usec_per_op("vector")  # type: ignore[arg-type]
+
+
+def test_spec_rejects_nonpositive_rates():
+    with pytest.raises(ValueError):
+        ProcessorSpec("bad", fp_usec_per_op=0.0, int_usec_per_op=1.0)
+    with pytest.raises(ValueError):
+        ProcessorSpec("bad", fp_usec_per_op=1.0, int_usec_per_op=-1.0)
+
+
+def test_compute_time_matches_eq4_core():
+    proc = Processor(proc_id=0, spec=SPARC2)
+    # 5N ops on N=1200 with A_i=171 rows: 0.3us * 5*1200 * 171 = 307.8 ms
+    ops = 5 * 1200 * 171
+    assert proc.compute_time_ms(ops) == pytest.approx(307.8)
+
+
+def test_load_threshold_availability():
+    proc = Processor(proc_id=1, spec=IPC, load=0.03)
+    assert proc.is_available(threshold=0.05)
+    proc.set_load(0.5)
+    assert not proc.is_available(threshold=0.05)
+
+
+def test_load_bounds_enforced():
+    with pytest.raises(ValueError):
+        Processor(proc_id=0, spec=SPARC2, load=1.0)
+    proc = Processor(proc_id=0, spec=SPARC2)
+    with pytest.raises(ValueError):
+        proc.set_load(-0.1)
+
+
+def test_load_adjusted_speed():
+    proc = Processor(proc_id=0, spec=SPARC2, load=0.5)
+    # Paper's general case: rate adjusted to reflect current load.
+    assert proc.effective_usec_per_op(load_adjusted=True) == pytest.approx(0.6)
+    # The simplified model ignores load for available processors.
+    assert proc.effective_usec_per_op(load_adjusted=False) == pytest.approx(0.3)
+
+
+def test_compute_time_zero_ops():
+    proc = Processor(proc_id=0, spec=SPARC2)
+    assert proc.compute_time_ms(0) == 0.0

@@ -1,0 +1,155 @@
+"""Tests for multi-hop routing fabrics (relaxed §3 one-hop assumption)."""
+
+import pytest
+
+from repro.errors import NetworkModelError
+from repro.hardware import HeterogeneousNetwork, RouterParams
+from repro.hardware.presets import ETHERNET_10MBPS, IPC, SPARC2, SUN3
+from repro.hardware.routing import Route
+
+
+def chain_network():
+    """a -[r1]- b -[r2]- c : two hops between a and c."""
+    net = HeterogeneousNetwork(ethernet=ETHERNET_10MBPS, auto_router=False)
+    net.add_cluster("a", SPARC2, 2)
+    net.add_cluster("b", IPC, 2)
+    net.add_cluster("c", SUN3, 2)
+    net.add_router("r1", RouterParams(per_byte_ms=0.0008, per_frame_ms=0.5))
+    net.add_router("r2", RouterParams(per_byte_ms=0.0008, per_frame_ms=0.5))
+    net.connect("r1", "a")
+    net.connect("r1", "b")
+    net.connect("r2", "b")
+    net.connect("r2", "c")
+    return net
+
+
+def test_auto_router_routes_are_one_hop():
+    from repro.hardware.presets import paper_testbed
+
+    net = paper_testbed()
+    route = net.fabric.route("segment:sparc2", "segment:ipc")
+    assert route.hops == 1
+    assert net.fabric.max_hops() == 1
+
+
+def test_same_segment_route_is_direct():
+    from repro.hardware.presets import paper_testbed
+
+    net = paper_testbed()
+    route = net.fabric.route("segment:sparc2", "segment:sparc2")
+    assert route.hops == 0
+    assert len(route.segments) == 1
+
+
+def test_chain_fabric_two_hops():
+    net = chain_network()
+    route = net.fabric.route("segment:a", "segment:c")
+    assert route.hops == 2
+    assert [r.name for r in route.routers] == ["r1", "r2"]
+    assert net.fabric.max_hops() == 2
+
+
+def test_strict_validation_rejects_multi_hop():
+    net = chain_network()
+    with pytest.raises(NetworkModelError, match="one router hop"):
+        net.validate(strict=True)
+    net.validate(strict=False)  # metasystem mode accepts it
+
+
+def test_disconnected_fabric_rejected():
+    net = HeterogeneousNetwork(ethernet=ETHERNET_10MBPS, auto_router=False)
+    net.add_cluster("a", SPARC2, 2)
+    net.add_cluster("b", IPC, 2)
+    net.add_router("r1")
+    net.connect("r1", "a")  # b left unconnected
+    with pytest.raises(NetworkModelError, match="no route"):
+        net.validate(strict=False)
+
+
+def test_two_hop_transfer_pays_both_routers():
+    net = chain_network()
+    src = net.cluster("a").processors[0]
+    dst = net.cluster("c").processors[0]
+
+    def body():
+        yield from net.transfer_frame(src, dst, 1000)
+        return net.sim.now
+
+    elapsed = net.sim.run_process(body())
+    frame = net.cluster("a").segment.params.frame_time_ms(1000)
+    router_delay = 0.5 + 0.0008 * 1000
+    expected = 3 * frame + 2 * router_delay  # three segments, two forwards
+    assert elapsed == pytest.approx(expected)
+    routers = net.fabric.routers
+    assert routers["r1"].frames_forwarded == 1
+    assert routers["r2"].frames_forwarded == 1
+
+
+def test_one_hop_transfer_unchanged_on_chain():
+    net = chain_network()
+    src = net.cluster("a").processors[0]
+    dst = net.cluster("b").processors[0]
+
+    def body():
+        yield from net.transfer_frame(src, dst, 500)
+        return net.sim.now
+
+    elapsed = net.sim.run_process(body())
+    frame = net.cluster("a").segment.params.frame_time_ms(500)
+    assert elapsed == pytest.approx(2 * frame + 0.5 + 0.0008 * 500)
+
+
+def test_messages_cross_two_hops_end_to_end():
+    from repro.mmps import MMPS
+
+    net = chain_network()
+    mmps = MMPS(net)
+    a = mmps.endpoint(net.cluster("a").processors[0])
+    c = mmps.endpoint(net.cluster("c").processors[0])
+
+    def driver():
+        done = net.sim.process(c.recv())
+        yield from a.send(c.proc, 5000, payload="far away")
+        msg = yield done
+        return msg.payload
+
+    assert net.sim.run_process(driver()) == "far away"
+
+
+def test_path_mtu_minimum_over_route():
+    from repro.hardware import EthernetParams
+
+    net = HeterogeneousNetwork(auto_router=False)
+    net.add_cluster("fat", SPARC2, 2, ethernet=EthernetParams(mtu_bytes=4000))
+    net.add_cluster("thin", IPC, 2, ethernet=EthernetParams(mtu_bytes=576))
+    net.add_cluster("mid", SUN3, 2, ethernet=EthernetParams(mtu_bytes=1472))
+    net.add_router("r1")
+    net.add_router("r2")
+    net.connect("r1", "fat")
+    net.connect("r1", "thin")
+    net.connect("r2", "thin")
+    net.connect("r2", "mid")
+    src = net.cluster("fat").processors[0]
+    dst = net.cluster("mid").processors[0]
+    # fat -> thin -> mid: the 576-byte middle segment bounds the path.
+    assert net.path_mtu(src, dst) == 576
+
+
+def test_route_shape_validated():
+    from repro.hardware.segment import EthernetSegment
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    seg = EthernetSegment(sim, "s")
+    with pytest.raises(NetworkModelError, match="shape"):
+        Route([seg], [object()])  # type: ignore[list-item]
+
+
+def test_unknown_names_rejected():
+    net = chain_network()
+    with pytest.raises(NetworkModelError, match="unknown router"):
+        net.fabric.connect("r9", "segment:a")
+    with pytest.raises(NetworkModelError, match="unknown segment"):
+        net.fabric.connect("r1", "segment:zzz")
+    with pytest.raises(NetworkModelError, match="unknown segment"):
+        net.fabric.route("segment:a", "segment:zzz")

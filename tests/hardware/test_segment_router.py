@@ -1,0 +1,193 @@
+"""Tests for the ethernet segment contention model and router forwarding."""
+
+import pytest
+
+from repro.hardware import EthernetParams, EthernetSegment, Router, RouterParams
+from repro.sim import Simulator
+
+
+def make_segment(sim, **overrides):
+    params = EthernetParams(**overrides) if overrides else EthernetParams()
+    return EthernetSegment(sim, "seg", params=params)
+
+
+def test_frame_time_formula():
+    p = EthernetParams(
+        bandwidth_bps=10_000_000.0,
+        mtu_bytes=1472,
+        frame_overhead_bytes=58,
+        acquisition_latency_ms=0.005,
+    )
+    # 1000 + 58 bytes at 10 Mb/s = 1058*8/10e6 s = 0.8464 ms + 0.005 acquisition
+    assert p.frame_time_ms(1000) == pytest.approx(0.8514)
+
+
+def test_frame_larger_than_mtu_rejected():
+    p = EthernetParams()
+    with pytest.raises(ValueError, match="MTU"):
+        p.frame_time_ms(p.mtu_bytes + 1)
+
+
+def test_single_frame_transit_time():
+    sim = Simulator()
+    seg = make_segment(sim)
+
+    def body():
+        yield from seg.transmit_frame(1000)
+        return sim.now
+
+    elapsed = sim.run_process(body())
+    assert elapsed == pytest.approx(seg.params.frame_time_ms(1000))
+    assert seg.frames_carried == 1
+    assert seg.bytes_carried == 1000
+
+
+def test_contention_serializes_linearly_in_p():
+    """p stations offering one frame each: last delivery ≈ p * frame_time."""
+    sim = Simulator()
+    seg = make_segment(sim)
+    frame = seg.params.frame_time_ms(500)
+    done = []
+
+    def station():
+        yield from seg.transmit_frame(500)
+        done.append(sim.now)
+
+    p = 8
+    for _ in range(p):
+        sim.process(station())
+    sim.run()
+    assert done[-1] == pytest.approx(p * frame)
+    # Queueing delays step linearly: k-th finisher at k*frame.
+    for k, t in enumerate(done, start=1):
+        assert t == pytest.approx(k * frame)
+
+
+def test_busy_time_accounts_channel_occupancy():
+    sim = Simulator()
+    seg = make_segment(sim)
+
+    def station(n):
+        for _ in range(n):
+            yield from seg.transmit_frame(100)
+
+    sim.process(station(3))
+    sim.run()
+    assert seg.busy_time_ms == pytest.approx(3 * seg.params.frame_time_ms(100))
+
+
+def test_jitter_requires_rng_and_perturbs_times():
+    import numpy as np
+
+    sim = Simulator()
+    params = EthernetParams(jitter=0.2)
+    seg = EthernetSegment(sim, "j", params=params, rng=np.random.default_rng(0))
+    times = []
+
+    def station():
+        start = sim.now
+        yield from seg.transmit_frame(1000)
+        times.append(sim.now - start)
+
+    def serial():
+        for _ in range(20):
+            yield from seg.transmit_frame(1000)
+            times.append(0.0)
+
+    # Run 20 sequential frames; with jitter busy_time differs from exact.
+    sim.run_process(serial())
+    exact = 20 * params.frame_time_ms(1000)
+    assert seg.busy_time_ms != pytest.approx(exact)
+    # But stays within a sane envelope.
+    assert 0.5 * exact < seg.busy_time_ms < 1.5 * exact
+
+
+def test_ethernet_params_validation():
+    with pytest.raises(ValueError):
+        EthernetParams(bandwidth_bps=0)
+    with pytest.raises(ValueError):
+        EthernetParams(mtu_bytes=0)
+    with pytest.raises(ValueError):
+        EthernetParams(jitter=1.5)
+
+
+def test_router_forward_delay_is_per_byte():
+    p = RouterParams(per_byte_ms=0.0006, per_frame_ms=0.05)
+    assert p.forward_delay_ms(1000) == pytest.approx(0.65)
+    assert p.forward_delay_ms(0) == pytest.approx(0.05)
+
+
+def test_router_forwards_onto_destination_segment():
+    sim = Simulator()
+    seg_a = EthernetSegment(sim, "A")
+    seg_b = EthernetSegment(sim, "B")
+    router = Router(sim, params=RouterParams(per_byte_ms=0.001, per_frame_ms=0.1))
+    router.attach(seg_a)
+    router.attach(seg_b)
+    assert router.connects("A", "B")
+    assert not router.connects("A", "A")
+
+    def body():
+        yield from seg_a.transmit_frame(400)
+        yield from router.forward_frame(400, "B")
+        return sim.now
+
+    elapsed = sim.run_process(body())
+    expected = (
+        seg_a.params.frame_time_ms(400)
+        + 0.1
+        + 0.001 * 400
+        + seg_b.params.frame_time_ms(400)
+    )
+    assert elapsed == pytest.approx(expected)
+    assert router.frames_forwarded == 1
+    assert seg_b.frames_carried == 1
+
+
+def test_router_contends_as_extra_station():
+    """Forwarded frames queue behind local traffic on the destination segment."""
+    sim = Simulator()
+    seg_a = EthernetSegment(sim, "A")
+    seg_b = EthernetSegment(sim, "B")
+    router = Router(sim, params=RouterParams(per_byte_ms=0.0, per_frame_ms=0.0))
+    router.attach(seg_a)
+    router.attach(seg_b)
+    frame = seg_b.params.frame_time_ms(1000)
+    deliveries = []
+
+    def local_station():
+        yield from seg_b.transmit_frame(1000)
+        deliveries.append(("local", sim.now))
+
+    def crossing():
+        yield from seg_a.transmit_frame(1000)
+        yield from router.forward_frame(1000, "B")
+        deliveries.append(("crossed", sim.now))
+
+    sim.process(local_station())
+    sim.process(crossing())
+    sim.run()
+    # The crossing frame arrives on B after A-transit, then queues behind
+    # whatever B is carrying.
+    tags = dict(deliveries)
+    assert tags["crossed"] >= 2 * frame  # A transit + B transit at minimum
+
+
+def test_router_unknown_segment_raises():
+    sim = Simulator()
+    router = Router(sim)
+
+    def body():
+        yield from router.forward_frame(10, "nowhere")
+
+    with pytest.raises(ValueError, match="not attached"):
+        sim.run_process(body())
+
+
+def test_router_duplicate_attach_rejected():
+    sim = Simulator()
+    seg = EthernetSegment(sim, "A")
+    router = Router(sim)
+    router.attach(seg)
+    with pytest.raises(ValueError):
+        router.attach(seg)

@@ -1,0 +1,141 @@
+"""Failure/noise injection: loss, jitter, and stragglers end to end."""
+
+import pytest
+
+from repro.apps.stencil import run_stencil
+from repro.benchmarking import Workbench, fit_comm_cost, sweep_cluster
+from repro.hardware.presets import (
+    ETHERNET_10MBPS,
+    IPC,
+    PAPER_ROUTER,
+    SPARC2,
+    paper_testbed,
+)
+from repro.hardware import EthernetParams, HeterogeneousNetwork
+from repro.mmps import MMPS
+from repro.model import PartitionVector
+from repro.partition import balanced_partition_vector
+from repro.spmd import Topology
+
+
+def jittery_testbed(jitter=0.05, seed=0):
+    params = EthernetParams(
+        bandwidth_bps=ETHERNET_10MBPS.bandwidth_bps,
+        mtu_bytes=ETHERNET_10MBPS.mtu_bytes,
+        frame_overhead_bytes=ETHERNET_10MBPS.frame_overhead_bytes,
+        acquisition_latency_ms=ETHERNET_10MBPS.acquisition_latency_ms,
+        jitter=jitter,
+    )
+    net = HeterogeneousNetwork(seed=seed, ethernet=params, router_params=PAPER_ROUTER)
+    net.add_cluster("sparc2", SPARC2, 6)
+    net.add_cluster("ipc", IPC, 6)
+    net.validate()
+    return net
+
+
+def test_stencil_completes_under_packet_loss():
+    """MMPS reliability keeps the application correct under 10% loss."""
+    net = paper_testbed(seed=5)
+    mmps = MMPS(net, loss_rate=0.10)
+    procs = list(net.cluster("sparc2"))[:4]
+    vec = PartitionVector([75] * 4)
+    result = run_stencil(mmps, procs, vec, 300, iterations=10)
+    assert result.elapsed_ms > 0
+    # Loss costs time relative to the clean run.
+    clean_net = paper_testbed(seed=5)
+    clean = run_stencil(
+        MMPS(clean_net),
+        list(clean_net.cluster("sparc2"))[:4],
+        PartitionVector([75] * 4),
+        300,
+        iterations=10,
+    )
+    assert result.elapsed_ms > clean.elapsed_ms
+
+
+def test_numeric_correctness_survives_loss():
+    import numpy as np
+
+    from repro.apps.stencil import sequential_stencil
+
+    n = 24
+    grid = np.random.default_rng(1).random((n, n))
+    net = paper_testbed(seed=9)
+    mmps = MMPS(net, loss_rate=0.15)
+    procs = list(net.cluster("sparc2"))[:3]
+    result = run_stencil(
+        mmps, procs, PartitionVector([8, 8, 8]), n, iterations=4, initial_grid=grid
+    )
+    np.testing.assert_allclose(result.grid, sequential_stencil(grid, 4), rtol=1e-12)
+
+
+def test_eq1_fit_quality_degrades_gracefully_under_jitter():
+    """With 5% channel jitter the Eq 1 fit stays strong (the paper's
+    'average case... fairly accurate' claim under UDP nondeterminism)."""
+    wb = Workbench(lambda: jittery_testbed(jitter=0.05))
+    samples = sweep_cluster(
+        wb, "sparc2", Topology.ONE_D, (2, 3, 4, 6), (240, 1200, 2400, 4800), cycles=4
+    )
+    fn = fit_comm_cost("sparc2", "1-D", [(s.p, s.b, s.t_ms) for s in samples])
+    assert fn.r_squared > 0.97
+
+
+def test_jitter_changes_timings_but_not_results():
+    net = jittery_testbed(jitter=0.08, seed=2)
+    mmps = MMPS(net)
+    procs = list(net.cluster("sparc2"))[:4]
+    r1 = run_stencil(mmps, procs, PartitionVector([75] * 4), 300, iterations=5)
+    clean_net = paper_testbed(seed=2)
+    r2 = run_stencil(
+        MMPS(clean_net),
+        list(clean_net.cluster("sparc2"))[:4],
+        PartitionVector([75] * 4),
+        300,
+        iterations=5,
+    )
+    assert r1.elapsed_ms != pytest.approx(r2.elapsed_ms, rel=1e-6)
+    assert r1.elapsed_ms == pytest.approx(r2.elapsed_ms, rel=0.2)
+
+
+def test_straggler_gates_the_synchronous_computation():
+    """One loaded node slows *everyone* (the synchronous-cycle property)."""
+    net = paper_testbed()
+    net.processor(3).set_load(0.5)
+    mmps = MMPS(net)
+    procs = list(net.cluster("sparc2"))[:4]
+    vec = PartitionVector([75] * 4)
+    slow = run_stencil(mmps, procs, vec, 300, iterations=10)
+
+    clean_net = paper_testbed()
+    fast = run_stencil(
+        MMPS(clean_net),
+        list(clean_net.cluster("sparc2"))[:4],
+        PartitionVector([75] * 4),
+        300,
+        iterations=10,
+    )
+    # The straggler's 2x slowdown gates the whole run (~75 rows at 2x).
+    assert slow.elapsed_ms > fast.elapsed_ms * 1.5
+
+
+def test_load_aware_vector_recovers_straggler_loss():
+    """Giving the loaded node proportionally fewer rows (Eq 3 with the
+    effective rate) recovers most of the gated time."""
+    net = paper_testbed()
+    net.processor(3).set_load(0.5)
+    mmps = MMPS(net)
+    procs = list(net.cluster("sparc2"))[:4]
+    rates = [0.3, 0.3, 0.3, 0.6]  # node 3 at half speed
+    vec = balanced_partition_vector(rates, 300)
+    aware = run_stencil(mmps, procs, vec, 300, iterations=10)
+
+    naive_net = paper_testbed()
+    naive_net.processor(3).set_load(0.5)
+    naive = run_stencil(
+        MMPS(naive_net),
+        list(naive_net.cluster("sparc2"))[:4],
+        PartitionVector([75] * 4),
+        300,
+        iterations=10,
+    )
+    assert aware.elapsed_ms < naive.elapsed_ms * 0.85

@@ -1,0 +1,133 @@
+"""Integration tests: the whole pipeline, end to end, across subsystems."""
+
+import pytest
+
+from repro.apps.stencil import run_stencil, stencil_computation
+from repro.benchmarking import CostDatabase, Workbench, build_cost_database
+from repro.hardware.presets import paper_testbed
+from repro.mmps import MMPS
+from repro.partition import gather_available_resources, partition
+from repro.spmd import Topology
+
+
+@pytest.fixture(scope="module")
+def db():
+    workbench = Workbench(lambda: paper_testbed())
+    return build_cost_database(
+        workbench,
+        clusters=["sparc2", "ipc"],
+        topologies=[Topology.ONE_D],
+        p_values=(2, 3, 4, 6),
+        b_values=(240, 1200, 2400, 4800),
+        cycles=3,
+    )
+
+
+def simulate_decision(decision, n, overlap, iterations=10):
+    net = paper_testbed()
+    mmps = MMPS(net)
+    procs = [net.processor(p.proc_id) for p in decision.config.processors()]
+    return run_stencil(
+        mmps, procs, decision.vector, n, iterations=iterations, overlap=overlap
+    ).elapsed_ms
+
+
+@pytest.mark.parametrize("n", [300, 600, 1200])
+def test_benchmark_fit_partition_simulate_roundtrip(db, n):
+    """Fit on the substrate, partition with the fit, execute on the
+    substrate: the estimate must predict the simulated per-cycle time
+    within 35%."""
+    net = paper_testbed()
+    resources = gather_available_resources(net)
+    comp = stencil_computation(n, overlap=False, cycles=10)
+    decision = partition(comp, resources, db)
+    elapsed = simulate_decision(decision, n, overlap=False)
+    predicted = decision.t_elapsed_ms
+    assert predicted == pytest.approx(elapsed, rel=0.35), (predicted, elapsed)
+
+
+def test_decision_beats_every_smaller_prefix(db):
+    """The chosen configuration's simulated time beats leaving processors
+    out (for a large problem where parallelism pays)."""
+    n = 1200
+    net = paper_testbed()
+    resources = gather_available_resources(net)
+    comp = stencil_computation(n, overlap=False, cycles=10)
+    decision = partition(comp, resources, db)
+    chosen_ms = simulate_decision(decision, n, overlap=False)
+
+    from repro.partition import CycleEstimator, ProcessorConfiguration, order_by_power
+
+    ordered = order_by_power(resources)
+    est = CycleEstimator(comp, db)
+    for counts in [(2, 0), (4, 0), (6, 0)]:
+        cfg = ProcessorConfiguration(ordered, counts)
+        alt = type(decision)(
+            config=cfg,
+            vector=est.partition_vector(cfg),
+            estimate=est.estimate(cfg),
+            t_elapsed_ms=est.t_elapsed(cfg),
+            evaluations=0,
+            method="manual",
+        )
+        assert chosen_ms < simulate_decision(alt, n, overlap=False)
+
+
+def test_cost_database_survives_serialization_roundtrip(db):
+    """Partitioning with a JSON-round-tripped database is identical."""
+    restored = CostDatabase.from_json(db.to_json())
+    net = paper_testbed()
+    resources = gather_available_resources(net)
+    for n in (300, 1200):
+        comp = stencil_computation(n, overlap=True)
+        a = partition(comp, resources, db)
+        b = partition(comp, resources, restored)
+        assert a.counts_by_name() == b.counts_by_name()
+        assert a.t_cycle_ms == pytest.approx(b.t_cycle_ms)
+
+
+def test_two_d_topology_fits_and_partitions():
+    """The 2-D exchange pattern also fits Eq 1 and drives decisions."""
+    workbench = Workbench(lambda: paper_testbed())
+    db2 = build_cost_database(
+        workbench,
+        clusters=["sparc2", "ipc"],
+        topologies=[Topology.TWO_D],
+        p_values=(2, 4, 6),
+        b_values=(240, 1200, 2400),
+        cycles=3,
+    )
+    fn = db2.comm[("sparc2", "2-D")]
+    assert fn.r_squared > 0.93
+    # A synthetic 2-D-communication program partitions without error.
+    from repro.model import CommunicationPhase, ComputationPhase, DataParallelComputation
+    from repro.partition import gather_available_resources, partition
+
+    comp = DataParallelComputation(
+        name="grid2d",
+        problem=None,
+        num_pdus=900,
+        computation_phases=[ComputationPhase("update", complexity=120)],
+        communication_phases=[
+            CommunicationPhase("halo", Topology.TWO_D, complexity=960)
+        ],
+        cycles=10,
+    )
+    net = paper_testbed()
+    decision = partition(comp, gather_available_resources(net), db2)
+    assert decision.config.total >= 1
+
+
+def test_ring_and_tree_topologies_fit():
+    workbench = Workbench(lambda: paper_testbed())
+    db_rt = build_cost_database(
+        workbench,
+        clusters=["sparc2"],
+        topologies=[Topology.RING, Topology.TREE],
+        p_values=(2, 3, 4, 6),
+        b_values=(240, 1200, 2400),
+        cycles=3,
+        include_router=False,
+    )
+    assert db_rt.comm[("sparc2", "ring")].r_squared > 0.93
+    assert db_rt.comm[("sparc2", "tree")].r_squared > 0.93

@@ -1,0 +1,49 @@
+"""Physical verification of the §6 placement claim via the tracer.
+
+The paper: with contiguous placement "only one task in each cluster needs
+to communicate across the router".  We count actual router forwards on the
+simulated wire and check the claim — and its violation under interleaving.
+"""
+
+from repro.apps.stencil import run_stencil
+from repro.hardware.presets import paper_testbed
+from repro.mmps import MMPS
+from repro.partition import balanced_partition_vector
+from repro.spmd import interleaved_placement
+
+
+def router_forwards(placement_strategy, iterations=4):
+    net = paper_testbed(trace=True)
+    mmps = MMPS(net)
+    procs = list(net.cluster("sparc2")) + list(net.cluster("ipc"))
+    if placement_strategy is not None:
+        procs = placement_strategy(procs)
+    rates = [p.spec.fp_usec_per_op for p in procs]
+    vec = balanced_partition_vector(rates, 240)
+    run_stencil(mmps, procs, vec, 240, iterations=iterations)
+    return len(list(net.tracer.by_category("router"))), net
+
+
+def test_contiguous_placement_one_crossing_pair():
+    """Exactly one neighbour pair crosses: 2 messages/iteration, 1 frame
+    each at this size, plus their acks -> 4 forwards per iteration."""
+    forwards, net = router_forwards(None, iterations=4)
+    # 2 data frames + 2 ack frames per iteration.
+    assert forwards == 4 * 4
+    assert net.router.frames_forwarded == forwards
+
+
+def test_interleaved_placement_floods_the_router():
+    contiguous, _ = router_forwards(None, iterations=4)
+    interleaved, _ = router_forwards(interleaved_placement, iterations=4)
+    # 11 crossing pairs instead of 1.
+    assert interleaved == 11 * contiguous
+
+
+def test_single_cluster_never_touches_router():
+    net = paper_testbed(trace=True)
+    mmps = MMPS(net)
+    procs = list(net.cluster("sparc2"))
+    vec = balanced_partition_vector([0.3] * 6, 240)
+    run_stencil(mmps, procs, vec, 240, iterations=3)
+    assert net.router.frames_forwarded == 0

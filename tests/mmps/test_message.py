@@ -1,0 +1,76 @@
+"""Tests for Message/Datagram value types and fragmentation."""
+
+import pytest
+
+from repro.hardware.presets import paper_testbed
+from repro.mmps import MMPS, Datagram, Message
+
+
+def test_message_ids_unique_and_increasing():
+    a = Message(src=0, dst=1, nbytes=10)
+    b = Message(src=0, dst=1, nbytes=10)
+    assert b.msg_id > a.msg_id
+
+
+def test_message_rejects_negative_size():
+    with pytest.raises(ValueError):
+        Message(src=0, dst=1, nbytes=-1)
+
+
+def test_datagram_fragment_indices_validated():
+    with pytest.raises(ValueError):
+        Datagram(msg_id=1, src=0, dst=1, frag_index=2, frag_count=2, nbytes=10)
+    with pytest.raises(ValueError):
+        Datagram(msg_id=1, src=0, dst=1, frag_index=0, frag_count=0, nbytes=10)
+
+
+def _fragments(nbytes):
+    net = paper_testbed()
+    mmps = MMPS(net)
+    ep = mmps.endpoint(net.processor(0))
+    msg = ep._make_message(net.processor(1), nbytes, "", None)
+    return ep._fragments(msg), net
+
+
+def test_small_message_single_fragment():
+    frags, _ = _fragments(100)
+    assert len(frags) == 1
+    assert frags[0].nbytes == 100
+    assert frags[0].message is not None
+
+
+def test_zero_byte_message_single_fragment():
+    frags, _ = _fragments(0)
+    assert len(frags) == 1
+    assert frags[0].nbytes == 0
+
+
+def test_exact_mtu_single_fragment():
+    from repro.mmps import MMPS_HEADER_BYTES
+
+    net = paper_testbed()
+    from repro.mmps import MMPS
+
+    mmps = MMPS(net)
+    mtu = mmps.mtu_bytes(net.processor(0))
+    assert mtu == net.cluster("sparc2").segment.params.mtu_bytes - MMPS_HEADER_BYTES
+    frags, _ = _fragments(mtu)
+    assert len(frags) == 1
+
+
+def test_large_message_fragments_to_mtu():
+    frags, net = _fragments(4800)  # the paper's b at N=1200
+    from repro.mmps import MMPS
+
+    mtu = MMPS(net).mtu_bytes(net.processor(0))
+    assert [f.nbytes for f in frags] == [mtu, mtu, mtu, 4800 - 3 * mtu]
+    assert [f.frag_index for f in frags] == [0, 1, 2, 3]
+    assert all(f.frag_count == 4 for f in frags)
+    # Only the final fragment carries the message for reassembly delivery.
+    assert [f.message is not None for f in frags] == [False, False, False, True]
+
+
+def test_fragment_sizes_sum_to_message():
+    for nbytes in (0, 1, 1471, 1472, 1473, 10_000):
+        frags, _ = _fragments(nbytes)
+        assert sum(f.nbytes for f in frags) == nbytes

@@ -1,0 +1,235 @@
+"""End-to-end MMPS tests: delivery, costs, selectivity, async overlap."""
+
+import pytest
+
+from repro.hardware import HeterogeneousNetwork
+from repro.hardware.presets import ETHERNET_10MBPS, I860, IPC, SPARC2, paper_testbed
+from repro.mmps import MMPS, CoercionPolicy, HostCostParams
+
+
+def setup_pair():
+    net = paper_testbed()
+    mmps = MMPS(net)
+    a = mmps.endpoint(net.processor(0))
+    b = mmps.endpoint(net.processor(1))
+    return net, mmps, a, b
+
+
+def test_send_recv_roundtrip_delivers_payload():
+    net, mmps, a, b = setup_pair()
+
+    def sender():
+        yield from a.send(b.proc, 100, tag="hello", payload={"x": 1})
+
+    def receiver():
+        msg = yield from b.recv()
+        return msg
+
+    net.sim.process(sender())
+    msg = net.sim.run_process(receiver())
+    assert msg.payload == {"x": 1}
+    assert msg.tag == "hello"
+    assert msg.nbytes == 100
+    assert a.stats.messages_sent == 1
+    assert b.stats.messages_received == 1
+
+
+def test_recv_blocks_until_message_arrives():
+    net, mmps, a, b = setup_pair()
+
+    def sender():
+        yield net.sim.timeout(10.0)
+        yield from a.send(b.proc, 50)
+
+    def receiver():
+        yield from b.recv()
+        return net.sim.now
+
+    net.sim.process(sender())
+    arrived = net.sim.run_process(receiver())
+    assert arrived > 10.0
+
+
+def test_selective_recv_by_source():
+    net = paper_testbed()
+    mmps = MMPS(net)
+    a = mmps.endpoint(net.processor(0))
+    b = mmps.endpoint(net.processor(1))
+    c = mmps.endpoint(net.processor(2))
+
+    def send_from(ep, tag):
+        yield from ep.send(c.proc, 10, tag=tag)
+
+    def receiver():
+        # b's message is sent first but we ask for a's.
+        msg1 = yield from c.recv(src=a.proc)
+        msg2 = yield from c.recv()
+        return msg1.tag, msg2.tag
+
+    def driver():
+        yield net.sim.process(send_from(b, "from_b"))
+        yield net.sim.process(send_from(a, "from_a"))
+        result = yield net.sim.process(receiver())
+        return result
+
+    assert net.sim.run_process(driver()) == ("from_a", "from_b")
+
+
+def test_selective_recv_by_tag():
+    net, mmps, a, b = setup_pair()
+
+    def sender():
+        yield from a.send(b.proc, 10, tag="south")
+        yield from a.send(b.proc, 10, tag="north")
+
+    def receiver():
+        north = yield from b.recv(tag="north")
+        south = yield from b.recv(tag="south")
+        return north.tag, south.tag
+
+    net.sim.process(sender())
+    assert net.sim.run_process(receiver()) == ("north", "south")
+
+
+def test_intra_cluster_faster_than_cross_router():
+    net = paper_testbed()
+    mmps = MMPS(net)
+    src = mmps.endpoint(net.processor(0))
+    same = mmps.endpoint(net.processor(1))
+    other = mmps.endpoint(net.processor(6))
+
+    def timed_transfer(dst_ep):
+        start = net.sim.now
+        done = net.sim.process(dst_ep.recv())
+        yield from src.send(dst_ep.proc, 1000)
+        yield done
+        return net.sim.now - start
+
+    def driver():
+        t_same = yield net.sim.process(timed_transfer(same))
+        t_other = yield net.sim.process(timed_transfer(other))
+        return t_same, t_other
+
+    t_same, t_other = net.sim.run_process(driver())
+    assert t_other > t_same
+
+
+def test_ipc_hosts_pay_more_cpu_than_sparc2():
+    costs = HostCostParams()
+    assert costs.send_cost_ms(IPC, 1000, 1) > costs.send_cost_ms(SPARC2, 1000, 1)
+    assert costs.recv_cost_ms(IPC, 1000, 1) > costs.recv_cost_ms(SPARC2, 1000, 1)
+
+
+def test_coercion_applies_only_across_formats():
+    policy = CoercionPolicy(usec_per_byte=0.5)
+    assert policy.cost_ms("xdr-be", SPARC2, 1000) == 0.0
+    assert policy.cost_ms("ieee-le", SPARC2, 1000) == pytest.approx(0.5)
+
+
+def test_cross_format_recv_pays_coercion():
+    net = HeterogeneousNetwork(ethernet=ETHERNET_10MBPS)
+    net.add_cluster("sparc", SPARC2, 2)
+    net.add_cluster("i860", I860, 2)
+    net.validate()
+    mmps = MMPS(net)
+    src = mmps.endpoint(net.processor(0))   # xdr-be
+    dst = mmps.endpoint(net.processor(2))   # ieee-le
+
+    nbytes = 2000
+
+    def driver():
+        done = net.sim.process(dst.recv())
+        yield from src.send(dst.proc, nbytes)
+        yield done
+        return net.sim.now
+
+    t_coerced = net.sim.run_process(driver())
+
+    # Same transfer with coercion disabled must be cheaper by exactly the fee.
+    net2 = HeterogeneousNetwork(ethernet=ETHERNET_10MBPS)
+    net2.add_cluster("sparc", SPARC2, 2)
+    net2.add_cluster("i860", I860, 2)
+    net2.validate()
+    mmps2 = MMPS(net2, coercion=CoercionPolicy(usec_per_byte=0.0))
+    src2 = mmps2.endpoint(net2.processor(0))
+    dst2 = mmps2.endpoint(net2.processor(2))
+
+    def driver2():
+        done = net2.sim.process(dst2.recv())
+        yield from src2.send(dst2.proc, nbytes)
+        yield done
+        return net2.sim.now
+
+    t_plain = net2.sim.run_process(driver2())
+    expected_fee = mmps.coercion.cost_ms("xdr-be", I860, nbytes)
+    assert t_coerced - t_plain == pytest.approx(expected_fee)
+
+
+def test_isend_overlaps_with_computation():
+    """Async init cost is much smaller than the full blocking send."""
+    net, mmps, a, b = setup_pair()
+    nbytes = 4800
+
+    def async_sender():
+        done = yield from a.isend(b.proc, nbytes)
+        t_after_init = net.sim.now
+        yield done
+        return t_after_init
+
+    def receiver():
+        yield from b.recv()
+
+    net.sim.process(receiver())
+    t_init = net.sim.run_process(async_sender())
+    sync_cost = mmps.host_costs.send_cost_ms(SPARC2, nbytes, 4)
+    assert t_init < sync_cost  # initiation returned before a sync send would
+
+
+def test_large_message_fragments_and_reassembles():
+    net, mmps, a, b = setup_pair()
+    nbytes = 10_000
+
+    def driver():
+        done = net.sim.process(b.recv())
+        yield from a.send(b.proc, nbytes)
+        msg = yield done
+        return msg
+
+    msg = net.sim.run_process(driver())
+    assert msg.nbytes == nbytes
+    assert a.stats.datagrams_sent >= 7  # ceil(10000/1472) = 7 fragments
+
+
+def test_stats_track_bytes():
+    net, mmps, a, b = setup_pair()
+
+    def driver():
+        done = net.sim.process(b.recv())
+        yield from a.send(b.proc, 300)
+        yield done
+
+    net.sim.run_process(driver())
+    assert a.stats.bytes_sent == 300
+    assert b.stats.bytes_received == 300
+    assert b.stats.acks_sent == 1
+
+
+def test_unreliable_mode_sends_no_acks():
+    net = paper_testbed()
+    mmps = MMPS(net, reliable=False)
+    a = mmps.endpoint(net.processor(0))
+    b = mmps.endpoint(net.processor(1))
+
+    def driver():
+        done = net.sim.process(b.recv())
+        yield from a.send(b.proc, 100)
+        yield done
+
+    net.sim.run_process(driver())
+    assert b.stats.acks_sent == 0
+
+
+def test_loss_rate_validated():
+    net = paper_testbed()
+    with pytest.raises(ValueError):
+        MMPS(net, loss_rate=1.0)

@@ -1,0 +1,150 @@
+"""Tests for phase annotations and the computation description."""
+
+import pytest
+
+from repro.errors import AnnotationError
+from repro.model import (
+    CommunicationPhase,
+    ComputationPhase,
+    DataParallelComputation,
+    evaluate_annotation,
+)
+from repro.spmd import Topology
+
+
+class StencilProblem:
+    """Problem instance carrying N, as the paper's callbacks expect."""
+
+    def __init__(self, n):
+        self.n = n
+
+
+def make_stencil(n=300, overlap=False):
+    """The paper's §4 running example: NxN five-point stencil annotations."""
+    problem = StencilProblem(n)
+    return DataParallelComputation(
+        name="STEN-2" if overlap else "STEN-1",
+        problem=problem,
+        num_pdus=lambda p: p.n,
+        computation_phases=[
+            ComputationPhase("grid-update", complexity=lambda p: 5 * p.n, op_kind="fp"),
+        ],
+        communication_phases=[
+            CommunicationPhase(
+                "border-exchange",
+                topology=Topology.ONE_D,
+                complexity=lambda p: 4 * p.n,
+                overlap="grid-update" if overlap else None,
+            ),
+        ],
+        cycles=10,
+    )
+
+
+def test_evaluate_annotation_constant_and_callback():
+    assert evaluate_annotation(42, None) == 42.0
+    assert evaluate_annotation(lambda p: p * 2, 21) == 42.0
+
+
+def test_evaluate_annotation_rejects_bad_values():
+    with pytest.raises(AnnotationError):
+        evaluate_annotation(lambda p: "many", None)
+    with pytest.raises(AnnotationError):
+        evaluate_annotation(-1, None)
+
+
+def test_paper_stencil_annotations():
+    comp = make_stencil(n=300)
+    assert comp.num_pdus_value() == 300
+    dom_comp = comp.dominant_computation_phase()
+    assert dom_comp.complexity_value(comp.problem) == 1500  # 5N fp ops
+    dom_comm = comp.dominant_communication_phase()
+    assert dom_comm.complexity_value(comp.problem) == 1200  # 4N bytes
+    assert dom_comm.topology is Topology.ONE_D
+
+
+def test_overlap_flag_distinguishes_sten1_sten2():
+    assert not make_stencil(overlap=False).overlapped_with_dominant()
+    assert make_stencil(overlap=True).overlapped_with_dominant()
+
+
+def test_dominant_phase_selection_among_many():
+    problem = StencilProblem(100)
+    comp = DataParallelComputation(
+        name="multi",
+        problem=problem,
+        num_pdus=100,
+        computation_phases=[
+            ComputationPhase("small", complexity=10),
+            ComputationPhase("big", complexity=1000),
+            ComputationPhase("medium", complexity=100),
+        ],
+        communication_phases=[
+            CommunicationPhase("tiny", Topology.RING, complexity=8),
+            CommunicationPhase("huge", Topology.ONE_D, complexity=4000),
+        ],
+    )
+    assert comp.dominant_computation_phase().name == "big"
+    assert comp.dominant_communication_phase().name == "huge"
+
+
+def test_overlap_must_reference_existing_phase():
+    with pytest.raises(AnnotationError, match="unknown computation phase"):
+        DataParallelComputation(
+            name="bad",
+            problem=None,
+            num_pdus=10,
+            computation_phases=[ComputationPhase("work", complexity=5)],
+            communication_phases=[
+                CommunicationPhase("comm", Topology.ONE_D, complexity=4, overlap="nope")
+            ],
+        )
+
+
+def test_needs_computation_phase():
+    with pytest.raises(AnnotationError, match="at least one"):
+        DataParallelComputation(
+            name="empty", problem=None, num_pdus=10,
+            computation_phases=[], communication_phases=[],
+        )
+
+
+def test_duplicate_phase_names_rejected():
+    with pytest.raises(AnnotationError, match="duplicate"):
+        DataParallelComputation(
+            name="dup", problem=None, num_pdus=10,
+            computation_phases=[
+                ComputationPhase("x", complexity=1),
+                ComputationPhase("x", complexity=2),
+            ],
+            communication_phases=[],
+        )
+
+
+def test_num_pdus_must_be_positive_integer():
+    comp = DataParallelComputation(
+        name="frac", problem=None, num_pdus=2.5,
+        computation_phases=[ComputationPhase("w", complexity=1)],
+        communication_phases=[],
+    )
+    with pytest.raises(AnnotationError, match="positive integer"):
+        comp.num_pdus_value()
+
+
+def test_cycles_validated():
+    with pytest.raises(AnnotationError, match="cycles"):
+        DataParallelComputation(
+            name="c", problem=None, num_pdus=10,
+            computation_phases=[ComputationPhase("w", complexity=1)],
+            communication_phases=[], cycles=0,
+        )
+
+
+def test_computation_without_communication_ok():
+    comp = DataParallelComputation(
+        name="pure", problem=None, num_pdus=10,
+        computation_phases=[ComputationPhase("w", complexity=1)],
+        communication_phases=[],
+    )
+    assert comp.dominant_communication_phase() is None
+    assert not comp.overlapped_with_dominant()

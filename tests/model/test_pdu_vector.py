@@ -1,0 +1,92 @@
+"""Tests for PDU spaces, regions, and the partition vector."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.model import PDUKind, PDUSpace, PartitionVector, Region, round_preserving_sum
+
+
+def test_fig2_example_twenty_by_twenty_over_four():
+    """Fig 2: a 1-D partition of a 20x20 matrix across four processors."""
+    space = PDUSpace(num_pdus=20, kind=PDUKind.ROW)
+    vec = PartitionVector([5, 5, 5, 5])
+    regions = vec.regions(space)
+    assert regions == [
+        Region(0, 5),
+        Region(5, 5),
+        Region(10, 5),
+        Region(15, 5),
+    ]
+
+
+def test_region_properties():
+    r = Region(5, 3)
+    assert r.stop == 8
+    assert list(r.indices()) == [5, 6, 7]
+    with pytest.raises(ValueError):
+        Region(-1, 3)
+
+
+def test_space_rejects_wrong_total():
+    space = PDUSpace(num_pdus=10)
+    with pytest.raises(ValueError, match="covers"):
+        space.regions([5, 4])
+
+
+def test_space_rejects_empty_domain():
+    with pytest.raises(ValueError):
+        PDUSpace(num_pdus=0)
+
+
+def test_vector_invariant_sum():
+    vec = PartitionVector([43, 43, 43, 43, 43, 43, 21, 21])
+    assert vec.total == 6 * 43 + 2 * 21 == 300
+
+
+def test_vector_rejects_negative():
+    with pytest.raises(PartitionError):
+        PartitionVector([3, -1])
+
+
+def test_vector_zero_counts_allowed_and_skipped():
+    vec = PartitionVector([5, 0, 5])
+    assert vec.nonzero_ranks() == [0, 2]
+    regions = vec.regions(PDUSpace(10))
+    assert regions[1] == Region(5, 0)
+
+
+def test_round_preserving_sum_exact_integers():
+    assert round_preserving_sum([5.0, 5.0, 5.0, 5.0], 20) == [5, 5, 5, 5]
+
+
+def test_round_preserving_sum_paper_n300_case():
+    """N=300, P1=6 Sparc2 P2=2 IPC: shares 42.857.../21.428... -> 43/21."""
+    shares = [2 * 300 / 14.0] * 6 + [300 / 14.0] * 2
+    counts = round_preserving_sum(shares, 300)
+    assert counts == [43] * 6 + [21, 21]
+    assert sum(counts) == 300
+
+
+def test_round_preserving_sum_remainder_to_largest_fractions():
+    # shares 3.7, 3.2, 3.1 -> total 10: floor 3,3,3 leftover 1 -> largest frac first
+    assert round_preserving_sum([3.7, 3.2, 3.1], 10) == [4, 3, 3]
+
+
+def test_round_preserving_sum_tie_breaks_to_lower_index():
+    assert round_preserving_sum([2.5, 2.5, 2.5, 2.5], 11) == [3, 3, 3, 2]
+
+
+def test_round_preserving_sum_error_cases():
+    with pytest.raises(PartitionError):
+        round_preserving_sum([-1.0, 2.0], 1)
+    with pytest.raises(PartitionError):
+        round_preserving_sum([5.0, 6.0], 3)  # floors exceed total
+    with pytest.raises(PartitionError):
+        round_preserving_sum([], 3)
+    assert round_preserving_sum([], 0) == []
+
+
+def test_from_shares_constructor():
+    vec = PartitionVector.from_shares([10.5, 9.5], 20)
+    assert vec.counts == (11, 9) or vec.counts == (10, 10)
+    assert vec.total == 20

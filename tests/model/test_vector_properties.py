@@ -1,0 +1,63 @@
+"""Property-based tests for partition-vector rounding invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import PartitionVector, round_preserving_sum
+
+
+@st.composite
+def share_vectors(draw):
+    """Non-negative shares plus a total consistent with them."""
+    n = draw(st.integers(min_value=1, max_value=20))
+    total = draw(st.integers(min_value=0, max_value=5000))
+    if total == 0:
+        return [0.0] * n, 0
+    # Random positive weights normalized to the total.
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    s = sum(weights)
+    shares = [w / s * total for w in weights]
+    return shares, total
+
+
+@given(share_vectors())
+@settings(max_examples=200)
+def test_rounding_preserves_total(case):
+    shares, total = case
+    counts = round_preserving_sum(shares, total)
+    assert sum(counts) == total
+    assert all(c >= 0 for c in counts)
+
+
+@given(share_vectors())
+@settings(max_examples=200)
+def test_rounding_within_one_of_share(case):
+    """Largest-remainder never moves a count more than 1 from its share."""
+    shares, total = case
+    counts = round_preserving_sum(shares, total)
+    for share, count in zip(shares, counts):
+        assert abs(count - share) < 1.0 + 1e-9
+
+
+@given(share_vectors())
+@settings(max_examples=100)
+def test_partition_vector_from_shares_invariant(case):
+    shares, total = case
+    vec = PartitionVector.from_shares(shares, total)
+    assert vec.total == total
+    assert vec.size == len(shares)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=15)
+)
+@settings(max_examples=100)
+def test_integer_shares_are_fixed_points(counts):
+    total = sum(counts)
+    assert round_preserving_sum([float(c) for c in counts], total) == counts

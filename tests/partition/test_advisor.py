@@ -1,0 +1,89 @@
+"""Tests for the one-call advisor, fingerprinting, and explanations."""
+
+import pytest
+
+from repro.apps.stencil import stencil_computation
+from repro.errors import PartitionError
+from repro.experiments.paper import paper_cost_database
+from repro.hardware.presets import metasystem_network, paper_testbed
+from repro.partition import advise, explain_decision, network_fingerprint, partition
+from repro.partition import gather_available_resources
+
+
+def test_fingerprint_stable_and_distinguishing():
+    a1 = network_fingerprint(paper_testbed())
+    a2 = network_fingerprint(paper_testbed())
+    b = network_fingerprint(metasystem_network())
+    assert a1 == a2
+    assert a1 != b
+    assert len(a1) == 16
+
+
+def test_advise_with_prefitted_db():
+    decision, explanation = advise(
+        lambda: paper_testbed(),
+        stencil_computation(600, overlap=True),
+        cost_db=paper_cost_database(),
+    )
+    assert decision.counts_by_name() == {"sparc2": 6, "ipc": 6}
+    assert "T_comp" in explanation and "chosen" in explanation
+
+
+def test_advise_fits_and_caches(tmp_path):
+    cache = tmp_path / "costs.json"
+    comp = stencil_computation(300, overlap=False)
+    d1, _ = advise(lambda: paper_testbed(), comp, cache_path=cache)
+    assert cache.exists()
+    before = cache.read_text()
+    d2, _ = advise(lambda: paper_testbed(), comp, cache_path=cache)
+    assert cache.read_text() == before  # reused, not rebuilt
+    assert d1.counts_by_name() == d2.counts_by_name()
+
+
+def test_advise_cache_invalidated_by_network_change(tmp_path):
+    cache = tmp_path / "costs.json"
+    comp = stencil_computation(300, overlap=False)
+    advise(lambda: paper_testbed(), comp, cache_path=cache)
+    first = cache.read_text()
+    # A different network must not reuse the cache.
+    from repro.apps.stencil import stencil_computation as sc
+
+    advise(lambda: metasystem_network(), sc(300, overlap=False), cache_path=cache)
+    assert cache.read_text() != first
+
+
+def test_advise_methods():
+    db = paper_cost_database()
+    comp = stencil_computation(300, overlap=False)
+    heuristic, _ = advise(lambda: paper_testbed(), comp, cost_db=db, method="heuristic")
+    scan, _ = advise(lambda: paper_testbed(), comp, cost_db=db, method="scan")
+    general, _ = advise(lambda: paper_testbed(), comp, cost_db=db, method="general")
+    assert general.t_cycle_ms <= min(heuristic.t_cycle_ms, scan.t_cycle_ms) + 1e-9
+    with pytest.raises(PartitionError, match="method"):
+        advise(lambda: paper_testbed(), comp, cost_db=db, method="oracle")
+
+
+def test_advise_load_adjusted_path():
+    def factory():
+        net = paper_testbed()
+        net.cluster("sparc2").manager.observe_loads([0.5, 0.0, 0.0, 0.0, 0.0, 0.0])
+        return net
+
+    comp = stencil_computation(600, overlap=False)
+    decision, _ = advise(
+        factory, comp, cost_db=paper_cost_database(), load_adjusted=True
+    )
+    # All 12 nodes remain candidates; the vector reflects the loaded node.
+    assert decision.config.total >= 6
+
+
+def test_explanation_lists_search_points():
+    db = paper_cost_database()
+    net = paper_testbed()
+    decision = partition(
+        stencil_computation(600, overlap=False), gather_available_resources(net), db
+    )
+    text = explain_decision(decision)
+    assert f"evaluated {decision.evaluations} configurations" in text
+    assert "sparc2:6" in text
+    assert "partition vector" in text

@@ -1,0 +1,90 @@
+"""Tests for the dynamic-repartitioning math (paper §7 future work)."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.partition.dynamic import (
+    detect_imbalance,
+    moved_pdus,
+    rebalance_counts,
+    transfer_plan,
+)
+
+
+def test_detect_imbalance_thresholds():
+    assert not detect_imbalance([1.0, 1.0, 1.0])
+    assert not detect_imbalance([1.0, 1.2], threshold=1.25)
+    assert detect_imbalance([1.0, 1.3], threshold=1.25)
+    assert detect_imbalance([0.5, 2.0])
+
+
+def test_detect_imbalance_validation():
+    with pytest.raises(PartitionError):
+        detect_imbalance([])
+    with pytest.raises(PartitionError):
+        detect_imbalance([1.0, 0.0])
+    with pytest.raises(PartitionError):
+        detect_imbalance([1.0, 2.0], threshold=1.0)
+
+
+def test_rebalance_shifts_rows_from_slow_to_fast():
+    # Task 1 measured 2x slower per row: it should end with ~half the rows.
+    new = rebalance_counts([50, 50], [1.0, 2.0])
+    assert new.total == 100
+    assert list(new) == [67, 33]
+
+
+def test_rebalance_equal_times_is_stable():
+    new = rebalance_counts([40, 40, 20], [1.0, 1.0, 1.0])
+    # Equal measured speed -> equal counts (total preserved).
+    assert new.total == 100
+    assert max(new) - min(new) <= 1
+
+
+def test_rebalance_validation():
+    with pytest.raises(PartitionError):
+        rebalance_counts([10, 10], [1.0])
+    with pytest.raises(PartitionError):
+        rebalance_counts([10, 10], [1.0, -1.0])
+
+
+def test_transfer_plan_simple_shift():
+    # [50, 50] -> [67, 33]: rank 1 sends its first 17 rows to rank 0.
+    plan = transfer_plan([50, 50], [67, 33])
+    assert plan == {(1, 0): 17}
+    assert moved_pdus(plan) == 17
+
+
+def test_transfer_plan_multi_hop():
+    # [30, 30, 30] -> [60, 15, 15]: rank1's whole block and the first 0...
+    plan = transfer_plan([30, 30, 30], [60, 15, 15])
+    # New bounds: [0,60,75,90]; old: [0,30,60,90].
+    # rank1 owned [30,60) -> all inside new rank0's [0,60): sends 30 to rank0.
+    # rank2 owned [60,90): [60,75) -> new rank1, [75,90) stays rank2.
+    assert plan == {(1, 0): 30, (2, 1): 15}
+    assert moved_pdus(plan) == 45
+
+
+def test_transfer_plan_identity_is_empty():
+    assert transfer_plan([10, 20, 30], [10, 20, 30]) == {}
+
+
+def test_transfer_plan_validation():
+    with pytest.raises(PartitionError):
+        transfer_plan([10, 10], [10, 10, 0])
+    with pytest.raises(PartitionError):
+        transfer_plan([10, 10], [10, 11])
+
+
+def test_transfer_plan_conservation_property():
+    """Sent == received per rank; ownership intervals are preserved."""
+    old = [13, 27, 8, 52]
+    new = [25, 25, 25, 25]
+    plan = transfer_plan(old, new)
+    sent = [0] * 4
+    received = [0] * 4
+    for (src, dst), rows in plan.items():
+        sent[src] += rows
+        received[dst] += rows
+    for r in range(4):
+        assert old[r] - sent[r] + received[r] == new[r]

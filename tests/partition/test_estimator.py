@@ -1,0 +1,132 @@
+"""Tests for the Eq 4-6 cycle estimator against the paper's §6 formulas."""
+
+import pytest
+
+from repro.apps.stencil import stencil_computation
+from repro.errors import PartitionError
+from repro.experiments.paper import paper_cost_database
+from repro.hardware.presets import paper_testbed
+from repro.model import PartitionVector
+from repro.partition import (
+    CycleEstimator,
+    ProcessorConfiguration,
+    gather_available_resources,
+    order_by_power,
+)
+
+
+@pytest.fixture()
+def env():
+    net = paper_testbed()
+    res = order_by_power(gather_available_resources(net))
+    return res, paper_cost_database()
+
+
+def make_estimator(env, n, overlap=False, cycles=10):
+    res, db = env
+    return CycleEstimator(stencil_computation(n, overlap=overlap, cycles=cycles), db), res
+
+
+def test_t_comp_matches_paper_formula(env):
+    """T_comp[Sparc2] = 0.0003 * 5N * 2N/(2P1+P2) ms."""
+    est, res = make_estimator(env, 1200)
+    cfg = ProcessorConfiguration(res, (6, 6))
+    expected = 0.0003 * (5 * 1200) * (2 * 1200 / 18)
+    assert est.t_comp(cfg) == pytest.approx(expected)
+
+
+def test_t_comp_single_sparc2_sequential(env):
+    """N=60 on one Sparc2: 0.0003 * 300 * 60 = 5.4 ms per cycle."""
+    est, res = make_estimator(env, 60)
+    cfg = ProcessorConfiguration(res, (1, 0))
+    assert est.t_comp(cfg) == pytest.approx(5.4)
+    assert est.t_comm(cfg) == 0.0
+
+
+def test_t_comm_uses_published_functions(env):
+    est, res = make_estimator(env, 1200)
+    cfg = ProcessorConfiguration(res, (6, 0))
+    # C1 only: 1.1*6 + 4800*(-.0055 + .00283*6)
+    assert est.t_comm(cfg) == pytest.approx(6.6 + 4800 * 0.01148, abs=0.01)
+
+
+def test_t_comm_multicluster_includes_router(env):
+    est, res = make_estimator(env, 1200)
+    cfg = ProcessorConfiguration(res, (6, 6))
+    c1 = 1.1 * 6 + 4800 * (-0.0055 + 0.00283 * 6)
+    c2 = 1.9 * 6 + 4800 * (-0.0123 + 0.00457 * 6)
+    router = 0.0006 * 4800
+    assert est.t_comm(cfg) == pytest.approx(max(c1, c2) + router, abs=0.01)
+
+
+def test_sten1_no_overlap_tc_is_sum(env):
+    est, res = make_estimator(env, 600)
+    cfg = ProcessorConfiguration(res, (6, 0))
+    e = est.estimate(cfg)
+    assert e.t_overlap_ms == 0.0
+    assert e.t_cycle_ms == pytest.approx(e.t_comp_ms + e.t_comm_ms)
+
+
+def test_sten2_overlap_tc_is_max(env):
+    """T_overlap = min(T_comp, T_comm) makes T_c = max(T_comp, T_comm)."""
+    est, res = make_estimator(env, 600, overlap=True)
+    cfg = ProcessorConfiguration(res, (6, 0))
+    e = est.estimate(cfg)
+    assert e.t_overlap_ms == pytest.approx(min(e.t_comp_ms, e.t_comm_ms))
+    assert e.t_cycle_ms == pytest.approx(max(e.t_comp_ms, e.t_comm_ms))
+
+
+def test_t_elapsed_scales_with_cycles(env):
+    est, res = make_estimator(env, 300, cycles=10)
+    cfg = ProcessorConfiguration(res, (6, 0))
+    assert est.t_elapsed(cfg) == pytest.approx(10 * est.t_cycle(cfg))
+
+
+def test_startup_added_to_elapsed(env):
+    res, db = env
+    est = CycleEstimator(stencil_computation(300, overlap=False), db, startup_ms=123.0)
+    cfg = ProcessorConfiguration(res, (2, 0))
+    assert est.t_elapsed(cfg) == pytest.approx(10 * est.t_cycle(cfg) + 123.0)
+
+
+def test_estimates_memoized_and_counted(env):
+    est, res = make_estimator(env, 300)
+    cfg = ProcessorConfiguration(res, (4, 0))
+    assert est.evaluations == 0
+    est.estimate(cfg)
+    est.estimate(cfg)
+    est.estimate(ProcessorConfiguration(res, (4, 0)))  # same counts
+    assert est.evaluations == 1
+    est.estimate(ProcessorConfiguration(res, (5, 0)))
+    assert est.evaluations == 2
+
+
+def test_empty_configuration_rejected(env):
+    est, res = make_estimator(env, 300)
+    with pytest.raises(PartitionError):
+        est.estimate(ProcessorConfiguration(res, (0, 0)))
+
+
+def test_t_comp_with_imbalanced_vector_uses_slowest(env):
+    est, res = make_estimator(env, 1200)
+    cfg = ProcessorConfiguration(res, (6, 6))
+    equal_vec = PartitionVector([100] * 12)
+    t_equal = est.t_comp_with_vector(cfg, equal_vec)
+    # The IPCs (0.6 us/op) with 100 rows dominate: 0.0006*6000*100 = 360 ms.
+    assert t_equal == pytest.approx(360.0)
+    # Balanced decomposition is strictly better.
+    assert est.t_comp(cfg) < t_equal
+
+
+def test_t_comp_with_vector_size_mismatch(env):
+    est, res = make_estimator(env, 1200)
+    cfg = ProcessorConfiguration(res, (6, 6))
+    with pytest.raises(PartitionError, match="entries"):
+        est.t_comp_with_vector(cfg, PartitionVector([600, 600]))
+
+
+def test_partition_vector_total_invariant(env):
+    est, res = make_estimator(env, 600)
+    for counts in [(1, 0), (6, 0), (6, 3), (6, 6)]:
+        vec = est.partition_vector(ProcessorConfiguration(res, counts))
+        assert vec.total == 600

@@ -1,0 +1,113 @@
+"""Fuzzing the partitioning pipeline with synthetic workloads/networks.
+
+Whatever the (valid) annotations, cluster mix, and fitted constants, the
+partitioner must uphold its contracts.  Uses seeded NumPy randomness rather
+than hypothesis because each case builds several coupled random objects.
+"""
+
+import numpy as np
+import pytest
+
+from repro.model.workloads import (
+    random_computation,
+    random_cost_database,
+    random_network,
+)
+from repro.partition import (
+    CycleEstimator,
+    ProcessorConfiguration,
+    exhaustive_partition,
+    gather_available_resources,
+    general_partition,
+    order_by_power,
+    partition,
+    prefix_scan_partition,
+)
+
+CASES = 40
+
+
+@pytest.mark.parametrize("seed", range(CASES))
+def test_partitioner_contracts_hold(seed):
+    rng = np.random.default_rng(seed)
+    net = random_network(rng)
+    db = random_cost_database(net, rng)
+    comp = random_computation(rng)
+    resources = gather_available_resources(net)
+    decision = partition(comp, resources, db)
+
+    # Configuration within availability bounds, at least one processor.
+    assert 1 <= decision.config.total
+    for res, count in zip(decision.config.resources, decision.config.counts):
+        assert 0 <= count <= res.n_available
+
+    # Partition vector conservation and sizing.
+    assert decision.vector.total == comp.num_pdus_value()
+    assert decision.vector.size == decision.config.total
+
+    # Estimate consistency: Eq 6 arithmetic and non-negativity.
+    est = decision.estimate
+    assert est.t_cycle_ms == pytest.approx(
+        est.t_comp_ms + est.t_comm_ms - est.t_overlap_ms
+    )
+    assert est.t_comp_ms >= 0 and est.t_comm_ms >= 0
+    assert 0 <= est.t_overlap_ms <= min(est.t_comp_ms, est.t_comm_ms) + 1e-12
+    assert decision.t_elapsed_ms == pytest.approx(
+        comp.cycles * est.t_cycle_ms, rel=1e-9
+    )
+
+
+@pytest.mark.parametrize("seed", range(0, CASES, 2))
+def test_heuristic_vs_scan_vs_general(seed):
+    """Search-mode relations: scan <= binary not guaranteed on multimodal
+    curves, but general <= both, and all match the prefix oracle's space."""
+    rng = np.random.default_rng(1000 + seed)
+    net = random_network(rng)
+    db = random_cost_database(net, rng)
+    comp = random_computation(rng)
+    resources = gather_available_resources(net)
+    binary = partition(comp, resources, db, search="binary")
+    scan = partition(comp, resources, db, search="scan")
+    oracle = prefix_scan_partition(comp, resources, db)
+    general = general_partition(comp, resources, db)
+    # The robust scan equals the prefix-space oracle by construction.
+    assert scan.t_cycle_ms == pytest.approx(oracle.t_cycle_ms)
+    # Binary search can only do worse on non-unimodal curves, never better.
+    assert binary.t_cycle_ms >= oracle.t_cycle_ms - 1e-9
+    # The general search dominates the prefix space.
+    assert general.t_cycle_ms <= oracle.t_cycle_ms + 1e-9
+
+
+@pytest.mark.parametrize("seed", range(0, 20))
+def test_general_matches_exhaustive_on_small_networks(seed):
+    rng = np.random.default_rng(2000 + seed)
+    net = random_network(rng)
+    if net.total_processors() > 14 or len(net.clusters) > 3:
+        pytest.skip("keep exhaustive search small")
+    db = random_cost_database(net, rng)
+    comp = random_computation(rng)
+    resources = gather_available_resources(net)
+    general = general_partition(comp, resources, db)
+    exhaustive = exhaustive_partition(comp, resources, db)
+    assert general.t_cycle_ms <= exhaustive.t_cycle_ms * 1.05 + 1e-9
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_estimator_monotone_t_comp_in_processors(seed):
+    """More processors never increase the balanced T_comp."""
+    rng = np.random.default_rng(3000 + seed)
+    net = random_network(rng)
+    db = random_cost_database(net, rng)
+    comp = random_computation(rng)
+    resources = order_by_power(gather_available_resources(net))
+    est = CycleEstimator(comp, db)
+    limits = [r.n_available for r in resources]
+    prev = None
+    counts = [0] * len(limits)
+    for k in range(len(limits)):
+        for p in range(1, limits[k] + 1):
+            counts[k] = p
+            t_comp = est.t_comp(ProcessorConfiguration(resources, counts))
+            if prev is not None:
+                assert t_comp <= prev + 1e-9
+            prev = t_comp

@@ -1,0 +1,179 @@
+"""Tests for per-cycle (non-uniform) complexity profiles in the estimator."""
+
+import pytest
+
+from repro.apps.gauss import gauss_computation, run_gauss
+from repro.apps.stencil import stencil_computation
+from repro.benchmarking import Workbench, build_cost_database
+from repro.errors import AnnotationError
+from repro.hardware.presets import paper_testbed
+from repro.mmps import MMPS
+from repro.model import (
+    CommunicationPhase,
+    ComputationPhase,
+    DataParallelComputation,
+)
+from repro.partition import (
+    CycleEstimator,
+    ProcessorConfiguration,
+    balanced_partition_vector,
+    gather_available_resources,
+    order_by_power,
+)
+from repro.spmd import Topology
+
+
+@pytest.fixture(scope="module")
+def env():
+    net = paper_testbed()
+    res = order_by_power(gather_available_resources(net))
+    workbench = Workbench(lambda: paper_testbed())
+    db = build_cost_database(
+        workbench,
+        clusters=["sparc2", "ipc"],
+        topologies=[Topology.ONE_D, Topology.BROADCAST],
+        p_values=(2, 3, 4, 6),
+        b_values=(120, 480, 1200, 2400),
+        cycles=3,
+    )
+    return res, db
+
+
+def test_uniform_computation_profiled_equals_plain(env):
+    res, db = env
+    comp = stencil_computation(300, overlap=False)
+    est = CycleEstimator(comp, db)
+    cfg = ProcessorConfiguration(res, (4, 0))
+    assert est.t_elapsed_profiled(cfg) == pytest.approx(est.t_elapsed(cfg))
+
+
+def test_phase_complexity_at_cycle_fallback():
+    phase = ComputationPhase("w", complexity=10)
+    assert phase.complexity_at_cycle(None, 0) == 10
+    assert phase.complexity_at_cycle(None, 99) == 10
+
+
+def test_phase_per_cycle_negative_rejected():
+    phase = ComputationPhase(
+        "w", complexity=10, per_cycle_complexity=lambda p, k: -1.0
+    )
+    with pytest.raises(AnnotationError):
+        phase.complexity_at_cycle(None, 0)
+
+
+def test_gauss_profile_sums_to_true_op_count():
+    """Σ_k per-cycle ops × N PDUs = the classic 2N³/3 elimination count."""
+    n = 120
+    comp = gauss_computation(n)
+    phase = comp.dominant_computation_phase()
+    total_ops = sum(
+        phase.complexity_at_cycle(comp.problem, k) for k in range(n)
+    ) * n
+    assert total_ops == pytest.approx(2 * n**3 / 3, rel=0.05)
+
+
+def test_gauss_profiled_estimate_close_to_simulation(env):
+    """The profiled T_elapsed predicts the simulated single-node GE run."""
+    res, db = env
+    n = 120
+    comp = gauss_computation(n)
+    est = CycleEstimator(comp, db)
+    cfg = ProcessorConfiguration(res, (1, 0))
+    predicted = est.t_elapsed_profiled(cfg)
+
+    net = paper_testbed()
+    mmps = MMPS(net)
+    procs = list(net.cluster("sparc2"))[:1]
+    simulated = run_gauss(mmps, procs, balanced_partition_vector([0.3], n), n).elapsed_ms
+    # Single node: no communication; compute model should be close (the
+    # simulation adds pivot-search and back-substitution overheads).
+    assert predicted == pytest.approx(simulated, rel=0.35)
+
+
+def test_gauss_profiled_tracks_nonuniform_comm(env):
+    """Early cycles (large broadcasts) cost more than late ones."""
+    res, db = env
+    comp = gauss_computation(200)
+    comm = comp.dominant_communication_phase()
+    early = comm.complexity_at_cycle(comp.problem, 0)
+    late = comm.complexity_at_cycle(comp.problem, 190)
+    assert early > 10 * late
+
+
+def test_profiled_with_custom_decreasing_workload(env):
+    """A synthetic triangular workload: profiled < uniform-average x2 bound
+    and follows the exact closed form."""
+    res, db = env
+
+    class P:
+        n = 100
+
+    comp = DataParallelComputation(
+        name="tri",
+        problem=P(),
+        num_pdus=100,
+        computation_phases=[
+            ComputationPhase(
+                "tri",
+                complexity=lambda p: 50.0,  # average of 100..1
+                per_cycle_complexity=lambda p, k: float(p.n - k),
+            )
+        ],
+        communication_phases=[],
+        cycles=100,
+    )
+    est = CycleEstimator(comp, db)
+    cfg = ProcessorConfiguration(res, (1, 0))
+    profiled = est.t_elapsed_profiled(cfg)
+    # Exact: sum_{k=0..99} (100-k) ops/PDU * 100 PDUs * 0.3us
+    exact = sum(100 - k for k in range(100)) * 100 * 0.3 / 1000.0
+    assert profiled == pytest.approx(exact)
+    # And the average-based estimate agrees (the average is exact here).
+    assert est.t_elapsed(cfg) == pytest.approx(profiled, rel=0.02)
+
+
+def test_per_config_complexity_drives_t_comm(env):
+    """The 'b depends on A_i' case: message size shrinks as P grows, so the
+    configuration-dependent estimate diverges from the scalar one."""
+    from repro.apps.powermethod import power_computation
+
+    res, db = env
+    # Fit a ring function so the RING topology is available.
+    from repro.benchmarking import Workbench, build_cost_database
+    from repro.hardware.presets import paper_testbed
+    from repro.spmd import Topology
+
+    wb = Workbench(lambda: paper_testbed())
+    ring_db = build_cost_database(
+        wb, clusters=["sparc2", "ipc"], topologies=[Topology.RING],
+        p_values=(2, 3, 4, 6), b_values=(120, 480, 1200, 2400), cycles=3,
+    )
+    comp = power_computation(600)
+    est = CycleEstimator(comp, ring_db)
+    # Largest share at (2,0) is 300 rows -> 2400-byte blocks; at (6,0) it
+    # is 100 rows -> 800 bytes.  t_comm must reflect the shrinking b: the
+    # per-processor latency grows with p, but the per-byte share falls.
+    t2 = est.t_comm(ProcessorConfiguration(res, (2, 0)))
+    t6 = est.t_comm(ProcessorConfiguration(res, (6, 0)))
+    b2 = comp.dominant_communication_phase().complexity_for_shares(comp.problem, [300.0, 300.0])
+    b6 = comp.dominant_communication_phase().complexity_for_shares(comp.problem, [100.0] * 6)
+    assert b2 == 2400.0 and b6 == 800.0
+    # The allgather annotation also carries rounds = P-1 ring passes.
+    assert t2 == pytest.approx(1 * ring_db.comm_cost("sparc2", "ring", 2400, 2))
+    assert t6 == pytest.approx(5 * ring_db.comm_cost("sparc2", "ring", 800, 6))
+
+
+def test_per_config_complexity_validation():
+    from repro.errors import AnnotationError
+    from repro.model import CommunicationPhase
+    from repro.spmd import Topology
+
+    phase = CommunicationPhase(
+        "bad", Topology.RING, complexity=100,
+        per_config_complexity=lambda p, shares: -5.0,
+    )
+    with pytest.raises(AnnotationError):
+        phase.complexity_for_shares(None, [1.0])
+    # Fallback without the callback returns the scalar annotation.
+    plain = CommunicationPhase("ok", Topology.RING, complexity=100)
+    assert plain.complexity_for_shares(None, [1.0]) == 100.0

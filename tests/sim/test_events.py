@@ -1,0 +1,120 @@
+"""Tests for event composition: AllOf / AnyOf conditions and callbacks."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+def test_all_of_waits_for_all():
+    sim = Simulator()
+
+    def body():
+        values = yield sim.all_of([sim.timeout(1.0, "a"), sim.timeout(3.0, "b")])
+        return (sim.now, values)
+
+    assert sim.run_process(body()) == (3.0, ("a", "b"))
+
+
+def test_all_of_preserves_construction_order():
+    sim = Simulator()
+
+    def body():
+        # Later-firing event listed first: values must still follow listing order.
+        values = yield sim.all_of([sim.timeout(5.0, "slow"), sim.timeout(1.0, "fast")])
+        return values
+
+    assert sim.run_process(body()) == ("slow", "fast")
+
+
+def test_all_of_empty_succeeds_immediately():
+    sim = Simulator()
+
+    def body():
+        values = yield sim.all_of([])
+        return (sim.now, values)
+
+    assert sim.run_process(body()) == (0.0, ())
+
+
+def test_any_of_returns_first_winner():
+    sim = Simulator()
+
+    def body():
+        winner, value = yield sim.any_of([sim.timeout(5.0, "slow"), sim.timeout(2.0, "fast")])
+        return (sim.now, value)
+
+    assert sim.run_process(body()) == (2.0, "fast")
+
+
+def test_any_of_failure_propagates():
+    sim = Simulator()
+    ev = sim.event()
+
+    def trigger():
+        yield sim.timeout(1.0)
+        ev.fail(ValueError("lost"))
+
+    def body():
+        try:
+            yield sim.any_of([ev, sim.timeout(10.0)])
+        except ValueError:
+            return "failed"
+        return "ok"
+
+    sim.process(trigger())
+    assert sim.run_process(body()) == "failed"
+
+
+def test_all_of_failure_propagates():
+    sim = Simulator()
+    ev = sim.event()
+
+    def trigger():
+        yield sim.timeout(1.0)
+        ev.fail(ValueError("lost"))
+
+    def body():
+        try:
+            yield sim.all_of([sim.timeout(0.5), ev])
+        except ValueError:
+            return sim.now
+        return None
+
+    sim.process(trigger())
+    assert sim.run_process(body()) == 1.0
+
+
+def test_condition_rejects_foreign_events():
+    sim1, sim2 = Simulator(), Simulator()
+    with pytest.raises(SimulationError):
+        sim1.all_of([sim2.timeout(1.0)])
+
+
+def test_callback_after_processing_still_runs():
+    sim = Simulator()
+    ev = sim.timeout(1.0, "v")
+    sim.run()
+    assert ev.processed
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    sim.run()
+    assert seen == ["v"]
+
+
+def test_fail_requires_exception_instance():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.event().fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_nested_conditions():
+    sim = Simulator()
+
+    def body():
+        inner = sim.all_of([sim.timeout(1.0, 1), sim.timeout(2.0, 2)])
+        outer = yield sim.all_of([inner, sim.timeout(3.0, 3)])
+        return outer
+
+    values = sim.run_process(body())
+    assert values == ((1, 2), 3)

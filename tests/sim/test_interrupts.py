@@ -1,0 +1,159 @@
+"""Tests for process interruption (timeouts, cancellation)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Interrupt, Simulator
+
+
+def test_interrupt_wakes_blocked_process():
+    sim = Simulator()
+    ev = sim.event()  # never fires
+
+    def victim():
+        try:
+            yield ev
+        except Interrupt as exc:
+            return ("interrupted", exc.cause, sim.now)
+        return "not reached"
+
+    proc = sim.process(victim())
+
+    def attacker():
+        yield sim.timeout(5.0)
+        proc.interrupt(cause="deadline")
+
+    sim.process(attacker())
+    assert sim.run_process(proc) == ("interrupted", "deadline", 5.0)
+
+
+def test_interrupt_without_handler_fails_process():
+    sim = Simulator()
+    ev = sim.event()
+
+    def victim():
+        yield ev
+
+    proc = sim.process(victim())
+
+    def attacker():
+        yield sim.timeout(1.0)
+        proc.interrupt()
+
+    sim.process(attacker())
+    with pytest.raises(Interrupt):
+        sim.run_process(proc)
+
+
+def test_abandoned_event_firing_later_is_ignored():
+    """After an interrupt, the original wait firing must not double-resume."""
+    sim = Simulator()
+    slow = sim.timeout(10.0, value="slow")
+    resumes = []
+
+    def victim():
+        try:
+            yield slow
+        except Interrupt:
+            resumes.append(("interrupted", sim.now))
+        yield sim.timeout(20.0)  # outlive slow's firing at t=10
+        resumes.append(("done", sim.now))
+        return len(resumes)
+
+    proc = sim.process(victim())
+
+    def attacker():
+        yield sim.timeout(2.0)
+        proc.interrupt()
+
+    sim.process(attacker())
+    assert sim.run_process(proc) == 2
+    assert resumes == [("interrupted", 2.0), ("done", 22.0)]
+
+
+def test_interrupt_finished_process_rejected():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1.0)
+
+    proc = sim.process(quick())
+    sim.run()
+    with pytest.raises(SimulationError, match="finished"):
+        proc.interrupt()
+
+
+def test_timeout_pattern_with_interrupt():
+    """The classic recv-with-deadline pattern built from interrupt."""
+    sim = Simulator()
+    data = sim.event()
+
+    def worker():
+        try:
+            value = yield data
+            return ("got", value)
+        except Interrupt:
+            return ("timeout", sim.now)
+
+    proc = sim.process(worker())
+
+    def watchdog():
+        yield sim.timeout(3.0)
+        if proc.is_alive:
+            proc.interrupt("deadline")
+
+    sim.process(watchdog())
+    assert sim.run_process(proc) == ("timeout", 3.0)
+
+
+def test_watchdog_noop_when_work_completes_first():
+    sim = Simulator()
+    data = sim.event()
+
+    def producer():
+        yield sim.timeout(1.0)
+        data.succeed("payload")
+
+    def worker():
+        value = yield data
+        return ("got", value)
+
+    proc = sim.process(worker())
+
+    def watchdog():
+        yield sim.timeout(3.0)
+        if proc.is_alive:
+            proc.interrupt("deadline")
+
+    sim.process(producer())
+    sim.process(watchdog())
+    assert sim.run_process(proc) == ("got", "payload")
+
+
+def test_interrupted_process_can_continue_working():
+    sim = Simulator()
+
+    def victim():
+        total = 0.0
+        try:
+            yield sim.timeout(100.0)
+            total += 100
+        except Interrupt:
+            pass
+        yield sim.timeout(2.0)  # keeps running after the interrupt
+        return sim.now
+
+    proc = sim.process(victim())
+
+    def attacker():
+        yield sim.timeout(1.0)
+        proc.interrupt()
+
+    sim.process(attacker())
+    assert sim.run_process(proc) == 3.0
+
+
+def test_interrupt_cause_carried():
+    exc = Interrupt({"reason": "failure-injection"})
+    assert exc.cause == {"reason": "failure-injection"}
+    assert "failure-injection" in str(exc)

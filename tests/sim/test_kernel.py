@@ -1,0 +1,250 @@
+"""Unit tests for the discrete-event kernel: clock, ordering, processes."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim import Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def body():
+        yield sim.timeout(5.0)
+        return sim.now
+
+    assert sim.run_process(body()) == 5.0
+
+
+def test_timeout_value_passthrough():
+    sim = Simulator()
+
+    def body():
+        got = yield sim.timeout(1.0, value="payload")
+        return got
+
+    assert sim.run_process(body()) == "payload"
+
+
+def test_zero_delay_timeout_allowed():
+    sim = Simulator()
+
+    def body():
+        yield sim.timeout(0.0)
+        return sim.now
+
+    assert sim.run_process(body()) == 0.0
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1.0)
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    log = []
+
+    def waiter(delay, tag):
+        yield sim.timeout(delay)
+        log.append((sim.now, tag))
+
+    sim.process(waiter(3.0, "c"))
+    sim.process(waiter(1.0, "a"))
+    sim.process(waiter(2.0, "b"))
+    sim.run()
+    assert log == [(1.0, "a"), (2.0, "b"), (3.0, "c")]
+
+
+def test_same_time_events_fifo_order():
+    sim = Simulator()
+    log = []
+
+    def waiter(tag):
+        yield sim.timeout(1.0)
+        log.append(tag)
+
+    for tag in "abcde":
+        sim.process(waiter(tag))
+    sim.run()
+    assert log == list("abcde")
+
+
+def test_run_until_stops_and_sets_clock():
+    sim = Simulator()
+    log = []
+
+    def body():
+        yield sim.timeout(10.0)
+        log.append("late")
+
+    sim.process(body())
+    sim.run(until=4.0)
+    assert sim.now == 4.0
+    assert log == []
+    sim.run(until=20.0)
+    assert log == ["late"]
+    assert sim.now == 20.0
+
+
+def test_run_until_past_raises():
+    sim = Simulator()
+    sim.run(until=5.0)
+    with pytest.raises(SimulationError):
+        sim.run(until=1.0)
+
+
+def test_process_waits_on_process():
+    sim = Simulator()
+
+    def inner():
+        yield sim.timeout(2.0)
+        return 7
+
+    def outer():
+        value = yield sim.process(inner())
+        return value * 3
+
+    assert sim.run_process(outer()) == 21
+
+
+def test_process_return_value_none_by_default():
+    sim = Simulator()
+
+    def body():
+        yield sim.timeout(1.0)
+
+    assert sim.run_process(body()) is None
+
+
+def test_manual_event_succeed():
+    sim = Simulator()
+    ev = sim.event()
+
+    def trigger():
+        yield sim.timeout(3.0)
+        ev.succeed("done")
+
+    def waiter():
+        value = yield ev
+        return (sim.now, value)
+
+    sim.process(trigger())
+    assert sim.run_process(waiter()) == (3.0, "done")
+
+
+def test_event_cannot_trigger_twice():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+    with pytest.raises(SimulationError):
+        ev.fail(RuntimeError("boom"))
+
+
+def test_event_value_before_trigger_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        _ = sim.event().value
+
+
+def test_failed_event_throws_into_process():
+    sim = Simulator()
+    ev = sim.event()
+
+    def trigger():
+        yield sim.timeout(1.0)
+        ev.fail(ValueError("injected"))
+
+    def waiter():
+        try:
+            yield ev
+        except ValueError as exc:
+            return f"caught {exc}"
+        return "not caught"
+
+    sim.process(trigger())
+    assert sim.run_process(waiter()) == "caught injected"
+
+
+def test_process_exception_propagates_from_run_process():
+    sim = Simulator()
+
+    def body():
+        yield sim.timeout(1.0)
+        raise RuntimeError("process crashed")
+
+    with pytest.raises(RuntimeError, match="process crashed"):
+        sim.run_process(body())
+
+
+def test_unhandled_event_failure_crashes_run():
+    sim = Simulator()
+    ev = sim.event()
+    ev.fail(RuntimeError("nobody listening"))
+    with pytest.raises(RuntimeError, match="nobody listening"):
+        sim.run()
+
+
+def test_deadlock_detection():
+    sim = Simulator()
+    ev = sim.event()  # never triggered
+
+    def body():
+        yield ev
+
+    with pytest.raises(DeadlockError):
+        sim.run_process(body())
+
+
+def test_yield_non_event_raises():
+    sim = Simulator()
+
+    def body():
+        yield 42
+
+    with pytest.raises(SimulationError, match="yield"):
+        sim.run_process(body())
+
+
+def test_yield_already_processed_event_resumes_immediately():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("early")
+
+    def body():
+        yield sim.timeout(5.0)  # ev is processed long before this
+        got = yield ev
+        return (sim.now, got)
+
+    assert sim.run_process(body()) == (5.0, "early")
+
+
+def test_peek_and_step():
+    sim = Simulator()
+    sim.timeout(2.5)
+    assert sim.peek() == 2.5
+    sim.step()
+    assert sim.now == 2.5
+    assert sim.peek() == float("inf")
+
+
+def test_many_processes_complete():
+    sim = Simulator()
+    done = []
+
+    def body(i):
+        yield sim.timeout(float(i % 7))
+        done.append(i)
+
+    for i in range(200):
+        sim.process(body(i))
+    sim.run()
+    assert sorted(done) == list(range(200))

@@ -1,0 +1,175 @@
+"""Tests for Resource (FIFO semaphore) and Store (blocking FIFO of items)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Resource, Simulator, Store
+
+
+def test_resource_grants_up_to_capacity_immediately():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    r1, r2, r3 = res.request(), res.request(), res.request()
+    assert r1.triggered and r2.triggered
+    assert not r3.triggered
+    assert res.in_use == 2
+    assert res.queue_length == 1
+
+
+def test_resource_release_wakes_fifo():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def worker(tag, hold):
+        grant = res.request()
+        yield grant
+        order.append((sim.now, tag))
+        yield sim.timeout(hold)
+        res.release()
+
+    sim.process(worker("a", 2.0))
+    sim.process(worker("b", 1.0))
+    sim.process(worker("c", 1.0))
+    sim.run()
+    assert order == [(0.0, "a"), (2.0, "b"), (3.0, "c")]
+
+
+def test_resource_serializes_channel_like_contention():
+    """p stations each transmitting one frame: total busy time = p * frame."""
+    sim = Simulator()
+    channel = Resource(sim, capacity=1)
+    finish = []
+
+    def station(i):
+        grant = channel.request()
+        yield grant
+        yield sim.timeout(4.0)  # frame time
+        channel.release()
+        finish.append(sim.now)
+
+    for i in range(5):
+        sim.process(station(i))
+    sim.run()
+    assert finish == [4.0, 8.0, 12.0, 16.0, 20.0]
+
+
+def test_release_without_request_raises():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_capacity_must_be_positive():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Resource(sim, capacity=0)
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("x")
+
+    def body():
+        item = yield store.get()
+        return item
+
+    assert sim.run_process(body()) == "x"
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+
+    def producer():
+        yield sim.timeout(5.0)
+        store.put("late")
+
+    def consumer():
+        item = yield store.get()
+        return (sim.now, item)
+
+    sim.process(producer())
+    assert sim.run_process(consumer()) == (5.0, "late")
+
+
+def test_store_fifo_order():
+    sim = Simulator()
+    store = Store(sim)
+    for i in range(4):
+        store.put(i)
+
+    def body():
+        got = []
+        for _ in range(4):
+            got.append((yield store.get()))
+        return got
+
+    assert sim.run_process(body()) == [0, 1, 2, 3]
+
+
+def test_store_filtered_get():
+    sim = Simulator()
+    store = Store(sim)
+    store.put(("b", 1))
+    store.put(("a", 2))
+
+    def body():
+        item = yield store.get(lambda it: it[0] == "a")
+        rest = yield store.get()
+        return item, rest
+
+    item, rest = sim.run_process(body())
+    assert item == ("a", 2)
+    assert rest == ("b", 1)
+
+
+def test_store_filtered_get_blocks_until_match():
+    sim = Simulator()
+    store = Store(sim)
+
+    def producer():
+        yield sim.timeout(1.0)
+        store.put("wrong")
+        yield sim.timeout(1.0)
+        store.put("right")
+
+    def consumer():
+        item = yield store.get(lambda it: it == "right")
+        return (sim.now, item, len(store))
+
+    sim.process(producer())
+    assert sim.run_process(consumer()) == (2.0, "right", 1)
+
+
+def test_store_multiple_getters_fifo():
+    sim = Simulator()
+    store = Store(sim)
+    results = []
+
+    def consumer(tag):
+        item = yield store.get()
+        results.append((tag, item))
+
+    sim.process(consumer("first"))
+    sim.process(consumer("second"))
+
+    def producer():
+        yield sim.timeout(1.0)
+        store.put("A")
+        store.put("B")
+
+    sim.process(producer())
+    sim.run()
+    assert results == [("first", "A"), ("second", "B")]
+
+
+def test_store_len_tracks_items():
+    sim = Simulator()
+    store = Store(sim)
+    assert len(store) == 0
+    store.put(1)
+    store.put(2)
+    assert len(store) == 2

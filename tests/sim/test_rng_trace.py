@@ -1,0 +1,95 @@
+"""Tests for RandomStreams determinism and Tracer behaviour."""
+
+import numpy as np
+
+from repro.sim import RandomStreams, Simulator, Tracer
+
+
+def test_same_name_same_object():
+    streams = RandomStreams(1)
+    assert streams.get("x") is streams.get("x")
+
+
+def test_same_seed_reproducible_across_instances():
+    a = RandomStreams(123).get("loss").random(10)
+    b = RandomStreams(123).get("loss").random(10)
+    assert np.array_equal(a, b)
+
+
+def test_different_names_independent():
+    streams = RandomStreams(7)
+    a = streams.get("a").random(10)
+    b = streams.get("b").random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(1).get("x").random(10)
+    b = RandomStreams(2).get("x").random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_draw_order_between_streams_is_isolated():
+    """Drawing extra values from one stream must not shift another stream."""
+    s1 = RandomStreams(99)
+    _ = s1.get("noise").random(100)
+    loss_after = s1.get("loss").random(5)
+
+    s2 = RandomStreams(99)
+    loss_only = s2.get("loss").random(5)
+    assert np.array_equal(loss_after, loss_only)
+
+
+def test_spawn_children_independent():
+    parent = RandomStreams(5)
+    c1 = parent.spawn("child1").get("x").random(5)
+    c2 = parent.spawn("child2").get("x").random(5)
+    p = parent.get("x").random(5)
+    assert not np.array_equal(c1, c2)
+    assert not np.array_equal(c1, p)
+
+
+def test_tracer_disabled_records_nothing():
+    sim = Simulator()
+    tracer = Tracer(lambda: sim.now, enabled=False)
+    tracer.record("cat", "hello", n=1)
+    assert tracer.records == ()
+
+
+def test_tracer_records_with_sim_time():
+    sim = Simulator()
+    tracer = Tracer(lambda: sim.now, enabled=True)
+
+    def body():
+        tracer.record("a", "start")
+        yield sim.timeout(2.0)
+        tracer.record("b", "end", count=3)
+
+    sim.run_process(body())
+    recs = tracer.records
+    assert [(r.time, r.category) for r in recs] == [(0.0, "a"), (2.0, "b")]
+    assert recs[1].fields == {"count": 3}
+
+
+def test_tracer_by_category():
+    tracer = Tracer(lambda: 0.0, enabled=True)
+    tracer.record("x", "1")
+    tracer.record("y", "2")
+    tracer.record("x", "3")
+    assert [r.message for r in tracer.by_category("x")] == ["1", "3"]
+
+
+def test_tracer_max_records_bounds_memory():
+    tracer = Tracer(lambda: 0.0, enabled=True, max_records=3)
+    for i in range(10):
+        tracer.record("c", str(i))
+    assert [r.message for r in tracer.records] == ["7", "8", "9"]
+
+
+def test_tracer_format_and_clear():
+    tracer = Tracer(lambda: 1.5, enabled=True)
+    tracer.record("net", "sent", nbytes=100)
+    line = tracer.records[0].format()
+    assert "net" in line and "sent" in line and "nbytes=100" in line
+    tracer.clear()
+    assert tracer.records == ()

@@ -1,0 +1,136 @@
+"""Tests for run deadlines, gather, and scatter."""
+
+import pytest
+
+from repro.errors import DeadlineExceededError
+from repro.hardware.presets import paper_testbed
+from repro.mmps import MMPS
+from repro.spmd import SPMDRun, Topology, gather, scatter
+
+
+def make_run(body, n_sparc=4, topology=Topology.ONE_D):
+    net = paper_testbed()
+    mmps = MMPS(net)
+    procs = list(net.cluster("sparc2"))[:n_sparc]
+    return net, SPMDRun(mmps, procs, body, topology)
+
+
+# ---------------------------------------------------------------- deadlines
+
+
+def test_deadline_not_hit_returns_normally():
+    def body(ctx):
+        yield from ctx.compute(10_000)  # 3 ms
+        return ctx.rank
+
+    net, run = make_run(body, n_sparc=2)
+    result = run.execute(deadline_ms=100.0)
+    assert result.task_values == [0, 1]
+
+
+def test_deadline_hit_interrupts_and_raises():
+    def body(ctx):
+        yield from ctx.compute(10_000_000)  # 3000 ms
+        return ctx.rank
+
+    net, run = make_run(body, n_sparc=2)
+    with pytest.raises(DeadlineExceededError, match="deadline"):
+        run.execute(deadline_ms=50.0)
+    # The simulation stopped at (or just past) the deadline, not at 3000 ms.
+    assert net.sim.now < 100.0
+
+
+def test_deadline_tasks_can_catch_interrupt():
+    from repro.sim import Interrupt
+
+    caught = []
+
+    def body(ctx):
+        try:
+            yield from ctx.compute(10_000_000)
+        except Interrupt as exc:
+            caught.append((ctx.rank, exc.cause))
+            return "cancelled"
+        return "finished"
+
+    net, run = make_run(body, n_sparc=3)
+    with pytest.raises(DeadlineExceededError):
+        run.execute(deadline_ms=10.0)
+    assert sorted(r for r, _c in caught) == [0, 1, 2]
+    assert all(c == "deadline" for _r, c in caught)
+
+
+def test_deadline_exactly_late_tasks_only():
+    """A deadline between two task durations interrupts only the laggard."""
+    def body(ctx):
+        yield from ctx.compute(10_000 if ctx.rank == 0 else 10_000_000)
+        return ctx.rank
+
+    net, run = make_run(body, n_sparc=2)
+    with pytest.raises(DeadlineExceededError, match="1 tasks interrupted"):
+        run.execute(deadline_ms=50.0)
+
+
+# ---------------------------------------------------------------- gather/scatter
+
+
+def test_gather_collects_in_rank_order():
+    def body(ctx):
+        values = yield from gather(ctx, 64, f"v{ctx.rank}")
+        return values
+
+    net, run = make_run(body, n_sparc=4)
+    result = run.execute()
+    assert result.task_values[0] == ["v0", "v1", "v2", "v3"]
+    assert result.task_values[1] is None
+
+
+def test_gather_nonzero_root():
+    def body(ctx):
+        values = yield from gather(ctx, 64, ctx.rank * 10, root=2)
+        return values
+
+    net, run = make_run(body, n_sparc=3)
+    result = run.execute()
+    assert result.task_values[2] == [0, 10, 20]
+
+
+def test_scatter_distributes_per_rank():
+    def body(ctx):
+        mine = yield from scatter(
+            ctx, 128, values=[f"chunk{r}" for r in range(ctx.size)] if ctx.rank == 0 else None
+        )
+        return mine
+
+    net, run = make_run(body, n_sparc=4)
+    assert run.execute().task_values == ["chunk0", "chunk1", "chunk2", "chunk3"]
+
+
+def test_scatter_validates_value_count():
+    def body(ctx):
+        yield from scatter(ctx, 64, values=[1] if ctx.rank == 0 else None)
+
+    net, run = make_run(body, n_sparc=2)
+    with pytest.raises(ValueError, match="one value per rank"):
+        run.execute()
+
+
+def test_gather_scatter_roundtrip():
+    def body(ctx):
+        values = yield from gather(ctx, 32, ctx.rank ** 2)
+        doubled = [v * 2 for v in values] if ctx.rank == 0 else None
+        mine = yield from scatter(ctx, 32, values=doubled)
+        return mine
+
+    net, run = make_run(body, n_sparc=4)
+    assert run.execute().task_values == [0, 2, 8, 18]
+
+
+def test_single_rank_collectives_degenerate():
+    def body(ctx):
+        g = yield from gather(ctx, 8, "only")
+        s = yield from scatter(ctx, 8, values=["solo"])
+        return g, s
+
+    net, run = make_run(body, n_sparc=1)
+    assert run.execute().task_values == [(["only"], "solo")]

@@ -1,0 +1,165 @@
+"""Tests for tree broadcast, comm/compute accounting, and T_startup."""
+
+import numpy as np
+import pytest
+
+from repro.apps.stencil import run_stencil, sequential_stencil
+from repro.hardware.presets import paper_testbed
+from repro.mmps import MMPS
+from repro.model import PartitionVector
+from repro.spmd import SPMDRun, Topology, broadcast
+from repro.spmd.collectives import tree_broadcast
+
+
+def make_run(body, n_sparc=4, n_ipc=0, topology=Topology.BROADCAST):
+    net = paper_testbed()
+    mmps = MMPS(net)
+    procs = list(net.cluster("sparc2"))[:n_sparc] + list(net.cluster("ipc"))[:n_ipc]
+    return SPMDRun(mmps, procs, body, topology)
+
+
+# ------------------------------------------------------------- tree broadcast
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 6, 7, 8])
+def test_tree_broadcast_delivers_to_all(size):
+    def body(ctx):
+        value = yield from tree_broadcast(
+            ctx, 256, value="data" if ctx.rank == 0 else None
+        )
+        return value
+
+    n_sparc = min(size, 6)
+    n_ipc = size - n_sparc
+    result = make_run(body, n_sparc=n_sparc, n_ipc=n_ipc).execute()
+    assert result.task_values == ["data"] * size
+
+
+@pytest.mark.parametrize("root", [0, 1, 3, 5])
+def test_tree_broadcast_nonzero_root(root):
+    def body(ctx):
+        value = yield from tree_broadcast(ctx, 64, value=ctx.rank, root=root)
+        return value
+
+    result = make_run(body, n_sparc=6).execute()
+    assert result.task_values == [root] * 6
+
+
+def test_broadcast_is_bandwidth_limited_regardless_of_algorithm():
+    """The paper's Eq 2 point, sharpened: on a shared channel the offered
+    load of a broadcast is linear in total processors *whatever* the send
+    tree looks like, so a log-depth tree buys no asymptotic relief — its
+    cost stays within a small factor of the flat broadcast, and both grow
+    with the processor count."""
+
+    def flat_body(ctx):
+        yield from broadcast(ctx, 4096, value="x")
+
+    def tree_body(ctx):
+        yield from tree_broadcast(ctx, 4096, value="x")
+
+    flat12 = make_run(flat_body, n_sparc=6, n_ipc=6).execute().elapsed_ms
+    tree12 = make_run(tree_body, n_sparc=6, n_ipc=6).execute().elapsed_ms
+    tree6 = make_run(tree_body, n_sparc=6).execute().elapsed_ms
+    # Neither algorithm escapes the channel: same ballpark...
+    assert tree12 < flat12 * 1.5
+    assert flat12 < tree12 * 3.0
+    # ...and the tree still pays for every extra receiver.
+    assert tree12 > 1.4 * tree6
+
+
+# ------------------------------------------------------------- accounting
+
+
+def test_comm_and_compute_accounting():
+    def body(ctx):
+        yield from ctx.compute(30_000)
+        got = yield from ctx.exchange(1024)
+        return sorted(got)
+
+    run = make_run(body, n_sparc=3, topology=Topology.ONE_D)
+    result = run.execute()
+    for ctx in result.contexts:
+        assert ctx.compute_time_ms == pytest.approx(9.0)
+        assert ctx.comm_time_ms > 0
+        assert ctx.comm_time_ms + ctx.compute_time_ms <= result.elapsed_ms + 1e-9
+
+
+def test_utilization_fractions():
+    def body(ctx):
+        yield from ctx.compute(100_000)
+
+    result = make_run(body, n_sparc=2, topology=Topology.ONE_D).execute()
+    assert result.compute_utilization() == pytest.approx([1.0, 1.0])
+    assert result.comm_fraction() == pytest.approx([0.0, 0.0])
+
+
+def test_region_b_is_utilization_collapse():
+    """Fig 3 region B seen through the accounting: at N=60 on 6+6 the
+    compute utilization is far below the 2-processor configuration's."""
+
+    def measure(p1, p2, n=60):
+        net = paper_testbed()
+        mmps = MMPS(net)
+        procs = list(net.cluster("sparc2"))[:p1] + list(net.cluster("ipc"))[:p2]
+        from repro.partition import balanced_partition_vector
+
+        vec = balanced_partition_vector([0.3] * p1 + [0.6] * p2, n)
+        result = run_stencil(mmps, procs, vec, n, iterations=10)
+        return max(result.run.compute_utilization())
+
+    assert measure(2, 0) > 2 * measure(6, 6)
+
+
+# ------------------------------------------------------------- T_startup
+
+
+def test_distribution_excluded_from_elapsed_but_in_total():
+    net = paper_testbed()
+    mmps = MMPS(net)
+    procs = list(net.cluster("sparc2"))[:4]
+    vec = PartitionVector([75] * 4)
+    result = run_stencil(
+        mmps, procs, vec, 300, iterations=10, include_distribution=True
+    )
+    assert result.startup_ms > 0
+    assert result.total_ms == pytest.approx(result.startup_ms + result.elapsed_ms, rel=0.02)
+
+
+def test_no_distribution_startup_near_zero():
+    net = paper_testbed()
+    mmps = MMPS(net)
+    procs = list(net.cluster("sparc2"))[:4]
+    result = run_stencil(mmps, procs, PartitionVector([75] * 4), 300, iterations=5)
+    assert result.startup_ms == pytest.approx(0.0, abs=1e-9)
+
+
+def test_startup_amortized_by_iterations():
+    """The paper's amortization assumption: startup share shrinks with I."""
+
+    def share(iterations):
+        net = paper_testbed()
+        mmps = MMPS(net)
+        procs = list(net.cluster("sparc2"))[:4]
+        result = run_stencil(
+            mmps, procs, PartitionVector([150] * 4), 600,
+            iterations=iterations, include_distribution=True,
+        )
+        return result.startup_ms / result.total_ms
+
+    s5, s40 = share(5), share(40)
+    assert s40 < s5 / 2
+    assert s5 > 0.3  # at I=5 the distribution genuinely dominates
+
+
+def test_distribution_does_not_disturb_numerics():
+    n = 24
+    grid = np.random.default_rng(0).random((n, n))
+    net = paper_testbed()
+    mmps = MMPS(net)
+    procs = list(net.cluster("sparc2"))[:3]
+    result = run_stencil(
+        mmps, procs, PartitionVector([8, 8, 8]), n, iterations=3,
+        initial_grid=grid, include_distribution=True,
+    )
+    np.testing.assert_allclose(result.grid, sequential_stencil(grid, 3), rtol=1e-12)

@@ -1,0 +1,64 @@
+"""Tests for placement strategies and cross-router pair counting."""
+
+import numpy as np
+
+from repro.hardware.presets import paper_testbed
+from repro.spmd import (
+    Topology,
+    contiguous_placement,
+    cross_cluster_pairs,
+    interleaved_placement,
+    neighbors,
+    random_placement,
+)
+
+
+def pick_processors(n_sparc, n_ipc):
+    net = paper_testbed()
+    procs = list(net.cluster("sparc2"))[:n_sparc] + list(net.cluster("ipc"))[:n_ipc]
+    return procs
+
+
+def one_d_neighbor_fn(size):
+    return lambda rank: neighbors(Topology.ONE_D, rank, size)
+
+
+def test_contiguous_preserves_order():
+    procs = pick_processors(3, 3)
+    assert contiguous_placement(procs) == procs
+
+
+def test_contiguous_single_router_crossing_for_one_d():
+    procs = pick_processors(6, 6)
+    placement = contiguous_placement(procs)
+    crossings = cross_cluster_pairs(placement, one_d_neighbor_fn(12))
+    # The paper: "only one task in each cluster needs to communicate across
+    # the router" — i.e. exactly one crossing pair.
+    assert crossings == 1
+
+
+def test_interleaved_maximizes_crossings():
+    procs = pick_processors(6, 6)
+    placement = interleaved_placement(procs)
+    crossings = cross_cluster_pairs(placement, one_d_neighbor_fn(12))
+    assert crossings == 11  # every adjacent pair crosses
+
+
+def test_interleaved_handles_uneven_clusters():
+    procs = pick_processors(4, 2)
+    placement = interleaved_placement(procs)
+    assert len(placement) == 6
+    assert {p.proc_id for p in placement} == {p.proc_id for p in procs}
+
+
+def test_random_placement_is_permutation():
+    procs = pick_processors(6, 6)
+    place = random_placement(np.random.default_rng(0))
+    placement = place(procs)
+    assert sorted(p.proc_id for p in placement) == sorted(p.proc_id for p in procs)
+
+
+def test_single_cluster_has_no_crossings():
+    procs = pick_processors(6, 0)
+    crossings = cross_cluster_pairs(contiguous_placement(procs), one_d_neighbor_fn(6))
+    assert crossings == 0

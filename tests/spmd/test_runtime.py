@@ -1,0 +1,164 @@
+"""Tests for SPMDRun, TaskContext primitives and the exchange cycle."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.hardware.presets import paper_testbed
+from repro.mmps import MMPS
+from repro.spmd import SPMDRun, Topology
+
+
+def make_run(body, n_sparc=4, n_ipc=0, topology=Topology.ONE_D, **mmps_kw):
+    net = paper_testbed()
+    mmps = MMPS(net, **mmps_kw)
+    procs = list(net.cluster("sparc2"))[:n_sparc] + list(net.cluster("ipc"))[:n_ipc]
+    return net, SPMDRun(mmps, procs, body, topology)
+
+
+def test_compute_only_elapsed_matches_processor_speed():
+    ops = 100_000
+
+    def body(ctx):
+        yield from ctx.compute(ops)
+        return ctx.rank
+
+    net, run = make_run(body, n_sparc=4)
+    result = run.execute()
+    # All Sparc2s: 100k ops at 0.3 us/op = 30 ms.
+    assert result.elapsed_ms == pytest.approx(30.0)
+    assert result.task_values == [0, 1, 2, 3]
+
+
+def test_heterogeneous_compute_elapsed_is_max():
+    ops = 100_000
+
+    def body(ctx):
+        yield from ctx.compute(ops)
+
+    net, run = make_run(body, n_sparc=2, n_ipc=2)
+    result = run.execute()
+    # IPCs are 2x slower: elapsed dominated by them (60 ms).
+    assert result.elapsed_ms == pytest.approx(60.0)
+
+
+def test_exchange_cycle_completes_for_all_topologies():
+    for topo in (Topology.ONE_D, Topology.RING, Topology.TWO_D, Topology.TREE):
+        def body(ctx):
+            got = yield from ctx.exchange(256)
+            return sorted(got)
+
+        net, run = make_run(body, n_sparc=4, topology=topo)
+        result = run.execute()
+        from repro.spmd import neighbors
+
+        for rank, got in enumerate(result.task_values):
+            assert got == sorted(neighbors(topo, rank, 4)), topo
+
+
+def test_exchange_payloads_delivered():
+    def body(ctx):
+        payloads = {n: f"{ctx.rank}->{n}" for n in ctx.neighbors()}
+        got = yield from ctx.exchange(64, payloads=payloads)
+        return {src: msg.payload for src, msg in got.items()}
+
+    net, run = make_run(body, n_sparc=3)
+    result = run.execute()
+    assert result.task_values[1] == {0: "0->1", 2: "2->1"}
+
+
+def test_single_task_runs_without_communication():
+    def body(ctx):
+        yield from ctx.compute(1000)
+        got = yield from ctx.exchange(100)  # no neighbours
+        return got
+
+    net, run = make_run(body, n_sparc=1)
+    result = run.execute()
+    assert result.task_values == [{}]
+
+
+def test_cycle_marks_and_times():
+    def body(ctx):
+        ctx.mark_cycle()
+        for _ in range(3):
+            yield from ctx.compute(10_000)
+            ctx.mark_cycle()
+
+    net, run = make_run(body, n_sparc=2)
+    result = run.execute()
+    for times in result.per_cycle_times():
+        assert len(times) == 3
+        assert all(t == pytest.approx(3.0) for t in times)
+    assert result.mean_cycle_time() == pytest.approx(3.0)
+
+
+def test_send_recv_by_rank():
+    def body(ctx):
+        if ctx.rank == 0:
+            yield from ctx.send(1, 128, tag="direct", payload="hi")
+            return None
+        msg = yield from ctx.recv(from_rank=0, tag="direct")
+        return msg.payload
+
+    net, run = make_run(body, n_sparc=2)
+    assert run.execute().task_values == [None, "hi"]
+
+
+def test_duplicate_processor_rejected():
+    net = paper_testbed()
+    mmps = MMPS(net)
+    p = net.processor(0)
+
+    def body(ctx):
+        yield ctx.sim.timeout(0)
+
+    with pytest.raises(TopologyError, match="duplicate"):
+        SPMDRun(mmps, [p, p], body, Topology.ONE_D)
+
+
+def test_empty_configuration_rejected():
+    net = paper_testbed()
+    mmps = MMPS(net)
+
+    def body(ctx):
+        yield ctx.sim.timeout(0)
+
+    with pytest.raises(TopologyError, match="at least one"):
+        SPMDRun(mmps, [], body, Topology.ONE_D)
+
+
+def test_processor_of_bounds():
+    def body(ctx):
+        yield ctx.sim.timeout(0)
+        with pytest.raises(TopologyError):
+            ctx.processor_of(99)
+        return True
+
+    net, run = make_run(body, n_sparc=2)
+    assert run.execute().task_values == [True, True]
+
+
+def test_elapsed_is_last_task_completion():
+    def body(ctx):
+        yield from ctx.compute(10_000 * (ctx.rank + 1))
+
+    net, run = make_run(body, n_sparc=3)
+    result = run.execute()
+    assert result.elapsed_ms == pytest.approx(9.0)  # slowest rank: 30k ops
+
+
+def test_iterative_stencil_like_loop_completes():
+    """A 1-D border exchange + compute loop over several iterations."""
+    iters = 5
+
+    def body(ctx):
+        for _ in range(iters):
+            yield from ctx.exchange(400)
+            yield from ctx.compute(50_000)
+        return ctx.sim.now
+
+    net, run = make_run(body, n_sparc=4, n_ipc=2)
+    result = run.execute()
+    assert result.elapsed_ms > 0
+    # Every task finished at the same cycle count; elapsed > pure compute.
+    assert result.elapsed_ms > 5 * 50_000 * 0.0006  # IPC compute alone

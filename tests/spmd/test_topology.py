@@ -1,0 +1,84 @@
+"""Tests for topology neighbour structure."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.spmd import Topology, grid_shape, max_neighbor_degree, neighbors
+
+
+def test_one_d_interior_and_edges():
+    assert neighbors(Topology.ONE_D, 0, 5) == [1]
+    assert neighbors(Topology.ONE_D, 2, 5) == [1, 3]
+    assert neighbors(Topology.ONE_D, 4, 5) == [3]
+
+
+def test_one_d_single_task_no_neighbors():
+    assert neighbors(Topology.ONE_D, 0, 1) == []
+
+
+def test_ring_wraps():
+    assert neighbors(Topology.RING, 0, 5) == [1, 4]
+    assert neighbors(Topology.RING, 4, 5) == [0, 3]
+
+
+def test_ring_of_two_single_neighbor():
+    assert neighbors(Topology.RING, 0, 2) == [1]
+    assert neighbors(Topology.RING, 1, 2) == [0]
+
+
+def test_grid_shape_near_square():
+    assert grid_shape(12) == (3, 4)
+    assert grid_shape(16) == (4, 4)
+    assert grid_shape(7) == (1, 7)  # prime degenerates to a row
+    assert grid_shape(1) == (1, 1)
+
+
+def test_two_d_neighbors():
+    # 3x4 grid, rank 5 is row 1 col 1: up 1, left 4, right 6, down 9.
+    assert neighbors(Topology.TWO_D, 5, 12) == [1, 4, 6, 9]
+    # corner rank 0: right 1, down 4
+    assert neighbors(Topology.TWO_D, 0, 12) == [1, 4]
+
+
+def test_tree_neighbors():
+    assert neighbors(Topology.TREE, 0, 7) == [1, 2]
+    assert neighbors(Topology.TREE, 1, 7) == [0, 3, 4]
+    assert neighbors(Topology.TREE, 6, 7) == [2]
+
+
+def test_broadcast_neighbors():
+    assert neighbors(Topology.BROADCAST, 0, 4) == [1, 2, 3]
+    assert neighbors(Topology.BROADCAST, 2, 4) == [0]
+
+
+def test_symmetry_of_symmetric_topologies():
+    for topo in (Topology.ONE_D, Topology.RING, Topology.TWO_D, Topology.TREE):
+        for size in (2, 3, 4, 6, 9, 12):
+            for rank in range(size):
+                for other in neighbors(topo, rank, size):
+                    assert rank in neighbors(topo, other, size), (topo, size, rank, other)
+
+
+def test_rank_bounds_checked():
+    with pytest.raises(TopologyError):
+        neighbors(Topology.ONE_D, 5, 5)
+    with pytest.raises(TopologyError):
+        neighbors(Topology.ONE_D, -1, 5)
+    with pytest.raises(TopologyError):
+        neighbors(Topology.ONE_D, 0, 0)
+
+
+def test_max_neighbor_degree():
+    assert max_neighbor_degree(Topology.ONE_D, 1) == 0
+    assert max_neighbor_degree(Topology.ONE_D, 2) == 1
+    assert max_neighbor_degree(Topology.ONE_D, 6) == 2
+    assert max_neighbor_degree(Topology.RING, 6) == 2
+    assert max_neighbor_degree(Topology.TWO_D, 12) == 4
+    assert max_neighbor_degree(Topology.TREE, 7) == 3
+    assert max_neighbor_degree(Topology.BROADCAST, 8) == 7
+
+
+def test_bandwidth_limited_flag():
+    assert Topology.BROADCAST.bandwidth_limited
+    assert not Topology.ONE_D.bandwidth_limited
+    assert not Topology.RING.bandwidth_limited

@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_table1_paper(capsys):
+    assert main(["table1", "--source", "paper"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "STEN-2" in out
+
+
+def test_calibrate(capsys):
+    assert main(["calibrate"]) == 0
+    out = capsys.readouterr().out
+    assert "T_comm[sparc2, 1-D]" in out
+
+
+def test_fig3_single_size(capsys):
+    assert main(["fig3", "--n", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "p_ideal" in out
+    assert "N=60" in out
+
+
+def test_fig3_overlap_flag(capsys):
+    assert main(["fig3", "--n", "60", "--overlap"]) == 0
+    assert "STEN-2" in capsys.readouterr().out
+
+
+def test_output_file(tmp_path, capsys):
+    target = tmp_path / "report.txt"
+    assert main(["-o", str(target), "table1", "--source", "paper"]) == 0
+    assert "Table 1" in target.read_text()
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_timeline_command(capsys):
+    assert main(["timeline", "--n", "120", "--p1", "3", "--iterations", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "rank 0" in out and "#" in out
+
+
+def test_sensitivity_command(capsys):
+    # Tiny but real: exercises the default path end to end.
+    assert main(["sensitivity"]) == 0
+    assert "regret" in capsys.readouterr().out

@@ -1,0 +1,35 @@
+"""Run the doctest examples embedded in module/class docstrings."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.sim.kernel
+import repro.sim.rng
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro.sim.kernel, repro.sim.rng],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0  # the examples actually exist
+
+
+def test_package_docstring_example():
+    """The repro package docstring's quickstart must stay true."""
+    results = doctest.testmod(repro, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0
+
+
+def test_network_docstring_example():
+    import repro.hardware.network as net_mod
+
+    results = doctest.testmod(net_mod, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0

@@ -1,0 +1,68 @@
+"""Coverage for the unit helpers and the error hierarchy."""
+
+import pytest
+
+from repro import errors, units
+
+
+def test_time_conversions():
+    assert units.usec_to_msec(1500) == 1.5
+    assert units.msec_to_usec(1.5) == 1500
+    assert units.seconds_to_msec(2) == 2000
+    assert units.msec_to_seconds(2000) == 2
+
+
+def test_transmission_time():
+    # 1250 bytes at 10 Mb/s = 1 ms.
+    assert units.transmission_time_ms(1250, 10_000_000) == pytest.approx(1.0)
+    assert units.transmission_time_ms(0, 10_000_000) == 0.0
+    with pytest.raises(ValueError):
+        units.transmission_time_ms(-1, 1e6)
+    with pytest.raises(ValueError):
+        units.transmission_time_ms(100, 0)
+
+
+def test_ops_time_matches_eq4_units():
+    # 1e6 ops at 0.3 us/op = 300 ms (the Sparc2).
+    assert units.ops_time_ms(1_000_000, 0.3) == pytest.approx(300.0)
+    with pytest.raises(ValueError):
+        units.ops_time_ms(-1, 0.3)
+    with pytest.raises(ValueError):
+        units.ops_time_ms(1, 0.0)
+
+
+def test_error_hierarchy_single_catch():
+    """Every library error is a ReproError (the documented contract)."""
+    leaf_errors = [
+        errors.SimulationError,
+        errors.DeadlockError,
+        errors.DeadlineExceededError,
+        errors.NetworkModelError,
+        errors.TopologyError,
+        errors.AnnotationError,
+        errors.PartitionError,
+        errors.FittingError,
+        errors.MessagingError,
+    ]
+    for err in leaf_errors:
+        assert issubclass(err, errors.ReproError), err
+    from repro.sim import Interrupt
+
+    assert issubclass(Interrupt, errors.ReproError)
+
+
+def test_deadlock_is_simulation_error():
+    assert issubclass(errors.DeadlockError, errors.SimulationError)
+
+
+def test_network_diagram_renders():
+    from repro.experiments.diagram import network_diagram
+    from repro.hardware.presets import paper_testbed, metasystem_network
+
+    text = network_diagram(paper_testbed())
+    assert "sparc2: 6 x Sparc2" in text
+    assert "0.30us/flop" in text
+    assert "<router>" in text
+
+    meta = network_diagram(metasystem_network())
+    assert "80 Mb/s" in meta and "10 Mb/s" in meta
