@@ -1,0 +1,50 @@
+"""Bench: scalar vs batch exhaustive-oracle throughput.
+
+The tentpole claim of the fast-path layer: on a 3-cluster, 24-processor
+network the vectorized exhaustive oracle is at least 10x faster than the
+scalar one while making the identical decision.  Writes the comparison to
+``benchmarks/out/partition_perf.txt`` and the machine-readable record to
+the repo root as ``BENCH_partition_perf.json`` so the numbers are tracked
+across PRs.
+"""
+
+import json
+from pathlib import Path
+
+from repro.partition.perfbench import perf_payload, perf_report, run_perf
+
+REPO_ROOT = Path(__file__).parent.parent
+SPEEDUP_FLOOR = 10.0
+
+
+def test_batch_exhaustive_speedup(benchmark, save_report):
+    cmp = benchmark.pedantic(
+        lambda: run_perf((8, 8, 8), n=600, repeat=3), rounds=1, iterations=1
+    )
+    save_report("partition_perf.txt", perf_report(cmp))
+    payload = perf_payload(cmp)
+    (REPO_ROOT / "BENCH_partition_perf.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    scalar, batch = cmp.result("scalar"), cmp.result("batch")
+    assert scalar.counts == batch.counts
+    assert abs(scalar.t_cycle_ms - batch.t_cycle_ms) < 1e-9
+    assert cmp.speedup >= SPEEDUP_FLOOR, (
+        f"batch engine only {cmp.speedup:.1f}x faster than scalar "
+        f"(floor {SPEEDUP_FLOOR}x): scalar {scalar.best_wall_s * 1e3:.2f} ms, "
+        f"batch {batch.best_wall_s * 1e3:.2f} ms"
+    )
+
+
+def test_unpruned_batch_still_matches(benchmark):
+    """Without the prune the batch engine scans all combos — same answer."""
+    cmp = benchmark.pedantic(
+        lambda: run_perf((6, 6, 6), n=300, repeat=1, prune=False),
+        rounds=1,
+        iterations=1,
+    )
+    scalar, batch = cmp.result("scalar"), cmp.result("batch")
+    assert scalar.counts == batch.counts
+    assert abs(scalar.t_cycle_ms - batch.t_cycle_ms) < 1e-9
+    # Unpruned, the batch engine visits the full (6+1)^3 - 1 combo space.
+    assert batch.configs_evaluated == 7**3 - 1

@@ -16,6 +16,7 @@ implements the paper's composition rules:
 from __future__ import annotations
 
 import json
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -44,32 +45,70 @@ class CostDatabase:
     #: §6 worked composition omits the extra station; databases replicating
     #: the published constants set this to False.
     router_extra_station: bool = True
+    #: Keyed LRU over :meth:`topology_cost` compositions (hot path: every
+    #: ``T_c`` probe funnels through one of these).  Capped so long sweeps
+    #: over distinct (b, counts) keys cannot grow without bound.
+    topology_cache_max: int = 65_536
+
+    def __post_init__(self) -> None:
+        self._topo_cache: OrderedDict[tuple, float] = OrderedDict()
+        self._coeff_cache: dict[tuple[str, str], tuple] = {}
+
+    def _invalidate_caches(self) -> None:
+        self._topo_cache.clear()
+        self._coeff_cache.clear()
 
     # -- registration ----------------------------------------------------------
 
     def add_comm(self, fn: CommCostFunction) -> None:
         """Register an Eq 1 function for (cluster, topology)."""
         self.comm[(fn.cluster, fn.topology)] = fn
+        self._invalidate_caches()
 
     def add_router(self, fn: LinearByteCost) -> None:
         """Register a router penalty for an ordered cluster pair."""
         self.router[(fn.src, fn.dst)] = fn
+        self._invalidate_caches()
 
     def add_coerce(self, fn: LinearByteCost) -> None:
         """Register a coercion penalty for an ordered cluster pair."""
         self.coerce[(fn.src, fn.dst)] = fn
+        self._invalidate_caches()
 
     # -- lookup ------------------------------------------------------------------
 
+    def comm_coefficients(
+        self, cluster: str, topology: Topology | str
+    ) -> tuple[float, float, float, float, bool]:
+        """The precompiled ``(c1, c2, c3, c4, abs_quirk)`` tuple for Eq 1.
+
+        Cached so hot loops (and the vectorized fast path) skip the dict
+        lookup + dataclass attribute walk per probe.
+        """
+        key = (cluster, str(topology))
+        cached = self._coeff_cache.get(key)
+        if cached is None:
+            fn = self.comm.get(key)
+            if fn is None:
+                raise FittingError(
+                    f"no fitted cost function for cluster {cluster!r}, "
+                    f"topology {str(topology)!r}"
+                )
+            cached = (fn.c1, fn.c2, fn.c3, fn.c4, fn.abs_bandwidth_quirk)
+            self._coeff_cache[key] = cached
+        return cached
+
     def comm_cost(self, cluster: str, topology: Topology | str, b: float, p: int) -> float:
         """``T_comm[C_i, τ](b, p)`` from the fitted function."""
-        fn = self.comm.get((cluster, str(topology)))
-        if fn is None:
-            raise FittingError(
-                f"no fitted cost function for cluster {cluster!r}, "
-                f"topology {str(topology)!r}"
-            )
-        return fn.evaluate(b, p)
+        c1, c2, c3, c4, quirk = self.comm_coefficients(cluster, topology)
+        if p <= 1:
+            return 0.0
+        if b < 0:
+            raise ValueError(f"message size must be non-negative, got {b}")
+        per_byte = c3 + c4 * p
+        if quirk:
+            per_byte = abs(per_byte)
+        return c1 + c2 * p + b * per_byte
 
     def _pair_cost(
         self, table: dict[tuple[str, str], LinearByteCost], a: str, b_name: str
@@ -122,6 +161,21 @@ class CostDatabase:
         total = sum(active.values())
         if total <= 1:
             return 0.0
+        key = (str(topo), float(b), tuple(sorted(active.items())))
+        cache = self._topo_cache
+        cached = cache.get(key)
+        if cached is not None:
+            cache.move_to_end(key)
+            return cached
+        cost = self._topology_cost_uncached(topo, b, active, total)
+        cache[key] = cost
+        if len(cache) > self.topology_cache_max:
+            cache.popitem(last=False)
+        return cost
+
+    def _topology_cost_uncached(
+        self, topo: Topology, b: float, active: dict[str, int], total: int
+    ) -> float:
         names = list(active)
         if topo.bandwidth_limited:
             # Offered load scales with the total processor count regardless

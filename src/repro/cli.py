@@ -36,7 +36,7 @@ def _table1(args) -> str:
 def _table2(args) -> str:
     from repro.experiments import reproduce_table2, table2_report
 
-    repro_ = reproduce_table2()
+    repro_ = reproduce_table2(workers=getattr(args, "workers", None))
     text = table2_report(repro_)
     return text + f"\n\nprediction hits: {repro_.prediction_hits()}/{repro_.rows_count()} rows"
 
@@ -45,7 +45,10 @@ def _fig3(args) -> str:
     from repro.experiments import fig3_report
 
     sizes = [args.n] if args.n else [60, 300, 1200]
-    return "\n\n".join(fig3_report(n, overlap=args.overlap) for n in sizes)
+    workers = getattr(args, "workers", None)
+    return "\n\n".join(
+        fig3_report(n, overlap=args.overlap, workers=workers) for n in sizes
+    )
 
 
 def _calibrate(args) -> str:
@@ -69,7 +72,7 @@ def _accuracy(args) -> str:
 def _sensitivity(args) -> str:
     from repro.experiments import sensitivity_report
 
-    return sensitivity_report()
+    return sensitivity_report(workers=getattr(args, "workers", None))
 
 
 def _timeline(args) -> str:
@@ -102,7 +105,29 @@ def _speedup(args) -> str:
 def _multiapp(args) -> str:
     from repro.experiments.multiapp import multiapp_report
 
-    return multiapp_report()
+    return multiapp_report(workers=getattr(args, "workers", None))
+
+
+def _bench_partition(args) -> str:
+    import json
+
+    from repro.partition.perfbench import perf_payload, perf_report, run_perf
+
+    engines = ("scalar", "batch") if args.engine == "both" else (args.engine,)
+    cmp = run_perf(
+        tuple(args.clusters),
+        n=args.n,
+        repeat=args.repeat,
+        engines=engines,
+        prune=not args.no_prune,
+    )
+    text = perf_report(cmp)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(perf_payload(cmp), fh, indent=2)
+            fh.write("\n")
+        text += f"\n\n[json written to {args.json}]"
+    return text
 
 
 def _all(args) -> str:
@@ -117,6 +142,16 @@ def _all(args) -> str:
         _speedup(args),
     ]
     return "\n\n".join(sections)
+
+
+def _add_workers_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan simulations out across N processes (default: serial)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -140,11 +175,13 @@ def build_parser() -> argparse.ArgumentParser:
     p1.set_defaults(func=_table1)
 
     p2 = sub.add_parser("table2", help="Table 2: simulated elapsed-time grid")
+    _add_workers_flag(p2)
     p2.set_defaults(func=_table2)
 
     p3 = sub.add_parser("fig3", help="Fig 3: the T_c(P) curve")
     p3.add_argument("--n", type=int, default=None, help="problem size (default: 60, 300, 1200)")
     p3.add_argument("--overlap", action="store_true", help="use STEN-2 instead of STEN-1")
+    _add_workers_flag(p3)
     p3.set_defaults(func=_fig3)
 
     p4 = sub.add_parser("calibrate", help="offline cost-function fitting report")
@@ -160,13 +197,44 @@ def build_parser() -> argparse.ArgumentParser:
     p7.set_defaults(func=_accuracy)
 
     p8 = sub.add_parser("sensitivity", help="E12: decision sensitivity to constant error")
+    _add_workers_flag(p8)
     p8.set_defaults(func=_sensitivity)
 
     p10 = sub.add_parser("speedup", help="E14: speedup/efficiency per application")
     p10.set_defaults(func=_speedup)
 
     p11 = sub.add_parser("multiapp", help="E15: decision quality across all applications")
+    _add_workers_flag(p11)
     p11.set_defaults(func=_multiapp)
+
+    p12 = sub.add_parser(
+        "bench-partition", help="time the exhaustive oracle: scalar vs batch engine"
+    )
+    p12.add_argument(
+        "--clusters",
+        type=int,
+        nargs="+",
+        default=[8, 8, 8],
+        metavar="SIZE",
+        help="processors per synthetic cluster (default: 8 8 8)",
+    )
+    p12.add_argument("--n", type=int, default=600, help="stencil problem size")
+    p12.add_argument("--repeat", type=int, default=3, help="timing repeats per engine")
+    p12.add_argument(
+        "--engine",
+        choices=("scalar", "batch", "both"),
+        default="both",
+        help="which evaluation path(s) to time",
+    )
+    p12.add_argument(
+        "--no-prune",
+        action="store_true",
+        help="disable the batch engine's branch-and-bound prune",
+    )
+    p12.add_argument(
+        "--json", metavar="FILE", help="also write the machine-readable record to FILE"
+    )
+    p12.set_defaults(func=_bench_partition)
 
     p9 = sub.add_parser("timeline", help="ASCII Gantt of one stencil run")
     p9.add_argument("--n", type=int, default=300)

@@ -24,6 +24,7 @@ from repro.partition import (
     gather_available_resources,
     order_by_power,
 )
+from repro.partition.search_parallel import sweep
 
 __all__ = ["CurvePoint", "tc_curve", "simulated_curve", "fig3_report", "prefix_configs"]
 
@@ -69,26 +70,38 @@ def tc_curve(
     return points
 
 
+def _curve_cell(overlap: bool, n: int, p1: int, p2: int, iterations: int) -> float:
+    """Picklable per-point worker for the parallel curve sweep."""
+    return simulate_elapsed(overlap, n, p1, p2, iterations=iterations)
+
+
 def simulated_curve(
     n: int,
     *,
     overlap: bool = False,
     iterations: int = 10,
     configs: Optional[Sequence[tuple[int, int]]] = None,
+    workers: Optional[int] = None,
 ) -> list[CurvePoint]:
-    """The simulated per-cycle time along the same path (elapsed / cycles)."""
-    points = []
-    for p1, p2 in configs or prefix_configs():
-        elapsed = simulate_elapsed(overlap, n, p1, p2, iterations=iterations)
-        points.append(
-            CurvePoint(
-                total_processors=p1 + p2,
-                p1=p1,
-                p2=p2,
-                t_cycle_ms=elapsed / iterations,
-            )
+    """The simulated per-cycle time along the same path (elapsed / cycles).
+
+    ``workers`` fans the per-point simulations out across processes.
+    """
+    path = list(configs or prefix_configs())
+    elapsed = sweep(
+        _curve_cell,
+        [(overlap, n, p1, p2, iterations) for p1, p2 in path],
+        workers=workers,
+    )
+    return [
+        CurvePoint(
+            total_processors=p1 + p2,
+            p1=p1,
+            p2=p2,
+            t_cycle_ms=t / iterations,
         )
-    return points
+        for (p1, p2), t in zip(path, elapsed)
+    ]
 
 
 def p_ideal(points: Sequence[CurvePoint]) -> CurvePoint:
@@ -105,10 +118,10 @@ def is_unimodal(points: Sequence[CurvePoint], tolerance: float = 1e-9) -> bool:
     return falling and rising
 
 
-def fig3_report(n: int = 300, *, overlap: bool = False) -> str:
+def fig3_report(n: int = 300, *, overlap: bool = False, workers: Optional[int] = None) -> str:
     """ASCII rendering of the estimated and simulated curves."""
     est = tc_curve(n, overlap=overlap)
-    sim = simulated_curve(n, overlap=overlap)
+    sim = simulated_curve(n, overlap=overlap, workers=workers)
     labels = [f"({p.p1},{p.p2})" for p in est]
     ideal = p_ideal(est)
     chart_est = format_bar_chart(

@@ -11,7 +11,7 @@ the prediction is scored by its simulated gap to the best candidate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
+from functools import lru_cache, partial
 from typing import Callable, Optional, Sequence
 
 import numpy as np
@@ -31,6 +31,7 @@ from repro.partition import (
     gather_available_resources,
     partition,
 )
+from repro.partition.search_parallel import sweep
 from repro.spmd import Topology
 
 __all__ = ["AppCase", "CASES", "decision_quality", "multiapp_report"]
@@ -62,81 +63,91 @@ def _vec(p1, p2, n):
 
 @dataclass(frozen=True)
 class AppCase:
-    """One application workload: annotations plus a simulator."""
+    """One application workload: annotations plus a simulator.
+
+    ``simulate`` is a :func:`functools.partial` over a module-level worker
+    (never a closure) so the candidate grid can fan out across processes.
+    """
 
     name: str
     computation_factory: Callable[[], object]
     simulate: Callable[[int, int], float]
 
 
-def _simulate_stencil(n, iterations, overlap):
-    def run(p1, p2):
-        net = paper_testbed()
-        return run_stencil(
-            MMPS(net), _procs(net, p1, p2), _vec(p1, p2, n), n,
-            iterations=iterations, overlap=overlap,
-        ).elapsed_ms
+def _stencil_cell(n, iterations, overlap, p1, p2):
+    net = paper_testbed()
+    return run_stencil(
+        MMPS(net), _procs(net, p1, p2), _vec(p1, p2, n), n,
+        iterations=iterations, overlap=overlap,
+    ).elapsed_ms
 
-    return run
+
+def _sor_cell(n, iterations, p1, p2):
+    net = paper_testbed()
+    return run_sor(
+        MMPS(net), _procs(net, p1, p2), _vec(p1, p2, n), n, iterations=iterations
+    ).elapsed_ms
+
+
+def _heat_cell(n, p1, p2):
+    net = paper_testbed()
+    return run_heat(
+        MMPS(net), _procs(net, p1, p2), _vec(p1, p2, n), n, tol=1e-3
+    ).elapsed_ms
+
+
+def _gauss_cell(n, p1, p2):
+    net = paper_testbed()
+    return run_gauss(
+        MMPS(net), _procs(net, p1, p2), _vec(p1, p2, n), n
+    ).elapsed_ms
+
+
+@lru_cache(maxsize=4)
+def _power_matrix(n: int) -> np.ndarray:
+    rng = np.random.default_rng(0)
+    a = rng.random((n, n))
+    return (a + a.T) / 2 + n * np.eye(n)
+
+
+def _power_cell(n, p1, p2):
+    net = paper_testbed()
+    return run_power_method(
+        MMPS(net), _procs(net, p1, p2), _vec(p1, p2, n), _power_matrix(n),
+        tol=1e-6, max_iterations=40,
+    ).elapsed_ms
+
+
+def _nbody_cell(n, steps, p1, p2):
+    positions = np.linspace(0.0, 500.0, n)
+    net = paper_testbed()
+    return run_nbody(
+        MMPS(net), _procs(net, p1, p2), _vec(p1, p2, n), positions, steps=steps
+    ).elapsed_ms
+
+
+def _simulate_stencil(n, iterations, overlap):
+    return partial(_stencil_cell, n, iterations, overlap)
 
 
 def _simulate_sor(n, iterations):
-    def run(p1, p2):
-        net = paper_testbed()
-        return run_sor(
-            MMPS(net), _procs(net, p1, p2), _vec(p1, p2, n), n, iterations=iterations
-        ).elapsed_ms
-
-    return run
+    return partial(_sor_cell, n, iterations)
 
 
 def _simulate_heat(n):
-    def run(p1, p2):
-        net = paper_testbed()
-        return run_heat(
-            MMPS(net), _procs(net, p1, p2), _vec(p1, p2, n), n, tol=1e-3
-        ).elapsed_ms
-
-    return run
+    return partial(_heat_cell, n)
 
 
 def _simulate_gauss(n):
-    def run(p1, p2):
-        net = paper_testbed()
-        return run_gauss(
-            MMPS(net), _procs(net, p1, p2), _vec(p1, p2, n), n
-        ).elapsed_ms
-
-    return run
+    return partial(_gauss_cell, n)
 
 
 def _simulate_power(n):
-    matrix_cache = {}
-
-    def run(p1, p2):
-        if n not in matrix_cache:
-            rng = np.random.default_rng(0)
-            a = rng.random((n, n))
-            matrix_cache[n] = (a + a.T) / 2 + n * np.eye(n)
-        net = paper_testbed()
-        return run_power_method(
-            MMPS(net), _procs(net, p1, p2), _vec(p1, p2, n), matrix_cache[n],
-            tol=1e-6, max_iterations=40,
-        ).elapsed_ms
-
-    return run
+    return partial(_power_cell, n)
 
 
 def _simulate_nbody(n, steps):
-    positions = np.linspace(0.0, 500.0, n)
-
-    def run(p1, p2):
-        net = paper_testbed()
-        return run_nbody(
-            MMPS(net), _procs(net, p1, p2), _vec(p1, p2, n), positions, steps=steps
-        ).elapsed_ms
-
-    return run
+    return partial(_nbody_cell, n, steps)
 
 
 CASES: tuple[AppCase, ...] = (
@@ -210,8 +221,13 @@ def decision_quality(
     *,
     candidates: Sequence[tuple[int, int]] = CANDIDATES,
     db: Optional[CostDatabase] = None,
+    workers: Optional[int] = None,
 ) -> list[QualityRow]:
-    """Predict under both models, simulate the candidate grid, score."""
+    """Predict under both models, simulate the candidate grid, score.
+
+    ``workers`` fans each application's candidate simulations out across
+    processes (the simulators are picklable partials by construction).
+    """
     db = db or _full_database()
     net = paper_testbed()
     resources = gather_available_resources(net)
@@ -220,10 +236,12 @@ def decision_quality(
         comp = case.computation_factory()
         dominant = _choose(comp, resources, db, all_phases=False)
         extended = _choose(comp, resources, db, all_phases=True)
-        elapsed = {cfg: case.simulate(*cfg) for cfg in candidates}
+        grid = list(candidates)
         for cfg in (dominant, extended):
-            if cfg not in elapsed:
-                elapsed[cfg] = case.simulate(*cfg)
+            if cfg not in grid:
+                grid.append(cfg)
+        simulated = sweep(case.simulate, grid, workers=workers)
+        elapsed = dict(zip(grid, simulated))
         best = min(elapsed, key=elapsed.get)
         rows.append(
             QualityRow(
@@ -239,9 +257,11 @@ def decision_quality(
     return rows
 
 
-def multiapp_report(rows: Optional[list[QualityRow]] = None) -> str:
+def multiapp_report(
+    rows: Optional[list[QualityRow]] = None, *, workers: Optional[int] = None
+) -> str:
     """The E15 artifact: paper model vs extended model, per application."""
-    rows = rows if rows is not None else decision_quality()
+    rows = rows if rows is not None else decision_quality(workers=workers)
     table = [
         [
             r.app,

@@ -33,6 +33,7 @@ from repro.partition import (
     order_by_power,
     partition,
 )
+from repro.partition.search_parallel import sweep
 
 __all__ = ["perturb_database", "SensitivityResult", "sensitivity_analysis", "sensitivity_report"]
 
@@ -86,6 +87,49 @@ class SensitivityResult:
     max_regret: float
 
 
+def _sensitivity_level(
+    db_json: str,
+    epsilon: float,
+    trials: int,
+    n: int,
+    overlap: bool,
+    seed: int,
+) -> SensitivityResult:
+    """One perturbation level, self-contained (picklable for the sweep).
+
+    Rebuilds the database from JSON and the computation from primitives so
+    the worker carries no closures across the process boundary.
+    """
+    db = CostDatabase.from_json(db_json)
+    rng = np.random.default_rng(seed)
+    resources = gather_available_resources(paper_testbed())
+    ordered = order_by_power(resources)
+    comp = stencil_computation(n, overlap=overlap)
+    truth = CycleEstimator(comp, db)
+    baseline = partition(comp, resources, db)
+    baseline_t = truth.t_cycle(
+        ProcessorConfiguration(ordered, tuple(baseline.config.counts))
+    )
+    changed = 0
+    regrets = []
+    for _ in range(trials):
+        noisy = perturb_database(db, epsilon, rng)
+        decision = partition(comp, resources, noisy)
+        counts = tuple(decision.config.counts)
+        true_t = truth.t_cycle(ProcessorConfiguration(ordered, counts))
+        regret = (true_t - baseline_t) / baseline_t
+        regrets.append(max(regret, 0.0))
+        if decision.counts_by_name() != baseline.counts_by_name():
+            changed += 1
+    return SensitivityResult(
+        epsilon=epsilon,
+        trials=trials,
+        decision_changed=changed,
+        mean_regret=float(np.mean(regrets)),
+        max_regret=float(np.max(regrets)),
+    )
+
+
 def sensitivity_analysis(
     db: Optional[CostDatabase] = None,
     *,
@@ -94,9 +138,27 @@ def sensitivity_analysis(
     epsilons: Sequence[float] = (0.05, 0.1, 0.2, 0.4),
     trials: int = 20,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> list[SensitivityResult]:
-    """Run the perturbation study for one workload."""
+    """Run the perturbation study for one workload.
+
+    Serial by default.  With ``workers`` the perturbation levels fan out
+    across processes; each level then draws from its own seeded RNG stream
+    (``seed`` + level index), so parallel results are reproducible for a
+    given ``(seed, epsilons)`` but differ from the serial single-stream
+    draw order.
+    """
     db = db or fitted_cost_database()
+    if workers is not None and workers > 1:
+        db_json = db.to_json()
+        return sweep(
+            _sensitivity_level,
+            [
+                (db_json, epsilon, trials, n, overlap, seed + i)
+                for i, epsilon in enumerate(epsilons)
+            ],
+            workers=workers,
+        )
     rng = np.random.default_rng(seed)
     resources = gather_available_resources(paper_testbed())
     ordered = order_by_power(resources)
@@ -131,9 +193,13 @@ def sensitivity_analysis(
     return results
 
 
-def sensitivity_report(results: Optional[list[SensitivityResult]] = None) -> str:
+def sensitivity_report(
+    results: Optional[list[SensitivityResult]] = None,
+    *,
+    workers: Optional[int] = None,
+) -> str:
     """Formatted sensitivity table."""
-    results = results if results is not None else sensitivity_analysis()
+    results = results if results is not None else sensitivity_analysis(workers=workers)
     rows = [
         [
             f"±{100 * r.epsilon:.0f}%",

@@ -35,6 +35,7 @@ from repro.partition import (
     gather_available_resources,
     order_by_power,
 )
+from repro.partition.search_parallel import sweep
 
 __all__ = ["SimulatedCell", "Table2Reproduction", "simulate_elapsed", "reproduce_table2", "table2_report"]
 
@@ -139,19 +140,38 @@ def noisy_minimum_stability(
     }
 
 
+def _grid_cell(overlap: bool, n: int, p1: int, p2: int, iterations: int) -> float:
+    """Picklable per-cell worker for the parallel simulation sweep."""
+    return simulate_elapsed(overlap, n, p1, p2, iterations=iterations)
+
+
 def reproduce_table2(
     db: Optional[CostDatabase] = None,
     *,
     sizes: Sequence[int] = PROBLEM_SIZES,
     configs: Sequence[tuple[int, int]] = TABLE2_CONFIGS,
     iterations: int = ITERATIONS,
+    workers: Optional[int] = None,
 ) -> Table2Reproduction:
-    """Simulate every cell and mark predicted + simulated minima."""
+    """Simulate every cell and mark predicted + simulated minima.
+
+    ``workers`` fans the (variant, N, config) simulation grid out across
+    processes; the default stays serial.
+    """
     db = db or fitted_cost_database()
     net = paper_testbed()
     resources = order_by_power(gather_available_resources(net))
+    variants = (("STEN-1", False), ("STEN-2", True))
+    grid = [
+        (overlap, n, cfg[0], cfg[1], iterations)
+        for _variant, overlap in variants
+        for n in sizes
+        for cfg in configs
+    ]
+    simulated = sweep(_grid_cell, grid, workers=workers)
+    elapsed_by_cell = {task[:4]: value for task, value in zip(grid, simulated)}
     cells: list[SimulatedCell] = []
-    for variant, overlap in (("STEN-1", False), ("STEN-2", True)):
+    for variant, overlap in variants:
         for n in sizes:
             comp = stencil_computation(n, overlap=overlap, cycles=iterations)
             estimator = CycleEstimator(comp, db)
@@ -161,8 +181,7 @@ def reproduce_table2(
             }
             predicted = min(predictions, key=predictions.get)
             elapsed = {
-                cfg: simulate_elapsed(overlap, n, *cfg, iterations=iterations)
-                for cfg in configs
+                cfg: elapsed_by_cell[(overlap, n, cfg[0], cfg[1])] for cfg in configs
             }
             best = min(elapsed, key=elapsed.get)
             for cfg in configs:

@@ -24,6 +24,13 @@ from repro.partition.dynamic import (
     transfer_plan,
 )
 from repro.partition.estimator import CycleEstimate, CycleEstimator
+from repro.partition.fastpath import (
+    BatchCycleEstimator,
+    BatchEstimate,
+    full_count_matrix,
+    prefix_count_matrix,
+    pruned_count_matrix,
+)
 from repro.partition.general import general_partition
 from repro.partition.heuristic import (
     PartitionDecision,
@@ -59,6 +66,11 @@ __all__ = [
     "transfer_plan",
     "CycleEstimate",
     "CycleEstimator",
+    "BatchCycleEstimator",
+    "BatchEstimate",
+    "full_count_matrix",
+    "prefix_count_matrix",
+    "pruned_count_matrix",
     "general_partition",
     "PartitionDecision",
     "exhaustive_partition",

@@ -52,8 +52,18 @@ class ProcessorConfiguration:
         return 0
 
     def counts_by_name(self) -> dict[str, int]:
-        """Cluster name → ``P_i`` mapping (includes zero entries)."""
-        return {res.name: count for res, count in zip(self.resources, self.counts)}
+        """Cluster name → ``P_i`` mapping (includes zero entries).
+
+        Built once per (frozen) configuration and cached: every
+        ``topology_cost`` probe consults it, so rebuilding the dict per
+        call dominated the scalar estimator's profile.  Treat the returned
+        dict as read-only.
+        """
+        cached = self.__dict__.get("_counts_by_name")
+        if cached is None:
+            cached = {res.name: count for res, count in zip(self.resources, self.counts)}
+            object.__setattr__(self, "_counts_by_name", cached)
+        return cached
 
     def active(self) -> list[tuple[ClusterResources, int]]:
         """(resources, count) pairs with at least one processor."""

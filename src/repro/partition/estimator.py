@@ -145,17 +145,29 @@ class CycleEstimator:
             for phase in self.computation.communication_phases
         )
 
+    def _comm_breakdown(self, config: ProcessorConfiguration) -> tuple[float, float]:
+        """``(T_comm, overlappable portion)`` in a single pass.
+
+        Each phase's cost is computed exactly once — the overlappable share
+        reuses it instead of re-walking the topology composition.
+        """
+        if self.comm_phase is None or config.total <= 1:
+            return 0.0, 0.0
+        if not self.all_phases:
+            t_comm = self._phase_comm_cost(self.comm_phase, config)
+            return t_comm, (t_comm if self.overlapped else 0.0)
+        t_comm = 0.0
+        overlappable = 0.0
+        for phase in self.computation.communication_phases:
+            cost = self._phase_comm_cost(phase, config)
+            t_comm += cost
+            if phase.overlap is not None:
+                overlappable += cost
+        return t_comm, overlappable
+
     def _overlappable_comm(self, config: ProcessorConfiguration) -> float:
         """The portion of T_comm eligible for overlap credit."""
-        if self.comm_phase is None or config.total <= 1:
-            return 0.0
-        if not self.all_phases:
-            return self.t_comm(config) if self.overlapped else 0.0
-        return sum(
-            self._phase_comm_cost(phase, config)
-            for phase in self.computation.communication_phases
-            if phase.overlap is not None
-        )
+        return self._comm_breakdown(config)[1]
 
     # -- the objective ------------------------------------------------------------------
 
@@ -168,8 +180,8 @@ class CycleEstimator:
         if config.total < 1:
             raise PartitionError("cannot estimate an empty configuration")
         t_comp = self.t_comp(config)
-        t_comm = self.t_comm(config)
-        t_overlap = min(t_comp, self._overlappable_comm(config))
+        t_comm, overlappable = self._comm_breakdown(config)
+        t_overlap = min(t_comp, overlappable)
         self.evaluations += 1
         result = CycleEstimate(
             config=config, t_comp_ms=t_comp, t_comm_ms=t_comm, t_overlap_ms=t_overlap

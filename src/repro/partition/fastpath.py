@@ -1,0 +1,421 @@
+"""Vectorized batch evaluation of the Eq 3-6 objective (the fast path).
+
+:class:`BatchCycleEstimator` lowers one computation + ordered cluster list
+into flat NumPy arrays — per-cluster speed prefix sums for Eq 3/4, the
+fitted ``c1..c4`` Eq 1 coefficients per cluster, and the pairwise
+router/coercion intercept+slope matrices — and evaluates ``T_comp``,
+``T_comm``, ``T_overlap``, and ``T_c`` for an entire *matrix* of candidate
+configurations in one pass.  The scalar
+:class:`~repro.partition.estimator.CycleEstimator` stays the reference
+implementation; this module must agree with it decision-for-decision (the
+``tests/partition/test_fastpath_equivalence.py`` contract).
+
+Array layout (see docs/performance.md):
+
+* a candidate set is an ``(M, K)`` int matrix ``C`` — row = one
+  configuration, column = the per-cluster count ``P_i`` in *search order*;
+* per cluster ``k``, ``speed_prefix[k][c] = Σ_{i<c} 1/S_i`` over the first
+  ``c`` available nodes (placement order), so Eq 3's denominator for a row
+  is one gather + row sum and handles load-adjusted heterogeneous rates;
+* Eq 1 per cluster is a coefficient 4-tuple; the router/coercion crossing
+  penalty is a ``(K, K)`` intercept matrix + slope matrix, maxed over the
+  active cluster pairs of each row.
+
+:func:`pruned_count_matrix` enumerates per-cluster count combinations
+level by level, discarding every prefix whose ``T_comp`` lower bound
+(all remaining clusters fully allocated) already exceeds an incumbent
+``T_c`` — a branch-and-bound cut that is exact because
+``T_c >= T_comp`` and ``T_comp`` is non-increasing in every count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.benchmarking.database import CostDatabase
+from repro.errors import FittingError, PartitionError
+from repro.model.computation import DataParallelComputation
+from repro.partition.available import ClusterResources
+from repro.spmd.topology import Topology
+from repro.units import US_PER_MS
+
+__all__ = [
+    "BatchEstimate",
+    "BatchCycleEstimator",
+    "full_count_matrix",
+    "prefix_count_matrix",
+    "pruned_count_matrix",
+]
+
+#: Relative + absolute slack applied to the prune bound so floating-point
+#: noise can never discard the true optimum.
+_PRUNE_SLACK = 1e-12
+
+
+@dataclass(frozen=True)
+class BatchEstimate:
+    """Eq 4-6 component vectors for a matrix of candidate configurations."""
+
+    counts: np.ndarray  #: ``(M, K)`` int matrix of per-cluster counts.
+    totals: np.ndarray  #: ``(M,)`` total processors per row.
+    t_comp_ms: np.ndarray
+    t_comm_ms: np.ndarray
+    t_overlap_ms: np.ndarray
+    t_cycle_ms: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.counts.shape[0])
+
+    def best_index(self) -> int:
+        """Row of the minimal ``T_c`` (first on ties, like the scalar scan)."""
+        if len(self) == 0:
+            raise PartitionError("no candidate configurations")
+        return int(np.argmin(self.t_cycle_ms))
+
+    def best_counts(self) -> tuple[int, ...]:
+        """The winning row's per-cluster counts."""
+        return tuple(int(c) for c in self.counts[self.best_index()])
+
+
+class BatchCycleEstimator:
+    """Vectorized ``T_c`` evaluation over candidate-configuration matrices.
+
+    Parameters
+    ----------
+    computation:
+        The annotated computation (dominant-phase model, like the scalar
+        estimator's default; ``all_phases`` is not supported here).
+    resources:
+        The *ordered* cluster list; every count matrix handed to
+        :meth:`evaluate` is interpreted column-for-column against it.
+    cost_db:
+        The fitted :class:`~repro.benchmarking.CostDatabase`.
+    """
+
+    def __init__(
+        self,
+        computation: DataParallelComputation,
+        resources: Sequence[ClusterResources],
+        cost_db: CostDatabase,
+        *,
+        startup_ms: float = 0.0,
+    ) -> None:
+        self.computation = computation
+        self.ordered: tuple[ClusterResources, ...] = tuple(resources)
+        self.cost_db = cost_db
+        self.startup_ms = startup_ms
+        if not self.ordered:
+            raise PartitionError("no clusters to evaluate over")
+
+        comp_phase = computation.dominant_computation_phase()
+        self.op_kind = comp_phase.op_kind
+        self.comp_complexity = comp_phase.complexity_value(computation.problem)
+        self.comm_phase = computation.dominant_communication_phase()
+        self.num_pdus = computation.num_pdus_value()
+        self.overlapped = computation.overlapped_with_dominant()
+        #: Number of T_c evaluations performed (rows estimated).
+        self.evaluations = 0
+
+        # -- Eq 3/4 lowering: per-cluster speed prefix sums -------------------
+        self.limits = np.array([r.n_available for r in self.ordered], dtype=np.int64)
+        self._speed_prefix: list[np.ndarray] = []
+        self._cluster_rates: list[np.ndarray] = []
+        for res in self.ordered:
+            rates = np.array(
+                [res.rate_of(proc, self.op_kind) for proc in res.take(res.n_available)],
+                dtype=float,
+            )
+            if np.any(rates <= 0):
+                raise PartitionError(
+                    f"instruction rates must be positive: {rates.tolist()}"
+                )
+            self._cluster_rates.append(rates)
+            self._speed_prefix.append(
+                np.concatenate(([0.0], np.cumsum(1.0 / rates)))
+            )
+
+        # -- Eq 1 lowering: per-cluster coefficients for the dominant topology
+        self._c1 = np.full(len(self.ordered), np.nan)
+        self._c2 = np.full(len(self.ordered), np.nan)
+        self._c3 = np.full(len(self.ordered), np.nan)
+        self._c4 = np.full(len(self.ordered), np.nan)
+        self._quirk = np.zeros(len(self.ordered), dtype=bool)
+        self._have_comm = np.zeros(len(self.ordered), dtype=bool)
+        if self.comm_phase is not None:
+            topo = self.comm_phase.topology
+            self.topology = (
+                topo if isinstance(topo, Topology) else Topology(topo)
+            )
+            for k, res in enumerate(self.ordered):
+                try:
+                    c1, c2, c3, c4, quirk = cost_db.comm_coefficients(
+                        res.name, self.topology
+                    )
+                except FittingError:
+                    continue
+                self._c1[k], self._c2[k], self._c3[k], self._c4[k] = c1, c2, c3, c4
+                self._quirk[k] = quirk
+                self._have_comm[k] = True
+        else:
+            self.topology = None
+
+        # -- crossing lowering: pairwise router+coercion linear penalties -----
+        k_n = len(self.ordered)
+        self._cross_intercept = np.full((k_n, k_n), np.nan)
+        self._cross_slope = np.full((k_n, k_n), np.nan)
+        for i in range(k_n):
+            for j in range(i + 1, k_n):
+                a, b_name = self.ordered[i].name, self.ordered[j].name
+                router = cost_db._pair_cost(cost_db.router, a, b_name)
+                if router is None:
+                    continue  # NaN marker: raise only if a candidate needs it
+                coerce = cost_db._pair_cost(cost_db.coerce, a, b_name)
+                intercept = router.intercept_ms + (
+                    coerce.intercept_ms if coerce is not None else 0.0
+                )
+                slope = router.slope_ms_per_byte + (
+                    coerce.slope_ms_per_byte if coerce is not None else 0.0
+                )
+                self._cross_intercept[i, j] = intercept
+                self._cross_slope[j, i] = self._cross_slope[i, j] = slope
+                self._cross_intercept[j, i] = intercept
+
+    # -- candidate lowering helpers -------------------------------------------------
+
+    def _counts_matrix(self, counts) -> np.ndarray:
+        c = np.asarray(counts, dtype=np.int64)
+        if c.ndim == 1:
+            c = c[None, :]
+        if c.ndim != 2 or c.shape[1] != len(self.ordered):
+            raise PartitionError(
+                f"count matrix must be (M, {len(self.ordered)}), got {c.shape}"
+            )
+        if np.any(c < 0) or np.any(c > self.limits[None, :]):
+            raise PartitionError("counts outside cluster availability bounds")
+        if np.any(c.sum(axis=1) < 1):
+            raise PartitionError("cannot estimate an empty configuration")
+        return c
+
+    def _speed_sums(self, c: np.ndarray) -> np.ndarray:
+        """Eq 3 denominators: ``Σ_j P_j/S_j`` per row."""
+        sums = np.zeros(c.shape[0])
+        for k, prefix in enumerate(self._speed_prefix):
+            sums += prefix[c[:, k]]
+        return sums
+
+    def _message_bytes(self, c: np.ndarray) -> np.ndarray:
+        """Per-row message size ``b`` (may depend on the row's shares)."""
+        phase = self.comm_phase
+        problem = self.computation.problem
+        if phase.per_config_complexity is None:
+            return np.full(c.shape[0], phase.complexity_value(problem))
+        # The paper's "b may depend on A_i" case needs the per-processor
+        # share list; fall back to a per-row callback (everything else in
+        # the pipeline stays vectorized).
+        b = np.zeros(c.shape[0])
+        for m in range(c.shape[0]):
+            rates = np.concatenate(
+                [self._cluster_rates[k][: c[m, k]] for k in range(c.shape[1])]
+            )
+            speeds = 1.0 / rates
+            shares = (speeds / speeds.sum() * self.num_pdus).tolist()
+            b[m] = phase.complexity_for_shares(problem, shares)
+        return b
+
+    def _rounds(self, totals: np.ndarray) -> np.ndarray:
+        """Per-row pattern repetitions (Eq 5's rounds multiplier)."""
+        phase = self.comm_phase
+        if not callable(phase.rounds):
+            return np.full(
+                totals.shape[0], phase.rounds_value(self.computation.problem, 0)
+            )
+        out = np.empty(totals.shape[0])
+        for total in np.unique(totals):
+            out[totals == total] = phase.rounds_value(
+                self.computation.problem, int(total)
+            )
+        return out
+
+    def _eq1(self, k: int, b: np.ndarray, p: np.ndarray) -> np.ndarray:
+        """Vectorized Eq 1 for cluster ``k`` (callers guarantee ``p >= 2``)."""
+        per_byte = self._c3[k] + self._c4[k] * p
+        if self._quirk[k]:
+            per_byte = np.abs(per_byte)
+        return self._c1[k] + self._c2[k] * p + b * per_byte
+
+    def _topology_cost(
+        self, c: np.ndarray, totals: np.ndarray, b: np.ndarray, mask: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`CostDatabase.topology_cost` over the rows."""
+        m, k_n = c.shape
+        active = c > 0
+        n_active = active.sum(axis=1)
+        multi = n_active > 1
+
+        needed = active & mask[:, None]
+        missing = needed & ~self._have_comm[None, :]
+        if np.any(missing):
+            k_bad = int(np.argmax(missing.any(axis=0)))
+            raise FittingError(
+                f"no fitted cost function for cluster {self.ordered[k_bad].name!r}, "
+                f"topology {str(self.topology)!r}"
+            )
+
+        per_cluster = np.full((m, k_n), -np.inf)
+        if self.topology.bandwidth_limited:
+            # Offered load scales with the total count regardless of placement.
+            for k in range(k_n):
+                rows = needed[:, k]
+                if rows.any():
+                    per_cluster[rows, k] = self._eq1(k, b[rows], totals[rows])
+        else:
+            extra = np.where(multi & self.cost_db.router_extra_station, 1, 0)
+            for k in range(k_n):
+                rows = needed[:, k]
+                if not rows.any():
+                    continue
+                p_eff = c[rows, k] + extra[rows]
+                # Across a router even a lone processor sees a 2-station
+                # pattern (its partner arrives via the router).
+                p_eff = np.where(multi[rows], np.maximum(p_eff, 2), p_eff)
+                per_cluster[rows, k] = self._eq1(k, b[rows], p_eff)
+        cost = np.where(mask, per_cluster.max(axis=1, initial=-np.inf), 0.0)
+
+        # Crossing penalty: max over active pairs of router+coercion, >= 0.
+        if np.any(multi & mask):
+            crossing = np.zeros(m)
+            for i in range(k_n):
+                for j in range(i + 1, k_n):
+                    rows = needed[:, i] & needed[:, j]
+                    if not rows.any():
+                        continue
+                    if np.isnan(self._cross_intercept[i, j]):
+                        raise FittingError(
+                            f"no fitted router cost for clusters "
+                            f"{self.ordered[i].name!r}/{self.ordered[j].name!r}"
+                        )
+                    pair = (
+                        self._cross_intercept[i, j]
+                        + self._cross_slope[i, j] * b[rows]
+                    )
+                    crossing[rows] = np.maximum(crossing[rows], pair)
+            cost = cost + np.where(multi & mask, crossing, 0.0)
+        return cost
+
+    # -- the batch objective --------------------------------------------------------
+
+    def evaluate(self, counts) -> BatchEstimate:
+        """Eq 4-6 component vectors for every row of ``counts``."""
+        c = self._counts_matrix(counts)
+        totals = c.sum(axis=1)
+        self.evaluations += int(c.shape[0])
+
+        # Eq 4: load balanced, so T_comp = complexity·num_PDUs / Σ(P_j/S_j).
+        t_comp = (
+            self.comp_complexity * self.num_pdus / self._speed_sums(c) / US_PER_MS
+        )
+
+        if self.comm_phase is None:
+            t_comm = np.zeros(c.shape[0])
+        else:
+            mask = totals > 1
+            if mask.any():
+                b = self._message_bytes(c)
+                rounds = self._rounds(totals)
+                t_comm = np.where(
+                    mask, rounds * self._topology_cost(c, totals, b, mask), 0.0
+                )
+            else:
+                t_comm = np.zeros(c.shape[0])
+
+        t_overlap = (
+            np.minimum(t_comp, t_comm) if self.overlapped else np.zeros(c.shape[0])
+        )
+        return BatchEstimate(
+            counts=c,
+            totals=totals,
+            t_comp_ms=t_comp,
+            t_comm_ms=t_comm,
+            t_overlap_ms=t_overlap,
+            t_cycle_ms=t_comp + t_comm - t_overlap,
+        )
+
+    def t_cycle(self, counts) -> np.ndarray:
+        """Just the ``T_c`` vector for every row of ``counts``."""
+        return self.evaluate(counts).t_cycle_ms
+
+    # -- branch-and-bound support -----------------------------------------------------
+
+    def t_comp_lower_bound(self, partial_speed_sum, max_rest_speed) -> np.ndarray:
+        """Lowest reachable ``T_comp`` for count prefixes.
+
+        ``partial_speed_sum`` holds each prefix's ``Σ P_j/S_j`` over the
+        fixed clusters; ``max_rest_speed`` is the remaining clusters' speed
+        sum at full allocation.  Since ``T_c >= T_comp`` and ``T_comp``
+        shrinks as counts grow, this bounds every completion of the prefix.
+        """
+        denom = np.asarray(partial_speed_sum, dtype=float) + max_rest_speed
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return self.comp_complexity * self.num_pdus / denom / US_PER_MS
+
+
+def full_count_matrix(resources: Sequence[ClusterResources]) -> np.ndarray:
+    """Every per-cluster count combination with >= 1 processor, in
+    :func:`itertools.product` order (the scalar oracle's enumeration)."""
+    ranges = [range(0, r.n_available + 1) for r in resources]
+    combos = np.array(list(product(*ranges)), dtype=np.int64)
+    return combos[combos.sum(axis=1) >= 1]
+
+
+def prefix_count_matrix(resources: Sequence[ClusterResources]) -> np.ndarray:
+    """The cluster-prefix candidate rows, in the scalar oracle's order."""
+    rows = []
+    prefix = [0] * len(resources)
+    for k, res in enumerate(resources):
+        for p in range(1, res.n_available + 1):
+            rows.append(prefix[:k] + [p] + prefix[k + 1 :])
+        prefix[k] = res.n_available
+    return np.array(rows, dtype=np.int64)
+
+
+def pruned_count_matrix(
+    estimator: BatchCycleEstimator,
+    incumbent_t_cycle: float,
+) -> np.ndarray:
+    """Branch-and-bound enumeration of the exhaustive candidate space.
+
+    Expands the count matrix cluster by cluster; after each level every
+    prefix whose ``T_comp`` lower bound (remaining clusters fully
+    allocated) exceeds ``incumbent_t_cycle`` is dropped, together with its
+    entire subtree.  The returned matrix always contains every candidate
+    that could still beat the incumbent (plus the incumbent-or-better
+    region itself), so an argmin over it is exact.
+    """
+    limits = estimator.limits
+    prefixes = np.zeros((1, 0), dtype=np.int64)
+    partial_speed = np.zeros(1)
+    # Remaining clusters' speed sum at full allocation, per level.
+    full_speeds = np.array([p[-1] for p in estimator._speed_prefix])
+    rest = np.concatenate((np.cumsum(full_speeds[::-1])[::-1][1:], [0.0]))
+    keep_at = incumbent_t_cycle * (1.0 + _PRUNE_SLACK) + _PRUNE_SLACK
+    for k in range(len(limits)):
+        counts_k = np.arange(0, limits[k] + 1, dtype=np.int64)
+        speed_k = estimator._speed_prefix[k][counts_k]
+        new_speed = (partial_speed[:, None] + speed_k[None, :]).ravel()
+        bound = estimator.t_comp_lower_bound(new_speed, rest[k])
+        n_old = prefixes.shape[0]
+        expanded = np.empty((n_old * counts_k.size, k + 1), dtype=np.int64)
+        expanded[:, :k] = np.repeat(prefixes, counts_k.size, axis=0)
+        expanded[:, k] = np.tile(counts_k, n_old)
+        keep = ~(bound > keep_at)  # NaN bound (empty prefix) handled below
+        if k == len(limits) - 1:
+            keep &= expanded.sum(axis=1) >= 1
+        else:
+            keep |= np.isnan(bound)
+        prefixes = expanded[keep]
+        partial_speed = new_speed[keep]
+    return prefixes

@@ -22,6 +22,8 @@ from dataclasses import dataclass, field
 from itertools import product
 from typing import Callable, Optional, Sequence
 
+import numpy as np
+
 from repro.errors import PartitionError
 from repro.model.vector import PartitionVector
 from repro.partition.available import ClusterResources
@@ -150,9 +152,17 @@ def partition(
     counts = [0] * len(ordered)
     trace: list[tuple[str, float]] = []
     argmin = _argmin_unimodal if search == "binary" else _argmin_scan
+    # The binary search revisits neighbouring counts; memoize the (frozen)
+    # configuration objects on the counts tuple so each probe beyond the
+    # first costs one dict hit instead of a full rebuild + validation.
+    cfg_cache: dict[tuple[int, ...], ProcessorConfiguration] = {}
 
     def cost_with(index: int, p: int) -> float:
-        cfg = ProcessorConfiguration(ordered, counts[:index] + [p] + counts[index + 1 :])
+        key = tuple(counts[:index]) + (p,) + tuple(counts[index + 1 :])
+        cfg = cfg_cache.get(key)
+        if cfg is None:
+            cfg = ProcessorConfiguration(ordered, key)
+            cfg_cache[key] = cfg
         t = estimator.t_cycle(cfg)
         trace.append((cfg.describe(), t))
         return t
@@ -205,22 +215,77 @@ def _best_of(
     )
 
 
+def _batch_decision(
+    computation,
+    ordered: Sequence[ClusterResources],
+    cost_db,
+    counts_matrix,
+    method: str,
+    *,
+    startup_ms: float = 0.0,
+    extra_evaluations: int = 0,
+) -> PartitionDecision:
+    """Argmin a candidate matrix with the vectorized estimator.
+
+    The winning row is re-estimated with the scalar
+    :class:`CycleEstimator`, so the returned decision carries the exact
+    reference-path numbers (the batch and scalar paths agree to ~1e-13 ms;
+    see ``tests/partition/test_fastpath_equivalence.py``).
+    """
+    from repro.partition.fastpath import BatchCycleEstimator
+
+    batch = BatchCycleEstimator(
+        computation, ordered, cost_db, startup_ms=startup_ms
+    )
+    result = batch.evaluate(counts_matrix)
+    best = result.best_counts()
+    estimator = CycleEstimator(computation, cost_db, startup_ms=startup_ms)
+    config = ProcessorConfiguration(ordered, best)
+    return PartitionDecision(
+        config=config,
+        vector=estimator.partition_vector(config),
+        estimate=estimator.estimate(config),
+        t_elapsed_ms=estimator.t_elapsed(config),
+        evaluations=batch.evaluations + extra_evaluations,
+        method=method,
+        trace=(),
+    )
+
+
 def prefix_scan_partition(
     computation,
     resources: Sequence[ClusterResources],
     cost_db,
     *,
     startup_ms: float = 0.0,
+    engine: str = "batch",
 ) -> PartitionDecision:
     """Linear scan of the cluster-prefix space the heuristic searches.
 
     Candidates: p processors of cluster 1 (p = 1..N₁); then N₁ plus
     p of cluster 2; and so on.  The oracle for the binary search.
+
+    ``engine="batch"`` (default) evaluates all candidates in one
+    vectorized pass; ``engine="scalar"`` keeps the original per-config
+    reference loop.  Both return the same decision.
     """
+    if engine not in ("batch", "scalar"):
+        raise PartitionError(f"unknown engine {engine!r}")
     estimator = CycleEstimator(computation, cost_db, startup_ms=startup_ms)
     ordered = order_by_power(resources, estimator.op_kind)
     if not ordered:
         raise PartitionError("no available processors in any cluster")
+    if engine == "batch":
+        from repro.partition.fastpath import prefix_count_matrix
+
+        return _batch_decision(
+            computation,
+            ordered,
+            cost_db,
+            prefix_count_matrix(ordered),
+            "prefix-scan",
+            startup_ms=startup_ms,
+        )
     configs = []
     prefix = [0] * len(ordered)
     for k, res in enumerate(ordered):
@@ -239,15 +304,55 @@ def exhaustive_partition(
     cost_db,
     *,
     startup_ms: float = 0.0,
+    engine: str = "batch",
+    prune: bool = True,
 ) -> PartitionDecision:
     """Minimum of the objective over *all* per-cluster count combinations.
 
-    Exponential in the cluster count — an oracle for small networks only.
+    Exponential in the cluster count — an oracle that was historically
+    usable on small networks only.  ``engine="batch"`` (default) generates
+    the count-combination matrix and argmins it in one vectorized pass;
+    with ``prune=True`` a branch-and-bound cut first discards every count
+    prefix whose ``T_comp`` lower bound already exceeds the best
+    cluster-prefix candidate (an incumbent found in O(ΣN_i) vectorized
+    evaluations), which keeps the oracle exact while often skipping most
+    of the space.  ``engine="scalar"`` keeps the original reference loop.
     """
+    if engine not in ("batch", "scalar"):
+        raise PartitionError(f"unknown engine {engine!r}")
     estimator = CycleEstimator(computation, cost_db, startup_ms=startup_ms)
     ordered = order_by_power(resources, estimator.op_kind)
     if not ordered:
         raise PartitionError("no available processors in any cluster")
+    if engine == "batch":
+        from repro.partition.fastpath import (
+            BatchCycleEstimator,
+            full_count_matrix,
+            prefix_count_matrix,
+            pruned_count_matrix,
+        )
+
+        if prune:
+            scout = BatchCycleEstimator(
+                computation, ordered, cost_db, startup_ms=startup_ms
+            )
+            incumbent = float(
+                np.min(scout.t_cycle(prefix_count_matrix(ordered)))
+            )
+            candidates = pruned_count_matrix(scout, incumbent)
+            extra = scout.evaluations
+        else:
+            candidates = full_count_matrix(ordered)
+            extra = 0
+        return _batch_decision(
+            computation,
+            ordered,
+            cost_db,
+            candidates,
+            "exhaustive",
+            startup_ms=startup_ms,
+            extra_evaluations=extra,
+        )
     ranges = [range(0, r.n_available + 1) for r in ordered]
     configs = [
         ProcessorConfiguration(ordered, combo)

@@ -1,0 +1,218 @@
+"""Scalar-vs-batch partitioning throughput harness.
+
+Shared by the ``repro bench-partition`` CLI subcommand and
+``benchmarks/test_bench_partition_perf.py``: builds a deterministic
+synthetic heterogeneous network (one cluster per requested size, era-style
+instruction rates), runs the exhaustive oracle under each engine, and
+reports wall time, configurations evaluated, and throughput — the numbers
+``BENCH_partition_perf.json`` tracks across PRs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.apps.stencil import stencil_computation
+from repro.benchmarking.costfuncs import CommCostFunction, LinearByteCost
+from repro.benchmarking.database import CostDatabase
+from repro.errors import PartitionError
+from repro.hardware.network import HeterogeneousNetwork
+from repro.hardware.processor import ProcessorSpec
+from repro.partition.available import gather_available_resources
+from repro.partition.heuristic import exhaustive_partition
+
+__all__ = [
+    "EngineResult",
+    "PerfComparison",
+    "synthetic_network",
+    "synthetic_database",
+    "run_perf",
+    "perf_report",
+    "perf_payload",
+]
+
+#: Era-plausible µs/op rates cycled over the requested clusters
+#: (Sparc2-like, IPC-like, Sun3-like, ...).
+_FP_RATES = (0.3, 0.6, 1.2, 0.45, 0.9, 1.5)
+
+
+def synthetic_network(cluster_sizes: Sequence[int]) -> HeterogeneousNetwork:
+    """A deterministic K-cluster network with ``cluster_sizes`` nodes each."""
+    if not cluster_sizes or any(s < 1 for s in cluster_sizes):
+        raise PartitionError(f"cluster sizes must be positive: {list(cluster_sizes)}")
+    net = HeterogeneousNetwork()
+    for i, size in enumerate(cluster_sizes):
+        rate = _FP_RATES[i % len(_FP_RATES)]
+        spec = ProcessorSpec(
+            name=f"Type{i}",
+            fp_usec_per_op=rate,
+            int_usec_per_op=rate / 4.0,
+            comm_speed_factor=1.0 + 0.2 * i,
+        )
+        net.add_cluster(f"c{i}", spec, count=int(size))
+    net.validate()
+    return net
+
+
+def synthetic_database(cluster_names: Sequence[str]) -> CostDatabase:
+    """Plausible fitted Eq 1 + router functions for the synthetic clusters."""
+    db = CostDatabase()
+    for i, name in enumerate(cluster_names):
+        scale = 1.0 + 0.3 * i
+        db.add_comm(
+            CommCostFunction(name, "1-D", 0.8, 1.1 * scale, 0.0004, 0.0011 * scale)
+        )
+    for i, a in enumerate(cluster_names):
+        for b in cluster_names[i + 1 :]:
+            db.add_router(LinearByteCost(a, b, "router", 1.2, 0.0009))
+    return db
+
+
+@dataclass(frozen=True)
+class EngineResult:
+    """One engine's exhaustive-oracle timing."""
+
+    engine: str
+    repeats: int
+    best_wall_s: float
+    mean_wall_s: float
+    configs_evaluated: int
+    counts: tuple[int, ...]
+    t_cycle_ms: float
+
+    @property
+    def configs_per_s(self) -> float:
+        """Throughput at the best repeat."""
+        if self.best_wall_s <= 0:
+            return float("inf")
+        return self.configs_evaluated / self.best_wall_s
+
+
+@dataclass(frozen=True)
+class PerfComparison:
+    """Scalar vs batch on one synthetic scenario."""
+
+    cluster_sizes: tuple[int, ...]
+    n: int
+    results: tuple[EngineResult, ...]
+
+    def result(self, engine: str) -> EngineResult:
+        for r in self.results:
+            if r.engine == engine:
+                return r
+        raise KeyError(engine)
+
+    @property
+    def speedup(self) -> Optional[float]:
+        """Scalar wall time over batch wall time (best repeats)."""
+        try:
+            scalar, batch = self.result("scalar"), self.result("batch")
+        except KeyError:
+            return None
+        if batch.best_wall_s <= 0:
+            return float("inf")
+        return scalar.best_wall_s / batch.best_wall_s
+
+
+def run_perf(
+    cluster_sizes: Sequence[int] = (8, 8, 8),
+    *,
+    n: int = 600,
+    repeat: int = 3,
+    engines: Sequence[str] = ("scalar", "batch"),
+    prune: bool = True,
+) -> PerfComparison:
+    """Time the exhaustive oracle under each engine on one scenario.
+
+    A fresh cost database is built per repeat so the scalar path's
+    composition cache starts cold each time, like a first-decision probe.
+    Reports the best and mean wall time over ``repeat`` runs.
+    """
+    if repeat < 1:
+        raise PartitionError(f"repeat must be >= 1, got {repeat}")
+    net = synthetic_network(cluster_sizes)
+    names = [c.name for c in net.clusters]
+    resources = gather_available_resources(net)
+    comp = stencil_computation(n, overlap=False)
+    results = []
+    for engine in engines:
+        walls = []
+        decision = None
+        for _ in range(repeat):
+            db = synthetic_database(names)
+            start = time.perf_counter()
+            decision = exhaustive_partition(
+                comp, resources, db, engine=engine, prune=prune
+            )
+            walls.append(time.perf_counter() - start)
+        results.append(
+            EngineResult(
+                engine=engine,
+                repeats=repeat,
+                best_wall_s=min(walls),
+                mean_wall_s=sum(walls) / len(walls),
+                configs_evaluated=decision.evaluations,
+                counts=tuple(decision.config.counts),
+                t_cycle_ms=decision.t_cycle_ms,
+            )
+        )
+    return PerfComparison(
+        cluster_sizes=tuple(int(s) for s in cluster_sizes), n=n, results=tuple(results)
+    )
+
+
+def perf_report(cmp: PerfComparison) -> str:
+    """Human-readable comparison table."""
+    from repro.experiments.report import format_table
+
+    total = sum(cmp.cluster_sizes)
+    rows = [
+        [
+            r.engine,
+            r.configs_evaluated,
+            f"{r.best_wall_s * 1e3:.2f}",
+            f"{r.mean_wall_s * 1e3:.2f}",
+            f"{r.configs_per_s:,.0f}",
+            "+".join(str(c) for c in r.counts),
+            f"{r.t_cycle_ms:.3f}",
+        ]
+        for r in cmp.results
+    ]
+    title = (
+        f"partition perf: exhaustive oracle, K={len(cmp.cluster_sizes)} clusters "
+        f"({total} processors), STEN-1 N={cmp.n}"
+    )
+    table = format_table(
+        ["engine", "configs", "best ms", "mean ms", "configs/s", "decision", "T_c ms"],
+        rows,
+        title=title,
+    )
+    if cmp.speedup is not None:
+        table += f"\n\nbatch speedup over scalar: {cmp.speedup:.1f}x"
+    return table
+
+
+def perf_payload(cmp: PerfComparison) -> dict:
+    """JSON-serializable record (the ``BENCH_partition_perf.json`` schema)."""
+    return {
+        "scenario": {
+            "cluster_sizes": list(cmp.cluster_sizes),
+            "total_processors": sum(cmp.cluster_sizes),
+            "workload": f"STEN-1 N={cmp.n}",
+        },
+        "engines": {
+            r.engine: {
+                "repeats": r.repeats,
+                "best_wall_s": r.best_wall_s,
+                "mean_wall_s": r.mean_wall_s,
+                "configs_evaluated": r.configs_evaluated,
+                "configs_per_s": r.configs_per_s,
+                "decision": list(r.counts),
+                "t_cycle_ms": r.t_cycle_ms,
+            }
+            for r in cmp.results
+        },
+        "speedup_batch_over_scalar": cmp.speedup,
+    }

@@ -1,0 +1,221 @@
+"""The fast-path contract: batch and scalar estimators agree everywhere.
+
+The vectorized :class:`BatchCycleEstimator` must reproduce the scalar
+reference decision-for-decision — same winning counts and per-component
+values within 1e-9 ms — on the paper's seed scenarios, on randomized
+heterogeneous networks, and on the annotation corner cases (``rounds``
+callables, share-dependent message sizes, missing database entries).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.stencil import stencil_computation
+from repro.benchmarking.costfuncs import CommCostFunction, LinearByteCost
+from repro.benchmarking.database import CostDatabase
+from repro.errors import FittingError, PartitionError
+from repro.experiments.paper import paper_cost_database
+from repro.hardware.presets import paper_testbed
+from repro.model.computation import DataParallelComputation
+from repro.model.phases import CommunicationPhase, ComputationPhase
+from repro.model.workloads import (
+    random_computation,
+    random_cost_database,
+    random_network,
+)
+from repro.partition import (
+    CycleEstimator,
+    ProcessorConfiguration,
+    exhaustive_partition,
+    gather_available_resources,
+    order_by_power,
+    prefix_scan_partition,
+)
+from repro.partition.fastpath import (
+    BatchCycleEstimator,
+    full_count_matrix,
+    prefix_count_matrix,
+    pruned_count_matrix,
+)
+from repro.spmd.topology import Topology
+
+TOL_MS = 1e-9
+
+
+def assert_componentwise_match(comp, ordered, db, counts_matrix):
+    """Batch components equal the scalar estimate on every row, < 1e-9 ms."""
+    batch = BatchCycleEstimator(comp, ordered, db)
+    result = batch.evaluate(counts_matrix)
+    scalar = CycleEstimator(comp, db)
+    for m in range(counts_matrix.shape[0]):
+        cfg = ProcessorConfiguration(ordered, tuple(counts_matrix[m]))
+        ref = scalar.estimate(cfg)
+        assert abs(result.t_comp_ms[m] - ref.t_comp_ms) < TOL_MS, cfg.describe()
+        assert abs(result.t_comm_ms[m] - ref.t_comm_ms) < TOL_MS, cfg.describe()
+        assert abs(result.t_overlap_ms[m] - ref.t_overlap_ms) < TOL_MS, cfg.describe()
+        assert abs(result.t_cycle_ms[m] - ref.t_cycle_ms) < TOL_MS, cfg.describe()
+    return result, scalar
+
+
+@pytest.mark.parametrize("overlap", [False, True])
+@pytest.mark.parametrize("n", [60, 300, 600, 1200])
+def test_seed_scenarios_componentwise(n, overlap):
+    """Every paper (N, variant) cell: full combination space, all components."""
+    res = gather_available_resources(paper_testbed())
+    db = paper_cost_database()
+    comp = stencil_computation(n, overlap=overlap)
+    ordered = order_by_power(res)
+    result, _ = assert_componentwise_match(comp, ordered, db, full_count_matrix(ordered))
+    # The winner is the scalar scan's winner (first-on-ties argmin).
+    scalar_best = min(
+        range(len(result)), key=lambda m: (result.t_cycle_ms[m], m)
+    )
+    assert result.best_index() == scalar_best
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_randomized_networks_componentwise(seed):
+    """Random 1-4 cluster networks and annotations: batch == scalar."""
+    rng = np.random.default_rng(7000 + seed)
+    net = random_network(rng)
+    db = random_cost_database(net, rng)
+    comp = random_computation(rng)
+    ordered = order_by_power(gather_available_resources(net))
+    matrix = full_count_matrix(ordered)
+    if matrix.shape[0] > 4000:
+        matrix = matrix[:: matrix.shape[0] // 2000]
+        matrix = matrix[matrix.sum(axis=1) >= 1]
+    assert_componentwise_match(comp, ordered, db, matrix)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_engine_decision_parity(seed):
+    """Both oracles choose identical counts under either engine."""
+    rng = np.random.default_rng(8000 + seed)
+    net = random_network(rng)
+    db = random_cost_database(net, rng)
+    comp = random_computation(rng)
+    res = gather_available_resources(net)
+    if sum(r.n_available for r in res) > 24:
+        pytest.skip("keep the scalar exhaustive scan small")
+    for oracle in (prefix_scan_partition, exhaustive_partition):
+        batch = oracle(comp, res, db, engine="batch")
+        scalar = oracle(comp, res, db, engine="scalar")
+        assert batch.counts_by_name() == scalar.counts_by_name(), oracle.__name__
+        assert abs(batch.t_cycle_ms - scalar.t_cycle_ms) < TOL_MS
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_prune_is_exact(seed):
+    """The branch-and-bound matrix yields the full-space minimum."""
+    rng = np.random.default_rng(9000 + seed)
+    net = random_network(rng)
+    db = random_cost_database(net, rng)
+    comp = random_computation(rng)
+    ordered = order_by_power(gather_available_resources(net))
+    est = BatchCycleEstimator(comp, ordered, db)
+    incumbent = float(np.min(est.t_cycle(prefix_count_matrix(ordered))))
+    pruned = pruned_count_matrix(est, incumbent)
+    assert pruned.shape[0] >= 1
+    t_full = float(np.min(est.t_cycle(full_count_matrix(ordered))))
+    t_pruned = float(np.min(est.t_cycle(pruned)))
+    assert t_pruned == pytest.approx(t_full, abs=TOL_MS)
+
+
+def _allgather_computation(n: int) -> DataParallelComputation:
+    """Ring all-gather: share-dependent message size + P-1 rounds per cycle."""
+
+    def block_bytes(problem, shares):
+        return 8.0 * max(shares)
+
+    def ring_rounds(problem, total):
+        return max(total - 1, 1)
+
+    return DataParallelComputation(
+        name="allgather",
+        problem=n,
+        num_pdus=n,
+        computation_phases=[ComputationPhase("update", complexity=40.0 * n)],
+        communication_phases=[
+            CommunicationPhase(
+                "gather",
+                topology=Topology.RING,
+                complexity=8.0 * n,
+                per_config_complexity=block_bytes,
+                rounds=ring_rounds,
+            )
+        ],
+    )
+
+
+def test_per_config_complexity_and_rounds_match():
+    """The b(A_i) and rounds(P) callback paths agree with the scalar model."""
+    rng = np.random.default_rng(123)
+    net = random_network(rng)
+    db = random_cost_database(net, rng)
+    ordered = order_by_power(gather_available_resources(net))
+    comp = _allgather_computation(480)
+    assert_componentwise_match(comp, ordered, db, full_count_matrix(ordered))
+
+
+def _two_cluster_env():
+    net = paper_testbed()
+    res = order_by_power(gather_available_resources(net))
+    return net, res
+
+
+def test_missing_router_raises_like_scalar():
+    """No router entry: both paths raise FittingError, only when crossing."""
+    _net, ordered = _two_cluster_env()
+    db = CostDatabase()
+    for name in ("sparc2", "ipc"):
+        db.add_comm(CommCostFunction(name, "1-D", 0.5, 1.0, 0.0004, 0.001))
+    comp = stencil_computation(300, overlap=False)
+    scalar = CycleEstimator(comp, db)
+    batch = BatchCycleEstimator(comp, ordered, db)
+    # Single-cluster rows evaluate fine on both paths.
+    single = np.array([[p, 0] for p in range(1, 7)])
+    result = batch.evaluate(single)
+    for m, p in enumerate(range(1, 7)):
+        ref = scalar.t_cycle(ProcessorConfiguration(ordered, (p, 0)))
+        assert abs(result.t_cycle_ms[m] - ref) < TOL_MS
+    # A crossing row needs the missing router entry on both paths.
+    with pytest.raises(FittingError, match="router"):
+        scalar.t_cycle(ProcessorConfiguration(ordered, (6, 2)))
+    with pytest.raises(FittingError, match="router"):
+        batch.evaluate(np.array([[6, 2]]))
+
+
+def test_missing_comm_function_raises_like_scalar():
+    """No Eq 1 entry for an active cluster: FittingError on both paths."""
+    _net, ordered = _two_cluster_env()
+    db = CostDatabase()
+    db.add_comm(CommCostFunction("sparc2", "1-D", 0.5, 1.0, 0.0004, 0.001))
+    db.add_router(LinearByteCost("sparc2", "ipc", "router", 0.2, 0.0008))
+    comp = stencil_computation(300, overlap=False)
+    scalar = CycleEstimator(comp, db)
+    batch = BatchCycleEstimator(comp, ordered, db)
+    # Rows that never activate the unfitted cluster still evaluate.
+    ok = batch.evaluate(np.array([[3, 0], [6, 0]]))
+    assert np.all(np.isfinite(ok.t_cycle_ms))
+    with pytest.raises(FittingError, match="no fitted cost function"):
+        scalar.t_cycle(ProcessorConfiguration(ordered, (3, 3)))
+    with pytest.raises(FittingError, match="no fitted cost function"):
+        batch.evaluate(np.array([[3, 3]]))
+
+
+def test_count_matrix_validation():
+    _net, ordered = _two_cluster_env()
+    db = paper_cost_database()
+    batch = BatchCycleEstimator(stencil_computation(300, overlap=False), ordered, db)
+    with pytest.raises(PartitionError, match="empty configuration"):
+        batch.evaluate(np.array([[0, 0]]))
+    with pytest.raises(PartitionError, match="availability"):
+        batch.evaluate(np.array([[7, 0]]))
+    with pytest.raises(PartitionError, match="availability"):
+        batch.evaluate(np.array([[-1, 2]]))
+    with pytest.raises(PartitionError):
+        batch.evaluate(np.array([[1, 2, 3]]))
+    # A 1-D vector is promoted to a single-row matrix.
+    single = batch.evaluate(np.array([6, 2]))
+    assert len(single) == 1 and single.best_counts() == (6, 2)

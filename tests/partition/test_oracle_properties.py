@@ -1,0 +1,66 @@
+"""Property-style relations between the heuristic and the search oracles.
+
+On seeded random heterogeneous networks (2-4 clusters) the robust linear
+scan must land exactly on the prefix-space oracle's choice, and the
+unrestricted exhaustive oracle can never do worse than any of the
+restricted searches — the ordering the whole §5 argument rests on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hardware.network import HeterogeneousNetwork
+from repro.hardware.processor import ProcessorSpec
+from repro.model.workloads import random_computation, random_cost_database
+from repro.partition import (
+    exhaustive_partition,
+    gather_available_resources,
+    partition,
+    prefix_scan_partition,
+)
+
+TOL_MS = 1e-9
+
+
+def random_multicluster_network(rng: np.random.Generator) -> HeterogeneousNetwork:
+    """A random 2-4 cluster network (the multi-cluster regime under test)."""
+    net = HeterogeneousNetwork(seed=int(rng.integers(0, 2**31)))
+    for i in range(int(rng.integers(2, 5))):
+        spec = ProcessorSpec(
+            name=f"type{i}",
+            fp_usec_per_op=float(rng.uniform(0.1, 3.0)),
+            int_usec_per_op=float(rng.uniform(0.02, 0.5)),
+            comm_speed_factor=float(rng.uniform(0.5, 3.0)),
+        )
+        net.add_cluster(f"c{i}", spec, count=int(rng.integers(1, 8)))
+    net.validate()
+    return net
+
+
+@pytest.fixture(params=range(30))
+def case(request):
+    rng = np.random.default_rng(5000 + request.param)
+    net = random_multicluster_network(rng)
+    db = random_cost_database(net, rng)
+    comp = random_computation(rng)
+    return comp, gather_available_resources(net), db
+
+
+def test_scan_heuristic_equals_prefix_oracle(case):
+    """The per-cluster linear scan is the prefix-space optimum, exactly."""
+    comp, res, db = case
+    scan = partition(comp, res, db, search="scan")
+    oracle = prefix_scan_partition(comp, res, db)
+    assert scan.counts_by_name() == oracle.counts_by_name()
+    assert abs(scan.t_cycle_ms - oracle.t_cycle_ms) < TOL_MS
+
+
+def test_exhaustive_never_worse_than_restricted_searches(case):
+    """Unrestricted optimum <= prefix oracle <= either heuristic mode."""
+    comp, res, db = case
+    exh = exhaustive_partition(comp, res, db)
+    oracle = prefix_scan_partition(comp, res, db)
+    assert exh.t_cycle_ms <= oracle.t_cycle_ms + TOL_MS
+    for search in ("binary", "scan"):
+        heur = partition(comp, res, db, search=search)
+        assert exh.t_cycle_ms <= heur.t_cycle_ms + TOL_MS, search

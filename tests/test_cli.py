@@ -55,3 +55,53 @@ def test_sensitivity_command(capsys):
     # Tiny but real: exercises the default path end to end.
     assert main(["sensitivity"]) == 0
     assert "regret" in capsys.readouterr().out
+
+
+def test_bench_partition_command(capsys):
+    assert main(["bench-partition", "--clusters", "4", "4", "--repeat", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "scalar" in out and "batch" in out
+    assert "speedup" in out
+    assert "K=2 clusters (8 processors)" in out
+
+
+def test_bench_partition_single_engine(capsys):
+    assert main(
+        ["bench-partition", "--clusters", "4", "4", "--repeat", "1", "--engine", "batch"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "batch" in out
+    assert "speedup" not in out  # nothing to compare against
+
+
+def test_bench_partition_json(tmp_path, capsys):
+    import json
+
+    target = tmp_path / "perf.json"
+    assert main(
+        [
+            "bench-partition",
+            "--clusters", "3", "3", "3",
+            "--repeat", "1",
+            "--json", str(target),
+        ]
+    ) == 0
+    payload = json.loads(target.read_text())
+    assert payload["scenario"]["total_processors"] == 9
+    assert set(payload["engines"]) == {"scalar", "batch"}
+    assert payload["engines"]["scalar"]["decision"] == payload["engines"]["batch"]["decision"]
+    assert payload["speedup_batch_over_scalar"] > 0
+
+
+def test_bench_partition_no_prune(capsys):
+    assert main(
+        ["bench-partition", "--clusters", "3", "3", "--repeat", "1", "--no-prune"]
+    ) == 0
+    # Unpruned batch visits the full 4*4-1 combo space.
+    assert "15" in capsys.readouterr().out
+
+
+def test_workers_flag_accepted(capsys):
+    # --workers=1 keeps the serial path; just the flag plumbing under test.
+    assert main(["fig3", "--n", "60", "--workers", "1"]) == 0
+    assert "p_ideal" in capsys.readouterr().out
