@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""CI gate: fail loudly when the partition perf benchmark regresses.
+
+Usage::
+
+    python benchmarks/check_perf_regression.py BASELINE.json CURRENT.json \
+        [--factor 2.0] [--strict]
+
+Exits non-zero (and prints what moved) if the fresh benchmark record lost
+more than ``factor``x against the committed baseline — see
+:mod:`repro.benchmarking.perfgate` for exactly what is compared.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed known-good payload")
+    parser.add_argument("current", help="freshly benchmarked payload")
+    parser.add_argument("--factor", type=float, default=2.0)
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also gate absolute configs/s (same-machine comparisons only)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.benchmarking.perfgate import check_regression, format_problems
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.current) as fh:
+        current = json.load(fh)
+    problems = check_regression(
+        baseline, current, factor=args.factor, strict=args.strict
+    )
+    print(format_problems(problems))
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

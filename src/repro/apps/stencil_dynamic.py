@@ -166,10 +166,12 @@ def run_stencil_dynamic(
                 totals = [merged[r][0] for r in range(ctx.size)]
                 per_row_times = [merged[r][1] for r in range(ctx.size)]
                 if detect_imbalance(totals, threshold=imbalance_threshold):
+                    # rebalance_counts guarantees every rank keeps >= 1 row,
+                    # so only the no-op case is filtered here.
                     new_vec = rebalance_counts(local_counts, per_row_times)
                     new_counts = list(new_vec)
-                    if min(new_counts) < 1 or new_counts == local_counts:
-                        new_counts = None  # no-op or would starve a task
+                    if new_counts == local_counts:
+                        new_counts = None
                 else:
                     new_counts = None
             else:

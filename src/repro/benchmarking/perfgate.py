@@ -1,0 +1,70 @@
+"""Regression gate over ``BENCH_partition_perf.json`` payloads.
+
+The perf-smoke CI job records the scalar-vs-batch partition benchmark as a
+JSON payload (see ``benchmarks/test_bench_partition_perf.py``) and the repo
+commits the last known-good record.  This module compares a fresh payload
+against that baseline and reports what regressed:
+
+* **decision drift** — either engine choosing a different configuration is
+  a correctness bug, never noise, and always fails;
+* **speedup collapse** — the batch/scalar speedup is a within-run ratio,
+  so it transfers across machines; a drop beyond ``factor`` (default 2×)
+  fails;
+* **throughput collapse** (``strict=True`` only) — absolute
+  ``configs_per_s`` per engine; off by default because wall-clock rates do
+  not transfer between the machine that committed the baseline and the CI
+  runner.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["check_regression", "format_problems"]
+
+
+def check_regression(
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    *,
+    factor: float = 2.0,
+    strict: bool = False,
+) -> list[str]:
+    """Problems in ``current`` relative to ``baseline`` (empty = pass)."""
+    if factor <= 1.0:
+        raise ValueError(f"factor must exceed 1.0, got {factor}")
+    problems: list[str] = []
+    for engine, base in baseline.get("engines", {}).items():
+        cur = current.get("engines", {}).get(engine)
+        if cur is None:
+            problems.append(f"engine {engine!r} missing from current payload")
+            continue
+        if cur["decision"] != base["decision"]:
+            problems.append(
+                f"{engine} decision drifted: {base['decision']} -> {cur['decision']}"
+            )
+        if strict and cur["configs_per_s"] * factor < base["configs_per_s"]:
+            problems.append(
+                f"{engine} throughput regressed >{factor:g}x: "
+                f"{base['configs_per_s']:.0f} -> {cur['configs_per_s']:.0f} configs/s"
+            )
+    base_speedup = baseline.get("speedup_batch_over_scalar")
+    cur_speedup = current.get("speedup_batch_over_scalar")
+    if base_speedup is not None:
+        if cur_speedup is None:
+            problems.append("speedup_batch_over_scalar missing from current payload")
+        elif cur_speedup * factor < base_speedup:
+            problems.append(
+                f"batch/scalar speedup regressed >{factor:g}x: "
+                f"{base_speedup:.1f}x -> {cur_speedup:.1f}x"
+            )
+    return problems
+
+
+def format_problems(problems: list[str]) -> str:
+    """Human-readable verdict for CI logs."""
+    if not problems:
+        return "perf gate: OK"
+    lines = ["perf gate: REGRESSION DETECTED"]
+    lines += [f"  - {p}" for p in problems]
+    return "\n".join(lines)

@@ -130,6 +130,83 @@ def _bench_partition(args) -> str:
     return text
 
 
+def _run_dynamic(args) -> str:
+    import json
+
+    from repro.apps.stencil import stencil_computation
+    from repro.experiments.paper import paper_cost_database
+    from repro.hardware.presets import paper_testbed
+    from repro.partition.runtime import PartitionRuntime, RuntimePolicy
+    from repro.sim.failures import FailureSchedule
+
+    def supervised(failures=None):
+        runtime = PartitionRuntime(
+            paper_testbed(),
+            stencil_computation(args.n, overlap=False, cycles=1),
+            paper_cost_database(),
+            policy=RuntimePolicy(imbalance_threshold=args.threshold),
+            failures=failures,
+        )
+        return runtime.run(args.epochs)
+
+    clean = supervised()
+    schedule = None
+    if args.fail_at is not None:
+        # Default victim: the second rank of the bootstrap decomposition —
+        # deterministic and guaranteed to be doing work when it dies.
+        victims = args.kill if args.kill else [clean.final_proc_ids[1]]
+        schedule = FailureSchedule.fail_at(args.fail_at, victims)
+    elif args.mtbf is not None:
+        schedule = FailureSchedule.from_mtbf(
+            list(clean.final_proc_ids[1:]),
+            mtbf_epochs=args.mtbf,
+            horizon_epochs=args.epochs,
+            seed=args.seed,
+            max_failures=args.max_failures,
+        )
+
+    lines = [
+        f"supervised run: STEN-1 N={args.n}, {args.epochs} epochs",
+        f"clean: answer={clean.answer} elapsed={clean.elapsed_ms:.2f} ms "
+        f"vector={list(clean.final_vector)}",
+    ]
+    if schedule is None:
+        lines.append("no failure schedule (use --fail-at or --mtbf)")
+        result = clean
+    else:
+        result = supervised(failures=schedule)
+        parity = "ok" if result.answer == clean.answer else "BROKEN"
+        lines += [
+            f"failures: {[(e.at_epoch, e.proc_id) for e in schedule.events]}",
+            f"faulty: answer={result.answer} elapsed={result.elapsed_ms:.2f} ms "
+            f"vector={list(result.final_vector)}",
+            f"answer parity: {parity}",
+            f"repartitions={result.repartitions} moved_pdus={result.moved_pdus_total} "
+            f"replayed_pdus={result.replayed_pdus}",
+            "",
+            "audit trail:",
+        ]
+        lines += [
+            "  " + json.dumps(record) for record in result.audit.to_records()
+        ]
+        if result.answer != clean.answer:
+            raise SystemExit("\n".join(lines))
+    if args.audit_json:
+        with open(args.audit_json, "w") as fh:
+            json.dump(result.audit.to_records(), fh, indent=2)
+            fh.write("\n")
+        lines.append(f"[audit trail written to {args.audit_json}]")
+    return "\n".join(lines)
+
+
+def _resilience(args) -> str:
+    from repro.experiments import resilience_report
+
+    return resilience_report(
+        n=args.n, epochs=args.epochs, mtbf_epochs=args.mtbf, seed=args.seed
+    )
+
+
 def _all(args) -> str:
     sections = [
         _calibrate(args),
@@ -235,6 +312,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="FILE", help="also write the machine-readable record to FILE"
     )
     p12.set_defaults(func=_bench_partition)
+
+    p13 = sub.add_parser(
+        "run-dynamic",
+        help="supervised gather/partition/execute run with failure injection",
+    )
+    p13.add_argument("--n", type=int, default=512, help="stencil problem size")
+    p13.add_argument("--epochs", type=int, default=8, help="supervised epochs")
+    p13.add_argument(
+        "--fail-at",
+        type=int,
+        default=None,
+        metavar="EPOCH",
+        help="crash a node at the start of EPOCH (victim: --kill, or rank 1)",
+    )
+    p13.add_argument(
+        "--kill",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="PROC_ID",
+        help="processor id(s) to crash at --fail-at",
+    )
+    p13.add_argument(
+        "--mtbf",
+        type=float,
+        default=None,
+        metavar="EPOCHS",
+        help="draw seeded geometric failures with this mean time between failures",
+    )
+    p13.add_argument("--max-failures", type=int, default=2)
+    p13.add_argument("--seed", type=int, default=0)
+    p13.add_argument(
+        "--threshold", type=float, default=1.25, help="slowdown rebalance threshold"
+    )
+    p13.add_argument(
+        "--audit-json", metavar="FILE", help="write the audit trail to FILE"
+    )
+    p13.set_defaults(func=_run_dynamic)
+
+    p14 = sub.add_parser(
+        "resilience", help="E16: supervised recovery vs fail-stop restart grid"
+    )
+    p14.add_argument("--n", type=int, default=512)
+    p14.add_argument("--epochs", type=int, default=10)
+    p14.add_argument("--mtbf", type=float, default=12.0)
+    p14.add_argument("--seed", type=int, default=0)
+    p14.set_defaults(func=_resilience)
 
     p9 = sub.add_parser("timeline", help="ASCII Gantt of one stencil run")
     p9.add_argument("--n", type=int, default=300)

@@ -16,8 +16,10 @@ __all__ = [
     "TopologyError",
     "AnnotationError",
     "PartitionError",
+    "ManagerUnreachableError",
     "FittingError",
     "MessagingError",
+    "PeerUnreachableError",
 ]
 
 
@@ -77,9 +79,46 @@ class PartitionError(ReproError):
     """The partitioner could not produce a valid processor configuration."""
 
 
+class ManagerUnreachableError(PartitionError):
+    """A cluster manager did not answer a resource query within its budget.
+
+    Raised by the resilient gathering sweep
+    (:func:`repro.partition.available.gather_available_resources_resilient`)
+    when a manager times out or errors on every attempt.  Carries the
+    cluster name and the number of attempts made so the supervisor's audit
+    trail can record the retry history.
+    """
+
+    def __init__(self, cluster: str, attempts: int, reason: str = "timeout") -> None:
+        super().__init__(
+            f"cluster {cluster!r} manager unreachable after {attempts} "
+            f"attempt(s) ({reason})"
+        )
+        self.cluster = cluster
+        self.attempts = attempts
+        self.reason = reason
+
+
 class FittingError(ReproError):
     """Cost-function fitting failed (degenerate design matrix, no samples)."""
 
 
 class MessagingError(ReproError):
     """An MMPS message-layer protocol violation (bad address, closed port)."""
+
+
+class PeerUnreachableError(MessagingError):
+    """A reliable send exhausted its retransmissions without an ack.
+
+    MMPS surfaces the retry history (destination processor, attempt count,
+    message id) so a supervisor can distinguish a vanished peer from a
+    protocol bug and trigger repartitioning instead of crashing.
+    """
+
+    def __init__(self, msg_id: int, dst: int, attempts: int) -> None:
+        super().__init__(
+            f"message {msg_id} to processor {dst} unacked after {attempts} attempts"
+        )
+        self.msg_id = msg_id
+        self.dst = dst
+        self.attempts = attempts

@@ -45,6 +45,11 @@ from repro.experiments.paper import (
     paper_cost_database,
 )
 from repro.experiments.report import format_bar_chart, format_table
+from repro.experiments.resilience import (
+    ResilienceRow,
+    resilience_grid,
+    resilience_report,
+)
 from repro.experiments.table1 import reproduce_table1, table1_report
 from repro.experiments.speedup import (
     SpeedupPoint,
@@ -89,6 +94,9 @@ __all__ = [
     "paper_cost_database",
     "format_bar_chart",
     "format_table",
+    "ResilienceRow",
+    "resilience_grid",
+    "resilience_report",
     "reproduce_table1",
     "table1_report",
     "ascii_timeline",

@@ -1,0 +1,234 @@
+"""E16: resilience overhead of the fault-tolerant runtime.
+
+Quantifies what the supervisor loop (:mod:`repro.partition.runtime`) costs
+and saves.  For each failure scenario we run three supervised executions of
+the same computation:
+
+* **clean** — no failures, the reference answer and elapsed time;
+* **supervised** — the failure schedule injected mid-run; the runtime
+  replays the interrupted epoch on the survivors, re-gathers resilently,
+  repartitions, and ships the moved PDUs;
+* **fail-stop baseline** — what a non-fault-tolerant system pays: all work
+  up to the failure is lost (modelled as the clean run's pro-rated elapsed
+  time to the failure epoch) and the whole computation restarts from
+  scratch on the degraded network.
+
+Every supervised run must reproduce the clean run's exact integer answer —
+the parity column is an end-to-end correctness check, not a statistic.
+
+MTBF scenarios draw seeded geometric failure times
+(:meth:`~repro.sim.failures.FailureSchedule.from_mtbf`) over the worker
+nodes (manager hosts are excluded so a schedule cannot take out every
+cluster's manager and leave nothing to degrade to).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.apps.stencil import stencil_computation
+from repro.experiments.paper import paper_cost_database
+from repro.experiments.report import format_table
+from repro.hardware.presets import paper_testbed
+from repro.partition.runtime import PartitionRuntime, RuntimePolicy, RuntimeResult
+from repro.sim.failures import FailureSchedule
+
+__all__ = ["ResilienceRow", "resilience_grid", "resilience_report"]
+
+N = 512
+EPOCHS = 10
+FAIL_EPOCHS = (2, 5, 8)
+MTBF_EPOCHS = 12.0
+
+
+@dataclass(frozen=True)
+class ResilienceRow:
+    """One failure scenario of the overhead grid."""
+
+    scenario: str
+    failures: int
+    answer_parity: bool
+    clean_ms: float
+    supervised_ms: float
+    baseline_ms: float
+    overhead_pct: float  #: supervised vs clean (cost of recovering in place)
+    saved_pct: float  #: supervised vs fail-stop restart (what supervision buys)
+    repartitions: int
+    moved_pdus: int
+    replayed_pdus: int
+    gather_retries: int
+
+
+def _supervised_run(
+    *,
+    n: int,
+    epochs: int,
+    failures: Optional[FailureSchedule] = None,
+    pre_dead: Sequence[int] = (),
+    policy: Optional[RuntimePolicy] = None,
+) -> RuntimeResult:
+    """One supervised execution on a fresh paper testbed."""
+    network = paper_testbed()
+    for pid in pre_dead:
+        network.processor(pid).fail()
+    runtime = PartitionRuntime(
+        network,
+        stencil_computation(n, overlap=False, cycles=1),
+        paper_cost_database(),
+        policy=policy,
+        failures=failures,
+    )
+    return runtime.run(epochs)
+
+
+def _worker_pool(exclude_managers: bool = True) -> list[int]:
+    """Processor ids eligible for MTBF failures (manager hosts excluded)."""
+    network = paper_testbed()
+    pool = []
+    for cluster in network.clusters:
+        procs = cluster.processors[1:] if exclude_managers else cluster.processors
+        pool.extend(p.proc_id for p in procs)
+    return pool
+
+
+def _row(
+    scenario: str,
+    schedule: FailureSchedule,
+    clean: RuntimeResult,
+    *,
+    n: int,
+    epochs: int,
+) -> ResilienceRow:
+    supervised = _supervised_run(n=n, epochs=epochs, failures=schedule)
+    first_fail = min(e.at_epoch for e in schedule.events)
+    dead = sorted(e.proc_id for e in schedule.events)
+    # Fail-stop baseline: everything before the failure is wasted, then the
+    # whole computation restarts on whatever survived.
+    restart = _supervised_run(n=n, epochs=epochs, pre_dead=dead)
+    baseline_ms = clean.elapsed_ms * (first_fail / epochs) + restart.elapsed_ms
+    retries = sum(
+        sum(event.retries.values()) for event in supervised.audit
+    )
+    return ResilienceRow(
+        scenario=scenario,
+        failures=len(schedule.events),
+        answer_parity=supervised.answer == clean.answer,
+        clean_ms=clean.elapsed_ms,
+        supervised_ms=supervised.elapsed_ms,
+        baseline_ms=baseline_ms,
+        overhead_pct=100.0 * (supervised.elapsed_ms / clean.elapsed_ms - 1.0),
+        saved_pct=100.0 * (1.0 - supervised.elapsed_ms / baseline_ms),
+        repartitions=supervised.repartitions,
+        moved_pdus=supervised.moved_pdus_total,
+        replayed_pdus=supervised.replayed_pdus,
+        gather_retries=retries,
+    )
+
+
+def resilience_grid(
+    *,
+    n: int = N,
+    epochs: int = EPOCHS,
+    fail_epochs: Sequence[int] = FAIL_EPOCHS,
+    mtbf_epochs: float = MTBF_EPOCHS,
+    seed: int = 0,
+) -> list[ResilienceRow]:
+    """The overhead grid: single worker loss, manager loss, MTBF draws."""
+    clean = _supervised_run(n=n, epochs=epochs)
+    worker = clean.final_proc_ids[1]  # a non-manager rank of the decomposition
+    manager = paper_testbed().clusters[0].processors[0].proc_id
+    fail_epochs = [fe for fe in fail_epochs if 0 < fe < epochs]
+    if not fail_epochs:
+        raise ValueError(f"no fail epoch falls inside the {epochs}-epoch horizon")
+    rows = []
+    for fe in fail_epochs:
+        rows.append(
+            _row(
+                f"worker@{fe}",
+                FailureSchedule.fail_at(fe, [worker]),
+                clean,
+                n=n,
+                epochs=epochs,
+            )
+        )
+    rows.append(
+        _row(
+            f"manager@{fail_epochs[0]}",
+            FailureSchedule.fail_at(fail_epochs[0], [manager]),
+            clean,
+            n=n,
+            epochs=epochs,
+        )
+    )
+    mtbf = FailureSchedule.from_mtbf(
+        _worker_pool(),
+        mtbf_epochs=mtbf_epochs,
+        horizon_epochs=epochs,
+        seed=seed,
+        max_failures=2,
+    )
+    if mtbf:
+        rows.append(
+            _row(f"mtbf={mtbf_epochs:g}", mtbf, clean, n=n, epochs=epochs)
+        )
+    return rows
+
+
+def resilience_report(
+    *,
+    n: int = N,
+    epochs: int = EPOCHS,
+    fail_epochs: Sequence[int] = FAIL_EPOCHS,
+    mtbf_epochs: float = MTBF_EPOCHS,
+    seed: int = 0,
+) -> str:
+    """ASCII grid; raises if any scenario breaks answer parity."""
+    rows = resilience_grid(
+        n=n,
+        epochs=epochs,
+        fail_epochs=fail_epochs,
+        mtbf_epochs=mtbf_epochs,
+        seed=seed,
+    )
+    broken = [r.scenario for r in rows if not r.answer_parity]
+    table = format_table(
+        [
+            "scenario",
+            "fails",
+            "parity",
+            "clean ms",
+            "supervised ms",
+            "fail-stop ms",
+            "overhead %",
+            "saved %",
+            "repart",
+            "moved",
+            "replayed",
+            "retries",
+        ],
+        [
+            (
+                r.scenario,
+                r.failures,
+                "ok" if r.answer_parity else "BROKEN",
+                r.clean_ms,
+                r.supervised_ms,
+                r.baseline_ms,
+                r.overhead_pct,
+                r.saved_pct,
+                r.repartitions,
+                r.moved_pdus,
+                r.replayed_pdus,
+                r.gather_retries,
+            )
+            for r in rows
+        ],
+        title=(
+            f"E16: resilience overhead (STEN-1 N={n}, {epochs} epochs; "
+            "supervised recovery vs fail-stop restart)"
+        ),
+    )
+    if broken:
+        table += f"\n\nANSWER PARITY BROKEN: {broken}"
+    return table

@@ -84,6 +84,9 @@ class Processor:
     load: float = 0.0
     #: Index of this node within its cluster, assigned by the cluster.
     rank_in_cluster: int = field(default=-1)
+    #: Fail-stop state: a crashed/vanished node answers no queries and is
+    #: never schedulable, regardless of its last reported load.
+    alive: bool = True
 
     def __post_init__(self) -> None:
         self._check_load(self.load)
@@ -98,9 +101,17 @@ class Processor:
         self._check_load(load)
         self.load = load
 
+    def fail(self) -> None:
+        """Mark the node crashed (fail-stop).  Idempotent."""
+        self.alive = False
+
+    def restore(self) -> None:
+        """Bring a failed node back (e.g. between experiment trials)."""
+        self.alive = True
+
     def is_available(self, threshold: float) -> bool:
-        """Threshold availability policy (paper §3)."""
-        return self.load <= threshold
+        """Threshold availability policy (paper §3); dead nodes never are."""
+        return self.alive and self.load <= threshold
 
     def effective_usec_per_op(self, kind: OpKind = "fp", *, load_adjusted: bool = False) -> float:
         """Instruction time, optionally inflated by current sharing load.

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from repro.errors import MessagingError
+from repro.errors import MessagingError, PeerUnreachableError
 from repro.hardware.network import HeterogeneousNetwork
 from repro.hardware.processor import Processor
 from repro.mmps.coercion import CoercionPolicy
@@ -87,6 +87,24 @@ class MMPS:
         self._endpoints: dict[int, Endpoint] = {}
         self._loss_rng = network.streams.get("mmps.loss")
         self.datagrams_lost = 0
+        self._dead: set[int] = set()
+
+    def fail_processor(self, proc_id: int) -> None:
+        """Fail-stop injection: the node vanishes from the message layer.
+
+        Every datagram addressed to (or sent by) the processor is silently
+        dropped from now on, exactly as a crashed host behaves on the wire.
+        Reliable senders keep retransmitting until their retry budget is
+        exhausted and then raise :class:`~repro.errors.PeerUnreachableError`
+        with the destination and attempt count — the surfaced timeout a
+        supervisor turns into a repartitioning trigger.
+        """
+        self._dead.add(proc_id)
+        self.network.tracer.record("mmps", "fail", proc=proc_id)
+
+    def is_failed(self, proc_id: int) -> bool:
+        """Whether the message layer treats the processor as crashed."""
+        return proc_id in self._dead
 
     def endpoint(self, proc: Processor) -> "Endpoint":
         """Get (creating on first use) the endpoint bound to ``proc``."""
@@ -122,6 +140,14 @@ class MMPS:
         """Carry one datagram through the network, then deliver or drop it."""
         src = self.network.processor(dgram.src)
         dst = self.network.processor(dgram.dst)
+        if dgram.src in self._dead or dgram.dst in self._dead:
+            # A crashed endpoint neither transmits nor receives; the frame
+            # never reaches the wire (or falls off it at the dead NIC).
+            self.datagrams_lost += 1
+            self.network.tracer.record(
+                "mmps", "dead-drop", msg_id=dgram.msg_id, src=dgram.src, dst=dgram.dst
+            )
+            return None
         yield from self.network.transfer_frame(src, dst, dgram.nbytes + MMPS_HEADER_BYTES)
         if self.loss_rate > 0.0 and float(self._loss_rng.random()) < self.loss_rate:
             self.datagrams_lost += 1
@@ -263,9 +289,7 @@ class Endpoint:
             self.stats.retransmissions += 1
             if attempt > costs.max_retries:
                 self._ack_events.pop(msg.msg_id, None)
-                raise MessagingError(
-                    f"message {msg.msg_id} unacked after {attempt} attempts"
-                )
+                raise PeerUnreachableError(msg.msg_id, msg.dst, attempt)
         self._ack_events.pop(msg.msg_id, None)
         self.stats.messages_sent += 1
         self.stats.bytes_sent += msg.nbytes

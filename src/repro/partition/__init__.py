@@ -8,7 +8,13 @@ support the evaluation and ablations.
 """
 
 from repro.partition.advisor import advise, explain_decision, network_fingerprint
-from repro.partition.available import ClusterResources, gather_available_resources
+from repro.partition.available import (
+    ClusterResources,
+    GatherReport,
+    ManagerReply,
+    gather_available_resources,
+    gather_available_resources_resilient,
+)
 from repro.partition.baselines import all_available, equal_decomposition, fastest_cluster_only
 from repro.partition.config import ProcessorConfiguration
 from repro.partition.decompose import (
@@ -18,6 +24,8 @@ from repro.partition.decompose import (
     equal_shares,
 )
 from repro.partition.dynamic import (
+    EpochHealth,
+    classify_epoch,
     detect_imbalance,
     moved_pdus,
     rebalance_counts,
@@ -45,13 +53,25 @@ from repro.partition.overhead import (
     paper_bound,
     search_bound,
 )
+from repro.partition.runtime import (
+    AuditEvent,
+    AuditTrail,
+    ManualClock,
+    PartitionRuntime,
+    RuntimePolicy,
+    RuntimeResult,
+    SimulatedEpochExecutor,
+)
 
 __all__ = [
     "advise",
     "explain_decision",
     "network_fingerprint",
     "ClusterResources",
+    "GatherReport",
+    "ManagerReply",
     "gather_available_resources",
+    "gather_available_resources_resilient",
     "all_available",
     "equal_decomposition",
     "fastest_cluster_only",
@@ -60,6 +80,8 @@ __all__ = [
     "balanced_shares",
     "balanced_shares_nonlinear",
     "equal_shares",
+    "EpochHealth",
+    "classify_epoch",
     "detect_imbalance",
     "moved_pdus",
     "rebalance_counts",
@@ -81,4 +103,11 @@ __all__ = [
     "overhead_report",
     "paper_bound",
     "search_bound",
+    "AuditEvent",
+    "AuditTrail",
+    "ManualClock",
+    "PartitionRuntime",
+    "RuntimePolicy",
+    "RuntimeResult",
+    "SimulatedEpochExecutor",
 ]

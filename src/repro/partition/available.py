@@ -10,13 +10,21 @@ gathering sweep costs one round of manager queries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable, Optional
 
+from repro.errors import ManagerUnreachableError, PartitionError
 from repro.hardware.cluster import Cluster
 from repro.hardware.network import HeterogeneousNetwork
 from repro.hardware.processor import OpKind, Processor
 
-__all__ = ["ClusterResources", "gather_available_resources"]
+__all__ = [
+    "ClusterResources",
+    "gather_available_resources",
+    "ManagerReply",
+    "GatherReport",
+    "gather_available_resources_resilient",
+]
 
 
 @dataclass(frozen=True)
@@ -93,7 +101,10 @@ def gather_available_resources(
     resources = []
     for cluster in network.clusters:
         if load_adjusted:
-            nodes = sorted(cluster.processors, key=lambda p: (p.load, p.rank_in_cluster))
+            nodes = sorted(
+                (p for p in cluster.processors if p.alive),
+                key=lambda p: (p.load, p.rank_in_cluster),
+            )
             available = tuple(nodes)
         else:
             available = tuple(cluster.manager.available_processors())
@@ -103,3 +114,151 @@ def gather_available_resources(
             )
         )
     return resources
+
+
+# -- the fault-tolerant sweep -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ManagerReply:
+    """One manager's answer to an availability query.
+
+    ``latency_ms`` is how long the manager took to answer; the gathering
+    sweep compares it against its per-query timeout, so a probe can model a
+    hung manager simply by reporting a latency beyond the budget.
+    """
+
+    available: tuple[Processor, ...]
+    latency_ms: float = 1.0
+
+
+#: A manager query: returns the reply or raises
+#: :class:`~repro.errors.ManagerUnreachableError` when the manager is gone.
+ManagerProbe = Callable[[Cluster], ManagerReply]
+
+#: Default simulated query latency (one LAN round trip, generous).
+DEFAULT_PROBE_LATENCY_MS = 1.0
+
+
+def default_manager_probe(cluster: Cluster) -> ManagerReply:
+    """The ordinary threshold-policy query, hosted on the manager node.
+
+    The designated manager runs on the cluster's first node (the shaded
+    node of Fig 1); if that node crashed, the whole cluster stops
+    answering — the scenario the retry/degrade path exists for.
+    """
+    manager_host = cluster.processors[0]
+    if not manager_host.alive:
+        raise ManagerUnreachableError(cluster.name, 1, reason="manager host down")
+    return ManagerReply(
+        available=tuple(cluster.manager.available_processors()),
+        latency_ms=DEFAULT_PROBE_LATENCY_MS,
+    )
+
+
+@dataclass
+class GatherReport:
+    """Audit record of one resilient gathering sweep."""
+
+    attempts: dict[str, int] = field(default_factory=dict)
+    lost: tuple[str, ...] = ()
+    elapsed_ms: float = 0.0
+
+    @property
+    def retries(self) -> dict[str, int]:
+        """Attempts beyond the first, per cluster (0 when all answered)."""
+        return {name: max(0, n - 1) for name, n in self.attempts.items()}
+
+    @property
+    def total_retries(self) -> int:
+        return sum(self.retries.values())
+
+
+def gather_available_resources_resilient(
+    network: HeterogeneousNetwork,
+    *,
+    load_adjusted: bool = False,
+    probe: Optional[ManagerProbe] = None,
+    timeout_ms: float = 50.0,
+    max_retries: int = 2,
+    backoff_ms: float = 25.0,
+    backoff_multiplier: float = 2.0,
+    clock=None,
+    allow_partial: bool = True,
+) -> tuple[list[ClusterResources], GatherReport]:
+    """The cooperative sweep hardened against hung and vanished managers.
+
+    Each manager is queried through ``probe`` with a per-query
+    ``timeout_ms``; a reply slower than the budget counts as a timeout and
+    is retried after an exponential backoff (``backoff_ms``,
+    ``backoff_multiplier``) up to ``max_retries`` extra attempts.  A
+    cluster whose manager never answers is dropped from the result when
+    ``allow_partial`` (degrading to the surviving clusters) or re-raises
+    :class:`~repro.errors.ManagerUnreachableError` otherwise.
+
+    All time is charged against the injectable ``clock`` (anything with an
+    ``advance(ms)`` method and a ``now`` attribute, e.g.
+    :class:`repro.partition.runtime.ManualClock`) — no wall clock is read,
+    so tests and experiments are exactly reproducible.
+
+    Returns ``(resources, report)`` where the report records per-cluster
+    attempt counts, lost clusters, and the swept time.
+    """
+    from repro.partition.runtime import ManualClock
+
+    if timeout_ms <= 0:
+        raise PartitionError(f"timeout_ms must be positive, got {timeout_ms}")
+    if max_retries < 0:
+        raise PartitionError(f"max_retries must be >= 0, got {max_retries}")
+    probe = probe or default_manager_probe
+    clock = clock if clock is not None else ManualClock()
+    start = clock.now
+    report = GatherReport()
+    resources: list[ClusterResources] = []
+    lost: list[str] = []
+    for cluster in network.clusters:
+        attempts = 0
+        delay = backoff_ms
+        reply: Optional[ManagerReply] = None
+        last_reason = "timeout"
+        while attempts <= max_retries:
+            attempts += 1
+            try:
+                answer = probe(cluster)
+            except ManagerUnreachableError as exc:
+                clock.advance(timeout_ms)
+                last_reason = exc.reason
+            else:
+                if answer.latency_ms > timeout_ms:
+                    # Hung manager: we stop waiting at the budget.
+                    clock.advance(timeout_ms)
+                    last_reason = "timeout"
+                else:
+                    clock.advance(answer.latency_ms)
+                    reply = answer
+                    break
+            if attempts <= max_retries:
+                clock.advance(delay)
+                delay *= backoff_multiplier
+        report.attempts[cluster.name] = attempts
+        if reply is None:
+            if not allow_partial:
+                raise ManagerUnreachableError(cluster.name, attempts, last_reason)
+            lost.append(cluster.name)
+            continue
+        available = reply.available
+        if load_adjusted:
+            available = tuple(
+                sorted(
+                    (p for p in available if p.alive),
+                    key=lambda p: (p.load, p.rank_in_cluster),
+                )
+            )
+        resources.append(
+            ClusterResources(
+                cluster=cluster, available=available, load_adjusted=load_adjusted
+            )
+        )
+    report.lost = tuple(lost)
+    report.elapsed_ms = clock.now - start
+    return resources, report

@@ -6,6 +6,8 @@ partition vector in the event of load imbalance."  This module implements
 that possibility:
 
 * :func:`detect_imbalance` — trip when the measured per-PDU times diverge;
+* :func:`classify_epoch` — the fault-tolerant extension: distinguish ranks
+  that merely slowed down from ranks that vanished (no measurement at all);
 * :func:`rebalance_counts` — a *measured* Eq 3: new shares proportional to
   observed per-PDU speed (1/τ_i), so external load shows up exactly as a
   slower effective ``S_i``;
@@ -18,14 +20,23 @@ The SPMD integration lives in :func:`repro.apps.stencil_dynamic.run_stencil_dyna
 
 from __future__ import annotations
 
-from typing import Sequence
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.errors import PartitionError
 from repro.model.vector import PartitionVector, round_preserving_sum
 
-__all__ = ["detect_imbalance", "rebalance_counts", "transfer_plan", "moved_pdus"]
+__all__ = [
+    "detect_imbalance",
+    "EpochHealth",
+    "classify_epoch",
+    "rebalance_counts",
+    "transfer_plan",
+    "moved_pdus",
+]
 
 
 def detect_imbalance(
@@ -48,27 +59,118 @@ def detect_imbalance(
     return float(times.max() / times.min()) > threshold
 
 
+@dataclass(frozen=True)
+class EpochHealth:
+    """Classification of one epoch's per-rank measurements.
+
+    The fault-tolerant runtime feeds it per-rank per-PDU times where a rank
+    that produced *no* measurement (``None`` or NaN — its node vanished,
+    its manager query hung) is distinguished from one that merely slowed
+    down under external load.
+    """
+
+    dead: tuple[int, ...]  #: ranks with no measurement at all (node loss)
+    slow: tuple[int, ...]  #: live ranks beyond threshold x the fastest
+    imbalanced: bool  #: whether the live measurements trip the threshold
+
+    @property
+    def ok(self) -> bool:
+        """No dead ranks and no imbalance: keep the current decomposition."""
+        return not self.dead and not self.imbalanced
+
+    @property
+    def trigger(self) -> Optional[str]:
+        """The repartitioning trigger this health state implies, if any."""
+        if self.dead:
+            return "node-loss"
+        if self.imbalanced:
+            return "slowdown"
+        return None
+
+
+def classify_epoch(
+    per_pdu_times_ms: Sequence[Optional[float]], *, threshold: float = 1.25
+) -> EpochHealth:
+    """Extend :func:`detect_imbalance` with node-loss detection.
+
+    ``None`` / NaN entries mark ranks that reported nothing this epoch —
+    the fail-stop signature — and are excluded from the imbalance ratio.
+    Positive-but-divergent live times classify as slowdown, exactly as
+    :func:`detect_imbalance` would over the live subset.
+    """
+    if not per_pdu_times_ms:
+        raise PartitionError("no measurements")
+    dead: list[int] = []
+    live: list[tuple[int, float]] = []
+    for rank, t in enumerate(per_pdu_times_ms):
+        if t is None or (isinstance(t, float) and math.isnan(t)):
+            dead.append(rank)
+        else:
+            if t <= 0:
+                raise PartitionError(f"non-positive per-PDU time at rank {rank}: {t}")
+            live.append((rank, float(t)))
+    if not live:
+        raise PartitionError("every rank is dead: nothing left to repartition onto")
+    if threshold <= 1.0:
+        raise PartitionError(f"threshold must exceed 1.0, got {threshold}")
+    fastest = min(t for _, t in live)
+    slow = tuple(rank for rank, t in live if t / fastest > threshold)
+    return EpochHealth(dead=tuple(dead), slow=slow, imbalanced=bool(slow))
+
+
 def rebalance_counts(
-    old_counts: Sequence[int], per_pdu_times_ms: Sequence[float]
+    old_counts: Sequence[int],
+    per_pdu_times_ms: Sequence[float],
+    *,
+    min_per_rank: int = 1,
 ) -> PartitionVector:
     """Recompute the partition vector from *measured* per-PDU speeds.
 
     Eq 3 with the measured ``τ_i`` standing in for ``S_i``:
     ``A_i' ∝ (1/τ_i)``, integerized sum-preservingly.  Tasks that were
     slowed by external load hand PDUs to the others.
+
+    Every surviving rank is guaranteed at least ``min_per_rank`` PDUs
+    (default 1): when the proportional shares would integerize a very slow
+    rank to zero, PDUs are reclaimed deterministically from the
+    largest-count ranks (lowest rank index on ties) until the floor holds.
+    A rank with zero PDUs would otherwise be silently stranded — alive,
+    participating in collectives, but owning no work and receiving no rows
+    from any :func:`transfer_plan`.  If the floor is unsatisfiable
+    (``Σ old_counts < min_per_rank · len(old_counts)``) a
+    :class:`~repro.errors.PartitionError` is raised instead.
     """
     counts = list(old_counts)
     if len(counts) != len(per_pdu_times_ms):
         raise PartitionError(
             f"{len(counts)} counts but {len(per_pdu_times_ms)} measurements"
         )
+    if min_per_rank < 0:
+        raise PartitionError(f"min_per_rank must be >= 0, got {min_per_rank}")
     total = sum(counts)
+    if total < min_per_rank * len(counts):
+        raise PartitionError(
+            f"cannot give {len(counts)} ranks >= {min_per_rank} PDU(s) "
+            f"from a total of {total}"
+        )
     times = np.asarray(per_pdu_times_ms, dtype=float)
     if np.any(times <= 0):
         raise PartitionError("non-positive per-PDU time")
     speeds = 1.0 / times
     shares = speeds / speeds.sum() * total
-    return PartitionVector(round_preserving_sum(shares.tolist(), total))
+    new = round_preserving_sum(shares.tolist(), total)
+    while True:
+        deficit = [i for i, c in enumerate(new) if c < min_per_rank]
+        if not deficit:
+            break
+        # Reclaim from the largest count; ties break to the lowest index so
+        # the result is deterministic for identical measurements.
+        donor = max(range(len(new)), key=lambda i: (new[i], -i))
+        if new[donor] <= min_per_rank:  # pragma: no cover - guarded above
+            raise PartitionError("floor unsatisfiable after integerization")
+        new[donor] -= 1
+        new[deficit[0]] += 1
+    return PartitionVector(new)
 
 
 def transfer_plan(

@@ -71,10 +71,24 @@ class BatchEstimate:
         return int(self.counts.shape[0])
 
     def best_index(self) -> int:
-        """Row of the minimal ``T_c`` (first on ties, like the scalar scan)."""
+        """Row of the minimal ``T_c``; exact ties break to the
+        lexicographically-smallest counts row.
+
+        The scalar ``_best_of`` scan applies the identical rule, so both
+        engines pick the same configuration even when candidate enumeration
+        orders differ (e.g. the pruned matrix vs the scalar product loop).
+        """
         if len(self) == 0:
             raise PartitionError("no candidate configurations")
-        return int(np.argmin(self.t_cycle_ms))
+        t = self.t_cycle_ms
+        tied = np.flatnonzero(t == t.min())
+        if tied.size == 1:
+            return int(tied[0])
+        rows = self.counts[tied]
+        # lexsort's last key is primary: feed columns right-to-left so the
+        # leftmost cluster count is compared first.
+        order = np.lexsort(rows.T[::-1])
+        return int(tied[order[0]])
 
     def best_counts(self) -> tuple[int, ...]:
         """The winning row's per-cluster counts."""

@@ -154,7 +154,10 @@ def partition(
     argmin = _argmin_unimodal if search == "binary" else _argmin_scan
     # The binary search revisits neighbouring counts; memoize the (frozen)
     # configuration objects on the counts tuple so each probe beyond the
-    # first costs one dict hit instead of a full rebuild + validation.
+    # first costs one dict hit instead of a full rebuild + validation.  The
+    # cache is also the trace's dedupe layer: a counts tuple gets exactly
+    # one (describe, t) row, appended on its first (real) evaluation, so
+    # ``decision.evaluations == len(decision.trace)`` holds exactly.
     cfg_cache: dict[tuple[int, ...], ProcessorConfiguration] = {}
 
     def cost_with(index: int, p: int) -> float:
@@ -162,10 +165,13 @@ def partition(
         cfg = cfg_cache.get(key)
         if cfg is None:
             cfg = ProcessorConfiguration(ordered, key)
+            t = estimator.t_cycle(cfg)
             cfg_cache[key] = cfg
-        t = estimator.t_cycle(cfg)
-        trace.append((cfg.describe(), t))
-        return t
+            trace.append((cfg.describe(), t))
+            return t
+        # Cache hit: the estimator memo returns the stored value without
+        # counting an evaluation, and no duplicate trace row is appended.
+        return estimator.t_cycle(cfg)
 
     for k, res in enumerate(ordered):
         lo = 1 if k == 0 else 0  # at least one processor overall
@@ -175,8 +181,15 @@ def partition(
             # This cluster is not saturated: locality says stop here.
             break
 
-    config = ProcessorConfiguration(ordered, counts)
-    estimate = estimator.estimate(config)
+    config = cfg_cache.get(tuple(counts))
+    if config is None:
+        # Possible only when a search interval was a single point (e.g. a
+        # one-node first cluster), so the chosen counts were never probed.
+        config = ProcessorConfiguration(ordered, counts)
+        estimate = estimator.estimate(config)
+        trace.append((config.describe(), estimate.t_cycle_ms))
+    else:
+        estimate = estimator.estimate(config)
     return PartitionDecision(
         config=config,
         vector=estimator.partition_vector(config),
@@ -201,7 +214,11 @@ def _best_of(
     for cfg in configs:
         t = estimator.t_cycle(cfg)
         trace.append((cfg.describe(), t))
-        if t < best_t:
+        # On exact ties prefer the lexicographically-smallest counts tuple —
+        # the same rule BatchEstimate.best_index applies, so the scalar and
+        # batch engines return byte-identical decisions regardless of their
+        # enumeration orders.
+        if t < best_t or (t == best_t and best is not None and cfg.counts < best.counts):
             best, best_t = cfg, t
     assert best is not None
     return PartitionDecision(

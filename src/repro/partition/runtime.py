@@ -1,0 +1,516 @@
+"""The fault-tolerant partitioning runtime (supervisor).
+
+The paper partitions once and runs to completion; its §7 future work — and
+the availability-churn literature that followed (logical homogeneous
+clusters, adaptive self-clustering repartitioning) — both observe that on
+shared workstation networks the processor pool *changes under you*: nodes
+pick up external load, vanish, and manager queries hang.  This module
+closes that loop with a supervisor wrapping gather → partition → execute
+cycles:
+
+* per-epoch measurements are classified by
+  :func:`~repro.partition.dynamic.classify_epoch` into healthy, slowed
+  (external load) and dead (fail-stop) ranks;
+* node loss triggers a fresh resilient gathering sweep
+  (:func:`~repro.partition.available.gather_available_resources_resilient`
+  — per-manager timeout, retry, exponential backoff) and a full re-run of
+  the §5 heuristic on the surviving clusters;
+* slowdown triggers the measured Eq 3 rebalance
+  (:func:`~repro.partition.dynamic.rebalance_counts`);
+* every decomposition change replays a
+  :func:`~repro.partition.dynamic.transfer_plan` and is recorded in a
+  structured audit trail (epoch, trigger, old/new configuration, moved
+  PDUs, retry counts) that serializes to plain dicts.
+
+**Failure model** (see ``docs/resilience.md``): fail-stop nodes with
+recoverable partitions — a lost node's PDU block is re-fetched from its
+checkpoint/peer replica by the new owners, so the epoch the failure
+interrupted is *replayed* on the survivors and the final answer is exactly
+the failure-free answer.  All time comes from an injectable
+:class:`ManualClock`; nothing reads the wall clock, so every run is
+reproducible in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.errors import PartitionError
+from repro.hardware.network import HeterogeneousNetwork
+from repro.hardware.processor import Processor
+from repro.partition.available import (
+    GatherReport,
+    ManagerProbe,
+    gather_available_resources_resilient,
+)
+from repro.partition.dynamic import (
+    classify_epoch,
+    moved_pdus,
+    rebalance_counts,
+    transfer_plan,
+)
+from repro.partition.heuristic import PartitionDecision, partition
+from repro.sim.failures import FailureSchedule
+from repro.units import ops_time_ms
+
+__all__ = [
+    "ManualClock",
+    "RuntimePolicy",
+    "AuditEvent",
+    "AuditTrail",
+    "SimulatedEpochExecutor",
+    "RuntimeResult",
+    "PartitionRuntime",
+]
+
+
+class ManualClock:
+    """A deterministic, injectable clock: advances only when told to.
+
+    The runtime charges every modelled cost against it — epoch execution,
+    manager query latency, retry backoff, PDU transfers — so tests assert
+    exact elapsed figures and never sleep.
+    """
+
+    def __init__(self, start_ms: float = 0.0) -> None:
+        self.now = float(start_ms)
+
+    def advance(self, ms: float) -> float:
+        """Move time forward by ``ms`` (must be non-negative)."""
+        if ms < 0:
+            raise ValueError(f"cannot advance the clock by {ms} ms")
+        self.now += ms
+        return self.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ManualClock now={self.now:.3f} ms>"
+
+
+@dataclass(frozen=True)
+class RuntimePolicy:
+    """Tunables of the supervisor loop."""
+
+    #: Live per-PDU time ratio beyond which a slowdown rebalance fires.
+    imbalance_threshold: float = 1.25
+    #: Computation cycles executed per supervised epoch.
+    cycles_per_epoch: int = 1
+    #: Per-manager-query timeout for the gathering sweep.
+    manager_timeout_ms: float = 50.0
+    #: Extra attempts per manager after the first.
+    manager_retries: int = 2
+    #: First retry backoff; multiplied by ``backoff_multiplier`` per retry.
+    backoff_ms: float = 25.0
+    backoff_multiplier: float = 2.0
+    #: Modelled cost of shipping one PDU to its new owner.
+    transfer_ms_per_pdu: float = 0.05
+    #: Rebalance on slowdown (False: only node loss repartitions).
+    rebalance_on_slowdown: bool = True
+    #: Degrade to the surviving clusters when a manager never answers
+    #: (False: a lost manager aborts the run).
+    allow_partial_gather: bool = True
+    #: Search mode handed to the §5 heuristic.
+    search: str = "binary"
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One structured entry of the runtime's decision audit trail."""
+
+    epoch: int  #: epoch index the decision was taken at (-1 = bootstrap)
+    trigger: str  #: "bootstrap" | "node-loss" | "slowdown"
+    old_config: Optional[dict[str, int]]  #: cluster -> processor count
+    new_config: dict[str, int]
+    old_vector: Optional[tuple[int, ...]]  #: per-rank PDU counts
+    new_vector: tuple[int, ...]
+    moved_pdus: int  #: PDUs changing owner under the transfer plan
+    replayed_pdus: int  #: PDUs re-executed because their owner died mid-epoch
+    retries: dict[str, int]  #: gather retries per cluster (beyond first try)
+    lost_clusters: tuple[str, ...]  #: clusters dropped by the degraded sweep
+    dead_ranks: tuple[int, ...]  #: ranks whose nodes were declared dead
+    t_ms: float  #: clock time the decision completed at
+
+    def to_record(self) -> dict[str, Any]:
+        """A JSON-serializable plain-dict form (the audit-trail schema)."""
+        return {
+            "epoch": self.epoch,
+            "trigger": self.trigger,
+            "old_config": dict(self.old_config) if self.old_config else None,
+            "new_config": dict(self.new_config),
+            "old_vector": list(self.old_vector) if self.old_vector else None,
+            "new_vector": list(self.new_vector),
+            "moved_pdus": self.moved_pdus,
+            "replayed_pdus": self.replayed_pdus,
+            "retries": dict(self.retries),
+            "lost_clusters": list(self.lost_clusters),
+            "dead_ranks": list(self.dead_ranks),
+            "t_ms": self.t_ms,
+        }
+
+
+@dataclass
+class AuditTrail:
+    """Append-only record of every decision the supervisor took."""
+
+    events: list[AuditEvent] = field(default_factory=list)
+
+    def append(self, event: AuditEvent) -> None:
+        self.events.append(event)
+
+    def triggers(self) -> list[str]:
+        return [e.trigger for e in self.events]
+
+    def to_records(self) -> list[dict[str, Any]]:
+        return [e.to_record() for e in self.events]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+
+class SimulatedEpochExecutor:
+    """Runs one epoch of the abstract workload on the current decomposition.
+
+    Per rank, the per-PDU compute time follows the node's *effective*
+    instruction rate (load-adjusted, so external load genuinely slows the
+    measurement) over the dominant phase's per-PDU complexity.  A dead node
+    reports ``None`` — the fail-stop signature
+    :func:`~repro.partition.dynamic.classify_epoch` keys on.  The epoch's
+    wall time (the max over live ranks, completion-time semantics) is
+    charged to the supervisor's clock by the caller.
+    """
+
+    def __init__(self, computation, *, cycles_per_epoch: int = 1) -> None:
+        if cycles_per_epoch < 1:
+            raise PartitionError(
+                f"cycles_per_epoch must be >= 1, got {cycles_per_epoch}"
+            )
+        comp_phase = computation.dominant_computation_phase()
+        self.op_kind = comp_phase.op_kind
+        self.ops_per_pdu = (
+            comp_phase.complexity_value(computation.problem) * cycles_per_epoch
+        )
+
+    def run_epoch(
+        self, epoch: int, procs: Sequence[Processor], counts: Sequence[int]
+    ) -> list[Optional[float]]:
+        """Per-rank per-PDU times for this epoch (``None`` = rank's node died)."""
+        measurements: list[Optional[float]] = []
+        for proc in procs:
+            if not proc.alive:
+                measurements.append(None)
+                continue
+            rate = proc.effective_usec_per_op(self.op_kind, load_adjusted=True)
+            measurements.append(ops_time_ms(self.ops_per_pdu, rate))
+        return measurements
+
+    def epoch_duration_ms(
+        self, measurements: Sequence[Optional[float]], counts: Sequence[int]
+    ) -> float:
+        """Completion time of the epoch: max over live ranks of A_i · τ_i."""
+        live = [
+            t * c for t, c in zip(measurements, counts) if t is not None
+        ]
+        return max(live) if live else 0.0
+
+
+@dataclass
+class RuntimeResult:
+    """Outcome of a supervised run."""
+
+    answer: int
+    epochs: int
+    audit: AuditTrail
+    final_proc_ids: tuple[int, ...]
+    final_vector: tuple[int, ...]
+    elapsed_ms: float
+    replayed_pdus: int
+
+    @property
+    def repartitions(self) -> int:
+        """Decomposition changes after bootstrap."""
+        return sum(1 for e in self.audit if e.trigger != "bootstrap")
+
+    @property
+    def moved_pdus_total(self) -> int:
+        return sum(e.moved_pdus for e in self.audit)
+
+
+def _pdu_value(epoch: int, pdu: int) -> int:
+    """Deterministic integer workload value of one PDU in one epoch.
+
+    Pure integer arithmetic, independent of which rank owns the PDU — the
+    property the answer-parity guarantee rests on.
+    """
+    return ((pdu * 2654435761) % 1000003 + 1) * (epoch + 1)
+
+
+def _block_value(epoch: int, start: int, count: int) -> int:
+    return sum(_pdu_value(epoch, i) for i in range(start, start + count))
+
+
+class PartitionRuntime:
+    """Supervises gather → partition → execute cycles with fault tolerance.
+
+    Parameters
+    ----------
+    network:
+        The heterogeneous network (its live node state is the ground truth
+        failures mutate).
+    computation:
+        The annotated data-parallel computation to be decomposed.
+    cost_db:
+        Fitted cost database driving the §5 heuristic.
+    policy:
+        Supervisor tunables (:class:`RuntimePolicy`).
+    clock:
+        Injectable :class:`ManualClock`; a fresh one is created by default.
+    probe:
+        Manager-query injectable for the resilient gather (tests use it to
+        model hung managers).
+    failures:
+        Epoch-indexed :class:`~repro.sim.failures.FailureSchedule` applied
+        by the supervisor at each epoch start.
+    mmps:
+        Optional message system to notify of fail-stop events, so the
+        transport layer also drops the dead endpoints.
+    """
+
+    def __init__(
+        self,
+        network: HeterogeneousNetwork,
+        computation,
+        cost_db,
+        *,
+        policy: Optional[RuntimePolicy] = None,
+        clock: Optional[ManualClock] = None,
+        probe: Optional[ManagerProbe] = None,
+        failures: Optional[FailureSchedule] = None,
+        mmps=None,
+    ) -> None:
+        self.network = network
+        self.computation = computation
+        self.cost_db = cost_db
+        self.policy = policy or RuntimePolicy()
+        self.clock = clock or ManualClock()
+        self.probe = probe
+        self.failures = failures or FailureSchedule()
+        self.mmps = mmps
+        self.audit = AuditTrail()
+        self.num_pdus = computation.num_pdus_value()
+        self.executor = SimulatedEpochExecutor(
+            computation, cycles_per_epoch=self.policy.cycles_per_epoch
+        )
+
+    # -- gather + partition ------------------------------------------------------
+
+    def _gather(self) -> tuple[list, GatherReport]:
+        return gather_available_resources_resilient(
+            self.network,
+            probe=self.probe,
+            timeout_ms=self.policy.manager_timeout_ms,
+            max_retries=self.policy.manager_retries,
+            backoff_ms=self.policy.backoff_ms,
+            backoff_multiplier=self.policy.backoff_multiplier,
+            clock=self.clock,
+            allow_partial=self.policy.allow_partial_gather,
+        )
+
+    def _decide(self) -> tuple[PartitionDecision, GatherReport]:
+        resources, report = self._gather()
+        usable = [r for r in resources if r.n_available > 0]
+        if not usable:
+            raise PartitionError(
+                "no surviving clusters with available processors "
+                f"(lost: {list(report.lost)})"
+            )
+        decision = partition(
+            self.computation, usable, self.cost_db, search=self.policy.search
+        )
+        return decision, report
+
+    # -- decomposition bookkeeping -----------------------------------------------
+
+    @staticmethod
+    def _union_transfer(
+        old_procs: Sequence[Processor],
+        old_counts: Sequence[int],
+        new_procs: Sequence[Processor],
+        new_counts: Sequence[int],
+    ) -> dict[tuple[int, int], int]:
+        """Transfer plan across a (possibly) changed processor set.
+
+        Ranks are aligned on the union of old and new processors (old
+        order first), with absent processors holding zero PDUs, so
+        :func:`transfer_plan`'s same-length contract holds.  Moves out of
+        a dead processor's rank model recovery reads of its checkpointed
+        block by the new owners.
+        """
+        universe = [p.proc_id for p in old_procs]
+        seen = set(universe)
+        for proc in new_procs:
+            if proc.proc_id not in seen:
+                universe.append(proc.proc_id)
+                seen.add(proc.proc_id)
+        old_by_id = {p.proc_id: c for p, c in zip(old_procs, old_counts)}
+        new_by_id = {p.proc_id: c for p, c in zip(new_procs, new_counts)}
+        old_vec = [old_by_id.get(pid, 0) for pid in universe]
+        new_vec = [new_by_id.get(pid, 0) for pid in universe]
+        return transfer_plan(old_vec, new_vec)
+
+    def _record(
+        self,
+        *,
+        epoch: int,
+        trigger: str,
+        old_config: Optional[dict[str, int]],
+        new_config: dict[str, int],
+        old_vector: Optional[Sequence[int]],
+        new_vector: Sequence[int],
+        moved: int,
+        replayed: int,
+        report: Optional[GatherReport],
+        dead_ranks: Sequence[int] = (),
+    ) -> None:
+        self.audit.append(
+            AuditEvent(
+                epoch=epoch,
+                trigger=trigger,
+                old_config=old_config,
+                new_config=new_config,
+                old_vector=tuple(old_vector) if old_vector is not None else None,
+                new_vector=tuple(new_vector),
+                moved_pdus=moved,
+                replayed_pdus=replayed,
+                retries=report.retries if report is not None else {},
+                lost_clusters=report.lost if report is not None else (),
+                dead_ranks=tuple(dead_ranks),
+                t_ms=self.clock.now,
+            )
+        )
+
+    # -- the supervisor loop -------------------------------------------------------
+
+    def run(self, epochs: int) -> RuntimeResult:
+        """Execute ``epochs`` supervised epochs; returns the exact answer.
+
+        Invariant: every PDU is processed exactly once per epoch by *some*
+        live rank — epochs interrupted by node loss are replayed on the
+        survivors — so the returned integer answer equals the failure-free
+        run's, whatever the failure schedule did.
+        """
+        if epochs < 1:
+            raise PartitionError(f"epochs must be >= 1, got {epochs}")
+        policy = self.policy
+        decision, report = self._decide()
+        procs = decision.config.processors()
+        counts = list(decision.vector)
+        self._record(
+            epoch=-1,
+            trigger="bootstrap",
+            old_config=None,
+            new_config=decision.counts_by_name(),
+            old_vector=None,
+            new_vector=counts,
+            moved=0,
+            replayed=0,
+            report=report,
+        )
+        config_by_name = decision.counts_by_name()
+
+        answer = 0
+        replayed_total = 0
+        for epoch in range(epochs):
+            for event in self.failures.failures_at(epoch):
+                self.network.processor(event.proc_id).fail()
+                if self.mmps is not None:
+                    self.mmps.fail_processor(event.proc_id)
+
+            measurements = self.executor.run_epoch(epoch, procs, counts)
+            self.clock.advance(self.executor.epoch_duration_ms(measurements, counts))
+
+            # Live ranks' contributions land immediately; dead ranks leave
+            # their block missing for this epoch.
+            offsets = [0]
+            for c in counts:
+                offsets.append(offsets[-1] + c)
+            missing: list[tuple[int, int]] = []
+            dead_ranks: list[int] = []
+            for rank, t in enumerate(measurements):
+                if t is None:
+                    missing.append((offsets[rank], counts[rank]))
+                    dead_ranks.append(rank)
+                else:
+                    answer += _block_value(epoch, offsets[rank], counts[rank])
+
+            if dead_ranks:
+                # Replay the lost blocks on the survivors (recovered from
+                # checkpoint/replica per the fail-stop model), then shrink
+                # to what the resilient sweep still reaches and re-run the
+                # heuristic there.
+                replay_pdus = sum(c for _, c in missing)
+                for start, c in missing:
+                    answer += _block_value(epoch, start, c)
+                replayed_total += replay_pdus
+                live = [t for t in measurements if t is not None]
+                if live and replay_pdus:
+                    speed = sum(1.0 / t for t in live)
+                    self.clock.advance(replay_pdus / speed)
+
+                old_procs, old_counts = procs, counts
+                old_config = config_by_name
+                decision, report = self._decide()
+                procs = decision.config.processors()
+                counts = list(decision.vector)
+                config_by_name = decision.counts_by_name()
+                plan = self._union_transfer(old_procs, old_counts, procs, counts)
+                moved = moved_pdus(plan)
+                self.clock.advance(moved * policy.transfer_ms_per_pdu)
+                self._record(
+                    epoch=epoch,
+                    trigger="node-loss",
+                    old_config=old_config,
+                    new_config=config_by_name,
+                    old_vector=old_counts,
+                    new_vector=counts,
+                    moved=moved,
+                    replayed=replay_pdus,
+                    report=report,
+                    dead_ranks=dead_ranks,
+                )
+                continue
+
+            if policy.rebalance_on_slowdown:
+                health = classify_epoch(
+                    measurements, threshold=policy.imbalance_threshold
+                )
+                if health.imbalanced:
+                    new_vec = list(rebalance_counts(counts, measurements))
+                    if new_vec != counts:
+                        plan = transfer_plan(counts, new_vec)
+                        moved = moved_pdus(plan)
+                        self.clock.advance(moved * policy.transfer_ms_per_pdu)
+                        self._record(
+                            epoch=epoch,
+                            trigger="slowdown",
+                            old_config=config_by_name,
+                            new_config=config_by_name,
+                            old_vector=counts,
+                            new_vector=new_vec,
+                            moved=moved,
+                            replayed=0,
+                            report=None,
+                        )
+                        counts = new_vec
+
+        return RuntimeResult(
+            answer=answer,
+            epochs=epochs,
+            audit=self.audit,
+            final_proc_ids=tuple(p.proc_id for p in procs),
+            final_vector=tuple(counts),
+            elapsed_ms=self.clock.now,
+            replayed_pdus=replayed_total,
+        )

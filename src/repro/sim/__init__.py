@@ -12,6 +12,12 @@ causality, blocking waits, and determinism for repeatable benchmarking.
 """
 
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.failures import (
+    FailureSchedule,
+    NodeFailure,
+    TimedFailure,
+    apply_failure_schedule,
+)
 from repro.sim.kernel import Simulator
 from repro.sim.process import Interrupt, Process, ProcessGenerator
 from repro.sim.resources import Resource, Store
@@ -30,6 +36,10 @@ __all__ = [
     "Resource",
     "Store",
     "RandomStreams",
+    "FailureSchedule",
+    "NodeFailure",
+    "TimedFailure",
+    "apply_failure_schedule",
     "Tracer",
     "TraceRecord",
     "NULL_TRACER",

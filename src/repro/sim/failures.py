@@ -1,0 +1,136 @@
+"""Failure injection: deterministic fail-stop schedules for nodes.
+
+The paper assumes a fixed processor pool for the lifetime of a computation;
+availability churn (a workstation owner rebooting, a node dropping off the
+segment) is exactly the scenario class its §7 future work defers.  This
+module provides the injection side of that story:
+
+* :class:`FailureSchedule` — an epoch-indexed fail-stop plan, either
+  explicit (``fail_at``) or drawn from a seeded geometric MTBF model
+  (``from_mtbf``) so experiments are reproducible without wall-clock
+  randomness;
+* :func:`apply_failure_schedule` — the simulated-timeline twin of
+  :func:`repro.apps.stencil_dynamic.apply_load_schedule`: at ``at_ms`` the
+  node is marked dead and (when an :class:`~repro.mmps.system.MMPS`
+  instance is given) its endpoint vanishes from the message layer, so
+  in-flight reliable sends surface :class:`~repro.errors.PeerUnreachableError`.
+
+The supervision side — detecting the loss and repartitioning around it —
+lives in :mod:`repro.partition.runtime`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hardware.network import HeterogeneousNetwork
+    from repro.mmps.system import MMPS
+
+__all__ = ["NodeFailure", "TimedFailure", "FailureSchedule", "apply_failure_schedule"]
+
+
+@dataclass(frozen=True)
+class NodeFailure:
+    """Processor ``proc_id`` crashes at the *start* of epoch ``at_epoch``.
+
+    Fail-stop semantics: the node does none of that epoch's work, answers
+    no manager queries, and never comes back on its own.
+    """
+
+    at_epoch: int
+    proc_id: int
+
+
+@dataclass(frozen=True)
+class TimedFailure:
+    """Processor ``proc_id`` crashes at simulated time ``at_ms``."""
+
+    at_ms: float
+    proc_id: int
+
+
+@dataclass(frozen=True)
+class FailureSchedule:
+    """An immutable epoch-indexed fail-stop plan."""
+
+    events: tuple[NodeFailure, ...] = ()
+
+    @classmethod
+    def fail_at(cls, epoch: int, proc_ids: Iterable[int]) -> "FailureSchedule":
+        """Crash the given processors at the start of ``epoch``."""
+        return cls(tuple(NodeFailure(epoch, pid) for pid in proc_ids))
+
+    @classmethod
+    def from_mtbf(
+        cls,
+        proc_ids: Sequence[int],
+        *,
+        mtbf_epochs: float,
+        horizon_epochs: int,
+        seed: int = 0,
+        max_failures: Optional[int] = None,
+    ) -> "FailureSchedule":
+        """Draw one geometric time-to-failure per node (seeded, reproducible).
+
+        ``mtbf_epochs`` is the mean number of epochs a node survives; draws
+        beyond ``horizon_epochs`` mean the node outlives the run.  With
+        ``max_failures`` set, only the earliest failures are kept — handy
+        to guarantee a quorum survives a short demo run.
+        """
+        if mtbf_epochs <= 0:
+            raise ValueError(f"mtbf_epochs must be positive, got {mtbf_epochs}")
+        rng = np.random.default_rng(seed)
+        p = min(1.0, 1.0 / mtbf_epochs)
+        draws = rng.geometric(p, size=len(proc_ids))
+        events = [
+            NodeFailure(int(epoch), pid)
+            for pid, epoch in zip(proc_ids, draws)
+            if epoch < horizon_epochs
+        ]
+        events.sort(key=lambda e: (e.at_epoch, e.proc_id))
+        if max_failures is not None:
+            events = events[:max_failures]
+        return cls(tuple(events))
+
+    def failures_at(self, epoch: int) -> tuple[NodeFailure, ...]:
+        """Failures firing exactly at the start of ``epoch``."""
+        return tuple(e for e in self.events if e.at_epoch == epoch)
+
+    def failed_by(self, epoch: int) -> frozenset[int]:
+        """Processors dead once epoch ``epoch`` starts (inclusive)."""
+        return frozenset(e.proc_id for e in self.events if e.at_epoch <= epoch)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+
+def apply_failure_schedule(
+    network: "HeterogeneousNetwork",
+    events: Sequence[TimedFailure],
+    *,
+    mmps: Optional["MMPS"] = None,
+) -> None:
+    """Install a process that crashes nodes on the simulated timeline.
+
+    Each event marks the processor dead (so availability queries exclude
+    it) and, when ``mmps`` is given, removes its endpoint from the message
+    layer — in-flight reliable sends to it then exhaust their retries and
+    raise :class:`~repro.errors.PeerUnreachableError`.
+    """
+
+    def crasher():
+        for event in sorted(events, key=lambda e: e.at_ms):
+            delay = event.at_ms - network.sim.now
+            if delay > 0:
+                yield network.sim.timeout(delay)
+            network.processor(event.proc_id).fail()
+            if mmps is not None:
+                mmps.fail_processor(event.proc_id)
+            network.tracer.record("failure", "crash", proc=event.proc_id)
+
+    if events:
+        network.sim.process(crasher(), name="failure-schedule")

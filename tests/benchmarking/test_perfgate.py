@@ -1,0 +1,97 @@
+"""The perf regression gate used by the perf-smoke CI job."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.benchmarking.perfgate import check_regression, format_problems
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def payload(*, speedup=20.0, scalar_rate=30_000.0, batch_rate=400_000.0, decision=(8, 6, 4)):
+    return {
+        "engines": {
+            "scalar": {
+                "configs_per_s": scalar_rate,
+                "decision": list(decision),
+            },
+            "batch": {
+                "configs_per_s": batch_rate,
+                "decision": list(decision),
+            },
+        },
+        "speedup_batch_over_scalar": speedup,
+    }
+
+
+def test_identical_payloads_pass():
+    base = payload()
+    assert check_regression(base, payload()) == []
+    assert format_problems([]) == "perf gate: OK"
+
+
+def test_small_speedup_wobble_passes():
+    assert check_regression(payload(speedup=20.0), payload(speedup=11.0)) == []
+
+
+def test_speedup_collapse_beyond_factor_fails():
+    problems = check_regression(payload(speedup=20.0), payload(speedup=9.0))
+    assert len(problems) == 1
+    assert "speedup regressed >2x" in problems[0]
+    assert "REGRESSION" in format_problems(problems)
+
+
+def test_decision_drift_always_fails():
+    current = payload()
+    current["engines"]["batch"]["decision"] = [8, 8, 0]
+    problems = check_regression(payload(), current)
+    assert any("decision drifted" in p for p in problems)
+
+
+def test_throughput_only_gated_in_strict_mode():
+    slow = payload(batch_rate=50_000.0, speedup=20.0)
+    assert check_regression(payload(), slow) == []
+    problems = check_regression(payload(), slow, strict=True)
+    assert any("batch throughput regressed" in p for p in problems)
+
+
+def test_missing_engine_fails():
+    current = payload()
+    del current["engines"]["scalar"]
+    problems = check_regression(payload(), current)
+    assert any("missing" in p for p in problems)
+
+
+def test_factor_validation():
+    with pytest.raises(ValueError):
+        check_regression(payload(), payload(), factor=1.0)
+
+
+def test_cli_script_on_committed_baseline(tmp_path):
+    """The CI invocation, end to end: the committed baseline compared to
+    itself must pass, and a collapsed speedup must exit non-zero."""
+    baseline = REPO_ROOT / "BENCH_partition_perf.json"
+    script = REPO_ROOT / "benchmarks" / "check_perf_regression.py"
+    ok = subprocess.run(
+        [sys.executable, str(script), str(baseline), str(baseline)],
+        capture_output=True, text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert ok.returncode == 0, ok.stdout + ok.stderr
+    assert "OK" in ok.stdout
+
+    bad = json.loads(baseline.read_text())
+    bad["speedup_batch_over_scalar"] /= 10.0
+    bad_path = tmp_path / "bad.json"
+    bad_path.write_text(json.dumps(bad))
+    fail = subprocess.run(
+        [sys.executable, str(script), str(baseline), str(bad_path)],
+        capture_output=True, text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert fail.returncode == 1
+    assert "REGRESSION" in fail.stdout

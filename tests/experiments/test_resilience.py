@@ -1,0 +1,52 @@
+"""E16: the resilience overhead grid."""
+
+import pytest
+
+from repro.experiments.resilience import resilience_grid, resilience_report
+
+
+@pytest.fixture(scope="module")
+def rows():
+    # Small but real: 4 epochs, one mid-run fail epoch, one MTBF draw.
+    return resilience_grid(n=256, epochs=4, fail_epochs=(2,), mtbf_epochs=6.0)
+
+
+def test_every_scenario_preserves_the_answer(rows):
+    assert rows, "grid must produce at least one scenario"
+    assert all(r.answer_parity for r in rows)
+
+
+def test_supervised_recovery_beats_fail_stop_restart(rows):
+    # The whole point of the runtime: recovering in place costs less than
+    # throwing away the partial run and starting over.  Scoped to the
+    # scripted mid-run failures: an MTBF draw may crash a node at epoch 0,
+    # where a restart has lost nothing and can legitimately be cheaper.
+    for r in rows:
+        assert r.overhead_pct >= 0, r.scenario
+        if r.scenario.startswith(("worker@", "manager@")):
+            assert r.supervised_ms < r.baseline_ms, r.scenario
+            assert r.saved_pct > 0, r.scenario
+
+
+def test_worker_loss_row_shows_recovery_work(rows):
+    worker = next(r for r in rows if r.scenario.startswith("worker@"))
+    assert worker.repartitions == 1
+    assert worker.replayed_pdus > 0
+    assert worker.moved_pdus > 0
+
+
+def test_manager_loss_row_records_gather_retries(rows):
+    manager = next(r for r in rows if r.scenario.startswith("manager@"))
+    assert manager.gather_retries > 0
+
+
+def test_report_renders_and_flags_nothing(rows):
+    text = resilience_report(n=256, epochs=4, fail_epochs=(2,), mtbf_epochs=6.0)
+    assert "E16" in text
+    assert "BROKEN" not in text
+    assert "worker@2" in text and "manager@2" in text
+
+
+def test_out_of_horizon_fail_epochs_rejected():
+    with pytest.raises(ValueError, match="horizon"):
+        resilience_grid(n=256, epochs=4, fail_epochs=(9,))

@@ -1,9 +1,12 @@
 """Tests for the dynamic-repartitioning math (paper §7 future work)."""
 
+import math
+
 import pytest
 
 from repro.errors import PartitionError
 from repro.partition.dynamic import (
+    classify_epoch,
     detect_imbalance,
     moved_pdus,
     rebalance_counts,
@@ -46,6 +49,108 @@ def test_rebalance_validation():
         rebalance_counts([10, 10], [1.0])
     with pytest.raises(PartitionError):
         rebalance_counts([10, 10], [1.0, -1.0])
+
+
+def test_rebalance_floors_extreme_slow_rank_at_one():
+    """A rank slow enough to integerize to zero must still keep one PDU —
+    a zero-count rank would be stranded: alive and in the collectives, but
+    owning no rows and unreachable by any transfer plan."""
+    new = rebalance_counts([50, 50], [1.0, 10_000.0])
+    assert new.total == 100
+    assert list(new) == [99, 1]
+
+
+def test_rebalance_all_but_one_slow_keeps_every_rank_alive():
+    # Three of four ranks hit by heavy external load: the fast rank absorbs
+    # nearly everything, but nobody drops to zero.
+    new = rebalance_counts([25, 25, 25, 25], [1.0, 500.0, 500.0, 500.0])
+    assert new.total == 100
+    assert min(new) >= 1
+    assert new[0] == 97
+    assert list(new)[1:] == [1, 1, 1]
+
+
+def test_rebalance_boundary_total_equals_rank_count():
+    # Exactly one PDU per rank available: the floor forces the identity,
+    # whatever the measurements say.
+    new = rebalance_counts([1, 1, 1], [1.0, 80.0, 3.0])
+    assert list(new) == [1, 1, 1]
+
+
+def test_rebalance_floor_unsatisfiable_raises():
+    with pytest.raises(PartitionError, match="cannot give"):
+        rebalance_counts([1, 1, 0], [1.0, 1.0, 1.0])
+    with pytest.raises(PartitionError, match="cannot give"):
+        rebalance_counts([1, 1], [1.0, 1.0], min_per_rank=2)
+
+
+def test_rebalance_min_per_rank_zero_allows_starvation():
+    # Opting out of the floor restores the raw proportional rounding.
+    new = rebalance_counts([50, 50], [1.0, 10_000.0], min_per_rank=0)
+    assert list(new) == [100, 0]
+
+
+def test_rebalance_floor_reclaims_from_largest_count_lowest_index():
+    # Two equal donors: the lower rank index pays, deterministically.
+    new = rebalance_counts([4, 4, 1], [1.0, 1.0, 1e6])
+    assert new.total == 9
+    assert list(new) == [4, 4, 1]
+
+
+# -- classify_epoch: node loss vs slowdown --------------------------------------
+
+
+def test_classify_all_healthy():
+    health = classify_epoch([1.0, 1.1, 1.0])
+    assert health.ok
+    assert health.dead == () and health.slow == ()
+    assert health.trigger is None
+
+
+def test_classify_none_marks_dead_rank():
+    health = classify_epoch([1.0, None, 1.0])
+    assert health.dead == (1,)
+    assert not health.ok
+    assert health.trigger == "node-loss"
+
+
+def test_classify_nan_marks_dead_rank():
+    health = classify_epoch([1.0, float("nan"), 1.0])
+    assert health.dead == (1,)
+
+
+def test_classify_slowdown():
+    health = classify_epoch([1.0, 1.0, 2.0], threshold=1.25)
+    assert health.dead == ()
+    assert health.slow == (2,)
+    assert health.imbalanced
+    assert health.trigger == "slowdown"
+
+
+def test_classify_node_loss_outranks_slowdown():
+    health = classify_epoch([1.0, None, 5.0], threshold=1.25)
+    assert health.dead == (1,)
+    assert health.slow == (2,)
+    assert health.trigger == "node-loss"
+
+
+def test_classify_dead_ranks_excluded_from_imbalance_ratio():
+    # The only divergent measurement belongs to a dead rank: the survivors
+    # are balanced among themselves.
+    health = classify_epoch([1.0, math.nan, 1.05], threshold=1.25)
+    assert health.dead == (1,)
+    assert not health.imbalanced
+
+
+def test_classify_validation():
+    with pytest.raises(PartitionError, match="no measurements"):
+        classify_epoch([])
+    with pytest.raises(PartitionError, match="every rank is dead"):
+        classify_epoch([None, None])
+    with pytest.raises(PartitionError, match="non-positive"):
+        classify_epoch([1.0, -2.0])
+    with pytest.raises(PartitionError, match="threshold"):
+        classify_epoch([1.0, 1.0], threshold=0.9)
 
 
 def test_transfer_plan_simple_shift():

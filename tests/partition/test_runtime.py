@@ -1,0 +1,318 @@
+"""The fault-tolerant partitioning runtime: gather retries, recovery, audit.
+
+The acceptance property throughout: a run interrupted by node loss must
+finish with *exactly* the failure-free run's integer answer, because every
+epoch's PDU block is either computed by its owner or replayed on the
+survivors — and the audit trail must record how (trigger, retries, moved
+PDUs).  All timing is driven by :class:`ManualClock`; nothing sleeps.
+"""
+
+import pytest
+
+from repro.apps.stencil import stencil_computation
+from repro.errors import ManagerUnreachableError, PartitionError
+from repro.experiments.paper import paper_cost_database
+from repro.hardware.presets import paper_testbed
+from repro.partition.available import (
+    ManagerReply,
+    default_manager_probe,
+    gather_available_resources_resilient,
+)
+from repro.partition.runtime import (
+    ManualClock,
+    PartitionRuntime,
+    RuntimePolicy,
+    SimulatedEpochExecutor,
+)
+from repro.sim.failures import FailureSchedule
+
+EPOCHS = 6
+N = 512
+
+
+def make_runtime(failures=None, policy=None, probe=None):
+    network = paper_testbed()
+    runtime = PartitionRuntime(
+        network,
+        stencil_computation(N, overlap=False, cycles=1),
+        paper_cost_database(),
+        policy=policy,
+        probe=probe,
+        failures=failures,
+    )
+    return network, runtime
+
+
+@pytest.fixture(scope="module")
+def clean():
+    _, runtime = make_runtime()
+    return runtime.run(EPOCHS)
+
+
+# -- ManualClock ---------------------------------------------------------------
+
+
+def test_manual_clock_advances_only_when_told():
+    clock = ManualClock()
+    assert clock.now == 0.0
+    assert clock.advance(12.5) == 12.5
+    assert clock.advance(0.0) == 12.5
+    with pytest.raises(ValueError):
+        clock.advance(-1.0)
+
+
+# -- resilient gathering -------------------------------------------------------
+
+
+def test_gather_retries_with_exponential_backoff_exact_timing():
+    network = paper_testbed()
+    clock = ManualClock()
+    calls = {}
+
+    def flaky(cluster):
+        calls[cluster.name] = calls.get(cluster.name, 0) + 1
+        if cluster.name == "sparc2" and calls[cluster.name] <= 2:
+            raise ManagerUnreachableError(cluster.name, calls[cluster.name])
+        return ManagerReply(
+            available=tuple(cluster.manager.available_processors()), latency_ms=2.0
+        )
+
+    resources, report = gather_available_resources_resilient(
+        network,
+        probe=flaky,
+        timeout_ms=50.0,
+        max_retries=2,
+        backoff_ms=25.0,
+        backoff_multiplier=2.0,
+        clock=clock,
+    )
+    # sparc2: 50 (timeout) + 25 (backoff) + 50 + 50 (backoff) + 2 (reply),
+    # then ipc answers first try: + 2.
+    assert clock.now == pytest.approx(50 + 25 + 50 + 50 + 2 + 2)
+    assert report.attempts == {"sparc2": 3, "ipc": 1}
+    assert report.retries == {"sparc2": 2, "ipc": 0}
+    assert report.total_retries == 2
+    assert report.lost == ()
+    assert [r.name for r in resources] == ["sparc2", "ipc"]
+
+
+def test_gather_treats_slow_reply_as_timeout():
+    network = paper_testbed()
+    clock = ManualClock()
+
+    def hung(cluster):
+        if cluster.name == "ipc":
+            return ManagerReply(available=(), latency_ms=500.0)  # beyond budget
+        return default_manager_probe(cluster)
+
+    resources, report = gather_available_resources_resilient(
+        network, probe=hung, timeout_ms=50.0, max_retries=1, backoff_ms=10.0,
+        clock=clock,
+    )
+    assert report.lost == ("ipc",)
+    assert report.attempts["ipc"] == 2
+    assert [r.name for r in resources] == ["sparc2"]
+    # ipc cost exactly two full timeouts plus one backoff — never 500 ms.
+    assert clock.now == pytest.approx(1.0 + 50 + 10 + 50)
+
+
+def test_gather_allow_partial_false_raises():
+    network = paper_testbed()
+    network.clusters[0].processors[0].fail()  # sparc2's manager host
+    with pytest.raises(ManagerUnreachableError) as exc_info:
+        gather_available_resources_resilient(
+            network, max_retries=2, allow_partial=False, clock=ManualClock()
+        )
+    assert exc_info.value.cluster == "sparc2"
+    assert exc_info.value.attempts == 3
+
+
+def test_gather_drops_cluster_with_dead_manager_host():
+    network = paper_testbed()
+    network.clusters[0].processors[0].fail()
+    resources, report = gather_available_resources_resilient(
+        network, max_retries=1, clock=ManualClock()
+    )
+    assert report.lost == ("sparc2",)
+    assert [r.name for r in resources] == ["ipc"]
+
+
+def test_gather_validation():
+    network = paper_testbed()
+    with pytest.raises(PartitionError):
+        gather_available_resources_resilient(network, timeout_ms=0.0)
+    with pytest.raises(PartitionError):
+        gather_available_resources_resilient(network, max_retries=-1)
+
+
+# -- the supervisor loop: recovery and answer parity ---------------------------
+
+
+def test_clean_run_bootstrap_only(clean):
+    assert clean.audit.triggers() == ["bootstrap"]
+    assert clean.repartitions == 0
+    assert clean.replayed_pdus == 0
+    assert sum(clean.final_vector) == N
+
+
+def test_worker_loss_mid_run_preserves_answer(clean):
+    victim = clean.final_proc_ids[1]
+    _, runtime = make_runtime(failures=FailureSchedule.fail_at(3, [victim]))
+    result = runtime.run(EPOCHS)
+    assert result.answer == clean.answer
+    assert result.audit.triggers() == ["bootstrap", "node-loss"]
+    assert victim not in result.final_proc_ids
+    assert sum(result.final_vector) == N
+    # Recovery costs real (simulated) time beyond the clean run.
+    assert result.elapsed_ms > clean.elapsed_ms
+    event = result.audit.events[-1]
+    assert event.epoch == 3
+    assert event.replayed_pdus == clean.final_vector[1]
+    assert event.moved_pdus > 0
+    assert event.dead_ranks == (1,)
+
+
+def test_manager_host_loss_degrades_to_surviving_cluster(clean):
+    network, runtime = make_runtime()
+    manager_host = network.clusters[0].processors[0].proc_id
+    _, runtime = make_runtime(failures=FailureSchedule.fail_at(2, [manager_host]))
+    result = runtime.run(EPOCHS)
+    assert result.answer == clean.answer
+    event = result.audit.events[-1]
+    assert event.trigger == "node-loss"
+    assert event.lost_clusters == ("sparc2",)
+    assert event.retries["sparc2"] > 0  # the sweep kept retrying before degrading
+    assert set(event.new_config) == {"ipc"}
+
+
+def test_two_failures_two_recoveries(clean):
+    victims = [clean.final_proc_ids[1], clean.final_proc_ids[2]]
+    schedule = FailureSchedule(
+        FailureSchedule.fail_at(1, [victims[0]]).events
+        + FailureSchedule.fail_at(4, [victims[1]]).events
+    )
+    _, runtime = make_runtime(failures=schedule)
+    result = runtime.run(EPOCHS)
+    assert result.answer == clean.answer
+    assert result.audit.triggers() == ["bootstrap", "node-loss", "node-loss"]
+    assert result.repartitions == 2
+
+
+def test_mtbf_schedule_preserves_answer(clean):
+    schedule = FailureSchedule.from_mtbf(
+        list(clean.final_proc_ids[1:]),
+        mtbf_epochs=10.0,
+        horizon_epochs=EPOCHS,
+        seed=1,
+        max_failures=2,
+    )
+    assert schedule, "seed must produce at least one failure for this test"
+    _, runtime = make_runtime(failures=schedule)
+    result = runtime.run(EPOCHS)
+    assert result.answer == clean.answer
+    assert result.replayed_pdus > 0
+
+
+def test_failure_of_unused_processor_is_a_no_op(clean):
+    # ipc has 8 nodes; the decomposition uses 5 plus 6 sparc2 — kill an idle
+    # one and nothing should trigger (it was never measured).
+    network, _ = make_runtime()
+    used = set(clean.final_proc_ids)
+    idle = next(
+        p.proc_id
+        for p in network.clusters[1].processors[1:]
+        if p.proc_id not in used
+    )
+    _, runtime = make_runtime(failures=FailureSchedule.fail_at(2, [idle]))
+    result = runtime.run(EPOCHS)
+    assert result.answer == clean.answer
+    assert result.audit.triggers() == ["bootstrap"]
+
+
+def test_slowdown_triggers_measured_rebalance(clean):
+    network, runtime = make_runtime(
+        policy=RuntimePolicy(imbalance_threshold=1.04)
+    )
+    # Load within the availability threshold (node stays schedulable) but
+    # enough to slow it past the tightened ratio: 1/(1-0.05) ~ 1.053.
+    network.processor(0).set_load(0.05)
+    result = runtime.run(EPOCHS)
+    assert result.answer == clean.answer  # rebalancing never loses coverage
+    assert "slowdown" in result.audit.triggers()
+    event = next(e for e in result.audit.events if e.trigger == "slowdown")
+    assert event.moved_pdus > 0
+    assert event.replayed_pdus == 0
+    # The loaded rank sheds PDUs; the decomposition keeps everyone alive.
+    assert event.new_vector[0] < event.old_vector[0]
+    assert min(event.new_vector) >= 1
+    # Same measurements next epoch: the rebalance is a fixed point, so only
+    # one slowdown event is recorded.
+    assert result.audit.triggers().count("slowdown") == 1
+
+
+def test_all_managers_lost_raises(clean):
+    network, _ = make_runtime()
+    managers = [c.processors[0].proc_id for c in network.clusters]
+    _, runtime = make_runtime(failures=FailureSchedule.fail_at(2, managers))
+    with pytest.raises(PartitionError, match="no surviving clusters"):
+        runtime.run(EPOCHS)
+
+
+def test_run_validation():
+    _, runtime = make_runtime()
+    with pytest.raises(PartitionError):
+        runtime.run(0)
+    with pytest.raises(PartitionError):
+        SimulatedEpochExecutor(
+            stencil_computation(N, overlap=False, cycles=1), cycles_per_epoch=0
+        )
+
+
+# -- the audit trail schema ----------------------------------------------------
+
+
+def test_audit_records_are_json_serializable(clean):
+    import json
+
+    victim = clean.final_proc_ids[1]
+    _, runtime = make_runtime(failures=FailureSchedule.fail_at(3, [victim]))
+    result = runtime.run(EPOCHS)
+    records = result.audit.to_records()
+    round_tripped = json.loads(json.dumps(records))
+    assert round_tripped == records
+    expected_keys = {
+        "epoch",
+        "trigger",
+        "old_config",
+        "new_config",
+        "old_vector",
+        "new_vector",
+        "moved_pdus",
+        "replayed_pdus",
+        "retries",
+        "lost_clusters",
+        "dead_ranks",
+        "t_ms",
+    }
+    for record in records:
+        assert set(record) == expected_keys
+    bootstrap, loss = records
+    assert bootstrap["trigger"] == "bootstrap"
+    assert bootstrap["old_config"] is None and bootstrap["old_vector"] is None
+    assert loss["trigger"] == "node-loss"
+    assert loss["old_vector"] == list(clean.final_vector)
+    assert sum(loss["new_vector"]) == N
+    assert loss["t_ms"] > bootstrap["t_ms"]
+
+
+def test_deterministic_repeat_runs(clean):
+    """Same schedule, fresh network: byte-identical results and timings."""
+    victim = clean.final_proc_ids[1]
+    results = []
+    for _ in range(2):
+        _, runtime = make_runtime(failures=FailureSchedule.fail_at(3, [victim]))
+        results.append(runtime.run(EPOCHS))
+    a, b = results
+    assert a.answer == b.answer
+    assert a.elapsed_ms == b.elapsed_ms
+    assert a.audit.to_records() == b.audit.to_records()

@@ -1,0 +1,142 @@
+"""Failure injection: schedules, timeline crashes, and dead endpoints."""
+
+import pytest
+
+from repro.errors import MessagingError, PeerUnreachableError
+from repro.hardware.presets import paper_testbed
+from repro.mmps import MMPS, HostCostParams
+from repro.sim.failures import (
+    FailureSchedule,
+    NodeFailure,
+    TimedFailure,
+    apply_failure_schedule,
+)
+
+
+# -- epoch-indexed schedules -----------------------------------------------------
+
+
+def test_fail_at_builds_events_for_each_processor():
+    sched = FailureSchedule.fail_at(3, [5, 9])
+    assert sched.events == (NodeFailure(3, 5), NodeFailure(3, 9))
+    assert sched.failures_at(3) == sched.events
+    assert sched.failures_at(2) == ()
+    assert bool(sched)
+    assert not FailureSchedule()
+
+
+def test_failed_by_is_cumulative():
+    sched = FailureSchedule((NodeFailure(1, 4), NodeFailure(3, 7)))
+    assert sched.failed_by(0) == frozenset()
+    assert sched.failed_by(1) == {4}
+    assert sched.failed_by(3) == {4, 7}
+
+
+def test_from_mtbf_is_seed_deterministic():
+    kwargs = dict(mtbf_epochs=5.0, horizon_epochs=20)
+    a = FailureSchedule.from_mtbf(range(10), seed=3, **kwargs)
+    b = FailureSchedule.from_mtbf(range(10), seed=3, **kwargs)
+    c = FailureSchedule.from_mtbf(range(10), seed=4, **kwargs)
+    assert a.events == b.events
+    assert a.events != c.events
+    assert all(e.at_epoch < 20 for e in a.events)
+    # Events are sorted by (epoch, proc) so runs consume them in order.
+    assert list(a.events) == sorted(a.events, key=lambda e: (e.at_epoch, e.proc_id))
+
+
+def test_from_mtbf_max_failures_keeps_earliest():
+    full = FailureSchedule.from_mtbf(
+        range(20), mtbf_epochs=2.0, horizon_epochs=50, seed=0
+    )
+    capped = FailureSchedule.from_mtbf(
+        range(20), mtbf_epochs=2.0, horizon_epochs=50, seed=0, max_failures=3
+    )
+    assert capped.events == full.events[:3]
+
+
+def test_from_mtbf_validation():
+    with pytest.raises(ValueError, match="mtbf_epochs"):
+        FailureSchedule.from_mtbf([0], mtbf_epochs=0.0, horizon_epochs=5)
+
+
+# -- timeline injection ----------------------------------------------------------
+
+
+def test_apply_failure_schedule_kills_on_the_timeline():
+    net = paper_testbed()
+    apply_failure_schedule(net, [TimedFailure(5.0, 2), TimedFailure(9.0, 3)])
+    assert net.processor(2).alive and net.processor(3).alive
+    net.sim.run(until=6.0)
+    assert not net.processor(2).alive
+    assert net.processor(3).alive
+    net.sim.run(until=20.0)
+    assert not net.processor(3).alive
+
+
+def test_apply_failure_schedule_notifies_mmps():
+    net = paper_testbed()
+    mmps = MMPS(net)
+    apply_failure_schedule(net, [TimedFailure(2.0, 1)], mmps=mmps)
+    net.sim.run(until=5.0)
+    assert mmps.is_failed(1)
+    assert not mmps.is_failed(0)
+
+
+# -- dead endpoints in the message layer ----------------------------------------
+
+
+def test_send_to_dead_processor_raises_peer_unreachable():
+    net = paper_testbed()
+    mmps = MMPS(net, host_costs=HostCostParams(retransmit_timeout_ms=5.0, max_retries=2))
+    a = mmps.endpoint(net.processor(0))
+    b = mmps.endpoint(net.processor(1))
+    mmps.fail_processor(b.proc.proc_id)
+
+    def driver():
+        yield from a.send(b.proc, 500)
+
+    with pytest.raises(PeerUnreachableError) as exc_info:
+        net.sim.run_process(driver())
+    err = exc_info.value
+    assert err.dst == b.proc.proc_id
+    assert err.attempts == 3  # first try + max_retries
+    assert isinstance(err, MessagingError)  # legacy handlers keep working
+    assert mmps.datagrams_lost > 0
+
+
+def test_failure_mid_stream_loses_only_the_tail():
+    """Messages delivered before the crash stay delivered; the send after
+    the crash exhausts its retries."""
+    net = paper_testbed()
+    mmps = MMPS(net, host_costs=HostCostParams(retransmit_timeout_ms=5.0, max_retries=1))
+    a = mmps.endpoint(net.processor(0))
+    b = mmps.endpoint(net.processor(1))
+    got = []
+
+    def receiver():
+        msg = yield from b.recv(tag="x")
+        got.append(msg.payload)
+
+    def sender():
+        yield from a.send(b.proc, 300, tag="x", payload="early")
+        mmps.fail_processor(b.proc.proc_id)
+        yield from a.send(b.proc, 300, tag="x", payload="late")
+
+    net.sim.process(receiver())
+    with pytest.raises(PeerUnreachableError):
+        net.sim.run_process(sender())
+    assert got == ["early"]
+
+
+def test_datagrams_from_dead_source_are_dropped():
+    net = paper_testbed()
+    mmps = MMPS(net, host_costs=HostCostParams(retransmit_timeout_ms=5.0, max_retries=0))
+    a = mmps.endpoint(net.processor(0))
+    b = mmps.endpoint(net.processor(1))
+    mmps.fail_processor(a.proc.proc_id)
+
+    def driver():
+        yield from a.send(b.proc, 100)
+
+    with pytest.raises(PeerUnreachableError):
+        net.sim.run_process(driver())

@@ -101,6 +101,59 @@ def test_bench_partition_no_prune(capsys):
     assert "15" in capsys.readouterr().out
 
 
+def test_run_dynamic_clean(capsys):
+    assert main(["run-dynamic", "--n", "256", "--epochs", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "clean: answer=" in out
+    assert "no failure schedule" in out
+
+
+def test_run_dynamic_fail_at(capsys, tmp_path):
+    import json
+
+    audit = tmp_path / "audit.json"
+    assert main(
+        [
+            "run-dynamic",
+            "--n", "256",
+            "--epochs", "5",
+            "--fail-at", "2",
+            "--audit-json", str(audit),
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "answer parity: ok" in out
+    assert "node-loss" in out
+    records = json.loads(audit.read_text())
+    assert [r["trigger"] for r in records] == ["bootstrap", "node-loss"]
+    assert records[1]["epoch"] == 2
+
+
+def test_run_dynamic_explicit_victims(capsys):
+    assert main(
+        ["run-dynamic", "--n", "256", "--epochs", "5", "--fail-at", "2", "--kill", "2", "3"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "answer parity: ok" in out
+    assert "(2, 2), (2, 3)" in out
+
+
+def test_run_dynamic_mtbf(capsys):
+    assert main(
+        ["run-dynamic", "--n", "256", "--epochs", "6", "--mtbf", "8", "--seed", "1"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "answer parity: ok" in out
+
+
+def test_resilience_command(capsys):
+    assert main(["resilience", "--n", "256", "--epochs", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "E16" in out
+    assert "fail-stop" in out
+    assert "BROKEN" not in out
+
+
 def test_workers_flag_accepted(capsys):
     # --workers=1 keeps the serial path; just the flag plumbing under test.
     assert main(["fig3", "--n", "60", "--workers", "1"]) == 0
