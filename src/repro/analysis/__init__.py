@@ -1,0 +1,71 @@
+"""``repro.analysis`` — the ``repro lint`` static-analysis subsystem.
+
+An AST-based linter purpose-built for this reproduction (see
+docs/static-analysis.md): a rule registry, per-line ``# repro:
+noqa[rule-name]`` suppressions, text/JSON/SARIF reporters, and four
+paper-grounded rules:
+
+``unit-consistency``
+    dimensional analysis over the :mod:`repro.units` naming conventions —
+    the shape of the paper's printed Eq 3 erratum;
+``callback-purity``
+    :mod:`repro.model.phases` annotation callbacks must be pure and
+    deterministic (the partitioner re-evaluates them; replay recovery
+    assumes bit-exact re-execution);
+``sim-determinism``
+    entropy must flow through the ``sim/rng.py`` named streams and time
+    through the injectable clock in simulation-critical code;
+``engine-parity``
+    numeric constants must not be duplicated between the scalar estimator
+    and the batch fastpath engines.
+
+Importing this package registers the built-in rules.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.determinism import SimDeterminismRule
+from repro.analysis.engine import (
+    Finding,
+    LintError,
+    ParsedModule,
+    Project,
+    Rule,
+    analyze_paths,
+    collect_python_files,
+    register,
+    registered_rules,
+    rule_names,
+)
+from repro.analysis.parity import EngineParityRule
+from repro.analysis.purity import CallbackPurityRule
+from repro.analysis.reporters import (
+    REPORTERS,
+    render_json,
+    render_sarif,
+    render_text,
+)
+from repro.analysis.unitcheck import UnitConsistencyRule, format_unit, name_unit
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "ParsedModule",
+    "Project",
+    "Rule",
+    "register",
+    "registered_rules",
+    "rule_names",
+    "analyze_paths",
+    "collect_python_files",
+    "REPORTERS",
+    "render_text",
+    "render_json",
+    "render_sarif",
+    "UnitConsistencyRule",
+    "CallbackPurityRule",
+    "SimDeterminismRule",
+    "EngineParityRule",
+    "format_unit",
+    "name_unit",
+]

@@ -1,0 +1,140 @@
+"""Rule ``sim-determinism``: entropy and clocks must be injectable.
+
+The discrete-event simulation is reproducible by construction: every
+stochastic subsystem draws from a named stream handed out by
+:mod:`repro.sim.rng` (one root seed reproduces a run bit-for-bit), and the
+fault-tolerant runtime charges all time against an injectable
+``ManualClock`` so tests never sleep and replay recovery stays exact.  Any
+code inside the simulation core that reaches for ``np.random.default_rng``
+directly, the stdlib ``random`` module, or a wall-clock read re-introduces
+the nondeterminism those layers exist to remove — and it does so silently,
+because the run still *works*, it just stops being reproducible.
+
+This rule scans the simulation-critical paths (``sim/`` and
+``partition/runtime.py`` by default) for:
+
+* random-state construction or draws bypassing ``sim/rng.py``
+  (``np.random.default_rng``, ``np.random.seed``, ``np.random.<dist>``,
+  ``random.*``, ``np.random.RandomState``);
+* wall-clock reads bypassing the injectable clock (``time.time``,
+  ``time.perf_counter``, ``time.monotonic``, ``time.sleep``,
+  ``datetime.now`` and friends).
+
+``sim/rng.py`` itself is exempt: it is the sanctioned constructor.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.analysis.engine import Finding, ParsedModule, Project, Rule, register
+
+__all__ = ["SimDeterminismRule"]
+
+#: Path fragments (posix) selecting the simulation-critical modules.
+SCOPE_FRAGMENTS: Tuple[str, ...] = ("repro/sim/", "repro/partition/runtime.py")
+
+#: Files allowed to construct entropy: the named-stream factory itself.
+EXEMPT_SUFFIXES: Tuple[str, ...] = ("repro/sim/rng.py",)
+
+_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.sleep",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+)
+
+
+def _dotted(node: ast.expr) -> str:
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _in_scope(relpath: str) -> bool:
+    return any(fragment in relpath for fragment in SCOPE_FRAGMENTS) and not any(
+        relpath.endswith(suffix) for suffix in EXEMPT_SUFFIXES
+    )
+
+
+@register
+class SimDeterminismRule(Rule):
+    """Entropy must flow through sim/rng.py; time through injectable clocks."""
+
+    name = "sim-determinism"
+    description = (
+        "In sim/ and partition/runtime.py, flags entropy sources that "
+        "bypass the sim/rng.py named streams and wall-clock reads that "
+        "bypass the injectable clock — both break bit-exact replay."
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            if not _in_scope(module.relpath):
+                continue
+            yield from self._check_module(module)
+
+    def _check_module(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            dotted = _dotted(func)
+            segments = dotted.split(".")
+            if dotted in _CLOCK_CALLS:
+                yield self._finding(
+                    module,
+                    node,
+                    f"wall-clock read {dotted}() bypasses the injectable "
+                    f"clock (ManualClock / simulator time); runs stop being "
+                    f"reproducible",
+                )
+            elif segments[0] == "random":
+                yield self._finding(
+                    module,
+                    node,
+                    f"{dotted}() draws from the stdlib global random state; "
+                    f"use a sim/rng.py named stream instead",
+                )
+            elif "random" in segments[:-1] or segments[-1] in (
+                "default_rng",
+                "RandomState",
+                "seed",
+            ):
+                # np.random.<anything>, numpy.random.<anything>, and bare
+                # <x>.default_rng()/<x>.seed() constructions.
+                yield self._finding(
+                    module,
+                    node,
+                    f"{dotted}() constructs or draws entropy outside the "
+                    f"sim/rng.py named streams; a fixed root seed no longer "
+                    f"reproduces the run",
+                )
+
+    def _finding(self, module: ParsedModule, node: ast.Call, message: str) -> Finding:
+        return Finding(
+            path=module.relpath,
+            line=node.lineno,
+            col=node.col_offset + 1,
+            rule=self.name,
+            message=message,
+        )

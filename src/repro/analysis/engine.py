@@ -1,0 +1,267 @@
+"""The ``repro lint`` static-analysis engine (see docs/static-analysis.md).
+
+A small, dependency-free AST linter purpose-built for this repository: the
+paper's printed Eq 3 is dimensionally wrong (the DESIGN.md erratum), the
+cost model exists twice (scalar ``partition/estimator.py`` and batch
+``partition/fastpath.py``), and the partitioner re-evaluates annotation
+callbacks during search and replay — three bug classes a generic linter
+cannot see.  The engine parses every target file once into a
+:class:`ParsedModule`, hands the whole :class:`Project` to each registered
+:class:`Rule`, and filters the resulting :class:`Finding` stream through
+per-line ``# repro: noqa[rule-name]`` suppressions and ``--select`` /
+``--ignore`` sets.
+
+Rules register themselves via :func:`register`; importing
+:mod:`repro.analysis` loads the built-in four (unit-consistency,
+callback-purity, sim-determinism, engine-parity).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Type
+
+__all__ = [
+    "Finding",
+    "ParsedModule",
+    "Project",
+    "Rule",
+    "register",
+    "registered_rules",
+    "rule_names",
+    "analyze_paths",
+    "collect_python_files",
+    "LintError",
+]
+
+#: Pseudo-rule for files the parser rejects; always reported, never selectable.
+SYNTAX_RULE = "syntax-error"
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\s*\[(?P<rules>[A-Za-z0-9_,\- ]+)\])?", re.IGNORECASE
+)
+
+
+class LintError(Exception):
+    """An invalid analysis request (unknown rule name, unreadable path)."""
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic: a rule violation anchored to a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """The conventional ``path:line:col: rule: message`` text form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+
+@dataclass
+class ParsedModule:
+    """One successfully parsed source file and its suppression table."""
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.Module
+    #: line number -> rule names suppressed there ("*" suppresses all rules).
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        rules = self.suppressions.get(line)
+        if not rules:
+            return False
+        return "*" in rules or rule in rules
+
+
+@dataclass
+class Project:
+    """Every parsed module of one analysis run, keyed by relative path."""
+
+    modules: List[ParsedModule]
+
+    def find(self, suffix: str) -> Optional[ParsedModule]:
+        """The module whose relative path ends with ``suffix`` (posix)."""
+        for module in self.modules:
+            if module.relpath == suffix or module.relpath.endswith("/" + suffix):
+                return module
+        return None
+
+
+class Rule:
+    """Base class for analysis rules.
+
+    Subclasses set ``name`` (the selectable, suppressible identifier) and
+    ``description``, then implement :meth:`check`, yielding findings for the
+    whole project — per-file rules simply iterate ``project.modules``.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding ``rule_cls`` to the global rule registry."""
+    if not rule_cls.name:
+        raise ValueError(f"rule {rule_cls.__name__} has no name")
+    if rule_cls.name in _REGISTRY:
+        raise ValueError(f"duplicate rule name {rule_cls.name!r}")
+    _REGISTRY[rule_cls.name] = rule_cls
+    return rule_cls
+
+
+def registered_rules() -> Dict[str, Type[Rule]]:
+    """A copy of the rule registry (name -> class)."""
+    return dict(_REGISTRY)
+
+
+def rule_names() -> List[str]:
+    """All registered rule names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def _parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Per-line ``# repro: noqa[...]`` directives, via the token stream.
+
+    Tokenizing (rather than regexing raw lines) keeps directives inside
+    string literals from suppressing anything.
+    """
+    table: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(tok.string)
+            if match is None:
+                continue
+            listed = match.group("rules")
+            if listed is None:
+                names = {"*"}
+            else:
+                names = {part.strip() for part in listed.split(",") if part.strip()}
+            table.setdefault(tok.start[0], set()).update(names)
+    except tokenize.TokenError:
+        pass
+    return table
+
+
+def collect_python_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, deduplicated ``.py`` list."""
+    seen: Set[Path] = set()
+    out: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.is_file():
+            candidates = [path]
+        else:
+            raise LintError(f"no such file or directory: {path}")
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                out.append(candidate)
+    return out
+
+
+def _relpath(path: Path) -> str:
+    """``path`` relative to the current directory when possible, posix-style."""
+    resolved = path.resolve()
+    try:
+        return resolved.relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return resolved.as_posix()
+
+
+def load_project(files: Sequence[Path]) -> tuple[Project, List[Finding]]:
+    """Parse ``files``; unparseable ones become ``syntax-error`` findings."""
+    modules: List[ParsedModule] = []
+    errors: List[Finding] = []
+    for path in files:
+        relpath = _relpath(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            errors.append(Finding(relpath, 1, 1, SYNTAX_RULE, str(exc)))
+            continue
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            errors.append(
+                Finding(
+                    relpath,
+                    exc.lineno or 1,
+                    (exc.offset or 1),
+                    SYNTAX_RULE,
+                    f"cannot parse: {exc.msg}",
+                )
+            )
+            continue
+        modules.append(
+            ParsedModule(
+                path=path,
+                relpath=relpath,
+                source=source,
+                tree=tree,
+                suppressions=_parse_suppressions(source),
+            )
+        )
+    return Project(modules=modules), errors
+
+
+def _resolve_rules(
+    select: Optional[Sequence[str]], ignore: Optional[Sequence[str]]
+) -> List[Rule]:
+    available = registered_rules()
+    chosen = list(select) if select else sorted(available)
+    for name in list(chosen) + list(ignore or []):
+        if name not in available:
+            raise LintError(
+                f"unknown rule {name!r} (available: {', '.join(sorted(available))})"
+            )
+    ignored = set(ignore or [])
+    return [available[name]() for name in chosen if name not in ignored]
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    *,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Run the (selected) rules over ``paths``; the public engine entry.
+
+    Returns findings sorted by location.  Suppressed findings are dropped;
+    ``syntax-error`` findings are always included — an unparseable file can
+    never be certified clean.
+    """
+    rules = _resolve_rules(select, ignore)
+    files = collect_python_files([Path(p) for p in paths])
+    project, findings = load_project(files)
+    by_path = {module.relpath: module for module in project.modules}
+    for rule in rules:
+        for finding in rule.check(project):
+            module = by_path.get(finding.path)
+            if module is not None and module.suppressed(finding.line, finding.rule):
+                continue
+            findings.append(finding)
+    return sorted(findings)

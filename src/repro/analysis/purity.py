@@ -1,0 +1,211 @@
+"""Rule ``callback-purity``: annotation callbacks must be pure.
+
+The partitioner re-evaluates the :mod:`repro.model.phases` annotation
+callbacks (``complexity``, ``per_cycle_complexity``,
+``per_config_complexity``, ``rounds``, ``num_pdus``) many times during the
+§5 configuration search, and the fault-tolerant runtime's replay recovery
+assumes *bit-exact* re-execution of every annotation-driven decision.  A
+callback that reads the wall clock, draws unseeded randomness, performs
+I/O, or mutates enclosing state therefore breaks both the search (the
+objective shifts under the optimizer) and replay parity (the recovered
+answer diverges from the failure-free run).
+
+This rule finds every call that constructs a phase or computation
+(``ComputationPhase``, ``CommunicationPhase``, ``DataParallelComputation``),
+resolves lambda and same-module ``def`` arguments bound to annotation
+parameters, and flags impure constructs in their bodies:
+
+* I/O calls (``print``, ``open``, ``input``) and I/O-bearing modules
+  (``os``, ``sys``, ``socket``, ``subprocess``, ``pathlib`` writes);
+* wall-clock reads (``time.*``, ``datetime.*``);
+* ``random`` / ``numpy.random`` draws (even seeded draws advance shared
+  generator state across re-evaluations — derive values, don't sample);
+* ``global`` / ``nonlocal`` declarations (mutation of enclosing state).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.analysis.engine import Finding, ParsedModule, Project, Rule, register
+
+__all__ = ["CallbackPurityRule", "ANNOTATION_CONSTRUCTORS", "ANNOTATION_PARAMS"]
+
+#: Constructors whose arguments carry annotation callbacks, and the
+#: positional index of each callback-capable parameter.
+ANNOTATION_CONSTRUCTORS: Dict[str, Dict[str, int]] = {
+    "ComputationPhase": {
+        "complexity": 1,
+        "per_cycle_complexity": 3,
+    },
+    "CommunicationPhase": {
+        "complexity": 2,
+        "per_cycle_complexity": 4,
+        "per_config_complexity": 5,
+        "rounds": 6,
+    },
+    "DataParallelComputation": {
+        "num_pdus": 1,
+    },
+}
+
+#: All annotation parameter names, for diagnostics.
+ANNOTATION_PARAMS = sorted(
+    {name for params in ANNOTATION_CONSTRUCTORS.values() for name in params}
+)
+
+_IO_BUILTINS = frozenset({"print", "open", "input", "exec", "eval"})
+_FORBIDDEN_MODULES = {
+    "time": "reads the wall clock",
+    "datetime": "reads the wall clock",
+    "random": "draws from shared random state",
+    "os": "performs I/O",
+    "sys": "performs I/O",
+    "socket": "performs I/O",
+    "subprocess": "performs I/O",
+    "shutil": "performs I/O",
+}
+
+
+def _root_name(node: ast.expr) -> Optional[str]:
+    """The leftmost name of a dotted expression (``np.random.rand`` -> np)."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _dotted(node: ast.expr) -> str:
+    """Best-effort dotted rendering of an attribute chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+Callback = Union[ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+class _ImpurityScan(ast.NodeVisitor):
+    """Collects (node, reason) impurities inside one callback body."""
+
+    def __init__(self) -> None:
+        self.impurities: List[Tuple[ast.AST, str]] = []
+
+    def visit_Global(self, node: ast.Global) -> None:
+        names = ", ".join(node.names)
+        self.impurities.append((node, f"declares global state ({names}) mutable"))
+
+    def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+        names = ", ".join(node.names)
+        self.impurities.append((node, f"declares enclosing state ({names}) mutable"))
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _IO_BUILTINS:
+            self.impurities.append((node, f"calls {func.id}()"))
+        elif isinstance(func, ast.Attribute):
+            root = _root_name(func)
+            dotted = _dotted(func)
+            if root in _FORBIDDEN_MODULES:
+                self.impurities.append(
+                    (node, f"calls {dotted}() which {_FORBIDDEN_MODULES[root]}")
+                )
+            elif "random" in dotted.split("."):
+                # numpy.random.* / np.random.* / <rng>.random(): shared or
+                # re-evaluation-variant entropy either way.
+                self.impurities.append(
+                    (node, f"calls {dotted}() which draws random state")
+                )
+        self.generic_visit(node)
+
+
+def _resolve_callback(
+    arg: ast.expr, local_defs: Dict[str, Callback]
+) -> Optional[Callback]:
+    if isinstance(arg, ast.Lambda):
+        return arg
+    if isinstance(arg, ast.Name) and arg.id in local_defs:
+        return local_defs[arg.id]
+    return None
+
+
+def _collect_defs(tree: ast.Module) -> Dict[str, Callback]:
+    """Every ``def`` in the module, at any nesting depth, by name."""
+    defs: Dict[str, Callback] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            defs.setdefault(node.name, node)
+    return defs
+
+
+@register
+class CallbackPurityRule(Rule):
+    """Annotation callbacks must be pure, deterministic functions."""
+
+    name = "callback-purity"
+    description = (
+        "Annotation callbacks registered via repro.model.phases must be "
+        "pure and deterministic: the partitioner re-evaluates them during "
+        "search, and replay-based fault recovery assumes bit-exact "
+        "re-execution."
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            yield from self._check_module(module)
+
+    def _check_module(self, module: ParsedModule) -> Iterator[Finding]:
+        local_defs = _collect_defs(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            ctor = None
+            if isinstance(func, ast.Name):
+                ctor = func.id
+            elif isinstance(func, ast.Attribute):
+                ctor = func.attr
+            params = ANNOTATION_CONSTRUCTORS.get(ctor or "")
+            if params is None:
+                continue
+            for param, index in params.items():
+                arg: Optional[ast.expr] = None
+                if index < len(node.args):
+                    arg = node.args[index]
+                else:
+                    for kw in node.keywords:
+                        if kw.arg == param:
+                            arg = kw.value
+                            break
+                if arg is None:
+                    continue
+                callback = _resolve_callback(arg, local_defs)
+                if callback is None:
+                    continue
+                scan = _ImpurityScan()
+                body = (
+                    [callback.body]
+                    if isinstance(callback, ast.Lambda)
+                    else list(callback.body)
+                )
+                for stmt in body:
+                    scan.visit(stmt)
+                for impure_node, reason in scan.impurities:
+                    yield Finding(
+                        path=module.relpath,
+                        line=getattr(impure_node, "lineno", node.lineno),
+                        col=getattr(impure_node, "col_offset", 0) + 1,
+                        rule=self.name,
+                        message=(
+                            f"impure annotation callback for {ctor}."
+                            f"{param}: {reason}; the partitioner re-evaluates "
+                            f"callbacks during search and replay recovery "
+                            f"requires deterministic re-execution"
+                        ),
+                    )

@@ -1,0 +1,107 @@
+"""Finding reporters: text, JSON, and SARIF 2.1.0 output for ``repro lint``.
+
+Text is the human default (``path:line:col: rule: message`` plus a
+summary), JSON is the stable machine form (``{"version": 1, "findings":
+[...]}``) and SARIF 2.1.0 lets CI systems and editors ingest the results
+natively.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Callable, Dict, Sequence
+
+from repro.analysis.engine import Finding, registered_rules
+
+__all__ = ["render_text", "render_json", "render_sarif", "REPORTERS"]
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_TOOL_NAME = "repro-lint"
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One line per finding plus a per-rule summary."""
+    lines = [finding.render() for finding in findings]
+    if not findings:
+        lines.append("repro lint: no findings")
+    else:
+        counts = Counter(finding.rule for finding in findings)
+        breakdown = ", ".join(f"{rule}: {n}" for rule, n in sorted(counts.items()))
+        lines.append("")
+        lines.append(f"repro lint: {len(findings)} finding(s) ({breakdown})")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Stable machine-readable form."""
+    payload = {
+        "version": 1,
+        "tool": _TOOL_NAME,
+        "findings": [
+            {
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "rule": f.rule,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """SARIF 2.1.0 with the registered rule catalogue embedded."""
+    rules = [
+        {
+            "id": name,
+            "shortDescription": {"text": rule_cls.description},
+        }
+        for name, rule_cls in sorted(registered_rules().items())
+    ]
+    results = [
+        {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path},
+                        "region": {"startLine": f.line, "startColumn": f.col},
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    payload = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": "https://example.invalid/repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+#: Format name -> renderer, as exposed by ``repro lint --format``.
+REPORTERS: Dict[str, Callable[[Sequence[Finding]], str]] = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+}

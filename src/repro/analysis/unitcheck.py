@@ -1,0 +1,484 @@
+"""Rule ``unit-consistency``: dimensional analysis of cost-model arithmetic.
+
+The paper's printed Eq 3 is dimensionally wrong (the DESIGN.md erratum), and
+this codebase mixes four time scales (s, ms, µs and µs/op instruction
+rates) plus bytes/bits-per-second network quantities — exactly the setting
+where an added µs quantity silently corrupts a ms total.  This rule infers
+units through arithmetic from the machine-readable conventions tables in
+:mod:`repro.units`:
+
+* identifier suffixes (``elapsed_ms``, ``bandwidth_bps``, ``usec_per_op``)
+  and whole names (``nbytes``) declare units;
+* conversion constants (``US_PER_MS`` is µs/ms) and helpers
+  (``usec_to_msec`` is µs → ms) transform them, with exponents cancelling
+  through ``*``/``/``;
+* ``+``/``-``/comparisons between *different known, non-dimensionless*
+  units are findings, as are call arguments whose inferred unit contradicts
+  a :data:`repro.units.FUNCTION_SIGNATURES` entry, assignments or returns
+  contradicting the target's naming convention, and bare ``* 1000``-style
+  conversion shortcuts that bypass the named constants.
+
+Inference is deliberately conservative: an unknown operand makes a product
+*inexact* (its known dimensions still propagate, but only the shortcut
+check fires on inexact units), and additions involving inexact or
+dimensionless operands are never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.engine import Finding, ParsedModule, Project, Rule, register
+from repro.units import (
+    CONSTANT_UNITS,
+    FUNCTION_SIGNATURES,
+    NAME_UNITS,
+    SUFFIX_ATOMS,
+    Unit,
+)
+
+__all__ = ["UnitConsistencyRule", "name_unit", "format_unit"]
+
+#: Dimensions (base symbols -> exponents) plus whether every factor that
+#: produced them was known.  ``({}, False)`` is "completely unknown".
+Inferred = Tuple[Dict[str, int], bool]
+
+UNKNOWN: Inferred = ({}, False)
+DIMENSIONLESS: Inferred = ({}, True)
+
+#: Atoms too ambiguous to match a *whole* identifier (``s``, ``op`` are
+#: common non-quantity variable names); they still match as suffixes.
+_WHOLE_NAME_BLOCKLIST = frozenset({"s", "sec", "op", "pdu", "byte", "bit"})
+
+#: Bare scale factors that smell like a unit conversion.
+_TIME_SHORTCUT_LITERALS = frozenset({1000, 1000.0, 0.001, 1e6, 1e-6})
+_BYTE_SHORTCUT_LITERALS = frozenset({8, 8.0})
+_TIME_SYMBOLS = ("ms", "us", "s")
+_BYTE_SYMBOLS = ("bytes", "bits")
+
+_PASSTHROUGH_CALLS = frozenset({"min", "max", "abs", "float", "round"})
+_PASSTHROUGH_ATTR_CALLS = frozenset({"minimum", "maximum", "abs", "asarray"})
+
+
+def _normalize(dims: Dict[str, int]) -> Dict[str, int]:
+    return {sym: exp for sym, exp in dims.items() if exp != 0}
+
+
+def _combine(a: Dict[str, int], b: Dict[str, int], sign: int) -> Dict[str, int]:
+    out = dict(a)
+    for sym, exp in b.items():
+        out[sym] = out.get(sym, 0) + sign * exp
+    return _normalize(out)
+
+
+def format_unit(dims: Unit) -> str:
+    """Human-readable unit: ``{"bits": 1, "s": -1}`` -> ``"bits/s"``."""
+    num = [
+        sym if exp == 1 else f"{sym}^{exp}"
+        for sym, exp in sorted(dims.items())
+        if exp > 0
+    ]
+    den = [
+        sym if exp == -1 else f"{sym}^{-exp}"
+        for sym, exp in sorted(dims.items())
+        if exp < 0
+    ]
+    if not num and not den:
+        return "dimensionless"
+    text = "·".join(num) if num else "1"
+    if den:
+        text += "/" + "·".join(den)
+    return text
+
+
+def name_unit(name: str) -> Optional[Unit]:
+    """The unit an identifier declares through the naming conventions."""
+    if name in CONSTANT_UNITS:
+        return CONSTANT_UNITS[name]
+    lowered = name.lower()
+    if lowered in NAME_UNITS:
+        return NAME_UNITS[lowered]
+    tokens = [tok for tok in lowered.split("_") if tok]
+    if len(tokens) >= 3 and tokens[-2] == "per":
+        # ``usec_per_op``: X per Y -> X/Y.
+        top, bottom = tokens[-3], tokens[-1]
+        if top in SUFFIX_ATOMS and bottom in SUFFIX_ATOMS:
+            return _combine(dict(SUFFIX_ATOMS[top]), dict(SUFFIX_ATOMS[bottom]), -1)
+        return None
+    if len(tokens) >= 3 and tokens[-3] == "per":
+        # ``send_per_byte_ms``: per Y, X -> X/Y.
+        top, bottom = tokens[-1], tokens[-2]
+        if top in SUFFIX_ATOMS and bottom in SUFFIX_ATOMS:
+            return _combine(dict(SUFFIX_ATOMS[top]), dict(SUFFIX_ATOMS[bottom]), -1)
+        return None
+    if "per" in tokens:
+        # A rate name we cannot fully resolve; never mislabel it with the
+        # bare last-token unit (``per_frame_ms`` is ms/frame, not ms).
+        return None
+    last = tokens[-1] if tokens else ""
+    if last not in SUFFIX_ATOMS:
+        return None
+    if len(tokens) == 1 and last in _WHOLE_NAME_BLOCKLIST:
+        return None
+    return SUFFIX_ATOMS[last]
+
+
+class _ScopeChecker:
+    """Linear walk of one scope's statements with local unit propagation."""
+
+    def __init__(self, module: ParsedModule, findings: List[Finding]) -> None:
+        self.module = module
+        self.findings = findings
+        self.env: Dict[str, Inferred] = {}
+
+    # -- reporting -----------------------------------------------------------
+
+    def _report(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=self.module.relpath,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                rule=UnitConsistencyRule.name,
+                message=message,
+            )
+        )
+
+    # -- statements ----------------------------------------------------------
+
+    def check_stmts(self, stmts: List[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.check_stmt(stmt)
+
+    def check_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _check_function(self.module, stmt, self.findings)
+        elif isinstance(stmt, ast.ClassDef):
+            nested = _ScopeChecker(self.module, self.findings)
+            nested.check_stmts(stmt.body)
+        elif isinstance(stmt, ast.Assign):
+            value = self.infer(stmt.value)
+            for target in stmt.targets:
+                self._assign(target, value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign(stmt.target, self.infer(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            target_unit = self._target_unit(stmt.target)
+            value = self.infer(stmt.value)
+            combined = self._binop_units(
+                stmt.op, target_unit, value, stmt, describe="augmented assignment"
+            )
+            self._assign(stmt.target, combined, check=False)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.infer(stmt.value)  # return conventions checked by caller
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self.infer(stmt.test)
+            self.check_stmts(stmt.body)
+            self.check_stmts(stmt.orelse)
+        elif isinstance(stmt, ast.For):
+            self.infer(stmt.iter)
+            self.check_stmts(stmt.body)
+            self.check_stmts(stmt.orelse)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self.infer(item.context_expr)
+            self.check_stmts(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.check_stmts(stmt.body)
+            for handler in stmt.handlers:
+                self.check_stmts(handler.body)
+            self.check_stmts(stmt.orelse)
+            self.check_stmts(stmt.finalbody)
+        elif isinstance(stmt, ast.Expr):
+            self.infer(stmt.value)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.infer(child)
+
+    def _target_unit(self, target: ast.expr) -> Inferred:
+        if isinstance(target, ast.Name):
+            declared = name_unit(target.id)
+            if declared is not None:
+                return (dict(declared), True)
+            return self.env.get(target.id, UNKNOWN)
+        if isinstance(target, ast.Attribute):
+            declared = name_unit(target.attr)
+            if declared is not None:
+                return (dict(declared), True)
+        return UNKNOWN
+
+    def _assign(self, target: ast.expr, value: Inferred, *, check: bool = True) -> None:
+        if isinstance(target, ast.Attribute):
+            name = target.attr
+        elif isinstance(target, ast.Name):
+            name = target.id
+        else:
+            return
+        declared = name_unit(name)
+        dims, exact = value
+        if (
+            check
+            and declared is not None
+            and exact
+            and dims
+            and _normalize(dict(declared)) != dims
+        ):
+            self._report(
+                target,
+                f"{name} is {format_unit(declared)} by naming convention "
+                f"but is assigned a {format_unit(dims)} value",
+            )
+        if isinstance(target, ast.Name):
+            if declared is not None:
+                self.env[target.id] = (dict(declared), True)
+            else:
+                self.env[target.id] = value
+
+    # -- expressions ---------------------------------------------------------
+
+    def infer_cached(self, node: ast.expr) -> Inferred:
+        """Re-infer without re-reporting (used for return statements)."""
+        quiet = _ScopeChecker(self.module, [])
+        quiet.env = self.env
+        return quiet.infer(node)
+
+    def infer(self, node: ast.expr) -> Inferred:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool) or not isinstance(node.value, (int, float)):
+                return UNKNOWN
+            return DIMENSIONLESS
+        if isinstance(node, ast.Name):
+            if node.id in self.env:
+                return self.env[node.id]
+            declared = name_unit(node.id)
+            return (dict(declared), True) if declared is not None else UNKNOWN
+        if isinstance(node, ast.Attribute):
+            self.infer_children(node)
+            declared = name_unit(node.attr)
+            return (dict(declared), True) if declared is not None else UNKNOWN
+        if isinstance(node, ast.Subscript):
+            base = self.infer(node.value)
+            self.infer(node.slice)
+            return base
+        if isinstance(node, ast.UnaryOp):
+            return self.infer(node.operand)
+        if isinstance(node, ast.BinOp):
+            left = self.infer(node.left)
+            right = self.infer(node.right)
+            self._shortcut_check(node, left, right)
+            return self._binop_units(node.op, left, right, node)
+        if isinstance(node, ast.Compare):
+            units = [self.infer(node.left)] + [self.infer(c) for c in node.comparators]
+            for (ld, lx), (rd, rx) in zip(units, units[1:]):
+                if lx and rx and ld and rd and ld != rd:
+                    self._report(
+                        node,
+                        f"comparing a {format_unit(ld)} quantity "
+                        f"with a {format_unit(rd)} quantity",
+                    )
+            return UNKNOWN
+        if isinstance(node, ast.IfExp):
+            self.infer(node.test)
+            body = self.infer(node.body)
+            orelse = self.infer(node.orelse)
+            if body == orelse:
+                return body
+            return UNKNOWN
+        if isinstance(node, ast.Call):
+            return self._infer_call(node)
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self.infer(value)
+            return UNKNOWN
+        self.infer_children(node)
+        return UNKNOWN
+
+    def infer_children(self, node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.infer(child)
+            elif isinstance(child, ast.comprehension):
+                self.infer(child.iter)
+                for cond in child.ifs:
+                    self.infer(cond)
+
+    def _binop_units(
+        self,
+        op: ast.operator,
+        left: Inferred,
+        right: Inferred,
+        node: ast.AST,
+        *,
+        describe: str = "",
+    ) -> Inferred:
+        (ld, lx), (rd, rx) = left, right
+        exact = lx and rx
+        if isinstance(op, ast.Mult):
+            return (_combine(ld, rd, +1), exact)
+        if isinstance(op, (ast.Div, ast.FloorDiv)):
+            return (_combine(ld, rd, -1), exact)
+        if isinstance(op, ast.Pow):
+            return UNKNOWN
+        if isinstance(op, (ast.Add, ast.Sub)):
+            if exact and ld and rd and ld != rd:
+                opname = "+" if isinstance(op, ast.Add) else "-"
+                prefix = f"{describe}: " if describe else ""
+                self._report(
+                    node,
+                    f"{prefix}dimensional mismatch: {format_unit(ld)} {opname} "
+                    f"{format_unit(rd)} (convert explicitly via repro.units)",
+                )
+                return (ld, True)
+            if lx and rx:
+                return (ld or rd, True)
+            if ld == rd:
+                return (ld, False)
+            return UNKNOWN
+        if isinstance(op, ast.Mod):
+            return left
+        return UNKNOWN
+
+    def _shortcut_check(self, node: ast.BinOp, left: Inferred, right: Inferred) -> None:
+        """Flag ``* 1000`` / ``/ 8``-style conversions bypassing the tables."""
+        if not isinstance(node.op, (ast.Mult, ast.Div)):
+            return
+        for operand, other_unit in ((node.right, left), (node.left, right)):
+            if not (
+                isinstance(operand, ast.Constant)
+                and isinstance(operand.value, (int, float))
+                and not isinstance(operand.value, bool)
+            ):
+                continue
+            dims = other_unit[0]
+            value = operand.value
+            # Only a *pure* time or data quantity smells like a conversion;
+            # scaling a compound rate (bits/s -> Mb/s for display) does not.
+            if value in _TIME_SHORTCUT_LITERALS and any(
+                dims == {sym: 1} for sym in _TIME_SYMBOLS
+            ):
+                hint = "US_PER_MS / MS_PER_SECOND or a repro.units helper"
+            elif value in _BYTE_SHORTCUT_LITERALS and any(
+                dims == {sym: 1} for sym in _BYTE_SYMBOLS
+            ):
+                hint = "BITS_PER_BYTE"
+            else:
+                continue
+            self._report(
+                node,
+                f"unit-conversion shortcut: scaling a {format_unit(dims)} "
+                f"quantity by bare {value!r}; use {hint}",
+            )
+
+    def _infer_call(self, node: ast.Call) -> Inferred:
+        func = node.func
+        func_name = ""
+        if isinstance(func, ast.Name):
+            func_name = func.id
+        elif isinstance(func, ast.Attribute):
+            func_name = func.attr
+            self.infer(func.value)
+        arg_units = [self.infer(arg) for arg in node.args]
+        kw_units = {
+            kw.arg: self.infer(kw.value) for kw in node.keywords if kw.arg is not None
+        }
+        for kw in node.keywords:
+            if kw.arg is None:
+                self.infer(kw.value)
+
+        signature = FUNCTION_SIGNATURES.get(func_name)
+        if signature is not None:
+            param_units, param_names, return_unit = signature
+            for index, (expected, pname) in enumerate(zip(param_units, param_names)):
+                if index < len(arg_units):
+                    actual = arg_units[index]
+                elif pname in kw_units:
+                    actual = kw_units[pname]
+                else:
+                    continue
+                dims, exact = actual
+                if exact and dims and dims != _normalize(dict(expected)):
+                    self._report(
+                        node,
+                        f"{func_name}() argument {index + 1} ({pname}) expects "
+                        f"{format_unit(expected)}, got {format_unit(dims)}",
+                    )
+            return (dict(return_unit), True)
+
+        if isinstance(func, ast.Name) and func_name in _PASSTHROUGH_CALLS:
+            known = [u for u in arg_units if u[1]]
+            if known and all(u == known[0] for u in known) and len(known) == len(
+                arg_units
+            ):
+                return known[0]
+            return UNKNOWN
+        if isinstance(func, ast.Attribute) and func_name in _PASSTHROUGH_ATTR_CALLS:
+            known = [u for u in arg_units if u[1]]
+            if known and all(u == known[0] for u in known) and len(known) == len(
+                arg_units
+            ):
+                return known[0]
+            return UNKNOWN
+        declared = name_unit(func_name) if func_name else None
+        if declared is not None:
+            return (dict(declared), True)
+        return UNKNOWN
+
+
+def _own_returns(func: ast.FunctionDef | ast.AsyncFunctionDef) -> List[ast.Return]:
+    """``Return`` statements of ``func`` itself, not of nested functions."""
+    out: List[ast.Return] = []
+    stack: List[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Return):
+            out.append(node)
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return out
+
+
+def _check_function(
+    module: ParsedModule,
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    findings: List[Finding],
+) -> None:
+    checker = _ScopeChecker(module, findings)
+    declared = name_unit(func.name)
+    checker.check_stmts(func.body)
+    if declared is None:
+        return
+    for stmt in _own_returns(func):
+        if stmt.value is None:
+            continue
+        dims, exact = checker.infer_cached(stmt.value)
+        if exact and dims and dims != _normalize(dict(declared)):
+            checker._report(
+                stmt,
+                f"{func.name}() returns {format_unit(declared)} by naming "
+                f"convention but this return value is {format_unit(dims)}",
+            )
+
+
+@register
+class UnitConsistencyRule(Rule):
+    """Infer units through arithmetic; flag dimensionally invalid mixes."""
+
+    name = "unit-consistency"
+    description = (
+        "Infers physical units (ms/us/s/bytes/bits-per-second/ops) from the "
+        "repro.units naming conventions and flags dimensionally invalid "
+        "arithmetic — the shape of the paper's printed Eq 3 erratum."
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            findings: List[Finding] = []
+            checker = _ScopeChecker(module, findings)
+            checker.check_stmts(module.tree.body)
+            yield from findings

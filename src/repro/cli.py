@@ -199,6 +199,29 @@ def _run_dynamic(args) -> str:
     return "\n".join(lines)
 
 
+def _lint(args) -> tuple:
+    from pathlib import Path
+
+    from repro.analysis import LintError, REPORTERS, analyze_paths
+
+    def _split(values):
+        out = []
+        for value in values or []:
+            out.extend(part.strip() for part in value.split(",") if part.strip())
+        return out or None
+
+    try:
+        findings = analyze_paths(
+            [Path(p) for p in (args.paths or ["src"])],
+            select=_split(args.select),
+            ignore=_split(args.ignore),
+        )
+    except LintError as exc:
+        raise SystemExit(f"repro lint: {exc}")
+    text = REPORTERS[args.format](findings)
+    return text, (1 if findings else 0)
+
+
 def _resilience(args) -> str:
     from repro.experiments import resilience_report
 
@@ -360,6 +383,47 @@ def build_parser() -> argparse.ArgumentParser:
     p14.add_argument("--seed", type=int, default=0)
     p14.set_defaults(func=_resilience)
 
+    p15 = sub.add_parser(
+        "lint",
+        help="static analysis: unit safety, callback purity, determinism, engine parity",
+        description=(
+            "Run the repro.analysis static-analysis rules over Python sources. "
+            "Rules: unit-consistency (dimensional analysis over the repro.units "
+            "conventions — the Eq-3 erratum shape), callback-purity (phase "
+            "annotation callbacks must be pure/deterministic), sim-determinism "
+            "(entropy via sim/rng.py named streams, time via injectable clocks), "
+            "engine-parity (no constants duplicated between the scalar and batch "
+            "cost engines). Suppress one line with '# repro: noqa[rule-name]'. "
+            "Exits 1 when findings remain, 0 on a clean tree."
+        ),
+    )
+    p15.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        metavar="PATH",
+        help="files or directories to analyze (default: src)",
+    )
+    p15.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (default: text)",
+    )
+    p15.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE[,RULE]",
+        help="run only these rules (repeatable, comma-separable)",
+    )
+    p15.add_argument(
+        "--ignore",
+        action="append",
+        metavar="RULE[,RULE]",
+        help="skip these rules (repeatable, comma-separable)",
+    )
+    p15.set_defaults(func=_lint)
+
     p9 = sub.add_parser("timeline", help="ASCII Gantt of one stencil run")
     p9.add_argument("--n", type=int, default=300)
     p9.add_argument("--p1", type=int, default=6, help="Sparc2 count")
@@ -375,13 +439,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     func: Callable = args.func
-    text = func(args)
+    result = func(args)
+    # Commands return either plain text (exit 0) or (text, exit_code).
+    if isinstance(result, tuple):
+        text, code = result
+    else:
+        text, code = result, 0
     print(text)
     if args.output:
         with open(args.output, "w") as fh:
             fh.write(text + "\n")
         print(f"\n[written to {args.output}]", file=sys.stderr)
-    return 0
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.hardware.processor import ProcessorSpec
+from repro.units import usec_to_msec
 
 __all__ = ["CoercionPolicy"]
 
@@ -38,4 +39,4 @@ class CoercionPolicy:
         """Coercion time on the receiving host, in ms (0 if formats match)."""
         if not self.required(src_format, dst_spec.data_format):
             return 0.0
-        return self.usec_per_byte * dst_spec.comm_speed_factor * nbytes / 1000.0
+        return usec_to_msec(self.usec_per_byte * dst_spec.comm_speed_factor * nbytes)

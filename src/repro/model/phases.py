@@ -20,6 +20,7 @@ parameters such as the problem size (e.g. N)".
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Union
 
@@ -27,16 +28,44 @@ from repro.errors import AnnotationError
 from repro.hardware.processor import OpKind
 from repro.spmd.topology import Topology
 
-__all__ = ["Annotatable", "evaluate_annotation", "ComputationPhase", "CommunicationPhase"]
+__all__ = [
+    "Annotatable",
+    "evaluate_annotation",
+    "purity_checks_enabled",
+    "ComputationPhase",
+    "CommunicationPhase",
+]
 
 #: An annotation value: a number, or a callback of the problem instance.
 Annotatable = Union[float, int, Callable[[Any], float]]
+
+
+def purity_checks_enabled() -> bool:
+    """Whether the runtime determinism assertion is switched on.
+
+    Mirrors the static ``callback-purity`` lint rule (``repro lint``): with
+    ``REPRO_CHECK_ANNOTATIONS=1`` in the environment, every callback
+    annotation is evaluated twice and must return the identical value —
+    the partitioner re-evaluates callbacks during search, and replay-based
+    fault recovery assumes bit-exact re-execution.  Off by default; the
+    double evaluation is cheap but not free.
+    """
+    return os.environ.get("REPRO_CHECK_ANNOTATIONS", "") not in ("", "0")
 
 
 def evaluate_annotation(value: Annotatable, problem: Any) -> float:
     """Resolve an annotation to a number, invoking the callback if needed."""
     if callable(value):
         result = value(problem)
+        if purity_checks_enabled():
+            again = value(problem)
+            if again != result:
+                raise AnnotationError(
+                    f"impure annotation callback: two evaluations returned "
+                    f"{result!r} and {again!r}; callbacks must be "
+                    f"deterministic (see docs/static-analysis.md, rule "
+                    f"callback-purity)"
+                )
     else:
         result = value
     try:

@@ -22,6 +22,7 @@ from repro.hardware.network import HeterogeneousNetwork
 from repro.hardware.processor import ProcessorSpec
 from repro.partition.available import gather_available_resources
 from repro.partition.heuristic import exhaustive_partition
+from repro.units import seconds_to_msec
 
 __all__ = [
     "EngineResult",
@@ -172,8 +173,8 @@ def perf_report(cmp: PerfComparison) -> str:
         [
             r.engine,
             r.configs_evaluated,
-            f"{r.best_wall_s * 1e3:.2f}",
-            f"{r.mean_wall_s * 1e3:.2f}",
+            f"{seconds_to_msec(r.best_wall_s):.2f}",
+            f"{seconds_to_msec(r.mean_wall_s):.2f}",
             f"{r.configs_per_s:,.0f}",
             "+".join(str(c) for c in r.counts),
             f"{r.t_cycle_ms:.3f}",

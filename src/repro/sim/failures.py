@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
-import numpy as np
+from repro.sim.rng import RandomStreams
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.hardware.network import HeterogeneousNetwork
@@ -83,7 +83,7 @@ class FailureSchedule:
         """
         if mtbf_epochs <= 0:
             raise ValueError(f"mtbf_epochs must be positive, got {mtbf_epochs}")
-        rng = np.random.default_rng(seed)
+        rng = RandomStreams(seed).get("failures.mtbf")
         p = min(1.0, 1.0 / mtbf_epochs)
         draws = rng.geometric(p, size=len(proc_ids))
         events = [

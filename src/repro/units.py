@@ -21,6 +21,8 @@ microsecond→millisecond factor is applied.
 
 from __future__ import annotations
 
+from typing import Dict, Mapping, Tuple
+
 __all__ = [
     "MS_PER_SECOND",
     "US_PER_MS",
@@ -31,6 +33,12 @@ __all__ = [
     "msec_to_seconds",
     "transmission_time_ms",
     "ops_time_ms",
+    "Unit",
+    "UNIT_SYMBOLS",
+    "SUFFIX_ATOMS",
+    "NAME_UNITS",
+    "CONSTANT_UNITS",
+    "FUNCTION_SIGNATURES",
 ]
 
 MS_PER_SECOND = 1_000.0
@@ -82,3 +90,76 @@ def ops_time_ms(ops: float, usec_per_op: float) -> float:
     if usec_per_op <= 0:
         raise ValueError(f"usec_per_op must be positive, got {usec_per_op}")
     return usec_to_msec(ops * usec_per_op)
+
+
+# ---------------------------------------------------------------------------
+# Machine-readable unit conventions (consumed by ``repro.analysis``)
+# ---------------------------------------------------------------------------
+#
+# ``repro lint``'s unit-consistency rule infers physical units through
+# arithmetic from the tables below, so the conventions documented in the
+# module docstring are enforceable rather than advisory.  A unit is a
+# mapping of base symbol -> integer exponent: ``{"ms": 1}`` is milliseconds,
+# ``{"bits": 1, "s": -1}`` is bits per second, ``{}`` is dimensionless.
+
+#: A physical unit as a base-symbol -> exponent mapping.
+Unit = Mapping[str, int]
+
+#: The base symbols the conventions table is written in.
+UNIT_SYMBOLS: Tuple[str, ...] = ("ms", "us", "s", "bytes", "bits", "ops", "pdu")
+
+#: Identifier suffix atoms: the trailing ``_``-separated token of a name
+#: determines its unit (``elapsed_ms``, ``bandwidth_bps``, ``nbytes``).
+#: ``X_per_Y`` names compose two atoms (``usec_per_op`` -> us/op).
+SUFFIX_ATOMS: Dict[str, Unit] = {
+    "ms": {"ms": 1},
+    "msec": {"ms": 1},
+    "us": {"us": 1},
+    "usec": {"us": 1},
+    "s": {"s": 1},
+    "sec": {"s": 1},
+    "seconds": {"s": 1},
+    "bytes": {"bytes": 1},
+    "byte": {"bytes": 1},
+    "bits": {"bits": 1},
+    "bit": {"bits": 1},
+    "bps": {"bits": 1, "s": -1},
+    "ops": {"ops": 1},
+    "op": {"ops": 1},
+    "pdu": {"pdu": 1},
+    "pdus": {"pdu": 1},
+}
+
+#: Whole identifiers whose unit is fixed regardless of suffix tokens.
+NAME_UNITS: Dict[str, Unit] = {
+    "nbytes": {"bytes": 1},
+    "mtu": {"bytes": 1},
+}
+
+#: Module-level conversion constants and their units.  Multiplying by
+#: ``US_PER_MS`` (us/ms) converts ms -> us; the checker cancels exponents.
+CONSTANT_UNITS: Dict[str, Unit] = {
+    "MS_PER_SECOND": {"ms": 1, "s": -1},
+    "US_PER_MS": {"us": 1, "ms": -1},
+    "BITS_PER_BYTE": {"bits": 1, "bytes": -1},
+}
+
+#: Conversion/cost helpers: function name -> (positional parameter units,
+#: parameter names, return unit).  The checker validates call-site argument
+#: units and propagates the return unit.
+FUNCTION_SIGNATURES: Dict[str, Tuple[Tuple[Unit, ...], Tuple[str, ...], Unit]] = {
+    "usec_to_msec": (({"us": 1},), ("usec",), {"ms": 1}),
+    "msec_to_usec": (({"ms": 1},), ("msec",), {"us": 1}),
+    "seconds_to_msec": (({"s": 1},), ("seconds",), {"ms": 1}),
+    "msec_to_seconds": (({"ms": 1},), ("msec",), {"s": 1}),
+    "transmission_time_ms": (
+        ({"bytes": 1}, {"bits": 1, "s": -1}),
+        ("nbytes", "bandwidth_bps"),
+        {"ms": 1},
+    ),
+    "ops_time_ms": (
+        ({"ops": 1}, {"us": 1, "ops": -1}),
+        ("ops", "usec_per_op"),
+        {"ms": 1},
+    ),
+}

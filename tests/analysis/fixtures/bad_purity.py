@@ -1,0 +1,30 @@
+"""Known-bad fixture: impure annotation callbacks."""
+
+import random
+import time
+
+import numpy as np
+
+from repro.model.phases import CommunicationPhase, ComputationPhase
+
+COUNTER = [0]
+
+
+def _leaky_complexity(problem):
+    global COUNTER
+    print("evaluating", problem)
+    return time.time() * problem.n
+
+
+WALL_CLOCK_PHASE = ComputationPhase("impure", complexity=_leaky_complexity)
+
+NOISY_PHASE = ComputationPhase(
+    "noisy",
+    complexity=lambda p: p.n * random.random(),
+)
+
+SAMPLED_PHASE = CommunicationPhase(
+    "sampled",
+    None,
+    complexity=lambda p: np.random.default_rng().normal(4.0 * p.n),
+)

@@ -1,0 +1,31 @@
+"""Known-bad fixture: every statement below violates unit-consistency."""
+
+from repro.units import US_PER_MS, usec_to_msec
+
+
+def mixes_us_and_ms(latency_usec: float, elapsed_ms: float) -> float:
+    # The Eq-3 erratum shape: adding a us quantity to a ms quantity.
+    return latency_usec + elapsed_ms
+
+
+def converts_the_wrong_way(elapsed_ms: float) -> float:
+    # usec_to_msec expects microseconds.
+    return usec_to_msec(elapsed_ms)
+
+
+def shortcut_conversion(elapsed_usec: float) -> float:
+    # Bare /1000.0 instead of usec_to_msec / US_PER_MS.
+    return elapsed_usec / 1000.0
+
+
+def misnamed_assignment(elapsed_usec: float) -> float:
+    total_ms = elapsed_usec * 1.5
+    return total_ms
+
+
+def wrong_return_unit_ms(elapsed_ms: float) -> float:
+    return elapsed_ms * US_PER_MS
+
+
+def compares_s_with_ms(timeout_seconds: float, elapsed_ms: float) -> bool:
+    return timeout_seconds > elapsed_ms

@@ -1,0 +1,22 @@
+"""Known-good fixture: pure, deterministic annotation callbacks."""
+
+from repro.model.phases import CommunicationPhase, ComputationPhase
+
+
+def _row_ops(problem):
+    return 5.0 * problem.n
+
+
+STENCIL_COMPUTE = ComputationPhase("update", complexity=_row_ops)
+
+STENCIL_EXCHANGE = CommunicationPhase(
+    "exchange",
+    None,
+    complexity=lambda p: 4.0 * p.n,
+)
+
+PROFILED = ComputationPhase(
+    "profiled",
+    complexity=lambda p: 2.0 * p.n,
+    per_cycle_complexity=lambda p, cycle: 2.0 * p.n * (p.n - cycle) / p.n,
+)

@@ -1,0 +1,39 @@
+"""Known-good fixture: dimensionally sound cost-model arithmetic."""
+
+from repro.units import (
+    BITS_PER_BYTE,
+    MS_PER_SECOND,
+    US_PER_MS,
+    ops_time_ms,
+    transmission_time_ms,
+    usec_to_msec,
+)
+
+
+def total_cycle_ms(comp_usec: float, comm_ms: float) -> float:
+    return usec_to_msec(comp_usec) + comm_ms
+
+
+def explicit_constant_conversion(elapsed_usec: float) -> float:
+    return elapsed_usec / US_PER_MS
+
+
+def wire_time_ms(nbytes: int, bandwidth_bps: float) -> float:
+    return transmission_time_ms(nbytes, bandwidth_bps)
+
+
+def manual_wire_time(nbytes: int, bandwidth_bps: float) -> float:
+    seconds = nbytes * BITS_PER_BYTE / bandwidth_bps
+    return seconds * MS_PER_SECOND
+
+
+def eq4_ms(complexity_ops: float, usec_per_op: float) -> float:
+    return ops_time_ms(complexity_ops, usec_per_op)
+
+
+def dimensionless_ratio(t_comp_ms: float, t_comm_ms: float) -> float:
+    return t_comp_ms / t_comm_ms
+
+
+def offsets_are_fine(elapsed_ms: float) -> float:
+    return elapsed_ms + 5.0

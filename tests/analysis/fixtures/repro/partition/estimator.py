@@ -1,0 +1,7 @@
+"""Known-bad fixture: scalar engine with copy-pasted constants."""
+
+EQ1_INTERCEPT = 3.75
+
+
+def t_comm(p: int, b: float) -> float:
+    return EQ1_INTERCEPT + 0.062 * p + b * 0.0011

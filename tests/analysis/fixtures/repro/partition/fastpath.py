@@ -1,0 +1,7 @@
+"""Known-bad fixture: batch engine duplicating the scalar constants."""
+
+EQ1_INTERCEPT = 3.75
+
+
+def t_comm_batch(p, b):
+    return EQ1_INTERCEPT + 0.062 * p + b * 0.0011

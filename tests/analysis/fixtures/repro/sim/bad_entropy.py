@@ -1,0 +1,14 @@
+"""Known-bad fixture: sim/ code bypassing rng streams and the clock."""
+
+import random
+import time
+
+import numpy as np
+
+
+def jitter() -> float:
+    return np.random.default_rng().normal() + random.random()
+
+
+def now_ms() -> float:
+    return time.perf_counter() * 1000.0

@@ -1,0 +1,11 @@
+"""Known-good fixture: sim/ code drawing from named streams."""
+
+from repro.sim.rng import RandomStreams
+
+
+def jitter(streams: RandomStreams) -> float:
+    return float(streams.get("ethernet.segment0").normal())
+
+
+def now_ms(clock) -> float:
+    return float(clock.now)

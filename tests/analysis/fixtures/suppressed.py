@@ -1,0 +1,8 @@
+"""Fixture exercising the per-line suppression syntax."""
+
+
+def tolerated(latency_usec: float, elapsed_ms: float) -> float:
+    mixed = latency_usec + elapsed_ms  # repro: noqa[unit-consistency]
+    blanket = latency_usec + elapsed_ms  # repro: noqa
+    flagged = latency_usec + elapsed_ms
+    return mixed + blanket + flagged

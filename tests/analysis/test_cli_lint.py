@@ -1,0 +1,84 @@
+"""The ``repro lint`` subcommand: exit codes, formats, the repo gate."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def test_repo_src_is_lint_clean(capsys):
+    """The CI gate: the engine must analyze the repo's own src/ cleanly."""
+    assert main(["lint", str(REPO_SRC)]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_seeded_violations_exit_nonzero(capsys):
+    code = main(["lint", str(FIXTURES / "bad_units.py")])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "unit-consistency" in out
+    assert "finding(s)" in out
+
+
+def test_json_output_is_valid(capsys):
+    main(["lint", str(FIXTURES / "bad_units.py"), "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    assert payload["tool"] == "repro-lint"
+    assert payload["findings"]
+    first = payload["findings"][0]
+    assert {"path", "line", "col", "rule", "message"} <= set(first)
+
+
+def test_sarif_output_is_valid(capsys):
+    main(["lint", str(FIXTURES / "bad_units.py"), "--format", "sarif"])
+    sarif = json.loads(capsys.readouterr().out)
+    assert sarif["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in sarif["$schema"]
+    run = sarif["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert "unit-consistency" in rule_ids
+    assert run["results"]
+    result = run["results"][0]
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"]
+    assert location["region"]["startLine"] >= 1
+
+
+def test_cli_select_and_ignore(capsys):
+    code = main(
+        ["lint", str(FIXTURES / "bad_units.py"), "--select", "callback-purity"]
+    )
+    assert code == 0
+    capsys.readouterr()
+
+    code = main(
+        [
+            "lint",
+            str(FIXTURES / "bad_units.py"),
+            str(FIXTURES / "bad_purity.py"),
+            "--ignore",
+            "unit-consistency,callback-purity",
+        ]
+    )
+    assert code == 0
+
+
+def test_cli_unknown_rule_fails_loudly(capsys):
+    try:
+        main(["lint", str(FIXTURES), "--select", "bogus"])
+    except SystemExit as exc:
+        assert "unknown rule" in str(exc)
+    else:  # pragma: no cover - the assertion above must trip
+        raise AssertionError("expected SystemExit")
+
+
+def test_clean_tree_message(tmp_path, capsys):
+    clean = tmp_path / "ok.py"
+    clean.write_text("x = 1\n")
+    assert main(["lint", str(tmp_path)]) == 0
+    assert "no findings" in capsys.readouterr().out

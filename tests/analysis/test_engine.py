@@ -1,0 +1,87 @@
+"""Engine mechanics: file collection, suppressions, select/ignore, errors."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import LintError, analyze_paths, collect_python_files, rule_names
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_registry_exposes_the_four_paper_rules():
+    assert rule_names() == [
+        "callback-purity",
+        "engine-parity",
+        "sim-determinism",
+        "unit-consistency",
+    ]
+
+
+def test_collect_python_files_recurses_and_skips_pycache(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "__pycache__").mkdir()
+    (tmp_path / "pkg" / "__pycache__" / "a.cpython-311.py").write_text("x = 1\n")
+    (tmp_path / "b.py").write_text("y = 2\n")
+    files = collect_python_files([tmp_path])
+    names = sorted(f.name for f in files)
+    assert names == ["a.py", "b.py"]
+
+
+def test_missing_path_is_a_lint_error(tmp_path):
+    with pytest.raises(LintError):
+        analyze_paths([tmp_path / "does-not-exist"])
+
+
+def test_unknown_rule_is_a_lint_error():
+    with pytest.raises(LintError):
+        analyze_paths([FIXTURES / "good_units.py"], select=["no-such-rule"])
+
+
+def test_syntax_error_becomes_a_finding(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def half(:\n")
+    findings = analyze_paths([bad])
+    assert len(findings) == 1
+    assert findings[0].rule == "syntax-error"
+
+
+def test_line_suppressions_filter_targeted_and_blanket():
+    findings = analyze_paths(
+        [FIXTURES / "suppressed.py"], select=["unit-consistency"]
+    )
+    # Three identical violations; two carry noqa comments.
+    assert len(findings) == 1
+    assert findings[0].line == 7
+
+
+def test_suppression_inside_string_literal_does_not_suppress(tmp_path):
+    src = tmp_path / "strings.py"
+    src.write_text(
+        'MESSAGE = "# repro: noqa"\n'
+        "def f(latency_usec, elapsed_ms):\n"
+        "    return latency_usec + elapsed_ms\n"
+    )
+    findings = analyze_paths([src], select=["unit-consistency"])
+    assert len(findings) == 1
+
+
+def test_select_restricts_and_ignore_removes():
+    paths = [FIXTURES / "bad_units.py", FIXTURES / "bad_purity.py"]
+    everything = analyze_paths(paths)
+    rules_seen = {f.rule for f in everything}
+    assert {"unit-consistency", "callback-purity"} <= rules_seen
+
+    only_units = analyze_paths(paths, select=["unit-consistency"])
+    assert {f.rule for f in only_units} == {"unit-consistency"}
+
+    no_units = analyze_paths(paths, ignore=["unit-consistency"])
+    assert "unit-consistency" not in {f.rule for f in no_units}
+    assert "callback-purity" in {f.rule for f in no_units}
+
+
+def test_findings_are_sorted_by_location():
+    findings = analyze_paths([FIXTURES / "bad_units.py"])
+    keys = [(f.path, f.line, f.col) for f in findings]
+    assert keys == sorted(keys)

@@ -148,3 +148,27 @@ def test_computation_without_communication_ok():
     )
     assert comp.dominant_communication_phase() is None
     assert not comp.overlapped_with_dominant()
+
+
+def test_runtime_purity_assertion_rejects_nondeterministic_callback(monkeypatch):
+    from itertools import count
+
+    from repro.model.phases import evaluate_annotation, purity_checks_enabled
+
+    monkeypatch.setenv("REPRO_CHECK_ANNOTATIONS", "1")
+    assert purity_checks_enabled()
+    ticker = count()
+    with pytest.raises(AnnotationError, match="impure annotation callback"):
+        evaluate_annotation(lambda problem: next(ticker), problem=None)
+    # Pure callbacks still pass under the assertion.
+    assert evaluate_annotation(lambda problem: 7.0, problem=None) == 7.0
+
+
+def test_runtime_purity_assertion_off_by_default(monkeypatch):
+    from repro.model.phases import evaluate_annotation, purity_checks_enabled
+
+    monkeypatch.delenv("REPRO_CHECK_ANNOTATIONS", raising=False)
+    assert not purity_checks_enabled()
+    values = iter([3.0, 4.0])
+    # Without the flag the callback is evaluated exactly once.
+    assert evaluate_annotation(lambda problem: next(values), problem=None) == 3.0
