@@ -1,13 +1,16 @@
 #!/usr/bin/env python3
-"""CI gate: fail loudly when the partition perf benchmark regresses.
+"""CI gate: fail loudly when a committed perf benchmark regresses.
 
 Usage::
 
     python benchmarks/check_perf_regression.py BASELINE.json CURRENT.json \
         [--factor 2.0] [--strict]
 
-Exits non-zero (and prints what moved) if the fresh benchmark record lost
-more than ``factor``x against the committed baseline — see
+Handles both committed payload schemas — ``BENCH_partition_perf.json``
+(scalar vs batch partition search) and ``BENCH_sim_perf.json``
+(fast-forward vs event-level simulation) — detected from the payload
+shape.  Exits non-zero (and prints what moved) if the fresh benchmark
+record lost more than ``factor``x against the committed baseline — see
 :mod:`repro.benchmarking.perfgate` for exactly what is compared.
 """
 
@@ -30,15 +33,23 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    from repro.benchmarking.perfgate import check_regression, format_problems
+    from repro.benchmarking.perfgate import (
+        check_regression,
+        check_sim_regression,
+        format_problems,
+        payload_kind,
+    )
 
     with open(args.baseline) as fh:
         baseline = json.load(fh)
     with open(args.current) as fh:
         current = json.load(fh)
-    problems = check_regression(
-        baseline, current, factor=args.factor, strict=args.strict
-    )
+    kinds = (payload_kind(baseline), payload_kind(current))
+    if kinds[0] != kinds[1]:
+        print(f"perf gate: payload kinds differ: {kinds[0]} vs {kinds[1]}")
+        return 1
+    gate = check_sim_regression if kinds[0] == "sim" else check_regression
+    problems = gate(baseline, current, factor=args.factor, strict=args.strict)
     print(format_problems(problems))
     return 1 if problems else 0
 

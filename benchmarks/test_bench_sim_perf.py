@@ -1,0 +1,50 @@
+"""Bench: fast-forward vs event-level simulation throughput.
+
+The tentpole claim of the steady-state engine: a 200-cycle STEN-1 run and
+the E16 grid's decomposition-validation pass are both at least 10x faster
+under fast-forward than under event-level simulation, while every
+simulated observable — clock, per-processor times, message/byte counters —
+stays bit-exact.  Writes the comparison to ``benchmarks/out/sim_perf.txt``
+and the machine-readable record to the repo root as ``BENCH_sim_perf.json``
+so the numbers are tracked across PRs.
+"""
+
+import json
+from pathlib import Path
+
+from repro.experiments.simbench import run_sim_perf, sim_perf_payload, sim_perf_report
+
+REPO_ROOT = Path(__file__).parent.parent
+SPEEDUP_FLOOR = 10.0
+
+
+def test_fastforward_speedup(benchmark, save_report):
+    cmp = benchmark.pedantic(
+        lambda: run_sim_perf(n=300, cycles=200, repeat=3, grid=True),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("sim_perf.txt", sim_perf_report(cmp))
+    payload = sim_perf_payload(cmp)
+    (REPO_ROOT / "BENCH_sim_perf.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    event, fast = cmp.result("event"), cmp.result("fast")
+    # Bit-exact parity: the speedup must not cost a single observable.
+    assert cmp.parity_ok
+    assert fast.clock_ms == event.clock_ms
+    assert event.fast_forwarded_cycles == 0
+    assert fast.fast_forwarded_cycles > 0
+    assert cmp.speedup >= SPEEDUP_FLOOR, (
+        f"fast-forward only {cmp.speedup:.1f}x faster than event-level "
+        f"(floor {SPEEDUP_FLOOR}x): event {event.best_wall_s * 1e3:.2f} ms, "
+        f"fast {fast.best_wall_s * 1e3:.2f} ms"
+    )
+    # The grid claim: the same floor on a real experiment, with per-row
+    # validation signatures agreeing across modes.
+    assert cmp.grid is not None and cmp.grid.parity_ok
+    assert cmp.grid.speedup >= SPEEDUP_FLOOR, (
+        f"grid validation only {cmp.grid.speedup:.1f}x faster under "
+        f"fast-forward (floor {SPEEDUP_FLOOR}x): event "
+        f"{cmp.grid.event_wall_s:.2f} s, fast {cmp.grid.fast_wall_s:.2f} s"
+    )

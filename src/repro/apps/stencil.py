@@ -30,10 +30,12 @@ from repro.model.computation import DataParallelComputation
 from repro.model.phases import CommunicationPhase, ComputationPhase
 from repro.model.vector import PartitionVector
 from repro.spmd.runtime import RunResult, SPMDRun
+from repro.spmd.task import TaskContext
 from repro.spmd.topology import Topology
 
 __all__ = [
     "StencilProblem",
+    "StencilCycleProgram",
     "stencil_computation",
     "run_stencil",
     "sequential_stencil",
@@ -204,6 +206,121 @@ def _jacobi_rows(
         new[k, 1:-1] = 0.25 * (
             old[k - 1, 1:-1] + old[k + 1, 1:-1] + old[k, :-2] + old[k, 2:]
         )
+
+
+class StencilCycleProgram:
+    """STEN-1/STEN-2 (timing mode) expressed one cycle at a time.
+
+    The adapter the fast-forward engine
+    (:class:`repro.sim.fastforward.FastForwardEngine`) drives: instead of one
+    long task body looping over iterations, each call to
+    :meth:`cycle_bodies` yields fresh single-iteration generators, so the
+    engine can run every cycle from canonical (quiescent, rewound) state and
+    skip confirmed steady-state windows.
+
+    On fail-stop node loss (:meth:`handle_failure`) the ring shrinks to the
+    survivors: the dead ranks' rows move to the surviving rank with the
+    fewest rows (lowest rank on ties) — the deterministic stand-in for the
+    supervisor's repartition, sufficient for parity and benchmark runs.
+    """
+
+    def __init__(
+        self,
+        mmps: MMPS,
+        processors: Sequence[Processor],
+        vector: Sequence[int],
+        n: int,
+        *,
+        overlap: bool = False,
+    ) -> None:
+        counts = [int(c) for c in vector]
+        if len(counts) != len(processors):
+            raise PartitionError(
+                f"partition vector has {len(counts)} entries for "
+                f"{len(processors)} processors"
+            )
+        if sum(counts) != n:
+            raise PartitionError(f"vector covers {sum(counts)} rows but N={n}")
+        if any(c < 1 for c in counts):
+            raise PartitionError(
+                "every chosen processor needs at least one row; "
+                f"got {counts} (drop zero-count processors from the configuration)"
+            )
+        self.mmps = mmps
+        self.n = n
+        self.overlap = overlap
+        self._rebuild(list(processors), counts)
+
+    def _rebuild(self, processors: list[Processor], counts: list[int]) -> None:
+        self.placement = processors
+        self.counts = counts
+        self.contexts = [
+            TaskContext(
+                run=self,
+                rank=rank,
+                placement=self.placement,
+                endpoint=self.mmps.endpoint(proc),
+                topology=Topology.ONE_D,
+            )
+            for rank, proc in enumerate(self.placement)
+        ]
+
+    def pdu_counts(self) -> list[int]:
+        """Rows currently owned per rank (the engine's triage denominator)."""
+        return list(self.counts)
+
+    def cycle_bodies(self):
+        """Fresh one-iteration generators, one per current rank."""
+        return [
+            self._cycle(ctx, self.counts[ctx.rank]) for ctx in self.contexts
+        ]
+
+    def _cycle(self, ctx, rows: int):
+        border_bytes = BYTES_PER_POINT * self.n
+        north = ctx.rank - 1 if ctx.rank > 0 else None
+        south = ctx.rank + 1 if ctx.rank < ctx.size - 1 else None
+        if north is not None:
+            yield from ctx.isend(north, border_bytes, tag="south")
+        if south is not None:
+            yield from ctx.isend(south, border_bytes, tag="north")
+
+        def receive_borders():
+            if north is not None:
+                yield from ctx.recv(from_rank=north, tag="north")
+            if south is not None:
+                yield from ctx.recv(from_rank=south, tag="south")
+
+        if not self.overlap:
+            # STEN-1: finish the whole exchange, then compute all rows.
+            yield from receive_borders()
+            yield from ctx.compute(OPS_PER_POINT * self.n * rows)
+        else:
+            # STEN-2: interior rows overlap with the border transmission.
+            interior = max(rows - 2, 0)
+            yield from ctx.compute(OPS_PER_POINT * self.n * interior)
+            yield from receive_borders()
+            yield from ctx.compute(OPS_PER_POINT * self.n * (rows - interior))
+
+    def handle_failure(self, proc_ids: Sequence[int]) -> None:
+        """Shrink the ring to the survivors; orphaned rows follow the rule above."""
+        dead = set(proc_ids)
+        if not any(p.proc_id in dead for p in self.placement):
+            return  # bystander node: the decomposition is untouched
+        survivors: list[Processor] = []
+        counts: list[int] = []
+        orphaned = 0
+        for proc, count in zip(self.placement, self.counts):
+            if proc.proc_id in dead:
+                orphaned += count
+            else:
+                survivors.append(proc)
+                counts.append(count)
+        if not survivors:
+            raise PartitionError("every task's node died: nothing left to run on")
+        if orphaned:
+            target = min(range(len(counts)), key=lambda i: (counts[i], i))
+            counts[target] += orphaned
+        self._rebuild(survivors, counts)
 
 
 @dataclass

@@ -1,9 +1,11 @@
-"""Regression gate over ``BENCH_partition_perf.json`` payloads.
+"""Regression gates over committed benchmark payloads.
 
-The perf-smoke CI job records the scalar-vs-batch partition benchmark as a
-JSON payload (see ``benchmarks/test_bench_partition_perf.py``) and the repo
-commits the last known-good record.  This module compares a fresh payload
-against that baseline and reports what regressed:
+The perf-smoke CI jobs record benchmarks as JSON payloads and the repo
+commits the last known-good record of each.  This module compares a fresh
+payload against its baseline and reports what regressed.
+
+``BENCH_partition_perf.json`` (:func:`check_regression`, the scalar-vs-batch
+partition benchmark from ``benchmarks/test_bench_partition_perf.py``):
 
 * **decision drift** — either engine choosing a different configuration is
   a correctness bug, never noise, and always fails;
@@ -14,13 +16,39 @@ against that baseline and reports what regressed:
   ``configs_per_s`` per engine; off by default because wall-clock rates do
   not transfer between the machine that committed the baseline and the CI
   runner.
+
+``BENCH_sim_perf.json`` (:func:`check_sim_regression`, the fast-forward vs
+event-level engine benchmark from ``benchmarks/test_bench_sim_perf.py``):
+
+* **parity breakage** — the two modes disagreeing on any simulated
+  observable is a correctness bug and always fails;
+* **clock drift** — the simulator is deterministic, so the simulated clock
+  moving against the committed baseline means behaviour changed, not
+  performance; always fails;
+* **speedup collapse** — the within-run fast/event ratio, for both the
+  microbench and the E16 grid validation pass, beyond ``factor``;
+* **throughput collapse** (``strict=True`` only) — absolute ``cycles_per_s``
+  per mode.
+
+:func:`payload_kind` distinguishes the two schemas so CI can gate whichever
+payload it is handed.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
-__all__ = ["check_regression", "format_problems"]
+__all__ = [
+    "check_regression",
+    "check_sim_regression",
+    "payload_kind",
+    "format_problems",
+]
+
+
+def payload_kind(payload: dict[str, Any]) -> str:
+    """``"partition"`` or ``"sim"``, keyed on the schema's top-level shape."""
+    return "sim" if "modes" in payload else "partition"
 
 
 def check_regression(
@@ -58,6 +86,60 @@ def check_regression(
                 f"batch/scalar speedup regressed >{factor:g}x: "
                 f"{base_speedup:.1f}x -> {cur_speedup:.1f}x"
             )
+    return problems
+
+
+def check_sim_regression(
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    *,
+    factor: float = 2.0,
+    strict: bool = False,
+) -> list[str]:
+    """Problems in a ``BENCH_sim_perf.json`` payload (empty = pass)."""
+    if factor <= 1.0:
+        raise ValueError(f"factor must exceed 1.0, got {factor}")
+    problems: list[str] = []
+    if not current.get("parity_ok", False):
+        problems.append("fast/event parity broken in current payload")
+    for mode, base in baseline.get("modes", {}).items():
+        cur = current.get("modes", {}).get(mode)
+        if cur is None:
+            problems.append(f"mode {mode!r} missing from current payload")
+            continue
+        if cur["clock_ms"] != base["clock_ms"]:
+            problems.append(
+                f"{mode} simulated clock drifted: "
+                f"{base['clock_ms']} -> {cur['clock_ms']} ms"
+            )
+        if strict and cur["cycles_per_s"] * factor < base["cycles_per_s"]:
+            problems.append(
+                f"{mode} throughput regressed >{factor:g}x: "
+                f"{base['cycles_per_s']:.0f} -> {cur['cycles_per_s']:.0f} cycles/s"
+            )
+    base_speedup = baseline.get("speedup_fast_over_event")
+    cur_speedup = current.get("speedup_fast_over_event")
+    if base_speedup is not None:
+        if cur_speedup is None:
+            problems.append("speedup_fast_over_event missing from current payload")
+        elif cur_speedup * factor < base_speedup:
+            problems.append(
+                f"fast/event speedup regressed >{factor:g}x: "
+                f"{base_speedup:.1f}x -> {cur_speedup:.1f}x"
+            )
+    base_grid = baseline.get("grid")
+    cur_grid = current.get("grid")
+    if base_grid is not None:
+        if cur_grid is None:
+            problems.append("grid timing missing from current payload")
+        else:
+            if not cur_grid.get("parity_ok", False):
+                problems.append("grid validation parity broken in current payload")
+            if cur_grid["speedup"] * factor < base_grid["speedup"]:
+                problems.append(
+                    f"grid fast/event speedup regressed >{factor:g}x: "
+                    f"{base_grid['speedup']:.1f}x -> {cur_grid['speedup']:.1f}x"
+                )
     return problems
 
 

@@ -99,7 +99,7 @@ def _timeline(args) -> str:
 def _speedup(args) -> str:
     from repro.experiments import speedup_report
 
-    return speedup_report()
+    return speedup_report(workers=getattr(args, "workers", None))
 
 
 def _multiapp(args) -> str:
@@ -226,8 +226,43 @@ def _resilience(args) -> str:
     from repro.experiments import resilience_report
 
     return resilience_report(
-        n=args.n, epochs=args.epochs, mtbf_epochs=args.mtbf, seed=args.seed
+        n=args.n,
+        epochs=args.epochs,
+        mtbf_epochs=args.mtbf,
+        seed=args.seed,
+        workers=getattr(args, "workers", None),
+        validate_cycles=args.validate_cycles,
+        validate_mode=args.validate_mode,
     )
+
+
+def _bench_sim(args) -> str:
+    import json
+
+    from repro.experiments.simbench import (
+        run_sim_perf,
+        sim_perf_payload,
+        sim_perf_report,
+    )
+
+    cmp = run_sim_perf(
+        n=args.n,
+        cycles=args.cycles,
+        config=(args.p1, args.p2),
+        repeat=args.repeat,
+        grid=not args.no_grid,
+        grid_n=args.grid_n,
+        grid_epochs=args.grid_epochs,
+        grid_cycles=args.grid_cycles,
+        workers=getattr(args, "workers", None),
+    )
+    text = sim_perf_report(cmp)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(sim_perf_payload(cmp), fh, indent=2)
+            fh.write("\n")
+        text += f"\n\n[json written to {args.json}]"
+    return text
 
 
 def _all(args) -> str:
@@ -301,6 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
     p8.set_defaults(func=_sensitivity)
 
     p10 = sub.add_parser("speedup", help="E14: speedup/efficiency per application")
+    _add_workers_flag(p10)
     p10.set_defaults(func=_speedup)
 
     p11 = sub.add_parser("multiapp", help="E15: decision quality across all applications")
@@ -381,7 +417,45 @@ def build_parser() -> argparse.ArgumentParser:
     p14.add_argument("--epochs", type=int, default=10)
     p14.add_argument("--mtbf", type=float, default=12.0)
     p14.add_argument("--seed", type=int, default=0)
+    p14.add_argument(
+        "--validate-cycles",
+        type=int,
+        default=0,
+        metavar="CYCLES",
+        help="also event-execute each scenario's final decomposition for "
+        "CYCLES stencil cycles (default: closed-form model only)",
+    )
+    p14.add_argument(
+        "--validate-mode",
+        choices=("fast", "event"),
+        default="fast",
+        help="fast-forward confirmed steady-state cycles, or simulate all",
+    )
+    _add_workers_flag(p14)
     p14.set_defaults(func=_resilience)
+
+    p16 = sub.add_parser(
+        "bench-sim",
+        help="time the fast-forward engine vs event-level simulation",
+    )
+    p16.add_argument("--n", type=int, default=300, help="stencil problem size")
+    p16.add_argument("--cycles", type=int, default=200, help="cycles per run")
+    p16.add_argument("--p1", type=int, default=6, help="Sparc2 count")
+    p16.add_argument("--p2", type=int, default=0, help="IPC count")
+    p16.add_argument("--repeat", type=int, default=3, help="timing repeats per mode")
+    p16.add_argument(
+        "--no-grid",
+        action="store_true",
+        help="skip timing the E16 grid's decomposition-validation pass",
+    )
+    p16.add_argument("--grid-n", type=int, default=256)
+    p16.add_argument("--grid-epochs", type=int, default=6)
+    p16.add_argument("--grid-cycles", type=int, default=100)
+    p16.add_argument(
+        "--json", metavar="FILE", help="also write the machine-readable record to FILE"
+    )
+    _add_workers_flag(p16)
+    p16.set_defaults(func=_bench_sim)
 
     p15 = sub.add_parser(
         "lint",

@@ -49,6 +49,13 @@ from repro.experiments.resilience import (
     ResilienceRow,
     resilience_grid,
     resilience_report,
+    validate_decomposition,
+)
+from repro.experiments.simbench import (
+    SimPerfComparison,
+    run_sim_perf,
+    sim_perf_payload,
+    sim_perf_report,
 )
 from repro.experiments.table1 import reproduce_table1, table1_report
 from repro.experiments.speedup import (
@@ -97,6 +104,11 @@ __all__ = [
     "ResilienceRow",
     "resilience_grid",
     "resilience_report",
+    "validate_decomposition",
+    "SimPerfComparison",
+    "run_sim_perf",
+    "sim_perf_payload",
+    "sim_perf_report",
     "reproduce_table1",
     "table1_report",
     "ascii_timeline",

@@ -20,6 +20,14 @@ MTBF scenarios draw seeded geometric failure times
 (:meth:`~repro.sim.failures.FailureSchedule.from_mtbf`) over the worker
 nodes (manager hosts are excluded so a schedule cannot take out every
 cluster's manager and leave nothing to degrade to).
+
+The supervisor models epochs with closed-form costs; pass
+``validate_cycles > 0`` to *also* execute each scenario's final
+decomposition at event level on the message system for that many stencil
+cycles (:class:`~repro.sim.fastforward.FastForwardEngine`).  Scenario rows
+are independent, so the grid fans out over processes with ``workers``;
+the fitted cost database is built once per worker process and shared
+across that worker's rows.
 """
 
 from __future__ import annotations
@@ -27,19 +35,43 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from repro.apps.stencil import stencil_computation
+from repro.apps.stencil import StencilCycleProgram, stencil_computation
+from repro.benchmarking.database import CostDatabase
 from repro.experiments.paper import paper_cost_database
 from repro.experiments.report import format_table
 from repro.hardware.presets import paper_testbed
+from repro.mmps import MMPS
 from repro.partition.runtime import PartitionRuntime, RuntimePolicy, RuntimeResult
+from repro.partition.search_parallel import sweep
 from repro.sim.failures import FailureSchedule
+from repro.sim.fastforward import FastForwardEngine, FastForwardReport
 
-__all__ = ["ResilienceRow", "resilience_grid", "resilience_report"]
+__all__ = [
+    "ResilienceRow",
+    "resilience_grid",
+    "resilience_report",
+    "validate_decomposition",
+]
 
 N = 512
 EPOCHS = 10
 FAIL_EPOCHS = (2, 5, 8)
 MTBF_EPOCHS = 12.0
+
+#: Fitted cost database shared across one process's grid rows.  Primed by
+#: :func:`_prime_cost_database` (the :func:`~repro.partition.search_parallel.sweep`
+#: initializer) so pool workers fit it once, not once per supervised run.
+_SHARED_DB: Optional[CostDatabase] = None
+
+
+def _prime_cost_database() -> None:
+    """Fit the paper cost database once for this process's rows."""
+    global _SHARED_DB
+    _SHARED_DB = paper_cost_database()
+
+
+def _cost_database() -> CostDatabase:
+    return _SHARED_DB if _SHARED_DB is not None else paper_cost_database()
 
 
 @dataclass(frozen=True)
@@ -58,6 +90,15 @@ class ResilienceRow:
     moved_pdus: int
     replayed_pdus: int
     gather_retries: int
+    #: Event-level validation of the final decomposition (0 = not requested).
+    validated_cycles: int = 0
+    validation_clock_ms: float = 0.0
+    validation_probed: int = 0
+    validation_fast_forwarded: int = 0
+    #: :meth:`~repro.sim.fastforward.FastForwardReport.parity_signature`
+    #: of the validation run — mode-independent, so an ``"event"`` and a
+    #: ``"fast"`` grid of the same scenarios must agree row by row.
+    validation_signature: Optional[tuple] = None
 
 
 def _supervised_run(
@@ -75,11 +116,37 @@ def _supervised_run(
     runtime = PartitionRuntime(
         network,
         stencil_computation(n, overlap=False, cycles=1),
-        paper_cost_database(),
+        _cost_database(),
         policy=policy,
         failures=failures,
     )
     return runtime.run(epochs)
+
+
+def validate_decomposition(
+    proc_ids: Sequence[int],
+    vector: Sequence[int],
+    n: int,
+    cycles: int,
+    *,
+    mode: str = "fast",
+) -> FastForwardReport:
+    """Event-execute a decomposition for ``cycles`` stencil cycles.
+
+    Builds a fresh paper testbed and runs STEN-1 on exactly the given
+    processors with the given per-rank row counts — the check that a
+    supervisor decision actually executes, at message-system fidelity,
+    not just in the closed-form epoch model.  ``mode="fast"`` lets the
+    :class:`~repro.sim.fastforward.FastForwardEngine` skip confirmed
+    steady-state cycles; ``mode="event"`` simulates every cycle.  Both
+    yield the identical parity signature.
+    """
+    network = paper_testbed()
+    mmps = MMPS(network)
+    processors = [network.processor(pid) for pid in proc_ids]
+    program = StencilCycleProgram(mmps, processors, list(vector), n)
+    engine = FastForwardEngine(mmps)
+    return engine.run(program, cycles, mode=mode)
 
 
 def _worker_pool(exclude_managers: bool = True) -> list[int]:
@@ -92,37 +159,57 @@ def _worker_pool(exclude_managers: bool = True) -> list[int]:
     return pool
 
 
-def _row(
+def _grid_row(
     scenario: str,
     schedule: FailureSchedule,
-    clean: RuntimeResult,
-    *,
+    clean_ms: float,
+    clean_answer: int,
     n: int,
     epochs: int,
+    validate_cycles: int,
+    validate_mode: str,
 ) -> ResilienceRow:
+    """One scenario row — module-level and primitive-argument so
+    :func:`~repro.partition.search_parallel.sweep` can ship it to a pool."""
     supervised = _supervised_run(n=n, epochs=epochs, failures=schedule)
     first_fail = min(e.at_epoch for e in schedule.events)
     dead = sorted(e.proc_id for e in schedule.events)
     # Fail-stop baseline: everything before the failure is wasted, then the
     # whole computation restarts on whatever survived.
     restart = _supervised_run(n=n, epochs=epochs, pre_dead=dead)
-    baseline_ms = clean.elapsed_ms * (first_fail / epochs) + restart.elapsed_ms
+    baseline_ms = clean_ms * (first_fail / epochs) + restart.elapsed_ms
     retries = sum(
         sum(event.retries.values()) for event in supervised.audit
     )
+    validation = None
+    if validate_cycles > 0:
+        validation = validate_decomposition(
+            supervised.final_proc_ids,
+            supervised.final_vector,
+            n,
+            validate_cycles,
+            mode=validate_mode,
+        )
     return ResilienceRow(
         scenario=scenario,
         failures=len(schedule.events),
-        answer_parity=supervised.answer == clean.answer,
-        clean_ms=clean.elapsed_ms,
+        answer_parity=supervised.answer == clean_answer,
+        clean_ms=clean_ms,
         supervised_ms=supervised.elapsed_ms,
         baseline_ms=baseline_ms,
-        overhead_pct=100.0 * (supervised.elapsed_ms / clean.elapsed_ms - 1.0),
+        overhead_pct=100.0 * (supervised.elapsed_ms / clean_ms - 1.0),
         saved_pct=100.0 * (1.0 - supervised.elapsed_ms / baseline_ms),
         repartitions=supervised.repartitions,
         moved_pdus=supervised.moved_pdus_total,
         replayed_pdus=supervised.replayed_pdus,
         gather_retries=retries,
+        validated_cycles=validation.cycles if validation else 0,
+        validation_clock_ms=validation.clock_ms if validation else 0.0,
+        validation_probed=validation.probed_cycles if validation else 0,
+        validation_fast_forwarded=(
+            validation.fast_forwarded_cycles if validation else 0
+        ),
+        validation_signature=validation.parity_signature() if validation else None,
     )
 
 
@@ -133,32 +220,32 @@ def resilience_grid(
     fail_epochs: Sequence[int] = FAIL_EPOCHS,
     mtbf_epochs: float = MTBF_EPOCHS,
     seed: int = 0,
+    workers: Optional[int] = None,
+    validate_cycles: int = 0,
+    validate_mode: str = "fast",
 ) -> list[ResilienceRow]:
-    """The overhead grid: single worker loss, manager loss, MTBF draws."""
+    """The overhead grid: single worker loss, manager loss, MTBF draws.
+
+    ``workers`` fans the independent scenario rows out across processes
+    (the fitted cost database is built once per worker and shared by its
+    rows); ``validate_cycles`` additionally event-executes each row's
+    final decomposition for that many stencil cycles in ``validate_mode``
+    (``"fast"`` or ``"event"`` — identical results, different wall time).
+    """
+    _prime_cost_database()  # the clean run and serial rows share one fit
     clean = _supervised_run(n=n, epochs=epochs)
     worker = clean.final_proc_ids[1]  # a non-manager rank of the decomposition
     manager = paper_testbed().clusters[0].processors[0].proc_id
     fail_epochs = [fe for fe in fail_epochs if 0 < fe < epochs]
     if not fail_epochs:
         raise ValueError(f"no fail epoch falls inside the {epochs}-epoch horizon")
-    rows = []
+    scenarios: list[tuple[str, FailureSchedule]] = []
     for fe in fail_epochs:
-        rows.append(
-            _row(
-                f"worker@{fe}",
-                FailureSchedule.fail_at(fe, [worker]),
-                clean,
-                n=n,
-                epochs=epochs,
-            )
-        )
-    rows.append(
-        _row(
+        scenarios.append((f"worker@{fe}", FailureSchedule.fail_at(fe, [worker])))
+    scenarios.append(
+        (
             f"manager@{fail_epochs[0]}",
             FailureSchedule.fail_at(fail_epochs[0], [manager]),
-            clean,
-            n=n,
-            epochs=epochs,
         )
     )
     mtbf = FailureSchedule.from_mtbf(
@@ -169,10 +256,23 @@ def resilience_grid(
         max_failures=2,
     )
     if mtbf:
-        rows.append(
-            _row(f"mtbf={mtbf_epochs:g}", mtbf, clean, n=n, epochs=epochs)
+        scenarios.append((f"mtbf={mtbf_epochs:g}", mtbf))
+    tasks = [
+        (
+            scenario,
+            schedule,
+            clean.elapsed_ms,
+            clean.answer,
+            n,
+            epochs,
+            validate_cycles,
+            validate_mode,
         )
-    return rows
+        for scenario, schedule in scenarios
+    ]
+    return sweep(
+        _grid_row, tasks, workers=workers, initializer=_prime_cost_database
+    )
 
 
 def resilience_report(
@@ -182,6 +282,9 @@ def resilience_report(
     fail_epochs: Sequence[int] = FAIL_EPOCHS,
     mtbf_epochs: float = MTBF_EPOCHS,
     seed: int = 0,
+    workers: Optional[int] = None,
+    validate_cycles: int = 0,
+    validate_mode: str = "fast",
 ) -> str:
     """ASCII grid; raises if any scenario breaks answer parity."""
     rows = resilience_grid(
@@ -190,6 +293,9 @@ def resilience_report(
         fail_epochs=fail_epochs,
         mtbf_epochs=mtbf_epochs,
         seed=seed,
+        workers=workers,
+        validate_cycles=validate_cycles,
+        validate_mode=validate_mode,
     )
     broken = [r.scenario for r in rows if not r.answer_parity]
     table = format_table(
@@ -229,6 +335,24 @@ def resilience_report(
             "supervised recovery vs fail-stop restart)"
         ),
     )
+    if any(r.validated_cycles for r in rows):
+        table += "\n\n" + format_table(
+            ["scenario", "cycles", "probed", "fast-forwarded", "sim clock ms"],
+            [
+                (
+                    r.scenario,
+                    r.validated_cycles,
+                    r.validation_probed,
+                    r.validation_fast_forwarded,
+                    r.validation_clock_ms,
+                )
+                for r in rows
+            ],
+            title=(
+                "final-decomposition validation (event-level STEN-1, "
+                f"mode={validate_mode})"
+            ),
+        )
     if broken:
         table += f"\n\nANSWER PARITY BROKEN: {broken}"
     return table

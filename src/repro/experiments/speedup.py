@@ -26,6 +26,7 @@ from repro.experiments.report import format_table
 from repro.hardware.presets import paper_testbed
 from repro.mmps import MMPS
 from repro.partition import balanced_partition_vector
+from repro.partition.search_parallel import sweep
 
 __all__ = ["SpeedupPoint", "speedup_curve", "speedup_report", "equivalent_processors"]
 
@@ -83,12 +84,29 @@ def speedup_curve(
     *,
     configs: Sequence[tuple[int, int]] = DEFAULT_CONFIGS,
     iterations: int = 10,
+    workers: Optional[int] = None,
 ) -> list[SpeedupPoint]:
-    """Elapsed/speedup/efficiency for each configuration of one app."""
-    base = _run_app(app, n, 1, 0, iterations)
+    """Elapsed/speedup/efficiency for each configuration of one app.
+
+    Each configuration's simulation is independent, so ``workers`` fans
+    them (sequential baseline included) out across processes; results are
+    identical to the serial sweep.
+    """
+    unique = [(1, 0)] + [c for c in configs if tuple(c) != (1, 0)]
+    elapsed_by_config = dict(
+        zip(
+            unique,
+            sweep(
+                _run_app,
+                [(app, n, p1, p2, iterations) for p1, p2 in unique],
+                workers=workers,
+            ),
+        )
+    )
+    base = elapsed_by_config[(1, 0)]
     points = []
     for p1, p2 in configs:
-        elapsed = base if (p1, p2) == (1, 0) else _run_app(app, n, p1, p2, iterations)
+        elapsed = elapsed_by_config[(p1, p2)]
         points.append(
             SpeedupPoint(
                 p1=p1,
@@ -103,10 +121,13 @@ def speedup_curve(
 
 def speedup_report(
     cases: Optional[Sequence[tuple[str, int, int]]] = None,
+    *,
+    workers: Optional[int] = None,
 ) -> str:
     """The E14 artifact: one block per (app, N) case.
 
-    ``cases`` is a sequence of (app, n, iterations).
+    ``cases`` is a sequence of (app, n, iterations); ``workers``
+    parallelizes each case's configuration sweep.
     """
     cases = cases or (
         ("stencil", 1200, 10),
@@ -116,7 +137,7 @@ def speedup_report(
     )
     sections = []
     for app, n, iterations in cases:
-        points = speedup_curve(app, n, iterations=iterations)
+        points = speedup_curve(app, n, iterations=iterations, workers=workers)
         rows = [
             [
                 f"({p.p1},{p.p2})",

@@ -67,6 +67,11 @@ class RoutingFabric:
         self._segments: dict[str, EthernetSegment] = {}
         self._routers: dict[str, Router] = {}
         self._route_cache: dict[tuple[str, str], Route] = {}
+        #: Monotonic topology revision: bumped on every mutation so
+        #: downstream memos (route-derived MTUs, fragment plans in
+        #: :class:`repro.mmps.commcache.CommRoundCache`) can detect staleness
+        #: with one integer comparison.
+        self.version = 0
 
     def add_segment(self, segment: EthernetSegment) -> None:
         """Register a segment node."""
@@ -75,6 +80,7 @@ class RoutingFabric:
         self._segments[segment.name] = segment
         self._graph.add_node(("seg", segment.name))
         self._route_cache.clear()
+        self.version += 1
 
     def add_router(self, router: Router) -> None:
         """Register a router node."""
@@ -83,6 +89,7 @@ class RoutingFabric:
         self._routers[router.name] = router
         self._graph.add_node(("rtr", router.name))
         self._route_cache.clear()
+        self.version += 1
 
     def connect(self, router_name: str, segment_name: str) -> None:
         """Attach a router port to a segment."""
@@ -96,6 +103,7 @@ class RoutingFabric:
             router.attach(segment)
         self._graph.add_edge(("rtr", router_name), ("seg", segment_name))
         self._route_cache.clear()
+        self.version += 1
 
     @property
     def routers(self) -> dict[str, Router]:

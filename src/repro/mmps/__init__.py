@@ -7,12 +7,15 @@ applications overlap communication with computation.
 """
 
 from repro.mmps.coercion import CoercionPolicy
+from repro.mmps.commcache import CommRoundCache, fragment_plan
 from repro.mmps.message import Datagram, Message
 from repro.mmps.params import HostCostParams
 from repro.mmps.system import MMPS, Endpoint, EndpointStats, MMPS_HEADER_BYTES
 
 __all__ = [
     "CoercionPolicy",
+    "CommRoundCache",
+    "fragment_plan",
     "Datagram",
     "Message",
     "HostCostParams",

@@ -1,0 +1,122 @@
+"""Memoized per-route communication schedules for MMPS.
+
+Steady-state data-parallel cycles re-send *identical* messages: the same
+(source, destination, byte-count) triples, cycle after cycle.  Before this
+cache, every such message re-resolved its route, re-derived the path MTU,
+and re-built its fragment list from scratch — per message, per cycle.  The
+logical-cluster communication literature (arXiv:cs/0408033) makes the
+general point this module applies: the communication *round* for a fixed
+topology and message size is a static object worth computing once.
+
+:class:`CommRoundCache` memoizes, per ``(src cluster, dst cluster)`` pair:
+
+* the **path MTU** (smallest link MTU along the route, minus the MMPS
+  header) — the fragmentation threshold;
+* per message size, the **fragment plan**: the exact datagram payload
+  sizes a message of ``nbytes`` is cut into.
+
+Fragment-plan invariant (regression-tested): a plan never contains a
+zero-byte fragment *except* the single mandatory datagram of an empty
+message.  Messages that are an exact MTU multiple fragment into exactly
+``nbytes // mtu`` full datagrams — no zero-byte trailer, which would
+otherwise cost a full datagram + ack round trip per message per cycle.
+
+Entries are validated against the routing fabric's topology revision
+(:attr:`~repro.hardware.routing.RoutingFabric.version`), so a fabric mutated
+after traffic has flowed (extra segment, new router port) transparently
+flushes the memo instead of serving stale routes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import MessagingError
+from repro.hardware.processor import Processor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mmps.system import MMPS
+
+__all__ = ["CommRoundCache", "fragment_plan"]
+
+
+def fragment_plan(nbytes: int, mtu: int) -> tuple[int, ...]:
+    """Datagram payload sizes for a message of ``nbytes`` under ``mtu``.
+
+    Closed form: ``ceil(nbytes / mtu)`` datagrams, all full except a
+    non-zero remainder tail.  An empty message still takes one (zero-byte
+    payload) datagram — something must carry it — but exact MTU multiples
+    never grow a zero-byte trailing fragment.
+    """
+    if mtu <= 0:
+        raise MessagingError(f"fragmentation threshold must be positive, got {mtu}")
+    if nbytes < 0:
+        raise MessagingError(f"message size must be non-negative, got {nbytes}")
+    count = max(1, -(-nbytes // mtu))
+    tail = nbytes - mtu * (count - 1)
+    return (mtu,) * (count - 1) + (tail,)
+
+
+class CommRoundCache:
+    """Memoizes path MTUs and fragment plans for one :class:`MMPS` instance.
+
+    Keys are cluster names, not processor ids: within the §3 model every
+    node of a cluster sits on the same segment, so all pairs drawn from the
+    same two clusters share a route.  A 12-node stencil therefore needs at
+    most a handful of entries however many cycles it runs.
+    """
+
+    def __init__(self, mmps: "MMPS") -> None:
+        self._mmps = mmps
+        self._mtus: dict[tuple[str, str], int] = {}
+        self._plans: dict[tuple[str, str, int], tuple[int, ...]] = {}
+        self._fabric_version = mmps.network.fabric.version
+        self.hits = 0
+        self.misses = 0
+
+    def _fresh(self) -> None:
+        version = self._mmps.network.fabric.version
+        if version != self._fabric_version:
+            self.invalidate()
+            self._fabric_version = version
+
+    def invalidate(self) -> None:
+        """Drop every memoized route artifact (topology changed)."""
+        self._mtus.clear()
+        self._plans.clear()
+
+    def path_mtu(self, src: Processor, dst: Processor) -> int:
+        """Fragmentation threshold (payload bytes per datagram) src → dst."""
+        self._fresh()
+        key = (src.cluster_name, dst.cluster_name)
+        mtu = self._mtus.get(key)
+        if mtu is None:
+            self.misses += 1
+            mtu = self._mmps._path_payload_mtu(src, dst)
+            self._mtus[key] = mtu
+        else:
+            self.hits += 1
+        return mtu
+
+    def fragment_sizes(self, src: Processor, dst: Processor, nbytes: int) -> tuple[int, ...]:
+        """The memoized fragment plan for one (route, message size)."""
+        self._fresh()
+        key = (src.cluster_name, dst.cluster_name, nbytes)
+        plan = self._plans.get(key)
+        if plan is None:
+            self.misses += 1
+            plan = fragment_plan(nbytes, self.path_mtu(src, dst))
+            self._plans[key] = plan
+        else:
+            self.hits += 1
+        return plan
+
+    def round_datagrams(self, src: Processor, dst: Processor, nbytes: int) -> int:
+        """Datagram count of one message — ``len(fragment_sizes(...))``."""
+        return len(self.fragment_sizes(src, dst, nbytes))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CommRoundCache {len(self._plans)} plans, "
+            f"{self.hits} hits / {self.misses} misses>"
+        )

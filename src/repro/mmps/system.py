@@ -25,6 +25,7 @@ from repro.errors import MessagingError, PeerUnreachableError
 from repro.hardware.network import HeterogeneousNetwork
 from repro.hardware.processor import Processor
 from repro.mmps.coercion import CoercionPolicy
+from repro.mmps.commcache import CommRoundCache
 from repro.mmps.message import Datagram, Message
 from repro.mmps.params import HostCostParams
 from repro.sim import Event, Store
@@ -88,6 +89,10 @@ class MMPS:
         self._loss_rng = network.streams.get("mmps.loss")
         self.datagrams_lost = 0
         self._dead: set[int] = set()
+        #: Memoized per-route MTUs and fragment plans; steady-state cycles
+        #: resend identical (route, size) messages, so fragmentation becomes
+        #: a dict hit instead of a route resolution per message.
+        self.comm_cache = CommRoundCache(self)
 
     def fail_processor(self, proc_id: int) -> None:
         """Fail-stop injection: the node vanishes from the message layer.
@@ -122,6 +127,12 @@ class MMPS:
         router) — minus the MMPS per-datagram header, so every datagram
         fits every frame it rides.
         """
+        if dst is not None:
+            return self.comm_cache.path_mtu(proc, dst)
+        return self._path_payload_mtu(proc, None)
+
+    def _path_payload_mtu(self, proc: Processor, dst: Optional[Processor]) -> int:
+        """Uncached MTU resolution — :class:`CommRoundCache`'s miss path."""
         if dst is not None:
             link_mtu = self.network.path_mtu(proc, dst)
         else:
@@ -206,13 +217,12 @@ class Endpoint:
         )
 
     def _fragments(self, msg: Message) -> list[Datagram]:
-        mtu = self.mmps.mtu_bytes(self.proc, self.mmps.network.processor(msg.dst))
-        sizes: list[int] = []
-        remaining = msg.nbytes
-        while remaining > mtu:
-            sizes.append(mtu)
-            remaining -= mtu
-        sizes.append(remaining)  # may be 0 for empty messages
+        # Memoized closed-form plan: never a zero-byte trailing fragment —
+        # an exact-MTU-multiple message is exactly nbytes/mtu full datagrams;
+        # only the mandatory single datagram of an empty message carries 0.
+        sizes = self.mmps.comm_cache.fragment_sizes(
+            self.proc, self.mmps.network.processor(msg.dst), msg.nbytes
+        )
         count = len(sizes)
         return [
             Datagram(
@@ -314,8 +324,9 @@ class Endpoint:
             return True
 
         msg: Message = yield self._messages.get(matches)
-        mtu = self.mmps.mtu_bytes(self.proc, self.mmps.network.processor(msg.src))
-        ndgrams = max(1, -(-msg.nbytes // mtu))
+        ndgrams = self.mmps.comm_cache.round_datagrams(
+            self.proc, self.mmps.network.processor(msg.src), msg.nbytes
+        )
         cost = self.mmps.host_costs.recv_cost_ms(self.proc.spec, msg.nbytes, ndgrams)
         cost += self.mmps.coercion.cost_ms(msg.src_format, self.proc.spec, msg.nbytes)
         yield self.sim.timeout(cost)

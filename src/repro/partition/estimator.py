@@ -17,7 +17,7 @@ overhead claim.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.benchmarking.database import CostDatabase
@@ -56,11 +56,20 @@ class CycleEstimator:
         *,
         startup_ms: float = 0.0,
         all_phases: bool = False,
+        memo: Optional[dict[tuple[int, ...], CycleEstimate]] = None,
     ) -> None:
         """``all_phases=True`` extends the paper's dominant-phase model:
         every communication phase contributes its own (rounds × topology)
         cost, and the overlap credit applies only to phases annotated as
-        overlapped.  The default reproduces the paper exactly."""
+        overlapped.  The default reproduces the paper exactly.
+
+        ``memo`` injects a shared estimate dictionary (see
+        :class:`~repro.partition.warmstart.SearchCache`): estimates found
+        there are served without counting an evaluation, so repeated
+        searches over overlapping spaces only pay for counts tuples they
+        never probed before.  The caller owns the memo's validity — entries
+        must have been computed for the same computation, cost database and
+        per-cluster rates."""
         self.computation = computation
         self.cost_db = cost_db
         self.startup_ms = startup_ms
@@ -76,8 +85,12 @@ class CycleEstimator:
         self.overlapped = computation.overlapped_with_dominant()
         self.all_phases = all_phases
         #: Number of T_c evaluations performed (the paper's overhead metric).
+        #: Memo hits — including warm-start hits from an injected memo —
+        #: do not count.
         self.evaluations = 0
-        self._memo: dict[tuple[int, ...], CycleEstimate] = {}
+        self._memo: dict[tuple[int, ...], CycleEstimate] = (
+            memo if memo is not None else {}
+        )
 
     # -- decomposition (Eq 3) ----------------------------------------------------
 
@@ -176,6 +189,14 @@ class CycleEstimator:
         key = tuple(config.counts)
         cached = self._memo.get(key)
         if cached is not None:
+            if cached.config is not config:
+                # A warm-start hit from an earlier epoch: the numbers are
+                # exact, but the stored config may reference a stale
+                # availability snapshot — re-bind to the caller's current
+                # configuration so downstream ``estimate.config.processors()``
+                # can never resurrect a dead node.
+                cached = replace(cached, config=config)
+                self._memo[key] = cached
             return cached
         if config.total < 1:
             raise PartitionError("cannot estimate an empty configuration")

@@ -18,7 +18,7 @@ Two oracles validate the heuristic:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from itertools import product
 from typing import Callable, Optional, Sequence
 
@@ -118,6 +118,8 @@ def partition(
     startup_ms: float = 0.0,
     cluster_order: Optional[Sequence[ClusterResources]] = None,
     search: str = "binary",
+    cache=None,
+    warm_start: Optional[dict[str, int]] = None,
 ) -> PartitionDecision:
     """Run the paper's heuristic; returns the chosen decision.
 
@@ -137,17 +139,49 @@ def partition(
         per cluster (Fig 3); ``"scan"`` — the robust per-cluster linear scan
         for cost curves with multiple minima (the paper's noted future
         work).  Both keep the cluster-ordered locality structure.
+    cache:
+        Optional :class:`~repro.partition.warmstart.SearchCache` carrying
+        estimate and decision memos across calls.  An identical
+        availability pool returns its previous decision outright (zero
+        evaluations); otherwise previously-probed counts tuples are served
+        from the memo without counting as evaluations.  The returned
+        decision is identical to the cold search's either way.
+    warm_start:
+        Previous decision's per-cluster counts (``counts_by_name()``).  In
+        binary mode each cluster first checks whether the (clamped)
+        previous count is still the local minimum of the unimodal
+        ``T_c(p)`` curve — three probes, usually all memo hits — and only
+        falls back to the full binary search when it is not.  Under the
+        paper's unimodality premise (Fig 3) the accepted count equals the
+        binary search's answer exactly.
     """
     if search not in ("binary", "scan"):
         raise PartitionError(f"unknown search mode {search!r}")
-    estimator = CycleEstimator(computation, cost_db, startup_ms=startup_ms)
+    probe_kind = computation.dominant_computation_phase().op_kind
     ordered = (
         list(cluster_order)
         if cluster_order is not None
-        else order_by_power(resources, estimator.op_kind)
+        else order_by_power(resources, probe_kind)
     )
     if not ordered:
         raise PartitionError("no available processors in any cluster")
+    signature = None
+    if cache is not None:
+        signature = cache.availability_signature(
+            ordered, search=search, startup_ms=startup_ms
+        )
+        hit = cache.decision(signature)
+        if hit is not None:
+            # Same schedulable pool as a previous epoch: the decision is
+            # necessarily identical; report zero fresh search work.
+            return replace(hit, evaluations=0, trace=())
+        cache.searches += 1
+    estimator = CycleEstimator(
+        computation,
+        cost_db,
+        startup_ms=startup_ms,
+        memo=cache.estimator_memo(ordered) if cache is not None else None,
+    )
 
     counts = [0] * len(ordered)
     trace: list[tuple[str, float]] = []
@@ -165,9 +199,13 @@ def partition(
         cfg = cfg_cache.get(key)
         if cfg is None:
             cfg = ProcessorConfiguration(ordered, key)
-            t = estimator.t_cycle(cfg)
             cfg_cache[key] = cfg
-            trace.append((cfg.describe(), t))
+            before = estimator.evaluations
+            t = estimator.t_cycle(cfg)
+            if estimator.evaluations > before:
+                # Fresh evaluation (not a warm-start memo hit): this is the
+                # counts tuple's one trace row.
+                trace.append((cfg.describe(), t))
             return t
         # Cache hit: the estimator memo returns the stored value without
         # counting an evaluation, and no duplicate trace row is appended.
@@ -175,7 +213,23 @@ def partition(
 
     for k, res in enumerate(ordered):
         lo = 1 if k == 0 else 0  # at least one processor overall
-        best_p = argmin(lambda p: cost_with(k, p), lo, res.n_available)
+        hi = res.n_available
+        best_p: Optional[int] = None
+        if warm_start is not None and search == "binary":
+            prev = warm_start.get(res.name)
+            if prev is not None:
+                # Surviving-prefix seeding: if the previous count (clamped
+                # to what survives) is still a strict local minimum, it IS
+                # the binary search's answer on the unimodal curve — accept
+                # it after at most three probes.
+                p0 = min(max(prev, lo), hi)
+                at = cost_with(k, p0)
+                left_ok = p0 == lo or cost_with(k, p0 - 1) > at
+                right_ok = p0 == hi or at <= cost_with(k, p0 + 1)
+                if left_ok and right_ok:
+                    best_p = p0
+        if best_p is None:
+            best_p = argmin(lambda p: cost_with(k, p), lo, hi)
         counts[k] = best_p
         if best_p < res.n_available:
             # This cluster is not saturated: locality says stop here.
@@ -186,11 +240,13 @@ def partition(
         # Possible only when a search interval was a single point (e.g. a
         # one-node first cluster), so the chosen counts were never probed.
         config = ProcessorConfiguration(ordered, counts)
+        before = estimator.evaluations
         estimate = estimator.estimate(config)
-        trace.append((config.describe(), estimate.t_cycle_ms))
+        if estimator.evaluations > before:
+            trace.append((config.describe(), estimate.t_cycle_ms))
     else:
         estimate = estimator.estimate(config)
-    return PartitionDecision(
+    decision = PartitionDecision(
         config=config,
         vector=estimator.partition_vector(config),
         estimate=estimate,
@@ -199,6 +255,9 @@ def partition(
         method=f"heuristic-{search}",
         trace=tuple(trace),
     )
+    if cache is not None and signature is not None:
+        cache.store_decision(signature, decision)
+    return decision
 
 
 def _best_of(

@@ -51,6 +51,7 @@ from repro.partition.dynamic import (
     transfer_plan,
 )
 from repro.partition.heuristic import PartitionDecision, partition
+from repro.partition.warmstart import SearchCache
 from repro.sim.failures import FailureSchedule
 from repro.units import ops_time_ms
 
@@ -111,6 +112,12 @@ class RuntimePolicy:
     allow_partial_gather: bool = True
     #: Search mode handed to the §5 heuristic.
     search: str = "binary"
+    #: Warm-start repartition searches: carry a
+    #: :class:`~repro.partition.warmstart.SearchCache` across epochs and
+    #: seed each search from the surviving prefix of the previous decision.
+    #: Decisions are identical to cold searches — only fresh ``T_c``
+    #: evaluations are saved.
+    warm_start: bool = True
 
 
 @dataclass(frozen=True)
@@ -304,6 +311,9 @@ class PartitionRuntime:
         self.executor = SimulatedEpochExecutor(
             computation, cycles_per_epoch=self.policy.cycles_per_epoch
         )
+        #: Cross-epoch warm-start state (scoped to this computation+cost_db).
+        self.search_cache = SearchCache() if self.policy.warm_start else None
+        self._last_decision: Optional[PartitionDecision] = None
 
     # -- gather + partition ------------------------------------------------------
 
@@ -327,9 +337,20 @@ class PartitionRuntime:
                 "no surviving clusters with available processors "
                 f"(lost: {list(report.lost)})"
             )
-        decision = partition(
-            self.computation, usable, self.cost_db, search=self.policy.search
+        warm = (
+            self._last_decision.counts_by_name()
+            if self._last_decision is not None and self.search_cache is not None
+            else None
         )
+        decision = partition(
+            self.computation,
+            usable,
+            self.cost_db,
+            search=self.policy.search,
+            cache=self.search_cache,
+            warm_start=warm,
+        )
+        self._last_decision = decision
         return decision, report
 
     # -- decomposition bookkeeping -----------------------------------------------

@@ -16,7 +16,11 @@ Design rules:
 * workers are regular module-level functions: each experiment module
   defines its own ``_cell``-style worker that rebuilds heavyweight
   unpicklables (networks, computations with callback annotations) from
-  primitive parameters inside the child process.
+  primitive parameters inside the child process;
+* per-process setup that is expensive but shareable across cells — a
+  fitted cost database, a parsed baseline — goes into an ``initializer``
+  that runs once per worker process (and exactly once, in-process, on the
+  serial path), caching into a module-level global the cell worker reads.
 """
 
 from __future__ import annotations
@@ -49,6 +53,8 @@ def sweep(
     *,
     workers: Optional[int] = None,
     chunksize: int = 1,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: tuple = (),
 ) -> list:
     """``[fn(*t) for t in tasks]``, optionally fanned out across processes.
 
@@ -65,12 +71,24 @@ def sweep(
     chunksize:
         Tasks handed to a worker per round trip (raise for many tiny
         cells; only applies when every task tuple has the same arity).
+    initializer:
+        Optional per-process setup, run once in each pool worker before it
+        takes cells — the hook for sharing one fitted cost database (or
+        other expensive, read-only state) across a process's whole slice
+        of the grid.  On the serial path it runs exactly once, in-process,
+        so behaviour is mode-independent.
+    initargs:
+        Arguments for ``initializer``.
     """
     tasks = [tuple(t) for t in tasks]
     pool_size = effective_workers(workers, len(tasks))
     if pool_size == 0 or not _picklable(fn, tasks):
+        if initializer is not None:
+            initializer(*initargs)
         return [fn(*t) for t in tasks]
-    with ProcessPoolExecutor(max_workers=pool_size) as pool:
+    with ProcessPoolExecutor(
+        max_workers=pool_size, initializer=initializer, initargs=initargs
+    ) as pool:
         if len({len(t) for t in tasks}) == 1:
             return list(pool.map(fn, *zip(*tasks), chunksize=chunksize))
         futures = [pool.submit(fn, *t) for t in tasks]

@@ -1,0 +1,118 @@
+"""Warm-start state for repeated repartition searches.
+
+A fault-tolerant runtime re-runs the §5 heuristic every time the processor
+pool changes — but consecutive decisions search nearly the same space: a
+single node loss removes one count from one cluster's range and leaves every
+``T_c(counts)`` value it probes unchanged.  :class:`SearchCache` carries two
+memos across :func:`~repro.partition.heuristic.partition` calls:
+
+* an **estimate memo**: ``T_c`` keyed by the per-cluster counts tuple,
+  namespaced by what the value actually depends on.  Under the paper's
+  threshold availability policy (``load_adjusted=False``) an estimate
+  depends only on the ordered cluster identities and the counts — *not* on
+  which specific nodes are up — so estimates survive node loss and the
+  post-failure search re-evaluates only counts it never probed before.
+  Under load adjustment the namespace includes every node's (id, load), so
+  stale rates can never be served;
+* a **decision memo** keyed by the full availability signature: an epoch
+  whose pool is identical to a previously-decided one returns that decision
+  with zero fresh evaluations.
+
+Both memos are exact: a warm-started search returns the *identical*
+decision a cold search would (same config, same vector), only with fewer
+fresh ``T_c`` evaluations.  One cache instance is scoped to one
+(computation, cost database) pair — callers must not share it across
+different computations or refitted databases.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.partition.available import ClusterResources
+    from repro.partition.estimator import CycleEstimate
+    from repro.partition.heuristic import PartitionDecision
+
+__all__ = ["SearchCache"]
+
+
+def _cluster_key(res: "ClusterResources") -> tuple:
+    """What one cluster's estimates depend on.
+
+    Threshold policy: rates come from the (homogeneous) spec, so the name
+    is enough.  Load-adjusted policy: effective rates depend on exactly
+    which nodes are available and how loaded they are.
+    """
+    if not res.load_adjusted:
+        return (res.name, False)
+    return (
+        res.name,
+        True,
+        tuple((proc.proc_id, proc.load) for proc in res.available),
+    )
+
+
+class SearchCache:
+    """Cross-epoch warm-start memos for one computation's partition searches."""
+
+    def __init__(self) -> None:
+        self._estimates: dict[tuple, dict[tuple[int, ...], "CycleEstimate"]] = {}
+        self._decisions: dict[tuple, "PartitionDecision"] = {}
+        #: Decisions served without any search at all.
+        self.decision_hits = 0
+        #: Searches that ran (cold or estimate-warm).
+        self.searches = 0
+
+    # -- keys --------------------------------------------------------------------
+
+    @staticmethod
+    def estimate_namespace(ordered: Sequence["ClusterResources"]) -> tuple:
+        """The estimate memo's namespace: everything ``T_c`` depends on
+        besides the counts tuple."""
+        return tuple(_cluster_key(res) for res in ordered)
+
+    @staticmethod
+    def availability_signature(
+        ordered: Sequence["ClusterResources"],
+        *,
+        search: str,
+        startup_ms: float,
+    ) -> tuple:
+        """The decision memo's key: the exact schedulable pool + search mode."""
+        pool = tuple(
+            (
+                res.name,
+                res.load_adjusted,
+                tuple((proc.proc_id, proc.load) for proc in res.available),
+            )
+            for res in ordered
+        )
+        return (pool, search, startup_ms)
+
+    # -- memo access -------------------------------------------------------------
+
+    def estimator_memo(
+        self, ordered: Sequence["ClusterResources"]
+    ) -> dict[tuple[int, ...], "CycleEstimate"]:
+        """The shared estimate dict to inject into a
+        :class:`~repro.partition.estimator.CycleEstimator`."""
+        return self._estimates.setdefault(self.estimate_namespace(ordered), {})
+
+    def decision(self, signature: tuple) -> Optional["PartitionDecision"]:
+        """A previously-stored decision for this exact pool, if any."""
+        hit = self._decisions.get(signature)
+        if hit is not None:
+            self.decision_hits += 1
+        return hit
+
+    def store_decision(self, signature: tuple, decision: "PartitionDecision") -> None:
+        self._decisions[signature] = decision
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        estimates = sum(len(m) for m in self._estimates.values())
+        return (
+            f"<SearchCache {estimates} estimates in {len(self._estimates)} "
+            f"namespaces, {len(self._decisions)} decisions, "
+            f"{self.decision_hits} decision hits>"
+        )

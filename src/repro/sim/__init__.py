@@ -18,6 +18,13 @@ from repro.sim.failures import (
     TimedFailure,
     apply_failure_schedule,
 )
+from repro.sim.fastforward import (
+    CycleDelta,
+    FastForwardEngine,
+    FastForwardReport,
+    ProcessorTotals,
+    SegmentTotals,
+)
 from repro.sim.kernel import Simulator
 from repro.sim.process import Interrupt, Process, ProcessGenerator
 from repro.sim.resources import Resource, Store
@@ -40,6 +47,11 @@ __all__ = [
     "NodeFailure",
     "TimedFailure",
     "apply_failure_schedule",
+    "CycleDelta",
+    "FastForwardEngine",
+    "FastForwardReport",
+    "ProcessorTotals",
+    "SegmentTotals",
     "Tracer",
     "TraceRecord",
     "NULL_TRACER",

@@ -1,0 +1,536 @@
+"""Steady-state fast-forward execution of cycle-structured SPMD programs.
+
+The paper's evaluation runs STEN-1/STEN-2 for hundreds of identical
+iterations; the self-clustering simulation-partitioning literature
+(arXiv:1610.01295) observes that steady-state phases are exactly where
+event-level fidelity buys nothing.  This engine exploits that: it executes a
+data-parallel program one *cycle* at a time, detects when consecutive cycles
+are provably identical, and then advances whole windows of cycles without
+touching the event queue.
+
+How exactness is achieved
+-------------------------
+Event-level cycle times are **not** extrapolatable from a free-running
+simulation: rank skew bleeds across cycle boundaries and changes segment
+contention, so cycle durations drift.  The engine therefore runs
+*cycle-synchronously*: every cycle starts from the same canonical state —
+
+* the event queue fully drained (the :attr:`Simulator.quiescent` invariant),
+* the clock rewound to ``t = 0`` (:meth:`Simulator.rewind`, a pure frame
+  translation),
+* per-cycle accumulators (task compute/comm time, segment busy time) zeroed,
+  with the engine owning the cross-cycle totals.
+
+Under a fixed environment the simulator is deterministic, so two probed
+cycles from identical canonical state produce **bitwise identical** deltas.
+The engine simulates cycles until two consecutive deltas compare equal
+(the first acts as the warm-up cycle), then fast-forwards: per skipped
+cycle it performs exactly the same one-add-per-accumulator bookkeeping the
+event path performs, so clock, per-processor times, and message/byte
+counters are bit-exact by construction — integer counters may equivalently
+be advanced with one multiplication, which is exact.
+
+Fallback triggers (each one invalidates the learned delta and forces fresh
+event-level probes):
+
+* a scheduled failure firing (the cycle around a
+  :class:`~repro.sim.failures.FailureSchedule` event is always simulated),
+* any environment change — processor load/liveness, topology revision,
+  loss injection, unreliable mode, segment jitter, tracing enabled,
+* a probe whose measurements :func:`~repro.partition.dynamic.classify_epoch`
+  would triage (dead ranks, or an imbalance the measured Eq-3 rebalance
+  would act on): the engine never skips cycles a supervisor would want to
+  observe.
+
+The engine draws no randomness and reads no wall clock — all time comes
+from the injected simulator, so runs are reproducible by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Protocol, Sequence, runtime_checkable
+
+from repro.errors import SimulationError
+from repro.sim.failures import FailureSchedule
+from repro.sim.process import ProcessGenerator
+
+__all__ = [
+    "CycleProgram",
+    "ProcessorCycle",
+    "SegmentCycle",
+    "CycleDelta",
+    "ProcessorTotals",
+    "SegmentTotals",
+    "FastForwardReport",
+    "FastForwardEngine",
+]
+
+
+@runtime_checkable
+class CycleProgram(Protocol):
+    """What the engine drives: a program expressed as repeatable cycles.
+
+    ``contexts`` are live :class:`~repro.spmd.task.TaskContext`-compatible
+    objects (rank, processor, endpoint, compute/comm accumulators);
+    ``cycle_bodies`` yields *fresh* one-cycle generators, one per rank.
+    """
+
+    @property
+    def contexts(self) -> Sequence[Any]: ...
+
+    def cycle_bodies(self) -> list[ProcessGenerator]: ...
+
+    def pdu_counts(self) -> list[int]: ...
+
+    def handle_failure(self, proc_ids: Sequence[int]) -> None: ...
+
+
+@dataclass(frozen=True)
+class ProcessorCycle:
+    """One processor's exact per-cycle delta (canonical-state measurement)."""
+
+    proc_id: int
+    compute_ms: float
+    comm_ms: float
+    completion_ms: float  #: when this rank's cycle body finished (cycle frame)
+    messages_sent: int
+    messages_received: int
+    bytes_sent: int
+    bytes_received: int
+    datagrams_sent: int
+    acks_sent: int
+    retransmissions: int
+
+
+@dataclass(frozen=True)
+class SegmentCycle:
+    """One segment's exact per-cycle delta."""
+
+    name: str
+    busy_ms: float
+    frames: int
+    bytes: int
+
+
+@dataclass(frozen=True)
+class CycleDelta:
+    """Everything one canonical cycle changes, bit-for-bit comparable."""
+
+    clock_ms: float  #: cycle completion time (last rank, full queue drain)
+    processors: tuple[ProcessorCycle, ...]
+    segments: tuple[SegmentCycle, ...]
+
+
+@dataclass
+class ProcessorTotals:
+    """Cross-cycle accumulated per-processor figures."""
+
+    compute_ms: float = 0.0
+    comm_ms: float = 0.0
+    completion_ms: float = 0.0  #: sum of per-cycle completion times
+    messages_sent: int = 0
+    messages_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    datagrams_sent: int = 0
+    acks_sent: int = 0
+    retransmissions: int = 0
+
+
+@dataclass
+class SegmentTotals:
+    """Cross-cycle accumulated per-segment figures."""
+
+    busy_ms: float = 0.0
+    frames: int = 0
+    bytes: int = 0
+
+
+@dataclass
+class FastForwardReport:
+    """Outcome of one engine run.
+
+    Two runs of the same program agree on :meth:`parity_signature`
+    regardless of mode — that equality is what the parity suite asserts.
+    """
+
+    mode: str
+    cycles: int
+    probed_cycles: int
+    fast_forwarded_cycles: int
+    clock_ms: float
+    per_processor: dict[int, ProcessorTotals]
+    per_segment: dict[str, SegmentTotals]
+    #: Fast-forwarded windows as (first_cycle, length).
+    windows: list[tuple[int, int]] = field(default_factory=list)
+    #: Why the engine (re)entered event-level simulation, in order.
+    fallbacks: list[str] = field(default_factory=list)
+
+    def parity_signature(self) -> tuple:
+        """The mode-independent observables: clock, per-proc, per-segment."""
+        return (
+            self.cycles,
+            self.clock_ms,
+            tuple(sorted(self.per_processor.items(), key=lambda kv: kv[0])),
+            tuple(sorted(self.per_segment.items(), key=lambda kv: kv[0])),
+        )
+
+
+class FastForwardEngine:
+    """Runs a :class:`CycleProgram`, skipping provably-identical cycles.
+
+    Parameters
+    ----------
+    mmps:
+        The message system (and through it the network and simulator) the
+        program communicates over.
+    failures:
+        Epoch-indexed fail-stop plan; epochs map to cycles via
+        ``cycles_per_epoch``.  Failure cycles are always event-simulated.
+    cycles_per_epoch:
+        How many computation cycles one supervisor epoch spans.
+    imbalance_threshold:
+        Passed to :func:`~repro.partition.dynamic.classify_epoch` for the
+        triage gate.
+    """
+
+    def __init__(
+        self,
+        mmps,
+        *,
+        failures: Optional[FailureSchedule] = None,
+        cycles_per_epoch: int = 1,
+        imbalance_threshold: float = 1.25,
+    ) -> None:
+        if cycles_per_epoch < 1:
+            raise SimulationError(
+                f"cycles_per_epoch must be >= 1, got {cycles_per_epoch}"
+            )
+        self.mmps = mmps
+        self.network = mmps.network
+        self.sim = mmps.sim
+        self.failures = failures or FailureSchedule()
+        self.cycles_per_epoch = cycles_per_epoch
+        self.imbalance_threshold = imbalance_threshold
+        # Steady-state learning: the last probed delta, and the delta
+        # confirmed by two consecutive bitwise-equal probes.
+        self._last_delta: Optional[CycleDelta] = None
+        self._ff_delta: Optional[CycleDelta] = None
+        self._ff_signature: Optional[tuple] = None
+
+    # -- environment gating ------------------------------------------------------
+
+    def _segments(self):
+        return [cluster.segment for cluster in self.network.clusters]
+
+    def _environment_signature(self, program: CycleProgram) -> tuple:
+        """Everything timing depends on besides the program's own structure.
+
+        Compared before every fast-forward window: any difference (a load
+        change, a node death, a topology edit, tracing switched on) drops
+        the engine back to event-level probing.
+        """
+        return (
+            self.mmps.loss_rate,
+            self.mmps.reliable,
+            self.network.tracer.enabled,
+            self.network.fabric.version,
+            tuple(seg.params.jitter for seg in self._segments()),
+            tuple(
+                (ctx.processor.proc_id, ctx.processor.load, ctx.processor.alive)
+                for ctx in program.contexts
+            ),
+        )
+
+    def _steady_environment(self) -> Optional[str]:
+        """``None`` when deltas can repeat bitwise; else the blocking reason."""
+        if self.mmps.loss_rate > 0.0:
+            return "loss-injection"
+        if not self.mmps.reliable:
+            return "unreliable-transport"
+        if self.network.tracer.enabled:
+            return "tracing-enabled"
+        if any(seg.params.jitter > 0.0 for seg in self._segments()):
+            return "segment-jitter"
+        return None
+
+    def _would_triage(self, delta: CycleDelta, program: CycleProgram) -> Optional[str]:
+        """The supervisor action this cycle's measurements would trigger.
+
+        Mirrors :class:`~repro.partition.runtime.PartitionRuntime`: dead
+        ranks always repartition; an imbalance only matters when the
+        measured Eq-3 rebalance would actually change the decomposition
+        (a well-partitioned heterogeneous configuration shows unequal
+        per-PDU times forever — that is its steady state, not a trigger).
+        """
+        # Imported here: repro.partition sits above repro.sim in the layer
+        # graph, and a module-level import would cycle through
+        # repro.sim.__init__ during package initialization.
+        from repro.partition.dynamic import classify_epoch, rebalance_counts
+
+        counts = program.pdu_counts()
+        per_pdu: list[Optional[float]] = []
+        for proc_cycle, count in zip(delta.processors, counts):
+            if count <= 0:
+                return "empty-rank"
+            alive = any(
+                ctx.processor.proc_id == proc_cycle.proc_id and ctx.processor.alive
+                for ctx in program.contexts
+            )
+            per_pdu.append(proc_cycle.compute_ms / count if alive else None)
+        health = classify_epoch(per_pdu, threshold=self.imbalance_threshold)
+        if health.dead:
+            return "node-loss"
+        if health.imbalanced:
+            live = [t for t in per_pdu if t is not None]
+            if list(rebalance_counts(counts, live)) != list(counts):
+                return "slowdown-rebalance"
+        return None
+
+    # -- failure schedule --------------------------------------------------------
+
+    def _failure_cycles(self) -> dict[int, tuple[int, ...]]:
+        """Cycle index -> proc_ids crashing at that cycle's start."""
+        out: dict[int, list[int]] = {}
+        for event in self.failures.events:
+            cycle = event.at_epoch * self.cycles_per_epoch
+            out.setdefault(cycle, []).append(event.proc_id)
+        return {c: tuple(sorted(pids)) for c, pids in out.items()}
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    @staticmethod
+    def _accumulate(report: FastForwardReport, delta: CycleDelta) -> None:
+        """Fold one cycle into the totals: exactly one add per accumulator."""
+        report.clock_ms += delta.clock_ms
+        for pc in delta.processors:
+            totals = report.per_processor.setdefault(pc.proc_id, ProcessorTotals())
+            totals.compute_ms += pc.compute_ms
+            totals.comm_ms += pc.comm_ms
+            totals.completion_ms += pc.completion_ms
+            totals.messages_sent += pc.messages_sent
+            totals.messages_received += pc.messages_received
+            totals.bytes_sent += pc.bytes_sent
+            totals.bytes_received += pc.bytes_received
+            totals.datagrams_sent += pc.datagrams_sent
+            totals.acks_sent += pc.acks_sent
+            totals.retransmissions += pc.retransmissions
+        for sc in delta.segments:
+            totals_s = report.per_segment.setdefault(sc.name, SegmentTotals())
+            totals_s.busy_ms += sc.busy_ms
+            totals_s.frames += sc.frames
+            totals_s.bytes += sc.bytes
+
+    @staticmethod
+    def _fast_forward(report: FastForwardReport, delta: CycleDelta, k: int) -> None:
+        """Advance ``k`` identical cycles without simulating them.
+
+        Integer counters advance with one exact multiplication; float
+        accumulators are advanced by ``k`` repeated adds — the *same*
+        operation sequence the event path performs — so the result is
+        bitwise identical to simulating each cycle.
+        """
+        for _ in range(k):
+            report.clock_ms += delta.clock_ms
+        for pc in delta.processors:
+            totals = report.per_processor.setdefault(pc.proc_id, ProcessorTotals())
+            for _ in range(k):
+                totals.compute_ms += pc.compute_ms
+                totals.comm_ms += pc.comm_ms
+                totals.completion_ms += pc.completion_ms
+            totals.messages_sent += k * pc.messages_sent
+            totals.messages_received += k * pc.messages_received
+            totals.bytes_sent += k * pc.bytes_sent
+            totals.bytes_received += k * pc.bytes_received
+            totals.datagrams_sent += k * pc.datagrams_sent
+            totals.acks_sent += k * pc.acks_sent
+            totals.retransmissions += k * pc.retransmissions
+        for sc in delta.segments:
+            totals_s = report.per_segment.setdefault(sc.name, SegmentTotals())
+            for _ in range(k):
+                totals_s.busy_ms += sc.busy_ms
+            totals_s.frames += k * sc.frames
+            totals_s.bytes += k * sc.bytes
+
+    def _invalidate(self) -> None:
+        self._last_delta = None
+        self._ff_delta = None
+        self._ff_signature = None
+
+    # -- one canonical cycle -----------------------------------------------------
+
+    def _timed_body(self, body: ProcessGenerator, finished: dict[int, float], proc_id: int):
+        value = yield from body
+        finished[proc_id] = self.sim.now
+        return value
+
+    def _probe_cycle(self, program: CycleProgram) -> CycleDelta:
+        """Event-simulate exactly one cycle from canonical state."""
+        sim = self.sim
+        if not sim.quiescent:
+            raise SimulationError(
+                "fast-forward cycles need a quiescent simulator between them"
+            )
+        sim.rewind(0.0)
+        contexts = list(program.contexts)
+        segments = self._segments()
+        # Canonical per-cycle state: the engine owns cross-cycle totals, so
+        # in-simulation accumulators are zeroed each cycle — this is what
+        # makes consecutive deltas bitwise comparable.
+        for ctx in contexts:
+            ctx.compute_time_ms = 0.0
+            ctx.comm_time_ms = 0.0
+            ctx.activity.clear()
+            ctx.cycle_marks.clear()
+        seg_snapshot = {}
+        for seg in segments:
+            seg.busy_time_ms = 0.0
+            seg_snapshot[seg.name] = (seg.frames_carried, seg.bytes_carried)
+        ep_snapshot = {}
+        for ctx in contexts:
+            stats = ctx.endpoint.stats
+            ep_snapshot[ctx.processor.proc_id] = (
+                stats.messages_sent,
+                stats.messages_received,
+                stats.bytes_sent,
+                stats.bytes_received,
+                stats.datagrams_sent,
+                stats.acks_sent,
+                stats.retransmissions,
+            )
+
+        finished: dict[int, float] = {}
+        procs = [
+            sim.process(
+                self._timed_body(body, finished, ctx.processor.proc_id),
+                name=f"ff-cycle:{ctx.rank}",
+            )
+            for ctx, body in zip(contexts, program.cycle_bodies())
+        ]
+
+        def driver() -> ProcessGenerator:
+            values = yield sim.all_of(procs)
+            return list(values)
+
+        sim.run_process(driver())
+        sim.run()  # drain trailing acks so the next cycle starts canonical
+
+        proc_cycles = []
+        for ctx in contexts:
+            pid = ctx.processor.proc_id
+            stats = ctx.endpoint.stats
+            before = ep_snapshot[pid]
+            proc_cycles.append(
+                ProcessorCycle(
+                    proc_id=pid,
+                    compute_ms=ctx.compute_time_ms,
+                    comm_ms=ctx.comm_time_ms,
+                    completion_ms=finished[pid],
+                    messages_sent=stats.messages_sent - before[0],
+                    messages_received=stats.messages_received - before[1],
+                    bytes_sent=stats.bytes_sent - before[2],
+                    bytes_received=stats.bytes_received - before[3],
+                    datagrams_sent=stats.datagrams_sent - before[4],
+                    acks_sent=stats.acks_sent - before[5],
+                    retransmissions=stats.retransmissions - before[6],
+                )
+            )
+        seg_cycles = []
+        for seg in segments:
+            frames0, bytes0 = seg_snapshot[seg.name]
+            seg_cycles.append(
+                SegmentCycle(
+                    name=seg.name,
+                    busy_ms=seg.busy_time_ms,
+                    frames=seg.frames_carried - frames0,
+                    bytes=seg.bytes_carried - bytes0,
+                )
+            )
+        return CycleDelta(
+            clock_ms=sim.now,
+            processors=tuple(proc_cycles),
+            segments=tuple(seg_cycles),
+        )
+
+    # -- the drive loop ----------------------------------------------------------
+
+    def run(
+        self, program: CycleProgram, cycles: int, *, mode: str = "fast"
+    ) -> FastForwardReport:
+        """Execute ``cycles`` cycles of ``program`` in ``mode``.
+
+        ``mode="event"`` simulates every cycle (the parity baseline);
+        ``mode="fast"`` fast-forwards confirmed steady-state windows.
+        Both produce identical :meth:`FastForwardReport.parity_signature`.
+        """
+        if mode not in ("fast", "event"):
+            raise SimulationError(f"mode must be 'fast' or 'event', got {mode!r}")
+        if cycles < 1:
+            raise SimulationError(f"cycles must be >= 1, got {cycles}")
+        self._invalidate()
+        report = FastForwardReport(
+            mode=mode,
+            cycles=cycles,
+            probed_cycles=0,
+            fast_forwarded_cycles=0,
+            clock_ms=0.0,
+            per_processor={},
+            per_segment={},
+        )
+        failure_cycles = self._failure_cycles()
+        pending_failures = sorted(c for c in failure_cycles if c < cycles)
+        last_blocker: Optional[str] = None
+
+        cycle = 0
+        while cycle < cycles:
+            if cycle in failure_cycles:
+                pids = failure_cycles[cycle]
+                for pid in pids:
+                    self.network.processor(pid).fail()
+                    self.mmps.fail_processor(pid)
+                program.handle_failure(pids)
+                self._invalidate()
+                report.fallbacks.append(f"failure@{cycle}")
+                pending_failures = [c for c in pending_failures if c > cycle]
+
+            if mode == "fast" and self._ff_delta is not None:
+                if self._environment_signature(program) != self._ff_signature:
+                    self._invalidate()
+                    report.fallbacks.append(f"environment-changed@{cycle}")
+                else:
+                    horizon = pending_failures[0] if pending_failures else cycles
+                    k = min(cycles, horizon) - cycle
+                    if k > 0:
+                        self._fast_forward(report, self._ff_delta, k)
+                        report.fast_forwarded_cycles += k
+                        report.windows.append((cycle, k))
+                        cycle += k
+                        continue
+
+            delta = self._probe_cycle(program)
+            report.probed_cycles += 1
+            self._accumulate(report, delta)
+            cycle += 1
+
+            if mode == "fast":
+                blocker = self._steady_environment() or self._would_triage(
+                    delta, program
+                )
+                if blocker is not None:
+                    if blocker != last_blocker:
+                        report.fallbacks.append(f"{blocker}@{cycle - 1}")
+                    last_blocker = blocker
+                    self._invalidate()
+                elif self._last_delta == delta:
+                    # Two consecutive bitwise-equal probes: steady state
+                    # confirmed, later identical cycles can be skipped.
+                    last_blocker = None
+                    self._ff_delta = delta
+                    self._ff_signature = self._environment_signature(program)
+                else:
+                    last_blocker = None
+                    self._last_delta = delta
+                    self._ff_delta = None
+                    self._ff_signature = None
+        return report

@@ -99,6 +99,30 @@ class Simulator:
         """Timestamp of the next pending event, or ``inf`` if none."""
         return self._queue[0][0] if self._queue else float("inf")
 
+    @property
+    def quiescent(self) -> bool:
+        """Whether nothing is pending: no events queued, no run in progress."""
+        return not self._queue and not self._running
+
+    def rewind(self, to: float = 0.0) -> None:
+        """Move the clock backwards to ``to`` — allowed only while quiescent.
+
+        With an empty event queue the simulation's future is independent of
+        the absolute clock value (delays are state-, not time-, dependent),
+        so rewinding is a pure frame translation.  The fast-forward engine
+        (:mod:`repro.sim.fastforward`) relies on this to run every probed
+        cycle from the same canonical clock origin, which is what makes
+        cycle deltas bitwise reproducible and extrapolation exact.
+        """
+        if not self.quiescent:
+            raise SimulationError(
+                f"rewind() with {len(self._queue)} pending event(s)"
+                + (" during run()" if self._running else "")
+            )
+        if to < 0:
+            raise SimulationError(f"cannot rewind to negative time {to}")
+        self._now = to
+
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue drains, or until simulated time ``until``.
 

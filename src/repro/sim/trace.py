@@ -4,10 +4,17 @@ A :class:`Tracer` collects ``(time, category, message, fields)`` records.
 Tracing is off by default and costs a single attribute check per call, so
 instrumentation can stay in hot paths.  Categories let tests assert on a
 single subsystem's activity (e.g. only ``"router"`` records).
+
+Bounded tracing uses a ring buffer (:class:`collections.deque` with
+``maxlen``): once full, each append drops the oldest record in O(1), so a
+multi-thousand-cycle run with tracing accidentally enabled holds memory
+constant instead of growing without bound (and without the O(n) slice-delete
+the old list-based bound paid on every overflowing append).
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
 
@@ -38,9 +45,11 @@ class Tracer:
     ----------
     enabled:
         Master switch; when ``False`` (default) :meth:`record` is a no-op.
-    max_records:
-        Optional bound; the oldest records are dropped once exceeded, so a
-        long benchmark run with tracing accidentally on cannot exhaust memory.
+    maxlen:
+        Optional ring-buffer bound; with it set, only the newest ``maxlen``
+        records are retained — the oldest are dropped in O(1) per append —
+        so long runs with tracing enabled cannot exhaust memory.
+        ``max_records`` is accepted as a backwards-compatible alias.
     clock:
         Zero-argument callable returning the current simulated time; usually
         ``lambda: sim.now``.
@@ -51,24 +60,43 @@ class Tracer:
         clock: Callable[[], float],
         *,
         enabled: bool = False,
+        maxlen: Optional[int] = None,
         max_records: Optional[int] = None,
     ) -> None:
+        if maxlen is not None and max_records is not None and maxlen != max_records:
+            raise ValueError(
+                f"maxlen={maxlen} conflicts with its alias max_records={max_records}"
+            )
+        bound = maxlen if maxlen is not None else max_records
+        if bound is not None and bound < 1:
+            raise ValueError(f"maxlen must be >= 1, got {bound}")
         self._clock = clock
         self.enabled = enabled
-        self.max_records = max_records
-        self._records: list[TraceRecord] = []
+        self._maxlen = bound
+        self._records: deque[TraceRecord] = deque(maxlen=bound)
+
+    @property
+    def maxlen(self) -> Optional[int]:
+        """The ring-buffer bound (``None`` = unbounded)."""
+        return self._maxlen
+
+    #: Backwards-compatible alias for :attr:`maxlen`.
+    max_records = maxlen
+
+    @property
+    def dropped(self) -> bool:
+        """Whether the ring buffer has (ever possibly) evicted records."""
+        return self._maxlen is not None and len(self._records) == self._maxlen
 
     def record(self, category: str, message: str, **fields: Any) -> None:
         """Append a record if tracing is enabled."""
         if not self.enabled:
             return
         self._records.append(TraceRecord(self._clock(), category, message, fields))
-        if self.max_records is not None and len(self._records) > self.max_records:
-            del self._records[: len(self._records) - self.max_records]
 
     @property
     def records(self) -> tuple[TraceRecord, ...]:
-        """All collected records, oldest first."""
+        """All retained records, oldest first."""
         return tuple(self._records)
 
     def by_category(self, category: str) -> Iterator[TraceRecord]:
@@ -78,6 +106,9 @@ class Tracer:
     def clear(self) -> None:
         """Drop all collected records."""
         self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
 
 
 def _zero_clock() -> float:

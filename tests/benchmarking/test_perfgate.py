@@ -7,7 +7,12 @@ from pathlib import Path
 
 import pytest
 
-from repro.benchmarking.perfgate import check_regression, format_problems
+from repro.benchmarking.perfgate import (
+    check_regression,
+    check_sim_regression,
+    format_problems,
+    payload_kind,
+)
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
@@ -69,6 +74,102 @@ def test_missing_engine_fails():
 def test_factor_validation():
     with pytest.raises(ValueError):
         check_regression(payload(), payload(), factor=1.0)
+
+
+def sim_payload(
+    *,
+    speedup=70.0,
+    event_rate=1_000.0,
+    fast_rate=70_000.0,
+    clock_ms=14541.2,
+    parity=True,
+    grid_speedup=20.0,
+    grid_parity=True,
+):
+    return {
+        "modes": {
+            "event": {"cycles_per_s": event_rate, "clock_ms": clock_ms},
+            "fast": {"cycles_per_s": fast_rate, "clock_ms": clock_ms},
+        },
+        "parity_ok": parity,
+        "speedup_fast_over_event": speedup,
+        "grid": {"speedup": grid_speedup, "parity_ok": grid_parity},
+    }
+
+
+def test_payload_kind_detection():
+    assert payload_kind(payload()) == "partition"
+    assert payload_kind(sim_payload()) == "sim"
+
+
+def test_identical_sim_payloads_pass():
+    assert check_sim_regression(sim_payload(), sim_payload()) == []
+
+
+def test_sim_parity_breakage_always_fails():
+    problems = check_sim_regression(sim_payload(), sim_payload(parity=False))
+    assert any("parity broken" in p for p in problems)
+    problems = check_sim_regression(sim_payload(), sim_payload(grid_parity=False))
+    assert any("grid validation parity broken" in p for p in problems)
+
+
+def test_sim_clock_drift_always_fails():
+    problems = check_sim_regression(sim_payload(), sim_payload(clock_ms=14541.3))
+    assert sum("clock drifted" in p for p in problems) == 2  # both modes
+
+
+def test_sim_speedup_collapse_beyond_factor_fails():
+    assert check_sim_regression(sim_payload(speedup=70.0), sim_payload(speedup=40.0)) == []
+    problems = check_sim_regression(sim_payload(speedup=70.0), sim_payload(speedup=30.0))
+    assert any("fast/event speedup regressed" in p for p in problems)
+    problems = check_sim_regression(sim_payload(), sim_payload(grid_speedup=5.0))
+    assert any("grid fast/event speedup regressed" in p for p in problems)
+
+
+def test_sim_throughput_only_gated_in_strict_mode():
+    slow = sim_payload(fast_rate=10_000.0)
+    assert check_sim_regression(sim_payload(), slow) == []
+    problems = check_sim_regression(sim_payload(), slow, strict=True)
+    assert any("fast throughput regressed" in p for p in problems)
+
+
+def test_sim_factor_validation():
+    with pytest.raises(ValueError):
+        check_sim_regression(sim_payload(), sim_payload(), factor=0.5)
+
+
+def test_cli_script_on_committed_sim_baseline(tmp_path):
+    """The CI invocation for the sim payload: self-comparison passes,
+    broken parity exits non-zero, mismatched payload kinds exit non-zero."""
+    baseline = REPO_ROOT / "BENCH_sim_perf.json"
+    script = REPO_ROOT / "benchmarks" / "check_perf_regression.py"
+    env = {"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"}
+    ok = subprocess.run(
+        [sys.executable, str(script), str(baseline), str(baseline)],
+        capture_output=True, text=True, env=env,
+    )
+    assert ok.returncode == 0, ok.stdout + ok.stderr
+
+    bad = json.loads(baseline.read_text())
+    bad["parity_ok"] = False
+    bad_path = tmp_path / "bad.json"
+    bad_path.write_text(json.dumps(bad))
+    fail = subprocess.run(
+        [sys.executable, str(script), str(baseline), str(bad_path)],
+        capture_output=True, text=True, env=env,
+    )
+    assert fail.returncode == 1 and "REGRESSION" in fail.stdout
+
+    mixed = subprocess.run(
+        [
+            sys.executable,
+            str(script),
+            str(REPO_ROOT / "BENCH_partition_perf.json"),
+            str(baseline),
+        ],
+        capture_output=True, text=True, env=env,
+    )
+    assert mixed.returncode == 1 and "payload kinds differ" in mixed.stdout
 
 
 def test_cli_script_on_committed_baseline(tmp_path):

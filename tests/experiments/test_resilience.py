@@ -50,3 +50,36 @@ def test_report_renders_and_flags_nothing(rows):
 def test_out_of_horizon_fail_epochs_rejected():
     with pytest.raises(ValueError, match="horizon"):
         resilience_grid(n=256, epochs=4, fail_epochs=(9,))
+
+
+def test_worker_fanout_reproduces_the_serial_grid(rows):
+    parallel = resilience_grid(
+        n=256, epochs=4, fail_epochs=(2,), mtbf_epochs=6.0, workers=2
+    )
+    assert parallel == rows
+
+
+def test_validation_executes_the_final_decomposition():
+    rows = resilience_grid(
+        n=128, epochs=4, fail_epochs=(2,), mtbf_epochs=6.0, validate_cycles=10
+    )
+    for r in rows:
+        assert r.validated_cycles == 10
+        assert r.validation_probed + r.validation_fast_forwarded == 10
+        assert r.validation_clock_ms > 0
+        assert r.validation_signature is not None
+
+
+def test_validation_modes_agree_bit_for_bit():
+    fast = resilience_grid(
+        n=128, epochs=4, fail_epochs=(2,), mtbf_epochs=6.0,
+        validate_cycles=8, validate_mode="fast",
+    )
+    event = resilience_grid(
+        n=128, epochs=4, fail_epochs=(2,), mtbf_epochs=6.0,
+        validate_cycles=8, validate_mode="event",
+    )
+    for f, e in zip(fast, event):
+        assert f.scenario == e.scenario
+        assert f.validation_signature == e.validation_signature
+        assert e.validation_fast_forwarded == 0

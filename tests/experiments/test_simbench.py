@@ -1,0 +1,35 @@
+"""The fast-forward perf harness behind ``repro bench-sim``."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.experiments.simbench import run_sim_perf, sim_perf_payload, sim_perf_report
+
+
+@pytest.fixture(scope="module")
+def cmp():
+    return run_sim_perf(n=120, cycles=30, repeat=1, grid=False)
+
+
+def test_modes_agree_and_fast_skips(cmp):
+    event, fast = cmp.result("event"), cmp.result("fast")
+    assert cmp.parity_ok
+    assert event.clock_ms == fast.clock_ms
+    assert event.probed_cycles == 30 and event.fast_forwarded_cycles == 0
+    assert fast.probed_cycles == 2 and fast.fast_forwarded_cycles == 28
+    assert cmp.speedup > 1.0
+
+
+def test_report_and_payload_shapes(cmp):
+    text = sim_perf_report(cmp)
+    assert "sim perf" in text and "parity: ok" in text
+    payload = sim_perf_payload(cmp)
+    assert set(payload["modes"]) == {"event", "fast"}
+    assert payload["parity_ok"] is True
+    assert payload["speedup_fast_over_event"] == cmp.speedup
+    assert "grid" not in payload  # not requested
+
+
+def test_repeat_validation():
+    with pytest.raises(SimulationError):
+        run_sim_perf(repeat=0, grid=False)

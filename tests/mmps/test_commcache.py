@@ -1,0 +1,73 @@
+"""Tests for the per-route communication-round cache."""
+
+import pytest
+
+from repro.errors import MessagingError
+from repro.hardware.presets import paper_testbed
+from repro.mmps import MMPS, fragment_plan
+
+
+def _system():
+    network = paper_testbed()
+    return network, MMPS(network)
+
+
+def test_fragment_plan_closed_form():
+    assert fragment_plan(100, 1000) == (100,)
+    assert fragment_plan(1000, 1000) == (1000,)
+    assert fragment_plan(1001, 1000) == (1000, 1)
+    assert fragment_plan(3000, 1000) == (1000, 1000, 1000)
+    assert fragment_plan(0, 1000) == (0,)
+
+
+def test_fragment_plan_validates_arguments():
+    with pytest.raises(MessagingError):
+        fragment_plan(10, 0)
+    with pytest.raises(MessagingError):
+        fragment_plan(-1, 1000)
+
+
+def test_repeated_routes_hit_the_cache():
+    network, mmps = _system()
+    src, dst = network.processor(0), network.processor(1)
+    cache = mmps.comm_cache
+    first = cache.fragment_sizes(src, dst, 4096)
+    assert cache.misses > 0
+    misses_after_first = cache.misses
+    for _ in range(5):
+        assert cache.fragment_sizes(src, dst, 4096) == first
+    assert cache.misses == misses_after_first
+    assert cache.hits >= 5
+
+
+def test_cluster_keyed_routes_are_shared_between_node_pairs():
+    network, mmps = _system()
+    cluster = network.clusters[0]
+    a, b, c = cluster.processors[:3]
+    cache = mmps.comm_cache
+    cache.fragment_sizes(a, b, 2048)
+    misses = cache.misses
+    # A different pair of the same cluster shares the (cluster, cluster)
+    # route entry — no new miss.
+    cache.fragment_sizes(b, c, 2048)
+    assert cache.misses == misses
+
+
+def test_topology_revision_flushes_the_cache():
+    network, mmps = _system()
+    src, dst = network.processor(0), network.processor(1)
+    cache = mmps.comm_cache
+    plan = cache.fragment_sizes(src, dst, 4096)
+    assert cache._plans  # memoized
+    network.fabric.version += 1  # simulate a topology edit
+    assert cache.fragment_sizes(src, dst, 4096) == plan  # recomputed, equal
+    assert cache._fabric_version == network.fabric.version
+
+
+def test_round_datagrams_matches_plan_length():
+    network, mmps = _system()
+    src, dst = network.processor(0), network.processor(1)
+    mtu = mmps.comm_cache.path_mtu(src, dst)
+    assert mmps.comm_cache.round_datagrams(src, dst, 3 * mtu) == 3
+    assert mmps.comm_cache.round_datagrams(src, dst, 3 * mtu + 1) == 4
+    assert mmps.comm_cache.round_datagrams(src, dst, 0) == 1

@@ -1,0 +1,65 @@
+"""Regression: exact-MTU-multiple messages never grow a zero-byte trailer.
+
+Pinned on *message counts*: the datagrams a send actually puts on the wire
+must equal the closed-form ``ceil(nbytes / mtu)`` — one extra zero-byte
+fragment per message would cost a full datagram (plus its ack share) per
+cycle in steady state.
+"""
+
+import math
+
+from repro.hardware.presets import paper_testbed
+from repro.mmps import MMPS
+
+
+def _sent_datagrams(nbytes):
+    """End-to-end datagram count of one reliable same-segment send."""
+    network = paper_testbed()
+    mmps = MMPS(network)
+    src, dst = network.processor(0), network.processor(1)
+    sender, receiver = mmps.endpoint(src), mmps.endpoint(dst)
+
+    def tx():
+        yield from sender.send(dst, nbytes)
+
+    def rx():
+        yield from receiver.recv()
+
+    mmps.sim.process(rx(), name="rx")
+    mmps.sim.run_process(mmps.sim.process(tx(), name="tx"))
+    mmps.sim.run()
+    mtu = mmps.comm_cache.path_mtu(src, dst)
+    return sender.stats, mtu
+
+
+def test_fragment_counts_match_closed_form():
+    network = paper_testbed()
+    mmps = MMPS(network)
+    mtu = mmps.comm_cache.path_mtu(network.processor(0), network.processor(1))
+    for nbytes in (0, 1, mtu - 1, mtu, mtu + 1, 2 * mtu, 3 * mtu, 3 * mtu + 7):
+        stats, observed_mtu = _sent_datagrams(nbytes)
+        assert observed_mtu == mtu
+        expected = max(1, math.ceil(nbytes / mtu))
+        assert stats.datagrams_sent == expected, (
+            f"nbytes={nbytes}: sent {stats.datagrams_sent} datagrams, "
+            f"expected {expected} (mtu={mtu})"
+        )
+        assert stats.messages_sent == 1
+        assert stats.bytes_sent == nbytes
+
+
+def test_endpoint_fragments_never_contain_zero_payload():
+    network = paper_testbed()
+    mmps = MMPS(network)
+    src, dst = network.processor(0), network.processor(1)
+    ep = mmps.endpoint(src)
+    mtu = mmps.comm_cache.path_mtu(src, dst)
+    for nbytes in (mtu, 2 * mtu, 5 * mtu):
+        msg = ep._make_message(dst, nbytes, "", None)
+        frags = ep._fragments(msg)
+        assert all(f.nbytes > 0 for f in frags)
+        assert sum(f.nbytes for f in frags) == nbytes
+    # The lone exception: an empty message still takes one carrier datagram.
+    msg = ep._make_message(dst, 0, "", None)
+    frags = ep._fragments(msg)
+    assert len(frags) == 1 and frags[0].nbytes == 0

@@ -51,6 +51,45 @@ def test_sweep_preserves_order():
     ]
 
 
+_PRIMED = None
+
+
+def _prime(value="primed"):
+    global _PRIMED
+    _PRIMED = value
+
+
+def _read_primed(x):
+    return (_PRIMED, x)
+
+
+def test_sweep_serial_runs_initializer_exactly_once():
+    global _PRIMED
+    _PRIMED = None
+    calls = []
+
+    def counting():
+        calls.append(1)
+        _prime()
+
+    result = sweep(_read_primed, [(i,) for i in range(4)], initializer=counting)
+    assert result == [("primed", i) for i in range(4)]
+    assert len(calls) == 1  # once per process, and serial is one process
+
+
+def test_sweep_parallel_initializer_primes_every_worker():
+    global _PRIMED
+    _PRIMED = None
+    tasks = [(i,) for i in range(6)]
+    result = sweep(
+        _read_primed, tasks, workers=2, initializer=_prime, initargs=("shared",)
+    )
+    # Every cell saw initialized per-process state, regardless of which
+    # pool worker it landed on.
+    assert result == [("shared", i) for i in range(6)]
+    assert _PRIMED is None  # the parent process was never primed
+
+
 def test_parallel_sensitivity_matches_documented_contract():
     """Parallel levels reproduce for a fixed seed (per-level streams)."""
     from repro.experiments.sensitivity import sensitivity_analysis

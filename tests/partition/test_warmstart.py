@@ -1,0 +1,113 @@
+"""Warm-started repartition searches: identical decisions, fewer evaluations."""
+
+from repro.apps.stencil import stencil_computation
+from repro.experiments.paper import paper_cost_database
+from repro.hardware.presets import paper_testbed
+from repro.partition.available import gather_available_resources
+from repro.partition.heuristic import partition
+from repro.partition.runtime import PartitionRuntime, RuntimePolicy
+from repro.partition.warmstart import SearchCache
+from repro.sim.failures import FailureSchedule
+
+
+def _setting(n=512):
+    network = paper_testbed()
+    return network, stencil_computation(n, overlap=False, cycles=1), paper_cost_database()
+
+
+def test_identical_pool_hits_the_decision_cache():
+    network, comp, db = _setting()
+    cache = SearchCache()
+    resources = gather_available_resources(network)
+    first = partition(comp, resources, db, cache=cache)
+    assert first.evaluations == len(first.trace) > 0
+    repeat = partition(comp, gather_available_resources(network), db, cache=cache)
+    assert cache.decision_hits == 1
+    # Decision-cache hits search nothing: zero fresh evaluations, no trace.
+    assert repeat.evaluations == 0 and repeat.trace == ()
+    assert tuple(repeat.config.counts) == tuple(first.config.counts)
+    assert repeat.t_cycle_ms == first.t_cycle_ms
+
+
+def test_warm_search_after_node_loss_is_identical_but_cheaper():
+    network, comp, db = _setting()
+    cache = SearchCache()
+    first = partition(comp, gather_available_resources(network), db, cache=cache)
+
+    # A worker of the chosen decomposition dies; both a cold and a warm
+    # search re-decide on the survivors.
+    victim = first.config.processors()[1]
+    network.processor(victim.proc_id).fail()
+    survivors = gather_available_resources(network)
+
+    cold = partition(comp, survivors, db)
+    warm = partition(
+        comp, survivors, db, cache=cache, warm_start=first.counts_by_name()
+    )
+    assert tuple(warm.config.counts) == tuple(cold.config.counts)
+    assert tuple(warm.vector) == tuple(cold.vector)
+    assert warm.t_cycle_ms == cold.t_cycle_ms
+    # The acceptance criterion: strictly fewer fresh T_c evaluations.
+    assert 0 < warm.evaluations < cold.evaluations
+    assert warm.evaluations == len(warm.trace)
+
+
+def test_warm_decision_config_never_references_dead_nodes():
+    network, comp, db = _setting()
+    cache = SearchCache()
+    first = partition(comp, gather_available_resources(network), db, cache=cache)
+    victim = first.config.processors()[1]
+    network.processor(victim.proc_id).fail()
+    warm = partition(
+        comp,
+        gather_available_resources(network),
+        db,
+        cache=cache,
+        warm_start=first.counts_by_name(),
+    )
+    assert all(p.alive for p in warm.config.processors())
+    assert victim.proc_id not in {p.proc_id for p in warm.config.processors()}
+
+
+def test_runtime_decisions_identical_with_and_without_warm_start():
+    def run(warm_start):
+        network = paper_testbed()
+        _, comp, db = _setting()
+        runtime = PartitionRuntime(
+            network,
+            comp,
+            db,
+            policy=RuntimePolicy(warm_start=warm_start),
+            failures=FailureSchedule.fail_at(3, [network.clusters[0].processors[2].proc_id]),
+        )
+        return runtime.run(6)
+
+    warm, cold = run(True), run(False)
+    assert warm.answer == cold.answer
+    assert warm.final_vector == cold.final_vector
+    assert warm.final_proc_ids == cold.final_proc_ids
+    assert warm.elapsed_ms == cold.elapsed_ms
+    assert [e.to_record() for e in warm.audit] == [e.to_record() for e in cold.audit]
+
+
+def test_estimate_namespace_independent_of_availability_under_threshold_policy():
+    network, _, _ = _setting()
+    resources = gather_available_resources(network)
+    before = SearchCache.estimate_namespace(resources)
+    network.clusters[0].processors[3].fail()
+    after = SearchCache.estimate_namespace(gather_available_resources(network))
+    # Threshold policy: rates come from the spec, so estimates survive
+    # node loss — the namespace must not change.
+    assert before == after
+
+
+def test_decision_signature_tracks_the_exact_pool():
+    network, _, _ = _setting()
+    sig = SearchCache.availability_signature(
+        gather_available_resources(network), search="binary", startup_ms=0.0
+    )
+    network.clusters[0].processors[3].fail()
+    sig_after = SearchCache.availability_signature(
+        gather_available_resources(network), search="binary", startup_ms=0.0
+    )
+    assert sig != sig_after

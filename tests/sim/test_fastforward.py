@@ -1,0 +1,107 @@
+"""Bit-exact parity of the fast-forward engine against event-level runs."""
+
+import pytest
+
+from repro.apps.stencil import StencilCycleProgram
+from repro.errors import SimulationError
+from repro.hardware.presets import paper_testbed
+from repro.mmps import MMPS
+from repro.sim import FailureSchedule, FastForwardEngine
+
+
+def _program(n=60, p1=3, p2=0, overlap=False):
+    network = paper_testbed()
+    mmps = MMPS(network)
+    procs = list(network.cluster("sparc2"))[:p1] + list(network.cluster("ipc"))[:p2]
+    base, extra = divmod(n, p1 + p2)
+    vector = [base + (1 if r < extra else 0) for r in range(p1 + p2)]
+    program = StencilCycleProgram(mmps, procs, vector, n, overlap=overlap)
+    return mmps, program
+
+
+def _run(cycles, mode, *, overlap=False, failures=None, n=60, p1=3, p2=0):
+    mmps, program = _program(n=n, p1=p1, p2=p2, overlap=overlap)
+    engine = FastForwardEngine(mmps, failures=failures)
+    return engine.run(program, cycles, mode=mode)
+
+
+def test_sten1_parity_bit_exact():
+    event = _run(40, "event")
+    fast = _run(40, "fast")
+    assert fast.parity_signature() == event.parity_signature()
+    assert fast.clock_ms == event.clock_ms  # not approx: bitwise
+    assert event.probed_cycles == 40 and event.fast_forwarded_cycles == 0
+    assert fast.fast_forwarded_cycles > 0
+
+
+def test_sten2_parity_bit_exact():
+    event = _run(40, "event", overlap=True)
+    fast = _run(40, "fast", overlap=True)
+    assert fast.parity_signature() == event.parity_signature()
+    assert fast.fast_forwarded_cycles > 0
+
+
+def test_fast_mode_skips_most_cycles():
+    fast = _run(200, "fast")
+    # Two probes confirm the steady state; everything after is skipped.
+    assert fast.probed_cycles == 2
+    assert fast.fast_forwarded_cycles == 198
+    assert fast.windows and fast.windows[0][0] == 2
+
+
+def test_midstream_failure_forces_fallback_and_keeps_parity():
+    # Rank 1 dies at cycle 25 (epoch 25, one cycle per epoch): the engine
+    # must drop out of its steady-state window, re-probe the shrunken
+    # ring, and still match the pure event-level run bit for bit.
+    def victim():
+        network = paper_testbed()
+        return list(network.cluster("sparc2"))[1].proc_id
+
+    schedule = FailureSchedule.fail_at(25, [victim()])
+    event = _run(60, "event", failures=schedule)
+    fast = _run(60, "fast", failures=schedule)
+    assert fast.parity_signature() == event.parity_signature()
+    assert any(f.startswith("failure@25") for f in fast.fallbacks)
+    # Steady state is re-learned after the failure: a window on each side.
+    assert len(fast.windows) >= 2
+    assert fast.fast_forwarded_cycles > 0
+
+
+def test_failure_cycle_is_always_event_simulated():
+    schedule = FailureSchedule.fail_at(10, [paper_testbed().cluster("sparc2").processors[2].proc_id])
+    fast = _run(30, "fast", failures=schedule)
+    # No fast-forward window may cover the failure cycle.
+    for start, length in fast.windows:
+        assert not (start <= 10 < start + length)
+
+
+def test_heterogeneous_balanced_config_fast_forwards():
+    # 2 Sparc2 + 2 IPC with a rate-balanced vector: unequal per-PDU times
+    # are this configuration's steady state, not a triage trigger.
+    mmps, _ = None, None
+    network = paper_testbed()
+    mmps = MMPS(network)
+    procs = list(network.cluster("sparc2"))[:2] + list(network.cluster("ipc"))[:2]
+    program = StencilCycleProgram(mmps, procs, [20, 20, 10, 10], 60)
+    report = FastForwardEngine(mmps).run(program, 30, mode="fast")
+    assert report.fast_forwarded_cycles > 0
+
+
+def test_mode_and_cycle_validation():
+    mmps, program = _program()
+    engine = FastForwardEngine(mmps)
+    with pytest.raises(SimulationError):
+        engine.run(program, 10, mode="turbo")
+    with pytest.raises(SimulationError):
+        engine.run(program, 0)
+    with pytest.raises(SimulationError):
+        FastForwardEngine(mmps, cycles_per_epoch=0)
+
+
+def test_report_totals_match_event_run_counters():
+    event = _run(20, "event")
+    fast = _run(20, "fast")
+    for pid, totals in event.per_processor.items():
+        assert fast.per_processor[pid] == totals
+    for name, totals in event.per_segment.items():
+        assert fast.per_segment[name] == totals

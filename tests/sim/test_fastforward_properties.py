@@ -1,0 +1,66 @@
+"""Property tests for the fast-forward engine (hypothesis).
+
+The safety property the engine's triage gate guarantees: it never skips
+cycles a supervisor would want to observe.  Concretely — if the steady
+per-cycle measurements are ones
+:func:`~repro.partition.dynamic.classify_epoch` would triage (and the
+measured rebalance would act on), the engine must simulate every cycle at
+event level; if they are healthy, it must eventually fast-forward.  And in
+either case both modes must agree bit for bit.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.stencil import StencilCycleProgram
+from repro.hardware.presets import paper_testbed
+from repro.mmps import MMPS
+from repro.sim import FastForwardEngine
+
+#: Per-rank row counts over (up to 3 Sparc2) + (up to 2 IPC) ranks.
+_vectors = st.lists(st.integers(min_value=1, max_value=8), min_size=2, max_size=5)
+_ipc_ranks = st.integers(min_value=0, max_value=2)
+
+
+def _build(vector, ipc_ranks):
+    """A stencil cycle program over a mixed-cluster decomposition."""
+    network = paper_testbed()
+    mmps = MMPS(network)
+    ipc_ranks = min(ipc_ranks, len(vector) - 1)
+    sparc = len(vector) - ipc_ranks
+    procs = (
+        list(network.cluster("sparc2"))[:sparc]
+        + list(network.cluster("ipc"))[:ipc_ranks]
+    )
+    n = sum(vector)
+    return mmps, StencilCycleProgram(mmps, procs, list(vector), n)
+
+
+@settings(max_examples=25, deadline=None)
+@given(vector=_vectors, ipc_ranks=_ipc_ranks)
+def test_never_fast_forwards_what_a_supervisor_would_triage(vector, ipc_ranks):
+    # The steady delta is the cycle-0 delta: every canonical cycle of a
+    # fixed environment is identical, so one probe characterizes them all.
+    mmps, program = _build(vector, ipc_ranks)
+    engine = FastForwardEngine(mmps)
+    delta = engine._probe_cycle(program)
+    triage = engine._would_triage(delta, program)
+
+    mmps2, program2 = _build(vector, ipc_ranks)
+    report = FastForwardEngine(mmps2).run(program2, 12, mode="fast")
+    if triage is not None:
+        assert report.fast_forwarded_cycles == 0
+        assert report.probed_cycles == 12
+        assert any(f.startswith(triage) for f in report.fallbacks)
+    else:
+        assert report.fast_forwarded_cycles > 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(vector=_vectors, ipc_ranks=_ipc_ranks)
+def test_modes_agree_bitwise_on_arbitrary_decompositions(vector, ipc_ranks):
+    mmps_e, program_e = _build(vector, ipc_ranks)
+    event = FastForwardEngine(mmps_e).run(program_e, 8, mode="event")
+    mmps_f, program_f = _build(vector, ipc_ranks)
+    fast = FastForwardEngine(mmps_f).run(program_f, 8, mode="fast")
+    assert fast.parity_signature() == event.parity_signature()
