@@ -6,9 +6,11 @@ Usage::
     python benchmarks/check_perf_regression.py BASELINE.json CURRENT.json \
         [--factor 2.0] [--strict]
 
-Handles both committed payload schemas — ``BENCH_partition_perf.json``
-(scalar vs batch partition search) and ``BENCH_sim_perf.json``
-(fast-forward vs event-level simulation) — detected from the payload
+Handles the committed payload schemas — ``BENCH_partition_perf.json``
+(scalar vs batch partition search), ``BENCH_sim_perf.json``
+(fast-forward vs event-level simulation), and
+``BENCH_telemetry_overhead.json`` (telemetry hot-path cost vs the null
+registry) — detected from the payload
 shape.  Exits non-zero (and prints what moved) if the fresh benchmark
 record lost more than ``factor``x against the committed baseline — see
 :mod:`repro.benchmarking.perfgate` for exactly what is compared.
@@ -36,6 +38,7 @@ def main(argv=None) -> int:
     from repro.benchmarking.perfgate import (
         check_regression,
         check_sim_regression,
+        check_telemetry_regression,
         format_problems,
         payload_kind,
     )
@@ -48,7 +51,11 @@ def main(argv=None) -> int:
     if kinds[0] != kinds[1]:
         print(f"perf gate: payload kinds differ: {kinds[0]} vs {kinds[1]}")
         return 1
-    gate = check_sim_regression if kinds[0] == "sim" else check_regression
+    gate = {
+        "sim": check_sim_regression,
+        "telemetry": check_telemetry_regression,
+        "partition": check_regression,
+    }[kinds[0]]
     problems = gate(baseline, current, factor=args.factor, strict=args.strict)
     print(format_problems(problems))
     return 1 if problems else 0

@@ -1,0 +1,47 @@
+"""Bench: telemetry hot-path overhead guard.
+
+The instrumented subsystems (runtime, MMPS, fast-forward engine) leave
+their instrument handles in place even when telemetry is disabled, so the
+hot-path cost of both the null and the enabled registry is a standing
+performance liability.  This bench times counter ``inc`` / gauge ``set`` /
+histogram ``observe`` for both, asserts the enabled/null ratio stays under
+:data:`~repro.benchmarking.telemetrybench.OVERHEAD_BUDGET`, and commits
+the record to the repo root as ``BENCH_telemetry_overhead.json`` so
+``benchmarks/check_perf_regression.py`` can gate it across PRs.
+"""
+
+import json
+from pathlib import Path
+
+from repro.benchmarking.telemetrybench import (
+    run_overhead_bench,
+    telemetry_overhead_payload,
+    telemetry_overhead_report,
+)
+
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def test_enabled_registry_overhead_within_budget(benchmark, save_report):
+    result = benchmark.pedantic(run_overhead_bench, rounds=1, iterations=1)
+    save_report("telemetry_overhead.txt", telemetry_overhead_report(result))
+    payload = telemetry_overhead_payload(result)
+    (REPO_ROOT / "BENCH_telemetry_overhead.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    assert result.within_budget, (
+        f"enabled counter.inc() costs {result.overhead_ratio:.1f}x the null "
+        f"registry (budget {result.budget:g}x): "
+        f"{result.null_inc_ns:.0f} ns -> {result.enabled_inc_ns:.0f} ns"
+    )
+
+
+def test_null_registry_is_shared_and_inert():
+    """The no-op singletons must not accumulate state across callers."""
+    from repro.telemetry import NULL_REGISTRY
+
+    a = NULL_REGISTRY.counter("x")
+    b = NULL_REGISTRY.counter("y", domain="host")
+    assert a is b
+    a.inc(10**6)
+    assert NULL_REGISTRY.snapshot()["metrics"] == []

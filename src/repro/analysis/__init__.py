@@ -2,7 +2,7 @@
 
 An AST-based linter purpose-built for this reproduction (see
 docs/static-analysis.md): a rule registry, per-line ``# repro:
-noqa[rule-name]`` suppressions, text/JSON/SARIF reporters, and four
+noqa[rule-name]`` suppressions, text/JSON/SARIF reporters, and five
 paper-grounded rules:
 
 ``unit-consistency``
@@ -17,7 +17,11 @@ paper-grounded rules:
     through the injectable clock in simulation-critical code;
 ``engine-parity``
     numeric constants must not be duplicated between the scalar estimator
-    and the batch fastpath engines.
+    and the batch fastpath engines;
+``telemetry-determinism``
+    sim-critical code must record sim-domain (deterministic, clock-domain
+    verified) telemetry; host-domain instruments there need an explicit
+    suppression explaining why.
 
 Importing this package registers the built-in rules.
 """
@@ -45,6 +49,7 @@ from repro.analysis.reporters import (
     render_sarif,
     render_text,
 )
+from repro.analysis.telemetrycheck import TelemetryDeterminismRule
 from repro.analysis.unitcheck import UnitConsistencyRule, format_unit, name_unit
 
 __all__ = [
@@ -66,6 +71,7 @@ __all__ = [
     "CallbackPurityRule",
     "SimDeterminismRule",
     "EngineParityRule",
+    "TelemetryDeterminismRule",
     "format_unit",
     "name_unit",
 ]

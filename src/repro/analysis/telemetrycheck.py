@@ -1,0 +1,128 @@
+"""Rule ``telemetry-determinism``: sim-critical code records sim-domain.
+
+The telemetry subsystem (:mod:`repro.telemetry`) splits every instrument
+into one of two clock domains.  **Sim-domain** metrics describe simulated
+behaviour — messages sent, PDUs replayed, epochs triaged — and are part of
+the reproducibility contract: a fixed seed must yield a byte-identical
+sim-domain snapshot, and the fast-forward engine advances sim counters
+*exactly* across skipped steady-state windows.  **Host-domain** metrics
+describe execution mechanics — wall-clock timings, memo hit rates, cycles
+probed vs fast-forwarded — and legitimately differ between two runs that
+compute the same simulated result different ways.
+
+A host-domain instrument created inside the simulation-critical paths is
+therefore a red flag: either the author mislabelled simulated behaviour
+(breaking the determinism guarantee silently — snapshots diverge between
+engines while both runs "work"), or genuinely host-side bookkeeping has
+leaked into the simulation core.  Both deserve a human decision, recorded
+as a ``# repro: noqa[telemetry-determinism]`` suppression with the
+rationale alongside (the fast-forward engine's probed/skipped counters are
+the canonical example).
+
+The rule scans ``sim/``, ``partition/runtime.py``, and the telemetry
+package itself for:
+
+* ``.counter(...)`` / ``.gauge(...)`` / ``.histogram(...)`` calls passing
+  ``domain="host"``;
+* ``SpanRecorder(...)`` constructions passing ``domain="host"``;
+* any of the above passing a *non-literal* ``domain=`` — a domain the
+  rule cannot verify statically is treated as unproven, not innocent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.analysis.engine import Finding, ParsedModule, Project, Rule, register
+
+__all__ = ["TelemetryDeterminismRule"]
+
+#: Path fragments (posix) selecting the determinism-critical modules.
+SCOPE_FRAGMENTS: Tuple[str, ...] = (
+    "repro/sim/",
+    "repro/partition/runtime.py",
+    "repro/telemetry/",
+)
+
+#: Instrument-factory method names on a metrics registry.
+_FACTORIES = frozenset({"counter", "gauge", "histogram"})
+
+
+def _in_scope(relpath: str) -> bool:
+    return any(fragment in relpath for fragment in SCOPE_FRAGMENTS)
+
+
+def _domain_kwarg(node: ast.Call):
+    for kw in node.keywords:
+        if kw.arg == "domain":
+            return kw
+    return None
+
+
+@register
+class TelemetryDeterminismRule(Rule):
+    """Host-domain instruments in sim-critical code need explicit sign-off."""
+
+    name = "telemetry-determinism"
+    description = (
+        "In sim/, partition/runtime.py, and the telemetry package, flags "
+        "metric/span instruments declared domain='host' (or with a domain "
+        "that is not a string literal) — sim-critical code must record "
+        "deterministic sim-domain telemetry unless a noqa records why not."
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            if not _in_scope(module.relpath):
+                continue
+            yield from self._check_module(module)
+
+    def _check_module(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            kind = self._instrument_kind(node.func)
+            if kind is None:
+                continue
+            kw = _domain_kwarg(node)
+            if kw is None:
+                continue  # domain defaults to "sim"
+            if isinstance(kw.value, ast.Constant) and isinstance(kw.value.value, str):
+                if kw.value.value == "host":
+                    yield self._finding(
+                        module,
+                        node,
+                        f"host-domain {kind} in simulation-critical code: "
+                        f"sim-domain snapshots must be byte-reproducible and "
+                        f"engine-independent; if this really measures "
+                        f"execution mechanics, suppress with "
+                        f"'# repro: noqa[{self.name}]' and say why",
+                    )
+            else:
+                yield self._finding(
+                    module,
+                    node,
+                    f"{kind} domain is not a string literal, so the clock-"
+                    f"domain split cannot be verified statically; pass "
+                    f"domain='sim' or domain='host' directly",
+                )
+
+    def _instrument_kind(self, func: ast.expr):
+        """'counter'/'gauge'/'histogram', 'span recorder', or None."""
+        if isinstance(func, ast.Attribute) and func.attr in _FACTORIES:
+            return func.attr
+        if isinstance(func, ast.Name) and func.id == "SpanRecorder":
+            return "span recorder"
+        if isinstance(func, ast.Attribute) and func.attr == "SpanRecorder":
+            return "span recorder"
+        return None
+
+    def _finding(self, module: ParsedModule, node: ast.Call, message: str) -> Finding:
+        return Finding(
+            path=module.relpath,
+            line=node.lineno,
+            col=node.col_offset + 1,
+            rule=self.name,
+            message=message,
+        )

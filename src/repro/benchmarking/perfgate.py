@@ -30,7 +30,19 @@ event-level engine benchmark from ``benchmarks/test_bench_sim_perf.py``):
 * **throughput collapse** (``strict=True`` only) — absolute ``cycles_per_s``
   per mode.
 
-:func:`payload_kind` distinguishes the two schemas so CI can gate whichever
+``BENCH_telemetry_overhead.json`` (:func:`check_telemetry_regression`, the
+telemetry hot-path micro-benchmark from
+``benchmarks/test_bench_telemetry_overhead.py``):
+
+* **budget breach** — the enabled/null counter-inc ratio exceeding the
+  payload's committed budget always fails; the ratio is within-run, so it
+  transfers across machines;
+* **ratio regression** — the ratio growing beyond ``factor``x against the
+  committed baseline;
+* **absolute cost collapse** (``strict=True`` only) — enabled
+  ``inc()`` nanoseconds per op against the baseline machine's.
+
+:func:`payload_kind` distinguishes the schemas so CI can gate whichever
 payload it is handed.
 """
 
@@ -41,13 +53,16 @@ from typing import Any
 __all__ = [
     "check_regression",
     "check_sim_regression",
+    "check_telemetry_regression",
     "payload_kind",
     "format_problems",
 ]
 
 
 def payload_kind(payload: dict[str, Any]) -> str:
-    """``"partition"`` or ``"sim"``, keyed on the schema's top-level shape."""
+    """``"partition"``/``"sim"``/``"telemetry"``, keyed on the schema shape."""
+    if "telemetry_overhead" in payload:
+        return "telemetry"
     return "sim" if "modes" in payload else "partition"
 
 
@@ -140,6 +155,43 @@ def check_sim_regression(
                     f"grid fast/event speedup regressed >{factor:g}x: "
                     f"{base_grid['speedup']:.1f}x -> {cur_grid['speedup']:.1f}x"
                 )
+    return problems
+
+
+def check_telemetry_regression(
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    *,
+    factor: float = 2.0,
+    strict: bool = False,
+) -> list[str]:
+    """Problems in a ``BENCH_telemetry_overhead.json`` payload (empty = pass)."""
+    if factor <= 1.0:
+        raise ValueError(f"factor must exceed 1.0, got {factor}")
+    problems: list[str] = []
+    cur = current.get("telemetry_overhead")
+    if cur is None:
+        return ["telemetry_overhead missing from current payload"]
+    ratio, budget = cur["overhead_ratio"], cur["budget"]
+    if ratio > budget:
+        problems.append(
+            f"enabled/null hot-path ratio over budget: "
+            f"{ratio:.2f}x > {budget:g}x"
+        )
+    base = baseline.get("telemetry_overhead")
+    if base is None:
+        problems.append("telemetry_overhead missing from baseline payload")
+        return problems
+    if ratio > base["overhead_ratio"] * factor:
+        problems.append(
+            f"enabled/null hot-path ratio regressed >{factor:g}x: "
+            f"{base['overhead_ratio']:.2f}x -> {ratio:.2f}x"
+        )
+    if strict and cur["enabled_inc_ns"] > base["enabled_inc_ns"] * factor:
+        problems.append(
+            f"enabled inc() cost regressed >{factor:g}x: "
+            f"{base['enabled_inc_ns']:.0f} -> {cur['enabled_inc_ns']:.0f} ns/op"
+        )
     return problems
 
 

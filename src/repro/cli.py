@@ -127,6 +127,26 @@ def _bench_partition(args) -> str:
             json.dump(perf_payload(cmp), fh, indent=2)
             fh.write("\n")
         text += f"\n\n[json written to {args.json}]"
+    if getattr(args, "metrics_out", None):
+        from repro.telemetry import MetricsRegistry, Telemetry
+
+        tel = Telemetry(metrics=MetricsRegistry())
+        # Bench figures are wall-clock measurements: host domain.
+        for r in cmp.results:
+            prefix = f"bench.partition.{r.engine}"
+            tel.metrics.gauge(f"{prefix}.best_wall_s", domain="host").set(r.best_wall_s)
+            tel.metrics.gauge(f"{prefix}.configs_per_s", domain="host").set(
+                r.configs_per_s
+            )
+            tel.metrics.gauge(f"{prefix}.configs_evaluated", domain="host").set(
+                r.configs_evaluated
+            )
+        if cmp.speedup is not None:
+            tel.metrics.gauge(
+                "bench.partition.speedup_batch_over_scalar", domain="host"
+            ).set(cmp.speedup)
+        tel.dump(args.metrics_out, meta={"command": "bench-partition"})
+        text += f"\n[metrics written to {args.metrics_out}]"
     return text
 
 
@@ -136,20 +156,35 @@ def _run_dynamic(args) -> str:
     from repro.apps.stencil import stencil_computation
     from repro.experiments.paper import paper_cost_database
     from repro.hardware.presets import paper_testbed
-    from repro.partition.runtime import PartitionRuntime, RuntimePolicy
+    from repro.partition.runtime import ManualClock, PartitionRuntime, RuntimePolicy
     from repro.sim.failures import FailureSchedule
 
-    def supervised(failures=None):
+    metrics_out = getattr(args, "metrics_out", None)
+
+    def supervised(failures=None, instrument=False):
+        from repro.telemetry import Telemetry
+
+        clock = ManualClock()
+        tel = (
+            Telemetry.for_sim(lambda: clock.now)
+            if (instrument and metrics_out)
+            else None
+        )
         runtime = PartitionRuntime(
             paper_testbed(),
             stencil_computation(args.n, overlap=False, cycles=1),
             paper_cost_database(),
             policy=RuntimePolicy(imbalance_threshold=args.threshold),
+            clock=clock,
             failures=failures,
+            telemetry=tel,
         )
-        return runtime.run(args.epochs)
+        return runtime.run(args.epochs), tel, clock
 
-    clean = supervised()
+    # Metrics instrument the run being studied: the faulty run when a
+    # failure schedule is requested, otherwise the clean run itself.
+    will_inject = args.fail_at is not None or args.mtbf is not None
+    clean, tel, clock = supervised(instrument=not will_inject)
     schedule = None
     if args.fail_at is not None:
         # Default victim: the second rank of the bootstrap decomposition —
@@ -174,7 +209,7 @@ def _run_dynamic(args) -> str:
         lines.append("no failure schedule (use --fail-at or --mtbf)")
         result = clean
     else:
-        result = supervised(failures=schedule)
+        result, tel, clock = supervised(failures=schedule, instrument=True)
         parity = "ok" if result.answer == clean.answer else "BROKEN"
         lines += [
             f"failures: {[(e.at_epoch, e.proc_id) for e in schedule.events]}",
@@ -191,11 +226,41 @@ def _run_dynamic(args) -> str:
         ]
         if result.answer != clean.answer:
             raise SystemExit("\n".join(lines))
+    if args.validate_cycles:
+        from repro.experiments.resilience import validate_decomposition
+
+        report = validate_decomposition(
+            result.final_proc_ids,
+            result.final_vector,
+            args.n,
+            args.validate_cycles,
+            mode=args.engine,
+            telemetry=tel,
+        )
+        lines.append(
+            f"validation ({args.engine}): {report.cycles} cycles, "
+            f"probed={report.probed_cycles} "
+            f"fast_forwarded={report.fast_forwarded_cycles} "
+            f"clock={report.clock_ms:.2f} ms"
+        )
     if args.audit_json:
         with open(args.audit_json, "w") as fh:
             json.dump(result.audit.to_records(), fh, indent=2)
             fh.write("\n")
         lines.append(f"[audit trail written to {args.audit_json}]")
+    if metrics_out:
+        tel.dump(
+            metrics_out,
+            stamp=clock.now,
+            meta={
+                "command": "run-dynamic",
+                "n": args.n,
+                "epochs": args.epochs,
+                "engine": args.engine,
+                "validate_cycles": args.validate_cycles,
+            },
+        )
+        lines.append(f"[metrics written to {metrics_out}]")
     return "\n".join(lines)
 
 
@@ -225,7 +290,12 @@ def _lint(args) -> tuple:
 def _resilience(args) -> str:
     from repro.experiments import resilience_report
 
-    return resilience_report(
+    tel = None
+    if getattr(args, "metrics_out", None):
+        from repro.telemetry import MetricsRegistry, Telemetry
+
+        tel = Telemetry(metrics=MetricsRegistry())
+    text = resilience_report(
         n=args.n,
         epochs=args.epochs,
         mtbf_epochs=args.mtbf,
@@ -233,7 +303,12 @@ def _resilience(args) -> str:
         workers=getattr(args, "workers", None),
         validate_cycles=args.validate_cycles,
         validate_mode=args.validate_mode,
+        telemetry=tel,
     )
+    if tel is not None:
+        tel.dump(args.metrics_out, meta={"command": "resilience"})
+        text += f"\n[metrics written to {args.metrics_out}]"
+    return text
 
 
 def _bench_sim(args) -> str:
@@ -262,7 +337,42 @@ def _bench_sim(args) -> str:
             json.dump(sim_perf_payload(cmp), fh, indent=2)
             fh.write("\n")
         text += f"\n\n[json written to {args.json}]"
+    if getattr(args, "metrics_out", None):
+        from repro.telemetry import MetricsRegistry, Telemetry
+
+        tel = Telemetry(metrics=MetricsRegistry())
+        payload = sim_perf_payload(cmp)
+        # Bench figures are wall-clock measurements: host domain.
+        for mode, row in payload["modes"].items():
+            prefix = f"bench.sim.{mode}"
+            tel.metrics.gauge(f"{prefix}.best_wall_s", domain="host").set(
+                row["best_wall_s"]
+            )
+            tel.metrics.gauge(f"{prefix}.probed_cycles", domain="host").set(
+                row["probed_cycles"]
+            )
+            tel.metrics.gauge(f"{prefix}.fast_forwarded_cycles", domain="host").set(
+                row["fast_forwarded_cycles"]
+            )
+        tel.metrics.gauge("bench.sim.parity_ok", domain="host").set(
+            int(payload["parity_ok"])
+        )
+        if payload.get("speedup_fast_over_event") is not None:
+            tel.metrics.gauge("bench.sim.speedup_fast_over_event", domain="host").set(
+                payload["speedup_fast_over_event"]
+            )
+        tel.dump(args.metrics_out, meta={"command": "bench-sim"})
+        text += f"\n[metrics written to {args.metrics_out}]"
     return text
+
+
+def _metrics_summary(args) -> str:
+    from repro.telemetry import prometheus_text, read_jsonl, summary_table
+
+    data = read_jsonl(args.file)
+    if args.format == "prom":
+        return prometheus_text(data["metrics"]).rstrip("\n")
+    return summary_table(data)
 
 
 def _all(args) -> str:
@@ -370,6 +480,11 @@ def build_parser() -> argparse.ArgumentParser:
     p12.add_argument(
         "--json", metavar="FILE", help="also write the machine-readable record to FILE"
     )
+    p12.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write headline gauges as a telemetry JSONL export",
+    )
     p12.set_defaults(func=_bench_partition)
 
     p13 = sub.add_parser(
@@ -408,6 +523,26 @@ def build_parser() -> argparse.ArgumentParser:
     p13.add_argument(
         "--audit-json", metavar="FILE", help="write the audit trail to FILE"
     )
+    p13.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write metrics + spans of the studied run as telemetry JSONL",
+    )
+    p13.add_argument(
+        "--validate-cycles",
+        type=int,
+        default=0,
+        metavar="CYCLES",
+        help="also event-execute the final decomposition for CYCLES stencil "
+        "cycles at message-system fidelity (default: off)",
+    )
+    p13.add_argument(
+        "--engine",
+        choices=("fast", "event"),
+        default="fast",
+        help="validation engine: fast-forward confirmed steady-state "
+        "windows, or event-simulate every cycle",
+    )
     p13.set_defaults(func=_run_dynamic)
 
     p14 = sub.add_parser(
@@ -430,6 +565,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("fast", "event"),
         default="fast",
         help="fast-forward confirmed steady-state cycles, or simulate all",
+    )
+    p14.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write the grid's summary gauges as a telemetry JSONL export",
     )
     _add_workers_flag(p14)
     p14.set_defaults(func=_resilience)
@@ -454,8 +594,26 @@ def build_parser() -> argparse.ArgumentParser:
     p16.add_argument(
         "--json", metavar="FILE", help="also write the machine-readable record to FILE"
     )
+    p16.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write headline gauges as a telemetry JSONL export",
+    )
     _add_workers_flag(p16)
     p16.set_defaults(func=_bench_sim)
+
+    p17 = sub.add_parser(
+        "metrics-summary",
+        help="render a telemetry JSONL export (from --metrics-out)",
+    )
+    p17.add_argument("file", metavar="FILE", help="telemetry JSONL export to read")
+    p17.add_argument(
+        "--format",
+        choices=("table", "prom"),
+        default="table",
+        help="human table, or Prometheus text exposition (default: table)",
+    )
+    p17.set_defaults(func=_metrics_summary)
 
     p15 = sub.add_parser(
         "lint",
@@ -467,7 +625,9 @@ def build_parser() -> argparse.ArgumentParser:
             "annotation callbacks must be pure/deterministic), sim-determinism "
             "(entropy via sim/rng.py named streams, time via injectable clocks), "
             "engine-parity (no constants duplicated between the scalar and batch "
-            "cost engines). Suppress one line with '# repro: noqa[rule-name]'. "
+            "cost engines), telemetry-determinism (sim-critical code records "
+            "sim-domain metrics/spans only). "
+            "Suppress one line with '# repro: noqa[rule-name]'. "
             "Exits 1 when findings remain, 0 on a clean tree."
         ),
     )

@@ -130,6 +130,7 @@ def validate_decomposition(
     cycles: int,
     *,
     mode: str = "fast",
+    telemetry=None,
 ) -> FastForwardReport:
     """Event-execute a decomposition for ``cycles`` stencil cycles.
 
@@ -139,13 +140,17 @@ def validate_decomposition(
     not just in the closed-form epoch model.  ``mode="fast"`` lets the
     :class:`~repro.sim.fastforward.FastForwardEngine` skip confirmed
     steady-state cycles; ``mode="event"`` simulates every cycle.  Both
-    yield the identical parity signature.
+    yield the identical parity signature — and, when a ``telemetry``
+    bundle is passed, bit-identical sim-domain counter values (MMPS
+    transport counters are advanced exactly across skipped windows).
     """
     network = paper_testbed()
-    mmps = MMPS(network)
+    mmps = MMPS(
+        network, metrics=telemetry.metrics if telemetry is not None else None
+    )
     processors = [network.processor(pid) for pid in proc_ids]
     program = StencilCycleProgram(mmps, processors, list(vector), n)
-    engine = FastForwardEngine(mmps)
+    engine = FastForwardEngine(mmps, telemetry=telemetry)
     return engine.run(program, cycles, mode=mode)
 
 
@@ -285,8 +290,15 @@ def resilience_report(
     workers: Optional[int] = None,
     validate_cycles: int = 0,
     validate_mode: str = "fast",
+    telemetry=None,
 ) -> str:
-    """ASCII grid; raises if any scenario breaks answer parity."""
+    """ASCII grid; raises if any scenario breaks answer parity.
+
+    ``telemetry`` (a :class:`~repro.telemetry.Telemetry` bundle) gets the
+    grid's summary gauges — scenario counts and recovery totals.  Rows run
+    in worker processes, so per-row instruments cannot stream into the
+    parent registry; the aggregates are what the grid exports.
+    """
     rows = resilience_grid(
         n=n,
         epochs=epochs,
@@ -298,6 +310,27 @@ def resilience_report(
         validate_mode=validate_mode,
     )
     broken = [r.scenario for r in rows if not r.answer_parity]
+    if telemetry is not None:
+        m = telemetry.metrics
+        m.gauge("resilience.scenarios", help="failure scenarios run").set(len(rows))
+        m.gauge("resilience.parity_broken", help="scenarios with a wrong answer").set(
+            len(broken)
+        )
+        m.gauge("resilience.repartitions", help="repartitions across the grid").set(
+            sum(r.repartitions for r in rows)
+        )
+        m.gauge("resilience.moved_pdus", help="PDUs moved across the grid").set(
+            sum(r.moved_pdus for r in rows)
+        )
+        m.gauge("resilience.replayed_pdus", help="PDUs replayed across the grid").set(
+            sum(r.replayed_pdus for r in rows)
+        )
+        m.gauge("resilience.gather_retries", help="gather retries across the grid").set(
+            sum(r.gather_retries for r in rows)
+        )
+        m.gauge(
+            "resilience.validated_cycles", help="event-validated cycles across the grid"
+        ).set(sum(r.validated_cycles for r in rows))
     table = format_table(
         [
             "scenario",

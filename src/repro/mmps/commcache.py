@@ -73,6 +73,15 @@ class CommRoundCache:
         self._fabric_version = mmps.network.fabric.version
         self.hits = 0
         self.misses = 0
+        # Memo traffic is host-domain: it reflects cache state (how the
+        # run computed), not simulated behaviour — a fast-forwarded run
+        # legitimately takes fewer hits than an event-stepped one.
+        self._m_hits = mmps.metrics.counter(
+            "mmps.commcache.hits", domain="host", help="fragment-plan memo hits"
+        )
+        self._m_misses = mmps.metrics.counter(
+            "mmps.commcache.misses", domain="host", help="fragment-plan memo misses"
+        )
 
     def _fresh(self) -> None:
         version = self._mmps.network.fabric.version
@@ -92,10 +101,12 @@ class CommRoundCache:
         mtu = self._mtus.get(key)
         if mtu is None:
             self.misses += 1
+            self._m_misses.inc()
             mtu = self._mmps._path_payload_mtu(src, dst)
             self._mtus[key] = mtu
         else:
             self.hits += 1
+            self._m_hits.inc()
         return mtu
 
     def fragment_sizes(self, src: Processor, dst: Processor, nbytes: int) -> tuple[int, ...]:
@@ -105,10 +116,12 @@ class CommRoundCache:
         plan = self._plans.get(key)
         if plan is None:
             self.misses += 1
+            self._m_misses.inc()
             plan = fragment_plan(nbytes, self.path_mtu(src, dst))
             self._plans[key] = plan
         else:
             self.hits += 1
+            self._m_hits.inc()
         return plan
 
     def round_datagrams(self, src: Processor, dst: Processor, nbytes: int) -> int:

@@ -30,6 +30,7 @@ from repro.mmps.message import Datagram, Message
 from repro.mmps.params import HostCostParams
 from repro.sim import Event, Store
 from repro.sim.process import ProcessGenerator
+from repro.telemetry import NULL_REGISTRY
 
 __all__ = ["MMPS", "Endpoint", "EndpointStats", "MMPS_HEADER_BYTES"]
 
@@ -66,6 +67,12 @@ class MMPS:
     reliable:
         When ``True`` (MMPS semantics), messages are acked and retransmitted;
         ``False`` gives raw datagram best-effort delivery.
+    metrics:
+        Optional :class:`~repro.telemetry.MetricsRegistry`.  Transport
+        counters (messages, bytes, datagrams, acks, retransmissions,
+        losses) are **sim-domain** integers — what the simulated protocol
+        did — so the fast-forward engine can advance them exactly across
+        skipped steady-state cycles (see :mod:`repro.sim.fastforward`).
     """
 
     def __init__(
@@ -76,6 +83,7 @@ class MMPS:
         coercion: Optional[CoercionPolicy] = None,
         loss_rate: float = 0.0,
         reliable: bool = True,
+        metrics=None,
     ) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
@@ -89,6 +97,16 @@ class MMPS:
         self._loss_rng = network.streams.get("mmps.loss")
         self.datagrams_lost = 0
         self._dead: set[int] = set()
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        m = self.metrics
+        self._m_messages_sent = m.counter("mmps.messages_sent", help="messages delivered with assurance")
+        self._m_messages_received = m.counter("mmps.messages_received", help="messages received")
+        self._m_bytes_sent = m.counter("mmps.bytes_sent", help="payload bytes sent")
+        self._m_bytes_received = m.counter("mmps.bytes_received", help="payload bytes received")
+        self._m_datagrams_sent = m.counter("mmps.datagrams_sent", help="data datagrams put on the wire")
+        self._m_acks_sent = m.counter("mmps.acks_sent", help="acknowledgement datagrams sent")
+        self._m_retransmissions = m.counter("mmps.retransmissions", help="retransmission rounds")
+        self._m_datagrams_lost = m.counter("mmps.datagrams_lost", help="datagrams dropped (loss or dead host)")
         #: Memoized per-route MTUs and fragment plans; steady-state cycles
         #: resend identical (route, size) messages, so fragmentation becomes
         #: a dict hit instead of a route resolution per message.
@@ -155,6 +173,7 @@ class MMPS:
             # A crashed endpoint neither transmits nor receives; the frame
             # never reaches the wire (or falls off it at the dead NIC).
             self.datagrams_lost += 1
+            self._m_datagrams_lost.inc()
             self.network.tracer.record(
                 "mmps", "dead-drop", msg_id=dgram.msg_id, src=dgram.src, dst=dgram.dst
             )
@@ -162,6 +181,7 @@ class MMPS:
         yield from self.network.transfer_frame(src, dst, dgram.nbytes + MMPS_HEADER_BYTES)
         if self.loss_rate > 0.0 and float(self._loss_rng.random()) < self.loss_rate:
             self.datagrams_lost += 1
+            self._m_datagrams_lost.inc()
             self.network.tracer.record(
                 "mmps", "drop", msg_id=dgram.msg_id, frag=dgram.frag_index
             )
@@ -287,6 +307,7 @@ class Endpoint:
                 # One NIC: fragments leave the host serially.
                 yield from self.mmps._transmit_datagram(dgram)
                 self.stats.datagrams_sent += 1
+                self.mmps._m_datagrams_sent.inc()
             if not self.mmps.reliable or ack_event is None:
                 break
             if ack_event.triggered:
@@ -297,12 +318,15 @@ class Endpoint:
                 break
             attempt += 1
             self.stats.retransmissions += 1
+            self.mmps._m_retransmissions.inc()
             if attempt > costs.max_retries:
                 self._ack_events.pop(msg.msg_id, None)
                 raise PeerUnreachableError(msg.msg_id, msg.dst, attempt)
         self._ack_events.pop(msg.msg_id, None)
         self.stats.messages_sent += 1
         self.stats.bytes_sent += msg.nbytes
+        self.mmps._m_messages_sent.inc()
+        self.mmps._m_bytes_sent.inc(msg.nbytes)
         return msg
 
     # -- receiving --------------------------------------------------------------
@@ -332,6 +356,8 @@ class Endpoint:
         yield self.sim.timeout(cost)
         self.stats.messages_received += 1
         self.stats.bytes_received += msg.nbytes
+        self.mmps._m_messages_received.inc()
+        self.mmps._m_bytes_received.inc(msg.nbytes)
         return msg
 
     def irecv(self, src: Optional[Processor] = None, tag: Optional[str] = None):
@@ -402,6 +428,7 @@ class Endpoint:
             is_ack=True,
         )
         self.stats.acks_sent += 1
+        self.mmps._m_acks_sent.inc()
         self.sim.process(self.mmps._transmit_datagram(ack), name=f"ack:{dgram.msg_id}")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -29,6 +29,7 @@ from repro.model.vector import PartitionVector
 from repro.partition.available import ClusterResources
 from repro.partition.config import ProcessorConfiguration
 from repro.partition.estimator import CycleEstimate, CycleEstimator
+from repro.telemetry import NULL_REGISTRY
 
 __all__ = [
     "PartitionDecision",
@@ -120,6 +121,7 @@ def partition(
     search: str = "binary",
     cache=None,
     warm_start: Optional[dict[str, int]] = None,
+    metrics=None,
 ) -> PartitionDecision:
     """Run the paper's heuristic; returns the chosen decision.
 
@@ -154,9 +156,32 @@ def partition(
         falls back to the full binary search when it is not.  Under the
         paper's unimodality premise (Fig 3) the accepted count equals the
         binary search's answer exactly.
+    metrics:
+        Optional :class:`~repro.telemetry.MetricsRegistry`.  Search
+        mechanics (evaluations, memo hits, warm-seed acceptances) are
+        **host-domain**: they describe how the search ran, not what it
+        decided, and legitimately differ between warm and cold runs that
+        return identical decisions.
     """
     if search not in ("binary", "scan"):
         raise PartitionError(f"unknown search mode {search!r}")
+    registry = metrics if metrics is not None else NULL_REGISTRY
+    m_searches = registry.counter(
+        "partition.searches", domain="host", help="heuristic searches that ran"
+    )
+    m_evaluations = registry.counter(
+        "partition.evaluations", domain="host", help="fresh T_c evaluations"
+    )
+    m_decision_hits = registry.counter(
+        "partition.cache.decision_hits",
+        domain="host",
+        help="decisions served whole from the warm-start cache",
+    )
+    m_warm_accepted = registry.counter(
+        "partition.warm_seeds_accepted",
+        domain="host",
+        help="clusters whose previous count was still the local minimum",
+    )
     probe_kind = computation.dominant_computation_phase().op_kind
     ordered = (
         list(cluster_order)
@@ -174,8 +199,10 @@ def partition(
         if hit is not None:
             # Same schedulable pool as a previous epoch: the decision is
             # necessarily identical; report zero fresh search work.
+            m_decision_hits.inc()
             return replace(hit, evaluations=0, trace=())
         cache.searches += 1
+    m_searches.inc()
     estimator = CycleEstimator(
         computation,
         cost_db,
@@ -228,6 +255,7 @@ def partition(
                 right_ok = p0 == hi or at <= cost_with(k, p0 + 1)
                 if left_ok and right_ok:
                     best_p = p0
+                    m_warm_accepted.inc()
         if best_p is None:
             best_p = argmin(lambda p: cost_with(k, p), lo, hi)
         counts[k] = best_p
@@ -255,6 +283,7 @@ def partition(
         method=f"heuristic-{search}",
         trace=tuple(trace),
     )
+    m_evaluations.inc(decision.evaluations)
     if cache is not None and signature is not None:
         cache.store_decision(signature, decision)
     return decision

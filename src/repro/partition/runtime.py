@@ -53,6 +53,7 @@ from repro.partition.dynamic import (
 from repro.partition.heuristic import PartitionDecision, partition
 from repro.partition.warmstart import SearchCache
 from repro.sim.failures import FailureSchedule
+from repro.telemetry import NULL_TELEMETRY, Span, SpanRecorder, Telemetry
 from repro.units import ops_time_ms
 
 __all__ = [
@@ -120,39 +121,101 @@ class RuntimePolicy:
     warm_start: bool = True
 
 
-@dataclass(frozen=True)
 class AuditEvent:
-    """One structured entry of the runtime's decision audit trail."""
+    """One structured entry of the runtime's decision audit trail.
 
-    epoch: int  #: epoch index the decision was taken at (-1 = bootstrap)
-    trigger: str  #: "bootstrap" | "node-loss" | "slowdown"
-    old_config: Optional[dict[str, int]]  #: cluster -> processor count
-    new_config: dict[str, int]
-    old_vector: Optional[tuple[int, ...]]  #: per-rank PDU counts
-    new_vector: tuple[int, ...]
-    moved_pdus: int  #: PDUs changing owner under the transfer plan
-    replayed_pdus: int  #: PDUs re-executed because their owner died mid-epoch
-    retries: dict[str, int]  #: gather retries per cluster (beyond first try)
-    lost_clusters: tuple[str, ...]  #: clusters dropped by the degraded sweep
-    dead_ranks: tuple[int, ...]  #: ranks whose nodes were declared dead
-    t_ms: float  #: clock time the decision completed at
+    The trail is a *consumer* of the telemetry span stream: the supervisor
+    records each decision as one ``runtime.audit`` span event whose attrs
+    ARE the audit-JSON record (already JSON-ready — plain dicts, lists,
+    ``None``), and this class is a typed read-only view over that span.
+    One serialization path; the audit schema keys are unchanged from the
+    pre-telemetry trail (pinned by the golden-file test).
+    """
+
+    __slots__ = ("span",)
+
+    #: The audit-JSON schema, in serialization order.
+    KEYS = (
+        "epoch", "trigger", "old_config", "new_config", "old_vector",
+        "new_vector", "moved_pdus", "replayed_pdus", "retries",
+        "lost_clusters", "dead_ranks", "t_ms",
+    )
+
+    def __init__(self, span: Span) -> None:
+        self.span = span
+
+    # -- typed accessors (tuples/dicts as the pre-span trail exposed them) --------
+
+    @property
+    def epoch(self) -> int:
+        """Epoch index the decision was taken at (-1 = bootstrap)."""
+        return self.span.attrs["epoch"]
+
+    @property
+    def trigger(self) -> str:
+        """``"bootstrap" | "node-loss" | "slowdown"``."""
+        return self.span.attrs["trigger"]
+
+    @property
+    def old_config(self) -> Optional[dict[str, int]]:
+        """Cluster -> processor count before the decision."""
+        value = self.span.attrs["old_config"]
+        return dict(value) if value is not None else None
+
+    @property
+    def new_config(self) -> dict[str, int]:
+        return dict(self.span.attrs["new_config"])
+
+    @property
+    def old_vector(self) -> Optional[tuple[int, ...]]:
+        """Per-rank PDU counts before the decision."""
+        value = self.span.attrs["old_vector"]
+        return tuple(value) if value is not None else None
+
+    @property
+    def new_vector(self) -> tuple[int, ...]:
+        return tuple(self.span.attrs["new_vector"])
+
+    @property
+    def moved_pdus(self) -> int:
+        """PDUs changing owner under the transfer plan."""
+        return self.span.attrs["moved_pdus"]
+
+    @property
+    def replayed_pdus(self) -> int:
+        """PDUs re-executed because their owner died mid-epoch."""
+        return self.span.attrs["replayed_pdus"]
+
+    @property
+    def retries(self) -> dict[str, int]:
+        """Gather retries per cluster (beyond the first try)."""
+        return dict(self.span.attrs["retries"])
+
+    @property
+    def lost_clusters(self) -> tuple[str, ...]:
+        """Clusters dropped by the degraded sweep."""
+        return tuple(self.span.attrs["lost_clusters"])
+
+    @property
+    def dead_ranks(self) -> tuple[int, ...]:
+        """Ranks whose nodes were declared dead."""
+        return tuple(self.span.attrs["dead_ranks"])
+
+    @property
+    def t_ms(self) -> float:
+        """Clock time the decision completed at."""
+        return self.span.attrs["t_ms"]
 
     def to_record(self) -> dict[str, Any]:
-        """A JSON-serializable plain-dict form (the audit-trail schema)."""
-        return {
-            "epoch": self.epoch,
-            "trigger": self.trigger,
-            "old_config": dict(self.old_config) if self.old_config else None,
-            "new_config": dict(self.new_config),
-            "old_vector": list(self.old_vector) if self.old_vector else None,
-            "new_vector": list(self.new_vector),
-            "moved_pdus": self.moved_pdus,
-            "replayed_pdus": self.replayed_pdus,
-            "retries": dict(self.retries),
-            "lost_clusters": list(self.lost_clusters),
-            "dead_ranks": list(self.dead_ranks),
-            "t_ms": self.t_ms,
-        }
+        """A JSON-serializable plain-dict form (the audit-trail schema).
+
+        The span attrs are stored JSON-ready, so this is the one
+        serialization path — re-keyed here only to pin the key order.
+        """
+        return {key: self.span.attrs[key] for key in self.KEYS}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<AuditEvent epoch={self.epoch} trigger={self.trigger!r}>"
 
 
 @dataclass
@@ -284,6 +347,14 @@ class PartitionRuntime:
     mmps:
         Optional message system to notify of fail-stop events, so the
         transport layer also drops the dead endpoints.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` bundle.  Sim-domain
+        counters/spans record against this runtime's :class:`ManualClock`,
+        so an enabled bundle should be built as
+        ``Telemetry.for_sim(lambda: clock.now)`` over the *same* clock.
+        The audit trail records regardless: when the bundle is disabled,
+        an internal always-on span recorder feeds the trail, so telemetry
+        being off never loses audit records.
     """
 
     def __init__(
@@ -297,6 +368,7 @@ class PartitionRuntime:
         probe: Optional[ManagerProbe] = None,
         failures: Optional[FailureSchedule] = None,
         mmps=None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.network = network
         self.computation = computation
@@ -306,11 +378,45 @@ class PartitionRuntime:
         self.probe = probe
         self.failures = failures or FailureSchedule()
         self.mmps = mmps
-        self.audit = AuditTrail()
+        self.telemetry = telemetry or NULL_TELEMETRY
+        # The audit trail consumes span events, so spans must exist even
+        # with telemetry disabled: fall back to a private always-on recorder.
+        self.spans = (
+            self.telemetry.spans
+            if self.telemetry.spans.enabled
+            else SpanRecorder(lambda: self.clock.now, domain="sim")
+        )
+        metrics = self.telemetry.metrics
+        self._m_epochs = metrics.counter(
+            "runtime.epochs", help="supervised epochs executed"
+        )
+        self._m_triage = {
+            outcome: metrics.counter(
+                f"runtime.triage.{outcome}", help=f"epochs triaged {outcome}"
+            )
+            for outcome in ("healthy", "node_loss", "slowdown")
+        }
+        self._m_replayed = metrics.counter(
+            "runtime.replayed_pdus", help="PDUs re-executed after node loss"
+        )
+        self._m_moved = metrics.counter(
+            "runtime.moved_pdus", help="PDUs shipped by transfer plans"
+        )
+        self._m_gather_retries = metrics.counter(
+            "runtime.gather.retries", help="manager-query retries beyond the first"
+        )
+        self._m_gather_lost = metrics.counter(
+            "runtime.gather.lost_clusters", help="clusters dropped by degraded sweeps"
+        )
+        self._m_decide_ms = metrics.histogram(
+            "runtime.decide_ms",
+            help="simulated gather+partition decision latency (ms)",
+        )
         self.num_pdus = computation.num_pdus_value()
         self.executor = SimulatedEpochExecutor(
             computation, cycles_per_epoch=self.policy.cycles_per_epoch
         )
+        self.audit = AuditTrail()
         #: Cross-epoch warm-start state (scoped to this computation+cost_db).
         self.search_cache = SearchCache() if self.policy.warm_start else None
         self._last_decision: Optional[PartitionDecision] = None
@@ -330,26 +436,39 @@ class PartitionRuntime:
         )
 
     def _decide(self) -> tuple[PartitionDecision, GatherReport]:
-        resources, report = self._gather()
-        usable = [r for r in resources if r.n_available > 0]
-        if not usable:
-            raise PartitionError(
-                "no surviving clusters with available processors "
-                f"(lost: {list(report.lost)})"
+        t_start = self.clock.now
+        with self.spans.start("runtime.decide") as span:
+            resources, report = self._gather()
+            usable = [r for r in resources if r.n_available > 0]
+            if not usable:
+                raise PartitionError(
+                    "no surviving clusters with available processors "
+                    f"(lost: {list(report.lost)})"
+                )
+            warm = (
+                self._last_decision.counts_by_name()
+                if self._last_decision is not None and self.search_cache is not None
+                else None
             )
-        warm = (
-            self._last_decision.counts_by_name()
-            if self._last_decision is not None and self.search_cache is not None
-            else None
-        )
-        decision = partition(
-            self.computation,
-            usable,
-            self.cost_db,
-            search=self.policy.search,
-            cache=self.search_cache,
-            warm_start=warm,
-        )
+            decision = partition(
+                self.computation,
+                usable,
+                self.cost_db,
+                search=self.policy.search,
+                cache=self.search_cache,
+                warm_start=warm,
+                metrics=self.telemetry.metrics,
+            )
+            span.annotate(
+                warm=warm is not None,
+                lost=list(report.lost),
+                config=decision.counts_by_name(),
+            )
+        self._m_gather_retries.inc(sum(report.retries.values()))
+        self._m_gather_lost.inc(len(report.lost))
+        # The decision's cost in *simulated* time: gather timeouts, retry
+        # backoff and manager latency all advance the ManualClock.
+        self._m_decide_ms.observe(self.clock.now - t_start)
         self._last_decision = decision
         return decision, report
 
@@ -396,22 +515,24 @@ class PartitionRuntime:
         report: Optional[GatherReport],
         dead_ranks: Sequence[int] = (),
     ) -> None:
-        self.audit.append(
-            AuditEvent(
-                epoch=epoch,
-                trigger=trigger,
-                old_config=old_config,
-                new_config=new_config,
-                old_vector=tuple(old_vector) if old_vector is not None else None,
-                new_vector=tuple(new_vector),
-                moved_pdus=moved,
-                replayed_pdus=replayed,
-                retries=report.retries if report is not None else {},
-                lost_clusters=report.lost if report is not None else (),
-                dead_ranks=tuple(dead_ranks),
-                t_ms=self.clock.now,
-            )
+        # One serialization path: the JSON-ready record is built once, as
+        # the attrs of a span event; the trail's AuditEvent is a view on it.
+        span = self.spans.event(
+            "runtime.audit",
+            epoch=epoch,
+            trigger=trigger,
+            old_config=dict(old_config) if old_config else None,
+            new_config=dict(new_config),
+            old_vector=list(old_vector) if old_vector is not None else None,
+            new_vector=list(new_vector),
+            moved_pdus=moved,
+            replayed_pdus=replayed,
+            retries=dict(report.retries) if report is not None else {},
+            lost_clusters=list(report.lost) if report is not None else [],
+            dead_ranks=list(dead_ranks),
+            t_ms=self.clock.now,
         )
+        self.audit.append(AuditEvent(span))
 
     # -- the supervisor loop -------------------------------------------------------
 
@@ -426,6 +547,7 @@ class PartitionRuntime:
         if epochs < 1:
             raise PartitionError(f"epochs must be >= 1, got {epochs}")
         policy = self.policy
+        run_span = self.spans.start("runtime.run", epochs=epochs)
         decision, report = self._decide()
         procs = decision.config.processors()
         counts = list(decision.vector)
@@ -445,6 +567,8 @@ class PartitionRuntime:
         answer = 0
         replayed_total = 0
         for epoch in range(epochs):
+            epoch_span = self.spans.start("runtime.epoch", epoch=epoch)
+            self._m_epochs.inc()
             for event in self.failures.failures_at(epoch):
                 self.network.processor(event.proc_id).fail()
                 if self.mmps is not None:
@@ -502,8 +626,13 @@ class PartitionRuntime:
                     report=report,
                     dead_ranks=dead_ranks,
                 )
+                self._m_triage["node_loss"].inc()
+                self._m_replayed.inc(replay_pdus)
+                self._m_moved.inc(moved)
+                epoch_span.annotate(outcome="node-loss", dead_ranks=dead_ranks).end()
                 continue
 
+            outcome = "healthy"
             if policy.rebalance_on_slowdown:
                 health = classify_epoch(
                     measurements, threshold=policy.imbalance_threshold
@@ -526,7 +655,12 @@ class PartitionRuntime:
                             report=None,
                         )
                         counts = new_vec
+                        outcome = "slowdown"
+                        self._m_moved.inc(moved)
+            self._m_triage["slowdown" if outcome == "slowdown" else "healthy"].inc()
+            epoch_span.annotate(outcome=outcome).end()
 
+        run_span.annotate(answer=answer, replayed_pdus=replayed_total).end()
         return RuntimeResult(
             answer=answer,
             epochs=epochs,

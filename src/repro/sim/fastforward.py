@@ -54,6 +54,7 @@ from typing import Any, Optional, Protocol, Sequence, runtime_checkable
 from repro.errors import SimulationError
 from repro.sim.failures import FailureSchedule
 from repro.sim.process import ProcessGenerator
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = [
     "CycleProgram",
@@ -120,6 +121,10 @@ class CycleDelta:
     clock_ms: float  #: cycle completion time (last rank, full queue drain)
     processors: tuple[ProcessorCycle, ...]
     segments: tuple[SegmentCycle, ...]
+    #: Sim-domain telemetry counter deltas of this cycle, sorted by name.
+    #: Part of the dataclass equality, so steady-state confirmation (two
+    #: consecutive bitwise-equal deltas) covers the registry too.
+    metrics: tuple[tuple[str, Any], ...] = ()
 
 
 @dataclass
@@ -193,6 +198,16 @@ class FastForwardEngine:
     imbalance_threshold:
         Passed to :func:`~repro.partition.dynamic.classify_epoch` for the
         triage gate.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` bundle.  Sim-domain
+        counters incremented inside probed cycles (the MMPS transport
+        counters) are *learned* as part of the per-cycle delta and advanced
+        exactly across skipped windows — integer deltas only; a
+        non-integer sim-counter delta blocks steady-state confirmation, so
+        the engine never skips over float counter arithmetic it could not
+        reproduce bitwise.  The engine's own mechanics (probe vs skip
+        counts, fallback reasons) are host-domain: they describe *how* the
+        run was computed and legitimately differ between modes.
     """
 
     def __init__(
@@ -202,6 +217,7 @@ class FastForwardEngine:
         failures: Optional[FailureSchedule] = None,
         cycles_per_epoch: int = 1,
         imbalance_threshold: float = 1.25,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if cycles_per_epoch < 1:
             raise SimulationError(
@@ -213,6 +229,27 @@ class FastForwardEngine:
         self.failures = failures or FailureSchedule()
         self.cycles_per_epoch = cycles_per_epoch
         self.imbalance_threshold = imbalance_threshold
+        self.telemetry = telemetry or NULL_TELEMETRY
+        registry = self.telemetry.metrics
+        #: Total cycles advanced — mode-independent, hence sim-domain.
+        self._m_cycles = registry.counter(
+            "ff.cycles", help="computation cycles advanced (probed or skipped)"
+        )
+        # Engine mechanics are legitimately mode-dependent (a fast run
+        # probes less), so they live in the host domain even though this
+        # module is inside the simulation boundary.
+        self._m_probed = registry.counter(  # repro: noqa[telemetry-determinism]
+            "ff.probed_cycles", domain="host", help="cycles event-simulated"
+        )
+        self._m_skipped = registry.counter(  # repro: noqa[telemetry-determinism]
+            "ff.fast_forwarded_cycles", domain="host", help="cycles skipped"
+        )
+        self._m_windows = registry.counter(  # repro: noqa[telemetry-determinism]
+            "ff.windows", domain="host", help="fast-forward windows taken"
+        )
+        self._m_fallbacks = registry.counter(  # repro: noqa[telemetry-determinism]
+            "ff.fallbacks", domain="host", help="falls back to event simulation"
+        )
         # Steady-state learning: the last probed delta, and the delta
         # confirmed by two consecutive bitwise-equal probes.
         self._last_delta: Optional[CycleDelta] = None
@@ -322,15 +359,21 @@ class FastForwardEngine:
             totals_s.frames += sc.frames
             totals_s.bytes += sc.bytes
 
-    @staticmethod
-    def _fast_forward(report: FastForwardReport, delta: CycleDelta, k: int) -> None:
+    def _fast_forward(self, report: FastForwardReport, delta: CycleDelta, k: int) -> None:
         """Advance ``k`` identical cycles without simulating them.
 
         Integer counters advance with one exact multiplication; float
         accumulators are advanced by ``k`` repeated adds — the *same*
         operation sequence the event path performs — so the result is
-        bitwise identical to simulating each cycle.
+        bitwise identical to simulating each cycle.  Learned sim-domain
+        telemetry counter deltas are integers by the steady-state gate
+        (``non-integer-telemetry`` blocks confirmation), so ``k × delta``
+        is exact there too.
         """
+        registry = self.telemetry.metrics
+        for name, per_cycle in delta.metrics:
+            if per_cycle:
+                registry.counter(name).inc(k * per_cycle)
         for _ in range(k):
             report.clock_ms += delta.clock_ms
         for pc in delta.processors:
@@ -357,6 +400,20 @@ class FastForwardEngine:
         self._last_delta = None
         self._ff_delta = None
         self._ff_signature = None
+
+    @staticmethod
+    def _nonint_telemetry(delta: CycleDelta) -> Optional[str]:
+        """Blocker when a sim-counter delta is not an exact integer.
+
+        ``k`` repeated float adds are not bitwise-equal to one ``k × delta``
+        add, and the skip path cannot replay the event path's add sequence
+        inside the registry — so a cycle that moves a float sim counter is
+        never part of a confirmed steady state.
+        """
+        for _name, per_cycle in delta.metrics:
+            if not isinstance(per_cycle, int):
+                return "non-integer-telemetry"
+        return None
 
     # -- one canonical cycle -----------------------------------------------------
 
@@ -399,6 +456,7 @@ class FastForwardEngine:
                 stats.acks_sent,
                 stats.retransmissions,
             )
+        counters_before = self.telemetry.metrics.counter_values("sim")
 
         finished: dict[int, float] = {}
         procs = [
@@ -447,10 +505,15 @@ class FastForwardEngine:
                     bytes=seg.bytes_carried - bytes0,
                 )
             )
+        counters_after = self.telemetry.metrics.counter_values("sim")
         return CycleDelta(
             clock_ms=sim.now,
             processors=tuple(proc_cycles),
             segments=tuple(seg_cycles),
+            metrics=tuple(
+                (name, value - counters_before.get(name, 0))
+                for name, value in sorted(counters_after.items())
+            ),
         )
 
     # -- the drive loop ----------------------------------------------------------
@@ -492,6 +555,10 @@ class FastForwardEngine:
                 program.handle_failure(pids)
                 self._invalidate()
                 report.fallbacks.append(f"failure@{cycle}")
+                self._m_fallbacks.inc()
+                self.telemetry.spans.event(
+                    "ff.fallback", reason="failure", cycle=cycle
+                )
                 pending_failures = [c for c in pending_failures if c > cycle]
 
             if mode == "fast" and self._ff_delta is not None:
@@ -505,21 +572,37 @@ class FastForwardEngine:
                         self._fast_forward(report, self._ff_delta, k)
                         report.fast_forwarded_cycles += k
                         report.windows.append((cycle, k))
+                        self._m_cycles.inc(k)
+                        self._m_skipped.inc(k)
+                        self._m_windows.inc()
+                        self.telemetry.spans.event(
+                            "ff.window", first_cycle=cycle, length=k
+                        )
                         cycle += k
                         continue
 
+            probe_span = self.telemetry.spans.start("ff.probe", cycle=cycle)
             delta = self._probe_cycle(program)
+            probe_span.end()
             report.probed_cycles += 1
+            self._m_cycles.inc()
+            self._m_probed.inc()
             self._accumulate(report, delta)
             cycle += 1
 
             if mode == "fast":
-                blocker = self._steady_environment() or self._would_triage(
-                    delta, program
+                blocker = (
+                    self._steady_environment()
+                    or self._nonint_telemetry(delta)
+                    or self._would_triage(delta, program)
                 )
                 if blocker is not None:
                     if blocker != last_blocker:
                         report.fallbacks.append(f"{blocker}@{cycle - 1}")
+                        self._m_fallbacks.inc()
+                        self.telemetry.spans.event(
+                            "ff.fallback", reason=blocker, cycle=cycle - 1
+                        )
                     last_blocker = blocker
                     self._invalidate()
                 elif self._last_delta == delta:

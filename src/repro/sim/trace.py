@@ -5,18 +5,20 @@ Tracing is off by default and costs a single attribute check per call, so
 instrumentation can stay in hot paths.  Categories let tests assert on a
 single subsystem's activity (e.g. only ``"router"`` records).
 
-Bounded tracing uses a ring buffer (:class:`collections.deque` with
-``maxlen``): once full, each append drops the oldest record in O(1), so a
-multi-thousand-cycle run with tracing accidentally enabled holds memory
+Bounded tracing uses a ring buffer
+(:class:`~repro.telemetry.ringbuf.RingBuffer`, shared with the telemetry
+span recorder): once full, each append drops the oldest record in O(1), so
+a multi-thousand-cycle run with tracing accidentally enabled holds memory
 constant instead of growing without bound (and without the O(n) slice-delete
 the old list-based bound paid on every overflowing append).
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
+
+from repro.telemetry.ringbuf import RingBuffer
 
 __all__ = ["TraceRecord", "Tracer", "NULL_TRACER"]
 
@@ -68,17 +70,15 @@ class Tracer:
                 f"maxlen={maxlen} conflicts with its alias max_records={max_records}"
             )
         bound = maxlen if maxlen is not None else max_records
-        if bound is not None and bound < 1:
-            raise ValueError(f"maxlen must be >= 1, got {bound}")
         self._clock = clock
         self.enabled = enabled
-        self._maxlen = bound
-        self._records: deque[TraceRecord] = deque(maxlen=bound)
+        # RingBuffer owns the semantics (maxlen=None unbounded, < 1 rejected).
+        self._records: RingBuffer[TraceRecord] = RingBuffer(maxlen=bound)
 
     @property
     def maxlen(self) -> Optional[int]:
         """The ring-buffer bound (``None`` = unbounded)."""
-        return self._maxlen
+        return self._records.maxlen
 
     #: Backwards-compatible alias for :attr:`maxlen`.
     max_records = maxlen
@@ -86,7 +86,7 @@ class Tracer:
     @property
     def dropped(self) -> bool:
         """Whether the ring buffer has (ever possibly) evicted records."""
-        return self._maxlen is not None and len(self._records) == self._maxlen
+        return self._records.dropped
 
     def record(self, category: str, message: str, **fields: Any) -> None:
         """Append a record if tracing is enabled."""
@@ -97,7 +97,7 @@ class Tracer:
     @property
     def records(self) -> tuple[TraceRecord, ...]:
         """All retained records, oldest first."""
-        return tuple(self._records)
+        return self._records.snapshot()
 
     def by_category(self, category: str) -> Iterator[TraceRecord]:
         """Iterate over records of a single category."""

@@ -1,0 +1,139 @@
+"""Unified telemetry: metrics, spans, and exporters for the whole stack.
+
+The subsystem is a *leaf* package — it imports nothing from the rest of
+``repro``, so every layer (``mmps``, ``sim``, ``partition``, ``cli``) can
+depend on it without cycles.  The usual entry point is a
+:class:`Telemetry` bundle::
+
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry.for_sim(lambda: clock.now)
+    mmps = MMPS(network, metrics=telemetry.metrics)
+    ...
+    telemetry.dump("out.jsonl", stamp=clock.now)
+
+Disabled telemetry is the default everywhere: modules accept
+``metrics=NULL_REGISTRY`` / ``spans=NULL_SPANS`` and record through
+shared no-op instruments, so the hot path pays one no-op method call
+(see ``benchmarks/test_bench_telemetry_overhead.py`` for the gate).
+
+Domain rules (sim vs host clocks) are documented in
+:mod:`repro.telemetry.metrics` and ``docs/observability.md``, and
+enforced by the ``telemetry-determinism`` rule of ``repro lint``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Union
+
+from repro.telemetry.export import (
+    dump_jsonl,
+    prometheus_text,
+    read_jsonl,
+    summary_table,
+    validate_prometheus,
+    write_jsonl,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    DOMAINS,
+    NULL_REGISTRY,
+    SNAPSHOT_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    TelemetryError,
+)
+from repro.telemetry.ringbuf import RingBuffer
+from repro.telemetry.spans import (
+    NULL_SPANS,
+    NullSpanRecorder,
+    Span,
+    SpanHandle,
+    SpanRecorder,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "DOMAINS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_SPANS",
+    "NULL_TELEMETRY",
+    "NullRegistry",
+    "NullSpanRecorder",
+    "RingBuffer",
+    "SNAPSHOT_SCHEMA",
+    "Span",
+    "SpanHandle",
+    "SpanRecorder",
+    "Telemetry",
+    "TelemetryError",
+    "dump_jsonl",
+    "prometheus_text",
+    "read_jsonl",
+    "summary_table",
+    "validate_prometheus",
+    "write_jsonl",
+]
+
+
+@dataclass
+class Telemetry:
+    """One registry + one span recorder, handed around as a unit."""
+
+    metrics: Union[MetricsRegistry, NullRegistry] = field(
+        default_factory=lambda: NULL_REGISTRY
+    )
+    spans: Union[SpanRecorder, NullSpanRecorder] = field(
+        default_factory=lambda: NULL_SPANS
+    )
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.metrics.enabled or self.spans.enabled)
+
+    @classmethod
+    def for_sim(
+        cls, clock: Callable[[], float], *, span_maxlen: Optional[int] = None
+    ) -> "Telemetry":
+        """An enabled bundle recording in the **sim** domain.
+
+        ``clock`` must read *simulated* time (``ManualClock``/``Simulator``)
+        — never the wall clock; that is what keeps snapshots deterministic.
+        """
+        return cls(
+            metrics=MetricsRegistry(),
+            spans=SpanRecorder(clock, domain="sim", maxlen=span_maxlen),
+        )
+
+    def snapshot(
+        self, domain: Optional[str] = None, *, stamp: Optional[float] = None
+    ) -> Dict[str, Any]:
+        return self.metrics.snapshot(domain, stamp=stamp)
+
+    def dump(
+        self,
+        path: str,
+        *,
+        domain: Optional[str] = None,
+        stamp: Optional[float] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> int:
+        """Write the JSONL export (metrics snapshot + finished spans)."""
+        return dump_jsonl(
+            path,
+            self.snapshot(domain, stamp=stamp),
+            [span.to_dict() for span in self.spans.spans],
+            meta=meta,
+        )
+
+
+#: The shared disabled bundle — the default everywhere.
+NULL_TELEMETRY = Telemetry()

@@ -1,0 +1,362 @@
+"""Metrics: counters, gauges, and fixed-bucket histograms in two domains.
+
+The runtime literature this reproduction follows (adaptive self-clustering
+repartitioning, cluster-level network observation) treats measurement as a
+first-class subsystem: the partitioner is only as good as the numbers the
+runtime feeds it.  This module is that subsystem's core — a dependency-free
+registry cheap enough to leave on in hot paths.
+
+Design constraints
+------------------
+* **Hot-path cost**: instrumented code holds the instrument object itself
+  (one registry dict lookup at wiring time), so recording is one attribute
+  add (`Counter.inc`) or one bisect + two adds (`Histogram.observe`).
+* **True no-op when disabled**: :data:`NULL_REGISTRY` hands out shared
+  do-nothing instruments; no instrumented module needs an ``if`` around its
+  telemetry calls.
+* **Two clock domains, never mixed** (enforced by the ``repro lint``
+  ``telemetry-determinism`` rule):
+
+  ``sim``
+      values derived from the *simulated* world — simulated clocks
+      (:class:`~repro.partition.runtime.ManualClock`, ``Simulator.now``),
+      message counts, triage outcomes.  Deterministic: identical seeds
+      and failure schedules reproduce them byte-for-byte, and the
+      fast-forward engine advances them exactly when it skips cycles
+      (integer counters only on the cycle hot path — see
+      :mod:`repro.sim.fastforward`).
+  ``host``
+      wall-clock measurements (bench timings, CLI latency) and execution
+      mechanics that depend on *how* the run was computed rather than on
+      what it computed (probe vs fast-forward counts, memo hit rates).
+      Never valid inside the simulation boundary.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "DOMAINS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "TelemetryError",
+]
+
+#: The two clock domains a metric may live in.
+DOMAINS = ("sim", "host")
+
+#: Default histogram upper bounds (milliseconds-flavoured, but unit-free).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0,
+)
+
+Number = Union[int, float]
+
+
+class TelemetryError(ValueError):
+    """An invalid metric declaration (bad domain, kind clash, bad buckets)."""
+
+
+class Counter:
+    """A monotonically increasing count.  ``inc`` is the hot path."""
+
+    __slots__ = ("name", "domain", "help", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, domain: str, help: str = "") -> None:
+        self.name = name
+        self.domain = domain
+        self.help = help
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "domain": self.domain,
+            "value": self.value,
+        }
+
+
+class Gauge:
+    """A point-in-time value (set, not accumulated)."""
+
+    __slots__ = ("name", "domain", "help", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, domain: str, help: str = "") -> None:
+        self.name = name
+        self.domain = domain
+        self.help = help
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "domain": self.domain,
+            "value": self.value,
+        }
+
+
+class Histogram:
+    """A fixed-bucket histogram: cumulative-style export, cheap observe.
+
+    ``buckets`` are the finite upper bounds; an implicit ``+Inf`` bucket
+    catches everything beyond the last bound.  ``observe`` costs one
+    binary search plus two adds.
+    """
+
+    __slots__ = ("name", "domain", "help", "buckets", "counts", "sum", "count")
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        domain: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        help: str = "",
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise TelemetryError(
+                f"histogram {name!r} buckets must be non-empty, strictly "
+                f"increasing upper bounds, got {buckets!r}"
+            )
+        self.name = name
+        self.domain = domain
+        self.help = help
+        self.buckets = bounds
+        #: Per-bucket observation counts; index len(buckets) is +Inf.
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: Number) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "domain": self.domain,
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+#: The stable snapshot schema identifier (see docs/observability.md).
+SNAPSHOT_SCHEMA = "repro.telemetry/v1"
+
+
+class MetricsRegistry:
+    """Declares and holds instruments; renders stable snapshots.
+
+    Instruments are get-or-create by name: wiring code calls
+    ``registry.counter("mmps.messages_sent")`` once and keeps the handle.
+    Re-declaring a name with a different kind or domain is an error —
+    silent kind drift is how dashboards lie.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Instrument] = {}
+
+    # -- declaration -------------------------------------------------------------
+
+    def _get(
+        self, cls: type, name: str, domain: str, help: str, **kwargs: Any
+    ) -> Any:
+        if domain not in DOMAINS:
+            raise TelemetryError(
+                f"metric {name!r}: unknown domain {domain!r} (expected one of {DOMAINS})"
+            )
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name, domain, help=help, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+        if instrument.kind != cls.kind or instrument.domain != domain:
+            raise TelemetryError(
+                f"metric {name!r} already declared as {instrument.kind}/"
+                f"{instrument.domain}, re-declared as {cls.kind}/{domain}"
+            )
+        return instrument
+
+    def counter(self, name: str, *, domain: str = "sim", help: str = "") -> Counter:
+        return self._get(Counter, name, domain, help)
+
+    def gauge(self, name: str, *, domain: str = "sim", help: str = "") -> Gauge:
+        return self._get(Gauge, name, domain, help)
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        domain: str = "sim",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        help: str = "",
+    ) -> Histogram:
+        return self._get(Histogram, name, domain, help, buckets=buckets)
+
+    # -- introspection -----------------------------------------------------------
+
+    def instruments(self, domain: Optional[str] = None) -> List[Instrument]:
+        """All instruments (of one domain), sorted by name."""
+        values = self._instruments.values()
+        if domain is not None:
+            values = [m for m in values if m.domain == domain]  # type: ignore[assignment]
+        return sorted(values, key=lambda m: m.name)
+
+    def counter_values(self, domain: str = "sim") -> Dict[str, Number]:
+        """Current counter values of one domain (the fast-forward engine's
+        per-cycle delta base)."""
+        return {
+            m.name: m.value
+            for m in self._instruments.values()
+            if m.kind == "counter" and m.domain == domain
+        }
+
+    def snapshot(
+        self, domain: Optional[str] = None, *, stamp: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """The stable, JSON-ready state of the registry.
+
+        ``domain`` restricts to one clock domain; ``stamp`` records the
+        clock reading the snapshot was taken at (the *caller* knows which
+        clock governs — the registry never reads one itself, so snapshots
+        inside the simulation stay deterministic).
+        """
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "domain": domain if domain is not None else "all",
+            "stamp": stamp,
+            "metrics": [m.to_dict() for m in self.instruments(domain)],
+        }
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MetricsRegistry {len(self._instruments)} instruments>"
+
+
+class _NullCounter:
+    """Shared do-nothing counter: ``inc`` falls straight through."""
+
+    __slots__ = ()
+    kind = "counter"
+    name = domain = help = ""
+    value = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        pass
+
+    def to_dict(self) -> Dict[str, Any]:  # pragma: no cover - never exported
+        return {}
+
+
+class _NullGauge:
+    __slots__ = ()
+    kind = "gauge"
+    name = domain = help = ""
+    value = 0
+
+    def set(self, value: Number) -> None:
+        pass
+
+    def to_dict(self) -> Dict[str, Any]:  # pragma: no cover - never exported
+        return {}
+
+
+class _NullHistogram:
+    __slots__ = ()
+    kind = "histogram"
+    name = domain = help = ""
+    buckets: Tuple[float, ...] = ()
+    counts: List[int] = []
+    sum = 0.0
+    count = 0
+
+    def observe(self, value: Number) -> None:
+        pass
+
+    def to_dict(self) -> Dict[str, Any]:  # pragma: no cover - never exported
+        return {}
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullRegistry:
+    """The disabled registry: every declaration returns a shared no-op.
+
+    Instrumented modules take a registry argument defaulting to
+    :data:`NULL_REGISTRY` and never branch on enablement — the no-op
+    instruments make every record call a constant-time pass.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, *, domain: str = "sim", help: str = "") -> Counter:
+        return _NULL_COUNTER  # type: ignore[return-value]
+
+    def gauge(self, name: str, *, domain: str = "sim", help: str = "") -> Gauge:
+        return _NULL_GAUGE  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        domain: str = "sim",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        help: str = "",
+    ) -> Histogram:
+        return _NULL_HISTOGRAM  # type: ignore[return-value]
+
+    def instruments(self, domain: Optional[str] = None) -> List[Instrument]:
+        return []
+
+    def counter_values(self, domain: str = "sim") -> Dict[str, Number]:
+        return {}
+
+    def snapshot(
+        self, domain: Optional[str] = None, *, stamp: Optional[float] = None
+    ) -> Dict[str, Any]:
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "domain": domain if domain is not None else "all",
+            "stamp": stamp,
+            "metrics": [],
+        }
+
+    def __len__(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<NullRegistry>"
+
+
+#: The shared disabled registry — the default everywhere.
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,68 @@
+"""The bounded ring buffer shared by tracing and telemetry.
+
+Extracted from :mod:`repro.sim.trace` so the simulation tracer and the
+telemetry span buffer share one implementation (and one set of semantics):
+
+* ``maxlen=None`` — unbounded; every appended item is retained;
+* ``maxlen >= 1`` — a ring: once full, each append evicts the *oldest*
+  item in O(1), so a long-running producer holds memory constant;
+* ``maxlen=0`` (or negative) — rejected with :class:`ValueError`; a
+  buffer that can never hold anything is a configuration bug, not a
+  useful degenerate case.
+
+These are exactly the semantics the pre-extraction tracer enforced;
+``tests/telemetry/test_ringbuf.py`` pins the match.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generic, Iterator, Optional, TypeVar
+
+__all__ = ["RingBuffer"]
+
+T = TypeVar("T")
+
+
+class RingBuffer(Generic[T]):
+    """A bounded (or unbounded) append-only buffer with O(1) eviction."""
+
+    __slots__ = ("_maxlen", "_items")
+
+    def __init__(self, maxlen: Optional[int] = None) -> None:
+        if maxlen is not None and maxlen < 1:
+            raise ValueError(f"maxlen must be >= 1, got {maxlen}")
+        self._maxlen = maxlen
+        self._items: deque[T] = deque(maxlen=maxlen)
+
+    @property
+    def maxlen(self) -> Optional[int]:
+        """The bound (``None`` = unbounded)."""
+        return self._maxlen
+
+    @property
+    def dropped(self) -> bool:
+        """Whether the buffer has (ever possibly) evicted items."""
+        return self._maxlen is not None and len(self._items) == self._maxlen
+
+    def append(self, item: T) -> None:
+        """Add ``item``, evicting the oldest retained item when full."""
+        self._items.append(item)
+
+    def snapshot(self) -> tuple[T, ...]:
+        """All retained items, oldest first."""
+        return tuple(self._items)
+
+    def clear(self) -> None:
+        """Drop every retained item."""
+        self._items.clear()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        bound = "unbounded" if self._maxlen is None else f"maxlen={self._maxlen}"
+        return f"<RingBuffer {len(self._items)} items, {bound}>"

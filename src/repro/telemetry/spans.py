@@ -1,0 +1,255 @@
+"""Hierarchical spans: who did what, inside what, from when to when.
+
+A :class:`SpanRecorder` produces :class:`Span` records with parent/child
+ids, mirroring the supervisor's structure (``run → epoch → decide``) and
+the fast-forward engine's probe/skip segments.  Finished spans land in a
+bounded :class:`~repro.telemetry.ringbuf.RingBuffer` (the same
+implementation the simulation tracer uses), so a multi-thousand-epoch run
+with spans enabled holds memory constant.
+
+Like metrics, spans carry a clock *domain*: the recorder is constructed
+with an injectable zero-argument clock (``lambda: clock.now`` /
+``lambda: sim.now`` for ``"sim"``, a wall-clock reader for ``"host"``),
+and never reads time on its own.  Zero-duration *events* reuse the span
+record shape — the audit trail (:mod:`repro.partition.runtime`) is a
+consumer of exactly those event spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.telemetry.ringbuf import RingBuffer
+
+__all__ = ["Span", "SpanHandle", "SpanRecorder", "NullSpanRecorder", "NULL_SPANS"]
+
+
+@dataclass
+class Span:
+    """One recorded span (or zero-duration event)."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start: float
+    end: Optional[float] = None
+    domain: str = "sim"
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """``end - start`` (0.0 while the span is still open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The stable JSON-ready form (the export schema)."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "domain": self.domain,
+            "attrs": self.attrs,
+        }
+
+
+class SpanHandle:
+    """An open span: annotate it, then ``end()`` it (or use ``with``)."""
+
+    __slots__ = ("_recorder", "span")
+
+    def __init__(self, recorder: "SpanRecorder", span: Span) -> None:
+        self._recorder = recorder
+        self.span = span
+
+    def annotate(self, **attrs: Any) -> "SpanHandle":
+        """Attach (or overwrite) attributes on the open span."""
+        self.span.attrs.update(attrs)
+        return self
+
+    def end(self) -> Span:
+        """Close the span, stamping the recorder's clock."""
+        self._recorder._finish(self)
+        return self.span
+
+    def __enter__(self) -> "SpanHandle":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.end()
+
+
+class SpanRecorder:
+    """Records hierarchical spans against one injectable clock.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current time in this
+        recorder's domain.  The recorder never reads a clock itself.
+    domain:
+        ``"sim"`` or ``"host"`` — stamped on every span (see
+        :mod:`repro.telemetry.metrics` for the domain rules).
+    maxlen:
+        Ring-buffer bound on *finished* spans; ``None`` = unbounded.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        *,
+        domain: str = "sim",
+        maxlen: Optional[int] = None,
+    ) -> None:
+        from repro.telemetry.metrics import DOMAINS, TelemetryError
+
+        if domain not in DOMAINS:
+            raise TelemetryError(
+                f"unknown span domain {domain!r} (expected one of {DOMAINS})"
+            )
+        self._clock = clock
+        self.domain = domain
+        self._buffer: RingBuffer[Span] = RingBuffer(maxlen=maxlen)
+        self._next_id = 1
+        #: Open-span stack: the top is the implicit parent of new spans.
+        self._stack: list[int] = []
+
+    # -- recording ---------------------------------------------------------------
+
+    def start(
+        self, name: str, *, parent: Optional[int] = None, **attrs: Any
+    ) -> SpanHandle:
+        """Open a span; its parent defaults to the innermost open span."""
+        span = Span(
+            span_id=self._next_id,
+            parent_id=parent if parent is not None else (
+                self._stack[-1] if self._stack else None
+            ),
+            name=name,
+            start=self._clock(),
+            domain=self.domain,
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self._stack.append(span.span_id)
+        return SpanHandle(self, span)
+
+    def event(self, name: str, **attrs: Any) -> Span:
+        """Record a zero-duration span (start == end == now)."""
+        now = self._clock()
+        span = Span(
+            span_id=self._next_id,
+            parent_id=self._stack[-1] if self._stack else None,
+            name=name,
+            start=now,
+            end=now,
+            domain=self.domain,
+            attrs=attrs,
+        )
+        self._next_id += 1
+        self._buffer.append(span)
+        return span
+
+    def _finish(self, handle: SpanHandle) -> None:
+        span = handle.span
+        if span.end is not None:
+            return  # idempotent: double-end keeps the first stamp
+        span.end = self._clock()
+        # Pop this span (and anything left open beneath it) off the stack.
+        if span.span_id in self._stack:
+            while self._stack and self._stack[-1] != span.span_id:
+                self._stack.pop()
+            if self._stack:
+                self._stack.pop()
+        self._buffer.append(span)
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def maxlen(self) -> Optional[int]:
+        return self._buffer.maxlen
+
+    @property
+    def dropped(self) -> bool:
+        """Whether the ring may have evicted finished spans."""
+        return self._buffer.dropped
+
+    @property
+    def spans(self) -> Tuple[Span, ...]:
+        """Finished spans, oldest first (completion order)."""
+        return self._buffer.snapshot()
+
+    def by_name(self, name: str) -> Tuple[Span, ...]:
+        return tuple(s for s in self._buffer if s.name == name)
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SpanRecorder domain={self.domain} {len(self._buffer)} finished, "
+            f"{len(self._stack)} open>"
+        )
+
+
+class _NullHandle:
+    """Shared no-op open-span handle."""
+
+    __slots__ = ()
+    span = None
+
+    def annotate(self, **attrs: Any) -> "_NullHandle":
+        return self
+
+    def end(self) -> None:
+        return None
+
+    def __enter__(self) -> "_NullHandle":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+
+_NULL_HANDLE = _NullHandle()
+
+
+class NullSpanRecorder:
+    """The disabled recorder: every call is a constant-time no-op."""
+
+    enabled = False
+    domain = "sim"
+    maxlen = None
+    dropped = False
+    spans: Tuple[Span, ...] = ()
+
+    def start(
+        self, name: str, *, parent: Optional[int] = None, **attrs: Any
+    ) -> SpanHandle:
+        return _NULL_HANDLE  # type: ignore[return-value]
+
+    def event(self, name: str, **attrs: Any) -> Optional[Span]:
+        return None
+
+    def by_name(self, name: str) -> Tuple[Span, ...]:
+        return ()
+
+    def clear(self) -> None:
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<NullSpanRecorder>"
+
+
+#: The shared disabled recorder — the default everywhere.
+NULL_SPANS = NullSpanRecorder()

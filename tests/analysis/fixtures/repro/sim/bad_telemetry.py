@@ -1,0 +1,12 @@
+"""Fixture: host-domain telemetry inside sim-critical code (all flagged)."""
+
+from repro.telemetry import SpanRecorder
+
+
+def instrument(registry, clock, mode):
+    probes = registry.counter("engine.probes", domain="host")
+    wall = registry.gauge("engine.wall_s", domain="host")
+    lat = registry.histogram("engine.probe_ms", domain="host")
+    spans = SpanRecorder(clock, domain="host")
+    unverifiable = registry.counter("engine.cycles", domain=mode)
+    return probes, wall, lat, spans, unverifiable

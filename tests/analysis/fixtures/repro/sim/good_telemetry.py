@@ -1,0 +1,15 @@
+"""Fixture: sim-domain and justified host-domain telemetry (all clean)."""
+
+from repro.telemetry import SpanRecorder
+
+
+def instrument(registry, clock):
+    cycles = registry.counter("engine.cycles", domain="sim")
+    defaulted = registry.counter("engine.messages")
+    depth = registry.gauge("engine.queue_depth", domain="sim")
+    spans = SpanRecorder(clock, domain="sim")
+    # Execution mechanics, deliberately host-domain and signed off:
+    probes = registry.counter(  # repro: noqa[telemetry-determinism]
+        "engine.probes", domain="host"
+    )
+    return cycles, defaulted, depth, spans, probes

@@ -9,11 +9,12 @@ from repro.analysis import LintError, analyze_paths, collect_python_files, rule_
 FIXTURES = Path(__file__).parent / "fixtures"
 
 
-def test_registry_exposes_the_four_paper_rules():
+def test_registry_exposes_the_five_paper_rules():
     assert rule_names() == [
         "callback-purity",
         "engine-parity",
         "sim-determinism",
+        "telemetry-determinism",
         "unit-consistency",
     ]
 

@@ -93,6 +93,32 @@ def test_determinism_rule_only_applies_to_sim_paths():
     assert _messages(FIXTURES / "bad_purity.py", "sim-determinism") == []
 
 
+# -- telemetry-determinism ----------------------------------------------------
+
+
+def test_telemetry_rule_flags_host_domain_instruments_in_sim_paths():
+    messages = _messages(
+        FIXTURES / "repro" / "sim" / "bad_telemetry.py", "telemetry-determinism"
+    )
+    text = "\n".join(messages)
+    assert "host-domain counter" in text
+    assert "host-domain gauge" in text
+    assert "host-domain histogram" in text
+    assert "host-domain span recorder" in text
+    assert "not a string literal" in text
+    assert len(messages) == 5
+
+
+def test_telemetry_rule_passes_sim_domain_and_suppressed_host():
+    path = FIXTURES / "repro" / "sim" / "good_telemetry.py"
+    assert _messages(path, "telemetry-determinism") == []
+
+
+def test_telemetry_rule_only_applies_to_sim_critical_paths():
+    # Host-domain instruments outside the scoped paths are fine.
+    assert _messages(FIXTURES / "bad_purity.py", "telemetry-determinism") == []
+
+
 # -- engine-parity ------------------------------------------------------------
 
 

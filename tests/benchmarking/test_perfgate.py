@@ -10,6 +10,7 @@ import pytest
 from repro.benchmarking.perfgate import (
     check_regression,
     check_sim_regression,
+    check_telemetry_regression,
     format_problems,
     payload_kind,
 )
@@ -97,9 +98,72 @@ def sim_payload(
     }
 
 
+def telemetry_payload(*, ratio=1.6, enabled_ns=60.0, budget=25.0):
+    return {
+        "telemetry_overhead": {
+            "iterations": 200_000,
+            "repeats": 5,
+            "null_inc_ns": enabled_ns / ratio,
+            "enabled_inc_ns": enabled_ns,
+            "enabled_set_ns": enabled_ns,
+            "enabled_observe_ns": 4 * enabled_ns,
+            "overhead_ratio": ratio,
+            "budget": budget,
+            "within_budget": ratio <= budget,
+        }
+    }
+
+
 def test_payload_kind_detection():
     assert payload_kind(payload()) == "partition"
     assert payload_kind(sim_payload()) == "sim"
+    assert payload_kind(telemetry_payload()) == "telemetry"
+
+
+def test_identical_telemetry_payloads_pass():
+    assert check_telemetry_regression(telemetry_payload(), telemetry_payload()) == []
+
+
+def test_telemetry_budget_breach_always_fails():
+    problems = check_telemetry_regression(
+        telemetry_payload(), telemetry_payload(ratio=30.0)
+    )
+    assert any("over budget" in p for p in problems)
+
+
+def test_telemetry_ratio_regression_beyond_factor_fails():
+    # 1.6x -> 2.4x is within the 2x factor; 1.6x -> 4.0x is not.
+    assert (
+        check_telemetry_regression(telemetry_payload(), telemetry_payload(ratio=2.4))
+        == []
+    )
+    problems = check_telemetry_regression(
+        telemetry_payload(ratio=1.6), telemetry_payload(ratio=4.0)
+    )
+    assert any("ratio regressed >2x" in p for p in problems)
+
+
+def test_telemetry_absolute_cost_only_gated_in_strict_mode():
+    base = telemetry_payload(enabled_ns=60.0)
+    slow = telemetry_payload(enabled_ns=600.0)  # same ratio, slower machine
+    assert check_telemetry_regression(base, slow) == []
+    problems = check_telemetry_regression(base, slow, strict=True)
+    assert any("inc() cost regressed" in p for p in problems)
+
+
+def test_telemetry_missing_sections_are_problems():
+    assert check_telemetry_regression(telemetry_payload(), {}) == [
+        "telemetry_overhead missing from current payload"
+    ]
+    problems = check_telemetry_regression({}, telemetry_payload())
+    assert any("missing from baseline" in p for p in problems)
+
+
+def test_telemetry_factor_must_exceed_one():
+    with pytest.raises(ValueError):
+        check_telemetry_regression(
+            telemetry_payload(), telemetry_payload(), factor=1.0
+        )
 
 
 def test_identical_sim_payloads_pass():

@@ -1,0 +1,135 @@
+"""Runtime telemetry: epoch spans, triage counters, and the audit consumer.
+
+The audit trail is a *consumer* of the span stream — one serialization
+path: the supervisor records a ``runtime.audit`` event span, and
+``AuditEvent`` is a typed view over it.  The golden file pins the exact
+pre-telemetry audit-JSON keys and values byte-for-byte.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.apps.stencil import stencil_computation
+from repro.experiments.paper import paper_cost_database
+from repro.hardware.presets import paper_testbed
+from repro.partition.runtime import ManualClock, PartitionRuntime, RuntimePolicy
+from repro.sim.failures import FailureSchedule
+from repro.telemetry import Telemetry
+
+GOLDEN = Path(__file__).parent / "golden" / "audit_trail.json"
+EPOCHS = 6
+N = 512
+
+
+def make_runtime(failures=None, telemetry=None, clock=None):
+    return PartitionRuntime(
+        paper_testbed(),
+        stencil_computation(N, overlap=False, cycles=1),
+        paper_cost_database(),
+        policy=RuntimePolicy(),
+        clock=clock,
+        failures=failures,
+        telemetry=telemetry,
+    )
+
+
+def faulty_run(telemetry=None, clock=None):
+    clean = make_runtime().run(EPOCHS)
+    victim = clean.final_proc_ids[1]
+    runtime = make_runtime(
+        failures=FailureSchedule.fail_at(3, [victim]),
+        telemetry=telemetry,
+        clock=clock,
+    )
+    return runtime, runtime.run(EPOCHS)
+
+
+@pytest.fixture(scope="module")
+def instrumented():
+    clock = ManualClock()
+    tel = Telemetry.for_sim(lambda: clock.now)
+    runtime, result = faulty_run(telemetry=tel, clock=clock)
+    return runtime, result, tel
+
+
+def test_audit_records_match_the_golden_file(instrumented):
+    _, result, _ = instrumented
+    golden = json.loads(GOLDEN.read_text())
+    assert result.audit.to_records() == golden
+
+
+def test_audit_is_a_view_over_the_span_stream(instrumented):
+    runtime, result, tel = instrumented
+    audit_spans = tel.spans.by_name("runtime.audit")
+    assert len(audit_spans) == len(result.audit.events)
+    for event, span in zip(result.audit.events, audit_spans):
+        assert event.span is span
+        # One serialization path: the record IS the span attrs, re-keyed.
+        assert event.to_record() == {k: span.attrs[k] for k in event.KEYS}
+
+
+def test_audit_event_typed_accessors(instrumented):
+    _, result, _ = instrumented
+    bootstrap, loss = result.audit.events
+    assert bootstrap.trigger == "bootstrap"
+    assert bootstrap.old_config is None and bootstrap.old_vector is None
+    assert isinstance(bootstrap.new_vector, tuple)
+    assert loss.trigger == "node-loss"
+    assert loss.dead_ranks == (1,)
+    assert isinstance(loss.new_config, dict)
+    assert isinstance(loss.retries, dict)
+    assert loss.moved_pdus == result.moved_pdus_total
+    assert loss.replayed_pdus == result.replayed_pdus
+
+
+def test_every_epoch_gets_a_span_including_the_failure_epoch(instrumented):
+    _, result, tel = instrumented
+    epoch_spans = tel.spans.by_name("runtime.epoch")
+    assert [s.attrs["epoch"] for s in epoch_spans] == list(range(EPOCHS))
+    outcomes = [s.attrs["outcome"] for s in epoch_spans]
+    assert outcomes[3] == "node-loss"
+    assert outcomes.count("healthy") == EPOCHS - 1
+    run_spans = tel.spans.by_name("runtime.run")
+    assert len(run_spans) == 1
+    assert run_spans[0].attrs["answer"] == result.answer
+    # Epoch spans nest inside the run span; decide spans inside epochs.
+    assert all(s.parent_id == run_spans[0].span_id for s in epoch_spans)
+    assert len(tel.spans.by_name("runtime.decide")) >= 2  # bootstrap + recovery
+
+
+def test_counters_agree_with_the_result(instrumented):
+    _, result, tel = instrumented
+    sim = tel.metrics.counter_values("sim")
+    assert sim["runtime.epochs"] == EPOCHS
+    assert sim["runtime.triage.node_loss"] == 1
+    assert sim["runtime.triage.healthy"] == EPOCHS - 1
+    assert sim["runtime.triage.slowdown"] == 0
+    assert sim["runtime.replayed_pdus"] == result.replayed_pdus
+    assert sim["runtime.moved_pdus"] == result.moved_pdus_total
+    decide = tel.metrics.histogram("runtime.decide_ms")
+    assert decide.count == len(result.audit.events)
+
+
+def test_partition_host_counters_ride_the_same_registry(instrumented):
+    _, _, tel = instrumented
+    host = tel.metrics.counter_values("host")
+    assert host["partition.searches"] >= 2  # bootstrap + node-loss repartition
+    assert host["partition.evaluations"] > 0
+
+
+def test_audit_survives_disabled_telemetry():
+    _, silent = faulty_run(telemetry=None)
+    golden = json.loads(GOLDEN.read_text())
+    assert silent.audit.to_records() == golden
+
+
+def test_instrumented_and_silent_runs_agree():
+    clock = ManualClock()
+    tel = Telemetry.for_sim(lambda: clock.now)
+    _, instrumented_result = faulty_run(telemetry=tel, clock=clock)
+    _, silent_result = faulty_run(telemetry=None)
+    assert instrumented_result.answer == silent_result.answer
+    assert instrumented_result.final_vector == silent_result.final_vector
+    assert instrumented_result.elapsed_ms == silent_result.elapsed_ms

@@ -1,0 +1,110 @@
+"""Telemetry determinism across the two simulation engines.
+
+The contract pinned here: **sim-domain** metric snapshots are a function of
+the simulated world only — identical programs, seeds, and failure
+schedules produce byte-identical snapshots whether the engine
+event-simulates every cycle or fast-forwards confirmed steady-state
+windows (counters are advanced exactly, ``k × per-cycle delta``, across
+skipped windows).  **Host-domain** metrics are allowed — expected — to
+differ between the modes: they describe how the run was computed.
+"""
+
+import json
+
+from repro.apps.stencil import StencilCycleProgram
+from repro.hardware.presets import paper_testbed
+from repro.mmps import MMPS
+from repro.sim import FailureSchedule, FastForwardEngine
+from repro.telemetry import MetricsRegistry, SpanRecorder, Telemetry
+
+
+def _run(cycles, mode, *, failures=None, n=60, p1=3, p2=0):
+    network = paper_testbed()
+    tel = Telemetry(
+        metrics=MetricsRegistry(), spans=SpanRecorder(lambda: 0.0, domain="sim")
+    )
+    mmps = MMPS(network, metrics=tel.metrics)
+    procs = list(network.cluster("sparc2"))[:p1] + list(network.cluster("ipc"))[:p2]
+    base, extra = divmod(n, p1 + p2)
+    vector = [base + (1 if r < extra else 0) for r in range(p1 + p2)]
+    program = StencilCycleProgram(mmps, procs, vector, n)
+    engine = FastForwardEngine(mmps, failures=failures, telemetry=tel)
+    report = engine.run(program, cycles, mode=mode)
+    return report, tel
+
+
+def _sim_bytes(tel):
+    return json.dumps(tel.snapshot("sim"), sort_keys=True)
+
+
+def _victim():
+    return list(paper_testbed().cluster("sparc2"))[1].proc_id
+
+
+def test_sim_snapshot_byte_identical_across_modes():
+    event_report, event_tel = _run(60, "event")
+    fast_report, fast_tel = _run(60, "fast")
+    assert fast_report.fast_forwarded_cycles > 0  # the fast path actually ran
+    assert _sim_bytes(event_tel) == _sim_bytes(fast_tel)
+
+
+def test_sim_snapshot_byte_identical_with_failure_schedule():
+    schedule = FailureSchedule.fail_at(25, [_victim()])
+    event_report, event_tel = _run(60, "event", failures=schedule)
+    fast_report, fast_tel = _run(60, "fast", failures=schedule)
+    assert any(f.startswith("failure@25") for f in fast_report.fallbacks)
+    assert fast_report.fast_forwarded_cycles > 0
+    assert _sim_bytes(event_tel) == _sim_bytes(fast_tel)
+
+
+def test_identical_seeds_reproduce_the_snapshot():
+    def seeded(mode):
+        schedule = FailureSchedule.from_mtbf(
+            [_victim()], mtbf_epochs=20.0, horizon_epochs=50, seed=7
+        )
+        return _run(50, mode, failures=schedule)
+
+    _, a = seeded("fast")
+    _, b = seeded("fast")
+    _, c = seeded("event")
+    assert _sim_bytes(a) == _sim_bytes(b) == _sim_bytes(c)
+
+
+def test_sim_counters_match_the_report_and_modes_differ_on_host():
+    event_report, event_tel = _run(40, "event")
+    fast_report, fast_tel = _run(40, "fast")
+    for tel in (event_tel, fast_tel):
+        assert tel.metrics.counter_values("sim")["ff.cycles"] == 40
+    # Host-domain mechanics legitimately diverge: that is why they are host.
+    event_host = event_tel.metrics.counter_values("host")
+    fast_host = fast_tel.metrics.counter_values("host")
+    assert event_host["ff.probed_cycles"] == 40
+    assert fast_host["ff.probed_cycles"] == fast_report.probed_cycles < 40
+    assert fast_host["ff.fast_forwarded_cycles"] == fast_report.fast_forwarded_cycles
+    assert event_host["ff.fast_forwarded_cycles"] == 0
+    assert fast_host["ff.windows"] >= 1
+
+
+def test_engine_spans_mirror_probe_and_window_structure():
+    fast_report, fast_tel = _run(
+        30, "fast", failures=FailureSchedule.fail_at(10, [_victim()])
+    )
+    probes = fast_tel.spans.by_name("ff.probe")
+    windows = fast_tel.spans.by_name("ff.window")
+    fallbacks = fast_tel.spans.by_name("ff.fallback")
+    assert len(probes) == fast_report.probed_cycles
+    assert len(windows) == len(fast_report.windows)
+    assert [(s.attrs["first_cycle"], s.attrs["length"]) for s in windows] == list(
+        fast_report.windows
+    )
+    assert any(s.attrs["reason"] == "failure" for s in fallbacks)
+
+
+def test_null_telemetry_changes_nothing():
+    baseline, _ = _run(40, "fast")
+    network = paper_testbed()
+    mmps = MMPS(network)  # no registry at all
+    procs = list(network.cluster("sparc2"))[:3]
+    program = StencilCycleProgram(mmps, procs, [20, 20, 20], 60)
+    silent = FastForwardEngine(mmps).run(program, 40, mode="fast")
+    assert silent.parity_signature() == baseline.parity_signature()

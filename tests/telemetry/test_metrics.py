@@ -1,0 +1,117 @@
+"""MetricsRegistry: instruments, domains, snapshots, and the null registry."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    TelemetryError,
+)
+
+
+def test_counter_get_or_create_returns_same_handle():
+    reg = MetricsRegistry()
+    a = reg.counter("runtime.epochs")
+    b = reg.counter("runtime.epochs")
+    assert a is b
+    a.inc()
+    a.inc(5)
+    assert b.value == 6
+
+
+def test_gauge_set_overwrites():
+    reg = MetricsRegistry()
+    g = reg.gauge("queue.depth")
+    g.set(10)
+    g.set(3)
+    assert g.value == 3
+
+
+def test_histogram_buckets_are_le_semantics():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", buckets=(1.0, 10.0, 100.0))
+    for v in (0.5, 1.0, 5.0, 10.0, 99.0, 1000.0):
+        h.observe(v)
+    # le-semantics: 1.0 lands in the first bucket, 10.0 in the second.
+    assert h.counts == [2, 2, 1, 1]
+    assert h.count == 6
+    assert h.sum == pytest.approx(1115.5)
+
+
+def test_histogram_rejects_bad_buckets():
+    reg = MetricsRegistry()
+    with pytest.raises(TelemetryError):
+        reg.histogram("a", buckets=())
+    with pytest.raises(TelemetryError):
+        reg.histogram("b", buckets=(5.0, 1.0))
+    with pytest.raises(TelemetryError):
+        reg.histogram("c", buckets=(1.0, 1.0, 2.0))
+
+
+def test_unknown_domain_rejected():
+    reg = MetricsRegistry()
+    with pytest.raises(TelemetryError, match="unknown domain"):
+        reg.counter("x", domain="wall")
+
+
+def test_kind_and_domain_clashes_rejected():
+    reg = MetricsRegistry()
+    reg.counter("m", domain="sim")
+    with pytest.raises(TelemetryError, match="already declared"):
+        reg.gauge("m")
+    with pytest.raises(TelemetryError, match="already declared"):
+        reg.counter("m", domain="host")
+
+
+def test_instruments_sorted_and_domain_filtered():
+    reg = MetricsRegistry()
+    reg.counter("b.sim")
+    reg.counter("a.host", domain="host")
+    reg.gauge("c.sim")
+    assert [m.name for m in reg.instruments()] == ["a.host", "b.sim", "c.sim"]
+    assert [m.name for m in reg.instruments("sim")] == ["b.sim", "c.sim"]
+    assert len(reg) == 3
+
+
+def test_counter_values_only_counters_of_the_domain():
+    reg = MetricsRegistry()
+    reg.counter("sim.c").inc(2)
+    reg.counter("host.c", domain="host").inc(9)
+    reg.gauge("sim.g").set(7)
+    assert reg.counter_values("sim") == {"sim.c": 2}
+    assert reg.counter_values("host") == {"host.c": 9}
+
+
+def test_snapshot_is_json_stable_and_domain_scoped():
+    reg = MetricsRegistry()
+    reg.counter("z").inc(3)
+    reg.counter("a", domain="host").inc(1)
+    snap = reg.snapshot("sim", stamp=12.5)
+    assert snap["schema"] == "repro.telemetry/v1"
+    assert snap["domain"] == "sim"
+    assert snap["stamp"] == 12.5
+    assert [m["name"] for m in snap["metrics"]] == ["z"]
+    # Identical state -> identical bytes: the determinism suites rely on it.
+    again = reg.snapshot("sim", stamp=12.5)
+    assert json.dumps(snap, sort_keys=True) == json.dumps(again, sort_keys=True)
+
+
+def test_null_registry_shares_inert_instruments():
+    a = NULL_REGISTRY.counter("anything")
+    b = NULL_REGISTRY.counter("else", domain="host")
+    assert a is b
+    a.inc(100)
+    assert a.value == 0
+    NULL_REGISTRY.gauge("g").set(5)
+    NULL_REGISTRY.histogram("h").observe(1.0)
+    assert NULL_REGISTRY.snapshot()["metrics"] == []
+    assert NULL_REGISTRY.counter_values() == {}
+    assert len(NULL_REGISTRY) == 0
+    assert NULL_REGISTRY.enabled is False
+
+
+def test_default_buckets_are_strictly_increasing():
+    assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))

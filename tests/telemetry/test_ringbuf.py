@@ -1,0 +1,105 @@
+"""RingBuffer semantics, including exact parity with the old tracer bound."""
+
+import pytest
+
+from repro.sim.trace import Tracer
+from repro.telemetry.ringbuf import RingBuffer
+
+
+def test_unbounded_by_default():
+    buf = RingBuffer()
+    for i in range(1000):
+        buf.append(i)
+    assert len(buf) == 1000
+    assert buf.maxlen is None
+    assert buf.dropped is False
+
+
+def test_bounded_eviction_is_oldest_first():
+    buf = RingBuffer(maxlen=3)
+    for i in range(7):
+        buf.append(i)
+    assert buf.snapshot() == (4, 5, 6)
+    assert buf.dropped is True
+
+
+def test_dropped_is_conservative_once_full():
+    # "dropped" means "may have evicted": it trips when the ring fills,
+    # not only after the first actual eviction — matching the old tracer.
+    buf = RingBuffer(maxlen=3)
+    buf.append(1)
+    buf.append(2)
+    assert buf.dropped is False
+    buf.append(3)
+    assert buf.dropped is True
+
+
+def test_bound_below_one_rejected():
+    with pytest.raises(ValueError, match="maxlen must be >= 1"):
+        RingBuffer(maxlen=0)
+    with pytest.raises(ValueError):
+        RingBuffer(maxlen=-5)
+
+
+def test_snapshot_is_immutable_and_ordered():
+    buf = RingBuffer(maxlen=4)
+    for ch in "abcdef":
+        buf.append(ch)
+    snap = buf.snapshot()
+    assert snap == ("c", "d", "e", "f")
+    assert isinstance(snap, tuple)
+    buf.append("g")
+    assert snap == ("c", "d", "e", "f")  # snapshots don't track the buffer
+
+
+def test_iteration_and_clear():
+    buf = RingBuffer(maxlen=2)
+    buf.append(1)
+    buf.append(2)
+    assert list(buf) == [1, 2]
+    buf.clear()
+    assert len(buf) == 0
+    assert buf.snapshot() == ()
+
+
+# -- parity with the tracer the buffer was extracted from ---------------------
+
+
+def _tracer(**kwargs):
+    now = {"t": 0.0}
+    tracer = Tracer(lambda: now["t"], enabled=True, **kwargs)
+    return tracer, now
+
+
+def test_tracer_eviction_order_matches_ringbuffer():
+    tracer, now = _tracer(maxlen=3)
+    for i in range(6):
+        now["t"] = float(i)
+        tracer.record("cat", f"msg{i}")
+    assert [r.message for r in tracer.records] == ["msg3", "msg4", "msg5"]
+    assert tracer.dropped is True
+    assert len(tracer) == 3
+
+
+def test_tracer_unbounded_when_maxlen_none():
+    tracer, _ = _tracer(maxlen=None)
+    for i in range(500):
+        tracer.record("cat", str(i))
+    assert len(tracer) == 500
+    assert tracer.maxlen is None
+    assert tracer.dropped is False
+
+
+def test_tracer_rejects_zero_bound_like_ringbuffer():
+    with pytest.raises(ValueError, match="maxlen must be >= 1"):
+        _tracer(maxlen=0)
+
+
+def test_tracer_max_records_alias_still_works():
+    tracer, _ = _tracer(max_records=2)
+    assert tracer.maxlen == 2
+    for i in range(4):
+        tracer.record("cat", str(i))
+    assert [r.message for r in tracer.records] == ["2", "3"]
+    with pytest.raises(ValueError, match="conflicts"):
+        _tracer(maxlen=3, max_records=4)

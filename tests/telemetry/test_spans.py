@@ -1,0 +1,129 @@
+"""SpanRecorder: hierarchy, clocks, bounding, and the null recorder."""
+
+import pytest
+
+from repro.telemetry import NULL_SPANS, SpanRecorder, TelemetryError
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_nesting_gives_parent_child_ids():
+    clock = FakeClock()
+    rec = SpanRecorder(clock)
+    run = rec.start("run")
+    clock.now = 1.0
+    epoch = rec.start("epoch")
+    clock.now = 2.0
+    epoch.end()
+    clock.now = 3.0
+    run.end()
+    spans = rec.spans
+    # Finished in completion order: epoch first.
+    assert [s.name for s in spans] == ["epoch", "run"]
+    assert spans[0].parent_id == spans[1].span_id
+    assert spans[1].parent_id is None
+    assert spans[0].duration == 1.0
+    assert spans[1].duration == 3.0
+
+
+def test_explicit_parent_overrides_stack():
+    rec = SpanRecorder(FakeClock())
+    outer = rec.start("outer")
+    child = rec.start("child", parent=999)
+    assert child.span.parent_id == 999
+    child.end()
+    outer.end()
+
+
+def test_event_is_zero_duration_and_parented():
+    clock = FakeClock()
+    rec = SpanRecorder(clock)
+    outer = rec.start("outer")
+    clock.now = 5.0
+    span = rec.event("tick", cycle=3)
+    assert span.start == span.end == 5.0
+    assert span.duration == 0.0
+    assert span.parent_id == outer.span.span_id
+    assert span.attrs == {"cycle": 3}
+    outer.end()
+
+
+def test_annotate_chains_and_end_is_idempotent():
+    clock = FakeClock()
+    rec = SpanRecorder(clock)
+    handle = rec.start("s").annotate(a=1).annotate(b=2, a=3)
+    clock.now = 4.0
+    first = handle.end()
+    clock.now = 9.0
+    again = handle.end()
+    assert first is again
+    assert first.end == 4.0  # double-end keeps the first stamp
+    assert first.attrs == {"a": 3, "b": 2}
+    assert len(rec) == 1
+
+
+def test_context_manager_ends_span():
+    clock = FakeClock()
+    rec = SpanRecorder(clock)
+    with rec.start("block") as handle:
+        clock.now = 7.0
+    assert handle.span.end == 7.0
+    assert rec.by_name("block") == (handle.span,)
+
+
+def test_span_ids_are_sequential_from_one():
+    rec = SpanRecorder(FakeClock())
+    a = rec.start("a")
+    b = rec.start("b")
+    assert (a.span.span_id, b.span.span_id) == (1, 2)
+    b.end()
+    a.end()
+
+
+def test_bounded_recorder_drops_oldest_finished():
+    rec = SpanRecorder(FakeClock(), maxlen=2)
+    for i in range(4):
+        rec.start(f"s{i}").end()
+    assert [s.name for s in rec.spans] == ["s2", "s3"]
+    assert rec.dropped is True
+    assert rec.maxlen == 2
+
+
+def test_invalid_domain_rejected():
+    with pytest.raises(TelemetryError, match="unknown span domain"):
+        SpanRecorder(FakeClock(), domain="wall")
+
+
+def test_to_dict_is_the_export_shape():
+    clock = FakeClock()
+    rec = SpanRecorder(clock, domain="host")
+    handle = rec.start("s", k="v")
+    clock.now = 2.0
+    span = handle.end()
+    assert span.to_dict() == {
+        "span_id": 1,
+        "parent_id": None,
+        "name": "s",
+        "start": 0.0,
+        "end": 2.0,
+        "domain": "host",
+        "attrs": {"k": "v"},
+    }
+
+
+def test_null_recorder_is_inert():
+    handle = NULL_SPANS.start("anything", x=1)
+    assert handle.annotate(y=2) is handle
+    assert handle.end() is None
+    with NULL_SPANS.start("ctx"):
+        pass
+    assert NULL_SPANS.event("e") is None
+    assert NULL_SPANS.spans == ()
+    assert len(NULL_SPANS) == 0
+    assert NULL_SPANS.enabled is False

@@ -158,3 +158,102 @@ def test_workers_flag_accepted(capsys):
     # --workers=1 keeps the serial path; just the flag plumbing under test.
     assert main(["fig3", "--n", "60", "--workers", "1"]) == 0
     assert "p_ideal" in capsys.readouterr().out
+
+
+# -- telemetry export ----------------------------------------------------------
+
+
+def _sim_metric_lines(path):
+    import json
+
+    lines = []
+    for raw in path.read_text().splitlines():
+        record = json.loads(raw)
+        if record["kind"] == "metric" and record["metric"]["domain"] == "sim":
+            lines.append(raw)
+    return lines
+
+
+def test_run_dynamic_metrics_out(capsys, tmp_path):
+    from repro.telemetry import read_jsonl
+
+    out_file = tmp_path / "m.jsonl"
+    assert main(
+        [
+            "run-dynamic",
+            "--n", "256",
+            "--epochs", "4",
+            "--fail-at", "2",
+            "--metrics-out", str(out_file),
+        ]
+    ) == 0
+    assert "[metrics written to" in capsys.readouterr().out
+    data = read_jsonl(str(out_file))
+    assert data["meta"]["command"] == "run-dynamic"
+    by_name = {m["name"]: m for m in data["metrics"]}
+    assert by_name["runtime.epochs"]["value"] == 4
+    assert by_name["runtime.triage.node_loss"]["value"] == 1
+    # A span for every epoch, including the triaged failure epoch.
+    epochs = [s for s in data["spans"] if s["name"] == "runtime.epoch"]
+    assert [s["attrs"]["epoch"] for s in epochs] == [0, 1, 2, 3]
+    assert epochs[2]["attrs"]["outcome"] == "node-loss"
+
+
+def test_run_dynamic_sim_metrics_identical_across_engines(tmp_path, capsys):
+    args = ["run-dynamic", "--n", "256", "--epochs", "3", "--validate-cycles", "12"]
+    fast, event = tmp_path / "fast.jsonl", tmp_path / "event.jsonl"
+    assert main(args + ["--engine", "fast", "--metrics-out", str(fast)]) == 0
+    assert main(args + ["--engine", "event", "--metrics-out", str(event)]) == 0
+    capsys.readouterr()
+    fast_lines = _sim_metric_lines(fast)
+    assert fast_lines == _sim_metric_lines(event)  # byte-identical sim domain
+    assert any('"ff.cycles"' in line for line in fast_lines)
+
+
+def test_metrics_summary_table_and_prom(capsys, tmp_path):
+    from repro.telemetry import validate_prometheus
+
+    out_file = tmp_path / "m.jsonl"
+    assert main(
+        ["run-dynamic", "--n", "256", "--epochs", "3", "--fail-at", "1",
+         "--metrics-out", str(out_file)]
+    ) == 0
+    capsys.readouterr()
+    assert main(["metrics-summary", str(out_file)]) == 0
+    table = capsys.readouterr().out
+    assert "telemetry snapshot" in table
+    assert "runtime.triage.node_loss" in table
+    assert "runtime.epoch" in table
+    assert main(["metrics-summary", str(out_file), "--format", "prom"]) == 0
+    prom = capsys.readouterr().out
+    assert "# TYPE runtime_epochs counter" in prom
+    assert validate_prometheus(prom) == []
+
+
+def test_resilience_metrics_out(capsys, tmp_path):
+    from repro.telemetry import read_jsonl
+
+    out_file = tmp_path / "res.jsonl"
+    assert main(
+        ["resilience", "--n", "256", "--epochs", "4", "--metrics-out", str(out_file)]
+    ) == 0
+    capsys.readouterr()
+    by_name = {m["name"]: m for m in read_jsonl(str(out_file))["metrics"]}
+    assert by_name["resilience.scenarios"]["value"] >= 1
+    assert by_name["resilience.parity_broken"]["value"] == 0
+
+
+def test_bench_partition_metrics_out(capsys, tmp_path):
+    from repro.telemetry import read_jsonl
+
+    out_file = tmp_path / "bench.jsonl"
+    assert main(
+        ["bench-partition", "--clusters", "4", "4", "--n", "200",
+         "--repeat", "1", "--metrics-out", str(out_file)]
+    ) == 0
+    capsys.readouterr()
+    by_name = {m["name"]: m for m in read_jsonl(str(out_file))["metrics"]}
+    speedup = by_name["bench.partition.speedup_batch_over_scalar"]
+    assert speedup["domain"] == "host"
+    assert speedup["value"] > 0
+    assert by_name["bench.partition.batch.best_wall_s"]["value"] > 0
