@@ -1,23 +1,30 @@
-"""Bench: scalar vs batch exhaustive-oracle throughput.
+"""Bench: scalar vs batch vs array exhaustive-oracle throughput.
 
-The tentpole claim of the fast-path layer: on a 3-cluster, 24-processor
-network the vectorized exhaustive oracle is at least 10x faster than the
-scalar one while making the identical decision.  Writes the comparison to
+The tentpole claims of the fast-path layers, on the 3-cluster
+24-processor reference scenario: the vectorized batch oracle is at least
+10x faster than the scalar one, and the preallocated array engine is at
+least 10x faster again than batch (in configs/s), all three making the
+identical decision.  Writes the comparison to
 ``benchmarks/out/partition_perf.txt`` and the machine-readable record to
 the repo root as ``BENCH_partition_perf.json`` so the numbers are tracked
-across PRs.
+across PRs (see ``benchmarks/check_perf_regression.py``).
 """
 
 import json
 from pathlib import Path
 
-from repro.partition.perfbench import perf_payload, perf_report, run_perf
+from repro.partition.perfbench import (
+    ARRAY_SPEEDUP_FLOOR,
+    perf_payload,
+    perf_report,
+    run_perf,
+)
 
 REPO_ROOT = Path(__file__).parent.parent
 SPEEDUP_FLOOR = 10.0
 
 
-def test_batch_exhaustive_speedup(benchmark, save_report):
+def test_engine_exhaustive_speedups(benchmark, save_report):
     cmp = benchmark.pedantic(
         lambda: run_perf((8, 8, 8), n=600, repeat=3), rounds=1, iterations=1
     )
@@ -27,24 +34,38 @@ def test_batch_exhaustive_speedup(benchmark, save_report):
         json.dumps(payload, indent=2) + "\n"
     )
     scalar, batch = cmp.result("scalar"), cmp.result("batch")
-    assert scalar.counts == batch.counts
+    array = cmp.result("array")
+    assert scalar.counts == batch.counts == array.counts
     assert abs(scalar.t_cycle_ms - batch.t_cycle_ms) < 1e-9
+    assert abs(scalar.t_cycle_ms - array.t_cycle_ms) < 1e-9
     assert cmp.speedup >= SPEEDUP_FLOOR, (
         f"batch engine only {cmp.speedup:.1f}x faster than scalar "
         f"(floor {SPEEDUP_FLOOR}x): scalar {scalar.best_wall_s * 1e3:.2f} ms, "
         f"batch {batch.best_wall_s * 1e3:.2f} ms"
     )
+    assert cmp.speedup_array_over_batch >= ARRAY_SPEEDUP_FLOOR, (
+        f"array engine only {cmp.speedup_array_over_batch:.1f}x the batch "
+        f"throughput (floor {ARRAY_SPEEDUP_FLOOR}x): batch "
+        f"{batch.configs_per_s:,.0f} configs/s, array "
+        f"{array.configs_per_s:,.0f} configs/s"
+    )
+    # The allocation story the workspace exists for: a streamed search's
+    # transient footprint stays far below the batch engine's.
+    assert array.alloc_peak_kib is not None and batch.alloc_peak_kib is not None
+    assert array.alloc_peak_kib < batch.alloc_peak_kib
 
 
-def test_unpruned_batch_still_matches(benchmark):
-    """Without the prune the batch engine scans all combos — same answer."""
+def test_unpruned_engines_still_match(benchmark):
+    """Without the prune both fast engines scan all combos — same answer."""
     cmp = benchmark.pedantic(
         lambda: run_perf((6, 6, 6), n=300, repeat=1, prune=False),
         rounds=1,
         iterations=1,
     )
     scalar, batch = cmp.result("scalar"), cmp.result("batch")
-    assert scalar.counts == batch.counts
+    array = cmp.result("array")
+    assert scalar.counts == batch.counts == array.counts
     assert abs(scalar.t_cycle_ms - batch.t_cycle_ms) < 1e-9
-    # Unpruned, the batch engine visits the full (6+1)^3 - 1 combo space.
+    # Unpruned, both engines visit the full (6+1)^3 - 1 combo space.
     assert batch.configs_evaluated == 7**3 - 1
+    assert array.configs_evaluated == 7**3 - 1

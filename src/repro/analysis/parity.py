@@ -1,8 +1,9 @@
-"""Rule ``engine-parity``: the two cost-model engines must share constants.
+"""Rule ``engine-parity``: the cost-model engines must share constants.
 
-The Eq 1–6 cost model exists twice: the scalar reference implementation
-(``partition/estimator.py``) and the vectorized batch engine
-(``partition/fastpath.py``).  PR 2's tie-breaking bug was exactly the drift
+The Eq 1–6 cost model exists three times: the scalar reference
+implementation (``partition/estimator.py``), the vectorized batch engine
+(``partition/fastpath.py``), and the preallocated array engine
+(``partition/arrayengine.py``).  PR 2's tie-breaking bug was exactly the drift
 mode this invites — one engine's decision logic evolved while the other's
 copy did not.  Logic drift needs the equivalence test-suite; *constant*
 drift is statically checkable: any numeric literal that appears in both
@@ -29,8 +30,13 @@ from repro.analysis.engine import Finding, ParsedModule, Project, Rule, register
 __all__ = ["EngineParityRule", "ENGINE_PAIRS"]
 
 #: (reference implementation, alternate implementation) path suffixes.
+#: The array engine pairs against both the scalar reference and the batch
+#: engine it inherits its lowering from — a constant re-literaled in
+#: ``arrayengine.py`` instead of imported drifts all three apart.
 ENGINE_PAIRS: Tuple[Tuple[str, str], ...] = (
     ("repro/partition/estimator.py", "repro/partition/fastpath.py"),
+    ("repro/partition/estimator.py", "repro/partition/arrayengine.py"),
+    ("repro/partition/fastpath.py", "repro/partition/arrayengine.py"),
 )
 
 #: Structurally trivial values that legitimately recur everywhere.

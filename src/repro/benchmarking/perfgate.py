@@ -4,14 +4,20 @@ The perf-smoke CI jobs record benchmarks as JSON payloads and the repo
 commits the last known-good record of each.  This module compares a fresh
 payload against its baseline and reports what regressed.
 
-``BENCH_partition_perf.json`` (:func:`check_regression`, the scalar-vs-batch
-partition benchmark from ``benchmarks/test_bench_partition_perf.py``):
+``BENCH_partition_perf.json`` (:func:`check_regression`, the
+scalar/batch/array partition benchmark from
+``benchmarks/test_bench_partition_perf.py``):
 
-* **decision drift** — either engine choosing a different configuration is
+* **decision drift** — any engine choosing a different configuration is
   a correctness bug, never noise, and always fails;
-* **speedup collapse** — the batch/scalar speedup is a within-run ratio,
-  so it transfers across machines; a drop beyond ``factor`` (default 2×)
-  fails;
+* **floor breach** — the array engine's configs/s must be at least the
+  payload's committed ``array_over_batch_floor`` times the batch engine's
+  (a within-run ratio, like the telemetry budget) whenever both engines
+  are present; always fails;
+* **speedup collapse** — the batch/scalar and array/batch speedups are
+  within-run ratios, so they transfer across machines; a drop beyond
+  ``factor`` (default 2×) against the baseline fails.  Baselines predating
+  the array engine simply skip the array checks (back-compat);
 * **throughput collapse** (``strict=True`` only) — absolute
   ``configs_per_s`` per engine; off by default because wall-clock rates do
   not transfer between the machine that committed the baseline and the CI
@@ -100,6 +106,25 @@ def check_regression(
             problems.append(
                 f"batch/scalar speedup regressed >{factor:g}x: "
                 f"{base_speedup:.1f}x -> {cur_speedup:.1f}x"
+            )
+    # Array-engine gates: the committed floor is a within-run invariant of
+    # the *current* payload; the regression check needs the baseline to
+    # know about the array engine at all (back-compat with older records).
+    cur_array = current.get("speedup_array_over_batch")
+    floor = current.get("array_over_batch_floor")
+    if cur_array is not None and floor is not None and cur_array < floor:
+        problems.append(
+            f"array/batch speedup below committed floor: "
+            f"{cur_array:.1f}x < {floor:g}x"
+        )
+    base_array = baseline.get("speedup_array_over_batch")
+    if base_array is not None:
+        if cur_array is None:
+            problems.append("speedup_array_over_batch missing from current payload")
+        elif cur_array * factor < base_array:
+            problems.append(
+                f"array/batch speedup regressed >{factor:g}x: "
+                f"{base_array:.1f}x -> {cur_array:.1f}x"
             )
     return problems
 

@@ -113,7 +113,12 @@ def _bench_partition(args) -> str:
 
     from repro.partition.perfbench import perf_payload, perf_report, run_perf
 
-    engines = ("scalar", "batch") if args.engine == "both" else (args.engine,)
+    if args.engine == "all":
+        engines = ("scalar", "batch", "array")
+    elif args.engine == "both":
+        engines = ("scalar", "batch")
+    else:
+        engines = (args.engine,)
     cmp = run_perf(
         tuple(args.clusters),
         n=args.n,
@@ -145,6 +150,10 @@ def _bench_partition(args) -> str:
             tel.metrics.gauge(
                 "bench.partition.speedup_batch_over_scalar", domain="host"
             ).set(cmp.speedup)
+        if cmp.speedup_array_over_batch is not None:
+            tel.metrics.gauge(
+                "bench.partition.speedup_array_over_batch", domain="host"
+            ).set(cmp.speedup_array_over_batch)
         tel.dump(args.metrics_out, meta={"command": "bench-partition"})
         text += f"\n[metrics written to {args.metrics_out}]"
     return text
@@ -174,7 +183,10 @@ def _run_dynamic(args) -> str:
             paper_testbed(),
             stencil_computation(args.n, overlap=False, cycles=1),
             paper_cost_database(),
-            policy=RuntimePolicy(imbalance_threshold=args.threshold),
+            policy=RuntimePolicy(
+                imbalance_threshold=args.threshold,
+                engine=getattr(args, "decide_engine", "scalar"),
+            ),
             clock=clock,
             failures=failures,
             telemetry=tel,
@@ -303,6 +315,7 @@ def _resilience(args) -> str:
         workers=getattr(args, "workers", None),
         validate_cycles=args.validate_cycles,
         validate_mode=args.validate_mode,
+        decide_engine=getattr(args, "decide_engine", "scalar"),
         telemetry=tel,
     )
     if tel is not None:
@@ -454,7 +467,8 @@ def build_parser() -> argparse.ArgumentParser:
     p11.set_defaults(func=_multiapp)
 
     p12 = sub.add_parser(
-        "bench-partition", help="time the exhaustive oracle: scalar vs batch engine"
+        "bench-partition",
+        help="time the exhaustive oracle: scalar vs batch vs array engines",
     )
     p12.add_argument(
         "--clusters",
@@ -468,9 +482,10 @@ def build_parser() -> argparse.ArgumentParser:
     p12.add_argument("--repeat", type=int, default=3, help="timing repeats per engine")
     p12.add_argument(
         "--engine",
-        choices=("scalar", "batch", "both"),
-        default="both",
-        help="which evaluation path(s) to time",
+        choices=("scalar", "batch", "array", "both", "all"),
+        default="all",
+        help="which evaluation path(s) to time ('both' = scalar+batch, "
+        "'all' adds the preallocated array engine)",
     )
     p12.add_argument(
         "--no-prune",
@@ -543,6 +558,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="validation engine: fast-forward confirmed steady-state "
         "windows, or event-simulate every cycle",
     )
+    p13.add_argument(
+        "--decide-engine",
+        choices=("scalar", "array"),
+        default="scalar",
+        help="probe engine for the supervisor's repartition searches "
+        "(identical decisions; 'array' prefetches candidate segments "
+        "through a preallocated workspace)",
+    )
     p13.set_defaults(func=_run_dynamic)
 
     p14 = sub.add_parser(
@@ -565,6 +588,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("fast", "event"),
         default="fast",
         help="fast-forward confirmed steady-state cycles, or simulate all",
+    )
+    p14.add_argument(
+        "--decide-engine",
+        choices=("scalar", "array"),
+        default="scalar",
+        help="cost-model engine for the supervisor's repartition decisions "
+        "(identical decisions, different throughput)",
     )
     p14.add_argument(
         "--metrics-out",

@@ -108,11 +108,20 @@ def _supervised_run(
     failures: Optional[FailureSchedule] = None,
     pre_dead: Sequence[int] = (),
     policy: Optional[RuntimePolicy] = None,
+    decide_engine: str = "scalar",
 ) -> RuntimeResult:
-    """One supervised execution on a fresh paper testbed."""
+    """One supervised execution on a fresh paper testbed.
+
+    ``decide_engine`` selects the repartition searches' probe engine
+    (``"scalar"`` or ``"array"``) when no explicit ``policy`` is given —
+    the engines make identical decisions, so grid rows are byte-stable
+    across the choice.
+    """
     network = paper_testbed()
     for pid in pre_dead:
         network.processor(pid).fail()
+    if policy is None and decide_engine != "scalar":
+        policy = RuntimePolicy(engine=decide_engine)
     runtime = PartitionRuntime(
         network,
         stencil_computation(n, overlap=False, cycles=1),
@@ -173,15 +182,20 @@ def _grid_row(
     epochs: int,
     validate_cycles: int,
     validate_mode: str,
+    decide_engine: str = "scalar",
 ) -> ResilienceRow:
     """One scenario row — module-level and primitive-argument so
     :func:`~repro.partition.search_parallel.sweep` can ship it to a pool."""
-    supervised = _supervised_run(n=n, epochs=epochs, failures=schedule)
+    supervised = _supervised_run(
+        n=n, epochs=epochs, failures=schedule, decide_engine=decide_engine
+    )
     first_fail = min(e.at_epoch for e in schedule.events)
     dead = sorted(e.proc_id for e in schedule.events)
     # Fail-stop baseline: everything before the failure is wasted, then the
     # whole computation restarts on whatever survived.
-    restart = _supervised_run(n=n, epochs=epochs, pre_dead=dead)
+    restart = _supervised_run(
+        n=n, epochs=epochs, pre_dead=dead, decide_engine=decide_engine
+    )
     baseline_ms = clean_ms * (first_fail / epochs) + restart.elapsed_ms
     retries = sum(
         sum(event.retries.values()) for event in supervised.audit
@@ -228,6 +242,7 @@ def resilience_grid(
     workers: Optional[int] = None,
     validate_cycles: int = 0,
     validate_mode: str = "fast",
+    decide_engine: str = "scalar",
 ) -> list[ResilienceRow]:
     """The overhead grid: single worker loss, manager loss, MTBF draws.
 
@@ -236,6 +251,9 @@ def resilience_grid(
     rows); ``validate_cycles`` additionally event-executes each row's
     final decomposition for that many stencil cycles in ``validate_mode``
     (``"fast"`` or ``"event"`` — identical results, different wall time).
+    ``decide_engine`` (``"scalar"`` or ``"array"``) picks the cost-model
+    engine the supervisor's repartition decisions run on; the decisions
+    are bit-identical, so the grid itself must be too.
     """
     _prime_cost_database()  # the clean run and serial rows share one fit
     clean = _supervised_run(n=n, epochs=epochs)
@@ -272,6 +290,7 @@ def resilience_grid(
             epochs,
             validate_cycles,
             validate_mode,
+            decide_engine,
         )
         for scenario, schedule in scenarios
     ]
@@ -290,6 +309,7 @@ def resilience_report(
     workers: Optional[int] = None,
     validate_cycles: int = 0,
     validate_mode: str = "fast",
+    decide_engine: str = "scalar",
     telemetry=None,
 ) -> str:
     """ASCII grid; raises if any scenario breaks answer parity.
@@ -308,6 +328,7 @@ def resilience_report(
         workers=workers,
         validate_cycles=validate_cycles,
         validate_mode=validate_mode,
+        decide_engine=decide_engine,
     )
     broken = [r.scenario for r in rows if not r.answer_parity]
     if telemetry is not None:

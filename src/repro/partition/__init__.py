@@ -8,6 +8,13 @@ support the evaluation and ablations.
 """
 
 from repro.partition.advisor import advise, explain_decision, network_fingerprint
+from repro.partition.arrayengine import (
+    ArrayCycleEstimator,
+    ArraySearchEngine,
+    ArraySearchResult,
+    ArrayWorkspace,
+    FrontierState,
+)
 from repro.partition.available import (
     ClusterResources,
     GatherReport,
@@ -67,6 +74,11 @@ __all__ = [
     "advise",
     "explain_decision",
     "network_fingerprint",
+    "ArrayCycleEstimator",
+    "ArraySearchEngine",
+    "ArraySearchResult",
+    "ArrayWorkspace",
+    "FrontierState",
     "ClusterResources",
     "GatherReport",
     "ManagerReply",

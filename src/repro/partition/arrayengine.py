@@ -1,0 +1,996 @@
+"""The preallocated array engine: streamed, allocation-free Eq 3-6 kernels.
+
+:class:`BatchCycleEstimator` (the PR-1 fast path) evaluates candidate
+*matrices* but builds fresh NumPy arrays on every call — temporaries for the
+speed gather, boolean masks, the per-cluster cost grid — which is the
+dominant cost of a decide once the matrices are small and the calls are
+frequent (the supervisor's repeat searches, interactive decisions).  This
+module removes that cost:
+
+* :class:`ArrayWorkspace` — every buffer the kernels touch, allocated once
+  per (estimator, max-batch) pair and reused for the engine's lifetime.
+  Count columns are stored **per cluster** (a ``(K, max_rows)`` layout), so
+  every kernel op runs over a contiguous 1-D slice — axis-1 reductions over
+  tiny ``(M, K)`` matrices are an order of magnitude slower than ``K``
+  contiguous passes at these sizes.
+* :class:`ArrayCycleEstimator` — inherits the Eq 1/3/crossing lowering from
+  :class:`BatchCycleEstimator` and adds in-place (``out=``-style) kernels:
+  folded Eq 1 coefficients (the constant message size ``b`` is absorbed
+  into per-cluster ``alpha + beta·p`` at construction), a crossing-penalty
+  lookup table indexed by the row's active-cluster bit pattern, and a
+  rounds lookup table over row totals.  Zero per-row allocations on the
+  constant-complexity path.
+* chunked candidate streaming — :meth:`ArrayCycleEstimator.iter_full_blocks`
+  decodes mixed-radix configuration indices straight into the workspace
+  (never materializing the full count matrix), and
+  :meth:`iter_pruned_blocks` streams the branch-and-bound survivors block
+  by block for spaces too large to scan.
+* :class:`FrontierState` — the incremental frontier: a completed search
+  remembers every candidate it scored and the prune threshold it used.
+  When availability *shrinks* (node loss — the supervisor's common case)
+  the scores of still-feasible candidates are unchanged under the
+  threshold availability policy, and every never-scored candidate provably
+  exceeds the recorded threshold, so the repeat decision is a masked
+  argmin over stored rows: O(delta) work, zero fresh evaluations, decision
+  identical to a cold search.  It composes with
+  :class:`~repro.partition.warmstart.SearchCache`, which carries the
+  frontier (and the engine's workspace) across epochs.
+
+The scalar :class:`~repro.partition.estimator.CycleEstimator` stays the
+reference; ``tests/partition/test_array_engine.py`` pins three-way decision
+parity (scalar vs batch vs array) and frontier-vs-cold equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.benchmarking.database import CostDatabase
+from repro.errors import FittingError, PartitionError
+from repro.model.computation import DataParallelComputation
+from repro.partition.available import ClusterResources
+from repro.partition.estimator import CycleEstimate, CycleEstimator
+from repro.partition.fastpath import (
+    _PRUNE_SLACK,
+    BatchCycleEstimator,
+    prefix_count_matrix,
+)
+from repro.units import US_PER_MS
+
+__all__ = [
+    "ArrayWorkspace",
+    "ArrayCycleEstimator",
+    "ArraySearchResult",
+    "ArraySearchEngine",
+    "ArrayHeuristicEstimator",
+    "FrontierState",
+    "array_exhaustive_search",
+    "array_prefix_search",
+]
+
+#: Rows per streamed block — the workspace's batch capacity.
+DEFAULT_MAX_ROWS = 8192
+
+#: ``iter_full_blocks`` beats the branch-and-bound prune until the space
+#: exceeds this many blocks: the streamed kernel is cheaper per row than
+#: the prune's prefix expansion until the space dwarfs the block size.
+_AUTO_PRUNE_BLOCKS = 4
+
+#: Crossing lookup tables are ``2^K``; beyond this many clusters fall back
+#: to the pairwise loop instead of a table.
+_MAX_LUT_CLUSTERS = 16
+
+
+class ArrayWorkspace:
+    """Preallocated buffers for one (estimator, max-batch) pair.
+
+    All kernels write into slices of these arrays; nothing here is ever
+    reallocated after construction.  ``counts[k, :n]`` is cluster ``k``'s
+    contiguous count column for the current block.
+    """
+
+    __slots__ = (
+        "max_rows",
+        "n_clusters",
+        "counts",
+        "active",
+        "inactive",
+        "totals",
+        "pattern",
+        "iwork",
+        "nact",
+        "speed_sums",
+        "t_comp",
+        "t_comm",
+        "t_overlap",
+        "t_cycle",
+        "fwork",
+        "fwork2",
+        "mask",
+        "bwork",
+    )
+
+    def __init__(self, n_clusters: int, max_rows: int) -> None:
+        if n_clusters < 1 or max_rows < 1:
+            raise PartitionError(
+                f"workspace needs >=1 cluster and >=1 row, got "
+                f"({n_clusters}, {max_rows})"
+            )
+        self.max_rows = int(max_rows)
+        self.n_clusters = int(n_clusters)
+        k, m = self.n_clusters, self.max_rows
+        self.counts = np.empty((k, m), dtype=np.int64)
+        self.active = np.empty((k, m), dtype=bool)
+        self.inactive = np.empty((k, m), dtype=bool)
+        self.totals = np.empty(m, dtype=np.int64)
+        self.pattern = np.empty(m, dtype=np.int64)
+        self.iwork = np.empty(m, dtype=np.int64)
+        self.nact = np.empty(m, dtype=np.int64)
+        self.speed_sums = np.empty(m)
+        self.t_comp = np.empty(m)
+        self.t_comm = np.empty(m)
+        self.t_overlap = np.empty(m)
+        self.t_cycle = np.empty(m)
+        self.fwork = np.empty(m)
+        self.fwork2 = np.empty(m)
+        self.mask = np.empty(m, dtype=bool)
+        self.bwork = np.empty(m, dtype=bool)
+
+    def nbytes(self) -> int:
+        """Total bytes held by the workspace (for telemetry/debugging)."""
+        return sum(
+            getattr(self, name).nbytes
+            for name in self.__slots__
+            if isinstance(getattr(self, name), np.ndarray)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ArrayWorkspace K={self.n_clusters} max_rows={self.max_rows} "
+            f"{self.nbytes() / 1024:.0f} KiB>"
+        )
+
+
+@dataclass(frozen=True)
+class ArraySearchResult:
+    """Outcome of one streamed array search."""
+
+    counts: tuple[int, ...]
+    t_cycle_ms: float
+    evaluations: int
+    chunks: int
+    frontier_hit: bool
+    method: str
+
+
+@dataclass(frozen=True)
+class FrontierState:
+    """Everything a completed search learned, for incremental repeats.
+
+    ``rows``/``t_cycle`` hold every candidate the search scored;
+    ``keep_at`` is the prune threshold the enumeration used (``inf`` for a
+    full scan, where *every* feasible candidate was scored).  Soundness of
+    the shrink fast path: a candidate the search never scored was cut
+    because its ``T_comp`` lower bound — computed with the remaining
+    clusters at **full** availability — exceeded ``keep_at``; shrinking
+    availability only raises that bound, so its true ``T_c`` still exceeds
+    ``keep_at``.  Whenever the masked minimum over stored rows is
+    ``<= keep_at`` it is therefore the exact optimum of the shrunk space
+    (strictly below every unscored candidate, so lex tie-breaking over
+    stored rows is also exact).
+    """
+
+    limits: tuple[int, ...]
+    rows: np.ndarray  #: ``(R, K)`` scored candidate rows.
+    t_cycle: np.ndarray  #: ``(R,)`` their objective values.
+    keep_at: float
+
+    def shrink_best(
+        self, limits: np.ndarray
+    ) -> Optional[tuple[tuple[int, ...], float]]:
+        """Exact optimum under shrunk ``limits``, or ``None`` if unprovable."""
+        if np.any(limits > np.asarray(self.limits, dtype=np.int64)):
+            return None  # availability grew somewhere: unscored space opened
+        feasible = np.all(self.rows <= limits[None, :], axis=1)
+        if not feasible.any():
+            return None
+        t = self.t_cycle[feasible]
+        rows = self.rows[feasible]
+        t_min = t.min()
+        if not t_min <= self.keep_at:  # also rejects NaN
+            return None  # optimum may hide among pruned candidates
+        tied = np.flatnonzero(t == t_min)
+        if tied.size == 1:
+            best = rows[tied[0]]
+        else:
+            order = np.lexsort(rows[tied].T[::-1])
+            best = rows[tied[order[0]]]
+        return tuple(int(c) for c in best), float(t_min)
+
+
+class ArrayCycleEstimator(BatchCycleEstimator):
+    """In-place Eq 3-6 kernels over a reusable :class:`ArrayWorkspace`.
+
+    Inherits the full lowering (speed prefixes, Eq 1 coefficients,
+    crossing matrices) from :class:`BatchCycleEstimator` — the parity lint
+    rule keeps the two from drifting — and adds the preallocated streaming
+    layer.  ``evaluate()`` (the batch API) still works and is used as the
+    fallback for the per-row callback cases the kernels cannot vectorize
+    (share-dependent message sizes).
+    """
+
+    def __init__(
+        self,
+        computation: DataParallelComputation,
+        resources: Sequence[ClusterResources],
+        cost_db: CostDatabase,
+        *,
+        startup_ms: float = 0.0,
+        max_rows: int = DEFAULT_MAX_ROWS,
+    ) -> None:
+        super().__init__(computation, resources, cost_db, startup_ms=startup_ms)
+        k_n = len(self.ordered)
+        self.workspace = ArrayWorkspace(k_n, max_rows)
+        self._decoded_for: Optional[tuple[int, ...]] = None
+        self._prepare_fast_path()
+
+    # -- construction-time folding ----------------------------------------------
+
+    def _prepare_fast_path(self) -> None:
+        k_n = len(self.ordered)
+        phase = self.comm_phase
+        #: Eq 4 numerator, divided exactly as the batch engine divides it.
+        self._comp_numer = self.comp_complexity * self.num_pdus
+        self._b_const: Optional[float] = None
+        self._rounds_lut: Optional[np.ndarray] = None
+        self._rounds_const = 0.0
+        self._alpha = np.zeros(k_n)
+        self._beta = np.zeros(k_n)
+        self._cross_lut: Optional[np.ndarray] = None
+        self._bad_lut: Optional[np.ndarray] = None
+        self._pop_lut: Optional[np.ndarray] = None
+        if phase is None:
+            return
+        if phase.per_config_complexity is None:
+            self._b_const = float(phase.complexity_value(self.computation.problem))
+            # Fold b into per-cluster linear coefficients: Eq 1 becomes
+            # alpha_k + beta_k * p for the quirk-free clusters.
+            self._alpha = self._c1 + self._b_const * self._c3
+            self._beta = self._c2 + self._b_const * self._c4
+        total_max = int(self.limits.sum())
+        if callable(phase.rounds):
+            self._rounds_lut = np.array(
+                [
+                    phase.rounds_value(self.computation.problem, total)
+                    for total in range(total_max + 1)
+                ]
+            )
+        else:
+            self._rounds_const = float(
+                phase.rounds_value(self.computation.problem, 0)
+            )
+        if self._b_const is not None and k_n <= _MAX_LUT_CLUSTERS:
+            size = 1 << k_n
+            self._cross_lut = np.zeros(size)
+            self._bad_lut = np.zeros(size, dtype=bool)
+            self._pop_lut = np.array(
+                [bin(p).count("1") for p in range(size)], dtype=np.int64
+            )
+            pair_cost = self._cross_intercept + self._cross_slope * self._b_const
+            for patt in range(size):
+                worst = 0.0
+                for i in range(k_n):
+                    if not patt >> i & 1:
+                        continue
+                    for j in range(i + 1, k_n):
+                        if not patt >> j & 1:
+                            continue
+                        cost = pair_cost[i, j]
+                        if np.isnan(cost):
+                            self._bad_lut[patt] = True
+                        else:
+                            worst = max(worst, cost)
+                self._cross_lut[patt] = worst
+
+    @property
+    def vectorized_fast_path(self) -> bool:
+        """True when blocks run the allocation-free kernels (no per-row
+        callback fallbacks)."""
+        return self.comm_phase is None or (
+            self._b_const is not None and self._cross_lut is not None
+        )
+
+    # -- block enumeration -------------------------------------------------------
+
+    def limits_key(self) -> tuple[int, ...]:
+        return tuple(int(v) for v in self.limits)
+
+    def iter_full_blocks(
+        self, limits: Optional[np.ndarray] = None
+    ) -> Iterator[int]:
+        """Stream the full combination space into the workspace, block by
+        block, yielding each block's row count.
+
+        Configuration index ``i`` (1-based; index 0 is the empty
+        configuration, which is skipped so every streamed row satisfies
+        the >=1-processor floor) is decoded mixed-radix straight into the
+        per-cluster count columns.  When the whole space fits one block
+        and availability is unchanged since the last call, the decode is
+        skipped entirely — the counts columns are already in place.
+        """
+        ws = self.workspace
+        lim = self.limits if limits is None else np.asarray(limits, dtype=np.int64)
+        if np.any(lim < 0) or np.any(lim > self.limits):
+            raise PartitionError("limits outside the lowered availability bounds")
+        radix = lim + 1
+        k_n = len(radix)
+        space = 1
+        for r in radix:
+            space *= int(r)
+        div = [1] * k_n
+        for k in range(k_n - 2, -1, -1):
+            div[k] = div[k + 1] * int(radix[k + 1])
+        key = tuple(int(v) for v in lim)
+        if space - 1 <= ws.max_rows and self._decoded_for == key:
+            yield space - 1  # cached single-block decode
+            return
+        self._decoded_for = None
+        for start in range(1, space, ws.max_rows):
+            stop = min(start + ws.max_rows, space)
+            n = stop - start
+            indices = np.arange(start, stop, dtype=np.int64)
+            for k in range(k_n):
+                ck = ws.counts[k, :n]
+                np.floor_divide(indices, div[k], out=ck)
+                np.remainder(ck, radix[k], out=ck)
+            if space - 1 <= ws.max_rows:
+                self._decoded_for = key
+            yield n
+
+    def iter_pruned_blocks(self, incumbent_t_cycle: float) -> Iterator[int]:
+        """Stream the branch-and-bound survivors into the workspace.
+
+        Prefix levels expand exactly as
+        :func:`~repro.partition.fastpath.pruned_count_matrix`; the final
+        cluster level — the dominant dimension — is expanded prefix-block
+        by prefix-block so at most one workspace's worth of candidates
+        exists at a time.
+        """
+        ws = self.workspace
+        limits = self.limits
+        k_n = len(limits)
+        keep_at = incumbent_t_cycle * (1.0 + _PRUNE_SLACK) + _PRUNE_SLACK
+        full_speeds = np.array([p[-1] for p in self._speed_prefix])
+        rest = np.concatenate((np.cumsum(full_speeds[::-1])[::-1][1:], [0.0]))
+        prefixes = np.zeros((1, 0), dtype=np.int64)
+        partial_speed = np.zeros(1)
+        for k in range(k_n - 1):
+            counts_k = np.arange(0, limits[k] + 1, dtype=np.int64)
+            speed_k = self._speed_prefix[k][counts_k]
+            new_speed = (partial_speed[:, None] + speed_k[None, :]).ravel()
+            bound = self.t_comp_lower_bound(new_speed, rest[k])
+            n_old = prefixes.shape[0]
+            expanded = np.empty((n_old * counts_k.size, k + 1), dtype=np.int64)
+            expanded[:, :k] = np.repeat(prefixes, counts_k.size, axis=0)
+            expanded[:, k] = np.tile(counts_k, n_old)
+            keep = ~(bound > keep_at) | np.isnan(bound)
+            prefixes = expanded[keep]
+            partial_speed = new_speed[keep]
+        counts_last = np.arange(0, limits[-1] + 1, dtype=np.int64)
+        speed_last = self._speed_prefix[-1][counts_last]
+        per_prefix = counts_last.size
+        block_prefixes = max(1, ws.max_rows // per_prefix)
+        for start in range(0, prefixes.shape[0], block_prefixes):
+            stop = min(start + block_prefixes, prefixes.shape[0])
+            chunk = prefixes[start:stop]
+            speed = (
+                partial_speed[start:stop, None] + speed_last[None, :]
+            ).ravel()
+            bound = self.t_comp_lower_bound(speed, 0.0)
+            n_chunk = chunk.shape[0] * per_prefix
+            rows = np.empty((n_chunk, k_n), dtype=np.int64)
+            rows[:, : k_n - 1] = np.repeat(chunk, per_prefix, axis=0)
+            rows[:, k_n - 1] = np.tile(counts_last, chunk.shape[0])
+            keep = ~(bound > keep_at) & (rows.sum(axis=1) >= 1)
+            rows = rows[keep]
+            if rows.shape[0] == 0:
+                continue
+            self.load_rows(rows)
+            yield rows.shape[0]
+
+    def load_rows(self, rows: np.ndarray) -> int:
+        """Copy an ``(n, K)`` row matrix into the workspace count columns."""
+        n = rows.shape[0]
+        if n > self.workspace.max_rows:
+            raise PartitionError(
+                f"block of {n} rows exceeds workspace capacity "
+                f"{self.workspace.max_rows}"
+            )
+        self._decoded_for = None
+        for k in range(rows.shape[1]):
+            np.copyto(self.workspace.counts[k, :n], rows[:, k])
+        return n
+
+    # -- the in-place kernels ----------------------------------------------------
+
+    def score_block(self, n: int) -> np.ndarray:
+        """Eq 4-6 over the first ``n`` workspace rows; returns the
+        ``t_cycle`` view.  No allocations on the constant-complexity path.
+        """
+        ws = self.workspace
+        if n < 1 or n > ws.max_rows:
+            raise PartitionError(f"block size {n} outside workspace capacity")
+        if not self.vectorized_fast_path and self.comm_phase is not None:
+            return self._score_block_fallback(n)
+        k_n = len(self.ordered)
+        tot = ws.totals[:n]
+        patt = ws.pattern[:n]
+        sums = ws.speed_sums[:n]
+        f1 = ws.fwork[:n]
+        i1 = ws.iwork[:n]
+        t_comp = ws.t_comp[:n]
+        t_comm = ws.t_comm[:n]
+        tot.fill(0)
+        patt.fill(0)
+        sums.fill(0.0)
+        for k in range(k_n):
+            ck = ws.counts[k, :n]
+            np.add(tot, ck, out=tot)
+            np.take(self._speed_prefix[k], ck, out=f1)
+            np.add(sums, f1, out=sums)
+            ak = ws.active[k, :n]
+            np.greater(ck, 0, out=ak)
+            np.less_equal(ck, 0, out=ws.inactive[k, :n])
+            np.multiply(ak, 1 << k, out=i1)
+            np.add(patt, i1, out=patt)
+        # Eq 4 with the batch engine's exact operation order.
+        np.divide(self._comp_numer, sums, out=t_comp)
+        np.divide(t_comp, US_PER_MS, out=t_comp)
+        if self.comm_phase is None:
+            t_comm.fill(0.0)
+            ws.t_overlap[:n].fill(0.0)
+            np.copyto(ws.t_cycle[:n], t_comp)
+            return ws.t_cycle[:n]
+        mask = ws.mask[:n]
+        bwork = ws.bwork[:n]
+        nact = ws.nact[:n]
+        multi = bwork  # alias: bwork holds `multi` through the cost loop
+        np.greater(tot, 1, out=mask)
+        np.take(self._pop_lut, patt, out=nact)
+        np.greater(nact, 1, out=multi)
+        t_comm.fill(-np.inf)
+        bandwidth = self.topology.bandwidth_limited
+        extra_station = bool(self.cost_db.router_extra_station)
+        for k in range(k_n):
+            ck = ws.counts[k, :n]
+            if not self._have_comm[k]:
+                # Parity with the batch path: raise only if a row in this
+                # block actually needs the missing fit (active + multi-proc).
+                np.logical_and(ws.active[k, :n], mask, out=ws.inactive[k, :n])
+                if ws.inactive[k, :n].any():
+                    raise FittingError(
+                        f"no fitted cost function for cluster "
+                        f"{self.ordered[k].name!r}, topology "
+                        f"{str(self.topology)!r}"
+                    )
+                continue
+            if bandwidth:
+                p_eff: np.ndarray = tot
+            elif extra_station:
+                # multi rows: max(c+1, 2) == c+1 for active clusters, and
+                # inactive clusters are masked out below — so c + multi.
+                np.add(ck, multi, out=i1)
+                p_eff = i1
+            else:
+                np.multiply(multi, 2, out=i1)
+                np.maximum(ck, i1, out=i1)
+                p_eff = i1
+            if self._quirk[k]:
+                f2 = ws.fwork2[:n]
+                np.multiply(p_eff, self._c4[k], out=f2)
+                np.add(f2, self._c3[k], out=f2)
+                np.abs(f2, out=f2)
+                np.multiply(f2, self._b_const, out=f2)
+                np.multiply(p_eff, self._c2[k], out=f1)
+                np.add(f1, f2, out=f1)
+                np.add(f1, self._c1[k], out=f1)
+            else:
+                np.multiply(p_eff, self._beta[k], out=f1)
+                np.add(f1, self._alpha[k], out=f1)
+            np.copyto(f1, -np.inf, where=ws.inactive[k, :n])
+            np.maximum(t_comm, f1, out=t_comm)
+        if self._bad_lut is not None and self._bad_lut.any():
+            bad = ws.inactive[0, :n]  # scratch: cost loop is done with it
+            np.take(self._bad_lut, patt, out=bad)
+            np.logical_and(bad, mask, out=bad)
+            if bad.any():
+                self._raise_missing_router(patt[int(np.argmax(bad))])
+        np.take(self._cross_lut, patt, out=f1)
+        np.add(t_comm, f1, out=t_comm)
+        if self._rounds_lut is not None:
+            np.take(self._rounds_lut, tot, out=f1)
+            np.multiply(t_comm, f1, out=t_comm)
+        else:
+            np.multiply(t_comm, self._rounds_const, out=t_comm)
+        np.logical_not(mask, out=bwork)  # `multi` no longer needed
+        np.copyto(t_comm, 0.0, where=bwork)
+        t_cycle = ws.t_cycle[:n]
+        np.add(t_comp, t_comm, out=t_cycle)
+        if self.overlapped:
+            t_over = ws.t_overlap[:n]
+            np.minimum(t_comp, t_comm, out=t_over)
+            np.subtract(t_cycle, t_over, out=t_cycle)
+        else:
+            ws.t_overlap[:n].fill(0.0)
+        return t_cycle
+
+    def _score_block_fallback(self, n: int) -> np.ndarray:
+        """Per-row callback cases (share-dependent ``b``): delegate to the
+        batch matrix path for the block, keeping decision parity; the
+        streamed search machinery above it is unchanged."""
+        ws = self.workspace
+        rows = np.stack([ws.counts[k, :n] for k in range(len(self.ordered))], axis=1)
+        before = self.evaluations
+        result = self.evaluate(rows)
+        self.evaluations = before  # the streamed search does its own counting
+        np.copyto(ws.t_comp[:n], result.t_comp_ms)
+        np.copyto(ws.t_comm[:n], result.t_comm_ms)
+        np.copyto(ws.t_overlap[:n], result.t_overlap_ms)
+        np.copyto(ws.t_cycle[:n], result.t_cycle_ms)
+        np.copyto(ws.totals[:n], result.totals)
+        return ws.t_cycle[:n]
+
+    def _raise_missing_router(self, pattern: int) -> None:
+        pair_cost = self._cross_intercept
+        for i in range(len(self.ordered)):
+            if not pattern >> i & 1:
+                continue
+            for j in range(i + 1, len(self.ordered)):
+                if pattern >> j & 1 and np.isnan(pair_cost[i, j]):
+                    raise FittingError(
+                        f"no fitted router cost for clusters "
+                        f"{self.ordered[i].name!r}/{self.ordered[j].name!r}"
+                    )
+        raise FittingError("missing router cost in candidate block")
+
+    # -- block argmin ------------------------------------------------------------
+
+    def block_best(self, n: int) -> tuple[float, tuple[int, ...]]:
+        """The block's minimal ``T_c`` and its lex-smallest counts row."""
+        ws = self.workspace
+        t = ws.t_cycle[:n]
+        best = int(np.argmin(t))
+        t_best = float(t[best])
+        if np.count_nonzero(t == t_best) > 1:
+            tied = np.flatnonzero(t == t_best)
+            rows = np.stack(
+                [ws.counts[k, tied] for k in range(len(self.ordered))], axis=1
+            )
+            order = np.lexsort(rows.T[::-1])
+            best = int(tied[order[0]])
+        return t_best, tuple(
+            int(ws.counts[k, best]) for k in range(len(self.ordered))
+        )
+
+    def block_rows(self, n: int) -> np.ndarray:
+        """Materialize the block's counts as an ``(n, K)`` matrix (frontier
+        bookkeeping — not on the scoring hot path)."""
+        ws = self.workspace
+        return np.stack(
+            [ws.counts[k, :n].copy() for k in range(len(self.ordered))], axis=1
+        )
+
+
+def _better(
+    t: float, counts: tuple[int, ...], best_t: float, best: Optional[tuple[int, ...]]
+) -> bool:
+    """The engines' shared ordering: strictly smaller T_c, lex on exact ties."""
+    if best is None or t < best_t:
+        return True
+    return t == best_t and counts < best
+
+
+def _streamed_search(
+    est: ArrayCycleEstimator,
+    *,
+    prune: str | bool = "auto",
+    collect_frontier: bool = False,
+    metrics=None,
+) -> tuple[ArraySearchResult, Optional[FrontierState]]:
+    """Run one full streamed search; optionally record the frontier."""
+    from repro.telemetry import NULL_REGISTRY
+
+    registry = metrics if metrics is not None else NULL_REGISTRY
+    m_chunks = registry.counter(
+        "decide.array.chunks", domain="host", help="candidate blocks streamed"
+    )
+    m_rows = registry.counter(
+        "decide.array.rows", domain="host", help="candidate rows scored"
+    )
+    m_block_rows = registry.histogram(
+        "decide.array.block_rows",
+        domain="host",
+        buckets=(64, 256, 1024, 4096, 8192),
+        help="rows per streamed workspace block",
+    )
+    space = 1
+    for lim in est.limits:
+        space *= int(lim) + 1
+    if prune == "auto":
+        do_prune = space - 1 > _AUTO_PRUNE_BLOCKS * est.workspace.max_rows
+    else:
+        do_prune = bool(prune)
+    best: Optional[tuple[int, ...]] = None
+    best_t = np.inf
+    evaluations = 0
+    chunks = 0
+    frontier_rows: list[np.ndarray] = []
+    frontier_t: list[np.ndarray] = []
+    keep_at = np.inf
+    with np.errstate(invalid="ignore", divide="ignore"):
+        if do_prune:
+            # Incumbent: the cluster-prefix scan, streamed through the
+            # same workspace.
+            prefix_rows = prefix_count_matrix(est.ordered)
+            incumbent = np.inf
+            for start in range(0, prefix_rows.shape[0], est.workspace.max_rows):
+                block = prefix_rows[start : start + est.workspace.max_rows]
+                n = est.load_rows(block)
+                t = est.score_block(n)
+                evaluations += n
+                chunks += 1
+                m_block_rows.observe(n)
+                t_blk, counts_blk = est.block_best(n)
+                incumbent = min(incumbent, t_blk)
+                if _better(t_blk, counts_blk, best_t, best):
+                    best_t, best = t_blk, counts_blk
+                if collect_frontier:
+                    frontier_rows.append(est.block_rows(n))
+                    frontier_t.append(t[:n].copy())
+            keep_at = incumbent * (1.0 + _PRUNE_SLACK) + _PRUNE_SLACK
+            block_iter = est.iter_pruned_blocks(incumbent)
+        else:
+            block_iter = est.iter_full_blocks()
+        for n in block_iter:
+            t = est.score_block(n)
+            evaluations += n
+            chunks += 1
+            m_block_rows.observe(n)
+            t_blk, counts_blk = est.block_best(n)
+            if _better(t_blk, counts_blk, best_t, best):
+                best_t, best = t_blk, counts_blk
+            if collect_frontier:
+                frontier_rows.append(est.block_rows(n))
+                frontier_t.append(t[:n].copy())
+    if best is None:
+        raise PartitionError("no candidate configurations")
+    m_chunks.inc(chunks)
+    m_rows.inc(evaluations)
+    est.evaluations += evaluations
+    frontier = None
+    if collect_frontier:
+        frontier = FrontierState(
+            limits=est.limits_key(),
+            rows=np.concatenate(frontier_rows, axis=0),
+            t_cycle=np.concatenate(frontier_t),
+            keep_at=float(keep_at),
+        )
+    result = ArraySearchResult(
+        counts=best,
+        t_cycle_ms=best_t,
+        evaluations=evaluations,
+        chunks=chunks,
+        frontier_hit=False,
+        method="array-pruned" if do_prune else "array-scan",
+    )
+    return result, frontier
+
+
+class ArraySearchEngine:
+    """A persistent array engine: lowering + workspace + frontier, reused
+    across decides.
+
+    This is the object the decide hot path holds on to: construction pays
+    the lowering once; every :meth:`search` streams candidates through the
+    same buffers; and :meth:`decide_counts` first consults the incremental
+    frontier so an availability *shrink* (the supervisor's node-loss case)
+    costs a masked argmin instead of a search.
+    """
+
+    def __init__(
+        self,
+        computation: DataParallelComputation,
+        resources: Sequence[ClusterResources],
+        cost_db: CostDatabase,
+        *,
+        startup_ms: float = 0.0,
+        max_rows: int = DEFAULT_MAX_ROWS,
+        metrics=None,
+    ) -> None:
+        from repro.telemetry import NULL_REGISTRY
+
+        self.estimator = ArrayCycleEstimator(
+            computation, resources, cost_db, startup_ms=startup_ms, max_rows=max_rows
+        )
+        self.metrics = metrics
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self._m_hits = registry.counter(
+            "decide.array.frontier_hits",
+            domain="host",
+            help="decides served by the incremental frontier",
+        )
+        self._m_misses = registry.counter(
+            "decide.array.frontier_misses",
+            domain="host",
+            help="decides that ran a full streamed search",
+        )
+        self.frontier: Optional[FrontierState] = None
+
+    def search(self, *, prune: str | bool = "auto") -> ArraySearchResult:
+        """One full streamed search (never consults the frontier)."""
+        result, _ = _streamed_search(
+            self.estimator, prune=prune, metrics=self.metrics
+        )
+        return result
+
+    def decide_counts(
+        self,
+        limits: Optional[Sequence[int]] = None,
+        *,
+        prune: str | bool = "auto",
+    ) -> ArraySearchResult:
+        """The optimum under ``limits`` (default: full availability),
+        incrementally when the frontier can prove it, else by full search.
+        """
+        lim = (
+            self.estimator.limits
+            if limits is None
+            else np.asarray(limits, dtype=np.int64)
+        )
+        if self.frontier is not None:
+            hit = self.frontier.shrink_best(lim)
+            if hit is not None:
+                self._m_hits.inc()
+                counts, t = hit
+                return ArraySearchResult(
+                    counts=counts,
+                    t_cycle_ms=t,
+                    evaluations=0,
+                    chunks=0,
+                    frontier_hit=True,
+                    method="array-frontier",
+                )
+        self._m_misses.inc()
+        if limits is not None and np.any(lim != self.estimator.limits):
+            # Scoped search under reduced availability: stream the shrunk
+            # space (pruning bounds assume full availability, so scan).
+            result, _ = self._search_limited(lim)
+            return result
+        result, frontier = _streamed_search(
+            self.estimator,
+            prune=prune,
+            collect_frontier=True,
+            metrics=self.metrics,
+        )
+        self.frontier = frontier
+        return result
+
+    def _search_limited(
+        self, limits: np.ndarray
+    ) -> tuple[ArraySearchResult, None]:
+        est = self.estimator
+        best: Optional[tuple[int, ...]] = None
+        best_t = np.inf
+        evaluations = 0
+        chunks = 0
+        with np.errstate(invalid="ignore", divide="ignore"):
+            for n in est.iter_full_blocks(limits):
+                est.score_block(n)
+                evaluations += n
+                chunks += 1
+                t_blk, counts_blk = est.block_best(n)
+                if _better(t_blk, counts_blk, best_t, best):
+                    best_t, best = t_blk, counts_blk
+        if best is None:
+            raise PartitionError("no candidate configurations")
+        est.evaluations += evaluations
+        return (
+            ArraySearchResult(
+                counts=best,
+                t_cycle_ms=best_t,
+                evaluations=evaluations,
+                chunks=chunks,
+                frontier_hit=False,
+                method="array-scan",
+            ),
+            None,
+        )
+
+
+def array_exhaustive_search(
+    computation: DataParallelComputation,
+    ordered: Sequence[ClusterResources],
+    cost_db: CostDatabase,
+    *,
+    startup_ms: float = 0.0,
+    prune: str | bool = "auto",
+    cache=None,
+    metrics=None,
+) -> ArraySearchResult:
+    """Streamed exhaustive optimum over the ordered clusters.
+
+    With a :class:`~repro.partition.warmstart.SearchCache`, the engine and
+    its frontier persist across calls under the cache's estimate
+    namespace: an availability shrink with unchanged per-cluster terms is
+    answered from the frontier with zero fresh evaluations, exactly equal
+    to a cold search (see :class:`FrontierState`).
+    """
+    if cache is not None:
+        namespace = cache.estimate_namespace(ordered)
+        engine = cache.array_engine(namespace)
+        limits = np.array([r.n_available for r in ordered], dtype=np.int64)
+        if engine is not None and engine_compatible(engine, ordered, startup_ms):
+            return engine.decide_counts(limits, prune=prune)
+        engine = ArraySearchEngine(
+            computation,
+            ordered,
+            cost_db,
+            startup_ms=startup_ms,
+            metrics=metrics,
+        )
+        cache.store_array_engine(namespace, engine)
+        return engine.decide_counts(prune=prune)
+    est = ArrayCycleEstimator(computation, ordered, cost_db, startup_ms=startup_ms)
+    result, _ = _streamed_search(est, prune=prune, metrics=metrics)
+    return result
+
+
+def engine_compatible(
+    engine: ArraySearchEngine,
+    ordered: Sequence[ClusterResources],
+    startup_ms: float,
+) -> bool:
+    """Whether a cached engine's lowering is still valid for this pool:
+    same clusters in the same order, availability within the lowered
+    bounds (shrinks reuse; growth needs fresh speed prefixes)."""
+    est = engine.estimator
+    if est.startup_ms != startup_ms or len(est.ordered) != len(ordered):
+        return False
+    for built, now in zip(est.ordered, ordered):
+        if built.name != now.name or built.load_adjusted != now.load_adjusted:
+            return False
+    limits = np.array([r.n_available for r in ordered], dtype=np.int64)
+    return bool(np.all(limits <= est.limits))
+
+
+def array_prefix_search(
+    computation: DataParallelComputation,
+    ordered: Sequence[ClusterResources],
+    cost_db: CostDatabase,
+    *,
+    startup_ms: float = 0.0,
+    metrics=None,
+) -> ArraySearchResult:
+    """The cluster-prefix scan, streamed through an array workspace."""
+    est = ArrayCycleEstimator(computation, ordered, cost_db, startup_ms=startup_ms)
+    rows = prefix_count_matrix(ordered)
+    best: Optional[tuple[int, ...]] = None
+    best_t = np.inf
+    evaluations = 0
+    chunks = 0
+    with np.errstate(invalid="ignore", divide="ignore"):
+        for start in range(0, rows.shape[0], est.workspace.max_rows):
+            block = rows[start : start + est.workspace.max_rows]
+            n = est.load_rows(block)
+            est.score_block(n)
+            evaluations += n
+            chunks += 1
+            t_blk, counts_blk = est.block_best(n)
+            if _better(t_blk, counts_blk, best_t, best):
+                best_t, best = t_blk, counts_blk
+    if best is None:
+        raise PartitionError("no candidate configurations")
+    est.evaluations += evaluations
+    return ArraySearchResult(
+        counts=best,
+        t_cycle_ms=best_t,
+        evaluations=evaluations,
+        chunks=chunks,
+        frontier_hit=False,
+        method="array-prefix",
+    )
+
+
+class ArrayHeuristicEstimator(CycleEstimator):
+    """The §5 heuristic's array-backed evaluator.
+
+    A drop-in for :class:`~repro.partition.estimator.CycleEstimator` inside
+    :func:`~repro.partition.heuristic.partition`: before each per-cluster
+    search, :meth:`prefetch` scores the cluster's whole candidate segment
+    in one workspace pass; the binary search's probes are then dictionary
+    lookups.  Evaluation counting, memoization (including an injected
+    :class:`~repro.partition.warmstart.SearchCache` memo) and therefore the
+    decision trace replay the scalar path's semantics exactly — only
+    *probed* configurations count or enter the shared memo, so the decision,
+    ``evaluations`` and trace length are identical to ``engine="scalar"``.
+    """
+
+    def __init__(
+        self,
+        computation: DataParallelComputation,
+        ordered: Sequence[ClusterResources],
+        cost_db: CostDatabase,
+        *,
+        startup_ms: float = 0.0,
+        memo: Optional[dict] = None,
+        metrics=None,
+    ) -> None:
+        super().__init__(computation, cost_db, startup_ms=startup_ms, memo=memo)
+        from repro.telemetry import NULL_REGISTRY
+
+        segment_rows = max(r.n_available for r in ordered) + 1
+        self._array = ArrayCycleEstimator(
+            computation,
+            ordered,
+            cost_db,
+            startup_ms=startup_ms,
+            max_rows=segment_rows,
+        )
+        self._ordered = tuple(ordered)
+        self._segments: dict[tuple[int, ...], tuple[float, float, float]] = {}
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self._m_segments = registry.counter(
+            "decide.array.segments",
+            domain="host",
+            help="per-cluster candidate segments prefetched by the heuristic",
+        )
+
+    def prefetch(self, index: int, counts: Sequence[int], lo: int, hi: int) -> None:
+        """Score cluster ``index``'s whole [lo, hi] segment in one pass."""
+        if lo == 0 and not any(int(c) for c in counts):
+            lo = 1  # the all-zero row is not a configuration
+        if lo > hi:
+            return
+        n = hi - lo + 1
+        ws = self._array.workspace
+        for k, fixed in enumerate(counts):
+            if k == index:
+                ws.counts[k, :n] = np.arange(lo, hi + 1, dtype=np.int64)
+            else:
+                ws.counts[k, :n].fill(int(fixed))
+        self._array._decoded_for = None
+        with np.errstate(invalid="ignore", divide="ignore"):
+            self._array.score_block(n)
+        base = list(counts)
+        for row, p in enumerate(range(lo, hi + 1)):
+            base[index] = p
+            self._segments[tuple(base)] = (
+                float(ws.t_comp[row]),
+                float(ws.t_comm[row]),
+                float(ws.t_overlap[row]),
+            )
+        self._m_segments.inc()
+
+    def estimate(self, config) -> CycleEstimate:
+        key = tuple(config.counts)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return super().estimate(config)  # memo path (rebind + serve)
+        segment = self._segments.get(key)
+        if segment is None:
+            # Never prefetched (e.g. a configuration probed outside the
+            # per-cluster segments): fall back to the scalar reference.
+            return super().estimate(config)
+        t_comp, t_comm, t_overlap = segment
+        self.evaluations += 1
+        result = CycleEstimate(
+            config=config,
+            t_comp_ms=t_comp,
+            t_comm_ms=t_comm,
+            t_overlap_ms=t_overlap,
+        )
+        self._memo[key] = result
+        return result

@@ -81,9 +81,12 @@ class BatchEstimate:
         if len(self) == 0:
             raise PartitionError("no candidate configurations")
         t = self.t_cycle_ms
-        tied = np.flatnonzero(t == t.min())
-        if tied.size == 1:
-            return int(tied[0])
+        best = int(np.argmin(t))
+        if np.count_nonzero(t == t[best]) == 1:
+            # Unique minimum (the overwhelmingly common case): one argmin,
+            # no tied-row gather, no lexsort.
+            return best
+        tied = np.flatnonzero(t == t[best])
         rows = self.counts[tied]
         # lexsort's last key is primary: feed columns right-to-left so the
         # leftmost cluster count is compared first.

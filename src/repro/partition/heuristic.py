@@ -119,6 +119,7 @@ def partition(
     startup_ms: float = 0.0,
     cluster_order: Optional[Sequence[ClusterResources]] = None,
     search: str = "binary",
+    engine: str = "scalar",
     cache=None,
     warm_start: Optional[dict[str, int]] = None,
     metrics=None,
@@ -141,6 +142,14 @@ def partition(
         per cluster (Fig 3); ``"scan"`` — the robust per-cluster linear scan
         for cost curves with multiple minima (the paper's noted future
         work).  Both keep the cluster-ordered locality structure.
+    engine:
+        ``"scalar"`` (default) probes each candidate with the reference
+        :class:`CycleEstimator`; ``"array"`` scores each cluster's whole
+        candidate segment in one preallocated-workspace pass
+        (:class:`~repro.partition.arrayengine.ArrayHeuristicEstimator`)
+        and serves the search's probes from it.  Decision, evaluation
+        count, and trace length are identical — only probed counts tuples
+        count as evaluations or enter the shared memo.
     cache:
         Optional :class:`~repro.partition.warmstart.SearchCache` carrying
         estimate and decision memos across calls.  An identical
@@ -165,6 +174,8 @@ def partition(
     """
     if search not in ("binary", "scan"):
         raise PartitionError(f"unknown search mode {search!r}")
+    if engine not in ("scalar", "array"):
+        raise PartitionError(f"unknown engine {engine!r}")
     registry = metrics if metrics is not None else NULL_REGISTRY
     m_searches = registry.counter(
         "partition.searches", domain="host", help="heuristic searches that ran"
@@ -203,12 +214,22 @@ def partition(
             return replace(hit, evaluations=0, trace=())
         cache.searches += 1
     m_searches.inc()
-    estimator = CycleEstimator(
-        computation,
-        cost_db,
-        startup_ms=startup_ms,
-        memo=cache.estimator_memo(ordered) if cache is not None else None,
-    )
+    memo = cache.estimator_memo(ordered) if cache is not None else None
+    if engine == "array":
+        from repro.partition.arrayengine import ArrayHeuristicEstimator
+
+        estimator = ArrayHeuristicEstimator(
+            computation,
+            ordered,
+            cost_db,
+            startup_ms=startup_ms,
+            memo=memo,
+            metrics=metrics,
+        )
+    else:
+        estimator = CycleEstimator(
+            computation, cost_db, startup_ms=startup_ms, memo=memo
+        )
 
     counts = [0] * len(ordered)
     trace: list[tuple[str, float]] = []
@@ -241,6 +262,11 @@ def partition(
     for k, res in enumerate(ordered):
         lo = 1 if k == 0 else 0  # at least one processor overall
         hi = res.n_available
+        if engine == "array":
+            # Score the whole candidate segment for this cluster in one
+            # workspace pass; the binary search's probes below become
+            # dictionary lookups against it.
+            estimator.prefetch(k, counts, lo, hi)
         best_p: Optional[int] = None
         if warm_start is not None and search == "binary":
             prev = warm_start.get(res.name)
@@ -320,6 +346,36 @@ def _best_of(
     )
 
 
+def _decision_from_counts(
+    computation,
+    ordered: Sequence[ClusterResources],
+    cost_db,
+    counts: Sequence[int],
+    method: str,
+    *,
+    startup_ms: float = 0.0,
+    evaluations: int = 0,
+) -> PartitionDecision:
+    """Package a winning counts vector as a full decision.
+
+    The winner is re-estimated with the scalar :class:`CycleEstimator`, so
+    every vectorized oracle (batch or array) returns the exact
+    reference-path numbers (the engines agree to ~1e-13 ms; see
+    ``tests/partition/test_fastpath_equivalence.py``).
+    """
+    estimator = CycleEstimator(computation, cost_db, startup_ms=startup_ms)
+    config = ProcessorConfiguration(ordered, tuple(counts))
+    return PartitionDecision(
+        config=config,
+        vector=estimator.partition_vector(config),
+        estimate=estimator.estimate(config),
+        t_elapsed_ms=estimator.t_elapsed(config),
+        evaluations=evaluations,
+        method=method,
+        trace=(),
+    )
+
+
 def _batch_decision(
     computation,
     ordered: Sequence[ClusterResources],
@@ -330,30 +386,21 @@ def _batch_decision(
     startup_ms: float = 0.0,
     extra_evaluations: int = 0,
 ) -> PartitionDecision:
-    """Argmin a candidate matrix with the vectorized estimator.
-
-    The winning row is re-estimated with the scalar
-    :class:`CycleEstimator`, so the returned decision carries the exact
-    reference-path numbers (the batch and scalar paths agree to ~1e-13 ms;
-    see ``tests/partition/test_fastpath_equivalence.py``).
-    """
+    """Argmin a candidate matrix with the vectorized estimator."""
     from repro.partition.fastpath import BatchCycleEstimator
 
     batch = BatchCycleEstimator(
         computation, ordered, cost_db, startup_ms=startup_ms
     )
     result = batch.evaluate(counts_matrix)
-    best = result.best_counts()
-    estimator = CycleEstimator(computation, cost_db, startup_ms=startup_ms)
-    config = ProcessorConfiguration(ordered, best)
-    return PartitionDecision(
-        config=config,
-        vector=estimator.partition_vector(config),
-        estimate=estimator.estimate(config),
-        t_elapsed_ms=estimator.t_elapsed(config),
+    return _decision_from_counts(
+        computation,
+        ordered,
+        cost_db,
+        result.best_counts(),
+        method,
+        startup_ms=startup_ms,
         evaluations=batch.evaluations + extra_evaluations,
-        method=method,
-        trace=(),
     )
 
 
@@ -371,15 +418,31 @@ def prefix_scan_partition(
     p of cluster 2; and so on.  The oracle for the binary search.
 
     ``engine="batch"`` (default) evaluates all candidates in one
-    vectorized pass; ``engine="scalar"`` keeps the original per-config
-    reference loop.  Both return the same decision.
+    vectorized pass; ``engine="array"`` streams them through a
+    preallocated workspace; ``engine="scalar"`` keeps the original
+    per-config reference loop.  All return the same decision.
     """
-    if engine not in ("batch", "scalar"):
+    if engine not in ("batch", "scalar", "array"):
         raise PartitionError(f"unknown engine {engine!r}")
     estimator = CycleEstimator(computation, cost_db, startup_ms=startup_ms)
     ordered = order_by_power(resources, estimator.op_kind)
     if not ordered:
         raise PartitionError("no available processors in any cluster")
+    if engine == "array":
+        from repro.partition.arrayengine import array_prefix_search
+
+        result = array_prefix_search(
+            computation, ordered, cost_db, startup_ms=startup_ms
+        )
+        return _decision_from_counts(
+            computation,
+            ordered,
+            cost_db,
+            result.counts,
+            "prefix-scan",
+            startup_ms=startup_ms,
+            evaluations=result.evaluations,
+        )
     if engine == "batch":
         from repro.partition.fastpath import prefix_count_matrix
 
@@ -411,6 +474,8 @@ def exhaustive_partition(
     startup_ms: float = 0.0,
     engine: str = "batch",
     prune: bool = True,
+    cache=None,
+    metrics=None,
 ) -> PartitionDecision:
     """Minimum of the objective over *all* per-cluster count combinations.
 
@@ -421,14 +486,41 @@ def exhaustive_partition(
     prefix whose ``T_comp`` lower bound already exceeds the best
     cluster-prefix candidate (an incumbent found in O(ΣN_i) vectorized
     evaluations), which keeps the oracle exact while often skipping most
-    of the space.  ``engine="scalar"`` keeps the original reference loop.
+    of the space.  ``engine="array"`` streams the same space through a
+    preallocated workspace (see :mod:`repro.partition.arrayengine`) and,
+    given a ``cache`` (:class:`~repro.partition.warmstart.SearchCache`),
+    keeps the lowered engine plus its incremental frontier across calls so
+    an availability *shrink* is answered in O(delta) with zero fresh
+    evaluations.  ``engine="scalar"`` keeps the original reference loop.
+    ``cache``/``metrics`` only apply to the array engine.
     """
-    if engine not in ("batch", "scalar"):
+    if engine not in ("batch", "scalar", "array"):
         raise PartitionError(f"unknown engine {engine!r}")
     estimator = CycleEstimator(computation, cost_db, startup_ms=startup_ms)
     ordered = order_by_power(resources, estimator.op_kind)
     if not ordered:
         raise PartitionError("no available processors in any cluster")
+    if engine == "array":
+        from repro.partition.arrayengine import array_exhaustive_search
+
+        result = array_exhaustive_search(
+            computation,
+            ordered,
+            cost_db,
+            startup_ms=startup_ms,
+            prune="auto" if prune else False,
+            cache=cache,
+            metrics=metrics,
+        )
+        return _decision_from_counts(
+            computation,
+            ordered,
+            cost_db,
+            result.counts,
+            "exhaustive",
+            startup_ms=startup_ms,
+            evaluations=result.evaluations,
+        )
     if engine == "batch":
         from repro.partition.fastpath import (
             BatchCycleEstimator,

@@ -1,18 +1,31 @@
-"""Scalar-vs-batch partitioning throughput harness.
+"""Partitioning throughput harness: scalar vs batch vs array engines.
 
 Shared by the ``repro bench-partition`` CLI subcommand and
 ``benchmarks/test_bench_partition_perf.py``: builds a deterministic
 synthetic heterogeneous network (one cluster per requested size, era-style
 instruction rates), runs the exhaustive oracle under each engine, and
-reports wall time, configurations evaluated, and throughput — the numbers
+reports wall time, configurations evaluated, throughput, and a
+``tracemalloc`` allocation sample — the numbers
 ``BENCH_partition_perf.json`` tracks across PRs.
+
+Timing methodology per engine:
+
+* ``scalar`` / ``batch`` — a fresh cost database per repeat (cold
+  composition caches), the full ``exhaustive_partition`` call timed;
+* ``array`` — the persistent :class:`~repro.partition.arrayengine.\
+ArraySearchEngine` is constructed *outside* the timed window (like the
+  cost database is for every engine) because its operating point is the
+  steady-state decide loop: lower once, search many times.  Each repeat
+  times one full streamed search; the incremental frontier is never used,
+  so every repeat does the complete space's work.
 """
 
 from __future__ import annotations
 
 import time
+import tracemalloc
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.apps.stencil import stencil_computation
 from repro.benchmarking.costfuncs import CommCostFunction, LinearByteCost
@@ -25,6 +38,7 @@ from repro.partition.heuristic import exhaustive_partition
 from repro.units import seconds_to_msec
 
 __all__ = [
+    "ARRAY_SPEEDUP_FLOOR",
     "EngineResult",
     "PerfComparison",
     "synthetic_network",
@@ -33,6 +47,10 @@ __all__ = [
     "perf_report",
     "perf_payload",
 ]
+
+#: The perfgate's committed floor: array-engine throughput (configs/s)
+#: must be at least this many times the batch engine's, within one run.
+ARRAY_SPEEDUP_FLOOR = 10.0
 
 #: Era-plausible µs/op rates cycled over the requested clusters
 #: (Sparc2-like, IPC-like, Sun3-like, ...).
@@ -82,6 +100,10 @@ class EngineResult:
     configs_evaluated: int
     counts: tuple[int, ...]
     t_cycle_ms: float
+    #: ``tracemalloc`` sample over one (untimed) search: net new blocks
+    #: still live afterwards, and the transient peak above the baseline.
+    alloc_blocks: Optional[int] = None
+    alloc_peak_kib: Optional[float] = None
 
     @property
     def configs_per_s(self) -> float:
@@ -93,7 +115,7 @@ class EngineResult:
 
 @dataclass(frozen=True)
 class PerfComparison:
-    """Scalar vs batch on one synthetic scenario."""
+    """The engines head-to-head on one synthetic scenario."""
 
     cluster_sizes: tuple[int, ...]
     n: int
@@ -116,20 +138,65 @@ class PerfComparison:
             return float("inf")
         return scalar.best_wall_s / batch.best_wall_s
 
+    @property
+    def speedup_array_over_batch(self) -> Optional[float]:
+        """Array-engine throughput over batch throughput, in configs/s.
+
+        A throughput (not wall-time) ratio because the engines may visit
+        different candidate counts (the batch oracle prunes; the array
+        engine streams the full space below its prune cutoff).
+        """
+        try:
+            batch, array = self.result("batch"), self.result("array")
+        except KeyError:
+            return None
+        if batch.configs_per_s <= 0:
+            return float("inf")
+        return array.configs_per_s / batch.configs_per_s
+
+
+def _alloc_sample(fn: Callable[[], object]) -> tuple[int, float]:
+    """``(net new blocks, transient peak KiB)`` for one call of ``fn``.
+
+    ``fn`` runs once untraced to warm caches, then once under
+    ``tracemalloc``; the peak is measured relative to the traced baseline
+    so it captures the call's transient temporaries, which is exactly what
+    the preallocated engine is designed to eliminate.
+    """
+    fn()
+    tracemalloc.start()
+    before = tracemalloc.take_snapshot()
+    tracemalloc.reset_peak()
+    current0, _ = tracemalloc.get_traced_memory()
+    fn()
+    _, peak = tracemalloc.get_traced_memory()
+    after = tracemalloc.take_snapshot()
+    tracemalloc.stop()
+    stats = after.compare_to(before, "filename")
+    blocks = sum(s.count_diff for s in stats if s.count_diff > 0)
+    return blocks, (peak - current0) / 1024.0
+
 
 def run_perf(
     cluster_sizes: Sequence[int] = (8, 8, 8),
     *,
     n: int = 600,
     repeat: int = 3,
-    engines: Sequence[str] = ("scalar", "batch"),
+    engines: Sequence[str] = ("scalar", "batch", "array"),
     prune: bool = True,
+    alloc_sample: bool = True,
 ) -> PerfComparison:
     """Time the exhaustive oracle under each engine on one scenario.
 
-    A fresh cost database is built per repeat so the scalar path's
-    composition cache starts cold each time, like a first-decision probe.
-    Reports the best and mean wall time over ``repeat`` runs.
+    For the scalar/batch engines a fresh cost database is built per repeat
+    so the composition caches start cold each time, like a first-decision
+    probe.  The array engine is timed at its operating point instead: the
+    persistent engine (lowering + workspace) is built outside the window
+    and each repeat times one full streamed search — the frontier is not
+    consulted, so no repeat is cheaper than a cold search of the space.
+    Reports the best and mean wall time over ``repeat`` runs, plus a
+    ``tracemalloc`` allocation sample per engine unless ``alloc_sample``
+    is off.
     """
     if repeat < 1:
         raise PartitionError(f"repeat must be >= 1, got {repeat}")
@@ -140,23 +207,60 @@ def run_perf(
     results = []
     for engine in engines:
         walls = []
-        decision = None
-        for _ in range(repeat):
+        if engine == "array":
+            from repro.partition.arrayengine import ArraySearchEngine
+            from repro.partition.heuristic import order_by_power
+
+            ordered = order_by_power(resources)
             db = synthetic_database(names)
-            start = time.perf_counter()
-            decision = exhaustive_partition(
-                comp, resources, db, engine=engine, prune=prune
+            searcher = ArraySearchEngine(comp, ordered, db)
+            search_prune = "auto" if prune else False
+            outcome = None
+            for _ in range(repeat):
+                start = time.perf_counter()
+                outcome = searcher.search(prune=search_prune)
+                walls.append(time.perf_counter() - start)
+            evaluated = outcome.evaluations
+            counts = outcome.counts
+            t_cycle_ms = outcome.t_cycle_ms
+            sample = (
+                _alloc_sample(lambda: searcher.search(prune=search_prune))
+                if alloc_sample
+                else None
             )
-            walls.append(time.perf_counter() - start)
+        else:
+            decision = None
+            for _ in range(repeat):
+                db = synthetic_database(names)
+                start = time.perf_counter()
+                decision = exhaustive_partition(
+                    comp, resources, db, engine=engine, prune=prune
+                )
+                walls.append(time.perf_counter() - start)
+            evaluated = decision.evaluations
+            counts = tuple(decision.config.counts)
+            t_cycle_ms = decision.t_cycle_ms
+            db = synthetic_database(names)
+            sample = (
+                _alloc_sample(
+                    lambda: exhaustive_partition(
+                        comp, resources, db, engine=engine, prune=prune
+                    )
+                )
+                if alloc_sample
+                else None
+            )
         results.append(
             EngineResult(
                 engine=engine,
                 repeats=repeat,
                 best_wall_s=min(walls),
                 mean_wall_s=sum(walls) / len(walls),
-                configs_evaluated=decision.evaluations,
-                counts=tuple(decision.config.counts),
-                t_cycle_ms=decision.t_cycle_ms,
+                configs_evaluated=evaluated,
+                counts=counts,
+                t_cycle_ms=t_cycle_ms,
+                alloc_blocks=sample[0] if sample else None,
+                alloc_peak_kib=sample[1] if sample else None,
             )
         )
     return PerfComparison(
@@ -176,6 +280,7 @@ def perf_report(cmp: PerfComparison) -> str:
             f"{seconds_to_msec(r.best_wall_s):.2f}",
             f"{seconds_to_msec(r.mean_wall_s):.2f}",
             f"{r.configs_per_s:,.0f}",
+            "-" if r.alloc_peak_kib is None else f"{r.alloc_peak_kib:,.0f}",
             "+".join(str(c) for c in r.counts),
             f"{r.t_cycle_ms:.3f}",
         ]
@@ -186,12 +291,27 @@ def perf_report(cmp: PerfComparison) -> str:
         f"({total} processors), STEN-1 N={cmp.n}"
     )
     table = format_table(
-        ["engine", "configs", "best ms", "mean ms", "configs/s", "decision", "T_c ms"],
+        [
+            "engine",
+            "configs",
+            "best ms",
+            "mean ms",
+            "configs/s",
+            "peak KiB",
+            "decision",
+            "T_c ms",
+        ],
         rows,
         title=title,
     )
     if cmp.speedup is not None:
         table += f"\n\nbatch speedup over scalar: {cmp.speedup:.1f}x"
+    if cmp.speedup_array_over_batch is not None:
+        table += (
+            f"\narray speedup over batch (configs/s): "
+            f"{cmp.speedup_array_over_batch:.1f}x "
+            f"(floor {ARRAY_SPEEDUP_FLOOR:g}x)"
+        )
     return table
 
 
@@ -210,10 +330,21 @@ def perf_payload(cmp: PerfComparison) -> dict:
                 "mean_wall_s": r.mean_wall_s,
                 "configs_evaluated": r.configs_evaluated,
                 "configs_per_s": r.configs_per_s,
+                "alloc_blocks": r.alloc_blocks,
+                "alloc_peak_kib": r.alloc_peak_kib,
                 "decision": list(r.counts),
                 "t_cycle_ms": r.t_cycle_ms,
             }
             for r in cmp.results
         },
         "speedup_batch_over_scalar": cmp.speedup,
+        "speedup_array_over_batch": cmp.speedup_array_over_batch,
+        # The within-run floor the perfgate enforces (see
+        # repro.benchmarking.perfgate.check_regression): committed with the
+        # payload, like the telemetry budget, so the gate needs no baseline.
+        "array_over_batch_floor": (
+            ARRAY_SPEEDUP_FLOOR
+            if cmp.speedup_array_over_batch is not None
+            else None
+        ),
     }

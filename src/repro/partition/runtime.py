@@ -113,6 +113,10 @@ class RuntimePolicy:
     allow_partial_gather: bool = True
     #: Search mode handed to the §5 heuristic.
     search: str = "binary"
+    #: Probe engine for the heuristic: ``"scalar"`` (reference) or
+    #: ``"array"`` (preallocated segment prefetch — identical decisions,
+    #: see docs/performance.md).
+    engine: str = "scalar"
     #: Warm-start repartition searches: carry a
     #: :class:`~repro.partition.warmstart.SearchCache` across epochs and
     #: seed each search from the surviving prefix of the previous decision.
@@ -455,6 +459,7 @@ class PartitionRuntime:
                 usable,
                 self.cost_db,
                 search=self.policy.search,
+                engine=self.policy.engine,
                 cache=self.search_cache,
                 warm_start=warm,
                 metrics=self.telemetry.metrics,

@@ -18,6 +18,13 @@ memos across :func:`~repro.partition.heuristic.partition` calls:
   whose pool is identical to a previously-decided one returns that decision
   with zero fresh evaluations.
 
+It also carries the **array engine slot** for the streamed oracle
+(:mod:`repro.partition.arrayengine`): a lowered
+:class:`~repro.partition.arrayengine.ArraySearchEngine` — workspace plus
+incremental frontier — keyed by the same estimate namespace, so a repeat
+exhaustive search under shrunk availability is answered from the frontier
+in O(delta) instead of re-streaming the space.
+
 Both memos are exact: a warm-started search returns the *identical*
 decision a cold search would (same config, same vector), only with fewer
 fresh ``T_c`` evaluations.  One cache instance is scoped to one
@@ -59,6 +66,7 @@ class SearchCache:
     def __init__(self) -> None:
         self._estimates: dict[tuple, dict[tuple[int, ...], "CycleEstimate"]] = {}
         self._decisions: dict[tuple, "PartitionDecision"] = {}
+        self._array_engines: dict[tuple, object] = {}
         #: Decisions served without any search at all.
         self.decision_hits = 0
         #: Searches that ran (cold or estimate-warm).
@@ -108,6 +116,19 @@ class SearchCache:
 
     def store_decision(self, signature: tuple, decision: "PartitionDecision") -> None:
         self._decisions[signature] = decision
+
+    def array_engine(self, namespace: tuple):
+        """The cached streamed-oracle engine for this namespace, if any."""
+        return self._array_engines.get(namespace)
+
+    def store_array_engine(self, namespace: tuple, engine: object) -> None:
+        """Keep a lowered array engine (workspace + frontier) for reuse.
+
+        The namespace is the estimate namespace: anything that would change
+        a ``T_c`` value (cluster identity, load-adjusted rates) lands the
+        caller in a different slot, so a cached engine's folded
+        coefficients and frontier scores are always still exact."""
+        self._array_engines[namespace] = engine
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         estimates = sum(len(m) for m in self._estimates.values())

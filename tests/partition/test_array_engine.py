@@ -1,0 +1,392 @@
+"""The array-engine contract: scalar, batch, and array agree everywhere.
+
+Three implementations of the Eq 3-6 objective now exist — the scalar
+reference :class:`CycleEstimator`, the vectorized
+:class:`BatchCycleEstimator`, and the preallocated streaming
+:class:`ArrayCycleEstimator` — and every search built on them must make
+the identical decision: same winning counts (lex-smallest on exact ties),
+same ``T_cycle`` within 1e-9 ms.  The second half exercises the
+incremental frontier: after arbitrary availability deltas, a decision
+served from :class:`FrontierState` must equal a cold search from scratch.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.apps.stencil import stencil_computation
+from repro.benchmarking.costfuncs import CommCostFunction, LinearByteCost
+from repro.benchmarking.database import CostDatabase
+from repro.errors import FittingError, PartitionError
+from repro.experiments.paper import paper_cost_database
+from repro.hardware.network import HeterogeneousNetwork
+from repro.hardware.presets import paper_testbed
+from repro.hardware.processor import ProcessorSpec
+from repro.model.computation import DataParallelComputation
+from repro.model.phases import CommunicationPhase, ComputationPhase
+from repro.model.workloads import (
+    random_computation,
+    random_cost_database,
+    random_network,
+)
+from repro.partition import (
+    CycleEstimator,
+    exhaustive_partition,
+    gather_available_resources,
+    order_by_power,
+    partition,
+    prefix_scan_partition,
+)
+from repro.partition.arrayengine import (
+    ArrayCycleEstimator,
+    ArraySearchEngine,
+)
+from repro.partition.fastpath import BatchCycleEstimator, full_count_matrix
+from repro.partition.warmstart import SearchCache
+from repro.spmd.topology import Topology
+
+TOL_MS = 1e-9
+
+ENGINES = ("scalar", "batch", "array")
+
+
+def _nonzero_counts(decision) -> dict[str, int]:
+    """Counts by name with zero clusters dropped (ordering-robust compare)."""
+    return {name: c for name, c in decision.counts_by_name().items() if c}
+
+
+def _small_random_case(seed: int):
+    """A random net/db/computation kept small enough for the scalar oracle."""
+    rng = np.random.default_rng(seed)
+    net = random_network(rng)
+    db = random_cost_database(net, rng)
+    comp = random_computation(rng)
+    res = gather_available_resources(net)
+    if sum(r.n_available for r in res) > 24:
+        pytest.skip("keep the scalar exhaustive scan small")
+    return rng, comp, res, db
+
+
+@pytest.mark.parametrize("overlap", [False, True])
+@pytest.mark.parametrize("n", [60, 600])
+def test_paper_testbed_three_way_oracles(n, overlap):
+    """Both oracles on the paper testbed: all three engines, one answer."""
+    res = gather_available_resources(paper_testbed())
+    db = paper_cost_database()
+    comp = stencil_computation(n, overlap=overlap)
+    for oracle in (prefix_scan_partition, exhaustive_partition):
+        decisions = {e: oracle(comp, res, db, engine=e) for e in ENGINES}
+        ref = decisions["scalar"]
+        for engine in ("batch", "array"):
+            got = decisions[engine]
+            assert got.counts_by_name() == ref.counts_by_name(), (
+                oracle.__name__,
+                engine,
+            )
+            assert abs(got.t_cycle_ms - ref.t_cycle_ms) < TOL_MS
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_randomized_three_way_decision_parity(seed):
+    """Random topologies and annotations: the engines never disagree."""
+    _rng, comp, res, db = _small_random_case(8100 + seed)
+    for oracle in (prefix_scan_partition, exhaustive_partition):
+        decisions = {e: oracle(comp, res, db, engine=e) for e in ENGINES}
+        ref = decisions["scalar"]
+        for engine in ("batch", "array"):
+            got = decisions[engine]
+            assert got.counts_by_name() == ref.counts_by_name(), (
+                oracle.__name__,
+                engine,
+            )
+            assert abs(got.t_cycle_ms - ref.t_cycle_ms) < TOL_MS
+
+
+@pytest.mark.parametrize("search", ["binary", "scan"])
+@pytest.mark.parametrize("seed", range(10))
+def test_heuristic_array_matches_scalar(seed, search):
+    """partition(engine="array") replays the scalar search exactly.
+
+    Not just the decision: the evaluation count and the trace length must
+    match, because the array estimator only charges the probes the search
+    actually made (the prefetched segment is a cache, not work done).
+    """
+    rng = np.random.default_rng(8200 + seed)
+    net = random_network(rng)
+    db = random_cost_database(net, rng)
+    comp = random_computation(rng)
+    res = gather_available_resources(net)
+    ref = partition(comp, res, db, search=search, engine="scalar")
+    got = partition(comp, res, db, search=search, engine="array")
+    assert got.counts_by_name() == ref.counts_by_name()
+    assert abs(got.t_cycle_ms - ref.t_cycle_ms) < TOL_MS
+    assert got.evaluations == ref.evaluations
+    assert len(got.trace) == len(ref.trace)
+
+
+def test_unknown_engine_rejected():
+    res = gather_available_resources(paper_testbed())
+    db = paper_cost_database()
+    comp = stencil_computation(300, overlap=False)
+    with pytest.raises(PartitionError, match="unknown engine"):
+        partition(comp, res, db, engine="simd")
+    with pytest.raises(PartitionError, match="unknown engine"):
+        exhaustive_partition(comp, res, db, engine="simd")
+
+
+def test_one_pdu_floor_streamed():
+    """The streamed enumeration starts past the empty config: every scored
+    row allocates at least one PDU, and an unpruned scan visits exactly
+    the batch engine's full space."""
+    res = order_by_power(gather_available_resources(paper_testbed()))
+    db = paper_cost_database()
+    comp = stencil_computation(300, overlap=False)
+    engine = ArraySearchEngine(comp, res, db)
+    result = engine.search(prune=False)
+    space = int(np.prod([r.n_available + 1 for r in res]))
+    assert result.evaluations == space - 1
+    assert result.evaluations == full_count_matrix(res).shape[0]
+    batch = exhaustive_partition(comp, res, db, engine="batch", prune=False)
+    assert tuple(batch.config.counts) == result.counts
+
+
+def _twin_cluster_network() -> tuple[HeterogeneousNetwork, CostDatabase]:
+    """Two identical clusters => exact T_cycle ties between mirrored counts."""
+    net = HeterogeneousNetwork(seed=0)
+    spec = ProcessorSpec(
+        name="twin", fp_usec_per_op=0.5, int_usec_per_op=0.1, comm_speed_factor=1.0
+    )
+    net.add_cluster("a", spec, count=4)
+    net.add_cluster("b", spec, count=4)
+    net.validate()
+    db = CostDatabase()
+    for name in ("a", "b"):
+        db.add_comm(CommCostFunction(name, "1-D", 0.5, 1.0, 0.0004, 0.001))
+    db.add_router(LinearByteCost("a", "b", "router", 0.2, 0.0008))
+    return net, db
+
+
+def test_lexicographic_tie_break_parity():
+    """Mirrored configs tie exactly; every engine settles on the same one."""
+    net, db = _twin_cluster_network()
+    res = gather_available_resources(net)
+    comp = stencil_computation(300, overlap=False)
+    decisions = {
+        e: exhaustive_partition(comp, res, db, engine=e, prune=False)
+        for e in ENGINES
+    }
+    ref = decisions["scalar"]
+    # The mirror of the winner really does tie (the scenario is symmetric).
+    ordered = order_by_power(res)
+    counts = tuple(ref.config.counts)
+    if counts != counts[::-1]:
+        est = CycleEstimator(comp, db)
+        from repro.partition import ProcessorConfiguration
+
+        mirrored = est.t_cycle(ProcessorConfiguration(ordered, counts[::-1]))
+        assert abs(mirrored - ref.t_cycle_ms) < TOL_MS
+    for engine in ("batch", "array"):
+        assert decisions[engine].counts_by_name() == ref.counts_by_name(), engine
+        assert abs(decisions[engine].t_cycle_ms - ref.t_cycle_ms) < TOL_MS
+
+
+def _allgather_computation(n: int) -> DataParallelComputation:
+    """Share-dependent message size + total-dependent rounds: the callback
+    cases the in-place kernels cannot fold, exercising the batch fallback."""
+
+    def block_bytes(problem, shares):
+        return 8.0 * max(shares)
+
+    def ring_rounds(problem, total):
+        return max(total - 1, 1)
+
+    return DataParallelComputation(
+        name="allgather",
+        problem=n,
+        num_pdus=n,
+        computation_phases=[ComputationPhase("update", complexity=40.0 * n)],
+        communication_phases=[
+            CommunicationPhase(
+                "gather",
+                topology=Topology.RING,
+                complexity=8.0 * n,
+                per_config_complexity=block_bytes,
+                rounds=ring_rounds,
+            )
+        ],
+    )
+
+
+def test_callback_annotations_fall_back_exactly():
+    """per_config_complexity forces the per-row fallback — still bit-parity."""
+    rng = np.random.default_rng(123)
+    net = random_network(rng)
+    db = random_cost_database(net, rng)
+    res = gather_available_resources(net)
+    comp = _allgather_computation(480)
+    est = ArrayCycleEstimator(
+        comp, order_by_power(res), db
+    )
+    assert not est.vectorized_fast_path
+    for oracle in (prefix_scan_partition, exhaustive_partition):
+        decisions = {e: oracle(comp, res, db, engine=e) for e in ENGINES}
+        ref = decisions["scalar"]
+        for engine in ("batch", "array"):
+            assert decisions[engine].counts_by_name() == ref.counts_by_name()
+            assert abs(decisions[engine].t_cycle_ms - ref.t_cycle_ms) < TOL_MS
+
+
+def test_missing_router_raises_like_scalar():
+    """Crossing rows without a router entry: FittingError through the
+    streamed path exactly as through scalar/batch; single-cluster limits
+    never touch the router and still decide."""
+    ordered = order_by_power(gather_available_resources(paper_testbed()))
+    db = CostDatabase()
+    for name in ("sparc2", "ipc"):
+        db.add_comm(CommCostFunction(name, "1-D", 0.5, 1.0, 0.0004, 0.001))
+    comp = stencil_computation(300, overlap=False)
+    engine = ArraySearchEngine(comp, ordered, db)
+    with pytest.raises(FittingError, match="router"):
+        engine.search(prune=False)
+    # Scoped to one cluster, no crossing rows exist: matches the scalar scan.
+    limits = np.zeros(len(ordered), dtype=np.int64)
+    limits[0] = ordered[0].n_available
+    scoped = ArraySearchEngine(comp, ordered, db).decide_counts(limits)
+    scalar = CycleEstimator(comp, db)
+    from repro.partition import ProcessorConfiguration
+
+    best = min(
+        range(1, ordered[0].n_available + 1),
+        key=lambda p: scalar.t_cycle(
+            ProcessorConfiguration(ordered, (p,) + (0,) * (len(ordered) - 1))
+        ),
+    )
+    assert scoped.counts[0] == best and not any(scoped.counts[1:])
+
+
+def test_missing_comm_function_raises_like_scalar():
+    ordered = order_by_power(gather_available_resources(paper_testbed()))
+    db = CostDatabase()
+    db.add_comm(CommCostFunction(ordered[0].name, "1-D", 0.5, 1.0, 0.0004, 0.001))
+    for other in ordered[1:]:
+        db.add_router(
+            LinearByteCost(ordered[0].name, other.name, "router", 0.2, 0.0008)
+        )
+    comp = stencil_computation(300, overlap=False)
+    with pytest.raises(FittingError, match="no fitted cost function"):
+        ArraySearchEngine(comp, ordered, db).search(prune=False)
+
+
+# -- the incremental frontier -----------------------------------------------------
+
+
+def _shrunk(resources, limits):
+    """Resources with availability cut to ``limits`` (same cluster objects)."""
+    return [
+        replace(res, available=res.available[: int(m)])
+        for res, m in zip(resources, limits)
+    ]
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_frontier_decisions_match_cold(seed):
+    """Every decide under random shrunk limits equals a cold search."""
+    rng, comp, res, db = _small_random_case(8300 + seed)
+    kind = CycleEstimator(comp, db).op_kind
+    ordered = order_by_power(res, kind)
+    engine = ArraySearchEngine(comp, ordered, db)
+    full = engine.decide_counts()
+    cold_full = exhaustive_partition(comp, ordered, db, engine="batch")
+    assert tuple(cold_full.config.counts) == full.counts
+    limits = np.array([r.n_available for r in ordered], dtype=np.int64)
+    frontier_hits = 0
+    for _ in range(6):
+        lim = rng.integers(0, limits + 1)
+        if not lim.any():
+            continue
+        result = engine.decide_counts(lim)
+        if result.frontier_hit:
+            frontier_hits += 1
+            assert result.evaluations == 0
+        cold = exhaustive_partition(comp, _shrunk(ordered, lim), db, engine="batch")
+        got = dict(
+            (r.name, int(c)) for r, c in zip(ordered, result.counts) if c
+        )
+        assert got == _nonzero_counts(cold)
+        assert abs(result.t_cycle_ms - cold.t_cycle_ms) < TOL_MS
+    # Full availability is a trivial "shrink": always served incrementally.
+    again = engine.decide_counts(limits)
+    assert again.frontier_hit and again.counts == full.counts
+    assert frontier_hits >= 1  # seeds are fixed; the fast path really ran
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_cached_array_oracle_tracks_availability_deltas(seed):
+    """exhaustive_partition(engine="array", cache=...) over arbitrary delta
+    sequences — shrinks, partial restores, full restores — always equals
+    the cold batch and scalar oracles on the same pool."""
+    rng, comp, res, db = _small_random_case(8400 + seed)
+    cache = SearchCache()
+    limits = np.array([r.n_available for r in res], dtype=np.int64)
+    # Start from a shrunk pool so a later restore *grows* past the first
+    # lowering and forces a fresh engine in the cache slot.
+    pools = [np.maximum(limits - 1, 1)]
+    for _ in range(4):
+        lim = rng.integers(0, limits + 1)
+        if lim.any():
+            pools.append(lim)
+    pools.append(limits)
+    for lim in pools:
+        pool = _shrunk(res, lim)
+        warm = exhaustive_partition(comp, pool, db, engine="array", cache=cache)
+        cold = exhaustive_partition(comp, pool, db, engine="batch")
+        scalar = exhaustive_partition(comp, pool, db, engine="scalar")
+        assert _nonzero_counts(warm) == _nonzero_counts(cold), lim
+        assert _nonzero_counts(warm) == _nonzero_counts(scalar), lim
+        assert abs(warm.t_cycle_ms - cold.t_cycle_ms) < TOL_MS
+        assert abs(warm.t_cycle_ms - scalar.t_cycle_ms) < TOL_MS
+
+
+@pytest.mark.parametrize("prune", [False, True])
+@pytest.mark.parametrize("seed", range(6))
+def test_shrink_best_is_exact_or_abstains(seed, prune):
+    """FrontierState.shrink_best: any answer it proves equals brute force.
+
+    After a full scan (``prune=False``) the frontier holds the whole
+    space, so it must *always* answer; after a pruned search it may
+    abstain (return ``None``) but never answer wrongly.
+    """
+    rng, comp, res, db = _small_random_case(8500 + seed)
+    kind = CycleEstimator(comp, db).op_kind
+    ordered = order_by_power(res, kind)
+    engine = ArraySearchEngine(comp, ordered, db)
+    engine.decide_counts(prune=prune)
+    frontier = engine.frontier
+    assert frontier is not None
+    batch = BatchCycleEstimator(comp, ordered, db)
+    matrix = full_count_matrix(ordered)
+    t_all = batch.t_cycle(matrix)
+    limits = np.array([r.n_available for r in ordered], dtype=np.int64)
+    answered = 0
+    for _ in range(8):
+        lim = rng.integers(0, limits + 1)
+        feasible = np.all(matrix <= lim[None, :], axis=1)
+        hit = frontier.shrink_best(lim)
+        if not feasible.any():
+            assert hit is None
+            continue
+        t_sub = t_all[feasible]
+        rows_sub = matrix[feasible]
+        t_min = float(np.min(t_sub))
+        tied = np.flatnonzero(t_sub == t_min)
+        brute = min(tuple(int(c) for c in rows_sub[i]) for i in tied)
+        if hit is None:
+            assert prune, "a full-scan frontier must answer every shrink"
+            continue
+        answered += 1
+        counts, t = hit
+        assert counts == brute
+        assert abs(t - t_min) < TOL_MS
+    if not prune:
+        assert answered >= 1

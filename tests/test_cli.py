@@ -88,9 +88,12 @@ def test_bench_partition_json(tmp_path, capsys):
     ) == 0
     payload = json.loads(target.read_text())
     assert payload["scenario"]["total_processors"] == 9
-    assert set(payload["engines"]) == {"scalar", "batch"}
+    assert set(payload["engines"]) == {"scalar", "batch", "array"}
     assert payload["engines"]["scalar"]["decision"] == payload["engines"]["batch"]["decision"]
+    assert payload["engines"]["scalar"]["decision"] == payload["engines"]["array"]["decision"]
     assert payload["speedup_batch_over_scalar"] > 0
+    assert payload["speedup_array_over_batch"] > 0
+    assert payload["array_over_batch_floor"] == 10.0
 
 
 def test_bench_partition_no_prune(capsys):
