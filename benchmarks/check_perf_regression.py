@@ -8,9 +8,10 @@ Usage::
 
 Handles the committed payload schemas — ``BENCH_partition_perf.json``
 (scalar vs batch partition search), ``BENCH_sim_perf.json``
-(fast-forward vs event-level simulation), and
+(fast-forward vs event-level simulation),
 ``BENCH_telemetry_overhead.json`` (telemetry hot-path cost vs the null
-registry) — detected from the payload
+registry), and ``BENCH_adaptive_perf.json`` (adaptive repartitioning vs
+the always-research baseline under churn) — detected from the payload
 shape.  Exits non-zero (and prints what moved) if the fresh benchmark
 record lost more than ``factor``x against the committed baseline — see
 :mod:`repro.benchmarking.perfgate` for exactly what is compared.
@@ -36,6 +37,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     from repro.benchmarking.perfgate import (
+        check_adaptive_regression,
         check_regression,
         check_sim_regression,
         check_telemetry_regression,
@@ -54,6 +56,7 @@ def main(argv=None) -> int:
     gate = {
         "sim": check_sim_regression,
         "telemetry": check_telemetry_regression,
+        "adaptive": check_adaptive_regression,
         "partition": check_regression,
     }[kinds[0]]
     problems = gate(baseline, current, factor=args.factor, strict=args.strict)

@@ -33,7 +33,11 @@ from repro.analysis.engine import Finding, ParsedModule, Project, Rule, register
 __all__ = ["SimDeterminismRule"]
 
 #: Path fragments (posix) selecting the simulation-critical modules.
-SCOPE_FRAGMENTS: Tuple[str, ...] = ("repro/sim/", "repro/partition/runtime.py")
+SCOPE_FRAGMENTS: Tuple[str, ...] = (
+    "repro/sim/",
+    "repro/partition/runtime.py",
+    "repro/partition/dynamic.py",
+)
 
 #: Files allowed to construct entropy: the named-stream factory itself.
 EXEMPT_SUFFIXES: Tuple[str, ...] = ("repro/sim/rng.py",)

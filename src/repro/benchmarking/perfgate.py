@@ -48,6 +48,23 @@ telemetry hot-path micro-benchmark from
 * **absolute cost collapse** (``strict=True`` only) — enabled
   ``inc()`` nanoseconds per op against the baseline machine's.
 
+``BENCH_adaptive_perf.json`` (:func:`check_adaptive_regression`, the
+adaptive-vs-always-research churn grid from
+``benchmarks/test_bench_adaptive_perf.py``):
+
+* **parity breakage** — a churn scenario whose supervised answer differs
+  from the clean run's, or a divergence fallback whose decision does not
+  match the research baseline's, is a correctness bug and always fails;
+* **win-floor breach** — the adaptive policy must win at least the
+  payload's committed ``min_wins`` scenarios on total elapsed time (a
+  within-run invariant, machine-independent); always fails;
+* **clock drift** — both policies run on the deterministic sim clock, so
+  per-scenario elapsed times moving against the committed baseline means
+  behaviour changed, not performance; always fails;
+* **speedup collapse** — a scenario's baseline/adaptive speedup dropping
+  beyond ``factor`` against the committed record (redundant with drift
+  while both are exact, but survives a legitimately regenerated baseline).
+
 :func:`payload_kind` distinguishes the schemas so CI can gate whichever
 payload it is handed.
 """
@@ -60,15 +77,19 @@ __all__ = [
     "check_regression",
     "check_sim_regression",
     "check_telemetry_regression",
+    "check_adaptive_regression",
     "payload_kind",
     "format_problems",
 ]
 
 
 def payload_kind(payload: dict[str, Any]) -> str:
-    """``"partition"``/``"sim"``/``"telemetry"``, keyed on the schema shape."""
+    """``"partition"``/``"sim"``/``"telemetry"``/``"adaptive"``, keyed on
+    the schema shape."""
     if "telemetry_overhead" in payload:
         return "telemetry"
+    if "adaptive_churn" in payload:
+        return "adaptive"
     return "sim" if "modes" in payload else "partition"
 
 
@@ -217,6 +238,60 @@ def check_telemetry_regression(
             f"enabled inc() cost regressed >{factor:g}x: "
             f"{base['enabled_inc_ns']:.0f} -> {cur['enabled_inc_ns']:.0f} ns/op"
         )
+    return problems
+
+
+def check_adaptive_regression(
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    *,
+    factor: float = 2.0,
+    strict: bool = False,
+) -> list[str]:
+    """Problems in a ``BENCH_adaptive_perf.json`` payload (empty = pass).
+
+    ``strict`` is accepted for signature parity with the other gates; the
+    adaptive payload has no machine-dependent absolutes (everything runs
+    on the simulated clock), so it changes nothing.
+    """
+    if factor <= 1.0:
+        raise ValueError(f"factor must exceed 1.0, got {factor}")
+    del strict  # no wall-clock absolutes in this payload
+    problems: list[str] = []
+    cur = current.get("adaptive_churn")
+    if cur is None:
+        return ["adaptive_churn missing from current payload"]
+    if not cur.get("answer_parity_ok", False):
+        problems.append("churn answer parity broken in current payload")
+    if not cur.get("fallback_parity_ok", False):
+        problems.append(
+            "divergence-fallback decision parity broken in current payload"
+        )
+    wins, min_wins = cur.get("wins", 0), cur.get("min_wins", 0)
+    if wins < min_wins:
+        problems.append(
+            f"adaptive wins below committed floor: {wins} < {min_wins} scenarios"
+        )
+    base = baseline.get("adaptive_churn")
+    if base is None:
+        problems.append("adaptive_churn missing from baseline payload")
+        return problems
+    for scenario, base_row in base.get("scenarios", {}).items():
+        cur_row = cur.get("scenarios", {}).get(scenario)
+        if cur_row is None:
+            problems.append(f"scenario {scenario!r} missing from current payload")
+            continue
+        for policy in ("baseline_ms", "adaptive_ms"):
+            if cur_row[policy] != base_row[policy]:
+                problems.append(
+                    f"{scenario} {policy} simulated clock drifted: "
+                    f"{base_row[policy]} -> {cur_row[policy]} ms"
+                )
+        if cur_row["speedup"] * factor < base_row["speedup"]:
+            problems.append(
+                f"{scenario} baseline/adaptive speedup regressed >{factor:g}x: "
+                f"{base_row['speedup']:.2f}x -> {cur_row['speedup']:.2f}x"
+            )
     return problems
 
 

@@ -166,11 +166,11 @@ def _run_dynamic(args) -> str:
     from repro.experiments.paper import paper_cost_database
     from repro.hardware.presets import paper_testbed
     from repro.partition.runtime import ManualClock, PartitionRuntime, RuntimePolicy
-    from repro.sim.failures import FailureSchedule
+    from repro.sim.failures import FailureSchedule, LoadSchedule
 
     metrics_out = getattr(args, "metrics_out", None)
 
-    def supervised(failures=None, instrument=False):
+    def supervised(failures=None, loads=None, instrument=False):
         from repro.telemetry import Telemetry
 
         clock = ManualClock()
@@ -186,16 +186,25 @@ def _run_dynamic(args) -> str:
             policy=RuntimePolicy(
                 imbalance_threshold=args.threshold,
                 engine=getattr(args, "decide_engine", "scalar"),
+                adaptive=args.adaptive,
+                slowdown_research=args.slowdown_research,
+                hysteresis_k=args.hysteresis_k,
+                clear_threshold=args.clear_threshold,
+                migrate_k=args.migrate_k,
+                divergence_bound=args.divergence_bound,
             ),
             clock=clock,
             failures=failures,
+            loads=loads,
             telemetry=tel,
         )
         return runtime.run(args.epochs), tel, clock
 
-    # Metrics instrument the run being studied: the faulty run when a
-    # failure schedule is requested, otherwise the clean run itself.
-    will_inject = args.fail_at is not None or args.mtbf is not None
+    # Metrics instrument the run being studied: the perturbed run when a
+    # failure or load schedule is requested, otherwise the clean run itself.
+    will_inject = (
+        args.fail_at is not None or args.mtbf is not None or args.load_at is not None
+    )
     clean, tel, clock = supervised(instrument=not will_inject)
     schedule = None
     if args.fail_at is not None:
@@ -211,28 +220,59 @@ def _run_dynamic(args) -> str:
             seed=args.seed,
             max_failures=args.max_failures,
         )
+    loads = None
+    if args.load_at is not None:
+        # Same default-victim rule as --fail-at, but the node slows down
+        # instead of dying — the signal the adaptive controller watches.
+        slow = args.slow if args.slow else [clean.final_proc_ids[1]]
+        loads = LoadSchedule(
+            tuple(
+                event
+                for pid in slow
+                for event in LoadSchedule.step(
+                    pid, at_epoch=args.load_at, load=args.load
+                ).events
+            )
+        )
 
     lines = [
         f"supervised run: STEN-1 N={args.n}, {args.epochs} epochs",
         f"clean: answer={clean.answer} elapsed={clean.elapsed_ms:.2f} ms "
         f"vector={list(clean.final_vector)}",
     ]
-    if schedule is None:
-        lines.append("no failure schedule (use --fail-at or --mtbf)")
+    if schedule is None and loads is None:
+        lines.append(
+            "no perturbation schedule (use --fail-at, --mtbf, or --load-at)"
+        )
         result = clean
     else:
-        result, tel, clock = supervised(failures=schedule, instrument=True)
+        result, tel, clock = supervised(
+            failures=schedule, loads=loads, instrument=True
+        )
         parity = "ok" if result.answer == clean.answer else "BROKEN"
+        if schedule is not None:
+            lines.append(
+                f"failures: {[(e.at_epoch, e.proc_id) for e in schedule.events]}"
+            )
+        if loads is not None:
+            lines.append(
+                "loads: "
+                f"{[(e.at_epoch, e.proc_id, e.load) for e in loads.events]}"
+            )
         lines += [
-            f"failures: {[(e.at_epoch, e.proc_id) for e in schedule.events]}",
-            f"faulty: answer={result.answer} elapsed={result.elapsed_ms:.2f} ms "
+            f"perturbed: answer={result.answer} elapsed={result.elapsed_ms:.2f} ms "
             f"vector={list(result.final_vector)}",
             f"answer parity: {parity}",
             f"repartitions={result.repartitions} moved_pdus={result.moved_pdus_total} "
             f"replayed_pdus={result.replayed_pdus}",
-            "",
-            "audit trail:",
         ]
+        if args.adaptive:
+            stats = result.adaptive_stats
+            lines.append(
+                "adaptive: "
+                + " ".join(f"{key}={stats[key]}" for key in sorted(stats))
+            )
+        lines += ["", "audit trail:"]
         lines += [
             "  " + json.dumps(record) for record in result.audit.to_records()
         ]
@@ -320,6 +360,36 @@ def _resilience(args) -> str:
     )
     if tel is not None:
         tel.dump(args.metrics_out, meta={"command": "resilience"})
+        text += f"\n[metrics written to {args.metrics_out}]"
+    return text
+
+
+def _churn(args) -> str:
+    import json
+
+    from repro.experiments.resilience import churn_payload, churn_report
+
+    tel = None
+    if getattr(args, "metrics_out", None):
+        from repro.telemetry import MetricsRegistry, Telemetry
+
+        tel = Telemetry(metrics=MetricsRegistry())
+    text, rows = churn_report(
+        n=args.n,
+        epochs=args.epochs,
+        workers=getattr(args, "workers", None),
+        telemetry=tel,
+    )
+    if any(not row.answer_parity for row in rows):
+        raise SystemExit(text + "\nchurn: answer parity BROKEN")
+    if args.json:
+        payload = churn_payload(rows, n=args.n)
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        text += f"\n[record written to {args.json}]"
+    if tel is not None:
+        tel.dump(args.metrics_out, meta={"command": "churn"})
         text += f"\n[metrics written to {args.metrics_out}]"
     return text
 
@@ -536,6 +606,71 @@ def build_parser() -> argparse.ArgumentParser:
         "--threshold", type=float, default=1.25, help="slowdown rebalance threshold"
     )
     p13.add_argument(
+        "--load-at",
+        type=int,
+        default=None,
+        metavar="EPOCH",
+        help="put sustained external load on a node at the start of EPOCH "
+        "(victim: --slow, or rank 1) — slows it without killing it",
+    )
+    p13.add_argument(
+        "--load",
+        type=float,
+        default=0.3,
+        metavar="FRACTION",
+        help="external load fraction in [0, 1) for --load-at (default: 0.3)",
+    )
+    p13.add_argument(
+        "--slow",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="PROC_ID",
+        help="processor id(s) to load at --load-at",
+    )
+    p13.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="hysteresis-debounced incremental repartitioning: migrate-k "
+        "deltas with a cost-aware veto, full re-search only on divergence",
+    )
+    p13.add_argument(
+        "--slowdown-research",
+        action="store_true",
+        help="answer every confirmed slowdown with a full gather + re-search "
+        "(the always-research baseline the adaptive policy is judged against)",
+    )
+    p13.add_argument(
+        "--hysteresis-k",
+        type=int,
+        default=3,
+        metavar="K",
+        help="consecutive over-threshold epochs before the adaptive "
+        "controller trips (default: 3)",
+    )
+    p13.add_argument(
+        "--clear-threshold",
+        type=float,
+        default=1.1,
+        help="completion-skew level at which a tripped controller re-arms "
+        "(must sit below --threshold; default: 1.1)",
+    )
+    p13.add_argument(
+        "--migrate-k",
+        type=int,
+        default=8,
+        metavar="K",
+        help="max PDUs an incremental repartition may move (default: 8)",
+    )
+    p13.add_argument(
+        "--divergence-bound",
+        type=float,
+        default=1.5,
+        help="epoch-time ratio vs the best epoch since the last full search "
+        "beyond which the adaptive policy falls back to a full re-search "
+        "(default: 1.5)",
+    )
+    p13.add_argument(
         "--audit-json", metavar="FILE", help="write the audit trail to FILE"
     )
     p13.add_argument(
@@ -603,6 +738,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workers_flag(p14)
     p14.set_defaults(func=_resilience)
+
+    p18 = sub.add_parser(
+        "churn",
+        help="E16b: adaptive repartitioning vs always-research under load churn",
+    )
+    p18.add_argument("--n", type=int, default=512)
+    p18.add_argument("--epochs", type=int, default=48)
+    p18.add_argument(
+        "--json", metavar="FILE", help="also write the machine-readable record to FILE"
+    )
+    p18.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write the grid's summary gauges as a telemetry JSONL export",
+    )
+    _add_workers_flag(p18)
+    p18.set_defaults(func=_churn)
 
     p16 = sub.add_parser(
         "bench-sim",

@@ -46,7 +46,11 @@ from repro.experiments.paper import (
 )
 from repro.experiments.report import format_bar_chart, format_table
 from repro.experiments.resilience import (
+    ChurnRow,
     ResilienceRow,
+    churn_grid,
+    churn_payload,
+    churn_report,
     resilience_grid,
     resilience_report,
     validate_decomposition,
@@ -101,6 +105,10 @@ __all__ = [
     "paper_cost_database",
     "format_bar_chart",
     "format_table",
+    "ChurnRow",
+    "churn_grid",
+    "churn_payload",
+    "churn_report",
     "ResilienceRow",
     "resilience_grid",
     "resilience_report",

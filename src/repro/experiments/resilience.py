@@ -28,6 +28,28 @@ cycles (:class:`~repro.sim.fastforward.FastForwardEngine`).  Scenario rows
 are independent, so the grid fans out over processes with ``workers``;
 the fitted cost database is built once per worker process and shared
 across that worker's rows.
+
+**The churn grid** (:func:`churn_grid`) is the adaptive-repartitioning
+benchmark: long-horizon external-*load* churn (flapping bursts, a rolling
+hot spot, a sustained step — :class:`~repro.sim.failures.LoadSchedule`)
+run under two slowdown policies on identical worlds:
+
+* **baseline** — ``RuntimePolicy(slowdown_research=True)``: every
+  over-threshold epoch pays a full gather + §5 re-search and ships the
+  resulting transfer (the pre-adaptive behaviour, generalized to load);
+* **adaptive** — ``RuntimePolicy(adaptive=True)``: hysteresis-debounced
+  triggers, migrate-k deltas, cost-aware vetoes, and the divergence-gated
+  full-search fallback.
+
+Both policies price PDU transfers off the *fitted* cost database (one
+N-double row at the clusters' marginal 1-D byte rate — the default
+0.05 ms/PDU token cost would make full-block thrashing look free) and
+charge the same modelled per-evaluation decision cost, so "total elapsed"
+genuinely means compute + decide + migrate on the one simulated clock.
+The gate: adaptive must win ≥ ``min_wins`` of the scenarios, answer
+parity must hold everywhere, and whenever the fallback fired the adaptive
+run must land on the same final decomposition as the always-research
+baseline (decision parity of the fallback search).
 """
 
 from __future__ import annotations
@@ -43,7 +65,7 @@ from repro.hardware.presets import paper_testbed
 from repro.mmps import MMPS
 from repro.partition.runtime import PartitionRuntime, RuntimePolicy, RuntimeResult
 from repro.partition.search_parallel import sweep
-from repro.sim.failures import FailureSchedule
+from repro.sim.failures import FailureSchedule, LoadSchedule
 from repro.sim.fastforward import FastForwardEngine, FastForwardReport
 
 __all__ = [
@@ -51,12 +73,32 @@ __all__ = [
     "resilience_grid",
     "resilience_report",
     "validate_decomposition",
+    "ChurnRow",
+    "churn_transfer_ms_per_pdu",
+    "churn_grid",
+    "churn_report",
+    "churn_payload",
 ]
 
 N = 512
 EPOCHS = 10
 FAIL_EPOCHS = (2, 5, 8)
 MTBF_EPOCHS = 12.0
+
+#: Churn-grid defaults: a long horizon (the fast-forward-era supervisor
+#: models epochs in closed form, so 48 epochs are cheap), moderate churn
+#: load (well under the divergence bound) and one heavy sustained step
+#: (beyond it, so the fallback fires).
+CHURN_EPOCHS = 48
+CHURN_LOAD = 0.30
+CHURN_STEP_LOAD = 0.50
+#: Modelled decision-compute cost per fresh T_c evaluation, charged to the
+#: sim clock by both churn policies (memoized decisions are free — warm
+#: starts show up as genuinely cheaper decisions for baseline and adaptive
+#: alike).
+DECIDE_COST_MS_PER_EVAL = 0.05
+#: Adaptive wins required by the committed churn gate.
+CHURN_MIN_WINS = 2
 
 #: Fitted cost database shared across one process's grid rows.  Primed by
 #: :func:`_prime_cost_database` (the :func:`~repro.partition.search_parallel.sweep`
@@ -106,6 +148,7 @@ def _supervised_run(
     n: int,
     epochs: int,
     failures: Optional[FailureSchedule] = None,
+    loads: Optional[LoadSchedule] = None,
     pre_dead: Sequence[int] = (),
     policy: Optional[RuntimePolicy] = None,
     decide_engine: str = "scalar",
@@ -128,6 +171,7 @@ def _supervised_run(
         _cost_database(),
         policy=policy,
         failures=failures,
+        loads=loads,
     )
     return runtime.run(epochs)
 
@@ -410,3 +454,320 @@ def resilience_report(
     if broken:
         table += f"\n\nANSWER PARITY BROKEN: {broken}"
     return table
+
+
+# -- the adaptive-repartitioning churn grid ------------------------------------
+
+
+def churn_transfer_ms_per_pdu(db: CostDatabase, n: int) -> float:
+    """Per-PDU transfer price off the *fitted* cost database.
+
+    One PDU is one stencil row of ``n`` doubles; its price is the marginal
+    cost of one more row in a bulk 1-D block transfer (the fitted
+    ``T_comm`` slope at that size), averaged over the testbed's clusters.
+    Both churn policies pay this same rate, so the grid's elapsed times
+    genuinely charge data movement — the default 0.05 ms/PDU token cost
+    would make full-block thrashing look nearly free.
+    """
+    row_bytes = 8.0 * n
+    marginals = [
+        db.comm_cost(cluster, "1-D", 2 * row_bytes, 2)
+        - db.comm_cost(cluster, "1-D", row_bytes, 2)
+        for cluster in ("sparc2", "ipc")
+    ]
+    return sum(marginals) / len(marginals)
+
+
+@dataclass(frozen=True)
+class ChurnRow:
+    """One churn scenario: always-research baseline vs adaptive policy."""
+
+    scenario: str
+    epochs: int
+    clean_ms: float
+    baseline_ms: float  #: total elapsed (compute + decide + migrate), research policy
+    adaptive_ms: float  #: same clock, adaptive policy
+    speedup: float  #: baseline_ms / adaptive_ms (> 1 means adaptive wins)
+    win: bool
+    answer_parity: bool  #: both policies reproduce the clean integer answer
+    baseline_repartitions: int
+    baseline_moved: int
+    baseline_searches: int
+    adaptive_repartitions: int
+    adaptive_moved: int
+    adaptive_searches: int
+    #: decide.adaptive.* counters of the adaptive run.
+    trips: int
+    holds: int
+    migrations: int
+    vetoes: int
+    fallbacks: int
+    #: When the divergence fallback fired: did the adaptive run land on the
+    #: always-research baseline's final decomposition?  ``None`` = no
+    #: fallback in this scenario.
+    fallback_parity: Optional[bool]
+
+
+def _churn_row(
+    scenario: str,
+    schedule: LoadSchedule,
+    clean_ms: float,
+    clean_answer: int,
+    n: int,
+    epochs: int,
+    transfer_ms_per_pdu: float,
+) -> ChurnRow:
+    """One scenario row (module-level and primitive-argument for sweep)."""
+    baseline = _supervised_run(
+        n=n,
+        epochs=epochs,
+        loads=schedule,
+        policy=RuntimePolicy(
+            slowdown_research=True,
+            transfer_ms_per_pdu=transfer_ms_per_pdu,
+            decide_cost_per_eval_ms=DECIDE_COST_MS_PER_EVAL,
+        ),
+    )
+    adaptive = _supervised_run(
+        n=n,
+        epochs=epochs,
+        loads=schedule,
+        policy=RuntimePolicy(
+            adaptive=True,
+            transfer_ms_per_pdu=transfer_ms_per_pdu,
+            decide_cost_per_eval_ms=DECIDE_COST_MS_PER_EVAL,
+        ),
+    )
+    stats = adaptive.adaptive_stats
+    fallback_parity: Optional[bool] = None
+    if stats.get("full_fallbacks", 0):
+        fallback_parity = (
+            adaptive.final_proc_ids == baseline.final_proc_ids
+            and adaptive.final_vector == baseline.final_vector
+        )
+    return ChurnRow(
+        scenario=scenario,
+        epochs=epochs,
+        clean_ms=clean_ms,
+        baseline_ms=baseline.elapsed_ms,
+        adaptive_ms=adaptive.elapsed_ms,
+        speedup=baseline.elapsed_ms / adaptive.elapsed_ms,
+        win=adaptive.elapsed_ms < baseline.elapsed_ms,
+        answer_parity=(
+            baseline.answer == clean_answer and adaptive.answer == clean_answer
+        ),
+        baseline_repartitions=baseline.repartitions,
+        baseline_moved=baseline.moved_pdus_total,
+        baseline_searches=baseline.decide_searches,
+        adaptive_repartitions=adaptive.repartitions,
+        adaptive_moved=adaptive.moved_pdus_total,
+        adaptive_searches=adaptive.decide_searches,
+        trips=stats.get("trips", 0),
+        holds=stats.get("holds", 0),
+        migrations=stats.get("migrations", 0),
+        vetoes=stats.get("vetoes", 0),
+        fallbacks=stats.get("full_fallbacks", 0),
+        fallback_parity=fallback_parity,
+    )
+
+
+def churn_scenarios(
+    victims: Sequence[int], epochs: int
+) -> list[tuple[str, LoadSchedule]]:
+    """The three canonical churn shapes over the given victim nodes.
+
+    ``victims`` are worker processors *inside* the current decomposition
+    (a load on a node outside it is invisible to both policies).  Flapping
+    alternates between two victims so a drop-the-victim policy keeps
+    finding the next burst inside its decomposition; the rolling hot spot
+    walks all of them; the step parks heavy load on one.
+    """
+    if len(victims) < 2:
+        raise ValueError("churn scenarios need at least two victim nodes")
+    start = 4  # settle epochs: let both policies measure the clean world first
+    return [
+        (
+            "flap",
+            LoadSchedule.flapping(
+                victims[:2],
+                load=CHURN_LOAD,
+                period_epochs=6,
+                burst_epochs=2,
+                horizon_epochs=epochs,
+                start_epoch=start,
+            ),
+        ),
+        (
+            "rolling",
+            LoadSchedule.rolling(
+                victims,
+                load=CHURN_LOAD,
+                dwell_epochs=8,
+                horizon_epochs=epochs,
+                start_epoch=start,
+            ),
+        ),
+        (
+            "step",
+            LoadSchedule.step(
+                victims[1], at_epoch=start + 2, load=CHURN_STEP_LOAD
+            ),
+        ),
+    ]
+
+
+def churn_grid(
+    *,
+    n: int = N,
+    epochs: int = CHURN_EPOCHS,
+    workers: Optional[int] = None,
+) -> list[ChurnRow]:
+    """The adaptive-vs-always-research benchmark over the churn scenarios.
+
+    Victims are the slow-cluster (ipc) workers of the clean decomposition:
+    nodes both policies start with, so neither gets free capacity the
+    other cannot see.  Scenario rows are independent and fan out across
+    processes with ``workers``.
+    """
+    _prime_cost_database()
+    db = _cost_database()
+    transfer_ms_per_pdu = churn_transfer_ms_per_pdu(db, n)
+    clean = _supervised_run(
+        n=n,
+        epochs=epochs,
+        policy=RuntimePolicy(
+            transfer_ms_per_pdu=transfer_ms_per_pdu,
+            decide_cost_per_eval_ms=DECIDE_COST_MS_PER_EVAL,
+        ),
+    )
+    network = paper_testbed()
+    managers = {c.processors[0].proc_id for c in network.clusters}
+    slow_cluster = {p.proc_id for p in network.clusters[-1].processors}
+    victims = [
+        pid
+        for pid in clean.final_proc_ids
+        if pid in slow_cluster and pid not in managers
+    ]
+    if len(victims) < 2:
+        raise ValueError(
+            f"decomposition at n={n} keeps {len(victims)} slow-cluster "
+            "workers; the churn grid needs at least 2"
+        )
+    tasks = [
+        (scenario, schedule, clean.elapsed_ms, clean.answer, n, epochs, transfer_ms_per_pdu)
+        for scenario, schedule in churn_scenarios(victims[:4], epochs)
+    ]
+    return sweep(_churn_row, tasks, workers=workers, initializer=_prime_cost_database)
+
+
+def churn_payload(
+    rows: Sequence[ChurnRow], *, n: int = N, min_wins: int = CHURN_MIN_WINS
+) -> dict:
+    """The ``BENCH_adaptive_perf.json`` schema for a churn-grid run."""
+    return {
+        "adaptive_churn": {
+            "n": n,
+            "epochs": rows[0].epochs if rows else 0,
+            "decide_cost_per_eval_ms": DECIDE_COST_MS_PER_EVAL,
+            "scenarios": {
+                r.scenario: {
+                    "clean_ms": r.clean_ms,
+                    "baseline_ms": r.baseline_ms,
+                    "adaptive_ms": r.adaptive_ms,
+                    "speedup": r.speedup,
+                    "win": r.win,
+                    "answer_parity": r.answer_parity,
+                    "baseline_moved": r.baseline_moved,
+                    "adaptive_moved": r.adaptive_moved,
+                    "baseline_searches": r.baseline_searches,
+                    "adaptive_searches": r.adaptive_searches,
+                    "trips": r.trips,
+                    "holds": r.holds,
+                    "migrations": r.migrations,
+                    "vetoes": r.vetoes,
+                    "fallbacks": r.fallbacks,
+                    "fallback_parity": r.fallback_parity,
+                }
+                for r in rows
+            },
+            "wins": sum(1 for r in rows if r.win),
+            "min_wins": min_wins,
+            "answer_parity_ok": all(r.answer_parity for r in rows),
+            "fallback_parity_ok": all(r.fallback_parity is not False for r in rows),
+        }
+    }
+
+
+def churn_report(
+    *,
+    n: int = N,
+    epochs: int = CHURN_EPOCHS,
+    workers: Optional[int] = None,
+    telemetry=None,
+) -> tuple[str, list[ChurnRow]]:
+    """ASCII churn grid plus its rows; raises if answer parity breaks."""
+    rows = churn_grid(n=n, epochs=epochs, workers=workers)
+    broken = [r.scenario for r in rows if not r.answer_parity]
+    if telemetry is not None:
+        m = telemetry.metrics
+        m.gauge("churn.scenarios", help="churn scenarios run").set(len(rows))
+        m.gauge("churn.adaptive_wins", help="scenarios the adaptive policy won").set(
+            sum(1 for r in rows if r.win)
+        )
+        m.gauge("churn.parity_broken", help="scenarios with a wrong answer").set(
+            len(broken)
+        )
+        m.gauge(
+            "churn.baseline_moved", help="PDUs the research baseline shipped"
+        ).set(sum(r.baseline_moved for r in rows))
+        m.gauge(
+            "churn.adaptive_moved", help="PDUs the adaptive policy shipped"
+        ).set(sum(r.adaptive_moved for r in rows))
+    table = format_table(
+        [
+            "scenario",
+            "parity",
+            "clean ms",
+            "research ms",
+            "adaptive ms",
+            "speedup",
+            "win",
+            "res moved",
+            "ad moved",
+            "trips",
+            "holds",
+            "migr",
+            "veto",
+            "fallback",
+        ],
+        [
+            (
+                r.scenario,
+                "ok" if r.answer_parity else "BROKEN",
+                r.clean_ms,
+                r.baseline_ms,
+                r.adaptive_ms,
+                r.speedup,
+                "yes" if r.win else "no",
+                r.baseline_moved,
+                r.adaptive_moved,
+                r.trips,
+                r.holds,
+                r.migrations,
+                r.vetoes,
+                (
+                    "-"
+                    if r.fallback_parity is None
+                    else ("parity" if r.fallback_parity else "DIVERGED")
+                ),
+            )
+            for r in rows
+        ],
+        title=(
+            f"E16b: adaptive repartitioning under churn (STEN-1 N={n}, "
+            f"{epochs} epochs; hysteresis+migrate-k vs always-research)"
+        ),
+    )
+    if broken:
+        table += f"\n\nANSWER PARITY BROKEN: {broken}"
+    return table, rows

@@ -32,9 +32,14 @@ from repro.partition.decompose import (
 )
 from repro.partition.dynamic import (
     EpochHealth,
+    HysteresisController,
+    HysteresisDecision,
     classify_epoch,
+    completion_skew,
     detect_imbalance,
+    migrate_k_counts,
     moved_pdus,
+    projected_epoch_ms,
     rebalance_counts,
     transfer_plan,
 )
@@ -93,9 +98,14 @@ __all__ = [
     "balanced_shares_nonlinear",
     "equal_shares",
     "EpochHealth",
+    "HysteresisController",
+    "HysteresisDecision",
     "classify_epoch",
+    "completion_skew",
     "detect_imbalance",
+    "migrate_k_counts",
     "moved_pdus",
+    "projected_epoch_ms",
     "rebalance_counts",
     "transfer_plan",
     "CycleEstimate",

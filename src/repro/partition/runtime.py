@@ -45,14 +45,18 @@ from repro.partition.available import (
     gather_available_resources_resilient,
 )
 from repro.partition.dynamic import (
+    HysteresisController,
     classify_epoch,
+    completion_skew,
+    migrate_k_counts,
     moved_pdus,
+    projected_epoch_ms,
     rebalance_counts,
     transfer_plan,
 )
 from repro.partition.heuristic import PartitionDecision, partition
 from repro.partition.warmstart import SearchCache
-from repro.sim.failures import FailureSchedule
+from repro.sim.failures import FailureSchedule, LoadSchedule
 from repro.telemetry import NULL_TELEMETRY, Span, SpanRecorder, Telemetry
 from repro.units import ops_time_ms
 
@@ -123,6 +127,33 @@ class RuntimePolicy:
     #: Decisions are identical to cold searches — only fresh ``T_c``
     #: evaluations are saved.
     warm_start: bool = True
+    #: Incremental decision layer (adaptive self-clustering): debounce
+    #: slowdown triggers through a
+    #: :class:`~repro.partition.dynamic.HysteresisController`, answer trips
+    #: with migrate-k deltas instead of full searches, and veto migrations
+    #: whose transfer bill exceeds the projected saving.  Mutually
+    #: exclusive with ``slowdown_research``.
+    adaptive: bool = False
+    #: Consecutive over-threshold epochs before the controller trips.
+    hysteresis_k: int = 3
+    #: Skew below which a tripped controller re-arms (Schmitt trigger lower
+    #: bound; must stay below ``imbalance_threshold``).
+    clear_threshold: float = 1.1
+    #: Max PDUs a single incremental repartition may move.
+    migrate_k: int = 8
+    #: Measured/reference epoch-time ratio beyond which the incremental
+    #: layer distrusts its model and falls back to the full warm-started
+    #: search.
+    divergence_bound: float = 1.5
+    #: Always-research baseline: answer every slowdown trip with a full
+    #: gather + §5 search (the policy the adaptive layer is benchmarked
+    #: against).  Mutually exclusive with ``adaptive``.
+    slowdown_research: bool = False
+    #: Modelled decision-compute cost charged to the sim clock per fresh
+    #: ``T_c`` evaluation of a search (0 = decisions are free, the
+    #: pre-adaptive behaviour).  Cache hits and memoized decisions cost
+    #: nothing, so warm starts show up as genuinely cheaper decisions.
+    decide_cost_per_eval_ms: float = 0.0
 
 
 class AuditEvent:
@@ -302,6 +333,14 @@ class RuntimeResult:
     final_vector: tuple[int, ...]
     elapsed_ms: float
     replayed_pdus: int
+    #: Full gather+search decisions taken (bootstrap included).
+    decide_searches: int = 0
+    #: Fresh T_c evaluations those searches spent (memo hits cost zero).
+    decide_evaluations: int = 0
+    #: Plain-int decide.adaptive.* counters (all zero unless
+    #: ``policy.adaptive``): trips, holds, migrations, vetoes,
+    #: full_fallbacks.
+    adaptive_stats: dict[str, int] = field(default_factory=dict)
 
     @property
     def repartitions(self) -> int:
@@ -348,6 +387,10 @@ class PartitionRuntime:
     failures:
         Epoch-indexed :class:`~repro.sim.failures.FailureSchedule` applied
         by the supervisor at each epoch start.
+    loads:
+        Epoch-indexed :class:`~repro.sim.failures.LoadSchedule` applied at
+        each epoch start (after failures): external load slows live nodes
+        without killing them — the churn the adaptive layer absorbs.
     mmps:
         Optional message system to notify of fail-stop events, so the
         transport layer also drops the dead endpoints.
@@ -371,6 +414,7 @@ class PartitionRuntime:
         clock: Optional[ManualClock] = None,
         probe: Optional[ManagerProbe] = None,
         failures: Optional[FailureSchedule] = None,
+        loads: Optional[LoadSchedule] = None,
         mmps=None,
         telemetry: Optional[Telemetry] = None,
     ) -> None:
@@ -381,7 +425,37 @@ class PartitionRuntime:
         self.clock = clock or ManualClock()
         self.probe = probe
         self.failures = failures or FailureSchedule()
+        self.loads = loads or LoadSchedule()
         self.mmps = mmps
+        if self.policy.adaptive and self.policy.slowdown_research:
+            raise PartitionError(
+                "adaptive and slowdown_research are mutually exclusive policies"
+            )
+        if self.policy.migrate_k < 1:
+            raise PartitionError(
+                f"migrate_k must be >= 1, got {self.policy.migrate_k}"
+            )
+        if self.policy.divergence_bound <= 1.0:
+            raise PartitionError(
+                "divergence_bound must exceed 1.0, "
+                f"got {self.policy.divergence_bound}"
+            )
+        if self.policy.decide_cost_per_eval_ms < 0:
+            raise PartitionError(
+                "decide_cost_per_eval_ms must be >= 0, "
+                f"got {self.policy.decide_cost_per_eval_ms}"
+            )
+        #: The debounce/hysteresis state machine (adaptive mode only; its
+        #: constructor validates the threshold ordering).
+        self.hysteresis: Optional[HysteresisController] = (
+            HysteresisController(
+                trip_threshold=self.policy.imbalance_threshold,
+                clear_threshold=self.policy.clear_threshold,
+                trip_after=self.policy.hysteresis_k,
+            )
+            if self.policy.adaptive
+            else None
+        )
         self.telemetry = telemetry or NULL_TELEMETRY
         # The audit trail consumes span events, so spans must exist even
         # with telemetry disabled: fall back to a private always-on recorder.
@@ -416,6 +490,29 @@ class PartitionRuntime:
             "runtime.decide_ms",
             help="simulated gather+partition decision latency (ms)",
         )
+        self._m_adaptive = {
+            name: metrics.counter(f"decide.adaptive.{name}", help=help_)
+            for name, help_ in (
+                ("trips", "epochs the hysteresis controller demanded action"),
+                ("holds", "over-threshold epochs the debounce absorbed"),
+                ("migrations", "committed migrate-k incremental repartitions"),
+                ("vetoes", "migrations rejected by the cost-aware trigger"),
+                ("full_fallbacks", "divergence-triggered full-search fallbacks"),
+            )
+        }
+        self._m_saved_ms = metrics.histogram(
+            "decide.adaptive.repartition_saved_ms",
+            help="projected net saving (ms) of each committed migration",
+        )
+        #: Plain-int mirror of the decide.adaptive.* counters, so callers
+        #: without a telemetry bundle (the churn grid's worker pool) still
+        #: see the adaptive layer's behaviour in the RuntimeResult.
+        self._adaptive_stats = {
+            name: 0
+            for name in ("trips", "holds", "migrations", "vetoes", "full_fallbacks")
+        }
+        self._decide_searches = 0
+        self._decide_evaluations = 0
         self.num_pdus = computation.num_pdus_value()
         self.executor = SimulatedEpochExecutor(
             computation, cycles_per_epoch=self.policy.cycles_per_epoch
@@ -472,7 +569,16 @@ class PartitionRuntime:
         self._m_gather_retries.inc(sum(report.retries.values()))
         self._m_gather_lost.inc(len(report.lost))
         # The decision's cost in *simulated* time: gather timeouts, retry
-        # backoff and manager latency all advance the ManualClock.
+        # backoff, manager latency, and (when the policy prices it) the
+        # search's fresh T_c evaluations all advance the ManualClock.
+        # Memoized decisions report zero evaluations, so warm starts are
+        # genuinely cheaper here, not just statistically.
+        if self.policy.decide_cost_per_eval_ms > 0:
+            self.clock.advance(
+                decision.evaluations * self.policy.decide_cost_per_eval_ms
+            )
+        self._decide_searches += 1
+        self._decide_evaluations += decision.evaluations
         self._m_decide_ms.observe(self.clock.now - t_start)
         self._last_decision = decision
         return decision, report
@@ -539,6 +645,42 @@ class PartitionRuntime:
         )
         self.audit.append(AuditEvent(span))
 
+    def _bump(self, name: str) -> None:
+        """Advance one decide.adaptive.* counter and its plain-int mirror."""
+        self._adaptive_stats[name] += 1
+        self._m_adaptive[name].inc()
+
+    def _research_slowdown(
+        self,
+        epoch: int,
+        old_procs: Sequence[Processor],
+        old_counts: Sequence[int],
+        old_config: dict[str, int],
+    ) -> tuple[list, list[int], dict[str, int]]:
+        """Answer a slowdown with a full gather + §5 search (re-admitting
+        nodes whose load cleared, dropping ones above the availability
+        threshold) and commit the union transfer."""
+        decision, report = self._decide()
+        procs = decision.config.processors()
+        counts = list(decision.vector)
+        config_by_name = decision.counts_by_name()
+        plan = self._union_transfer(old_procs, old_counts, procs, counts)
+        moved = moved_pdus(plan)
+        self.clock.advance(moved * self.policy.transfer_ms_per_pdu)
+        self._record(
+            epoch=epoch,
+            trigger="slowdown",
+            old_config=old_config,
+            new_config=config_by_name,
+            old_vector=old_counts,
+            new_vector=counts,
+            moved=moved,
+            replayed=0,
+            report=report,
+        )
+        self._m_moved.inc(moved)
+        return procs, counts, config_by_name
+
     # -- the supervisor loop -------------------------------------------------------
 
     def run(self, epochs: int) -> RuntimeResult:
@@ -571,6 +713,10 @@ class PartitionRuntime:
 
         answer = 0
         replayed_total = 0
+        #: Best (smallest) epoch duration seen since the last full search —
+        #: the incremental layer's self-calibrating reference for the
+        #: measured-vs-modelled divergence test.  None until re-measured.
+        reference_ms: Optional[float] = None
         for epoch in range(epochs):
             epoch_span = self.spans.start("runtime.epoch", epoch=epoch)
             self._m_epochs.inc()
@@ -578,9 +724,14 @@ class PartitionRuntime:
                 self.network.processor(event.proc_id).fail()
                 if self.mmps is not None:
                     self.mmps.fail_processor(event.proc_id)
+            for change in self.loads.changes_at(epoch):
+                proc = self.network.processor(change.proc_id)
+                if proc.alive:
+                    proc.set_load(change.load)
 
             measurements = self.executor.run_epoch(epoch, procs, counts)
-            self.clock.advance(self.executor.epoch_duration_ms(measurements, counts))
+            epoch_ms = self.executor.epoch_duration_ms(measurements, counts)
+            self.clock.advance(epoch_ms)
 
             # Live ranks' contributions land immediately; dead ranks leave
             # their block missing for this epoch.
@@ -634,11 +785,87 @@ class PartitionRuntime:
                 self._m_triage["node_loss"].inc()
                 self._m_replayed.inc(replay_pdus)
                 self._m_moved.inc(moved)
+                # The decomposition is a new world: forget the hysteresis
+                # streak and the divergence reference.
+                if self.hysteresis is not None:
+                    self.hysteresis.reset()
+                reference_ms = None
                 epoch_span.annotate(outcome="node-loss", dead_ranks=dead_ranks).end()
                 continue
 
+            reference_ms = (
+                epoch_ms if reference_ms is None else min(reference_ms, epoch_ms)
+            )
             outcome = "healthy"
-            if policy.rebalance_on_slowdown:
+            if policy.adaptive:
+                # Incremental decision layer: watch the completion-time
+                # skew (allocation error), debounce it, and answer trips
+                # with bounded deltas unless the measured world has
+                # diverged from the modelled one.
+                assert self.hysteresis is not None  # policy.adaptive implies it
+                skew = completion_skew(measurements, counts)
+                verdict = self.hysteresis.observe(skew)
+                if verdict.act:
+                    self._bump("trips")
+                    if epoch_ms / reference_ms > policy.divergence_bound:
+                        # Sustained drift the delta planner cannot explain:
+                        # distrust the incremental model and pay for one
+                        # full warm-started search.
+                        procs, counts, config_by_name = self._research_slowdown(
+                            epoch, procs, counts, config_by_name
+                        )
+                        self._bump("full_fallbacks")
+                        self.hysteresis.reset()
+                        reference_ms = None
+                        outcome = "slowdown"
+                    else:
+                        new_vec = list(
+                            migrate_k_counts(
+                                counts, measurements, policy.migrate_k
+                            )
+                        )
+                        if new_vec != counts:
+                            plan = transfer_plan(counts, new_vec)
+                            moved = moved_pdus(plan)
+                            bill = moved * policy.transfer_ms_per_pdu
+                            saving = (
+                                epoch_ms
+                                - projected_epoch_ms(measurements, new_vec)
+                            ) * (epochs - epoch - 1)
+                            if saving > bill:
+                                self.clock.advance(bill)
+                                self._record(
+                                    epoch=epoch,
+                                    trigger="slowdown",
+                                    old_config=config_by_name,
+                                    new_config=config_by_name,
+                                    old_vector=counts,
+                                    new_vector=new_vec,
+                                    moved=moved,
+                                    replayed=0,
+                                    report=None,
+                                )
+                                counts = new_vec
+                                outcome = "slowdown"
+                                self._m_moved.inc(moved)
+                                self._bump("migrations")
+                                self._m_saved_ms.observe(saving - bill)
+                            else:
+                                # The transfer bill exceeds what the move
+                                # would save over the remaining horizon.
+                                self._bump("vetoes")
+                elif skew > policy.imbalance_threshold:
+                    self._bump("holds")
+            elif policy.slowdown_research:
+                # Always-research baseline: any over-threshold skew pays
+                # for a full gather + search, immediately.
+                if completion_skew(measurements, counts) > policy.imbalance_threshold:
+                    procs, counts, config_by_name = self._research_slowdown(
+                        epoch, procs, counts, config_by_name
+                    )
+                    reference_ms = None
+                    outcome = "slowdown"
+            elif policy.rebalance_on_slowdown:
                 health = classify_epoch(
                     measurements, threshold=policy.imbalance_threshold
                 )
@@ -674,4 +901,7 @@ class PartitionRuntime:
             final_vector=tuple(counts),
             elapsed_ms=self.clock.now,
             replayed_pdus=replayed_total,
+            decide_searches=self._decide_searches,
+            decide_evaluations=self._decide_evaluations,
+            adaptive_stats=dict(self._adaptive_stats),
         )

@@ -1,14 +1,19 @@
-"""Failure injection: deterministic fail-stop schedules for nodes.
+"""Failure and load injection: deterministic churn schedules for nodes.
 
 The paper assumes a fixed processor pool for the lifetime of a computation;
 availability churn (a workstation owner rebooting, a node dropping off the
-segment) is exactly the scenario class its §7 future work defers.  This
-module provides the injection side of that story:
+segment, a competing job landing on a shared workstation) is exactly the
+scenario class its §7 future work defers.  This module provides the
+injection side of that story:
 
 * :class:`FailureSchedule` — an epoch-indexed fail-stop plan, either
   explicit (``fail_at``) or drawn from a seeded geometric MTBF model
   (``from_mtbf``) so experiments are reproducible without wall-clock
   randomness;
+* :class:`LoadSchedule` — the non-fatal twin: an epoch-indexed external
+  *load* plan (flapping bursts, rolling hot spots, sustained steps) that
+  slows nodes without killing them — the churn the adaptive
+  repartitioning layer exists for;
 * :func:`apply_failure_schedule` — the simulated-timeline twin of
   :func:`repro.apps.stencil_dynamic.apply_load_schedule`: at ``at_ms`` the
   node is marked dead and (when an :class:`~repro.mmps.system.MMPS`
@@ -30,7 +35,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.hardware.network import HeterogeneousNetwork
     from repro.mmps.system import MMPS
 
-__all__ = ["NodeFailure", "TimedFailure", "FailureSchedule", "apply_failure_schedule"]
+__all__ = [
+    "NodeFailure",
+    "TimedFailure",
+    "FailureSchedule",
+    "NodeLoad",
+    "LoadSchedule",
+    "apply_failure_schedule",
+]
 
 
 @dataclass(frozen=True)
@@ -103,6 +115,115 @@ class FailureSchedule:
     def failed_by(self, epoch: int) -> frozenset[int]:
         """Processors dead once epoch ``epoch`` starts (inclusive)."""
         return frozenset(e.proc_id for e in self.events if e.at_epoch <= epoch)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+
+@dataclass(frozen=True)
+class NodeLoad:
+    """Processor ``proc_id``'s external load becomes ``load`` at the *start*
+    of epoch ``at_epoch`` (``load=0.0`` clears a previous burst).
+
+    Non-fatal: the node keeps computing, just slower — the slowdown
+    signature :func:`~repro.partition.dynamic.classify_epoch` keys on.
+    """
+
+    at_epoch: int
+    proc_id: int
+    load: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.load < 1.0:
+            raise ValueError(f"load must be in [0, 1), got {self.load}")
+
+
+@dataclass(frozen=True)
+class LoadSchedule:
+    """An immutable epoch-indexed external-load plan.
+
+    The constructors cover the three canonical churn shapes of the
+    adaptive-repartitioning benchmark: short flapping bursts (debounced
+    away by hysteresis), a rolling hot spot (handled by migrate-k), and a
+    sustained step (where the full-search fallback is the right answer).
+    """
+
+    events: tuple[NodeLoad, ...] = ()
+
+    @classmethod
+    def step(cls, proc_id: int, *, at_epoch: int, load: float) -> "LoadSchedule":
+        """Sustained external load on one node from ``at_epoch`` onward."""
+        return cls((NodeLoad(at_epoch, proc_id, load),))
+
+    @classmethod
+    def flapping(
+        cls,
+        proc_ids,
+        *,
+        load: float,
+        period_epochs: int,
+        burst_epochs: int,
+        horizon_epochs: int,
+        start_epoch: int = 0,
+    ) -> "LoadSchedule":
+        """Bursts: ``burst_epochs`` of load at the start of each period.
+
+        ``proc_ids`` is one processor or a sequence the bursts rotate
+        through (a different workstation picks up the competing job each
+        time — each burst hits a node a drop-the-victim policy still has
+        in its decomposition).
+        """
+        if not 0 < burst_epochs < period_epochs:
+            raise ValueError(
+                f"need 0 < burst_epochs < period_epochs, got "
+                f"{burst_epochs} / {period_epochs}"
+            )
+        victims = [proc_ids] if isinstance(proc_ids, int) else list(proc_ids)
+        if not victims:
+            raise ValueError("flapping schedule needs at least one processor")
+        events: list[NodeLoad] = []
+        for i, start in enumerate(range(start_epoch, horizon_epochs, period_epochs)):
+            victim = victims[i % len(victims)]
+            events.append(NodeLoad(start, victim, load))
+            clear = start + burst_epochs
+            if clear < horizon_epochs:
+                events.append(NodeLoad(clear, victim, 0.0))
+        return cls(tuple(events))
+
+    @classmethod
+    def rolling(
+        cls,
+        proc_ids: Sequence[int],
+        *,
+        load: float,
+        dwell_epochs: int,
+        horizon_epochs: int,
+        start_epoch: int = 0,
+    ) -> "LoadSchedule":
+        """A hot spot that moves node-to-node every ``dwell_epochs``."""
+        if not proc_ids:
+            raise ValueError("rolling schedule needs at least one processor")
+        if dwell_epochs < 1:
+            raise ValueError(f"dwell_epochs must be >= 1, got {dwell_epochs}")
+        events: list[NodeLoad] = []
+        previous: Optional[int] = None
+        for i, start in enumerate(range(start_epoch, horizon_epochs, dwell_epochs)):
+            victim = proc_ids[i % len(proc_ids)]
+            if previous is not None and previous != victim:
+                events.append(NodeLoad(start, previous, 0.0))
+            events.append(NodeLoad(start, victim, load))
+            previous = victim
+        return cls(tuple(events))
+
+    def changes_at(self, epoch: int) -> tuple[NodeLoad, ...]:
+        """Load changes applying exactly at the start of ``epoch``.
+
+        Clears (``load=0.0``) are ordered before sets so a hot spot moving
+        between nodes in one epoch nets out correctly even on the same node.
+        """
+        changes = [e for e in self.events if e.at_epoch == epoch]
+        changes.sort(key=lambda e: (e.load > 0.0, e.proc_id))
+        return tuple(changes)
 
     def __bool__(self) -> bool:
         return bool(self.events)

@@ -1,0 +1,127 @@
+"""Property tests for the rebalance floor-reclaim loop.
+
+:func:`repro.partition.dynamic.rebalance_counts` integerizes measured
+proportional shares and then reclaims PDUs from the largest ranks until
+every rank holds ``min_per_rank``.  The loop's correctness argument —
+terminates, preserves the total, never breaks the floor it is repairing,
+and resolves donor ties deterministically — is exercised here over seeded
+randomized inputs, with the adversarial corner deliberately over-sampled:
+many ranks whose shares all integerize below the floor at once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.partition.dynamic import (
+    migrate_k_counts,
+    moved_pdus,
+    rebalance_counts,
+    transfer_plan,
+)
+
+SEEDS = range(20)
+
+
+def _adversarial_case(seed):
+    """A vector engineered to integerize many ranks to zero.
+
+    Most ranks are orders of magnitude slower than a handful of fast
+    ones, so their proportional shares all round below ``min_per_rank``
+    and the reclaim loop has to fix a *vector* of deficits, not just one.
+    """
+    rng = np.random.default_rng(seed)
+    ranks = int(rng.integers(3, 24))
+    fast = int(rng.integers(1, max(2, ranks // 3)))
+    times = np.concatenate(
+        [
+            rng.uniform(0.5, 2.0, size=fast),
+            rng.uniform(500.0, 50_000.0, size=ranks - fast),
+        ]
+    )
+    rng.shuffle(times)
+    counts = rng.integers(1, 60, size=ranks)
+    # Guarantee the floor is satisfiable.
+    if counts.sum() < ranks:
+        counts += 1
+    return counts.tolist(), times.tolist()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_reclaim_preserves_total_and_floor(seed):
+    counts, times = _adversarial_case(seed)
+    new = rebalance_counts(counts, times)
+    assert new.total == sum(counts)
+    assert min(new) >= 1
+    assert new.size == len(counts)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_reclaim_with_higher_floor(seed):
+    counts, times = _adversarial_case(seed)
+    floor = 2
+    total = sum(counts)
+    if total < floor * len(counts):
+        with pytest.raises(PartitionError, match="cannot give"):
+            rebalance_counts(counts, times, min_per_rank=floor)
+        return
+    new = rebalance_counts(counts, times, min_per_rank=floor)
+    assert new.total == total
+    assert min(new) >= floor
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_reclaim_is_deterministic(seed):
+    counts, times = _adversarial_case(seed)
+    assert list(rebalance_counts(counts, times)) == list(
+        rebalance_counts(counts, times)
+    )
+
+
+def test_every_rank_in_deficit_except_one():
+    # One fast rank hoards every share; the loop must hand one PDU back to
+    # each of the other ranks and still terminate.
+    ranks = 12
+    times = [1.0] + [1e6] * (ranks - 1)
+    counts = [5] * ranks
+    new = rebalance_counts(counts, times)
+    assert new.total == 5 * ranks
+    assert list(new)[1:] == [1] * (ranks - 1)
+    assert new[0] == 5 * ranks - (ranks - 1)
+
+
+def test_donor_ties_break_to_lowest_index():
+    # Ranks 0 and 1 tie as largest donors; the reclaim loop must always
+    # take from rank 0 first so identical measurements give identical
+    # vectors on every node computing the plan locally.
+    times = [1.0, 1.0, 1e9, 1e9]
+    new = rebalance_counts([3, 3, 1, 1], times)
+    assert new.total == 8
+    assert new[2] == new[3] == 1
+    # The two fast ranks split the remainder with the deterministic split.
+    assert list(new)[:2] == [3, 3]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_boundary_total_equals_floor_times_ranks(seed):
+    rng = np.random.default_rng(seed)
+    ranks = int(rng.integers(2, 16))
+    times = rng.uniform(0.5, 5_000.0, size=ranks).tolist()
+    new = rebalance_counts([1] * ranks, times)
+    assert list(new) == [1] * ranks
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_migrate_k_inherits_floor_and_total(seed):
+    # The migrate-k planner steps toward the reclaimed target, so the same
+    # invariants must survive a partial step with an arbitrary budget.
+    counts, times = _adversarial_case(seed)
+    rng = np.random.default_rng(seed + 1000)
+    k = int(rng.integers(1, 2 * sum(counts)))
+    new = migrate_k_counts(counts, times, k)
+    assert new.total == sum(counts)
+    assert min(new) >= 1
+    # The budget bounds the *physical* transfer bill, not just the net
+    # share reallocation: contiguous blocks ship every row between the
+    # shifted ownership boundaries.
+    assert moved_pdus(transfer_plan(counts, list(new))) <= k

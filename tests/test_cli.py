@@ -108,7 +108,43 @@ def test_run_dynamic_clean(capsys):
     assert main(["run-dynamic", "--n", "256", "--epochs", "3"]) == 0
     out = capsys.readouterr().out
     assert "clean: answer=" in out
-    assert "no failure schedule" in out
+    assert "no perturbation schedule" in out
+
+
+def test_run_dynamic_adaptive_load(capsys):
+    assert main(
+        ["run-dynamic", "--epochs", "12", "--load-at", "2", "--load", "0.4",
+         "--adaptive"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "loads: [(2, 1, 0.4)]" in out
+    assert "answer parity: ok" in out
+    assert "adaptive: full_fallbacks=" in out
+
+
+def test_run_dynamic_adaptive_excludes_research():
+    from repro.errors import PartitionError
+
+    with pytest.raises(PartitionError, match="mutually exclusive"):
+        main(
+            ["run-dynamic", "--epochs", "3", "--adaptive", "--slowdown-research"]
+        )
+
+
+def test_churn_command(capsys, tmp_path):
+    import json
+
+    record = tmp_path / "churn.json"
+    assert main(
+        ["churn", "--epochs", "16", "--workers", "1", "--json", str(record)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "E16b" in out
+    assert "BROKEN" not in out
+    payload = json.loads(record.read_text())
+    churn = payload["adaptive_churn"]
+    assert set(churn["scenarios"]) == {"flap", "rolling", "step"}
+    assert churn["answer_parity_ok"]
 
 
 def test_run_dynamic_fail_at(capsys, tmp_path):
