@@ -19,6 +19,7 @@ from repro.partition.perfbench import (
     perf_report,
     run_perf,
 )
+from repro.units import MS_PER_SECOND
 
 REPO_ROOT = Path(__file__).parent.parent
 SPEEDUP_FLOOR = 10.0
@@ -40,8 +41,8 @@ def test_engine_exhaustive_speedups(benchmark, save_report):
     assert abs(scalar.t_cycle_ms - array.t_cycle_ms) < 1e-9
     assert cmp.speedup >= SPEEDUP_FLOOR, (
         f"batch engine only {cmp.speedup:.1f}x faster than scalar "
-        f"(floor {SPEEDUP_FLOOR}x): scalar {scalar.best_wall_s * 1e3:.2f} ms, "
-        f"batch {batch.best_wall_s * 1e3:.2f} ms"
+        f"(floor {SPEEDUP_FLOOR}x): scalar {scalar.best_wall_s * MS_PER_SECOND:.2f} ms, "
+        f"batch {batch.best_wall_s * MS_PER_SECOND:.2f} ms"
     )
     assert cmp.speedup_array_over_batch >= ARRAY_SPEEDUP_FLOOR, (
         f"array engine only {cmp.speedup_array_over_batch:.1f}x the batch "

@@ -13,6 +13,7 @@ import json
 from pathlib import Path
 
 from repro.experiments.simbench import run_sim_perf, sim_perf_payload, sim_perf_report
+from repro.units import MS_PER_SECOND
 
 REPO_ROOT = Path(__file__).parent.parent
 SPEEDUP_FLOOR = 10.0
@@ -37,8 +38,8 @@ def test_fastforward_speedup(benchmark, save_report):
     assert fast.fast_forwarded_cycles > 0
     assert cmp.speedup >= SPEEDUP_FLOOR, (
         f"fast-forward only {cmp.speedup:.1f}x faster than event-level "
-        f"(floor {SPEEDUP_FLOOR}x): event {event.best_wall_s * 1e3:.2f} ms, "
-        f"fast {fast.best_wall_s * 1e3:.2f} ms"
+        f"(floor {SPEEDUP_FLOOR}x): event {event.best_wall_s * MS_PER_SECOND:.2f} ms, "
+        f"fast {fast.best_wall_s * MS_PER_SECOND:.2f} ms"
     )
     # The grid claim: the same floor on a real experiment, with per-row
     # validation signatures agreeing across modes.

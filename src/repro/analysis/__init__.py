@@ -2,8 +2,8 @@
 
 An AST-based linter purpose-built for this reproduction (see
 docs/static-analysis.md): a rule registry, per-line ``# repro:
-noqa[rule-name]`` suppressions, text/JSON/SARIF reporters, and five
-paper-grounded rules:
+noqa[rule-name]`` suppressions, text/JSON/SARIF reporters, content-hash
+incremental caching, and eight paper-grounded rules:
 
 ``unit-consistency``
     dimensional analysis over the :mod:`repro.units` naming conventions —
@@ -21,13 +21,35 @@ paper-grounded rules:
 ``telemetry-determinism``
     sim-critical code must record sim-domain (deterministic, clock-domain
     verified) telemetry; host-domain instruments there need an explicit
-    suppression explaining why.
+    suppression explaining why;
+``clock-domain``
+    flow-sensitive taint over each function's CFG, interprocedural via
+    call summaries: sim-clock values (ManualClock, ``*_sim_ms``) and
+    host-clock values (``time.perf_counter``, ``*_host_ms``/``wall_*``)
+    must never be added, subtracted, or compared;
+``unit-flow``
+    extends ``unit-consistency`` across call boundaries — parameter and
+    return units flow through the module-granular call graph
+    (:mod:`repro.analysis.callgraph`) as function summaries;
+``workspace-escape``
+    borrowed scratch (``ArrayWorkspace`` buffer views, ring-buffer
+    internals) must not escape into returned or longer-lived structures
+    without an explicit copy.
+
+The last three share a whole-program dataflow layer: per-function CFGs
+(:mod:`repro.analysis.cfg`), a generic forward-dataflow solver
+(:mod:`repro.analysis.dataflow`), and a memoized project call graph.
 
 Importing this package registers the built-in rules.
 """
 
 from __future__ import annotations
 
+from repro.analysis.aliascheck import WorkspaceEscapeRule
+from repro.analysis.callgraph import CallGraph, build_callgraph, project_callgraph
+from repro.analysis.cfg import CFG, BasicBlock, build_cfg
+from repro.analysis.clockcheck import ClockDomainRule
+from repro.analysis.dataflow import FlowAnalysis, own_exprs, solve
 from repro.analysis.determinism import SimDeterminismRule
 from repro.analysis.engine import (
     Finding,
@@ -51,6 +73,7 @@ from repro.analysis.reporters import (
 )
 from repro.analysis.telemetrycheck import TelemetryDeterminismRule
 from repro.analysis.unitcheck import UnitConsistencyRule, format_unit, name_unit
+from repro.analysis.unitflow import UnitFlowRule
 
 __all__ = [
     "Finding",
@@ -67,11 +90,23 @@ __all__ = [
     "render_text",
     "render_json",
     "render_sarif",
+    "BasicBlock",
+    "CFG",
+    "build_cfg",
+    "FlowAnalysis",
+    "own_exprs",
+    "solve",
+    "CallGraph",
+    "build_callgraph",
+    "project_callgraph",
     "UnitConsistencyRule",
     "CallbackPurityRule",
     "SimDeterminismRule",
     "EngineParityRule",
     "TelemetryDeterminismRule",
+    "ClockDomainRule",
+    "UnitFlowRule",
+    "WorkspaceEscapeRule",
     "format_unit",
     "name_unit",
 ]

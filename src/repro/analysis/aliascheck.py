@@ -1,0 +1,424 @@
+"""Rule ``workspace-escape``: reusable scratch must not leak or be resold.
+
+The array engine's whole speedup rests on *borrowing*: every kernel
+writes into preallocated :class:`~repro.partition.arrayengine.ArrayWorkspace`
+buffers, ``score_block`` hands back a **view** of ``ws.t_cycle`` that the
+very next ``load_rows`` overwrites, and the warm-start
+:class:`~repro.partition.warmstart.SearchCache` keeps whole engines (and
+their workspaces) alive across epochs.  The invariant that keeps all of
+this exact (PR 6's bit-identical-decisions guarantee) is temporal: a
+borrowed view must be consumed — or explicitly ``.copy()``-ed — before
+the workspace is reused, and anything stored into a longer-lived
+structure (a returned value, ``self``, a frontier, a cache entry) must
+*own* its memory.  The same discipline applies to the telemetry
+ring buffer: :class:`~repro.telemetry.ringbuf.RingBuffer` internals leave
+through ``snapshot()`` tuples, never as the live ``deque``.
+
+This rule tracks borrows with a forward dataflow over each function's
+CFG, interprocedurally through call summaries (a function returning a
+workspace view taints its call sites):
+
+* **sources** — ``ArrayWorkspace(...)`` objects, ``ws``/``workspace``
+  names and attributes, array-slot reads off them (``ws.t_cycle``),
+  slices/reshapes of those (views of views), ``_items``/``_buffer``
+  internals, and calls to functions summarized as view-returning;
+* **escapes** (findings) — returning a tainted value (bare or inside a
+  tuple/list/dict display), storing one into an attribute or container
+  (``self.x = view``, ``d[k] = view``, ``frontier.append(view)``), and
+  passing one to ``FrontierState(...)`` — the frontier is reused across
+  epochs and its masked-argmin fast path is only exact over rows the
+  workspace can no longer overwrite;
+* **cleansers** — ``.copy()`` / ``.tolist()`` / reductions
+  (``.min()``, ``.sum()``, ``np.stack``...), ``tuple()``/``list()``/
+  scalar constructors, and arithmetic (a binary op allocates a fresh
+  array).  ``np.asarray`` is *not* a cleanser: it returns its argument
+  unchanged for ndarray input.
+
+Intentional borrows (the documented ``score_block`` contract, ring-buffer
+iteration) carry ``# repro: noqa[workspace-escape]`` suppressions with a
+justifying comment — the rule makes the contract visible, not illegal.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.analysis.callgraph import CallGraph, project_callgraph
+from repro.analysis.cfg import FunctionNode, build_cfg
+from repro.analysis.dataflow import Env, FlowAnalysis, own_exprs, solve
+from repro.analysis.engine import Finding, ParsedModule, Project, Rule, register
+
+__all__ = ["WorkspaceEscapeRule", "WS_ARRAY_SLOTS"]
+
+Taint = FrozenSet[str]
+
+#: A workspace object itself (owning it is fine; its buffers are not).
+WSOBJ: Taint = frozenset({"wsobj"})
+#: A borrowed view of workspace storage.
+VIEW: Taint = frozenset({"view"})
+#: A live internal buffer (ring-buffer deque, span buffer).
+BUF: Taint = frozenset({"buf"})
+CLEAN: Taint = frozenset()
+
+#: The ndarray slots of ``ArrayWorkspace`` — reading one of these off a
+#: workspace object yields a borrowed view.  Kept in sync with
+#: ``ArrayWorkspace.__slots__`` by ``tests/analysis/test_flow_rules.py``.
+WS_ARRAY_SLOTS = frozenset(
+    {
+        "counts",
+        "active",
+        "inactive",
+        "totals",
+        "pattern",
+        "iwork",
+        "nact",
+        "speed_sums",
+        "t_comp",
+        "t_comm",
+        "t_overlap",
+        "t_cycle",
+        "fwork",
+        "fwork2",
+        "mask",
+        "bwork",
+    }
+)
+
+_WS_NAMES = frozenset({"ws", "workspace", "_workspace"})
+_BUF_ATTRS = frozenset({"_items", "_buffer"})
+
+#: Method calls that keep pointing at the same storage.
+_VIEW_PRESERVING_METHODS = frozenset(
+    {"reshape", "ravel", "view", "transpose", "squeeze"}
+)
+#: Method calls that allocate (copies, reductions, scalars, snapshots).
+_CLEANSING_METHODS = frozenset(
+    {
+        "copy",
+        "tolist",
+        "item",
+        "astype",
+        "min",
+        "max",
+        "sum",
+        "mean",
+        "std",
+        "any",
+        "all",
+        "argmin",
+        "argmax",
+        "snapshot",
+        "nbytes",
+    }
+)
+_CLEANSING_CALLS = frozenset(
+    {"tuple", "list", "dict", "set", "sorted", "float", "int", "bool", "str", "len"}
+)
+#: Containers storing a view escape it (the container outlives the block).
+_STORING_METHODS = frozenset({"append", "extend", "insert", "add", "put", "setdefault"})
+
+
+class _AliasFlow(FlowAnalysis[Taint]):
+    """Borrow propagation for one function; reports when ``findings`` set."""
+
+    def __init__(
+        self,
+        module: ParsedModule,
+        func: FunctionNode,
+        summaries: Dict[Tuple[str, str], Taint],
+        graph: CallGraph,
+        class_name: Optional[str],
+    ) -> None:
+        self.module = module
+        self.func = func
+        self.summaries = summaries
+        self.graph = graph
+        self.class_name = class_name
+        self.findings: Optional[List[Finding]] = None
+        self.returned: Taint = CLEAN
+
+    def initial_env(self) -> Env[Taint]:
+        env: Env[Taint] = {}
+        args = self.func.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if arg.arg in _WS_NAMES:
+                env[arg.arg] = WSOBJ
+        return env
+
+    def join_values(self, a: Optional[Taint], b: Optional[Taint]) -> Optional[Taint]:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return a | b
+
+    # -- reporting -----------------------------------------------------------
+
+    def _report(self, node: ast.AST, message: str) -> None:
+        if self.findings is None:
+            return
+        finding = Finding(
+            path=self.module.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=WorkspaceEscapeRule.name,
+            message=message,
+        )
+        if finding not in self.findings:
+            self.findings.append(finding)
+
+    @staticmethod
+    def _what(taint: Taint) -> str:
+        if "buf" in taint:
+            return "the live internal buffer"
+        return "a borrowed workspace view"
+
+    # -- transfer ------------------------------------------------------------
+
+    def transfer(self, stmt: ast.AST, env: Env[Taint]) -> Env[Taint]:
+        out = dict(env)
+        if isinstance(stmt, ast.Assign):
+            value = self._infer(stmt.value, out)
+            for target in stmt.targets:
+                self._assign(target, value, out)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign(stmt.target, self._infer(stmt.value, out), out)
+        elif isinstance(stmt, ast.AugAssign):
+            # In-place arithmetic on a view mutates scratch in place — the
+            # workspace's purpose — never an escape.
+            self._infer(stmt.value, out)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                value = self._infer(stmt.value, out)
+                escaping = value & (VIEW | BUF)
+                if escaping:
+                    self.returned = self.returned | escaping
+                    self._report(
+                        stmt,
+                        f"returns {self._what(escaping)}: callers outlive the "
+                        f"next workspace overwrite — return a .copy() (or keep "
+                        f"the borrow and suppress with a documented contract)",
+                    )
+        else:
+            for expr in own_exprs(stmt):
+                self._infer(expr, out)
+        return out
+
+    def _assign(self, target: ast.expr, value: Taint, env: Env[Taint]) -> None:
+        escaping = value & (VIEW | BUF)
+        if isinstance(target, ast.Name):
+            env[target.id] = WSOBJ if target.id in _WS_NAMES else value
+            return
+        if isinstance(target, ast.Attribute):
+            base_taint = self._infer(target.value, env)
+            if target.attr in _WS_NAMES or "wsobj" in value:
+                return  # storing the workspace object itself = ownership
+            if escaping and "wsobj" not in base_taint:
+                self._report(
+                    target,
+                    f"stores {self._what(escaping)} in attribute "
+                    f"{target.attr!r}: the structure outlives the next "
+                    f"workspace overwrite — store a .copy()",
+                )
+            return
+        if isinstance(target, ast.Subscript):
+            base_taint = self._infer(target.value, env)
+            # Writing INTO workspace storage is mutation, not escape.
+            if escaping and not (base_taint & (VIEW | WSOBJ)):
+                self._report(
+                    target,
+                    f"stores {self._what(escaping)} in a container: the "
+                    f"container outlives the next workspace overwrite — "
+                    f"store a .copy()",
+                )
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign(element, value, env)
+
+    # -- expression inference ------------------------------------------------
+
+    def _infer(self, node: ast.expr, env: Env[Taint]) -> Taint:
+        if isinstance(node, ast.Name):
+            if node.id in _WS_NAMES:
+                return WSOBJ
+            return env.get(node.id, CLEAN)
+        if isinstance(node, ast.Attribute):
+            base = self._infer(node.value, env)
+            if node.attr in _WS_NAMES:
+                return WSOBJ
+            if node.attr in _BUF_ATTRS:
+                return BUF
+            if "wsobj" in base and node.attr in WS_ARRAY_SLOTS:
+                return VIEW
+            if node.attr == "T" and ("view" in base or "buf" in base):
+                return base
+            return CLEAN
+        if isinstance(node, ast.Subscript):
+            base = self._infer(node.value, env)
+            self._infer(node.slice, env)
+            if base & (VIEW | BUF):
+                return base & (VIEW | BUF)
+            return CLEAN
+        if isinstance(node, ast.Call):
+            return self._infer_call(node, env)
+        if isinstance(node, ast.Starred):
+            return self._infer(node.value, env)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Dict)):
+            # A display *containing* a borrow is as escaped as the borrow.
+            out = CLEAN
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    out = out | (self._infer(child, env) & (VIEW | BUF))
+            return out
+        if isinstance(node, ast.IfExp):
+            self._infer(node.test, env)
+            return self._infer(node.body, env) | self._infer(node.orelse, env)
+        if isinstance(node, ast.NamedExpr):
+            value = self._infer(node.value, env)
+            if isinstance(node.target, ast.Name):
+                env[node.target.id] = value
+            return value
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._infer(child, env)
+        # Arithmetic, comparisons, f-strings... allocate fresh values.
+        return CLEAN
+
+    def _infer_call(self, node: ast.Call, env: Env[Taint]) -> Taint:
+        func = node.func
+        arg_taints = [self._infer(arg, env) for arg in node.args]
+        kw_taints = [self._infer(kw.value, env) for kw in node.keywords]
+
+        if isinstance(func, ast.Name):
+            if func.id == "ArrayWorkspace":
+                return WSOBJ
+            if func.id == "FrontierState":
+                for child, taint in zip(
+                    list(node.args) + [kw.value for kw in node.keywords],
+                    arg_taints + kw_taints,
+                ):
+                    if taint & VIEW:
+                        self._report(
+                            child,
+                            "a borrowed workspace view passed to "
+                            "FrontierState(): the frontier is reused across "
+                            "epochs and its masked-argmin fast path is only "
+                            "exact over rows the workspace cannot overwrite "
+                            "— pass a .copy()",
+                        )
+                return CLEAN
+            if func.id in _CLEANSING_CALLS:
+                return CLEAN
+            if func.id == "iter":
+                out = CLEAN
+                for taint in arg_taints:
+                    out = out | (taint & (VIEW | BUF))
+                return out
+        if isinstance(func, ast.Attribute):
+            base = self._infer(func.value, env)
+            base_name = func.value.id if isinstance(func.value, ast.Name) else ""
+            if base_name in ("np", "numpy"):
+                if func.attr == "asarray":
+                    out = CLEAN
+                    for taint in arg_taints:
+                        out = out | (taint & (VIEW | BUF))
+                    return out
+                return CLEAN  # np.stack/np.array/np.take... allocate
+            if func.attr in _STORING_METHODS:
+                for child, taint in zip(node.args, arg_taints):
+                    escaping = taint & (VIEW | BUF)
+                    if escaping and not (base & (VIEW | WSOBJ | BUF)):
+                        self._report(
+                            child,
+                            f"{func.attr}() stores {self._what(escaping)} in a "
+                            f"container that outlives the next workspace "
+                            f"overwrite — store a .copy()",
+                        )
+                return CLEAN
+            if func.attr in _VIEW_PRESERVING_METHODS and base & (VIEW | BUF):
+                return base & (VIEW | BUF)
+            if func.attr in _CLEANSING_METHODS:
+                return CLEAN
+            if "wsobj" in base or base & (VIEW | BUF):
+                return CLEAN  # other methods on scratch produce fresh values
+        target = self.graph.resolve(self.module, node, enclosing_class=self.class_name)
+        if target is not None:
+            return self.summaries.get(target.key, CLEAN)
+        return CLEAN
+
+
+def _walk_functions(
+    module: ParsedModule,
+) -> Iterator[Tuple[FunctionNode, Optional[str]]]:
+    stack: List[Tuple[ast.AST, Optional[str]]] = [(module.tree, None)]
+    while stack:
+        node, class_name = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, class_name
+                stack.append((child, class_name))
+            elif isinstance(child, ast.ClassDef):
+                stack.append((child, child.name))
+            else:
+                stack.append((child, class_name))
+
+
+def _run_function(
+    module: ParsedModule,
+    func: FunctionNode,
+    summaries: Dict[Tuple[str, str], Taint],
+    graph: CallGraph,
+    class_name: Optional[str],
+    findings: Optional[List[Finding]],
+) -> Taint:
+    flow = _AliasFlow(module, func, summaries, graph, class_name)
+    cfg = build_cfg(func)
+    entry_envs = solve(cfg, flow)
+    flow.findings = findings
+    flow.returned = CLEAN
+    for block_id in cfg.rpo():
+        env = dict(entry_envs.get(block_id, {}))
+        for stmt in cfg.blocks[block_id].stmts:
+            env = flow.transfer(stmt, env)
+    return flow.returned
+
+
+@register
+class WorkspaceEscapeRule(Rule):
+    """Borrowed scratch (workspace views, ring-buffer internals) must not
+    escape into longer-lived structures without an explicit copy."""
+
+    name = "workspace-escape"
+    description = (
+        "Tracks borrowed views of reusable scratch (ArrayWorkspace "
+        "buffers, ring-buffer internals) through assignments and call "
+        "summaries; flags returns, attribute/container stores, and "
+        "FrontierState arguments that let a view outlive the next "
+        "workspace overwrite without a .copy()."
+    )
+    scope = "project"
+
+    MAX_ROUNDS = 8
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        graph = project_callgraph(project)
+        summaries: Dict[Tuple[str, str], Taint] = {}
+        for _ in range(self.MAX_ROUNDS):
+            changed = False
+            for info in graph.functions:
+                returned = _run_function(
+                    info.module, info.node, summaries, graph, info.class_name, None
+                )
+                if summaries.get(info.key, CLEAN) != returned:
+                    summaries[info.key] = returned
+                    changed = True
+            if not changed:
+                break
+        findings: List[Finding] = []
+        for module in project.modules:
+            for func, class_name in _walk_functions(module):
+                _run_function(module, func, summaries, graph, class_name, findings)
+        yield from sorted(findings)

@@ -1,0 +1,221 @@
+"""A module-granular call graph over one analysis :class:`Project`.
+
+The interprocedural rules (clock-domain taint, unit flow, workspace
+escape) need one question answered cheaply: *which function definition
+does this call site probably invoke?*  Precise Python call resolution is
+undecidable; this resolver is deliberately name- and import-based, with
+the standard cheap-whole-program compromises, and every rule built on it
+treats "unresolved" as "no knowledge" (never as a finding):
+
+* ``f(...)`` resolves to a same-module ``def f``, else through a
+  ``from repro.x import f [as g]`` / ``import repro.x [as m]`` binding
+  into another analyzed module;
+* ``m.f(...)`` resolves through a module-alias import;
+* ``self.f(...)`` / ``cls.f(...)`` resolves to a method of the enclosing
+  class (passed in by the caller, which knows its lexical context);
+* ``obj.meth(...)`` falls back to *unique-name* resolution: if exactly
+  one method named ``meth`` is defined anywhere in the analyzed project,
+  that is the target; two or more candidates mean "unresolved".
+
+Known limits (documented in docs/static-analysis.md): dynamic dispatch
+through non-unique method names, ``**kwargs`` forwarding, decorators that
+change signatures, and callables stored in data structures all resolve to
+nothing — summaries simply stop propagating there.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.analysis.engine import ParsedModule, Project
+
+__all__ = ["FunctionInfo", "CallGraph", "build_callgraph", "project_callgraph"]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@dataclass
+class FunctionInfo:
+    """One analyzed function or method definition."""
+
+    module: ParsedModule
+    node: FunctionNode
+    qualname: str  #: ``"func"`` or ``"Class.method"`` within the module.
+    class_name: Optional[str]  #: Enclosing class, if a method.
+    params: Tuple[str, ...]  #: Positional-or-keyword names, ``self``/``cls`` dropped.
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """Project-unique id: (module relpath, qualname)."""
+        return (self.module.relpath, self.qualname)
+
+
+def _module_dotted(relpath: str) -> str:
+    """``src/repro/sim/rng.py`` -> ``repro.sim.rng`` (best effort)."""
+    path = relpath[:-3] if relpath.endswith(".py") else relpath
+    parts = path.split("/")
+    if "repro" in parts:
+        parts = parts[parts.index("repro") :]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _params(node: FunctionNode, *, is_method: bool) -> Tuple[str, ...]:
+    args = node.args
+    names = [a.arg for a in args.posonlyargs + args.args]
+    if is_method and names and names[0] in ("self", "cls"):
+        names = names[1:]
+    names.extend(a.arg for a in args.kwonlyargs)
+    return tuple(names)
+
+
+class CallGraph:
+    """Function index + call-site resolver for one project."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.functions: List[FunctionInfo] = []
+        #: (module relpath, plain name) -> top-level function.
+        self._module_level: Dict[Tuple[str, str], FunctionInfo] = {}
+        #: (module relpath, class, method) -> method.
+        self._methods: Dict[Tuple[str, str, str], FunctionInfo] = {}
+        #: method name -> every definition, for unique-name fallback.
+        self._by_method_name: Dict[str, List[FunctionInfo]] = {}
+        #: dotted module name -> module.
+        self._by_dotted: Dict[str, ParsedModule] = {}
+        #: module relpath -> local name -> (dotted module, original name).
+        self._from_imports: Dict[str, Dict[str, Tuple[str, str]]] = {}
+        #: module relpath -> local alias -> dotted module.
+        self._module_aliases: Dict[str, Dict[str, str]] = {}
+        for module in project.modules:
+            self._index_module(module)
+
+    # -- indexing ------------------------------------------------------------
+
+    def _index_module(self, module: ParsedModule) -> None:
+        self._by_dotted[_module_dotted(module.relpath)] = module
+        from_imports: Dict[str, Tuple[str, str]] = {}
+        aliases: Dict[str, str] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    from_imports[local] = (node.module, alias.name)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    aliases[local] = alias.name if alias.asname else alias.name.split(".")[0]
+                    if alias.asname:
+                        aliases[alias.asname] = alias.name
+        self._from_imports[module.relpath] = from_imports
+        self._module_aliases[module.relpath] = aliases
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo(
+                    module=module,
+                    node=stmt,
+                    qualname=stmt.name,
+                    class_name=None,
+                    params=_params(stmt, is_method=False),
+                )
+                self.functions.append(info)
+                self._module_level[(module.relpath, stmt.name)] = info
+            elif isinstance(stmt, ast.ClassDef):
+                for item in stmt.body:
+                    if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        continue
+                    decorators = {
+                        d.id
+                        for d in item.decorator_list
+                        if isinstance(d, ast.Name)
+                    }
+                    is_method = not ({"staticmethod"} & decorators)
+                    info = FunctionInfo(
+                        module=module,
+                        node=item,
+                        qualname=f"{stmt.name}.{item.name}",
+                        class_name=stmt.name,
+                        params=_params(item, is_method=is_method),
+                    )
+                    self.functions.append(info)
+                    self._methods[(module.relpath, stmt.name, item.name)] = info
+                    self._by_method_name.setdefault(item.name, []).append(info)
+
+    # -- resolution ----------------------------------------------------------
+
+    def resolve(
+        self,
+        module: ParsedModule,
+        call: ast.Call,
+        *,
+        enclosing_class: Optional[str] = None,
+    ) -> Optional[FunctionInfo]:
+        """The unique probable target of ``call``, or ``None``."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._resolve_name(module, func.id)
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if isinstance(base, ast.Name):
+                if base.id in ("self", "cls") and enclosing_class is not None:
+                    hit = self._methods.get(
+                        (module.relpath, enclosing_class, func.attr)
+                    )
+                    if hit is not None:
+                        return hit
+                    return self._resolve_unique_method(func.attr)
+                dotted = self._module_aliases.get(module.relpath, {}).get(base.id)
+                if dotted is not None:
+                    target = self._by_dotted.get(dotted)
+                    if target is not None:
+                        return self._module_level.get((target.relpath, func.attr))
+                    return None
+            return self._resolve_unique_method(func.attr)
+        return None
+
+    def _resolve_name(self, module: ParsedModule, name: str) -> Optional[FunctionInfo]:
+        local = self._module_level.get((module.relpath, name))
+        if local is not None:
+            return local
+        binding = self._from_imports.get(module.relpath, {}).get(name)
+        if binding is None:
+            return None
+        dotted, original = binding
+        target = self._by_dotted.get(dotted)
+        if target is None:
+            return None
+        return self._module_level.get((target.relpath, original))
+
+    def _resolve_unique_method(self, name: str) -> Optional[FunctionInfo]:
+        candidates = self._by_method_name.get(name, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+
+def build_callgraph(project: Project) -> CallGraph:
+    """Index ``project`` into a fresh :class:`CallGraph`."""
+    return CallGraph(project)
+
+
+def project_callgraph(project: Project) -> CallGraph:
+    """The project's call graph, built once and memoized on the project.
+
+    Three interprocedural rules run per lint invocation; sharing the index
+    keeps the whole-program pass linear in project size.
+    """
+    cached = getattr(project, "_callgraph", None)
+    if isinstance(cached, CallGraph) and cached.project is project:
+        return cached
+    graph = CallGraph(project)
+    project._callgraph = graph  # type: ignore[attr-defined]
+    return graph

@@ -1,0 +1,215 @@
+"""Per-function control-flow graphs for the flow-sensitive lint rules.
+
+The syntactic rules of :mod:`repro.analysis` (unit suffixes, forbidden
+calls) read each statement in isolation; the flow rules added with the
+whole-program pass (clock-domain taint, workspace aliasing) need to know
+*in what order* statements can execute and where paths merge.  This module
+lowers one ``ast.FunctionDef`` into basic blocks:
+
+* a block holds a straight-line run of statements; compound statements
+  (``if``/``while``/``for``/``try``/``with``) appear **in** a block as
+  header markers, but their bodies live in successor blocks — a transfer
+  function must only interpret a compound statement's *own* expressions
+  (test, iterable, context items), never recurse into its body (see
+  :func:`own_exprs` in :mod:`repro.analysis.dataflow`);
+* edges over-approximate execution: every ``try`` block may branch to
+  every handler, loops carry back-edges, ``break``/``continue``/``return``
+  /``raise`` divert to the matching target.  Over-approximation is the
+  safe direction for the may-analyses built on top — extra joins widen
+  lattice values and can only *mask* findings, never invent them.
+
+Nested function and class definitions are treated as opaque single
+statements (their bodies get their own CFGs when the client descends).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Union
+
+__all__ = ["BasicBlock", "CFG", "build_cfg"]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line run of statements with successor edges.
+
+    ``stmts`` holds ``ast.stmt`` nodes plus ``ast.ExceptHandler`` headers
+    (a handler's entry block leads with the handler node itself).
+    """
+
+    block_id: int
+    stmts: List[ast.AST] = field(default_factory=list)
+    succs: Set[int] = field(default_factory=set)
+
+
+@dataclass
+class CFG:
+    """Basic blocks of one function; ``entry`` and ``exit`` are block ids."""
+
+    blocks: Dict[int, BasicBlock]
+    entry: int
+    exit: int
+
+    def rpo(self) -> List[int]:
+        """Reverse-postorder block ids from ``entry`` (unreachable last)."""
+        seen: Set[int] = set()
+        order: List[int] = []
+        # Iterative DFS (the repo's deepest functions nest well past any
+        # comfortable recursion budget once try/except fan-out is added).
+        stack: List[tuple[int, int]] = [(self.entry, 0)]
+        seen.add(self.entry)
+        while stack:
+            block_id, edge_index = stack[-1]
+            succs = sorted(self.blocks[block_id].succs)
+            if edge_index < len(succs):
+                stack[-1] = (block_id, edge_index + 1)
+                nxt = succs[edge_index]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, 0))
+            else:
+                stack.pop()
+                order.append(block_id)
+        order.reverse()
+        for block_id in sorted(self.blocks):
+            if block_id not in seen:
+                order.append(block_id)
+        return order
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.blocks: Dict[int, BasicBlock] = {}
+        self.exit = self._new()
+        #: (continue-target, break-target) per enclosing loop.
+        self.loops: List[tuple[int, int]] = []
+        #: Handler-entry blocks of enclosing ``try`` statements: any
+        #: statement inside the body may transfer there.
+        self.handlers: List[List[int]] = []
+
+    def _new(self) -> int:
+        block_id = len(self.blocks)
+        self.blocks[block_id] = BasicBlock(block_id)
+        return block_id
+
+    def _edge(self, src: Optional[int], dst: int) -> None:
+        if src is not None:
+            self.blocks[src].succs.add(dst)
+
+    def _handler_edges(self, src: Optional[int]) -> None:
+        if src is None:
+            return
+        for handler_entries in self.handlers:
+            for entry in handler_entries:
+                self._edge(src, entry)
+
+    # -- statement lowering --------------------------------------------------
+
+    def lower_body(self, stmts: List[ast.stmt], current: Optional[int]) -> Optional[int]:
+        """Lower ``stmts`` starting in block ``current``; return the block
+        control falls out of, or ``None`` when every path diverts."""
+        for stmt in stmts:
+            if current is None:
+                # Dead code after return/raise/break; park it in a fresh
+                # unreachable block so its expressions still get visited.
+                current = self._new()
+            current = self.lower_stmt(stmt, current)
+        return current
+
+    def lower_stmt(self, stmt: ast.stmt, current: int) -> Optional[int]:
+        if isinstance(stmt, ast.If):
+            self.blocks[current].stmts.append(stmt)
+            self._handler_edges(current)
+            after = self._new()
+            then_entry = self._new()
+            self._edge(current, then_entry)
+            then_out = self.lower_body(stmt.body, then_entry)
+            self._edge(then_out, after)
+            if stmt.orelse:
+                else_entry = self._new()
+                self._edge(current, else_entry)
+                else_out = self.lower_body(stmt.orelse, else_entry)
+                self._edge(else_out, after)
+            else:
+                self._edge(current, after)
+            return after
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            header = self._new()
+            self._edge(current, header)
+            self.blocks[header].stmts.append(stmt)
+            self._handler_edges(header)
+            after = self._new()
+            body_entry = self._new()
+            self._edge(header, body_entry)
+            self._edge(header, after)
+            self.loops.append((header, after))
+            body_out = self.lower_body(stmt.body, body_entry)
+            self.loops.pop()
+            self._edge(body_out, header)
+            if stmt.orelse:
+                else_entry = self._new()
+                self._edge(header, else_entry)
+                else_out = self.lower_body(stmt.orelse, else_entry)
+                self._edge(else_out, after)
+            return after
+        if isinstance(stmt, ast.Try):
+            # Handlers may be entered from anywhere inside body/else.
+            handler_entries = [self._new() for _ in stmt.handlers]
+            self.handlers.append(handler_entries)
+            body_entry = self._new()
+            self._edge(current, body_entry)
+            for entry in handler_entries:
+                self._edge(current, entry)
+            body_out = self.lower_body(stmt.body, body_entry)
+            if stmt.orelse:
+                body_out = self.lower_body(stmt.orelse, body_out)
+            self.handlers.pop()
+            after_try = self._new()
+            self._edge(body_out, after_try)
+            for handler, entry in zip(stmt.handlers, handler_entries):
+                self.blocks[entry].stmts.append(handler)
+                handler_out = self.lower_body(handler.body, entry)
+                self._edge(handler_out, after_try)
+            if stmt.finalbody:
+                final_out = self.lower_body(stmt.finalbody, after_try)
+                after = self._new()
+                self._edge(final_out, after)
+                return after
+            return after_try
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self.blocks[current].stmts.append(stmt)
+            self._handler_edges(current)
+            return self.lower_body(stmt.body, current)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self.blocks[current].stmts.append(stmt)
+            self._handler_edges(current)
+            self._edge(current, self.exit)
+            return None
+        if isinstance(stmt, ast.Break):
+            self.blocks[current].stmts.append(stmt)
+            if self.loops:
+                self._edge(current, self.loops[-1][1])
+            return None
+        if isinstance(stmt, ast.Continue):
+            self.blocks[current].stmts.append(stmt)
+            if self.loops:
+                self._edge(current, self.loops[-1][0])
+            return None
+        # Simple statement — including nested def/class, which the flow
+        # rules analyze separately.
+        self.blocks[current].stmts.append(stmt)
+        self._handler_edges(current)
+        return current
+
+
+def build_cfg(func: FunctionNode) -> CFG:
+    """Lower ``func``'s body into a :class:`CFG`."""
+    builder = _Builder()
+    entry = builder._new()
+    out = builder.lower_body(func.body, entry)
+    builder._edge(out, builder.exit)
+    return CFG(blocks=builder.blocks, entry=entry, exit=builder.exit)

@@ -1,0 +1,457 @@
+"""Rule ``clock-domain``: sim-clock and host-clock values must never mix.
+
+The telemetry subsystem (PR 5) split time into two *domains*: the
+simulated clock (:class:`~repro.partition.runtime.ManualClock`,
+``sim.now``, every ``*_sim_ms`` quantity) is deterministic and
+byte-reproducible; the host clock (``time.perf_counter`` and friends,
+``*_host_ms`` / ``wall_*`` quantities) is not.  The two count different
+things: adding a host-measured duration to a simulated timestamp, or
+comparing a projected simulated epoch cost against a wall-clock reading,
+produces a number that silently depends on the machine the run happened
+on — exactly the bug class the byte-reproducible snapshot guarantee
+exists to exclude.
+
+This is a *flow* property: the host read happens in one function, the
+arithmetic three calls away.  The rule runs a forward taint analysis over
+each function's CFG (:mod:`repro.analysis.cfg` /
+:mod:`repro.analysis.dataflow`), seeds taint from
+
+* host sources — ``time.time`` / ``time.perf_counter`` / ``time.monotonic``
+  / ``time.process_time`` (and ``_ns`` variants), and identifiers whose
+  name tokens say host (``host``/``wall``) next to a time-ish token;
+* sim sources — identifiers with a ``sim`` token (``epoch_sim_ms``),
+  ``ManualClock(...)`` objects and ``.now`` / ``.advance()`` reads off
+  clock-named objects —
+
+and propagates it interprocedurally through call summaries from the
+module-granular call graph: a function returning a sim-tainted value
+taints its call sites, and passing a host-tainted argument to a
+``*_sim_ms`` parameter is reported at the call.
+
+Findings fire only on ``+``/``-``/comparisons between one *definitely*
+sim and one *definitely* host operand; ratios (``sim_ms / wall_ms`` — a
+speedup) and anything partially unknown stay silent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.analysis.callgraph import CallGraph, project_callgraph
+from repro.analysis.cfg import FunctionNode, build_cfg
+from repro.analysis.dataflow import Env, FlowAnalysis, own_exprs, solve
+from repro.analysis.engine import Finding, ParsedModule, Project, Rule, register
+
+__all__ = ["ClockDomainRule", "name_domain"]
+
+Domain = FrozenSet[str]
+
+SIM: Domain = frozenset({"sim"})
+HOST: Domain = frozenset({"host"})
+#: A ManualClock-like object (not itself a time value; ``.now`` is).
+SIMCLOCK: Domain = frozenset({"simclock"})
+UNKNOWN: Domain = frozenset()
+
+_HOST_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+    }
+)
+
+#: A ``sim``/``host`` token only marks a *time* value when the name also
+#: looks temporal; ``sim_config`` or ``hostname`` carry no clock domain.
+_TIME_HINT_TOKENS = frozenset(
+    {
+        "ms",
+        "msec",
+        "us",
+        "usec",
+        "s",
+        "sec",
+        "seconds",
+        "elapsed",
+        "time",
+        "now",
+        "start",
+        "end",
+        "clock",
+        "deadline",
+        "stamp",
+        "t",
+        "t0",
+        "t1",
+    }
+)
+
+_PASSTHROUGH_CALLS = frozenset({"min", "max", "abs", "float", "round", "sum"})
+
+
+def name_domain(name: str) -> Domain:
+    """The clock domain an identifier declares through its name tokens."""
+    tokens = set(name.lower().split("_"))
+    if "sim" in tokens:
+        domain = SIM
+    elif "host" in tokens or "wall" in tokens:
+        domain = HOST
+    else:
+        return UNKNOWN
+    if tokens & _TIME_HINT_TOKENS:
+        return domain
+    return UNKNOWN
+
+
+def _dotted(node: ast.expr) -> str:
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _clockish_base(node: ast.expr) -> bool:
+    """Whether ``node`` names a clock object by convention (``clock``,
+    ``self._clock``, ``sim_clock``, ``sim`` ...)."""
+    if isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Name):
+        name = node.id
+    else:
+        return False
+    tokens = set(name.lower().split("_"))
+    return bool(tokens & {"clock", "sim"})
+
+
+def _describe(domain: Domain) -> str:
+    return "sim-clock" if domain == SIM else "host-clock"
+
+
+class _ClockFlow(FlowAnalysis[Domain]):
+    """Per-function taint propagation; reports when ``findings`` is set."""
+
+    def __init__(
+        self,
+        module: ParsedModule,
+        func: FunctionNode,
+        summaries: Dict[Tuple[str, str], Domain],
+        graph: CallGraph,
+        class_name: Optional[str],
+    ) -> None:
+        self.module = module
+        self.func = func
+        self.summaries = summaries
+        self.graph = graph
+        self.class_name = class_name
+        self.findings: Optional[List[Finding]] = None
+        #: Domains of values flowing out of ``return`` statements.
+        self.returned: Domain = UNKNOWN
+
+    # -- lattice -------------------------------------------------------------
+
+    def initial_env(self) -> Env[Domain]:
+        env: Env[Domain] = {}
+        args = self.func.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            domain = name_domain(arg.arg)
+            if domain:
+                env[arg.arg] = domain
+        return env
+
+    def join_values(self, a: Optional[Domain], b: Optional[Domain]) -> Optional[Domain]:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return a | b
+
+    # -- reporting -----------------------------------------------------------
+
+    def _report(self, node: ast.AST, message: str) -> None:
+        if self.findings is None:
+            return
+        finding = Finding(
+            path=self.module.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=ClockDomainRule.name,
+            message=message,
+        )
+        if finding not in self.findings:
+            self.findings.append(finding)
+
+    # -- transfer ------------------------------------------------------------
+
+    def transfer(self, stmt: ast.AST, env: Env[Domain]) -> Env[Domain]:
+        out = dict(env)
+        if isinstance(stmt, ast.Assign):
+            value = self._infer(stmt.value, out)
+            for target in stmt.targets:
+                self._assign(target, value, out)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign(stmt.target, self._infer(stmt.value, out), out)
+        elif isinstance(stmt, ast.AugAssign):
+            target_domain = self._target_domain(stmt.target, out)
+            value = self._infer(stmt.value, out)
+            if isinstance(stmt.op, (ast.Add, ast.Sub)):
+                self._check_mix(stmt, target_domain, value, "augmented assignment")
+            self._assign(stmt.target, target_domain | value, out, check=False)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.returned = self.returned | self._infer(stmt.value, out)
+        else:
+            for expr in own_exprs(stmt):
+                self._infer(expr, out)
+        return out
+
+    def _target_domain(self, target: ast.expr, env: Env[Domain]) -> Domain:
+        if isinstance(target, ast.Name):
+            declared = name_domain(target.id)
+            return declared or env.get(target.id, UNKNOWN)
+        if isinstance(target, ast.Attribute):
+            return name_domain(target.attr)
+        return UNKNOWN
+
+    def _assign(
+        self,
+        target: ast.expr,
+        value: Domain,
+        env: Env[Domain],
+        *,
+        check: bool = True,
+    ) -> None:
+        name = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        if name is None:
+            return
+        declared = name_domain(name)
+        if (
+            check
+            and declared in (SIM, HOST)
+            and value in (SIM, HOST)
+            and declared != value
+        ):
+            self._report(
+                target,
+                f"{name} is {_describe(declared)} by naming convention but is "
+                f"assigned a {_describe(value)} value",
+            )
+        if isinstance(target, ast.Name):
+            env[target.id] = declared or value
+
+    def _check_mix(
+        self, node: ast.AST, left: Domain, right: Domain, context: str = ""
+    ) -> None:
+        if {left, right} == {SIM, HOST}:
+            prefix = f"{context}: " if context else ""
+            self._report(
+                node,
+                f"{prefix}sim-clock and host-clock values mixed: the simulated "
+                f"clock and the wall clock count different things (keep domains "
+                f"separate or go through an explicit measured-vs-projected "
+                f"comparison helper)",
+            )
+
+    # -- expression inference ------------------------------------------------
+
+    def _infer(self, node: ast.expr, env: Env[Domain]) -> Domain:
+        if isinstance(node, ast.Name):
+            if node.id in env:
+                return env[node.id]
+            return name_domain(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self._infer(node.value, env)
+            if node.attr == "now" and (
+                "simclock" in base or _clockish_base(node.value)
+            ):
+                return SIM
+            declared = name_domain(node.attr)
+            return declared or UNKNOWN
+        if isinstance(node, ast.BinOp):
+            left = self._infer(node.left, env)
+            right = self._infer(node.right, env)
+            if isinstance(node.op, (ast.Add, ast.Sub)):
+                self._check_mix(node, left, right)
+                return left | right
+            if isinstance(node.op, ast.Mult):
+                return left | right
+            # Ratios and remainders across domains are legitimate
+            # (speedup = sim_ms / wall_ms) and carry no domain.
+            return UNKNOWN
+        if isinstance(node, ast.Compare):
+            domains = [self._infer(node.left, env)] + [
+                self._infer(c, env) for c in node.comparators
+            ]
+            for left, right in zip(domains, domains[1:]):
+                if {left, right} == {SIM, HOST}:
+                    self._report(
+                        node,
+                        "comparing a sim-clock value with a host-clock value: "
+                        "the simulated clock and the wall clock count "
+                        "different things",
+                    )
+            return UNKNOWN
+        if isinstance(node, ast.Call):
+            return self._infer_call(node, env)
+        if isinstance(node, ast.UnaryOp):
+            return self._infer(node.operand, env)
+        if isinstance(node, ast.IfExp):
+            self._infer(node.test, env)
+            return self._infer(node.body, env) | self._infer(node.orelse, env)
+        if isinstance(node, ast.Subscript):
+            base = self._infer(node.value, env)
+            self._infer(node.slice, env)
+            return base
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self._infer(value, env)
+            return UNKNOWN
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._infer(child, env)
+        return UNKNOWN
+
+    def _infer_call(self, node: ast.Call, env: Env[Domain]) -> Domain:
+        func = node.func
+        dotted = _dotted(func) if isinstance(func, ast.Attribute) else ""
+        arg_domains = [self._infer(arg, env) for arg in node.args]
+        kw_domains = {
+            kw.arg: self._infer(kw.value, env)
+            for kw in node.keywords
+            if kw.arg is not None
+        }
+        for kw in node.keywords:
+            if kw.arg is None:
+                self._infer(kw.value, env)
+
+        if dotted in _HOST_CLOCK_CALLS:
+            return HOST
+        if isinstance(func, ast.Name) and func.id == "ManualClock":
+            return SIMCLOCK
+        if isinstance(func, ast.Attribute) and func.attr == "advance" and (
+            "simclock" in self._infer(func.value, env)
+            or _clockish_base(func.value)
+        ):
+            return SIM
+        if isinstance(func, ast.Name) and func.id in _PASSTHROUGH_CALLS:
+            out = UNKNOWN
+            for domain in arg_domains:
+                out = out | domain
+            return out
+
+        target = self.graph.resolve(
+            self.module, node, enclosing_class=self.class_name
+        )
+        if target is None:
+            return UNKNOWN
+        # Check arguments against the callee's parameter name conventions.
+        for index, param in enumerate(target.params):
+            declared = name_domain(param)
+            if declared not in (SIM, HOST):
+                continue
+            if index < len(arg_domains):
+                actual = arg_domains[index]
+            elif param in kw_domains:
+                actual = kw_domains[param]
+            else:
+                continue
+            if actual in (SIM, HOST) and actual != declared:
+                self._report(
+                    node,
+                    f"{target.name}() parameter {param!r} is "
+                    f"{_describe(declared)} by naming convention but receives "
+                    f"a {_describe(actual)} value",
+                )
+        return self.summaries.get(target.key, UNKNOWN)
+
+
+def _walk_functions(
+    module: ParsedModule,
+) -> Iterator[Tuple[FunctionNode, Optional[str]]]:
+    """Every function definition with its enclosing class name (if any)."""
+    stack: List[Tuple[ast.AST, Optional[str]]] = [(module.tree, None)]
+    while stack:
+        node, class_name = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, class_name
+                stack.append((child, class_name))
+            elif isinstance(child, ast.ClassDef):
+                stack.append((child, child.name))
+            else:
+                stack.append((child, class_name))
+
+
+def _run_function(
+    module: ParsedModule,
+    func: FunctionNode,
+    summaries: Dict[Tuple[str, str], Domain],
+    graph: CallGraph,
+    class_name: Optional[str],
+    findings: Optional[List[Finding]],
+) -> Domain:
+    """Solve one function; return the domain of its returned values."""
+    flow = _ClockFlow(module, func, summaries, graph, class_name)
+    cfg = build_cfg(func)
+    entry_envs = solve(cfg, flow)
+    # Replay every block once against its solved entry state, reporting.
+    flow.findings = findings
+    flow.returned = UNKNOWN
+    for block_id in cfg.rpo():
+        env = dict(entry_envs.get(block_id, {}))
+        for stmt in cfg.blocks[block_id].stmts:
+            env = flow.transfer(stmt, env)
+    # Only concrete time-value domains propagate through summaries.
+    return flow.returned & (SIM | HOST)
+
+
+@register
+class ClockDomainRule(Rule):
+    """Forward taint: sim-clock and host-clock values must never be
+    added, subtracted, or compared — intra- or inter-procedurally."""
+
+    name = "clock-domain"
+    description = (
+        "Taint-tracks simulated-clock values (ManualClock, *_sim_ms) and "
+        "host-clock values (time.perf_counter, *_host_ms/wall_*) through "
+        "assignments and call summaries; flags +/-/comparisons that mix "
+        "the two domains — sums of sim and host time depend on the "
+        "machine, breaking byte-reproducible snapshots."
+    )
+    scope = "project"
+
+    #: Summary fixpoint rounds; call chains deeper than this stop
+    #: propagating (conservatively silent, never wrong).
+    MAX_ROUNDS = 8
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        graph = project_callgraph(project)
+        summaries: Dict[Tuple[str, str], Domain] = {}
+        for _ in range(self.MAX_ROUNDS):
+            changed = False
+            for info in graph.functions:
+                returned = _run_function(
+                    info.module, info.node, summaries, graph, info.class_name, None
+                )
+                if summaries.get(info.key, UNKNOWN) != returned:
+                    summaries[info.key] = returned
+                    changed = True
+            if not changed:
+                break
+        findings: List[Finding] = []
+        for module in project.modules:
+            for func, class_name in _walk_functions(module):
+                _run_function(module, func, summaries, graph, class_name, findings)
+        yield from sorted(findings)

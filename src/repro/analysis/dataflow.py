@@ -1,0 +1,118 @@
+"""A generic forward dataflow solver over :mod:`repro.analysis.cfg` graphs.
+
+The flow rules (clock-domain taint, workspace aliasing) are all instances
+of the same scheme: an *environment* maps local names to abstract values,
+statements *transfer* environments forward, and merge points *join* them.
+This module provides the fixpoint machinery once; a client supplies the
+value lattice:
+
+* :meth:`FlowAnalysis.transfer` — the effect of one statement on an
+  environment (compound statements contribute only their *own*
+  expressions; see :func:`own_exprs`);
+* :meth:`FlowAnalysis.join_values` — the lattice join of two abstract
+  values (``None`` means "unbound / bottom").
+
+:func:`solve` iterates block transfer functions in reverse postorder
+until block-entry environments stop changing, with a hard iteration cap
+so a client whose join is not monotone degrades to an over-wide result
+instead of a hang.  The solved entry environments are what a reporting
+pass replays statement-by-statement to anchor findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Generic, Iterator, Optional, TypeVar
+
+from repro.analysis.cfg import CFG
+
+__all__ = ["Env", "FlowAnalysis", "solve", "own_exprs"]
+
+V = TypeVar("V")
+
+#: A block-entry abstract state: local name -> abstract value.
+Env = Dict[str, V]
+
+
+def own_exprs(stmt: ast.AST) -> Iterator[ast.expr]:
+    """The expressions a statement evaluates *itself*, excluding nested
+    statement bodies (those live in other CFG blocks) and nested
+    function/class definitions (analyzed separately)."""
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return
+    if isinstance(stmt, ast.If) or isinstance(stmt, ast.While):
+        yield stmt.test
+        return
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        yield stmt.iter
+        return
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            yield item.context_expr
+        return
+    if isinstance(stmt, ast.ExceptHandler):
+        if stmt.type is not None:
+            yield stmt.type
+        return
+    for child in ast.iter_child_nodes(stmt):
+        if isinstance(child, ast.expr):
+            yield child
+
+
+class FlowAnalysis(Generic[V]):
+    """Client hooks for :func:`solve`.  Subclass and override."""
+
+    def initial_env(self) -> Env[V]:
+        """The environment at function entry (parameter seeds)."""
+        return {}
+
+    def transfer(self, stmt: ast.AST, env: Env[V]) -> Env[V]:
+        """The environment after ``stmt``.  Must not mutate ``env``."""
+        raise NotImplementedError
+
+    def join_values(self, a: Optional[V], b: Optional[V]) -> Optional[V]:
+        """Join two abstract values; ``None`` is bottom (unbound)."""
+        raise NotImplementedError
+
+    # -- provided ------------------------------------------------------------
+
+    def join_envs(self, a: Env[V], b: Env[V]) -> Env[V]:
+        out: Env[V] = {}
+        for key in a.keys() | b.keys():
+            joined = self.join_values(a.get(key), b.get(key))
+            if joined is not None:
+                out[key] = joined
+        return out
+
+
+def solve(cfg: CFG, analysis: FlowAnalysis[V]) -> Dict[int, Env[V]]:
+    """Fixpoint block-entry environments, keyed by block id."""
+    order = cfg.rpo()
+    position = {block_id: index for index, block_id in enumerate(order)}
+    entry_envs: Dict[int, Env[V]] = {cfg.entry: analysis.initial_env()}
+    worklist = list(order)
+    # Cap: every block re-queued at most ~4x per variable would already be
+    # pathological for these finite lattices; 32x blocks is a safe ceiling.
+    budget = max(256, 32 * len(cfg.blocks))
+    while worklist and budget > 0:
+        budget -= 1
+        worklist.sort(key=lambda b: position.get(b, len(position)))
+        block_id = worklist.pop(0)
+        block = cfg.blocks.get(block_id)
+        if block is None:
+            continue
+        env = dict(entry_envs.get(block_id, {}))
+        for stmt in block.stmts:
+            env = analysis.transfer(stmt, env)
+        for succ in block.succs:
+            if succ in entry_envs:
+                merged = analysis.join_envs(entry_envs[succ], env)
+                if merged != entry_envs[succ]:
+                    entry_envs[succ] = merged
+                    if succ not in worklist:
+                        worklist.append(succ)
+            else:
+                entry_envs[succ] = dict(env)
+                if succ not in worklist:
+                    worklist.append(succ)
+    return entry_envs

@@ -33,10 +33,13 @@ from repro.analysis.engine import Finding, ParsedModule, Project, Rule, register
 __all__ = ["SimDeterminismRule"]
 
 #: Path fragments (posix) selecting the simulation-critical modules.
+#: ``repro/sim/`` covers fastforward.py; warmstart drives cross-epoch
+#: search reuse and must be replayable bit-exactly too.
 SCOPE_FRAGMENTS: Tuple[str, ...] = (
     "repro/sim/",
     "repro/partition/runtime.py",
     "repro/partition/dynamic.py",
+    "repro/partition/warmstart.py",
 )
 
 #: Files allowed to construct entropy: the named-stream factory itself.

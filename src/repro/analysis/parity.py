@@ -88,6 +88,8 @@ class EngineParityRule(Rule):
         "imported from a single shared source — the drift mode behind the "
         "PR-2 tie-breaking bug."
     )
+    # Findings depend on *pairs* of modules, not single files.
+    scope = "project"
 
     def check(self, project: Project) -> Iterator[Finding]:
         for ref_suffix, alt_suffix in ENGINE_PAIRS:

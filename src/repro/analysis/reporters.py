@@ -56,13 +56,27 @@ def render_json(findings: Sequence[Finding]) -> str:
 
 
 def render_sarif(findings: Sequence[Finding]) -> str:
-    """SARIF 2.1.0 with the registered rule catalogue embedded."""
+    """SARIF 2.1.0 with the registered rule catalogue embedded.
+
+    Every ``ruleId`` appearing in ``results`` must cross-reference an
+    entry in the driver's ``rules`` array, including pseudo-rules that
+    exist only as findings (``syntax-error``) — consumers resolve the
+    ``ruleIndex``-less reference by id.
+    """
+    catalogue = {
+        name: rule_cls.description
+        for name, rule_cls in registered_rules().items()
+    }
+    for finding in findings:
+        catalogue.setdefault(
+            finding.rule, "pseudo-rule emitted by the engine itself"
+        )
     rules = [
         {
             "id": name,
-            "shortDescription": {"text": rule_cls.description},
+            "shortDescription": {"text": description},
         }
-        for name, rule_cls in sorted(registered_rules().items())
+        for name, description in sorted(catalogue.items())
     ]
     results = [
         {

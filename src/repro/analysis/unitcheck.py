@@ -27,7 +27,7 @@ dimensionless operands are never flagged.
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.analysis.engine import Finding, ParsedModule, Project, Rule, register
 from repro.units import (
@@ -38,7 +38,15 @@ from repro.units import (
     Unit,
 )
 
-__all__ = ["UnitConsistencyRule", "name_unit", "format_unit"]
+__all__ = [
+    "UnitConsistencyRule",
+    "name_unit",
+    "format_unit",
+    "Signature",
+    "CallResolver",
+    "check_module_units",
+    "infer_function_return_unit",
+]
 
 #: Dimensions (base symbols -> exponents) plus whether every factor that
 #: produced them was known.  ``({}, False)`` is "completely unknown".
@@ -46,6 +54,18 @@ Inferred = Tuple[Dict[str, int], bool]
 
 UNKNOWN: Inferred = ({}, False)
 DIMENSIONLESS: Inferred = ({}, True)
+
+#: A callable signature as the checker consumes it: per-parameter units
+#: (``None`` = no convention), parameter names, return unit (``None`` =
+#: unknown).  :data:`repro.units.FUNCTION_SIGNATURES` is the fully-known
+#: special case; call-graph summaries (see :mod:`repro.analysis.unitflow`)
+#: are the partially-known general case.
+Signature = Tuple[Tuple[Optional[Unit], ...], Tuple[str, ...], Optional[Unit]]
+
+#: Resolves a call site to a :data:`Signature` using whole-program
+#: knowledge; receives the call node, the plain callee name, and the
+#: lexically enclosing class name (for ``self.method()`` resolution).
+CallResolver = Callable[[ast.Call, str, Optional[str]], Optional[Signature]]
 
 #: Atoms too ambiguous to match a *whole* identifier (``s``, ``op`` are
 #: common non-quantity variable names); they still match as suffixes.
@@ -127,10 +147,24 @@ def name_unit(name: str) -> Optional[Unit]:
 class _ScopeChecker:
     """Linear walk of one scope's statements with local unit propagation."""
 
-    def __init__(self, module: ParsedModule, findings: List[Finding]) -> None:
+    def __init__(
+        self,
+        module: ParsedModule,
+        findings: List[Finding],
+        *,
+        resolver: Optional[CallResolver] = None,
+        class_name: Optional[str] = None,
+        rule_name: Optional[str] = None,
+    ) -> None:
         self.module = module
         self.findings = findings
         self.env: Dict[str, Inferred] = {}
+        #: Whole-program call resolution hook (None = intra-procedural).
+        self.resolver = resolver
+        #: Lexically enclosing class, for ``self.method()`` resolution.
+        self.class_name = class_name
+        #: Rule the findings are reported under (unit-consistency default).
+        self.rule_name = rule_name or UnitConsistencyRule.name
 
     # -- reporting -----------------------------------------------------------
 
@@ -140,7 +174,7 @@ class _ScopeChecker:
                 path=self.module.relpath,
                 line=getattr(node, "lineno", 1),
                 col=getattr(node, "col_offset", 0) + 1,
-                rule=UnitConsistencyRule.name,
+                rule=self.rule_name,
                 message=message,
             )
         )
@@ -153,9 +187,22 @@ class _ScopeChecker:
 
     def check_stmt(self, stmt: ast.stmt) -> None:
         if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            _check_function(self.module, stmt, self.findings)
+            _check_function(
+                self.module,
+                stmt,
+                self.findings,
+                resolver=self.resolver,
+                class_name=self.class_name,
+                rule_name=self.rule_name,
+            )
         elif isinstance(stmt, ast.ClassDef):
-            nested = _ScopeChecker(self.module, self.findings)
+            nested = _ScopeChecker(
+                self.module,
+                self.findings,
+                resolver=self.resolver,
+                class_name=stmt.name,
+                rule_name=self.rule_name,
+            )
             nested.check_stmts(stmt.body)
         elif isinstance(stmt, ast.Assign):
             value = self.infer(stmt.value)
@@ -242,7 +289,13 @@ class _ScopeChecker:
 
     def infer_cached(self, node: ast.expr) -> Inferred:
         """Re-infer without re-reporting (used for return statements)."""
-        quiet = _ScopeChecker(self.module, [])
+        quiet = _ScopeChecker(
+            self.module,
+            [],
+            resolver=self.resolver,
+            class_name=self.class_name,
+            rule_name=self.rule_name,
+        )
         quiet.env = self.env
         return quiet.infer(node)
 
@@ -389,10 +442,18 @@ class _ScopeChecker:
             if kw.arg is None:
                 self.infer(kw.value)
 
-        signature = FUNCTION_SIGNATURES.get(func_name)
-        if signature is not None:
-            param_units, param_names, return_unit = signature
-            for index, (expected, pname) in enumerate(zip(param_units, param_names)):
+        table_signature = FUNCTION_SIGNATURES.get(func_name)
+        resolved: Optional[Signature] = None
+        if table_signature is not None:
+            param_units, param_names, return_unit = table_signature
+            resolved = (tuple(param_units), param_names, return_unit)
+        elif self.resolver is not None and func_name:
+            resolved = self.resolver(node, func_name, self.class_name)
+        if resolved is not None:
+            opt_units, param_names, opt_return = resolved
+            for index, (expected, pname) in enumerate(zip(opt_units, param_names)):
+                if expected is None:
+                    continue
                 if index < len(arg_units):
                     actual = arg_units[index]
                 elif pname in kw_units:
@@ -406,7 +467,8 @@ class _ScopeChecker:
                         f"{func_name}() argument {index + 1} ({pname}) expects "
                         f"{format_unit(expected)}, got {format_unit(dims)}",
                     )
-            return (dict(return_unit), True)
+            if opt_return is not None:
+                return (dict(opt_return), True)
 
         if isinstance(func, ast.Name) and func_name in _PASSTHROUGH_CALLS:
             known = [u for u in arg_units if u[1]]
@@ -447,8 +509,18 @@ def _check_function(
     module: ParsedModule,
     func: ast.FunctionDef | ast.AsyncFunctionDef,
     findings: List[Finding],
+    *,
+    resolver: Optional[CallResolver] = None,
+    class_name: Optional[str] = None,
+    rule_name: Optional[str] = None,
 ) -> None:
-    checker = _ScopeChecker(module, findings)
+    checker = _ScopeChecker(
+        module,
+        findings,
+        resolver=resolver,
+        class_name=class_name,
+        rule_name=rule_name,
+    )
     declared = name_unit(func.name)
     checker.check_stmts(func.body)
     if declared is None:
@@ -465,6 +537,58 @@ def _check_function(
             )
 
 
+def check_module_units(
+    module: ParsedModule,
+    *,
+    resolver: Optional[CallResolver] = None,
+    rule_name: Optional[str] = None,
+) -> List[Finding]:
+    """All unit findings for one module, optionally with whole-program
+    call resolution (the :mod:`repro.analysis.unitflow` entry point)."""
+    findings: List[Finding] = []
+    checker = _ScopeChecker(module, findings, resolver=resolver, rule_name=rule_name)
+    checker.check_stmts(module.tree.body)
+    return findings
+
+
+def infer_function_return_unit(
+    module: ParsedModule,
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    *,
+    resolver: Optional[CallResolver] = None,
+    class_name: Optional[str] = None,
+) -> Optional[Unit]:
+    """The unit ``func`` returns, if the checker can prove one.
+
+    The function's *name* convention wins outright; otherwise every
+    ``return`` expression must infer to the same exact, non-dimensionless
+    unit under parameter units seeded from the naming conventions.
+    """
+    declared = name_unit(func.name)
+    if declared is not None:
+        return dict(declared)
+    quiet = _ScopeChecker(
+        module, [], resolver=resolver, class_name=class_name
+    )
+    args = func.args
+    for arg in args.posonlyargs + args.args + args.kwonlyargs:
+        unit = name_unit(arg.arg)
+        if unit is not None:
+            quiet.env[arg.arg] = (dict(unit), True)
+    quiet.check_stmts(func.body)
+    units: List[Dict[str, int]] = []
+    for stmt in _own_returns(func):
+        if stmt.value is None:
+            return None
+        dims, exact = quiet.infer_cached(stmt.value)
+        if not exact or not dims:
+            return None
+        units.append(dims)
+    if units and all(unit == units[0] for unit in units):
+        return units[0]
+    return None
+
+
 @register
 class UnitConsistencyRule(Rule):
     """Infer units through arithmetic; flag dimensionally invalid mixes."""
@@ -478,7 +602,4 @@ class UnitConsistencyRule(Rule):
 
     def check(self, project: Project) -> Iterator[Finding]:
         for module in project.modules:
-            findings: List[Finding] = []
-            checker = _ScopeChecker(module, findings)
-            checker.check_stmts(module.tree.body)
-            yield from findings
+            yield from check_module_units(module)

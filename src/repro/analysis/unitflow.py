@@ -1,0 +1,132 @@
+"""Rule ``unit-flow``: interprocedural unit inference via call summaries.
+
+``unit-consistency`` stops at call boundaries: a call to anything outside
+:data:`repro.units.FUNCTION_SIGNATURES` returns "unknown", so a function
+that returns microseconds can be added to a millisecond total as long as
+the addition happens in the *caller*.  This rule closes that hole with
+the module-granular call graph (:mod:`repro.analysis.callgraph`):
+
+* every analyzed function gets a **summary** — per-parameter units from
+  the naming conventions (``def charge(elapsed_ms, ...)``) and a return
+  unit, either declared by the function's own name (``def epoch_cost_ms``)
+  or inferred by running the unit checker over its body with parameter
+  units seeded.  Summaries iterate to a fixpoint so chains of helpers
+  resolve (``a()`` returning ``b() * US_PER_MS`` …);
+* each module is then re-checked with a resolver that answers call sites
+  from those summaries, exactly as if every project function had a
+  ``FUNCTION_SIGNATURES`` entry.
+
+Reported findings are the *difference* against the intra-procedural
+baseline: anything ``unit-consistency`` already reports stays owned by
+that rule, and ``unit-flow`` adds only what the call-graph knowledge
+exposed — argument units contradicting a callee's parameter conventions,
+and arithmetic that only becomes checkable once a callee's return unit is
+known.  Resolution limits (dynamic dispatch, ``**kwargs`` forwarding —
+see docs/static-analysis.md) degrade to "unknown", never to a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.callgraph import CallGraph, project_callgraph
+from repro.analysis.engine import Finding, ParsedModule, Project, Rule, register
+from repro.analysis.unitcheck import (
+    CallResolver,
+    Signature,
+    check_module_units,
+    infer_function_return_unit,
+    name_unit,
+)
+from repro.units import Unit
+
+__all__ = ["UnitFlowRule"]
+
+#: Summary fixpoint rounds; helper chains deeper than this stop
+#: propagating their return units (conservatively silent).
+_MAX_ROUNDS = 8
+
+
+def _summaries(graph: CallGraph) -> Dict[Tuple[str, str], Signature]:
+    """Fixpoint (param units, param names, return unit) per function."""
+    summaries: Dict[Tuple[str, str], Signature] = {}
+    for info in graph.functions:
+        param_units = tuple(name_unit(param) for param in info.params)
+        summaries[info.key] = (param_units, info.params, None)
+    for _ in range(_MAX_ROUNDS):
+        changed = False
+        resolver = _make_resolver(graph, summaries)
+        for info in graph.functions:
+            returned: Optional[Unit] = infer_function_return_unit(
+                info.module,
+                info.node,
+                resolver=resolver(info.module),
+                class_name=info.class_name,
+            )
+            current = summaries[info.key]
+            if current[2] != returned:
+                summaries[info.key] = (current[0], current[1], returned)
+                changed = True
+        if not changed:
+            break
+    return summaries
+
+
+def _make_resolver(
+    graph: CallGraph, summaries: Dict[Tuple[str, str], Signature]
+) -> Callable[[ParsedModule], CallResolver]:
+    """A per-module factory of :data:`~repro.analysis.unitcheck.CallResolver`."""
+
+    def for_module(module: ParsedModule) -> CallResolver:
+        def resolve(
+            call: ast.Call, func_name: str, class_name: Optional[str]
+        ) -> Optional[Signature]:
+            info = graph.resolve(module, call, enclosing_class=class_name)
+            if info is None:
+                return None
+            signature = summaries.get(info.key)
+            if signature is None:
+                return None
+            param_units, _, return_unit = signature
+            if all(unit is None for unit in param_units) and return_unit is None:
+                return None  # nothing known; keep the call fully opaque
+            return signature
+
+        return resolve
+
+    return for_module
+
+
+@register
+class UnitFlowRule(Rule):
+    """Units flow through function signatures via call-graph summaries."""
+
+    name = "unit-flow"
+    description = (
+        "Extends unit-consistency across call boundaries: function "
+        "parameter and return units are summarized from the naming "
+        "conventions and body inference, then every call site is checked "
+        "against its resolved callee — so a helper returning microseconds "
+        "cannot be folded into a millisecond total two modules away."
+    )
+    scope = "project"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        graph = project_callgraph(project)
+        summaries = _summaries(graph)
+        resolver_factory = _make_resolver(graph, summaries)
+        for module in project.modules:
+            baseline: Set[Tuple[int, int, str]] = {
+                (f.line, f.col, f.message)
+                for f in check_module_units(module)
+            }
+            flowed: List[Finding] = check_module_units(
+                module,
+                resolver=resolver_factory(module),
+                rule_name=self.name,
+            )
+            for finding in flowed:
+                if (finding.line, finding.col, finding.message) in baseline:
+                    continue  # owned by unit-consistency
+                yield finding

@@ -327,11 +327,16 @@ def _lint(args) -> tuple:
             out.extend(part.strip() for part in value.split(",") if part.strip())
         return out or None
 
+    cache_path = None
+    if not args.no_cache:
+        cache_path = Path(args.cache)
     try:
         findings = analyze_paths(
             [Path(p) for p in (args.paths or ["src"])],
             select=_split(args.select),
             ignore=_split(args.ignore),
+            exclude=_split(args.exclude),
+            cache_path=cache_path,
         )
     except LintError as exc:
         raise SystemExit(f"repro lint: {exc}")
@@ -808,8 +813,15 @@ def build_parser() -> argparse.ArgumentParser:
             "(entropy via sim/rng.py named streams, time via injectable clocks), "
             "engine-parity (no constants duplicated between the scalar and batch "
             "cost engines), telemetry-determinism (sim-critical code records "
-            "sim-domain metrics/spans only). "
-            "Suppress one line with '# repro: noqa[rule-name]'. "
+            "sim-domain metrics/spans only), clock-domain (flow-sensitive taint: "
+            "sim-clock and host-clock values never added/compared), unit-flow "
+            "(units flow through function signatures via the call graph), "
+            "workspace-escape (borrowed ArrayWorkspace/ring-buffer views must "
+            "not outlive the next overwrite without a copy). "
+            "Suppress one line with '# repro: noqa[rule-name]'; a directive "
+            "anywhere in a multi-line statement covers the whole statement. "
+            "Results are cached incrementally by content hash in "
+            ".repro-lint-cache.json (--no-cache to bypass). "
             "Exits 1 when findings remain, 0 on a clean tree."
         ),
     )
@@ -830,13 +842,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--select",
         action="append",
         metavar="RULE[,RULE]",
-        help="run only these rules (repeatable, comma-separable)",
+        help="run only these rules, or 'all' (repeatable, comma-separable)",
     )
     p15.add_argument(
         "--ignore",
         action="append",
         metavar="RULE[,RULE]",
         help="skip these rules (repeatable, comma-separable)",
+    )
+    p15.add_argument(
+        "--exclude",
+        action="append",
+        metavar="FRAGMENT[,FRAGMENT]",
+        help=(
+            "skip files whose path contains a fragment "
+            "(e.g. tests/analysis/fixtures; repeatable, comma-separable)"
+        ),
+    )
+    p15.add_argument(
+        "--cache",
+        default=".repro-lint-cache.json",
+        metavar="PATH",
+        help="incremental result cache location (default: %(default)s)",
+    )
+    p15.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="analyze everything from scratch, reading and writing no cache",
     )
     p15.set_defaults(func=_lint)
 

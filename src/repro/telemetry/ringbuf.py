@@ -61,7 +61,9 @@ class RingBuffer(Generic[T]):
         return len(self._items)
 
     def __iter__(self) -> Iterator[T]:
-        return iter(self._items)
+        # Live-buffer iteration is the documented mutation-unsafe fast
+        # path; consumers needing stability take snapshot() tuples.
+        return iter(self._items)  # repro: noqa[workspace-escape]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         bound = "unbounded" if self._maxlen is None else f"maxlen={self._maxlen}"

@@ -1,0 +1,31 @@
+"""Seeded clock-domain violations (every block below must be flagged)."""
+
+import time
+
+
+def helper_wall_ms():
+    return time.perf_counter() * 1000.0
+
+
+def direct_mix(epoch_sim_ms):
+    wall_now_ms = time.perf_counter() * 1000.0
+    return epoch_sim_ms + wall_now_ms
+
+
+def interprocedural_mix(epoch_sim_ms):
+    # The host read is two frames away: helper_wall_ms summarizes to HOST.
+    elapsed = helper_wall_ms()
+    return epoch_sim_ms - elapsed
+
+
+def compare_mix(deadline_sim_ms):
+    return time.monotonic() * 1000.0 > deadline_sim_ms
+
+
+def charge(cost_sim_ms):
+    return cost_sim_ms
+
+
+def param_mix():
+    start_host_ms = time.perf_counter() * 1000.0
+    return charge(start_host_ms)

@@ -1,0 +1,39 @@
+"""Seeded workspace-escape violations."""
+
+
+def returns_view(ws, n):
+    return ws.t_cycle[:n]
+
+
+def helper_view(ws, n):
+    return ws.totals[:n]  # repro: noqa[workspace-escape]
+
+
+def interprocedural_return(ws, n):
+    # helper_view summarizes as view-returning; re-returning it escapes.
+    t = helper_view(ws, n)
+    return t
+
+
+def stores_in_container(ws, n):
+    history = []
+    for _ in range(3):
+        history.append(ws.t_comp[:n])
+    return history
+
+
+def stores_on_self(self, ws, n):
+    self.last_scores = ws.t_cycle[:n]
+
+
+def frontier_arg(FrontierState, ws, n):
+    return FrontierState(ws.t_cycle[:n], n)
+
+
+def returns_buffer(self):
+    return self._items
+
+
+def reshaped_still_a_view(ws, n):
+    flat = ws.counts[:n].ravel()
+    return flat

@@ -1,0 +1,19 @@
+"""Seeded unit-flow violations: only visible through call summaries."""
+
+
+def per_epoch_cost(total_ms):
+    # Returns ms, but nothing in the *name* says so — only body inference
+    # (seeded from the parameter convention) can know.
+    return total_ms * 2.0
+
+
+def fold(budget_us):
+    return budget_us + per_epoch_cost(5.0)
+
+
+def charge(amount_ms):
+    return amount_ms
+
+
+def caller(delay_us):
+    return charge(delay_us)

@@ -1,0 +1,29 @@
+"""Clock-domain patterns that must stay silent (false-positive guards)."""
+
+import time
+
+
+def speedup(total_sim_ms, total_wall_ms):
+    # Ratios across domains are the whole point of a simulator.
+    return total_sim_ms / total_wall_ms
+
+
+def same_domain_sums(start_sim_ms, end_sim_ms):
+    sim_elapsed_ms = end_sim_ms - start_sim_ms
+    wall_start_ms = time.perf_counter() * 1000.0
+    wall_end_ms = time.perf_counter() * 1000.0
+    wall_elapsed_ms = wall_end_ms - wall_start_ms
+    return sim_elapsed_ms, wall_elapsed_ms
+
+
+def non_time_names(sim_config, hostname):
+    # 'sim'/'host' tokens without a time hint carry no clock domain.
+    return sim_config + hostname
+
+
+def branch_consistent(use_sim, a_sim_ms, b_sim_ms):
+    if use_sim:
+        chosen = a_sim_ms
+    else:
+        chosen = b_sim_ms
+    return chosen + a_sim_ms

@@ -1,0 +1,41 @@
+"""Workspace borrow patterns that must stay silent."""
+
+import numpy as np
+
+
+def returns_copy(ws, n):
+    return ws.t_cycle[:n].copy()
+
+
+def returns_reduction(ws, n):
+    # Reductions and scalars own their memory.
+    return float(ws.t_cycle[:n].min())
+
+
+def local_borrow(ws, n):
+    # Borrowing inside the function is the workspace's whole purpose.
+    t = ws.t_cycle[:n]
+    best = t.argmin()
+    return int(best)
+
+
+def mutates_in_place(ws, n, values):
+    # Writing INTO workspace storage is mutation, not escape.
+    ws.t_comp[:n] = values
+    ws.totals[:n].fill(0.0)
+    np.add(ws.t_comp[:n], 1.0, out=ws.t_comp[:n])
+
+
+def appends_copy(ws, n):
+    frontier_t = []
+    frontier_t.append(ws.t_cycle[:n].copy())
+    return frontier_t
+
+
+def stacks_fresh(ws, n, k):
+    # np.stack allocates; the result owns its memory.
+    return np.stack([ws.counts[i, :n] for i in range(k)], axis=1)
+
+
+def returns_snapshot(self):
+    return self.snapshot()

@@ -1,0 +1,33 @@
+"""Interprocedural unit patterns that must stay silent."""
+
+from repro.units import US_PER_MS
+
+
+def per_epoch_cost(total_ms):
+    return total_ms * 2.0
+
+
+def fold_converted(budget_us):
+    # Explicit conversion at the boundary: us + ms * (us/ms) is us.
+    return budget_us + per_epoch_cost(5.0) * US_PER_MS
+
+
+def opaque(values):
+    # No unit evidence anywhere: summaries must stay unknown, not guess.
+    return sum(values)
+
+
+def consumer(total_ms):
+    return total_ms + opaque([1.0, 2.0])
+
+
+def mixed_returns(flag, total_ms, count):
+    # Returns disagree (ms vs dimensionless): the summary must drop to
+    # unknown rather than pick one branch.
+    if flag:
+        return total_ms
+    return count
+
+
+def mixed_consumer(budget_us):
+    return budget_us + mixed_returns(True, 1.0, 2)

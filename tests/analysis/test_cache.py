@@ -1,0 +1,130 @@
+"""Incremental caching: parity with cold runs, invalidation, the stamp."""
+
+import json
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+_BAD = (
+    "def f(latency_usec, elapsed_ms):\n"
+    "    return latency_usec + elapsed_ms\n"
+)
+_GOOD = (
+    "def f(latency_usec, elapsed_usec):\n"
+    "    return latency_usec + elapsed_usec\n"
+)
+
+
+def _tree(tmp_path):
+    target = tmp_path / "pkg"
+    target.mkdir()
+    (target / "bad.py").write_text(_BAD)
+    (target / "good.py").write_text(_GOOD)
+    return target
+
+
+def test_cached_run_is_identical_to_cold_run(tmp_path):
+    target = _tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    cold = analyze_paths([target], select=["all"])
+    first = analyze_paths([target], select=["all"], cache_path=cache)
+    warm = analyze_paths([target], select=["all"], cache_path=cache)
+    assert cold == first == warm
+    assert cold  # the tree is seeded with a violation
+    assert cache.is_file()
+
+
+def test_warm_run_actually_reads_the_cache(tmp_path):
+    """Tamper with a cached finding: an unchanged tree must return the
+    tampered value (proving the hit path), and touching the file must
+    discard it (proving content-hash invalidation)."""
+    target = _tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    original = analyze_paths([target], select=["unit-consistency"], cache_path=cache)
+    assert len(original) == 1
+
+    payload = json.loads(cache.read_text())
+    for entry in payload["files"].values():
+        for finding in entry["findings"]:
+            finding[4] = "TAMPERED"
+    cache.write_text(json.dumps(payload))
+    tampered = analyze_paths(
+        [target], select=["unit-consistency"], cache_path=cache
+    )
+    assert [f.message for f in tampered] == ["TAMPERED"]
+
+    (target / "bad.py").write_text(_BAD + "\n# touched\n")
+    fresh = analyze_paths([target], select=["unit-consistency"], cache_path=cache)
+    assert [f.message for f in fresh] == [original[0].message]
+
+
+def test_editing_a_file_updates_findings(tmp_path):
+    target = _tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    assert analyze_paths([target], select=["all"], cache_path=cache)
+    (target / "bad.py").write_text(_GOOD)
+    assert analyze_paths([target], select=["all"], cache_path=cache) == []
+
+
+def test_changing_rule_selection_invalidates_the_stamp(tmp_path):
+    target = _tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    with_units = analyze_paths(
+        [target], select=["unit-consistency"], cache_path=cache
+    )
+    assert with_units
+    without = analyze_paths(
+        [target], select=["callback-purity"], cache_path=cache
+    )
+    assert without == []
+
+
+def test_project_rules_cache_under_the_whole_tree_fingerprint(tmp_path):
+    target = tmp_path / "proj"
+    (target / "repro" / "partition").mkdir(parents=True)
+    helper = target / "repro" / "partition" / "helpers.py"
+    helper.write_text(
+        "def wall_ms():\n"
+        "    import time\n"
+        "    return time.perf_counter() * 1000.0\n"
+    )
+    user = target / "repro" / "partition" / "user.py"
+    user.write_text(
+        "from repro.partition.helpers import wall_ms\n"
+        "def mix(epoch_sim_ms):\n"
+        "    return epoch_sim_ms + wall_ms()\n"
+    )
+    cache = tmp_path / "cache.json"
+    cold = analyze_paths([target], select=["clock-domain"])
+    warm1 = analyze_paths([target], select=["clock-domain"], cache_path=cache)
+    warm2 = analyze_paths([target], select=["clock-domain"], cache_path=cache)
+    assert cold == warm1 == warm2
+    assert len(cold) == 1
+    # Changing the *helper* must invalidate the finding in the *user*:
+    # interprocedural results may not be cached per file.
+    helper.write_text("def wall_ms():\n    return 0.0\n")
+    assert analyze_paths([target], select=["clock-domain"], cache_path=cache) == []
+
+
+def test_syntax_errors_are_cached_and_invalidated(tmp_path):
+    target = tmp_path / "pkg"
+    target.mkdir()
+    bad = target / "broken.py"
+    bad.write_text("def half(:\n")
+    cache = tmp_path / "cache.json"
+    first = analyze_paths([target], select=["all"], cache_path=cache)
+    second = analyze_paths([target], select=["all"], cache_path=cache)
+    assert [f.rule for f in first] == ["syntax-error"]
+    assert first == second
+    bad.write_text("def half(x):\n    return x / 2\n")
+    assert analyze_paths([target], select=["all"], cache_path=cache) == []
+
+
+def test_corrupt_cache_degrades_to_a_cold_run(tmp_path):
+    target = _tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    cache.write_text("{not json")
+    cold = analyze_paths([target], select=["all"])
+    assert analyze_paths([target], select=["all"], cache_path=cache) == cold

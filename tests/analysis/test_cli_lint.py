@@ -11,12 +11,12 @@ REPO_SRC = Path(__file__).resolve().parents[2] / "src"
 
 def test_repo_src_is_lint_clean(capsys):
     """The CI gate: the engine must analyze the repo's own src/ cleanly."""
-    assert main(["lint", str(REPO_SRC)]) == 0
+    assert main(["lint", "--no-cache", str(REPO_SRC)]) == 0
     assert "no findings" in capsys.readouterr().out
 
 
 def test_seeded_violations_exit_nonzero(capsys):
-    code = main(["lint", str(FIXTURES / "bad_units.py")])
+    code = main(["lint", "--no-cache", str(FIXTURES / "bad_units.py")])
     out = capsys.readouterr().out
     assert code == 1
     assert "unit-consistency" in out
@@ -24,7 +24,7 @@ def test_seeded_violations_exit_nonzero(capsys):
 
 
 def test_json_output_is_valid(capsys):
-    main(["lint", str(FIXTURES / "bad_units.py"), "--format", "json"])
+    main(["lint", "--no-cache", str(FIXTURES / "bad_units.py"), "--format", "json"])
     payload = json.loads(capsys.readouterr().out)
     assert payload["version"] == 1
     assert payload["tool"] == "repro-lint"
@@ -34,7 +34,7 @@ def test_json_output_is_valid(capsys):
 
 
 def test_sarif_output_is_valid(capsys):
-    main(["lint", str(FIXTURES / "bad_units.py"), "--format", "sarif"])
+    main(["lint", "--no-cache", str(FIXTURES / "bad_units.py"), "--format", "sarif"])
     sarif = json.loads(capsys.readouterr().out)
     assert sarif["version"] == "2.1.0"
     assert "sarif-schema-2.1.0" in sarif["$schema"]
@@ -49,9 +49,80 @@ def test_sarif_output_is_valid(capsys):
     assert location["region"]["startLine"] >= 1
 
 
+def test_sarif_satisfies_the_2_1_0_contract(tmp_path, capsys):
+    """The SARIF 2.1.0 required shape: schema/version at top level, runs
+    with tool.driver.{name,rules}, results whose ruleIds all
+    cross-reference a rules-array entry — including the syntax-error
+    pseudo-rule, which exists only as a finding."""
+    bad = tmp_path / "broken.py"
+    bad.write_text("def half(:\n")
+    main(
+        [
+            "lint",
+            "--no-cache",
+            str(FIXTURES / "bad_units.py"),
+            str(bad),
+            "--format",
+            "sarif",
+        ]
+    )
+    sarif = json.loads(capsys.readouterr().out)
+
+    assert set(sarif) >= {"$schema", "version", "runs"}
+    assert sarif["version"] == "2.1.0"
+    assert isinstance(sarif["runs"], list) and len(sarif["runs"]) == 1
+    run = sarif["runs"][0]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+
+    rules = driver["rules"]
+    declared = {rule["id"] for rule in rules}
+    for rule in rules:
+        assert rule["shortDescription"]["text"]
+    result_ids = {result["ruleId"] for result in run["results"]}
+    assert "syntax-error" in result_ids
+    assert "unit-consistency" in result_ids
+    assert result_ids <= declared  # every ruleId cross-references a rule
+
+    for result in run["results"]:
+        assert result["level"] == "error"
+        assert result["message"]["text"]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"]
+        assert location["region"]["startLine"] >= 1
+        assert location["region"]["startColumn"] >= 1
+
+
+def test_cli_select_all_and_no_cache(tmp_path, capsys):
+    code = main(
+        ["lint", "--no-cache", "--select", "all", str(FIXTURES / "bad_units.py")]
+    )
+    assert code == 1
+    assert "unit-consistency" in capsys.readouterr().out
+
+
+def test_cli_cache_round_trip_matches_cold_run(tmp_path, capsys):
+    target = tmp_path / "pkg"
+    target.mkdir()
+    (target / "bad.py").write_text(
+        "def f(latency_usec, elapsed_ms):\n"
+        "    return latency_usec + elapsed_ms\n"
+    )
+    cache = tmp_path / "lint-cache.json"
+    assert main(["lint", "--no-cache", str(target), "--format", "json"]) == 1
+    cold = json.loads(capsys.readouterr().out)
+    for _ in range(2):
+        code = main(
+            ["lint", "--cache", str(cache), str(target), "--format", "json"]
+        )
+        assert code == 1
+        assert json.loads(capsys.readouterr().out) == cold
+    assert cache.is_file()
+
+
 def test_cli_select_and_ignore(capsys):
     code = main(
-        ["lint", str(FIXTURES / "bad_units.py"), "--select", "callback-purity"]
+        ["lint", "--no-cache", str(FIXTURES / "bad_units.py"), "--select", "callback-purity"]
     )
     assert code == 0
     capsys.readouterr()
@@ -59,6 +130,7 @@ def test_cli_select_and_ignore(capsys):
     code = main(
         [
             "lint",
+            "--no-cache",
             str(FIXTURES / "bad_units.py"),
             str(FIXTURES / "bad_purity.py"),
             "--ignore",
@@ -70,7 +142,7 @@ def test_cli_select_and_ignore(capsys):
 
 def test_cli_unknown_rule_fails_loudly(capsys):
     try:
-        main(["lint", str(FIXTURES), "--select", "bogus"])
+        main(["lint", "--no-cache", str(FIXTURES), "--select", "bogus"])
     except SystemExit as exc:
         assert "unknown rule" in str(exc)
     else:  # pragma: no cover - the assertion above must trip
@@ -80,5 +152,5 @@ def test_cli_unknown_rule_fails_loudly(capsys):
 def test_clean_tree_message(tmp_path, capsys):
     clean = tmp_path / "ok.py"
     clean.write_text("x = 1\n")
-    assert main(["lint", str(tmp_path)]) == 0
+    assert main(["lint", "--no-cache", str(tmp_path)]) == 0
     assert "no findings" in capsys.readouterr().out

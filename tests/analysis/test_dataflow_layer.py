@@ -1,0 +1,277 @@
+"""The whole-program layer: CFG lowering, the solver, call resolution."""
+
+import ast
+from pathlib import Path
+from typing import Optional
+
+from repro.analysis.callgraph import build_callgraph
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import FlowAnalysis, own_exprs, solve
+from repro.analysis.engine import load_project
+
+
+def _func(source: str):
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef):
+            return node
+    raise AssertionError("no function in source")
+
+
+def _reachable(cfg):
+    seen = {cfg.entry}
+    work = [cfg.entry]
+    while work:
+        for succ in cfg.blocks[work.pop()].succs:
+            if succ not in seen:
+                seen.add(succ)
+                work.append(succ)
+    return seen
+
+
+# -- CFG construction ---------------------------------------------------------
+
+
+def test_linear_function_reaches_exit():
+    cfg = build_cfg(_func("def f():\n    a = 1\n    b = a\n    return b\n"))
+    assert cfg.exit in _reachable(cfg)
+    stmts = [s for b in cfg.blocks.values() for s in b.stmts]
+    assert len(stmts) == 3
+
+
+def test_if_else_branches_rejoin():
+    cfg = build_cfg(
+        _func(
+            "def f(p):\n"
+            "    if p:\n"
+            "        x = 1\n"
+            "    else:\n"
+            "        x = 2\n"
+            "    return x\n"
+        )
+    )
+    header = next(
+        b for b in cfg.blocks.values() if any(isinstance(s, ast.If) for s in b.stmts)
+    )
+    assert len(header.succs) == 2
+    # Both arms must reach the block holding the return.
+    ret_block = next(
+        b
+        for b in cfg.blocks.values()
+        if any(isinstance(s, ast.Return) for s in b.stmts)
+    )
+    assert ret_block.block_id in _reachable(cfg)
+
+
+def test_while_has_back_edge_and_exit_edge():
+    cfg = build_cfg(
+        _func("def f(n):\n    while n:\n        n -= 1\n    return n\n")
+    )
+    header = next(
+        b
+        for b in cfg.blocks.values()
+        if any(isinstance(s, ast.While) for s in b.stmts)
+    )
+    assert len(header.succs) == 2  # body + after
+    body = next(
+        b
+        for b in cfg.blocks.values()
+        if any(isinstance(s, ast.AugAssign) for s in b.stmts)
+    )
+    assert header.block_id in body.succs  # the back edge
+
+
+def test_try_body_may_branch_to_every_handler():
+    cfg = build_cfg(
+        _func(
+            "def f():\n"
+            "    try:\n"
+            "        risky()\n"
+            "    except ValueError:\n"
+            "        a = 1\n"
+            "    except KeyError:\n"
+            "        b = 2\n"
+            "    return 0\n"
+        )
+    )
+    body = next(
+        b
+        for b in cfg.blocks.values()
+        if any(isinstance(s, ast.Expr) for s in b.stmts)
+    )
+    handler_entries = {
+        b.block_id
+        for b in cfg.blocks.values()
+        if any(isinstance(s, ast.ExceptHandler) for s in b.stmts)
+    }
+    assert len(handler_entries) == 2
+    assert handler_entries <= body.succs
+
+
+def test_code_after_return_is_parked_unreachable():
+    cfg = build_cfg(_func("def f():\n    return 1\n    x = 2\n"))
+    dead = next(
+        b
+        for b in cfg.blocks.values()
+        if any(isinstance(s, ast.Assign) for s in b.stmts)
+    )
+    assert dead.block_id not in _reachable(cfg)
+    # rpo still lists it (unreachable blocks come last) so a reporting
+    # replay visits its expressions.
+    assert dead.block_id in cfg.rpo()
+
+
+def test_own_exprs_stops_at_compound_bodies():
+    tree = ast.parse("if p:\n    q()\n")
+    stmt = tree.body[0]
+    exprs = list(own_exprs(stmt))
+    assert len(exprs) == 1
+    assert isinstance(exprs[0], ast.Name)  # the test, never the body call
+
+
+# -- solver -------------------------------------------------------------------
+
+
+class _ConstStrings(FlowAnalysis):
+    """Toy may-analysis: the set of string literals a name may hold."""
+
+    def initial_env(self):
+        return {}
+
+    def join_values(self, a, b):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return a | b
+
+    def transfer(self, stmt, env):
+        out = dict(env)
+        if isinstance(stmt, ast.Assign) and isinstance(stmt.targets[0], ast.Name):
+            value = stmt.value
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                out[stmt.targets[0].id] = frozenset({value.value})
+            elif isinstance(value, ast.Name):
+                out[stmt.targets[0].id] = env.get(value.id, frozenset())
+        return out
+
+
+def test_solver_joins_branch_values():
+    func = _func(
+        "def f(p):\n"
+        "    if p:\n"
+        "        x = 'a'\n"
+        "    else:\n"
+        "        x = 'b'\n"
+        "    y = x\n"
+        "    return y\n"
+    )
+    cfg = build_cfg(func)
+    envs = solve(cfg, _ConstStrings())
+    join_block = next(
+        b
+        for b in cfg.blocks.values()
+        if any(
+            isinstance(s, ast.Assign)
+            and isinstance(s.targets[0], ast.Name)
+            and s.targets[0].id == "y"
+            for s in b.stmts
+        )
+    )
+    assert envs[join_block.block_id]["x"] == frozenset({"a", "b"})
+
+
+def test_solver_terminates_on_loops():
+    func = _func(
+        "def f(n):\n"
+        "    x = 'a'\n"
+        "    while n:\n"
+        "        x = 'b'\n"
+        "    return x\n"
+    )
+    cfg = build_cfg(func)
+    envs = solve(cfg, _ConstStrings())
+    exit_env = envs.get(cfg.exit, {})
+    assert exit_env.get("x") == frozenset({"a", "b"})
+
+
+# -- call graph ---------------------------------------------------------------
+
+
+def _project(tmp_path: Path, files):
+    paths = []
+    for relname, source in files.items():
+        path = tmp_path / relname
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+        paths.append(path)
+    project, errors = load_project(paths)
+    assert not errors
+    return project
+
+
+def _resolve(graph, project, module_name: str, source_line: str, cls: Optional[str] = None):
+    module = next(m for m in project.modules if m.relpath.endswith(module_name))
+    call = ast.parse(source_line).body[0].value
+    assert isinstance(call, ast.Call)
+    return graph.resolve(module, call, enclosing_class=cls)
+
+
+def test_same_module_and_from_import_resolution(tmp_path):
+    project = _project(
+        tmp_path,
+        {
+            "repro/util.py": "def helper(x):\n    return x\n",
+            "repro/main.py": (
+                "from repro.util import helper as h\n"
+                "def local(y):\n    return y\n"
+            ),
+        },
+    )
+    graph = build_callgraph(project)
+    local = _resolve(graph, project, "main.py", "local(1)")
+    assert local is not None and local.qualname == "local"
+    imported = _resolve(graph, project, "main.py", "h(1)")
+    assert imported is not None
+    assert imported.qualname == "helper"
+    assert imported.module.relpath.endswith("util.py")
+
+
+def test_self_method_and_unique_method_fallback(tmp_path):
+    project = _project(
+        tmp_path,
+        {
+            "repro/a.py": (
+                "class Engine:\n"
+                "    def score(self, n):\n"
+                "        return self.prepare(n)\n"
+                "    def prepare(self, n):\n"
+                "        return n\n"
+            ),
+            "repro/b.py": "def use(e):\n    return e.prepare(3)\n",
+        },
+    )
+    graph = build_callgraph(project)
+    via_self = _resolve(graph, project, "a.py", "self.prepare(1)", cls="Engine")
+    assert via_self is not None and via_self.qualname == "Engine.prepare"
+    # 'prepare' is defined exactly once project-wide: obj.prepare resolves.
+    unique = _resolve(graph, project, "b.py", "e.prepare(3)")
+    assert unique is not None and unique.qualname == "Engine.prepare"
+
+
+def test_ambiguous_method_name_resolves_to_nothing(tmp_path):
+    project = _project(
+        tmp_path,
+        {
+            "repro/a.py": "class A:\n    def run(self):\n        return 1\n",
+            "repro/b.py": "class B:\n    def run(self):\n        return 2\n",
+        },
+    )
+    graph = build_callgraph(project)
+    assert _resolve(graph, project, "a.py", "obj.run()") is None
+
+
+def test_unresolved_call_is_none_not_error(tmp_path):
+    project = _project(tmp_path, {"repro/a.py": "x = 1\n"})
+    graph = build_callgraph(project)
+    assert _resolve(graph, project, "a.py", "mystery(1)") is None

@@ -9,13 +9,16 @@ from repro.analysis import LintError, analyze_paths, collect_python_files, rule_
 FIXTURES = Path(__file__).parent / "fixtures"
 
 
-def test_registry_exposes_the_five_paper_rules():
+def test_registry_exposes_the_eight_paper_rules():
     assert rule_names() == [
         "callback-purity",
+        "clock-domain",
         "engine-parity",
         "sim-determinism",
         "telemetry-determinism",
         "unit-consistency",
+        "unit-flow",
+        "workspace-escape",
     ]
 
 
@@ -86,3 +89,71 @@ def test_findings_are_sorted_by_location():
     findings = analyze_paths([FIXTURES / "bad_units.py"])
     keys = [(f.path, f.line, f.col) for f in findings]
     assert keys == sorted(keys)
+
+
+def test_select_all_expands_to_every_rule():
+    paths = [FIXTURES / "bad_units.py", FIXTURES / "bad_purity.py"]
+    assert analyze_paths(paths, select=["all"]) == analyze_paths(paths)
+
+
+def test_exclude_drops_files_by_path_fragment(tmp_path):
+    (tmp_path / "keep").mkdir()
+    (tmp_path / "fixtures").mkdir()
+    (tmp_path / "keep" / "a.py").write_text("x = 1\n")
+    (tmp_path / "fixtures" / "b.py").write_text("y = 2\n")
+    files = collect_python_files([tmp_path], exclude=["fixtures"])
+    assert [f.name for f in files] == ["a.py"]
+    # An explicit file argument can still be excluded by fragment.
+    assert collect_python_files(
+        [tmp_path / "fixtures" / "b.py"], exclude=["fixtures"]
+    ) == []
+
+
+# -- noqa on multi-line statements --------------------------------------------
+
+_MULTILINE = (
+    "def f(latency_usec, elapsed_ms):\n"
+    "    return (  # repro: noqa[unit-consistency]\n"
+    "        latency_usec\n"
+    "        + elapsed_ms\n"
+    "    )\n"
+)
+
+
+def test_noqa_covers_the_whole_multiline_statement(tmp_path):
+    """Regression: the directive sits on the statement's first physical
+    line but the finding anchors to a continuation line; the suppression
+    must cover every physical line of the logical line."""
+    src = tmp_path / "multi.py"
+    src.write_text(_MULTILINE)
+    assert analyze_paths([src], select=["unit-consistency"]) == []
+
+
+def test_noqa_on_a_continuation_line_also_suppresses(tmp_path):
+    src = tmp_path / "multi.py"
+    src.write_text(
+        "def f(latency_usec, elapsed_ms):\n"
+        "    return (\n"
+        "        latency_usec\n"
+        "        + elapsed_ms  # repro: noqa[unit-consistency]\n"
+        "    )\n"
+    )
+    assert analyze_paths([src], select=["unit-consistency"]) == []
+
+
+def test_unlisted_rule_is_not_suppressed_on_multiline(tmp_path):
+    src = tmp_path / "multi.py"
+    src.write_text(_MULTILINE.replace("unit-consistency", "sim-determinism"))
+    findings = analyze_paths([src], select=["unit-consistency"])
+    assert len(findings) == 1
+
+
+def test_standalone_noqa_comment_does_not_bleed_into_next_statement(tmp_path):
+    src = tmp_path / "standalone.py"
+    src.write_text(
+        "# repro: noqa[unit-consistency]\n"
+        "def f(latency_usec, elapsed_ms):\n"
+        "    return latency_usec + elapsed_ms\n"
+    )
+    findings = analyze_paths([src], select=["unit-consistency"])
+    assert len(findings) == 1

@@ -105,7 +105,9 @@ def test_nonuniform_complexity_visible_in_compute_time():
     ctx = result.run.contexts[0]
     first_cycle_ops = 2 * (n + 1) * (n - 1)
     upper_bound_uniform = n * first_cycle_ops * 0.3 / 1000.0
-    assert ctx.compute_time_ms < 0.7 * upper_bound_uniform
+    # The bound is ops scaled by the Sparc2 per-op cost (0.3 us/op), so it
+    # IS milliseconds; the checker cannot see through the numeric rate.
+    assert ctx.compute_time_ms < 0.7 * upper_bound_uniform  # repro: noqa[unit-consistency]
 
 
 def test_vector_size_mismatch():
