@@ -10,9 +10,10 @@ Handles the committed payload schemas — ``BENCH_partition_perf.json``
 (scalar vs batch partition search), ``BENCH_sim_perf.json``
 (fast-forward vs event-level simulation),
 ``BENCH_telemetry_overhead.json`` (telemetry hot-path cost vs the null
-registry), and ``BENCH_adaptive_perf.json`` (adaptive repartitioning vs
-the always-research baseline under churn) — detected from the payload
-shape.  Exits non-zero (and prints what moved) if the fresh benchmark
+registry), ``BENCH_adaptive_perf.json`` (adaptive repartitioning vs
+the always-research baseline under churn), and
+``BENCH_widearea_perf.json`` (collapsed wide-area decisions vs the
+<100 ms budget) — detected from the payload shape.  Exits non-zero (and prints what moved) if the fresh benchmark
 record lost more than ``factor``x against the committed baseline — see
 :mod:`repro.benchmarking.perfgate` for exactly what is compared.
 """
@@ -41,6 +42,7 @@ def main(argv=None) -> int:
         check_regression,
         check_sim_regression,
         check_telemetry_regression,
+        check_widearea_regression,
         format_problems,
         payload_kind,
     )
@@ -57,6 +59,7 @@ def main(argv=None) -> int:
         "sim": check_sim_regression,
         "telemetry": check_telemetry_regression,
         "adaptive": check_adaptive_regression,
+        "widearea": check_widearea_regression,
         "partition": check_regression,
     }[kinds[0]]
     problems = gate(baseline, current, factor=args.factor, strict=args.strict)

@@ -40,6 +40,11 @@ SCOPE_FRAGMENTS: Tuple[str, ...] = (
     "repro/partition/runtime.py",
     "repro/partition/dynamic.py",
     "repro/partition/warmstart.py",
+    # Wide-area pools are synthesized from RandomStreams and the topology
+    # inference feeds SearchCache fingerprints — both must replay
+    # bit-exactly for collapsed decisions to be reproducible.
+    "repro/hardware/presets.py",
+    "repro/hardware/topology.py",
 )
 
 #: Files allowed to construct entropy: the named-stream factory itself.

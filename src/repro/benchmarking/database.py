@@ -40,6 +40,11 @@ class CostDatabase:
     comm: dict[tuple[str, str], CommCostFunction] = field(default_factory=dict)
     router: dict[tuple[str, str], LinearByteCost] = field(default_factory=dict)
     coerce: dict[tuple[str, str], LinearByteCost] = field(default_factory=dict)
+    #: Optional uniform router penalty applied to every cluster pair with
+    #: no explicit ``router`` entry — the wide-area case, where thousands
+    #: of sites share one backbone cost and per-pair tables would need
+    #: O(K²) entries.  Explicit pairs always win over the default.
+    router_default: Optional[LinearByteCost] = None
     #: Whether a multi-cluster configuration charges each cluster one extra
     #: contending station for the router (§3's ``p + 1`` form).  The paper's
     #: §6 worked composition omits the extra station; databases replicating
@@ -110,10 +115,18 @@ class CostDatabase:
             per_byte = abs(per_byte)
         return c1 + c2 * p + b * per_byte
 
+    def set_router_default(self, fn: Optional[LinearByteCost]) -> None:
+        """Set (or clear) the uniform fallback router penalty."""
+        self.router_default = fn
+        self._invalidate_caches()
+
     def _pair_cost(
         self, table: dict[tuple[str, str], LinearByteCost], a: str, b_name: str
     ) -> Optional[LinearByteCost]:
-        return table.get((a, b_name)) or table.get((b_name, a))
+        fn = table.get((a, b_name)) or table.get((b_name, a))
+        if fn is None and table is self.router:
+            return self.router_default
+        return fn
 
     def router_cost(self, cluster_a: str, cluster_b: str, b: float) -> float:
         """``T_router[C_i, C_j](b)``; 0 within a cluster."""
@@ -210,15 +223,15 @@ class CostDatabase:
 
     def to_json(self) -> str:
         """Serialize the database (e.g. to cache the offline phase)."""
-        return json.dumps(
-            {
-                "router_extra_station": self.router_extra_station,
-                "comm": [fn.as_dict() for fn in self.comm.values()],
-                "router": [fn.as_dict() for fn in self.router.values()],
-                "coerce": [fn.as_dict() for fn in self.coerce.values()],
-            },
-            indent=2,
-        )
+        payload = {
+            "router_extra_station": self.router_extra_station,
+            "comm": [fn.as_dict() for fn in self.comm.values()],
+            "router": [fn.as_dict() for fn in self.router.values()],
+            "coerce": [fn.as_dict() for fn in self.coerce.values()],
+        }
+        if self.router_default is not None:
+            payload["router_default"] = self.router_default.as_dict()
+        return json.dumps(payload, indent=2)
 
     @classmethod
     def from_json(cls, text: str) -> "CostDatabase":
@@ -231,6 +244,8 @@ class CostDatabase:
             db.add_router(LinearByteCost.from_dict(item))
         for item in data.get("coerce", []):
             db.add_coerce(LinearByteCost.from_dict(item))
+        if "router_default" in data:
+            db.set_router_default(LinearByteCost.from_dict(data["router_default"]))
         return db
 
 

@@ -65,6 +65,12 @@ adaptive-vs-always-research churn grid from
   beyond ``factor`` against the committed record (redundant with drift
   while both are exact, but survives a legitimately regenerated baseline).
 
+``BENCH_widearea_perf.json`` (:func:`check_widearea_regression`, the
+collapsed wide-area decision benchmark from
+``benchmarks/test_bench_widearea_perf.py``) — see that function's
+docstring for the gate inventory (parity, the committed <100 ms decision
+budget, deterministic decision drift, evaluation blow-up).
+
 :func:`payload_kind` distinguishes the schemas so CI can gate whichever
 payload it is handed.
 """
@@ -78,14 +84,17 @@ __all__ = [
     "check_sim_regression",
     "check_telemetry_regression",
     "check_adaptive_regression",
+    "check_widearea_regression",
     "payload_kind",
     "format_problems",
 ]
 
 
 def payload_kind(payload: dict[str, Any]) -> str:
-    """``"partition"``/``"sim"``/``"telemetry"``/``"adaptive"``, keyed on
-    the schema shape."""
+    """``"partition"``/``"sim"``/``"telemetry"``/``"adaptive"``/
+    ``"widearea"``, keyed on the schema shape."""
+    if "widearea" in payload:
+        return "widearea"
     if "telemetry_overhead" in payload:
         return "telemetry"
     if "adaptive_churn" in payload:
@@ -291,6 +300,75 @@ def check_adaptive_regression(
             problems.append(
                 f"{scenario} baseline/adaptive speedup regressed >{factor:g}x: "
                 f"{base_row['speedup']:.2f}x -> {cur_row['speedup']:.2f}x"
+            )
+    return problems
+
+
+def check_widearea_regression(
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    *,
+    factor: float = 2.0,
+    strict: bool = False,
+) -> list[str]:
+    """Problems in a ``BENCH_widearea_perf.json`` payload (empty = pass).
+
+    * **parity breakage** — the collapsed engine diverging from the
+      uncollapsed array engine on the small-instance block is a
+      correctness bug and always fails;
+    * **budget breach** — any pool size's best decision exceeding the
+      payload's committed ``decision_budget_ms`` (a wall-time ceiling the
+      feature's whole point is to stay under; generous enough — 100 ms
+      versus ~30 ms measured — to absorb runner noise) always fails;
+    * **decision drift** — a pool size choosing a different configuration
+      or ``T_c`` than the committed baseline means behaviour changed, not
+      performance (everything here is deterministic); always fails;
+    * **evaluation blow-up** — a size evaluating more than ``factor``
+      times the baseline's configurations means the collapse stopped
+      collapsing;
+    * **wall-time collapse** (``strict=True`` only) — absolute decide
+      milliseconds against the baseline machine's.
+    """
+    if factor <= 1.0:
+        raise ValueError(f"factor must exceed 1.0, got {factor}")
+    problems: list[str] = []
+    cur = current.get("widearea")
+    if cur is None:
+        return ["widearea missing from current payload"]
+    if cur.get("parity_ok") is False:
+        problems.append("collapsed vs array parity broken in current payload")
+    budget = cur.get("decision_budget_ms")
+    for size, row in cur.get("sizes", {}).items():
+        if budget is not None and row["decide_ms"] > budget:
+            problems.append(
+                f"{size}-site decision over budget: "
+                f"{row['decide_ms']:.2f} ms > {budget:g} ms"
+            )
+    base = baseline.get("widearea")
+    if base is None:
+        problems.append("widearea missing from baseline payload")
+        return problems
+    for size, base_row in base.get("sizes", {}).items():
+        cur_row = cur.get("sizes", {}).get(size)
+        if cur_row is None:
+            problems.append(f"{size}-site pool missing from current payload")
+            continue
+        for field in ("active_clusters", "t_cycle_ms", "method", "classes"):
+            if cur_row[field] != base_row[field]:
+                problems.append(
+                    f"{size}-site {field} drifted: "
+                    f"{base_row[field]} -> {cur_row[field]}"
+                )
+        if cur_row["configs_evaluated"] > base_row["configs_evaluated"] * factor:
+            problems.append(
+                f"{size}-site evaluations grew >{factor:g}x: "
+                f"{base_row['configs_evaluated']} -> "
+                f"{cur_row['configs_evaluated']}"
+            )
+        if strict and cur_row["decide_ms"] > base_row["decide_ms"] * factor:
+            problems.append(
+                f"{size}-site decision regressed >{factor:g}x: "
+                f"{base_row['decide_ms']:.2f} -> {cur_row['decide_ms']:.2f} ms"
             )
     return problems
 

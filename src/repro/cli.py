@@ -159,6 +159,56 @@ def _bench_partition(args) -> str:
     return text
 
 
+def _bench_widearea(args) -> str:
+    import json
+
+    from repro.partition.wideareabench import (
+        DEFAULT_SIZES,
+        QUICK_SIZES,
+        run_widearea,
+        widearea_payload,
+        widearea_report,
+    )
+
+    registry = None
+    tel = None
+    if getattr(args, "metrics_out", None):
+        from repro.telemetry import MetricsRegistry, Telemetry
+
+        tel = Telemetry(metrics=MetricsRegistry())
+        registry = tel.metrics
+    if args.sizes:
+        sizes = tuple(args.sizes)
+    else:
+        sizes = QUICK_SIZES if args.quick else DEFAULT_SIZES
+    bench = run_widearea(
+        sizes,
+        n=args.n,
+        repeat=1 if args.quick else args.repeat,
+        seed=args.seed,
+        metrics=registry,
+    )
+    text = widearea_report(bench)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(widearea_payload(bench), fh, indent=2)
+            fh.write("\n")
+        text += f"\n\n[json written to {args.json}]"
+    if tel is not None:
+        # Bench figures are wall-clock measurements: host domain.  The
+        # decide.collapse.* instruments the engines registered land in the
+        # same dump, so `repro metrics-summary` shows both.
+        for r in bench.sizes:
+            prefix = f"bench.widearea.{r.n_clusters}"
+            tel.metrics.gauge(f"{prefix}.decide_ms", domain="host").set(r.decide_ms)
+            tel.metrics.gauge(f"{prefix}.configs_evaluated", domain="host").set(
+                r.configs_evaluated
+            )
+        tel.dump(args.metrics_out, meta={"command": "bench-widearea"})
+        text += f"\n[metrics written to {args.metrics_out}]"
+    return text
+
+
 def _run_dynamic(args) -> str:
     import json
 
@@ -576,6 +626,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="write headline gauges as a telemetry JSONL export",
     )
     p12.set_defaults(func=_bench_partition)
+
+    p19 = sub.add_parser(
+        "bench-widearea",
+        help="time equivalence-class collapsed decisions on wide-area pools",
+    )
+    p19.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="SITES",
+        help="pool sizes in logical clusters (default: 64 256 1000)",
+    )
+    p19.add_argument("--n", type=int, default=6000, help="stencil problem size")
+    p19.add_argument("--repeat", type=int, default=3, help="timing repeats per size")
+    p19.add_argument("--seed", type=int, default=7, help="pool template seed")
+    p19.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: 64/256-site pools, one repeat",
+    )
+    p19.add_argument(
+        "--json", metavar="FILE", help="also write the machine-readable record to FILE"
+    )
+    p19.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write headline gauges plus the decide.collapse.* instruments "
+        "as a telemetry JSONL export",
+    )
+    p19.set_defaults(func=_bench_widearea)
 
     p13 = sub.add_parser(
         "run-dynamic",

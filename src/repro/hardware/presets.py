@@ -10,6 +10,8 @@ faster processors communicate faster on identical segments.
 
 from __future__ import annotations
 
+from repro.benchmarking.costfuncs import CommCostFunction, LinearByteCost
+from repro.benchmarking.database import CostDatabase
 from repro.hardware.network import HeterogeneousNetwork
 from repro.hardware.processor import ProcessorSpec
 from repro.hardware.router import RouterParams
@@ -30,6 +32,9 @@ __all__ = [
     "metasystem_network",
     "mixed_format_network",
     "three_cluster_network",
+    "WIDE_AREA_SITE_TEMPLATES",
+    "wide_area_network",
+    "wide_area_cost_database",
 ]
 
 #: Sun4 SPARCstation 2 — the paper's fast cluster (S_i ≈ 0.3 µs/flop).
@@ -191,3 +196,100 @@ def three_cluster_network(*, seed: int = 0, trace: bool = False) -> Heterogeneou
     net.add_cluster("rs6000", RS6000, count=4)
     net.validate()
     return net
+
+
+#: Wide-area site templates: each names a deployment blueprint — processor
+#: type, nodes per site, and the site's fitted Eq 1 constants (1-D stencil
+#: exchange, no bandwidth quirk).  Every site stamped from one template is
+#: *identical*, which is exactly what makes wide-area pools collapse into
+#: a handful of equivalence classes (see :mod:`repro.partition.collapse`).
+WIDE_AREA_SITE_TEMPLATES: tuple[dict, ...] = (
+    {"tag": "sparc2", "spec": SPARC2, "count": 6, "c": (1.0, 1.1, 0.0005, 0.0010)},
+    {"tag": "ipc", "spec": IPC, "count": 6, "c": (1.5, 1.8, 0.0008, 0.0019)},
+    {"tag": "sun3", "spec": SUN3, "count": 4, "c": (2.2, 2.6, 0.0011, 0.0030)},
+    {"tag": "hp9000", "spec": HP9000, "count": 5, "c": (0.8, 0.9, 0.0004, 0.0008)},
+    {"tag": "rs6000", "spec": RS6000, "count": 4, "c": (0.7, 0.85, 0.0004, 0.0007)},
+    {"tag": "i860", "spec": I860, "count": 8, "c": (1.1, 1.2, 0.0005, 0.0011)},
+)
+
+#: The wide-area backbone: every site pair crosses the same leased-line
+#: infrastructure, so one uniform router penalty covers all O(K²) pairs
+#: (``CostDatabase.router_default``).
+WIDE_AREA_BACKBONE_ROUTER = RouterParams(per_byte_ms=0.0012, per_frame_ms=2.5)
+
+
+def wide_area_network(
+    n_clusters: int, *, seed: int = 0, trace: bool = False
+) -> HeterogeneousNetwork:
+    """A deterministic wide-area pool of ``n_clusters`` sites.
+
+    Sites are stamped from :data:`WIDE_AREA_SITE_TEMPLATES`, the template
+    per site drawn from the network's own seeded stream (name
+    ``"widearea.sites"``) so the same ``(n_clusters, seed)`` always builds
+    the same pool.  Every site is one ethernet segment behind the shared
+    backbone router; site names are ``site0000-<template>`` so the
+    template is readable in decisions and traces.
+    """
+    if n_clusters < 1:
+        raise ValueError(f"need at least one site, got {n_clusters}")
+    net = HeterogeneousNetwork(
+        seed=seed,
+        ethernet=ETHERNET_10MBPS,
+        router_params=WIDE_AREA_BACKBONE_ROUTER,
+        trace=trace,
+    )
+    rng = net.streams.get("widearea.sites")
+    picks = rng.integers(0, len(WIDE_AREA_SITE_TEMPLATES), size=n_clusters)
+    for i, pick in enumerate(picks):
+        template = WIDE_AREA_SITE_TEMPLATES[int(pick)]
+        net.add_cluster(
+            f"site{i:04d}-{template['tag']}",
+            template["spec"],
+            count=template["count"],
+        )
+    net.validate()
+    return net
+
+
+def wide_area_cost_database(network: HeterogeneousNetwork) -> CostDatabase:
+    """Fitted costs for a :func:`wide_area_network` pool.
+
+    Per site the Eq 1 constants come from its template (identical across
+    sites of one template — measured fits on identical hardware); the
+    crossing penalty is the uniform backbone default rather than O(K²)
+    per-pair entries.
+    """
+    by_spec = {
+        template["spec"].name: template["c"]
+        for template in WIDE_AREA_SITE_TEMPLATES
+    }
+    db = CostDatabase()
+    for cluster in network.clusters:
+        constants = by_spec.get(cluster.spec.name)
+        if constants is None:
+            raise ValueError(
+                f"cluster {cluster.name!r} has no wide-area template "
+                f"(spec {cluster.spec.name!r})"
+            )
+        c1, c2, c3, c4 = constants
+        db.add_comm(
+            CommCostFunction(
+                cluster=cluster.name,
+                topology="1-D",
+                c1=c1,
+                c2=c2,
+                c3=c3,
+                c4=c4,
+                abs_bandwidth_quirk=False,
+            )
+        )
+    db.set_router_default(
+        LinearByteCost(
+            "*",
+            "*",
+            "router",
+            intercept_ms=WIDE_AREA_BACKBONE_ROUTER.per_frame_ms,
+            slope_ms_per_byte=WIDE_AREA_BACKBONE_ROUTER.per_byte_ms,
+        )
+    )
+    return db

@@ -476,6 +476,7 @@ def exhaustive_partition(
     prune: bool = True,
     cache=None,
     metrics=None,
+    collapse: bool = False,
 ) -> PartitionDecision:
     """Minimum of the objective over *all* per-cluster count combinations.
 
@@ -493,17 +494,33 @@ def exhaustive_partition(
     an availability *shrink* is answered in O(delta) with zero fresh
     evaluations.  ``engine="scalar"`` keeps the original reference loop.
     ``cache``/``metrics`` only apply to the array engine.
+
+    ``collapse=True`` (array engine only) detects equivalence classes of
+    interchangeable clusters and searches one canonical member per orbit
+    (:mod:`repro.partition.collapse`) — the wide-area path.  The returned
+    decision is identical to ``collapse=False``; pools with no duplicate
+    clusters simply fall through to the plain streamed scan.
     """
     if engine not in ("batch", "scalar", "array"):
         raise PartitionError(f"unknown engine {engine!r}")
+    if collapse and engine != "array":
+        raise PartitionError(
+            f"collapsed search requires engine='array', got {engine!r}"
+        )
     estimator = CycleEstimator(computation, cost_db, startup_ms=startup_ms)
     ordered = order_by_power(resources, estimator.op_kind)
     if not ordered:
         raise PartitionError("no available processors in any cluster")
     if engine == "array":
-        from repro.partition.arrayengine import array_exhaustive_search
+        if collapse:
+            from repro.partition.collapse import collapsed_exhaustive_search
 
-        result = array_exhaustive_search(
+            search = collapsed_exhaustive_search
+        else:
+            from repro.partition.arrayengine import array_exhaustive_search
+
+            search = array_exhaustive_search
+        result = search(
             computation,
             ordered,
             cost_db,

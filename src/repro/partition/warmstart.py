@@ -61,9 +61,21 @@ def _cluster_key(res: "ClusterResources") -> tuple:
 
 
 class SearchCache:
-    """Cross-epoch warm-start memos for one computation's partition searches."""
+    """Cross-epoch warm-start memos for one computation's partition searches.
 
-    def __init__(self) -> None:
+    ``topology_fingerprint`` scopes every memo to one logical-cluster
+    grouping (see :meth:`LogicalTopology.fingerprint
+    <repro.hardware.topology.LogicalTopology.fingerprint>`): wide-area
+    deployments re-infer their grouping as measurements drift, and two
+    groupings can present identical cluster *names* with different member
+    sets — a name-keyed memo would happily serve the old grouping's
+    decision.  With the fingerprint folded into every key, re-inference
+    lands in fresh namespaces instead.  ``None`` (the default) keeps the
+    LAN behaviour, where cluster identity is administrative and stable.
+    """
+
+    def __init__(self, *, topology_fingerprint: Optional[str] = None) -> None:
+        self.topology_fingerprint = topology_fingerprint
         self._estimates: dict[tuple, dict[tuple[int, ...], "CycleEstimate"]] = {}
         self._decisions: dict[tuple, "PartitionDecision"] = {}
         self._array_engines: dict[tuple, object] = {}
@@ -74,14 +86,15 @@ class SearchCache:
 
     # -- keys --------------------------------------------------------------------
 
-    @staticmethod
-    def estimate_namespace(ordered: Sequence["ClusterResources"]) -> tuple:
+    def estimate_namespace(self, ordered: Sequence["ClusterResources"]) -> tuple:
         """The estimate memo's namespace: everything ``T_c`` depends on
         besides the counts tuple."""
-        return tuple(_cluster_key(res) for res in ordered)
+        return (self.topology_fingerprint,) + tuple(
+            _cluster_key(res) for res in ordered
+        )
 
-    @staticmethod
     def availability_signature(
+        self,
         ordered: Sequence["ClusterResources"],
         *,
         search: str,
@@ -96,7 +109,7 @@ class SearchCache:
             )
             for res in ordered
         )
-        return (pool, search, startup_ms)
+        return (self.topology_fingerprint, pool, search, startup_ms)
 
     # -- memo access -------------------------------------------------------------
 

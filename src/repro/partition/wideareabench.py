@@ -1,0 +1,311 @@
+"""Wide-area collapsed-search benchmark harness.
+
+Shared by the ``repro bench-widearea`` CLI subcommand and
+``benchmarks/test_bench_widearea_perf.py``: builds deterministic
+:func:`~repro.hardware.presets.wide_area_network` pools at several sizes,
+lowers each into a :class:`~repro.partition.collapse.CollapsedSearchEngine`
+(outside the timed window — the operating point is the steady-state decide
+loop, like the array engine in :mod:`repro.partition.perfbench`), then
+times repeated decisions.  The numbers ``BENCH_widearea_perf.json`` tracks
+across PRs:
+
+* wall time per decision at each pool size, against the committed
+  ``decision_budget_ms`` ceiling (the ROADMAP's interactive <100 ms
+  target at 1000 logical clusters);
+* configurations *considered* (the log10 of the full ordered space — at
+  wide-area scale the count itself does not fit in a float) versus
+  *evaluated* (what the collapsed engine actually scored);
+* a small-instance parity block: the collapsed engine's decision must be
+  bit-identical (counts and ``T_c``) to the uncollapsed array engine on
+  pools small enough to scan exhaustively.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from math import log10
+from typing import Optional, Sequence
+
+from repro.apps.stencil import stencil_computation
+from repro.errors import PartitionError
+from repro.hardware.presets import wide_area_cost_database, wide_area_network
+from repro.partition.available import gather_available_resources
+from repro.partition.collapse import CollapsedSearchEngine
+from repro.partition.heuristic import order_by_power
+from repro.units import seconds_to_msec
+
+__all__ = [
+    "DECISION_BUDGET_MS",
+    "DEFAULT_SIZES",
+    "QUICK_SIZES",
+    "SizeResult",
+    "WideAreaBench",
+    "run_widearea",
+    "widearea_report",
+    "widearea_payload",
+]
+
+#: The committed per-decision wall-time ceiling (ms) the perfgate enforces
+#: at every benchmarked pool size — the ROADMAP's interactive target.
+DECISION_BUDGET_MS = 100.0
+
+#: The scaling curve the committed baseline records.
+DEFAULT_SIZES = (64, 256, 1000)
+
+#: What ``repro bench-widearea --quick`` (the CI smoke job) runs.
+QUICK_SIZES = (64, 256)
+
+#: Small-instance parity pools: sites and seeds kept tiny enough that the
+#: uncollapsed array engine can scan the full ordered space.
+_PARITY_SITES = 5
+_PARITY_SEEDS = (0, 1, 2)
+
+#: Stencil problem size: big enough that the optimum spreads over many
+#: sites (the multi-cluster analytic path), small enough that comm still
+#: prices the slowest templates out of the decision.
+DEFAULT_N = 6000
+
+
+@dataclass(frozen=True)
+class SizeResult:
+    """One pool size's timed decide loop."""
+
+    n_clusters: int
+    n_processors: int
+    classes: int
+    method: str
+    repeats: int
+    best_wall_s: float
+    mean_wall_s: float
+    #: Untimed one-off work: network + database + lowering + detection.
+    setup_s: float
+    #: log10 of the full ordered configuration space (configs considered).
+    log10_configs_considered: float
+    #: log10 of the symmetry-collapsed space.
+    log10_configs_collapsed: float
+    configs_evaluated: int
+    active_clusters: int
+    t_cycle_ms: float
+
+    @property
+    def decide_ms(self) -> float:
+        """Best-repeat decision wall time."""
+        return seconds_to_msec(self.best_wall_s)
+
+
+@dataclass(frozen=True)
+class WideAreaBench:
+    """The full scaling-curve record."""
+
+    sizes: tuple[SizeResult, ...]
+    n: int
+    seed: int
+    budget_ms: float
+    parity_instances: int
+    parity_ok: Optional[bool]  #: ``None`` when the parity block was skipped.
+
+    def result(self, n_clusters: int) -> SizeResult:
+        for r in self.sizes:
+            if r.n_clusters == n_clusters:
+                return r
+        raise KeyError(n_clusters)
+
+
+def _decide_workload(n: int):
+    """The benchmarked computation: STEN-1 (constant b, constant rounds)."""
+    return stencil_computation(n, overlap=False)
+
+
+def _parity_check(n: int, *, metrics=None) -> int:
+    """Collapsed vs uncollapsed bit-parity on small pools; returns the
+    instance count, raises :class:`PartitionError` on any mismatch."""
+    from repro.partition.arrayengine import ArraySearchEngine
+
+    comp = _decide_workload(n)
+    for seed in _PARITY_SEEDS:
+        net = wide_area_network(_PARITY_SITES, seed=seed)
+        db = wide_area_cost_database(net)
+        ordered = order_by_power(gather_available_resources(net), "fp")
+        reference = ArraySearchEngine(comp, ordered, db).decide_counts()
+        for exact_budget in (200_000, 0):  # exact mode, then level mode
+            engine = CollapsedSearchEngine(
+                comp, ordered, db, metrics=metrics, exact_budget=exact_budget
+            )
+            outcome = engine.decide_counts()
+            if (
+                outcome.counts != reference.counts
+                or outcome.t_cycle_ms != reference.t_cycle_ms
+            ):
+                raise PartitionError(
+                    f"collapsed/{outcome.method} decision diverged from the "
+                    f"array engine on seed {seed}: "
+                    f"{outcome.counts} @ {outcome.t_cycle_ms!r} != "
+                    f"{reference.counts} @ {reference.t_cycle_ms!r}"
+                )
+    return len(_PARITY_SEEDS) * 2
+
+
+def run_widearea(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    *,
+    n: int = DEFAULT_N,
+    repeat: int = 3,
+    seed: int = 7,
+    parity: bool = True,
+    metrics=None,
+) -> WideAreaBench:
+    """Time the collapsed decision at each pool size (plus the parity block).
+
+    Per size, everything a deployment does once — building the pool,
+    the fitted database, lowering, equivalence detection — happens outside
+    the timed window; each repeat then times one cold ``decide_counts``
+    call (the engine keeps no frontier between full-limit decides, so no
+    repeat is cheaper than the first).
+    """
+    if repeat < 1:
+        raise PartitionError(f"repeat must be >= 1, got {repeat}")
+    if not sizes or any(int(k) < 1 for k in sizes):
+        raise PartitionError(f"pool sizes must be positive: {list(sizes)}")
+    comp = _decide_workload(n)
+    results = []
+    for k_clusters in sizes:
+        setup_start = time.perf_counter()
+        net = wide_area_network(int(k_clusters), seed=seed)
+        db = wide_area_cost_database(net)
+        ordered = order_by_power(gather_available_resources(net), "fp")
+        engine = CollapsedSearchEngine(comp, ordered, db, metrics=metrics)
+        setup_s = time.perf_counter() - setup_start
+        plan = engine.plan
+        if plan is None:
+            raise PartitionError(
+                f"wide-area pool of {k_clusters} sites did not collapse"
+            )
+        walls = []
+        outcome = None
+        for _ in range(repeat):
+            start = time.perf_counter()
+            outcome = engine.decide_counts()
+            walls.append(time.perf_counter() - start)
+        assert outcome is not None
+        results.append(
+            SizeResult(
+                n_clusters=int(k_clusters),
+                n_processors=int(sum(r.n_available for r in ordered)),
+                classes=len(plan.classes),
+                method=outcome.method,
+                repeats=repeat,
+                best_wall_s=min(walls),
+                mean_wall_s=sum(walls) / len(walls),
+                setup_s=setup_s,
+                log10_configs_considered=plan.log10_full_space(),
+                log10_configs_collapsed=log10(max(plan.collapsed_space(), 1)),
+                configs_evaluated=outcome.evaluations,
+                active_clusters=sum(1 for c in outcome.counts if c > 0),
+                t_cycle_ms=outcome.t_cycle_ms,
+            )
+        )
+    parity_instances = 0
+    parity_ok: Optional[bool] = None
+    if parity:
+        parity_instances = _parity_check(min(n, 600), metrics=metrics)
+        parity_ok = True
+    return WideAreaBench(
+        sizes=tuple(results),
+        n=n,
+        seed=seed,
+        budget_ms=DECISION_BUDGET_MS,
+        parity_instances=parity_instances,
+        parity_ok=parity_ok,
+    )
+
+
+def widearea_report(bench: WideAreaBench) -> str:
+    """Human-readable scaling table."""
+    from repro.experiments.report import format_table
+
+    rows = [
+        [
+            r.n_clusters,
+            r.n_processors,
+            r.classes,
+            r.method,
+            f"{r.log10_configs_considered:.1f}",
+            f"{r.log10_configs_collapsed:.1f}",
+            r.configs_evaluated,
+            f"{r.decide_ms:.2f}",
+            f"{seconds_to_msec(r.mean_wall_s):.2f}",
+            f"{seconds_to_msec(r.setup_s):.0f}",
+            r.active_clusters,
+            f"{r.t_cycle_ms:.3f}",
+        ]
+        for r in bench.sizes
+    ]
+    table = format_table(
+        [
+            "sites",
+            "procs",
+            "classes",
+            "method",
+            "log10 full",
+            "log10 coll",
+            "evals",
+            "best ms",
+            "mean ms",
+            "setup ms",
+            "active",
+            "T_c ms",
+        ],
+        rows,
+        title=(
+            f"wide-area collapsed decisions: STEN-1 N={bench.n}, "
+            f"seed {bench.seed}, budget {bench.budget_ms:g} ms"
+        ),
+    )
+    worst = max(r.decide_ms for r in bench.sizes)
+    verdict = "within" if worst <= bench.budget_ms else "OVER"
+    table += (
+        f"\n\nworst decision {worst:.2f} ms — {verdict} the "
+        f"{bench.budget_ms:g} ms budget"
+    )
+    if bench.parity_ok is not None:
+        table += (
+            f"\ncollapsed vs array parity: "
+            f"{'OK' if bench.parity_ok else 'BROKEN'} "
+            f"({bench.parity_instances} instances)"
+        )
+    return table
+
+
+def widearea_payload(bench: WideAreaBench) -> dict:
+    """JSON-serializable record (the ``BENCH_widearea_perf.json`` schema)."""
+    return {
+        "widearea": {
+            "workload": f"STEN-1 N={bench.n}",
+            "seed": bench.seed,
+            # Committed with the payload like the telemetry budget: the
+            # gate enforces it against the current run without needing the
+            # baseline machine's wall clock.
+            "decision_budget_ms": bench.budget_ms,
+            "parity_ok": bench.parity_ok,
+            "parity_instances": bench.parity_instances,
+            "sizes": {
+                str(r.n_clusters): {
+                    "n_processors": r.n_processors,
+                    "classes": r.classes,
+                    "method": r.method,
+                    "repeats": r.repeats,
+                    "best_wall_s": r.best_wall_s,
+                    "mean_wall_s": r.mean_wall_s,
+                    "decide_ms": r.decide_ms,
+                    "setup_s": r.setup_s,
+                    "log10_configs_considered": r.log10_configs_considered,
+                    "log10_configs_collapsed": r.log10_configs_collapsed,
+                    "configs_evaluated": r.configs_evaluated,
+                    "active_clusters": r.active_clusters,
+                    "t_cycle_ms": r.t_cycle_ms,
+                }
+                for r in bench.sizes
+            },
+        }
+    }

@@ -119,6 +119,12 @@ def test_sim_determinism_scope_pins_the_replay_critical_modules():
         "repro/partition/runtime.py",
         "repro/partition/dynamic.py",
         "repro/partition/warmstart.py",
+        "repro/hardware/presets.py",
+        "repro/hardware/topology.py",
     )
     assert any("repro/sim/" in frag for frag in SCOPE_FRAGMENTS)
     assert "repro/partition/warmstart.py" in SCOPE_FRAGMENTS
+    # Wide-area pools (seeded RandomStreams) and topology inference feed
+    # collapsed decisions and cache fingerprints — replay-critical too.
+    assert "repro/hardware/presets.py" in SCOPE_FRAGMENTS
+    assert "repro/hardware/topology.py" in SCOPE_FRAGMENTS

@@ -1,0 +1,186 @@
+"""Logical-cluster inference: measurement, thresholds, and fingerprints.
+
+:mod:`repro.hardware.topology` turns a measured latency/bandwidth fabric
+into the logical homogeneous clusters the partitioner's §3 model assumes.
+The properties that matter downstream: inference recovers the physical
+sites of a built network (router hops dominate the latency threshold),
+the grouping never mixes processor types or mismatched links, output is
+canonical (same measurement → same grouping → same fingerprint), and the
+fingerprint moves whenever anything a memoized decision depends on moves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkModelError
+from repro.hardware.presets import wide_area_network
+from repro.hardware.topology import (
+    DEFAULT_LATENCY_THRESHOLD_MS,
+    LogicalTopology,
+    TopologyMeasurement,
+    infer_topology,
+    measure_fabric,
+)
+
+
+def _manual(latency, bandwidth, specs, rates=None, ids=None):
+    n = len(specs)
+    return TopologyMeasurement(
+        proc_ids=tuple(ids if ids is not None else range(n)),
+        spec_names=tuple(specs),
+        fp_usec_per_op=tuple(rates if rates is not None else [1.0] * n),
+        latency_ms=np.asarray(latency, dtype=float),
+        bandwidth_bps=np.asarray(bandwidth, dtype=float),
+    )
+
+
+# -- measurement from a built network --------------------------------------------
+
+
+def test_measure_fabric_separates_sites_by_router_latency():
+    net = wide_area_network(4, seed=0)
+    m = measure_fabric(net)
+    assert m.n_nodes == sum(len(c.processors) for c in net.clusters)
+    lat = m.latency_ms
+    for i in range(m.n_nodes):
+        for j in range(i + 1, m.n_nodes):
+            same_site = m.home_clusters[i] == m.home_clusters[j]
+            if same_site:
+                # One shared segment: acquisition latency only.
+                assert lat[i, j] < DEFAULT_LATENCY_THRESHOLD_MS
+            else:
+                # Any route crosses the backbone's store-and-forward
+                # router (per-frame 2.5 ms on the wide-area preset).
+                assert lat[i, j] > DEFAULT_LATENCY_THRESHOLD_MS
+
+
+def test_inference_recovers_physical_sites():
+    """On a wide-area pool the inferred grouping is exactly the per-site
+    node sets — even when several sites share a template (latency keeps
+    them apart; homogeneity alone would merge them)."""
+    net = wide_area_network(8, seed=1)
+    m = measure_fabric(net)
+    topo = infer_topology(m)
+    by_home: dict[str, set] = {}
+    for i, home in enumerate(m.home_clusters):
+        by_home.setdefault(home, set()).add(m.proc_ids[i])
+    inferred = {frozenset(c.members) for c in topo.clusters}
+    assert inferred == {frozenset(v) for v in by_home.values()}
+    assert topo.n_nodes == m.n_nodes
+    for cluster in topo.clusters:
+        assert cluster.intra_latency_ms <= DEFAULT_LATENCY_THRESHOLD_MS
+
+
+def test_measure_fabric_rejects_empty_network():
+    from repro.hardware.network import HeterogeneousNetwork
+
+    with pytest.raises(NetworkModelError, match="no processors"):
+        measure_fabric(HeterogeneousNetwork(seed=0))
+
+
+# -- threshold clustering on manual measurements ---------------------------------
+
+
+def test_close_nodes_of_different_specs_stay_separate():
+    zero = np.zeros((4, 4))
+    bw = np.full((4, 4), 1e7)
+    m = _manual(zero, bw, ["A", "A", "B", "B"])
+    topo = infer_topology(m)
+    assert [c.members for c in topo.clusters] == [(0, 1), (2, 3)]
+    assert [c.spec_name for c in topo.clusters] == ["A", "B"]
+
+
+def test_same_spec_different_rate_stays_separate():
+    zero = np.zeros((2, 2))
+    bw = np.full((2, 2), 1e7)
+    m = _manual(zero, bw, ["A", "A"], rates=[1.0, 2.0])
+    assert infer_topology(m).n_clusters == 2
+
+
+def test_low_bandwidth_link_splits_despite_low_latency():
+    lat = np.zeros((3, 3))
+    bw = np.array(
+        [
+            [0.0, 1e7, 1e5],
+            [1e7, 0.0, 1e5],
+            [1e5, 1e5, 0.0],
+        ]
+    )
+    m = _manual(lat, bw, ["A", "A", "A"])
+    topo = infer_topology(m)
+    assert [c.members for c in topo.clusters] == [(0, 1), (2,)]
+
+
+def test_latency_threshold_is_a_cut():
+    lat = np.array([[0.0, 0.4], [0.4, 0.0]])
+    bw = np.full((2, 2), 1e7)
+    m = _manual(lat, bw, ["A", "A"])
+    assert infer_topology(m).n_clusters == 1
+    assert infer_topology(m, latency_threshold_ms=0.3).n_clusters == 2
+
+
+def test_inference_validates_inputs():
+    lat = np.zeros((2, 2))
+    bw = np.full((2, 2), 1e7)
+    m = _manual(lat, bw, ["A", "A"])
+    with pytest.raises(NetworkModelError, match="positive"):
+        infer_topology(m, latency_threshold_ms=0.0)
+    with pytest.raises(NetworkModelError, match="tolerance"):
+        infer_topology(m, bandwidth_tolerance=1.0)
+    asym = np.array([[0.0, 1.0], [2.0, 0.0]])
+    with pytest.raises(NetworkModelError, match="symmetric"):
+        _manual(asym, bw, ["A", "A"])
+    with pytest.raises(NetworkModelError, match="matrix must be"):
+        _manual(lat, bw, ["A", "A", "A"])
+
+
+def test_cluster_of_lookup():
+    net = wide_area_network(3, seed=2)
+    topo = infer_topology(measure_fabric(net))
+    member = topo.clusters[1].members[0]
+    assert topo.cluster_of(member) is topo.clusters[1]
+    with pytest.raises(NetworkModelError, match="no logical cluster"):
+        topo.cluster_of(10**9)
+
+
+# -- canonical output and fingerprints -------------------------------------------
+
+
+def test_same_measurement_same_fingerprint():
+    net = wide_area_network(6, seed=4)
+    a = infer_topology(measure_fabric(net))
+    b = infer_topology(measure_fabric(wide_area_network(6, seed=4)))
+    assert a == b
+    assert a.fingerprint() == b.fingerprint()
+    # Canonical naming: components ordered by smallest member id.
+    assert [c.name for c in a.clusters] == [f"L{i}" for i in range(a.n_clusters)]
+
+
+def test_fingerprint_moves_with_grouping_and_thresholds():
+    net = wide_area_network(6, seed=4)
+    m = measure_fabric(net)
+    base = infer_topology(m)
+    prints = {base.fingerprint()}
+    # Different pool → different grouping.
+    other = infer_topology(measure_fabric(wide_area_network(6, seed=5)))
+    prints.add(other.fingerprint())
+    # Same grouping, different thresholds: still a distinct key — memoized
+    # decisions must not survive a re-inference under new thresholds.
+    retuned = infer_topology(m, latency_threshold_ms=0.25)
+    prints.add(retuned.fingerprint())
+    assert len(prints) == 3
+
+
+def test_fingerprint_is_stable_literal():
+    """The fingerprint is a pure content hash: rebuilding the dataclass by
+    hand reproduces it (nothing positional or id-based leaks in)."""
+    net = wide_area_network(2, seed=0)
+    topo = infer_topology(measure_fabric(net))
+    clone = LogicalTopology(
+        clusters=tuple(topo.clusters),
+        latency_threshold_ms=topo.latency_threshold_ms,
+        bandwidth_tolerance=topo.bandwidth_tolerance,
+    )
+    assert clone.fingerprint() == topo.fingerprint()
+    assert len(topo.fingerprint()) == 16
+    assert "logical clusters" in topo.describe()

@@ -93,9 +93,10 @@ def test_runtime_decisions_identical_with_and_without_warm_start():
 def test_estimate_namespace_independent_of_availability_under_threshold_policy():
     network, _, _ = _setting()
     resources = gather_available_resources(network)
-    before = SearchCache.estimate_namespace(resources)
+    cache = SearchCache()
+    before = cache.estimate_namespace(resources)
     network.clusters[0].processors[3].fail()
-    after = SearchCache.estimate_namespace(gather_available_resources(network))
+    after = cache.estimate_namespace(gather_available_resources(network))
     # Threshold policy: rates come from the spec, so estimates survive
     # node loss — the namespace must not change.
     assert before == after
@@ -103,11 +104,29 @@ def test_estimate_namespace_independent_of_availability_under_threshold_policy()
 
 def test_decision_signature_tracks_the_exact_pool():
     network, _, _ = _setting()
-    sig = SearchCache.availability_signature(
+    cache = SearchCache()
+    sig = cache.availability_signature(
         gather_available_resources(network), search="binary", startup_ms=0.0
     )
     network.clusters[0].processors[3].fail()
-    sig_after = SearchCache.availability_signature(
+    sig_after = cache.availability_signature(
         gather_available_resources(network), search="binary", startup_ms=0.0
     )
     assert sig != sig_after
+
+
+def test_topology_fingerprint_scopes_every_memo_key():
+    network, _, _ = _setting()
+    resources = gather_available_resources(network)
+    plain = SearchCache()
+    scoped = SearchCache(topology_fingerprint="abcd1234ef567890")
+    assert plain.estimate_namespace(resources) != scoped.estimate_namespace(resources)
+    assert plain.availability_signature(
+        resources, search="binary", startup_ms=0.0
+    ) != scoped.availability_signature(resources, search="binary", startup_ms=0.0)
+    # A re-inferred grouping (new fingerprint) must land in fresh slots even
+    # when the logical cluster names it presents are identical.
+    rescoped = SearchCache(topology_fingerprint="ffff0000ffff0000")
+    assert scoped.estimate_namespace(resources) != rescoped.estimate_namespace(
+        resources
+    )
