@@ -13,7 +13,9 @@ Handles the committed payload schemas — ``BENCH_partition_perf.json``
 registry), ``BENCH_adaptive_perf.json`` (adaptive repartitioning vs
 the always-research baseline under churn), and
 ``BENCH_widearea_perf.json`` (collapsed wide-area decisions vs the
-<100 ms budget) — detected from the payload shape.  Exits non-zero (and prints what moved) if the fresh benchmark
+<100 ms budget), and ``BENCH_serve_perf.json`` (the batching decision
+service vs the one-search-per-request baseline) — detected from the
+payload shape.  Exits non-zero (and prints what moved) if the fresh benchmark
 record lost more than ``factor``x against the committed baseline — see
 :mod:`repro.benchmarking.perfgate` for exactly what is compared.
 """
@@ -40,6 +42,7 @@ def main(argv=None) -> int:
     from repro.benchmarking.perfgate import (
         check_adaptive_regression,
         check_regression,
+        check_serve_regression,
         check_sim_regression,
         check_telemetry_regression,
         check_widearea_regression,
@@ -60,6 +63,7 @@ def main(argv=None) -> int:
         "telemetry": check_telemetry_regression,
         "adaptive": check_adaptive_regression,
         "widearea": check_widearea_regression,
+        "serve": check_serve_regression,
         "partition": check_regression,
     }[kinds[0]]
     problems = gate(baseline, current, factor=args.factor, strict=args.strict)

@@ -45,6 +45,10 @@ SCOPE_FRAGMENTS: Tuple[str, ...] = (
     # bit-exactly for collapsed decisions to be reproducible.
     "repro/hardware/presets.py",
     "repro/hardware/topology.py",
+    # The decision server's batching, admission (token buckets), and
+    # latency accounting all run off injected clocks so tests drive them
+    # with manual time — an inline wall-clock read would break that.
+    "repro/server/",
 )
 
 #: Files allowed to construct entropy: the named-stream factory itself.

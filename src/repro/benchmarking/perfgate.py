@@ -71,6 +71,12 @@ collapsed wide-area decision benchmark from
 docstring for the gate inventory (parity, the committed <100 ms decision
 budget, deterministic decision drift, evaluation blow-up).
 
+``BENCH_serve_perf.json`` (:func:`check_serve_regression`, the decision
+service benchmark from ``benchmarks/test_bench_serve_perf.py``) — see
+that function's docstring for the gate inventory (served-vs-direct
+parity, error replies, the committed served/baseline speedup floor,
+speedup and coalescing-ratio drift).
+
 :func:`payload_kind` distinguishes the schemas so CI can gate whichever
 payload it is handed.
 """
@@ -85,6 +91,7 @@ __all__ = [
     "check_telemetry_regression",
     "check_adaptive_regression",
     "check_widearea_regression",
+    "check_serve_regression",
     "payload_kind",
     "format_problems",
 ]
@@ -92,7 +99,9 @@ __all__ = [
 
 def payload_kind(payload: dict[str, Any]) -> str:
     """``"partition"``/``"sim"``/``"telemetry"``/``"adaptive"``/
-    ``"widearea"``, keyed on the schema shape."""
+    ``"widearea"``/``"serve"``, keyed on the schema shape."""
+    if "serve" in payload:
+        return "serve"
     if "widearea" in payload:
         return "widearea"
     if "telemetry_overhead" in payload:
@@ -369,6 +378,83 @@ def check_widearea_regression(
             problems.append(
                 f"{size}-site decision regressed >{factor:g}x: "
                 f"{base_row['decide_ms']:.2f} -> {cur_row['decide_ms']:.2f} ms"
+            )
+    return problems
+
+
+def check_serve_regression(
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    *,
+    factor: float = 2.0,
+    strict: bool = False,
+) -> list[str]:
+    """Problems in a ``BENCH_serve_perf.json`` payload (empty = pass).
+
+    * **parity breakage** — a served decision diverging from the direct
+      cold ``exhaustive_partition(engine="array")`` answer (cold or warm
+      cache, either parity tenant) is a correctness bug and always fails;
+    * **error replies** — the bench runs with wide-open admission limits,
+      so *any* error reply means the pipeline dropped or mis-served a
+      request; always fails;
+    * **floor breach** — served/baseline decisions/s below the payload's
+      committed ``speedup_floor``; the ratio is within-run (both sides
+      measured on the same machine in the same process), so it transfers
+      across machines and always fails;
+    * **speedup / coalescing collapse** — the within-run speedup or the
+      requests-per-search coalescing ratio dropping beyond ``factor``
+      against the committed baseline;
+    * **throughput / latency collapse** (``strict=True`` only) — absolute
+      served decisions/s and p99 milliseconds against the baseline
+      machine's.
+    """
+    if factor <= 1.0:
+        raise ValueError(f"factor must exceed 1.0, got {factor}")
+    problems: list[str] = []
+    cur = current.get("serve")
+    if cur is None:
+        return ["serve missing from current payload"]
+    if cur.get("parity_ok") is False:
+        problems.append("served vs direct-search parity broken in current payload")
+    if cur.get("errors", 0):
+        problems.append(
+            f"{cur['errors']} error replies under wide-open admission limits"
+        )
+    floor = cur.get("speedup_floor")
+    speedup = cur.get("speedup_vs_baseline")
+    if floor is not None and speedup is not None and speedup < floor:
+        problems.append(
+            f"served/baseline speedup below committed floor: "
+            f"{speedup:.1f}x < {floor:g}x"
+        )
+    base = baseline.get("serve")
+    if base is None:
+        problems.append("serve missing from baseline payload")
+        return problems
+    if speedup is None:
+        problems.append("speedup_vs_baseline missing from current payload")
+    elif speedup * factor < base["speedup_vs_baseline"]:
+        problems.append(
+            f"served/baseline speedup regressed >{factor:g}x: "
+            f"{base['speedup_vs_baseline']:.1f}x -> {speedup:.1f}x"
+        )
+    if cur["coalesce_ratio"] * factor < base["coalesce_ratio"]:
+        problems.append(
+            f"coalescing ratio regressed >{factor:g}x: "
+            f"{base['coalesce_ratio']:.0f} -> "
+            f"{cur['coalesce_ratio']:.0f} requests/search"
+        )
+    if strict:
+        if cur["decisions_per_s"] * factor < base["decisions_per_s"]:
+            problems.append(
+                f"served throughput regressed >{factor:g}x: "
+                f"{base['decisions_per_s']:.0f} -> "
+                f"{cur['decisions_per_s']:.0f} decisions/s"
+            )
+        if cur["p99_ms"] > base["p99_ms"] * factor:
+            problems.append(
+                f"served p99 latency regressed >{factor:g}x: "
+                f"{base['p99_ms']:.1f} -> {cur['p99_ms']:.1f} ms"
             )
     return problems
 

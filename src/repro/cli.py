@@ -209,6 +209,120 @@ def _bench_widearea(args) -> str:
     return text
 
 
+def _serve(args) -> str:
+    import asyncio
+
+    from repro.server.admission import AdmissionLimits
+    from repro.server.service import PartitionServer, ServerConfig, resolve_pool
+    from repro.telemetry import MetricsRegistry, Telemetry
+
+    tel = Telemetry(metrics=MetricsRegistry())
+    net, cost_db = resolve_pool(args.pool, seed=args.seed)
+    config = ServerConfig(
+        batch_window_ms=args.batch_window_ms,
+        limits=AdmissionLimits(
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
+            tenant_rate=args.tenant_rate,
+        ),
+        cache_entries=args.cache_entries,
+        max_requests=args.max_requests,
+    )
+    server = PartitionServer.for_network(
+        net, cost_db, config=config, metrics=tel.metrics
+    )
+
+    async def _main() -> None:
+        metrics_http = None
+        if args.metrics_port is not None:
+            from repro.server.metricshttp import MetricsHTTPServer
+
+            metrics_http = MetricsHTTPServer(tel.metrics)
+            mhost, mport = await metrics_http.start(args.host, args.metrics_port)
+            print(f"[serve] metrics at http://{mhost}:{mport}/metrics", flush=True)
+
+        def _announce(host: str, port: int) -> None:
+            # Flushed immediately so wrappers (the CI smoke job) can wait
+            # for readiness and scrape the bound port.
+            print(
+                f"[serve] listening on {host}:{port} "
+                f"(pool {args.pool}, {len(server.base)} clusters)",
+                flush=True,
+            )
+
+        try:
+            await server.serve_until_shutdown(
+                args.host, args.port, on_started=_announce
+            )
+        finally:
+            if metrics_http is not None:
+                await metrics_http.close()
+
+    asyncio.run(_main())
+    stats = server.coalescer.stats
+    text = (
+        f"served {server.served} requests "
+        f"({stats.searches} fresh searches, {stats.memo_hits} memo groups, "
+        f"{stats.fanned_out} fanned out; "
+        f"{server.admission.shed_overloaded + server.admission.shed_rate_limited} shed)"
+    )
+    if getattr(args, "metrics_out", None):
+        tel.dump(args.metrics_out, meta={"command": "serve"})
+        text += f"\n[metrics written to {args.metrics_out}]"
+    return text
+
+
+def _bench_serve(args) -> str:
+    import json
+
+    from repro.server.servebench import (
+        DEFAULT_CLIENTS,
+        QUICK_CLIENTS,
+        run_serve_bench,
+        serve_payload,
+        serve_report,
+    )
+
+    registry = None
+    tel = None
+    if getattr(args, "metrics_out", None):
+        from repro.telemetry import MetricsRegistry, Telemetry
+
+        tel = Telemetry(metrics=MetricsRegistry())
+        registry = tel.metrics
+    if args.clients is not None:
+        clients = args.clients
+    else:
+        clients = QUICK_CLIENTS if args.quick else DEFAULT_CLIENTS
+    bench = run_serve_bench(
+        clients=clients,
+        requests_per_client=args.requests,
+        pool=args.pool,
+        n=args.n,
+        batch_window_ms=args.batch_window_ms,
+        metrics=registry,
+    )
+    text = serve_report(bench)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(serve_payload(bench), fh, indent=2)
+            fh.write("\n")
+        text += f"\n\n[json written to {args.json}]"
+    if tel is not None:
+        # Headline figures as host gauges; the serve.* instruments the
+        # server itself registered land in the same dump.
+        tel.metrics.gauge("bench.serve.decisions_per_s", domain="host").set(
+            bench.decisions_per_s
+        )
+        tel.metrics.gauge("bench.serve.speedup_vs_baseline", domain="host").set(
+            bench.speedup_vs_baseline
+        )
+        tel.metrics.gauge("bench.serve.p99_ms", domain="host").set(bench.p99_ms)
+        tel.dump(args.metrics_out, meta={"command": "bench-serve"})
+        text += f"\n[metrics written to {args.metrics_out}]"
+    return text
+
+
 def _run_dynamic(args) -> str:
     import json
 
@@ -657,6 +771,99 @@ def build_parser() -> argparse.ArgumentParser:
         "as a telemetry JSONL export",
     )
     p19.set_defaults(func=_bench_widearea)
+
+    p20 = sub.add_parser(
+        "serve",
+        help="run the multi-tenant NDJSON partition decision server",
+    )
+    p20.add_argument("--host", default="127.0.0.1", help="bind address")
+    p20.add_argument("--port", type=int, default=7641, help="TCP port (0 = ephemeral)")
+    p20.add_argument(
+        "--pool",
+        default="paper",
+        help="resource pool: 'paper', 'wide:K', or 'synthetic:A,B,C'",
+    )
+    p20.add_argument("--seed", type=int, default=0, help="pool seed (wide:K pools)")
+    p20.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also serve Prometheus text at http://HOST:PORT/metrics",
+    )
+    p20.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        help="how long a tick collects requests before deciding",
+    )
+    p20.add_argument(
+        "--max-inflight", type=int, default=512, help="admitted-request cap"
+    )
+    p20.add_argument(
+        "--max-queue", type=int, default=2048, help="per-tick queue-depth cap"
+    )
+    p20.add_argument(
+        "--tenant-rate",
+        type=float,
+        default=0.0,
+        help="per-tenant requests/s rate cap (0 = unlimited)",
+    )
+    p20.add_argument(
+        "--cache-entries",
+        type=int,
+        default=4096,
+        help="SearchCache LRU bound per workload engine",
+    )
+    p20.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="drain and exit after serving N requests (CI smoke mode)",
+    )
+    p20.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write the serve.* instruments as a telemetry JSONL export at shutdown",
+    )
+    p20.set_defaults(func=_serve)
+
+    p21 = sub.add_parser(
+        "bench-serve",
+        help="benchmark the decision server against one-search-per-request",
+    )
+    p21.add_argument(
+        "--clients",
+        type=int,
+        default=None,
+        help="simulated logical clients (default: 10000, or 1000 with --quick)",
+    )
+    p21.add_argument(
+        "--requests", type=int, default=1, help="requests per logical client"
+    )
+    p21.add_argument(
+        "--pool",
+        default="synthetic:32,32,32",
+        help="resource pool: 'paper', 'wide:K', or 'synthetic:A,B,C'",
+    )
+    p21.add_argument("--n", type=int, default=600, help="stencil/SOR problem size")
+    p21.add_argument(
+        "--batch-window-ms", type=float, default=2.0, help="server batch window"
+    )
+    p21.add_argument(
+        "--quick", action="store_true", help="CI smoke mode: 1000 clients"
+    )
+    p21.add_argument(
+        "--json", metavar="FILE", help="also write the machine-readable record to FILE"
+    )
+    p21.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write headline gauges plus the serve.* instruments as a "
+        "telemetry JSONL export",
+    )
+    p21.set_defaults(func=_bench_serve)
 
     p13 = sub.add_parser(
         "run-dynamic",

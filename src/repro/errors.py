@@ -16,6 +16,7 @@ __all__ = [
     "TopologyError",
     "AnnotationError",
     "PartitionError",
+    "ServeError",
     "ManagerUnreachableError",
     "FittingError",
     "MessagingError",
@@ -77,6 +78,19 @@ class AnnotationError(ReproError):
 
 class PartitionError(ReproError):
     """The partitioner could not produce a valid processor configuration."""
+
+
+class ServeError(ReproError):
+    """A decision-server failure: malformed wire request, unknown workload
+    or cluster, or a client-visible service fault.
+
+    Carries a machine-readable ``kind`` (``"bad-request"``, ``"internal"``,
+    ...) that the server maps onto its typed error replies.
+    """
+
+    def __init__(self, message: str, *, kind: str = "bad-request") -> None:
+        super().__init__(message)
+        self.kind = kind
 
 
 class ManagerUnreachableError(PartitionError):

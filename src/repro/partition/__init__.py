@@ -52,6 +52,7 @@ from repro.partition.fastpath import (
     pruned_count_matrix,
 )
 from repro.partition.general import general_partition
+from repro.partition.engine import DecisionEngine
 from repro.partition.heuristic import (
     PartitionDecision,
     exhaustive_partition,
@@ -76,6 +77,7 @@ from repro.partition.runtime import (
 )
 
 __all__ = [
+    "DecisionEngine",
     "advise",
     "explain_decision",
     "network_fingerprint",

@@ -54,7 +54,8 @@ from repro.partition.dynamic import (
     rebalance_counts,
     transfer_plan,
 )
-from repro.partition.heuristic import PartitionDecision, partition
+from repro.partition.engine import DecisionEngine
+from repro.partition.heuristic import PartitionDecision
 from repro.partition.warmstart import SearchCache
 from repro.sim.failures import FailureSchedule, LoadSchedule
 from repro.telemetry import NULL_TELEMETRY, Span, SpanRecorder, Telemetry
@@ -520,6 +521,16 @@ class PartitionRuntime:
         self.audit = AuditTrail()
         #: Cross-epoch warm-start state (scoped to this computation+cost_db).
         self.search_cache = SearchCache() if self.policy.warm_start else None
+        #: The shared search facade (the same boundary the decision server
+        #: drives); ``cache=None`` keeps every decide cold, as before.
+        self.decision_engine = DecisionEngine(
+            computation,
+            cost_db,
+            search=self.policy.search,
+            engine=self.policy.engine,
+            cache=self.search_cache,
+            metrics=self.telemetry.metrics,
+        )
         self._last_decision: Optional[PartitionDecision] = None
 
     # -- gather + partition ------------------------------------------------------
@@ -551,16 +562,7 @@ class PartitionRuntime:
                 if self._last_decision is not None and self.search_cache is not None
                 else None
             )
-            decision = partition(
-                self.computation,
-                usable,
-                self.cost_db,
-                search=self.policy.search,
-                engine=self.policy.engine,
-                cache=self.search_cache,
-                warm_start=warm,
-                metrics=self.telemetry.metrics,
-            )
+            decision = self.decision_engine.decide(usable, warm_start=warm)
             span.annotate(
                 warm=warm is not None,
                 lost=list(report.lost),

@@ -1,0 +1,91 @@
+"""The optional ``/metrics`` endpoint: Prometheus text over asyncio HTTP.
+
+Deliberately tiny — one GET route, HTTP/1.0 semantics (every response
+closes the connection), no dependency beyond asyncio.  The body is the
+server's :class:`~repro.telemetry.metrics.MetricsRegistry` snapshot
+rendered by :func:`repro.telemetry.export.prometheus_text`, which the
+repo's own :func:`~repro.telemetry.export.validate_prometheus` lints in
+the test suite.
+
+No ``Date`` header is emitted: this module is in the sim-determinism
+lint scope and the endpoint's output should be a pure function of the
+registry anyway.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional, Tuple
+
+from repro.telemetry.export import prometheus_text
+
+__all__ = ["MetricsHTTPServer"]
+
+_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _response(status: str, body: str, content_type: str = _CONTENT_TYPE) -> bytes:
+    payload = body.encode("utf-8")
+    head = (
+        f"HTTP/1.0 {status}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("ascii") + payload
+
+
+class MetricsHTTPServer:
+    """Serves ``GET /metrics`` for one metrics registry."""
+
+    def __init__(self, registry) -> None:
+        self.registry = registry
+        self._server: Optional["asyncio.base_events.Server"] = None
+
+    def render(self) -> str:
+        """The exposition body (also used directly by tests and the CLI)."""
+        snapshot = self.registry.snapshot(None)
+        return prometheus_text(snapshot["metrics"])
+
+    async def start(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> Tuple[str, int]:
+        if self._server is not None:
+            raise RuntimeError("metrics server already started")
+        self._server = await asyncio.start_server(self._handle, host, port)
+        sockname = self._server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            request_line = await reader.readline()
+            # Drain headers until the blank line; we never use them.
+            while True:
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.decode("ascii", errors="replace").split()
+            if len(parts) < 2 or parts[0] != "GET":
+                writer.write(
+                    _response("405 Method Not Allowed", "only GET is supported\n")
+                )
+            elif parts[1].split("?", 1)[0] not in ("/metrics", "/"):
+                writer.write(_response("404 Not Found", "try /metrics\n"))
+            else:
+                writer.write(_response("200 OK", self.render()))
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass

@@ -121,6 +121,7 @@ def test_sim_determinism_scope_pins_the_replay_critical_modules():
         "repro/partition/warmstart.py",
         "repro/hardware/presets.py",
         "repro/hardware/topology.py",
+        "repro/server/",
     )
     assert any("repro/sim/" in frag for frag in SCOPE_FRAGMENTS)
     assert "repro/partition/warmstart.py" in SCOPE_FRAGMENTS
@@ -128,3 +129,6 @@ def test_sim_determinism_scope_pins_the_replay_critical_modules():
     # collapsed decisions and cache fingerprints — replay-critical too.
     assert "repro/hardware/presets.py" in SCOPE_FRAGMENTS
     assert "repro/hardware/topology.py" in SCOPE_FRAGMENTS
+    # The decision server's batch ticks, token buckets, and latency math
+    # must run off injected clocks so manual-time tests stay exact.
+    assert "repro/server/" in SCOPE_FRAGMENTS

@@ -9,6 +9,7 @@ import pytest
 
 from repro.benchmarking.perfgate import (
     check_regression,
+    check_serve_regression,
     check_sim_regression,
     check_telemetry_regression,
     format_problems,
@@ -114,10 +115,113 @@ def telemetry_payload(*, ratio=1.6, enabled_ns=60.0, budget=25.0):
     }
 
 
+def serve_payload(
+    *,
+    speedup=30.0,
+    floor=5.0,
+    ratio=500.0,
+    dps=9000.0,
+    p99=250.0,
+    errors=0,
+    parity=True,
+):
+    return {
+        "serve": {
+            "pool": "synthetic:32,32,32",
+            "n": 600,
+            "clients": 10_000,
+            "requests_per_client": 1,
+            "speedup_floor": floor,
+            "baseline_decisions_per_s": dps / speedup,
+            "requests": 10_000,
+            "ok": 10_000 - errors,
+            "errors": errors,
+            "decisions_per_s": dps,
+            "speedup_vs_baseline": speedup,
+            "p50_ms": p99 / 2,
+            "p99_ms": p99,
+            "coalesce_ratio": ratio,
+            "parity_ok": parity,
+            "parity_instances": 24,
+        }
+    }
+
+
 def test_payload_kind_detection():
     assert payload_kind(payload()) == "partition"
     assert payload_kind(sim_payload()) == "sim"
     assert payload_kind(telemetry_payload()) == "telemetry"
+    assert payload_kind(serve_payload()) == "serve"
+
+
+def test_identical_serve_payloads_pass():
+    assert check_serve_regression(serve_payload(), serve_payload()) == []
+
+
+def test_serve_parity_breakage_always_fails():
+    problems = check_serve_regression(serve_payload(), serve_payload(parity=False))
+    assert any("parity broken" in p for p in problems)
+
+
+def test_serve_error_replies_always_fail():
+    problems = check_serve_regression(serve_payload(), serve_payload(errors=3))
+    assert any("error replies" in p for p in problems)
+
+
+def test_serve_floor_breach_always_fails():
+    # The floor is a within-run invariant of the current payload: breached
+    # even when the baseline itself is already below it.
+    problems = check_serve_regression(
+        serve_payload(speedup=4.0), serve_payload(speedup=4.0)
+    )
+    assert any("below committed floor" in p for p in problems)
+
+
+def test_serve_speedup_collapse_beyond_factor_fails():
+    assert (
+        check_serve_regression(serve_payload(speedup=30.0), serve_payload(speedup=16.0))
+        == []
+    )
+    problems = check_serve_regression(
+        serve_payload(speedup=30.0), serve_payload(speedup=14.0)
+    )
+    assert any("speedup regressed >2x" in p for p in problems)
+
+
+def test_serve_coalesce_collapse_beyond_factor_fails():
+    problems = check_serve_regression(
+        serve_payload(ratio=500.0), serve_payload(ratio=100.0)
+    )
+    assert any("coalescing ratio regressed" in p for p in problems)
+
+
+def test_serve_absolutes_only_gated_in_strict_mode():
+    # Same within-run ratios, slower machine: passes by default.
+    slow = serve_payload(dps=900.0, p99=2500.0)
+    assert check_serve_regression(serve_payload(), slow) == []
+    problems = check_serve_regression(serve_payload(), slow, strict=True)
+    assert any("throughput regressed" in p for p in problems)
+    assert any("p99 latency regressed" in p for p in problems)
+
+
+def test_serve_missing_sections_are_problems():
+    assert check_serve_regression(serve_payload(), {}) == [
+        "serve missing from current payload"
+    ]
+    problems = check_serve_regression({}, serve_payload())
+    assert any("missing from baseline" in p for p in problems)
+
+
+def test_cli_script_on_committed_serve_baseline():
+    baseline = REPO_ROOT / "BENCH_serve_perf.json"
+    script = REPO_ROOT / "benchmarks" / "check_perf_regression.py"
+    ok = subprocess.run(
+        [sys.executable, str(script), str(baseline), str(baseline)],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert ok.returncode == 0, ok.stdout + ok.stderr
 
 
 def test_identical_telemetry_payloads_pass():

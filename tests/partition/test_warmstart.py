@@ -1,13 +1,19 @@
 """Warm-started repartition searches: identical decisions, fewer evaluations."""
 
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.apps.stencil import stencil_computation
 from repro.experiments.paper import paper_cost_database
 from repro.hardware.presets import paper_testbed
 from repro.partition.available import gather_available_resources
-from repro.partition.heuristic import partition
+from repro.partition.heuristic import exhaustive_partition, partition
+from repro.partition.perfbench import synthetic_database, synthetic_network
 from repro.partition.runtime import PartitionRuntime, RuntimePolicy
 from repro.partition.warmstart import SearchCache
 from repro.sim.failures import FailureSchedule
+from repro.telemetry.metrics import MetricsRegistry
 
 
 def _setting(n=512):
@@ -130,3 +136,161 @@ def test_topology_fingerprint_scopes_every_memo_key():
     assert scoped.estimate_namespace(resources) != rescoped.estimate_namespace(
         resources
     )
+
+
+# -- bounding (max_entries LRU) ----------------------------------------------------
+
+
+def _gauge_value(registry, name, domain="host"):
+    for inst in registry.instruments(domain):
+        if inst.name == name:
+            return inst.value
+    raise AssertionError(f"no {domain} instrument named {name}")
+
+
+def test_unbounded_cache_counts_entries_without_lru_bookkeeping():
+    cache = SearchCache()
+    memo = cache.estimator_memo(gather_available_resources(paper_testbed()))
+    memo[(1, 2)] = "e1"
+    memo[(3, 4)] = "e2"
+    cache.store_decision(("sig-a",), "d1")
+    assert cache.entries == 3
+    assert cache.evictions == 0
+    assert cache._lru == {}  # no recency order maintained
+
+
+def test_lru_bound_evicts_the_oldest_entry_first():
+    cache = SearchCache(max_entries=2)
+    cache.store_decision(("sig-a",), "d1")
+    cache.store_decision(("sig-b",), "d2")
+    assert cache.entries == 2 and cache.evictions == 0
+    # Touch sig-a so sig-b becomes the LRU victim.
+    assert cache.decision(("sig-a",)) == "d1"
+    cache.store_decision(("sig-c",), "d3")
+    assert cache.entries == 2 and cache.evictions == 1
+    assert cache.decision(("sig-b",)) is None
+    assert cache.decision(("sig-a",)) == "d1"
+    assert cache.decision(("sig-c",)) == "d3"
+
+
+def test_lru_bound_spans_estimates_decisions_and_engines():
+    cache = SearchCache(max_entries=3)
+    resources = gather_available_resources(paper_testbed())
+    namespace = cache.estimate_namespace(resources)
+    memo = cache.estimator_memo(resources)
+    memo[(10, 4)] = "estimate"
+    cache.store_decision(("sig",), "decision")
+    cache.store_array_engine(namespace, "engine")
+    assert cache.entries == 3
+    # A fourth entry of any kind evicts the global LRU victim: the estimate.
+    cache.store_decision(("sig2",), "decision2")
+    assert cache.entries == 3 and cache.evictions == 1
+    assert memo.get((10, 4)) is None
+    assert cache.decision(("sig",)) == "decision"
+    assert cache.array_engine(namespace) == "engine"
+
+
+def test_max_entries_validation():
+    with pytest.raises(ValueError):
+        SearchCache(max_entries=0)
+
+
+def test_eviction_telemetry_on_a_real_registry():
+    registry = MetricsRegistry()
+    cache = SearchCache(max_entries=2, metrics=registry)
+    for i in range(5):
+        cache.store_decision((f"sig-{i}",), f"d{i}")
+    assert cache.evictions == 3
+    assert registry.counter_values("host")["cache.evictions"] == 3
+    assert _gauge_value(registry, "cache.entries") == 2
+
+
+def test_eviction_never_changes_decisions():
+    # A pathologically tight bound forces constant eviction; every decision
+    # must still match an uncached cold search bit-exactly.
+    network, comp, db = _setting()
+    cache = SearchCache(max_entries=1)
+    for threshold in (None, 3):
+        resources = gather_available_resources(network)
+        if threshold is not None:
+            network.clusters[0].processors[0].fail()
+            resources = gather_available_resources(network)
+        warm = partition(comp, resources, db, cache=cache)
+        cold = partition(comp, resources, db)
+        assert tuple(warm.config.counts) == tuple(cold.config.counts)
+        assert tuple(warm.vector) == tuple(cold.vector)
+        assert warm.t_cycle_ms == cold.t_cycle_ms
+    assert cache.evictions > 0
+
+
+# -- multi-tenant parity under the batcher -----------------------------------------
+
+_TENANTS = ("team-a", "team-b", "team-c")
+_SIZES = (128, 256)
+_AVAILABILITIES = (None, {"c0": 2, "c1": 6}, {"c1": 4})
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    ticks=st.lists(
+        st.lists(
+            st.tuples(
+                st.sampled_from(_TENANTS),
+                st.sampled_from(_SIZES),
+                st.sampled_from(_AVAILABILITIES),
+            ),
+            min_size=1,
+            max_size=5,
+        ),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_concurrent_tenants_through_batcher_match_cold_search(ticks):
+    """Any interleaving of tenants/pools/sizes through the shared bounded
+    cache — gets, puts, and forced evictions — serves every request the
+    decision a cold array search would make."""
+    from repro.server.batcher import BatchItem, Coalescer, EnginePool
+    from repro.server.protocol import ServeRequest, WorkloadSpec, restrict_pool
+
+    network = synthetic_network((4, 8))
+    base = gather_available_resources(network)
+    db = synthetic_database(["c0", "c1"])
+    # cache_entries=2 keeps each engine's shared cache churning so the
+    # property also covers the evict path.
+    coalescer = Coalescer(EnginePool(db, cache_entries=2, max_engines=2))
+
+    expected = {}
+    req_id = 0
+    for tick in ticks:
+        items = []
+        for tenant, n, availability in tick:
+            req_id += 1
+            request = ServeRequest(
+                id=f"r{req_id}",
+                tenant=tenant,
+                workload=WorkloadSpec(app="stencil", n=n),
+                availability=availability,
+            )
+            items.append(
+                BatchItem(request, tuple(restrict_pool(base, availability)))
+            )
+        for item, reply in coalescer.run(items):
+            assert reply["ok"], reply
+            key = (item.request.workload.n, item.pool_key())
+            if key not in expected:
+                direct = exhaustive_partition(
+                    item.request.workload.build(),
+                    list(item.resources),
+                    db,
+                    engine="array",
+                )
+                expected[key] = (
+                    direct.counts_by_name(),
+                    tuple(direct.vector),
+                    direct.t_cycle_ms,
+                )
+            counts, vector, t_cycle = expected[key]
+            assert reply["counts"] == counts
+            assert tuple(reply["vector"]) == vector
+            assert reply["t_cycle_ms"] == t_cycle

@@ -1,0 +1,85 @@
+"""Admission control: in-flight/queue caps and the per-tenant bucket."""
+
+import pytest
+
+from repro.server.admission import AdmissionController, AdmissionLimits
+
+
+class ManualClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, s):
+        self.now += s
+
+
+def test_admit_and_release_balance():
+    ctl = AdmissionController(AdmissionLimits(max_inflight=2))
+    assert ctl.try_admit("a", queued=0) is None
+    assert ctl.try_admit("a", queued=0) is None
+    assert ctl.inflight == 2 and ctl.admitted == 2
+    ctl.release()
+    ctl.release()
+    assert ctl.inflight == 0
+    with pytest.raises(RuntimeError):
+        ctl.release()
+
+
+def test_inflight_cap_sheds_overloaded():
+    ctl = AdmissionController(AdmissionLimits(max_inflight=1, shed_retry_ms=7.0))
+    assert ctl.try_admit("a", queued=0) is None
+    rejection = ctl.try_admit("b", queued=0)
+    assert rejection is not None and rejection.kind == "overloaded"
+    assert rejection.retry_after_ms == 7.0
+    assert ctl.shed_overloaded == 1
+    # A shed never charges the in-flight count.
+    assert ctl.inflight == 1
+
+
+def test_queue_depth_cap_sheds_overloaded():
+    ctl = AdmissionController(AdmissionLimits(max_queue=4))
+    rejection = ctl.try_admit("a", queued=4)
+    assert rejection is not None and rejection.kind == "overloaded"
+    assert "queued" in rejection.message
+    assert ctl.try_admit("a", queued=3) is None
+
+
+def test_token_bucket_rate_limits_one_tenant_not_others():
+    clock = ManualClock()
+    limits = AdmissionLimits(tenant_rate=10.0, tenant_burst=2.0)
+    ctl = AdmissionController(limits, clock=clock)
+    assert ctl.try_admit("noisy", queued=0) is None
+    assert ctl.try_admit("noisy", queued=0) is None
+    rejection = ctl.try_admit("noisy", queued=0)
+    assert rejection is not None and rejection.kind == "rate-limited"
+    # retry_after_ms is the wait until one token refills: 1/rate = 100 ms.
+    assert rejection.retry_after_ms == pytest.approx(100.0)
+    # Another tenant has its own bucket.
+    assert ctl.try_admit("quiet", queued=0) is None
+    # Refill restores service for the noisy tenant.
+    clock.advance(0.1)
+    assert ctl.try_admit("noisy", queued=0) is None
+    assert ctl.shed_rate_limited == 1
+
+
+def test_rate_limit_disabled_by_default_never_reads_the_clock():
+    def forbidden():
+        raise AssertionError("clock read with rate limiting disabled")
+
+    ctl = AdmissionController(AdmissionLimits(), clock=forbidden)
+    for _ in range(100):
+        assert ctl.try_admit("a", queued=0) is None
+
+
+def test_limit_validation():
+    with pytest.raises(ValueError):
+        AdmissionLimits(max_inflight=0)
+    with pytest.raises(ValueError):
+        AdmissionLimits(max_queue=0)
+    with pytest.raises(ValueError):
+        AdmissionLimits(tenant_rate=-1.0)
+    with pytest.raises(ValueError):
+        AdmissionLimits(tenant_burst=0.5)

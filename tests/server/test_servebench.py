@@ -1,0 +1,51 @@
+"""The bench-serve harness at toy scale: schema, parity, and the gate."""
+
+from repro.benchmarking.perfgate import check_serve_regression, payload_kind
+from repro.server.servebench import (
+    run_serve_bench,
+    serve_payload,
+    serve_report,
+)
+
+
+def _quick_bench():
+    # Small enough for a unit test, big enough that batching shows: 120
+    # requests over a two-cluster pool.
+    return run_serve_bench(
+        clients=40,
+        requests_per_client=3,
+        pool="synthetic:8,8",
+        n=200,
+        connections=8,
+    )
+
+
+def test_bench_serves_everything_with_parity():
+    bench = _quick_bench()
+    assert bench.requests == 120
+    assert bench.ok == 120 and bench.errors == 0
+    assert bench.parity_ok is True
+    # Every pattern, two tenants, cold server + warm server.
+    assert bench.parity_instances == 2 * 2 * 6
+    assert bench.baseline_decisions_per_s > 0
+    assert bench.decisions_per_s > 0
+    # Coalescing happened: far fewer searches than served requests.
+    assert 0 < bench.searches < bench.requests
+    assert bench.coalesce_ratio > 1.0
+    assert bench.p99_ms >= bench.p50_ms > 0
+
+    report = serve_report(bench)
+    assert "decisions/s" in report and "parity: OK" in report
+
+
+def test_payload_round_trips_through_the_gate():
+    bench = _quick_bench()
+    payload = serve_payload(bench)
+    assert payload_kind(payload) == "serve"
+    serve = payload["serve"]
+    assert serve["speedup_vs_baseline"] == bench.speedup_vs_baseline
+    assert serve["parity_ok"] is True
+    # Identity comparison passes the gate (the floor check may trip at toy
+    # scale, so compare everything else by deleting the floor key).
+    serve["speedup_floor"] = 0.0
+    assert check_serve_regression(payload, payload) == []
